@@ -1,0 +1,324 @@
+// Command gpp-bench regenerates the paper's evaluation tables (and the
+// repository's extra ablations) and prints them side by side with the
+// published numbers.
+//
+// Usage:
+//
+//	gpp-bench -table 1            # Table I: suite at K=5
+//	gpp-bench -table 2            # Table II: KSA4, K=5..10
+//	gpp-bench -table 3            # Table III: 100 mA supply limit
+//	gpp-bench -table ablation     # baselines + gradient-mode ablations
+//	gpp-bench -table extended     # frequency penalty, power economics, seeds, rounding
+//	gpp-bench -table tune         # grid-search the cost coefficients
+//	gpp-bench -table all          # everything
+//	gpp-bench -table 1 -csv       # CSV instead of aligned text
+//	gpp-bench -table 1 -md        # Markdown tables
+//	gpp-bench -table 1 -json      # machine-readable JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpp/internal/experiments"
+	"gpp/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, ablation, all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned text")
+	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
+	limit := flag.Float64("limit", 100, "supply-current limit in mA for table 3")
+	seed := flag.Int64("seed", 1, "solver random seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Parallel: true}
+	cfg.Solver.Seed = *seed
+
+	emit := func(t *report.Table) {
+		var err error
+		if *jsonOut {
+			err = t.WriteJSON(os.Stdout)
+		} else if *md {
+			err = t.WriteMarkdown(os.Stdout)
+			fmt.Println()
+		} else if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteText(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	run1 := func() {
+		rows, err := experiments.TableI(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tableI(rows))
+	}
+	run2 := func() {
+		rows, err := experiments.TableII(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tableII(rows))
+	}
+	run3 := func() {
+		rows, err := experiments.TableIII(cfg, *limit)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tableIII(rows, *limit))
+	}
+	runExt := func() {
+		freq, err := experiments.FrequencyPenalty("KSA16", []int{2, 3, 5, 8}, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ft := &report.Table{
+			Title:   "Extended: operating-frequency penalty of partitioning (KSA16)",
+			Columns: []string{"K", "f_base(GHz)", "f_part(GHz)", "ratio", "crossings", "+latency(ps)"},
+		}
+		for _, r := range freq {
+			ft.MustAddRow(fmt.Sprint(r.K), report.F(r.BaseFreqGHz, 2), report.F(r.PartFreqGHz, 2),
+				report.F(r.FreqRatio, 3), fmt.Sprint(r.Crossings), report.F(r.AddedLatencyPS, 1))
+		}
+		emit(ft)
+
+		pow, err := experiments.PowerComparison([]string{"KSA16", "KSA32", "C3540"}, 5, 100, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		pt := &report.Table{
+			Title:   "Extended: supply economics at K=5 (100 mA pads)",
+			Columns: []string{"Circuit", "I-parallel(A)", "I-recycled(A)", "I÷", "lead-loss÷", "pads before", "pads after"},
+		}
+		for _, r := range pow {
+			pt.MustAddRow(r.Circuit, report.F(r.ParallelSupplyA, 3), report.F(r.RecycledSupplyA, 3),
+				report.F(r.CurrentReduction, 2), report.F(r.LeadLossReduction, 2),
+				fmt.Sprint(r.BiasLinesBefore), fmt.Sprint(r.BiasLinesAfter))
+		}
+		emit(pt)
+
+		seeds, err := experiments.SeedSensitivity("KSA8", 5, 5, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		st := &report.Table{
+			Title:   "Extended: seed sensitivity (KSA8, K=5, 5 seeds)",
+			Columns: []string{"d<=1 mean", "d<=1 std", "Icomp mean", "Icomp std", "best cost", "worst cost"},
+		}
+		st.MustAddRow(report.Pct(seeds.MeanDLE1), report.F(seeds.StdDLE1, 2),
+			report.Pct(seeds.MeanIComp), report.F(seeds.StdIComp, 2),
+			report.F(seeds.BestCost, 5), report.F(seeds.WorstCost, 5))
+		emit(st)
+
+		topo, err := experiments.AdderTopologies(16, 5, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tt := &report.Table{
+			Title:   "Extended: adder topology vs partitionability (16-bit, K=5)",
+			Columns: []string{"Topology", "Gates", "Conns", "Depth", "d<=1", "d<=2", "Icomp%"},
+		}
+		for _, r := range topo {
+			tt.MustAddRow(r.Topology, fmt.Sprint(r.Gates), fmt.Sprint(r.Conns), fmt.Sprint(r.Depth),
+				report.Pct(r.DLE1Pct), report.Pct(r.DLE2Pct), report.F(r.ICompPct, 2))
+		}
+		emit(tt)
+
+		cong, err := experiments.Congestion("KSA16", []int{2, 5, 8}, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ct := &report.Table{
+			Title:   "Extended: boundary-channel congestion (KSA16, left-edge router)",
+			Columns: []string{"K", "crossings", "max tracks", "channel wire (mm)"},
+		}
+		for _, r := range cong {
+			ct.MustAddRow(fmt.Sprint(r.K), fmt.Sprint(r.Crossings), fmt.Sprint(r.MaxTracks), report.F(r.TotalWireMM, 1))
+		}
+		emit(ct)
+
+		round, err := experiments.AblationRounding("KSA16", 5, 0.05, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rt := &report.Table{
+			Title:   "Extended: rounding ablation (KSA16, K=5, 5% slack)",
+			Columns: []string{"Method", "d<=1", "Bmax(mA)", "Icomp%"},
+		}
+		for _, r := range round {
+			rt.MustAddRow(r.Method, report.Pct(r.DLE1Pct), report.F(r.BMax, 2), report.F(r.ICompPct, 2))
+		}
+		emit(rt)
+	}
+
+	runTune := func() {
+		all, best, err := experiments.TuneCoefficients("KSA8", 5, experiments.TuneOptions{Seed: *seed}, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tt := &report.Table{
+			Title:   "Coefficient tuning on KSA8, K=5 (score = (100−d≤1) + Icomp + AFS, lower is better)",
+			Columns: []string{"c1", "c2=c3", "c4", "d<=1", "Icomp%", "AFS%", "score"},
+		}
+		for _, r := range all {
+			tt.MustAddRow(report.F(r.Coeffs.C1, 2), report.F(r.Coeffs.C2, 2), report.F(r.Coeffs.C4, 2),
+				report.Pct(r.DLE1Pct), report.F(r.ICompPct, 2), report.F(r.AFSPct, 2), report.F(r.Score, 2))
+		}
+		emit(tt)
+		fmt.Printf("best: c=(%.2g, %.2g, %.2g, %.2g) score %.2f\n\n",
+			best.Coeffs.C1, best.Coeffs.C2, best.Coeffs.C3, best.Coeffs.C4, best.Score)
+	}
+
+	runAbl := func() {
+		for _, name := range []string{"KSA8", "C432"} {
+			rows, err := experiments.AblationBaselines(name, 5, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			emit(ablationTable(fmt.Sprintf("Ablation: methods on %s, K=5", name), rows))
+		}
+		rows, err := experiments.AblationGradients("KSA8", 5, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(ablationTable("Ablation: gradient modes on KSA8, K=5", rows))
+	}
+
+	switch *table {
+	case "1":
+		run1()
+	case "2":
+		run2()
+	case "3":
+		run3()
+	case "ablation":
+		runAbl()
+	case "extended":
+		runExt()
+	case "tune":
+		runTune()
+	case "all":
+		run1()
+		run2()
+		run3()
+		runAbl()
+		runExt()
+	default:
+		fatal(fmt.Errorf("unknown -table %q (want 1, 2, 3, ablation, extended, tune, all)", *table))
+	}
+}
+
+// tableI renders measured rows beside the published Table I values
+// ("paper" columns show the DATE 2020 numbers).
+func tableI(rows []experiments.Row) *report.Table {
+	t := &report.Table{
+		Title: "Table I — Partition results of benchmark circuits with K = 5 (measured vs paper)",
+		Columns: []string{
+			"Circuit", "Gates", "Conns",
+			"d<=1", "d<=1(p)", "d<=2", "d<=2(p)",
+			"Bcir(mA)", "Bmax(mA)", "Icomp%", "Icomp%(p)",
+			"Acir(mm2)", "Amax(mm2)", "AFS%", "AFS%(p)",
+		},
+	}
+	var d1, d2, ic, af float64
+	for _, r := range rows {
+		p, _ := experiments.FindPaperRow(experiments.PaperTableI, r.Circuit, 0)
+		t.MustAddRow(
+			r.Circuit,
+			fmt.Sprint(r.Gates), fmt.Sprint(r.Conns),
+			report.Pct(r.DLE1Pct), report.Pct(p.DLE1Pct),
+			report.Pct(r.DLE2Pct), report.Pct(p.DLE2Pct),
+			report.F(r.BCir, 2), report.F(r.BMax, 2),
+			report.F(r.ICompPct, 2), report.F(p.ICompPct, 2),
+			report.F(r.ACir, 4), report.F(r.AMax, 4),
+			report.F(r.AFSPct, 2), report.F(p.AFSPct, 2),
+		)
+		d1 += r.DLE1Pct
+		d2 += r.DLE2Pct
+		ic += r.ICompPct
+		af += r.AFSPct
+	}
+	n := float64(len(rows))
+	t.MustAddRow("AVG", "", "",
+		report.Pct(d1/n), report.Pct(experiments.PaperAverages.DLE1Pct),
+		report.Pct(d2/n), report.Pct(experiments.PaperAverages.DLE2Pct),
+		"", "",
+		report.F(ic/n, 2), report.F(experiments.PaperAverages.ICompPct, 2),
+		"", "",
+		report.F(af/n, 2), report.F(experiments.PaperAverages.AFSPct, 2),
+	)
+	return t
+}
+
+func tableII(rows []experiments.Row) *report.Table {
+	t := &report.Table{
+		Title: "Table II — KSA4 partitions for K = 5..10 (measured vs paper)",
+		Columns: []string{
+			"K", "d<=1", "d<=1(p)", "d<=K/2", "d<=K/2(p)",
+			"Bmax(mA)", "Icomp%", "Icomp%(p)", "Amax(mm2)", "AFS%", "AFS%(p)",
+		},
+	}
+	for _, r := range rows {
+		p, _ := experiments.FindPaperRow(experiments.PaperTableII, "KSA4", r.K)
+		t.MustAddRow(
+			fmt.Sprint(r.K),
+			report.Pct(r.DLE1Pct), report.Pct(p.DLE1Pct),
+			report.Pct(r.DHalfPct), report.Pct(p.DHalfPct),
+			report.F(r.BMax, 2),
+			report.F(r.ICompPct, 2), report.F(p.ICompPct, 2),
+			report.F(r.AMax, 4),
+			report.F(r.AFSPct, 2), report.F(p.AFSPct, 2),
+		)
+	}
+	return t
+}
+
+func tableIII(rows []experiments.TableIIIRow, limit float64) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Table III — Partition results for %.0f mA maximum supplied current (measured vs paper)", limit),
+		Columns: []string{
+			"Circuit", "KLB/KRes", "KLB/KRes(p)", "d<=K/2", "d<=K/2(p)",
+			"Bmax(mA)", "Icomp%", "Icomp%(p)", "Amax(mm2)", "AFS%", "AFS%(p)",
+		},
+	}
+	for _, r := range rows {
+		p, _ := experiments.FindPaperRow(experiments.PaperTableIII, r.Circuit, 0)
+		t.MustAddRow(
+			r.Circuit,
+			fmt.Sprintf("%d/%d", r.KLB, r.KRes),
+			fmt.Sprintf("%d/%d", p.KLB, p.KRes),
+			report.Pct(r.DHalfPct), report.Pct(p.DHalfPct),
+			report.F(r.BMax, 2),
+			report.F(r.ICompPct, 2), report.F(p.ICompPct, 2),
+			report.F(r.AMax, 4),
+			report.F(r.AFSPct, 2), report.F(p.AFSPct, 2),
+		)
+	}
+	return t
+}
+
+func ablationTable(title string, rows []experiments.MethodResult) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Columns: []string{"Method", "d<=1", "d<=K/2", "Icomp%", "AFS%", "Cost"},
+	}
+	for _, r := range rows {
+		t.MustAddRow(r.Method, report.Pct(r.DLE1Pct), report.Pct(r.DHalfPct),
+			report.F(r.ICompPct, 2), report.F(r.AFSPct, 2), report.F(r.Cost, 5))
+	}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpp-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Command gpp-eco incrementally repartitions a grown design: given the
+// grown netlist (DEF), the original partition (assignment TSV covering the
+// original gate prefix), and K, it places the new cells without disturbing
+// the existing assignment and writes the extended assignment.
+//
+// Usage:
+//
+//	gpp-eco -def grown.def -base old.tsv -k 5 -o new.tsv
+//	gpp-eco -def grown.def -lef cells.lef -base old.tsv -k 5 -o new.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpp/internal/assignio"
+	"gpp/internal/cellib"
+	"gpp/internal/def"
+	"gpp/internal/eco"
+	"gpp/internal/lef"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+	"gpp/internal/verif"
+)
+
+func main() {
+	defPath := flag.String("def", "", "grown DEF netlist (original gates first, new gates appended)")
+	lefPath := flag.String("lef", "", "LEF cell library (default: built-in)")
+	basePath := flag.String("base", "", "original assignment TSV (covers the original gate prefix)")
+	k := flag.Int("k", 5, "number of ground planes")
+	out := flag.String("o", "-", "output assignment TSV ('-' for stdout)")
+	noCleanup := flag.Bool("no-cleanup", false, "skip the local refinement around the edit")
+	flag.Parse()
+
+	if *defPath == "" || *basePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c, err := loadCircuit(*defPath, *lefPath)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := readBase(*basePath, c)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := partition.FromCircuit(c, *k)
+	if err != nil {
+		fatal(err)
+	}
+	opts := eco.Options{}
+	if *noCleanup {
+		opts = opts.WithoutCleanup()
+	}
+	res, err := eco.Extend(p, base, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if issues := verif.Partition(c, *k, res.Labels, 0); len(issues) > 0 {
+		for _, is := range issues {
+			fmt.Fprintln(os.Stderr, "VERIFY:", is)
+		}
+		fatal(fmt.Errorf("extended partition failed verification"))
+	}
+	m, err := recycle.Evaluate(p, res.Labels)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "extended %s: +%d gates inserted, %d old gates adjusted; d≤1 %.1f%%, I_comp %.2f%%\n",
+		c.Name, res.Inserted, res.Adjusted, m.DistLEPct(1), m.ICompPct)
+
+	var w *os.File = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := assignio.Write(w, c, res.Labels); err != nil {
+		fatal(err)
+	}
+}
+
+// readBase reads the original assignment: it may cover only a prefix of
+// the grown circuit's gates, so assignio.Read's completeness check is
+// replaced with prefix semantics here.
+func readBase(path string, grown *netlist.Circuit) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Parse leniently: collect per-gate assignments, then require a dense
+	// prefix.
+	labels := make([]int, grown.NumGates())
+	for i := range labels {
+		labels[i] = -1
+	}
+	tmp, _, err := assignio.ReadPartial(f, grown)
+	if err != nil {
+		return nil, err
+	}
+	copy(labels, tmp)
+	n := 0
+	for n < len(labels) && labels[n] >= 0 {
+		n++
+	}
+	for i := n; i < len(labels); i++ {
+		if labels[i] >= 0 {
+			return nil, fmt.Errorf("gpp-eco: assignment covers gate %d but not gate %d — new gates must be appended after all original gates", i, n)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("gpp-eco: assignment covers no gates of the grown design")
+	}
+	return labels[:n], nil
+}
+
+func loadCircuit(defPath, lefPath string) (*netlist.Circuit, error) {
+	lib := cellib.Default()
+	if lefPath != "" {
+		f, err := os.Open(lefPath)
+		if err != nil {
+			return nil, err
+		}
+		macros, err := lef.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		lib, err = lef.ToLibrary("user", macros)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Open(defPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := def.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	return def.ToCircuit(d, lib)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpp-eco:", err)
+	os.Exit(1)
+}

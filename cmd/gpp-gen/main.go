@@ -1,0 +1,122 @@
+// Command gpp-gen generates benchmark circuits and writes them as placed
+// DEF designs, optionally with the matching LEF cell library.
+//
+// Usage:
+//
+//	gpp-gen -circuit KSA8 -o ksa8.def
+//	gpp-gen -circuit all -dir bench/            # whole suite
+//	gpp-gen -lef cells.lef                      # cell library only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpp/internal/cellib"
+	"gpp/internal/def"
+	"gpp/internal/gen"
+	"gpp/internal/lef"
+	"gpp/internal/netlist"
+	"gpp/internal/verilog"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "benchmark name (KSA4..KSA32, MULT4/8, ID4/8, C432..C3540) or 'all'")
+	out := flag.String("o", "", "output DEF path (default <circuit>.def, '-' for stdout)")
+	dir := flag.String("dir", ".", "output directory for -circuit all")
+	lefPath := flag.String("lef", "", "also write the cell library as LEF to this path")
+	asVerilog := flag.Bool("verilog", false, "emit structural Verilog instead of DEF")
+	stats := flag.Bool("stats", false, "print circuit statistics to stderr")
+	flag.Parse()
+
+	lib := cellib.Default()
+	if *lefPath != "" {
+		f, err := os.Create(*lefPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lef.Write(f, lib); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *lefPath, lib.Len())
+	}
+	if *circuit == "" {
+		if *lefPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		return
+	}
+
+	names := []string{*circuit}
+	if strings.EqualFold(*circuit, "all") {
+		names = gen.BenchmarkNames
+	}
+	for _, name := range names {
+		c, err := gen.Benchmark(name, lib)
+		if err != nil {
+			fatal(err)
+		}
+		ext := ".def"
+		if *asVerilog {
+			ext = ".v"
+		}
+		path := *out
+		if len(names) > 1 || path == "" {
+			path = filepath.Join(*dir, strings.ToLower(name)+ext)
+		}
+		if *asVerilog {
+			if err := writeVerilog(path, c); err != nil {
+				fatal(err)
+			}
+		} else if err := writeDEF(path, c, lib); err != nil {
+			fatal(err)
+		}
+		if *stats {
+			st := netlist.ComputeStats(c)
+			fmt.Fprintf(os.Stderr, "%-7s gates=%-5d conns=%-5d Bcir=%.2f mA Acir=%.4f mm2 depth=%d\n",
+				st.Name, st.Gates, st.Edges, st.TotalBias, st.TotalArea, st.Levels)
+		}
+	}
+}
+
+func writeVerilog(path string, c *netlist.Circuit) error {
+	if path == "-" {
+		return verilog.Write(os.Stdout, c, verilog.Options{})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := verilog.Write(f, c, verilog.Options{}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeDEF(path string, c *netlist.Circuit, lib *cellib.Library) error {
+	if path == "-" {
+		return def.Write(os.Stdout, c, lib)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := def.Write(f, c, lib); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpp-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command gpp-inspect prints structural statistics of an SFQ netlist: gate
+// and connection counts, bias/area totals, degree and cell-kind
+// distributions, and logical depth — the inputs the partitioning cost
+// function sees.
+//
+// Usage:
+//
+//	gpp-inspect -circuit KSA16
+//	gpp-inspect -def design.def [-lef cells.lef]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gpp/internal/cellib"
+	"gpp/internal/def"
+	"gpp/internal/gen"
+	"gpp/internal/lef"
+	"gpp/internal/netlist"
+	"gpp/internal/recycle"
+	"gpp/internal/timing"
+)
+
+func main() {
+	defPath := flag.String("def", "", "input DEF netlist")
+	lefPath := flag.String("lef", "", "LEF cell library for -def")
+	circuit := flag.String("circuit", "", "generate a benchmark instead of reading DEF")
+	showTiming := flag.Bool("timing", true, "include stage-delay timing summary")
+	flag.Parse()
+
+	c, err := load(*defPath, *lefPath, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+	st := netlist.ComputeStats(c)
+	fmt.Printf("circuit:      %s\n", st.Name)
+	fmt.Printf("gates:        %d\n", st.Gates)
+	fmt.Printf("connections:  %d (%.2f per gate)\n", st.Edges, float64(st.Edges)/float64(st.Gates))
+	fmt.Printf("bias:         %.3f mA total, %.3f mA/gate\n", st.TotalBias, st.AvgBias)
+	fmt.Printf("area:         %.4f mm² total, %.5f mm²/gate\n", st.TotalArea, st.AvgArea)
+	fmt.Printf("max fanin:    %d\n", st.MaxFanin)
+	fmt.Printf("max fanout:   %d\n", st.MaxFanout)
+	fmt.Printf("logic depth:  %d\n", st.Levels)
+	fmt.Printf("acyclic:      %v\n", c.IsDAG())
+
+	counts := map[string]int{}
+	for _, g := range c.Gates {
+		counts[g.Cell]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("cells:")
+	for _, n := range names {
+		fmt.Printf("  %-8s %d\n", n, counts[n])
+	}
+
+	if jj, err := recycle.CountJJs(c, make([]int, c.NumGates()), nil, nil); err == nil {
+		fmt.Printf("JJs:          %d total (%.1f per gate)\n", jj.Total, float64(jj.Total)/float64(c.NumGates()))
+	}
+	if *showTiming {
+		if an, err := timing.Analyze(c, timing.Options{}); err == nil {
+			fmt.Printf("timing:       %d stages, critical %.1f ps → f_max %.2f GHz, latency %.1f ps\n",
+				an.Stages, an.CriticalStagePS, an.MaxFreqGHz, an.TotalLatencyPS)
+		}
+	}
+}
+
+func load(defPath, lefPath, circuit string) (*netlist.Circuit, error) {
+	switch {
+	case circuit != "" && defPath != "":
+		return nil, fmt.Errorf("use either -def or -circuit, not both")
+	case circuit != "":
+		return gen.Benchmark(circuit, nil)
+	case defPath != "":
+		lib := cellib.Default()
+		if lefPath != "" {
+			f, err := os.Open(lefPath)
+			if err != nil {
+				return nil, err
+			}
+			macros, err := lef.Parse(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			lib, err = lef.ToLibrary("user", macros)
+			if err != nil {
+				return nil, err
+			}
+		}
+		f, err := os.Open(defPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		d, err := def.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		return def.ToCircuit(d, lib)
+	default:
+		return nil, fmt.Errorf("need -def or -circuit (see -h)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpp-inspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,246 @@
+// Command gpp-partition partitions an SFQ netlist into K ground planes for
+// current recycling and reports the paper's quality metrics plus the
+// physical recycling plan.
+//
+// The input is either a DEF file (with cells resolved via -lef, or the
+// built-in library) or a generated benchmark (-circuit).
+//
+// Usage:
+//
+//	gpp-partition -circuit KSA8 -k 5
+//	gpp-partition -def design.def -lef cells.lef -k 8 -assign out.tsv
+//	gpp-partition -circuit C432 -limit 100          # search K for a 100 mA supply
+//	gpp-partition -circuit KSA16 -k 5 -balanced 0.05 -refine
+//	gpp-partition -circuit KSA16 -k 5 -placed-def out.def   # plane REGIONS/GROUPS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpp/internal/assignio"
+	"gpp/internal/cellib"
+	"gpp/internal/def"
+	"gpp/internal/experiments"
+	"gpp/internal/gen"
+	"gpp/internal/lef"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/place"
+	"gpp/internal/recycle"
+	"gpp/internal/svg"
+	"gpp/internal/timing"
+	"gpp/internal/verif"
+)
+
+func main() {
+	defPath := flag.String("def", "", "input DEF netlist")
+	lefPath := flag.String("lef", "", "LEF cell library for -def (default: built-in library)")
+	circuit := flag.String("circuit", "", "generate a benchmark instead of reading DEF")
+	k := flag.Int("k", 5, "number of ground planes")
+	limit := flag.Float64("limit", 0, "if > 0, search the smallest K whose B_max fits this supply (mA); overrides -k")
+	seed := flag.Int64("seed", 1, "solver random seed")
+	refine := flag.Bool("refine", false, "run greedy move refinement after gradient descent")
+	restarts := flag.Int("restarts", 1, "random restarts; the best discrete-cost result is kept")
+	balanced := flag.Float64("balanced", -1, "if ≥ 0, use capacity-aware rounding with this bias slack (e.g. 0.05)")
+	assign := flag.String("assign", "", "write gate→plane assignment TSV to this path")
+	placedDEF := flag.String("placed-def", "", "write partitioned+placed DEF (plane REGIONS/GROUPS) to this path")
+	layoutSVG := flag.String("layout-svg", "", "render the plane-banded layout as SVG to this path")
+	stackSVG := flag.String("stack-svg", "", "render the serial bias stack (Fig. 1) as SVG to this path")
+	plan := flag.Bool("plan", true, "print the current-recycling plan summary")
+	showTiming := flag.Bool("timing", false, "print the frequency-penalty analysis")
+	verify := flag.Bool("verify", true, "independently verify the result before reporting")
+	flag.Parse()
+
+	c, lib, err := loadCircuit(*defPath, *lefPath, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := partition.Options{Seed: *seed, Refine: *refine}
+
+	if *limit > 0 {
+		row, err := experiments.CurrentLimitSearch(c, *limit, experiments.Config{Solver: opts, Library: lib})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: K_LB=%d K_res=%d (limit %.1f mA)\n", c.Name, row.KLB, row.KRes, *limit)
+		*k = row.KRes
+	}
+
+	p, err := partition.FromCircuit(c, *k)
+	if err != nil {
+		fatal(err)
+	}
+	var res *partition.Result
+	switch {
+	case *balanced >= 0:
+		res, err = p.SolveBalanced(opts, *balanced)
+	case *restarts > 1:
+		res, err = p.SolveBest(opts, *restarts)
+	default:
+		res, err = p.Solve(opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	m, err := recycle.Evaluate(p, res.Labels)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verify {
+		issues := verif.Partition(c, *k, res.Labels, *limit)
+		issues = append(issues, verif.Metrics(c, res.Labels, m)...)
+		for _, is := range issues {
+			fmt.Fprintln(os.Stderr, "VERIFY:", is)
+		}
+		if len(issues) > 0 {
+			fatal(fmt.Errorf("%d verification issues", len(issues)))
+		}
+	}
+
+	fmt.Printf("circuit %s: %d gates, %d connections, B_cir=%.2f mA, A_cir=%.4f mm²\n",
+		c.Name, c.NumGates(), c.NumEdges(), m.TotalBias, m.TotalArea)
+	fmt.Printf("partitioned into K=%d planes in %d iterations (converged=%v)\n", *k, res.Iters, res.Converged)
+	fmt.Printf("  d≤1: %.1f%%   d≤2: %.1f%%   d≤⌊K/2⌋: %.1f%%\n", m.DistLEPct(1), m.DistLEPct(2), m.HalfKDistPct())
+	fmt.Printf("  B_max=%.2f mA   I_comp=%.2f mA (%.2f%%)\n", m.BMax, m.IComp, m.ICompPct)
+	fmt.Printf("  A_max=%.4f mm²  A_FS=%.2f%%\n", m.AMax, m.AFreePct)
+
+	if *plan {
+		pl, err := recycle.BuildPlan(c, p, res.Labels, recycle.PlanOptions{Library: lib})
+		if err != nil {
+			fatal(err)
+		}
+		if issues := verif.Plan(c, res.Labels, pl); len(issues) > 0 {
+			for _, is := range issues {
+				fmt.Fprintln(os.Stderr, "VERIFY:", is)
+			}
+			fatal(fmt.Errorf("recycling plan failed verification"))
+		}
+		crossings, pairs := m.CrossingCount()
+		fmt.Printf("recycling plan: supply %.2f mA (vs %.2f mA parallel, saves %.2f mA)\n",
+			pl.SupplyCurrent, m.TotalBias, pl.SavedCurrent())
+		fmt.Printf("  stack voltage %.1f mV, %d crossing connections, %d coupler pairs, %d dummy cells\n",
+			pl.StackVoltage()*1000, crossings, pairs, totalDummies(pl))
+		fmt.Printf("  coupler area %.4f mm², dummy area %.4f mm², worst chain %d hops\n",
+			pl.TotalCouplerArea, pl.TotalDummyArea, pl.MaxHopsPerConnection)
+	}
+
+	if *showTiming {
+		pen, err := timing.ComparePartition(c, res.Labels, timing.Options{Library: lib})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timing: f_max %.2f GHz → %.2f GHz (ratio %.3f), +%.1f ps latency, %d coupler crossings\n",
+			pen.Base.MaxFreqGHz, pen.Partitioned.MaxFreqGHz, pen.FreqRatio,
+			pen.AddedLatencyPS, pen.Partitioned.CouplerCrossings)
+	}
+
+	if *placedDEF != "" || *layoutSVG != "" {
+		layout, err := place.Build(c, *k, res.Labels, place.Options{Library: lib})
+		if err != nil {
+			fatal(err)
+		}
+		if err := layout.Validate(); err != nil {
+			fatal(err)
+		}
+		if *placedDEF != "" {
+			if err := writeTo(*placedDEF, func(f *os.File) error { return def.WritePlaced(f, c, layout) }); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote placed DEF with plane regions to %s (die %.2f × %.2f mm)\n",
+				*placedDEF, layout.DieW, layout.DieH)
+		}
+		if *layoutSVG != "" {
+			if err := writeTo(*layoutSVG, func(f *os.File) error { return svg.WriteLayout(f, layout) }); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote layout SVG to %s\n", *layoutSVG)
+		}
+	}
+
+	if *stackSVG != "" {
+		pl, err := recycle.BuildPlan(c, p, res.Labels, recycle.PlanOptions{Library: lib})
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTo(*stackSVG, func(f *os.File) error { return svg.WriteStack(f, pl) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote bias-stack SVG to %s\n", *stackSVG)
+	}
+
+	if *assign != "" {
+		if err := writeTo(*assign, func(f *os.File) error { return assignio.Write(f, c, res.Labels) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote assignment to %s\n", *assign)
+	}
+}
+
+func loadCircuit(defPath, lefPath, circuit string) (*netlist.Circuit, *cellib.Library, error) {
+	switch {
+	case circuit != "" && defPath != "":
+		return nil, nil, fmt.Errorf("use either -def or -circuit, not both")
+	case circuit != "":
+		c, err := gen.Benchmark(circuit, nil)
+		return c, cellib.Default(), err
+	case defPath != "":
+		lib := cellib.Default()
+		if lefPath != "" {
+			f, err := os.Open(lefPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			macros, err := lef.Parse(f)
+			f.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			lib, err = lef.ToLibrary("user", macros)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		f, err := os.Open(defPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		d, err := def.Parse(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := def.ToCircuit(d, lib)
+		return c, lib, err
+	default:
+		return nil, nil, fmt.Errorf("need -def or -circuit (see -h)")
+	}
+}
+
+func writeTo(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func totalDummies(pl *recycle.Plan) int {
+	n := 0
+	for _, ps := range pl.Planes {
+		n += ps.DummyCells
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpp-partition:", err)
+	os.Exit(1)
+}

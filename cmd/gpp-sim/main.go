@@ -1,0 +1,157 @@
+// Command gpp-sim runs single-wave SFQ pulse simulations of a mapped
+// netlist: feed input pulses, read output pulses — the quickest way to
+// sanity-check that a netlist (generated, or round-tripped through
+// DEF/partitioning tools) still computes.
+//
+// Usage:
+//
+//	gpp-sim -circuit KSA8 -in a0,a3,b1          # pulse these inputs
+//	gpp-sim -circuit KSA4 -in a0,b0 -all        # also dump internal pulses
+//	gpp-sim -def design.def -lef cells.lef -in x0
+//	gpp-sim -circuit KSA8 -activity 64          # measured switching activity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"gpp/internal/cellib"
+	"gpp/internal/def"
+	"gpp/internal/gen"
+	"gpp/internal/lef"
+	"gpp/internal/netlist"
+	"gpp/internal/sim"
+)
+
+func main() {
+	defPath := flag.String("def", "", "input DEF netlist")
+	lefPath := flag.String("lef", "", "LEF cell library for -def")
+	circuit := flag.String("circuit", "", "generate a benchmark instead of reading DEF")
+	in := flag.String("in", "", "comma-separated input names to pulse (others stay 0)")
+	all := flag.Bool("all", false, "dump every gate's pulse, not just outputs")
+	activity := flag.Int("activity", 0, "if > 0, measure switching activity over this many random waves instead")
+	seed := flag.Int64("seed", 1, "random seed for -activity")
+	flag.Parse()
+
+	c, err := load(*defPath, *lefPath, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *activity > 0 {
+		act, err := measureActivity(c, *activity, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: switching activity %.4f pulses/gate/wave over %d random waves\n",
+			c.Name, act, *activity)
+		return
+	}
+
+	inputs := map[string]bool{}
+	if *in != "" {
+		for _, name := range strings.Split(*in, ",") {
+			inputs[strings.TrimSpace(name)] = true
+		}
+	}
+	res, err := sim.Run(c, inputs, sim.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(res.Outputs))
+	for n := range res.Outputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d pulses across %d gates\n", c.Name, res.PulseCount, c.NumGates())
+	for _, n := range names {
+		v := 0
+		if res.Outputs[n] {
+			v = 1
+		}
+		fmt.Printf("  %-24s %d\n", n, v)
+	}
+	if *all {
+		fmt.Println("internal pulses:")
+		for i, g := range c.Gates {
+			if res.Pulse[i] {
+				fmt.Printf("  %s\n", g.Name)
+			}
+		}
+	}
+}
+
+func measureActivity(c *netlist.Circuit, waves int, seed int64) (float64, error) {
+	// Random waves over the circuit's input converters.
+	var names []string
+	for _, g := range c.Gates {
+		if g.Cell == "DCSFQ" && g.Name != "clk_src" {
+			names = append(names, g.Name)
+		}
+	}
+	rng := newLCG(seed)
+	ws := make([]map[string]bool, waves)
+	for w := range ws {
+		in := make(map[string]bool, len(names))
+		for _, n := range names {
+			in[n] = rng.next()&1 == 1
+		}
+		ws[w] = in
+	}
+	return sim.Activity(c, ws, sim.Options{})
+}
+
+// Tiny deterministic generator, avoiding a math/rand import for two bits.
+type lcg uint64
+
+func newLCG(seed int64) *lcg { l := lcg(seed); return &l }
+func (l *lcg) next() uint64 {
+	*l = (*l)*6364136223846793005 + 1442695040888963407
+	return uint64(*l >> 33)
+}
+
+func load(defPath, lefPath, circuit string) (*netlist.Circuit, error) {
+	switch {
+	case circuit != "" && defPath != "":
+		return nil, fmt.Errorf("use either -def or -circuit, not both")
+	case circuit != "":
+		return gen.Benchmark(circuit, nil)
+	case defPath != "":
+		lib := cellib.Default()
+		if lefPath != "" {
+			f, err := os.Open(lefPath)
+			if err != nil {
+				return nil, err
+			}
+			macros, err := lef.Parse(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			lib, err = lef.ToLibrary("user", macros)
+			if err != nil {
+				return nil, err
+			}
+		}
+		f, err := os.Open(defPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		d, err := def.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		return def.ToCircuit(d, lib)
+	default:
+		return nil, fmt.Errorf("need -def or -circuit")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpp-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command gpp-verify independently checks a ground-plane partition: it
+// reads a netlist (DEF or generated benchmark) plus an assignment (TSV
+// from gpp-partition -assign, or plane GROUPS inside a placed DEF), then
+// recomputes every metric and recycling-plan property from scratch and
+// reports discrepancies. Exit status 0 means the partition is sound.
+//
+// Usage:
+//
+//	gpp-verify -circuit KSA8 -assign planes.tsv [-limit 100]
+//	gpp-verify -def design.def -lef cells.lef -groups-def placed.def
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpp/internal/assignio"
+	"gpp/internal/cellib"
+	"gpp/internal/def"
+	"gpp/internal/gen"
+	"gpp/internal/lef"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+	"gpp/internal/verif"
+)
+
+func main() {
+	defPath := flag.String("def", "", "input DEF netlist")
+	lefPath := flag.String("lef", "", "LEF cell library for -def")
+	circuit := flag.String("circuit", "", "generate a benchmark instead of reading DEF")
+	assign := flag.String("assign", "", "gate→plane TSV (as written by gpp-partition -assign)")
+	groupsDEF := flag.String("groups-def", "", "placed DEF with plane_<k> GROUPS (as written by gpp-partition -placed-def)")
+	limit := flag.Float64("limit", 0, "if > 0, enforce this per-plane supply limit (mA)")
+	flag.Parse()
+
+	c, err := loadCircuit(*defPath, *lefPath, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+
+	var labels []int
+	var k int
+	switch {
+	case *assign != "" && *groupsDEF != "":
+		fatal(fmt.Errorf("use either -assign or -groups-def, not both"))
+	case *assign != "":
+		labels, k, err = readAssign(*assign, c)
+	case *groupsDEF != "":
+		labels, k, err = readGroups(*groupsDEF, c)
+	default:
+		fatal(fmt.Errorf("need -assign or -groups-def (see -h)"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	issues := verif.Partition(c, k, labels, *limit)
+	if len(issues) == 0 {
+		// Deep checks need a valid labeling, so only run them when the
+		// surface checks pass.
+		p, err := partition.FromCircuit(c, k)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := recycle.Evaluate(p, labels)
+		if err != nil {
+			fatal(err)
+		}
+		issues = append(issues, verif.Metrics(c, labels, m)...)
+		plan, err := recycle.BuildPlan(c, p, labels, recycle.PlanOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		issues = append(issues, verif.Plan(c, labels, plan)...)
+		if len(issues) == 0 {
+			fmt.Printf("%s: partition into %d planes verified: d≤1 %.1f%%, B_max %.2f mA, I_comp %.2f%%, A_FS %.2f%%\n",
+				c.Name, k, m.DistLEPct(1), m.BMax, m.ICompPct, m.AFreePct)
+			return
+		}
+	}
+	for _, is := range issues {
+		fmt.Fprintln(os.Stderr, "FAIL:", is)
+	}
+	os.Exit(1)
+}
+
+func loadCircuit(defPath, lefPath, circuit string) (*netlist.Circuit, error) {
+	switch {
+	case circuit != "" && defPath != "":
+		return nil, fmt.Errorf("use either -def or -circuit, not both")
+	case circuit != "":
+		return gen.Benchmark(circuit, nil)
+	case defPath != "":
+		lib := cellib.Default()
+		if lefPath != "" {
+			f, err := os.Open(lefPath)
+			if err != nil {
+				return nil, err
+			}
+			macros, err := lef.Parse(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			lib, err = lef.ToLibrary("user", macros)
+			if err != nil {
+				return nil, err
+			}
+		}
+		f, err := os.Open(defPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		d, err := def.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		return def.ToCircuit(d, lib)
+	default:
+		return nil, fmt.Errorf("need -def or -circuit")
+	}
+}
+
+// readAssign parses the TSV written by gpp-partition.
+func readAssign(path string, c *netlist.Circuit) ([]int, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return assignio.Read(f, c)
+}
+
+func readGroups(path string, c *netlist.Circuit) ([]int, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	_, groups, err := def.ParseRegionsGroups(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	return def.LabelsFromGroups(c, groups)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpp-verify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package gpp_test
+
+import (
+	"fmt"
+
+	"gpp"
+)
+
+// ExamplePartition shows the core flow: benchmark → partition → metrics.
+// Everything is seeded, so the output is reproducible.
+func ExamplePartition() {
+	circuit, err := gpp.Benchmark("KSA4")
+	if err != nil {
+		panic(err)
+	}
+	res, err := gpp.Partition(circuit, 5, gpp.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("planes: %d\n", res.K)
+	fmt.Printf("labels cover every gate: %v\n", len(res.Labels) == circuit.NumGates())
+	fmt.Printf("histogram buckets: %d\n", len(res.Metrics.DistHist))
+	// Output:
+	// planes: 5
+	// labels cover every gate: true
+	// histogram buckets: 5
+}
+
+// ExamplePlanRecycling shows how a partition becomes a physical serial
+// biasing plan.
+func ExamplePlanRecycling() {
+	circuit, _ := gpp.Benchmark("KSA4")
+	res, _ := gpp.Partition(circuit, 4, gpp.Options{Seed: 1})
+	plan, err := gpp.PlanRecycling(circuit, res)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("planes in the stack: %d\n", plan.K)
+	fmt.Printf("stack voltage: %.1f mV\n", plan.StackVoltage()*1000)
+	fmt.Printf("supply below parallel biasing: %v\n", plan.SupplyCurrent < res.Metrics.TotalBias)
+	// Output:
+	// planes in the stack: 4
+	// stack voltage: 10.0 mV
+	// supply below parallel biasing: true
+}
+
+// ExampleMinimumPlanes shows the Table-III lower bound.
+func ExampleMinimumPlanes() {
+	circuit, _ := gpp.Benchmark("KSA8") // needs 164 mA in total
+	k, _ := gpp.MinimumPlanes(circuit, 100)
+	fmt.Printf("K_LB for a 100 mA pad: %d\n", k)
+	// Output:
+	// K_LB for a 100 mA pad: 2
+}
+
+// ExampleSimulate shows pulse-level functional simulation of a mapped
+// netlist: 3 + 1 on the 4-bit Kogge-Stone adder.
+func ExampleSimulate() {
+	circuit, _ := gpp.Benchmark("KSA4")
+	res, err := gpp.Simulate(circuit, map[string]bool{
+		"a0": true, "a1": true, // a = 3
+		"b0": true, // b = 1
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("s2 pulses (3+1=4): %v\n", res.Outputs["OUTPUT_s2"])
+	fmt.Printf("s0 pulses: %v\n", res.Outputs["OUTPUT_s0"])
+	// Output:
+	// s2 pulses (3+1=4): true
+	// s0 pulses: false
+}

@@ -1,0 +1,53 @@
+// current_limit: a bias pad on a typical superconducting chip sustains at
+// most ~100 mA (the paper's Table III constraint). This example finds, for
+// a circuit whose total bias far exceeds that, the smallest number of
+// ground planes K whose partition keeps every plane under the pad limit —
+// starting from the theoretical lower bound K_LB = ⌈B_cir/limit⌉ and
+// searching upward because partition imbalance makes the bound optimistic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpp"
+)
+
+func main() {
+	circuit, err := gpp.Benchmark("C432")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const limitMA = 100.0
+
+	klb, err := gpp.MinimumPlanes(circuit, limitMA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s needs %.2f mA total; a %.0f mA pad limit gives K_LB = %d\n",
+		circuit.Name, circuit.TotalBias(), limitMA, klb)
+
+	for k := klb; ; k++ {
+		res, err := gpp.Partition(circuit, k, gpp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		ok := m.BMax <= limitMA
+		status := "over the limit, trying K+1"
+		if ok {
+			status = "fits!"
+		}
+		fmt.Printf("  K=%2d: B_max = %6.2f mA, I_comp = %5.2f%%, d≤⌊K/2⌋ = %.1f%%  → %s\n",
+			k, m.BMax, m.ICompPct, m.HalfKDistPct(), status)
+		if ok {
+			fmt.Printf("\nresult: K_res = %d (vs lower bound %d); a single 100 mA pad now powers a %.2f mA circuit\n",
+				k, klb, m.TotalBias)
+			fmt.Printf("without recycling this chip would need %d bias pads\n", klb)
+			break
+		}
+		if k > 4*klb+16 {
+			log.Fatalf("no feasible K found below %d", k)
+		}
+	}
+}

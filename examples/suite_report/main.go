@@ -1,0 +1,97 @@
+// suite_report: the batch workflow — partition the entire benchmark suite,
+// render a combined quality report, and drop per-circuit artifacts
+// (assignment CSV, layout SVG, bias-stack SVG) into a report directory.
+// This is the "run everything overnight, review in the morning" flow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpp"
+	"gpp/internal/report"
+)
+
+func main() {
+	dir := "gpp-report"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	tab := &report.Table{
+		Title:   "Benchmark suite at K = 5",
+		Columns: []string{"Circuit", "Gates", "d<=1", "Icomp%", "AFS%", "supply(mA)", "f-ratio"},
+	}
+	// A small subset keeps the example quick; pass more names for the
+	// full overnight run.
+	for _, name := range []string{"KSA4", "KSA8", "MULT4", "ID4"} {
+		circuit, err := gpp.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := gpp.Partition(circuit, 5, gpp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if issues := gpp.Verify(circuit, res, 0); len(issues) > 0 {
+			log.Fatalf("%s failed verification: %v", name, issues)
+		}
+		plan, err := gpp.PlanRecycling(circuit, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pen, err := gpp.TimingImpact(circuit, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		layout, err := gpp.Place(circuit, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		base := filepath.Join(dir, strings.ToLower(name))
+		if err := writeFile(base+"_layout.svg", func(f *os.File) error {
+			return gpp.WriteLayoutSVG(f, layout)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := writeFile(base+"_stack.svg", func(f *os.File) error {
+			return gpp.WriteStackSVG(f, plan)
+		}); err != nil {
+			log.Fatal(err)
+		}
+
+		m := res.Metrics
+		tab.MustAddRow(name, fmt.Sprint(circuit.NumGates()),
+			report.Pct(m.DistLEPct(1)), report.F(m.ICompPct, 2), report.F(m.AFreePct, 2),
+			report.F(plan.SupplyCurrent, 1), report.F(pen.FreqRatio, 3))
+	}
+
+	if err := tab.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeFile(filepath.Join(dir, "summary.csv"), func(f *os.File) error {
+		return tab.WriteCSV(f)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nartifacts written to %s/ (SVGs + summary.csv)\n", dir)
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

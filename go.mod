@@ -1,0 +1,3 @@
+module gpp
+
+go 1.22

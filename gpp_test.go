@@ -1,0 +1,155 @@
+package gpp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadePartitionFlow(t *testing.T) {
+	circuit, err := Benchmark("KSA4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(circuit, 5, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 5 || len(res.Labels) != circuit.NumGates() {
+		t.Fatalf("result shape: K=%d labels=%d", res.K, len(res.Labels))
+	}
+	if res.Metrics == nil || res.Metrics.BMax <= 0 {
+		t.Fatal("metrics missing")
+	}
+	if err := res.Metrics.BalanceCheck(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanRecycling(circuit, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.SupplyCurrent <= 0 {
+		t.Error("plan has no supply current")
+	}
+}
+
+func TestFacadeEvaluateMatchesPartitionMetrics(t *testing.T) {
+	circuit, err := Benchmark("KSA4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(circuit, 4, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(circuit, 4, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.BMax-res.Metrics.BMax) > 1e-12 || m.DistHist[0] != res.Metrics.DistHist[0] {
+		t.Error("Evaluate disagrees with Partition metrics")
+	}
+}
+
+func TestFacadeDEFRoundTrip(t *testing.T) {
+	circuit, err := Benchmark("KSA4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, circuit); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDEF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumGates() != circuit.NumGates() || got.NumEdges() != circuit.NumEdges() {
+		t.Errorf("round trip: %d/%d gates, %d/%d edges",
+			got.NumGates(), circuit.NumGates(), got.NumEdges(), circuit.NumEdges())
+	}
+	if math.Abs(got.TotalBias()-circuit.TotalBias()) > 1e-9 {
+		t.Error("bias lost in round trip")
+	}
+}
+
+func TestMinimumPlanes(t *testing.T) {
+	circuit, err := Benchmark("KSA8") // ~164 mA
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := MinimumPlanes(circuit, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(circuit.TotalBias()/100) + 1
+	if float64(want-1)*100 == circuit.TotalBias() {
+		want--
+	}
+	if k != want {
+		t.Errorf("MinimumPlanes = %d, want %d", k, want)
+	}
+	if _, err := MinimumPlanes(circuit, 0); err == nil {
+		t.Error("zero limit accepted")
+	}
+	if _, err := MinimumPlanes(circuit, -3); err == nil {
+		t.Error("negative limit accepted")
+	}
+}
+
+func TestBenchmarkNamesCopied(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 13 {
+		t.Fatalf("%d names, want 13", len(names))
+	}
+	names[0] = "MUTATED"
+	if BenchmarkNames()[0] == "MUTATED" {
+		t.Error("BenchmarkNames exposes internal slice")
+	}
+}
+
+func TestBenchmarkUnknown(t *testing.T) {
+	if _, err := Benchmark("KSA99"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDefaultLibrary(t *testing.T) {
+	lib := DefaultLibrary()
+	if lib.Len() == 0 {
+		t.Fatal("empty default library")
+	}
+	if _, ok := lib.ByName("SPLIT"); !ok {
+		t.Error("SPLIT missing from default library")
+	}
+}
+
+func TestSuiteGeneratesAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite generation in -short mode")
+	}
+	suite, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 13 {
+		t.Fatalf("suite has %d circuits", len(suite))
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	circuit, err := Benchmark("KSA4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(circuit, 1, Options{}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := Partition(circuit, circuit.NumGates()+1, Options{}); err == nil {
+		t.Error("K>G accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package gpp
+
+// End-to-end pipeline integration: generate → partition → verify → plan →
+// place → export → re-import → re-verify, across several benchmark
+// circuits and plane counts. These tests tie every subsystem together the
+// way cmd/gpp-partition does and assert cross-module consistency rather
+// than per-module behavior.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gpp/internal/verilog"
+)
+
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline integration in -short mode")
+	}
+	cases := []struct {
+		name string
+		k    int
+	}{
+		{"KSA4", 4},
+		{"KSA8", 5},
+		{"MULT4", 3},
+		{"ID4", 5},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Benchmark(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Partition(c, tc.k, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 1. Independent verification.
+			if issues := Verify(c, res, 0); len(issues) != 0 {
+				t.Fatalf("verification: %v", issues)
+			}
+			// 2. Recycling plan + its verification.
+			plan, err := PlanRecycling(c, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if issues := VerifyPlan(c, res, plan); len(issues) != 0 {
+				t.Fatalf("plan verification: %v", issues)
+			}
+			// Plan supply must cover the metric B_max plus overhead.
+			if plan.SupplyCurrent < res.Metrics.BMax-1e-9 {
+				t.Errorf("supply %.3f below logic B_max %.3f", plan.SupplyCurrent, res.Metrics.BMax)
+			}
+			// 3. Placement with geometric validation.
+			layout, err := Place(c, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := layout.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if layout.OverlapCount() != 0 {
+				t.Error("overlapping cells")
+			}
+			// Coupler slots match the metric crossing pairs.
+			_, pairs := res.Metrics.CrossingCount()
+			if len(layout.Slots) != pairs {
+				t.Errorf("%d coupler slots, metrics say %d pairs", len(layout.Slots), pairs)
+			}
+			// 4. Placed-DEF round trip recovers the exact partition.
+			var buf bytes.Buffer
+			if err := WritePlacedDEF(&buf, c, layout); err != nil {
+				t.Fatal(err)
+			}
+			labels, k, err := ReadPlanesDEF(bytes.NewReader(buf.Bytes()), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k != tc.k {
+				t.Fatalf("recovered K = %d", k)
+			}
+			m2, err := Evaluate(c, k, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(m2.BMax-res.Metrics.BMax) > 1e-9 {
+				t.Error("metrics changed through DEF round trip")
+			}
+			// 5. Timing and power analyses run and are self-consistent.
+			pen, err := TimingImpact(c, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pen.FreqRatio <= 0 || pen.FreqRatio > 1 {
+				t.Errorf("frequency ratio %g", pen.FreqRatio)
+			}
+			pw, err := PowerImpact(c, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRatio := pw.CurrentReduction * pw.CurrentReduction
+			if math.Abs(pw.LeadLossReduction-wantRatio)/wantRatio > 1e-9 {
+				t.Error("lead loss not quadratic in current reduction")
+			}
+			// 6. Verilog export is structurally sane.
+			var vbuf bytes.Buffer
+			if err := verilog.Write(&vbuf, c, verilog.Options{Labels: res.Labels}); err != nil {
+				t.Fatal(err)
+			}
+			if vbuf.Len() == 0 {
+				t.Error("empty verilog output")
+			}
+		})
+	}
+}
+
+func TestPipelineBalancedUnderLimit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline integration in -short mode")
+	}
+	// Balanced rounding must allow meeting a supply limit that argmax
+	// snapping misses at the same K: pick the bound between the two.
+	c, err := Benchmark("KSA16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	arg, err := Partition(c, k, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := PartitionBalanced(c, k, Options{Seed: 1}, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.Metrics.BMax >= arg.Metrics.BMax {
+		t.Skipf("balanced (%.2f) did not tighten argmax (%.2f) on this instance",
+			bal.Metrics.BMax, arg.Metrics.BMax)
+	}
+	limit := (bal.Metrics.BMax + arg.Metrics.BMax) / 2
+	if issues := Verify(c, bal, limit); len(issues) != 0 {
+		t.Errorf("balanced result misses the limit it should meet: %v", issues)
+	}
+	if issues := Verify(c, arg, limit); len(issues) == 0 {
+		t.Error("argmax result unexpectedly meets the tighter limit")
+	}
+}
+
+func TestPipelineDeterministicAcrossRuns(t *testing.T) {
+	c, err := Benchmark("KSA4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Partition(c, 5, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Benchmark("KSA4") // regenerate from scratch
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(c2, 5, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("pipeline not reproducible end to end")
+		}
+	}
+}

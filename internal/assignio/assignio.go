@@ -1,0 +1,132 @@
+// Package assignio reads and writes the gate→plane assignment TSV format
+// shared by the command-line tools: one line per gate, tab-separated
+// `gate-name  cell-name  plane` with 1-based planes and '#' comments.
+package assignio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpp/internal/netlist"
+)
+
+// Write emits the assignment for every gate of the circuit in gate order.
+func Write(w io.Writer, c *netlist.Circuit, labels []int) error {
+	if len(labels) != c.NumGates() {
+		return fmt.Errorf("assignio: %d labels for %d gates", len(labels), c.NumGates())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# gate\tcell\tplane\n")
+	for i, g := range c.Gates {
+		if labels[i] < 0 {
+			return fmt.Errorf("assignio: gate %s has negative plane", g.Name)
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%d\n", g.Name, g.Cell, labels[i]+1)
+	}
+	return bw.Flush()
+}
+
+// Read parses an assignment for the circuit. Every gate must be assigned
+// exactly once; unknown gates and malformed lines are errors. Returns the
+// 0-based labels and the plane count (the largest plane seen).
+func Read(r io.Reader, c *netlist.Circuit) ([]int, int, error) {
+	labels := make([]int, c.NumGates())
+	for i := range labels {
+		labels[i] = -1
+	}
+	ids := make(map[string]netlist.GateID, c.NumGates())
+	for _, g := range c.Gates {
+		ids[g.Name] = g.ID
+	}
+	maxPlane := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) < 3 {
+			return nil, 0, fmt.Errorf("assignio: line %d: want 3 tab-separated fields, got %d", line, len(fields))
+		}
+		id, ok := ids[fields[0]]
+		if !ok {
+			return nil, 0, fmt.Errorf("assignio: line %d: unknown gate %q", line, fields[0])
+		}
+		plane, err := strconv.Atoi(fields[2])
+		if err != nil || plane < 1 {
+			return nil, 0, fmt.Errorf("assignio: line %d: bad plane %q", line, fields[2])
+		}
+		if labels[id] >= 0 {
+			return nil, 0, fmt.Errorf("assignio: line %d: gate %q assigned twice", line, fields[0])
+		}
+		labels[id] = plane - 1
+		if plane > maxPlane {
+			maxPlane = plane
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	for i, lb := range labels {
+		if lb < 0 {
+			return nil, 0, fmt.Errorf("assignio: gate %s has no assignment", c.Gates[i].Name)
+		}
+	}
+	return labels, maxPlane, nil
+}
+
+// ReadPartial parses an assignment that may cover only a subset of the
+// circuit's gates (ECO flows grow a design after its assignment was
+// written). Unassigned gates get label −1; duplicate assignments and
+// unknown gates remain errors.
+func ReadPartial(r io.Reader, c *netlist.Circuit) ([]int, int, error) {
+	labels := make([]int, c.NumGates())
+	for i := range labels {
+		labels[i] = -1
+	}
+	ids := make(map[string]netlist.GateID, c.NumGates())
+	for _, g := range c.Gates {
+		ids[g.Name] = g.ID
+	}
+	maxPlane := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) < 3 {
+			return nil, 0, fmt.Errorf("assignio: line %d: want 3 tab-separated fields, got %d", line, len(fields))
+		}
+		id, ok := ids[fields[0]]
+		if !ok {
+			return nil, 0, fmt.Errorf("assignio: line %d: unknown gate %q", line, fields[0])
+		}
+		plane, err := strconv.Atoi(fields[2])
+		if err != nil || plane < 1 {
+			return nil, 0, fmt.Errorf("assignio: line %d: bad plane %q", line, fields[2])
+		}
+		if labels[id] >= 0 {
+			return nil, 0, fmt.Errorf("assignio: line %d: gate %q assigned twice", line, fields[0])
+		}
+		labels[id] = plane - 1
+		if plane > maxPlane {
+			maxPlane = plane
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return labels, maxPlane, nil
+}

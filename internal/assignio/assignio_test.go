@@ -1,0 +1,143 @@
+package assignio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpp/internal/cellib"
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+func fixture(t *testing.T) (*netlist.Circuit, []int) {
+	t.Helper()
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res.Labels
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, labels := fixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, c, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, k, err := Read(bytes.NewReader(buf.Bytes()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("gate %d: %d vs %d", i, got[i], labels[i])
+		}
+	}
+	wantK := 0
+	for _, lb := range labels {
+		if lb+1 > wantK {
+			wantK = lb + 1
+		}
+	}
+	if k != wantK {
+		t.Errorf("K = %d, want %d", k, wantK)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	c, labels := fixture(t)
+	if err := Write(&bytes.Buffer{}, c, labels[:3]); err == nil {
+		t.Error("short labels accepted")
+	}
+	bad := append([]int(nil), labels...)
+	bad[0] = -1
+	if err := Write(&bytes.Buffer{}, c, bad); err == nil {
+		t.Error("negative plane accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	b := netlist.NewBuilder("tiny", cellib.Default())
+	b.AddCell("a", cellib.KindDFF)
+	b.AddCell("b", cellib.KindDFF)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"few fields", "a DFFT 1\n", "tab-separated"},
+		{"unknown gate", "ghost\tDFFT\t1\n", "unknown gate"},
+		{"bad plane", "a\tDFFT\tzero\n", "bad plane"},
+		{"zero plane", "a\tDFFT\t0\n", "bad plane"},
+		{"double assignment", "a\tDFFT\t1\na\tDFFT\t2\nb\tDFFT\t1\n", "assigned twice"},
+		{"missing gate", "a\tDFFT\t1\n", "no assignment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Read(strings.NewReader(tc.src), c)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Read = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	b := netlist.NewBuilder("tiny", cellib.Default())
+	b.AddCell("a", cellib.KindDFF)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "# header\n\n  \na\tDFFT\t3\n"
+	labels, k, err := Read(strings.NewReader(src), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != 2 || k != 3 {
+		t.Errorf("labels = %v, k = %d", labels, k)
+	}
+}
+
+func TestReadPartial(t *testing.T) {
+	c, labels := fixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, c, labels); err != nil {
+		t.Fatal(err)
+	}
+	// Keep only the first half of the lines (plus header).
+	lines := strings.Split(buf.String(), "\n")
+	half := strings.Join(lines[:1+len(c.Gates)/2], "\n")
+	got, _, err := ReadPartial(strings.NewReader(half), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(c.Gates)/2; i++ {
+		if got[i] != labels[i] {
+			t.Fatalf("gate %d: %d vs %d", i, got[i], labels[i])
+		}
+	}
+	for i := len(c.Gates) / 2; i < len(c.Gates); i++ {
+		if got[i] != -1 {
+			t.Fatalf("gate %d should be unassigned, got %d", i, got[i])
+		}
+	}
+	// Full Read on the truncated file must fail (completeness check).
+	if _, _, err := Read(strings.NewReader(half), c); err == nil {
+		t.Error("Read accepted a partial assignment")
+	}
+}

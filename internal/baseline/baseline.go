@@ -1,0 +1,190 @@
+// Package baseline implements comparison partitioners for the ablation
+// experiments. The paper argues ground plane partitioning cannot be cast as
+// classic K-way min-cut partitioning because of the distance-weighted
+// connection cost and the twin balance constraints; these baselines make
+// that comparison concrete:
+//
+//   - Random: uniform random assignment (the floor).
+//   - LayeredGreedy: topological-order slicing into K bias-balanced chunks
+//     — the "obvious" heuristic exploiting SFQ dataflow direction.
+//   - GreedyRefine: random start followed by the move-based refinement
+//     used as the paper-algorithm post-pass (an FM-flavored local search
+//     on the discrete objective).
+//   - Anneal: simulated annealing on the same discrete objective (a
+//     strong but slow reference point).
+//
+// All baselines optimize or are scored by the same discrete objective
+// c1·F1 + c2·F2 + c3·F3 used by the core algorithm, so results are directly
+// comparable.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpp/internal/partition"
+)
+
+// Random assigns every gate to a uniformly random plane.
+func Random(p *partition.Problem, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]int, p.G)
+	for i := range labels {
+		labels[i] = rng.Intn(p.K)
+	}
+	return labels
+}
+
+// LayeredGreedy orders gates topologically (data edges define the order;
+// falls back to index order on cyclic inputs) and slices the order into K
+// consecutive chunks with equal bias-current targets. Because SFQ dataflow
+// is pipelined front-to-back, consecutive chunks naturally keep most
+// connections within a plane or across one boundary.
+func LayeredGreedy(p *partition.Problem) []int {
+	order := topoOrder(p)
+	labels := make([]int, p.G)
+	target := p.TotalBias / float64(p.K)
+	plane, acc := 0, 0.0
+	for _, g := range order {
+		if plane < p.K-1 && acc >= target*float64(plane+1) {
+			plane++
+		}
+		labels[g] = plane
+		acc += p.Bias[g]
+	}
+	return labels
+}
+
+func topoOrder(p *partition.Problem) []int {
+	indeg := make([]int, p.G)
+	succ := make([][]int32, p.G)
+	for _, e := range p.Edges {
+		indeg[e[1]]++
+		succ[e[0]] = append(succ[e[0]], e[1])
+	}
+	queue := make([]int, 0, p.G)
+	for i := 0; i < p.G; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, p.G)
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		order = append(order, g)
+		for _, s := range succ[g] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, int(s))
+			}
+		}
+	}
+	if len(order) != p.G {
+		order = order[:0]
+		for i := 0; i < p.G; i++ {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// GreedyRefine runs the move-based refinement from a random start.
+func GreedyRefine(p *partition.Problem, c partition.Coeffs, seed int64, passes int) []int {
+	labels := Random(p, seed)
+	p.Refine(labels, c, passes)
+	return labels
+}
+
+// AnnealOptions configures Anneal.
+type AnnealOptions struct {
+	Coeffs partition.Coeffs
+	Seed   int64
+	// Moves is the total number of proposed single-gate moves; default
+	// 200·G.
+	Moves int
+	// T0 and T1 are the geometric temperature schedule endpoints relative
+	// to the initial cost scale; defaults 0.1 and 1e-5.
+	T0, T1 float64
+}
+
+// Anneal minimizes the discrete objective with single-gate-move simulated
+// annealing under a geometric cooling schedule.
+func Anneal(p *partition.Problem, opts AnnealOptions) ([]int, error) {
+	if opts.Coeffs == (partition.Coeffs{}) {
+		opts.Coeffs = partition.DefaultCoeffs()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Moves <= 0 {
+		opts.Moves = 200 * p.G
+	}
+	if opts.T0 <= 0 {
+		opts.T0 = 0.1
+	}
+	if opts.T1 <= 0 {
+		opts.T1 = 1e-5
+	}
+	if opts.T1 >= opts.T0 {
+		return nil, fmt.Errorf("baseline: annealing needs T1 < T0, got %g ≥ %g", opts.T1, opts.T0)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	labels := Random(p, opts.Seed)
+
+	// Incremental state, mirroring partition.Refine.
+	adj := make([][]int32, p.G)
+	for _, e := range p.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	bk := make([]float64, p.K)
+	ak := make([]float64, p.K)
+	for i, lb := range labels {
+		bk[lb] += p.Bias[i]
+		ak[lb] += p.Area[i]
+	}
+	pow4 := func(x float64) float64 { x *= x; return x * x }
+	c := opts.Coeffs
+
+	moveDelta := func(i, to int) float64 {
+		from := labels[i]
+		var dWire float64
+		for _, j := range adj[i] {
+			lj := float64(labels[j])
+			dWire += pow4(float64(to)-lj) - pow4(float64(from)-lj)
+		}
+		d1 := c.C1 * dWire / p.N1
+		bi, ai := p.Bias[i], p.Area[i]
+		bp := bk[from] - p.MeanBias
+		bq := bk[to] - p.MeanBias
+		d2 := c.C2 * ((bp-bi)*(bp-bi) + (bq+bi)*(bq+bi) - bp*bp - bq*bq) / (float64(p.K) * p.N2)
+		ap := ak[from] - p.MeanArea
+		aq := ak[to] - p.MeanArea
+		d3 := c.C3 * ((ap-ai)*(ap-ai) + (aq+ai)*(aq+ai) - ap*ap - aq*aq) / (float64(p.K) * p.N3)
+		return d1 + d2 + d3
+	}
+
+	cool := math.Pow(opts.T1/opts.T0, 1/float64(opts.Moves))
+	t := opts.T0
+	for m := 0; m < opts.Moves; m++ {
+		i := rng.Intn(p.G)
+		to := rng.Intn(p.K)
+		if to == labels[i] {
+			t *= cool
+			continue
+		}
+		d := moveDelta(i, to)
+		if d <= 0 || rng.Float64() < math.Exp(-d/t) {
+			from := labels[i]
+			bk[from] -= p.Bias[i]
+			ak[from] -= p.Area[i]
+			bk[to] += p.Bias[i]
+			ak[to] += p.Area[i]
+			labels[i] = to
+		}
+		t *= cool
+	}
+	return labels, nil
+}

@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"testing"
+
+	"gpp/internal/partition"
+)
+
+func TestSpectralBasicContract(t *testing.T) {
+	p := benchProblem(t, "KSA8", 5)
+	labels, err := Spectral(p, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLabels(t, p, labels)
+	counts := make([]int, p.K)
+	for _, lb := range labels {
+		counts[lb]++
+	}
+	for k, c := range counts {
+		if c == 0 {
+			t.Errorf("plane %d empty", k)
+		}
+	}
+	// Bias slicing keeps planes near target.
+	bias, _ := p.PlaneTotals(labels)
+	target := p.TotalBias / float64(p.K)
+	for k, b := range bias {
+		if b > 2.5*target {
+			t.Errorf("plane %d bias %.1f far above target %.1f", k, b, target)
+		}
+	}
+}
+
+func TestSpectralBeatsRandomOnWireCost(t *testing.T) {
+	p := benchProblem(t, "KSA16", 5)
+	c := partition.DefaultCoeffs()
+	spec, err := Spectral(p, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specF1 := p.DiscreteCost(spec, c).F1
+	randF1 := p.DiscreteCost(Random(p, 1), c).F1
+	if specF1 >= randF1 {
+		t.Errorf("spectral F1 %g not better than random %g", specF1, randF1)
+	}
+}
+
+func TestSpectralSeparatesCliques(t *testing.T) {
+	// Two 10-cliques joined by a single edge must be split cleanly at K=2.
+	var edges [][2]int
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			edges = append(edges, [2]int{i, j})
+			edges = append(edges, [2]int{i + 10, j + 10})
+		}
+	}
+	edges = append(edges, [2]int{0, 10})
+	bias := make([]float64, 20)
+	area := make([]float64, 20)
+	for i := range bias {
+		bias[i], area[i] = 1, 1
+	}
+	p, err := partition.NewProblem("cliques", 2, bias, area, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Spectral(p, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 0
+	for _, e := range edges {
+		if labels[e[0]] != labels[e[1]] {
+			cut++
+		}
+	}
+	if cut != 1 {
+		t.Errorf("spectral cut %d edges, want the single bridge", cut)
+	}
+}
+
+func TestSpectralEdgelessGraph(t *testing.T) {
+	bias := []float64{1, 1, 1, 1}
+	area := []float64{1, 1, 1, 1}
+	p, err := partition.NewProblem("edgeless", 2, bias, area, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Spectral(p, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLabels(t, p, labels)
+	bal, _ := p.PlaneTotals(labels)
+	if bal[0] != 2 || bal[1] != 2 {
+		t.Errorf("edgeless balance = %v", bal)
+	}
+}
+
+func TestSpectralDeterministic(t *testing.T) {
+	p := benchProblem(t, "KSA4", 4)
+	a, err := Spectral(p, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Spectral(p, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("spectral not deterministic for fixed seed")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package cellib
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultLibraryComplete(t *testing.T) {
+	lib := Default()
+	if lib.Name() == "" {
+		t.Error("default library has empty name")
+	}
+	kinds := []Kind{
+		KindAND, KindOR, KindXOR, KindNOT, KindNAND, KindNOR, KindXNOR,
+		KindAND2N, KindDFF, KindSplit, KindMerge, KindBuffer, KindDCSFQ,
+		KindSFQDC, KindClkSplit, KindMux, KindDriver, KindReceiver, KindDummy,
+	}
+	for _, k := range kinds {
+		c, ok := lib.ByKind(k)
+		if !ok {
+			t.Errorf("default library missing kind %v", k)
+			continue
+		}
+		if c.Name != k.String() {
+			t.Errorf("kind %v maps to cell %q, want %q", k, c.Name, k.String())
+		}
+	}
+	if lib.Len() != len(kinds) {
+		t.Errorf("library has %d cells, want %d", lib.Len(), len(kinds))
+	}
+}
+
+func TestDefaultLibraryPhysicalSanity(t *testing.T) {
+	for _, c := range Default().Cells() {
+		if c.Bias <= 0 || c.Bias > 5 {
+			t.Errorf("%s: bias %g mA outside plausible SFQ range (0, 5]", c.Name, c.Bias)
+		}
+		if c.JJs <= 0 || c.JJs > 30 {
+			t.Errorf("%s: JJ count %d outside plausible range", c.Name, c.JJs)
+		}
+		if c.Area() <= 0 || c.Area() > 0.05 {
+			t.Errorf("%s: area %g mm² outside plausible range", c.Name, c.Area())
+		}
+	}
+}
+
+func TestSplitterHasTwoOutputs(t *testing.T) {
+	lib := Default()
+	for _, k := range []Kind{KindSplit, KindClkSplit} {
+		c := lib.MustByKind(k)
+		if c.Outputs != 2 {
+			t.Errorf("%v has %d outputs, want 2", k, c.Outputs)
+		}
+		if c.Clocked {
+			t.Errorf("%v must not be clocked", k)
+		}
+	}
+}
+
+func TestClockedGatesAreClocked(t *testing.T) {
+	lib := Default()
+	for _, k := range []Kind{KindAND, KindOR, KindXOR, KindNOT, KindDFF, KindMux} {
+		if c := lib.MustByKind(k); !c.Clocked {
+			t.Errorf("%v should be clocked", k)
+		}
+	}
+	for _, k := range []Kind{KindSplit, KindBuffer, KindDriver, KindReceiver, KindDummy} {
+		if c := lib.MustByKind(k); c.Clocked {
+			t.Errorf("%v should not be clocked", k)
+		}
+	}
+}
+
+func TestAreaGeometry(t *testing.T) {
+	c := Cell{Name: "X", Kind: KindAND, TilesW: 3, TilesH: 2, Bias: 1}
+	wantW := 3 * TileW
+	wantH := 2 * TileH
+	if got := c.Width(); math.Abs(got-wantW) > 1e-12 {
+		t.Errorf("Width = %g, want %g", got, wantW)
+	}
+	if got := c.Height(); math.Abs(got-wantH) > 1e-12 {
+		t.Errorf("Height = %g, want %g", got, wantH)
+	}
+	if got, want := c.Area(), wantW*wantH; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Area = %g, want %g", got, want)
+	}
+}
+
+func TestByNameLookup(t *testing.T) {
+	lib := Default()
+	c, ok := lib.ByName("AND2T")
+	if !ok || c.Kind != KindAND {
+		t.Fatalf("ByName(AND2T) = %v, %v", c, ok)
+	}
+	if _, ok := lib.ByName("NOPE"); ok {
+		t.Error("ByName(NOPE) should fail")
+	}
+	if _, ok := lib.ByKind(Kind(999)); ok {
+		t.Error("ByKind(999) should fail")
+	}
+}
+
+func TestCellsSortedAndCopied(t *testing.T) {
+	lib := Default()
+	cells := lib.Cells()
+	for i := 1; i < len(cells); i++ {
+		if cells[i-1].Name >= cells[i].Name {
+			t.Fatalf("cells not sorted: %q before %q", cells[i-1].Name, cells[i].Name)
+		}
+	}
+	cells[0].Name = "MUTATED"
+	if lib.Cells()[0].Name == "MUTATED" {
+		t.Error("Cells() exposes internal slice")
+	}
+}
+
+func TestNewLibraryErrors(t *testing.T) {
+	base := Cell{Name: "A", Kind: KindAND, JJs: 1, Bias: 1, TilesW: 1, TilesH: 1}
+	cases := []struct {
+		name  string
+		cells []Cell
+		want  string
+	}{
+		{"empty name", []Cell{{Kind: KindAND, Bias: 1, TilesW: 1, TilesH: 1}}, "empty name"},
+		{"dup name", []Cell{base, {Name: "A", Kind: KindOR, Bias: 1, TilesW: 1, TilesH: 1}}, "duplicate cell name"},
+		{"dup kind", []Cell{base, {Name: "B", Kind: KindAND, Bias: 1, TilesW: 1, TilesH: 1}}, "duplicate cell kind"},
+		{"negative bias", []Cell{{Name: "A", Kind: KindAND, Bias: -1, TilesW: 1, TilesH: 1}}, "negative bias"},
+		{"zero width", []Cell{{Name: "A", Kind: KindAND, Bias: 1, TilesW: 0, TilesH: 1}}, "geometry"},
+		{"negative jjs", []Cell{{Name: "A", Kind: KindAND, JJs: -2, Bias: 1, TilesW: 1, TilesH: 1}}, "JJ count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewLibrary("bad", tc.cells)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("NewLibrary error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMustByKindPanics(t *testing.T) {
+	lib, err := NewLibrary("tiny", []Cell{{Name: "A", Kind: KindAND, Bias: 1, TilesW: 1, TilesH: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByKind on missing kind did not panic")
+		}
+	}()
+	lib.MustByKind(KindXOR)
+}
+
+func TestKindString(t *testing.T) {
+	if got := KindAND.String(); got != "AND2T" {
+		t.Errorf("KindAND.String() = %q", got)
+	}
+	if got := Kind(4242).String(); !strings.Contains(got, "4242") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}

@@ -1,0 +1,397 @@
+// Package def reads and writes the subset of the DEF (Design Exchange
+// Format) the paper's benchmark flow uses: DESIGN/UNITS headers, DIEAREA,
+// placed COMPONENTS, and point-to-point NETS. The writer performs a simple
+// row-based placement so the emitted file is a legal placed design; the
+// reader recovers the netlist graph, resolving per-cell bias and area
+// through a cell library (see internal/lef).
+//
+// Net convention: the first (component, pin) connection of a net is the
+// driver; every further connection is a sink. The writer emits one net per
+// driver output with all its sinks (fanout is explicit splitter cells, so
+// mapped netlists stay point-to-point).
+package def
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+	"gpp/internal/tok"
+)
+
+// DBU is the database units per micron used by the writer.
+const DBU = 1000
+
+// Write emits the circuit as a placed DEF design. The library provides
+// cell geometry for placement; gates whose cell name is unknown to the
+// library are placed as 1×1-tile cells.
+func Write(w io.Writer, c *netlist.Circuit, lib *cellib.Library) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if lib == nil {
+		lib = cellib.Default()
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n")
+	fmt.Fprintf(bw, "DESIGN %s ;\n", c.Name)
+	fmt.Fprintf(bw, "UNITS DISTANCE MICRONS %d ;\n", DBU)
+
+	place, dieW, dieH := rowPlacement(c, lib)
+	fmt.Fprintf(bw, "DIEAREA ( 0 0 ) ( %d %d ) ;\n\n", dieW, dieH)
+
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", c.NumGates())
+	for i, g := range c.Gates {
+		fmt.Fprintf(bw, "- %s %s + PLACED ( %d %d ) N ;\n", g.Name, g.Cell, place[i][0], place[i][1])
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n\n")
+
+	// Group edges by driver so each driver output becomes one net.
+	out := c.OutEdges()
+	// Pin index of each edge = its position among the sink's in-edges in
+	// circuit edge order (the sink's semantic pin order).
+	pinIdx := make([]int, c.NumEdges())
+	seen := make([]int, c.NumGates())
+	for ei, e := range c.Edges {
+		pinIdx[ei] = seen[e.To]
+		seen[e.To]++
+	}
+	nets := 0
+	for i := range c.Gates {
+		if len(out[i]) > 0 {
+			nets++
+		}
+	}
+	fmt.Fprintf(bw, "NETS %d ;\n", nets)
+	for i, g := range c.Gates {
+		if len(out[i]) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "- net_%s ( %s o0 )", g.Name, g.Name)
+		for _, ei := range out[i] {
+			sink := c.Edges[ei].To
+			fmt.Fprintf(bw, " ( %s i%d )", c.Gates[sink].Name, pinIdx[ei])
+		}
+		fmt.Fprintf(bw, " ;\n")
+	}
+	fmt.Fprintf(bw, "END NETS\n\nEND DESIGN\n")
+	return bw.Flush()
+}
+
+// rowPlacement packs cells left-to-right into rows of uniform height,
+// targeting a roughly square die. Coordinates are DEF database units.
+func rowPlacement(c *netlist.Circuit, lib *cellib.Library) (pos [][2]int, dieW, dieH int) {
+	rowHmm := 2 * cellib.TileH // all library cells are ≤ 2 tiles tall
+	total := c.TotalArea()
+	// Target row width in mm for a square-ish die; at least one widest cell.
+	targetW := math.Sqrt(total * 1.15)
+	minW := 3 * cellib.TileW
+	if targetW < minW {
+		targetW = minW
+	}
+	pos = make([][2]int, c.NumGates())
+	x, y := 0.0, 0.0
+	maxX := 0.0
+	for i, g := range c.Gates {
+		wmm := cellib.TileW
+		if cell, ok := lib.ByName(g.Cell); ok {
+			wmm = cell.Width()
+		}
+		if x+wmm > targetW && x > 0 {
+			x = 0
+			y += rowHmm
+		}
+		// mm → µm → dbu (DBU database units per micron).
+		pos[i] = [2]int{int(x * 1000 * DBU), int(y * 1000 * DBU)}
+		x += wmm
+		if x > maxX {
+			maxX = x
+		}
+	}
+	dieW = int((maxX + cellib.TileW) * 1000 * DBU)
+	dieH = int((y + rowHmm + cellib.TileH) * 1000 * DBU)
+	return pos, dieW, dieH
+}
+
+// Design is a parsed DEF file.
+type Design struct {
+	Name       string
+	DBU        int
+	DieW, DieH int // dbu
+	Components []Component
+	Nets       []Net
+}
+
+// Component is one placed instance.
+type Component struct {
+	Name string
+	Cell string
+	X, Y int // dbu; 0,0 when unplaced
+}
+
+// Net is one parsed net: the first connection is the driver.
+type Net struct {
+	Name  string
+	Conns []Conn
+}
+
+// Conn is one (component, pin) connection.
+type Conn struct {
+	Comp string
+	Pin  string
+}
+
+// Parse reads a DEF design (the subset written by Write; unknown sections
+// and statements are skipped).
+func Parse(r io.Reader) (*Design, error) {
+	tz := tok.New(r)
+	d := &Design{DBU: DBU}
+	for {
+		t, ok := tz.Next()
+		if !ok {
+			break
+		}
+		switch strings.ToUpper(t) {
+		case "DESIGN":
+			name, ok := tz.Next()
+			if !ok {
+				return nil, fmt.Errorf("def: EOF after DESIGN")
+			}
+			d.Name = name
+			tz.SkipStatement()
+		case "UNITS":
+			// UNITS DISTANCE MICRONS <dbu> ;
+			var nums []int
+			for {
+				t2, ok := tz.Next()
+				if !ok || t2 == ";" {
+					break
+				}
+				if n, err := strconv.Atoi(t2); err == nil {
+					nums = append(nums, n)
+				}
+			}
+			if len(nums) == 1 {
+				d.DBU = nums[0]
+			}
+		case "DIEAREA":
+			// DIEAREA ( x0 y0 ) ( x1 y1 ) ;
+			var nums []int
+			for {
+				t2, ok := tz.Next()
+				if !ok || t2 == ";" {
+					break
+				}
+				if n, err := strconv.Atoi(t2); err == nil {
+					nums = append(nums, n)
+				}
+			}
+			if len(nums) >= 4 {
+				d.DieW = nums[2] - nums[0]
+				d.DieH = nums[3] - nums[1]
+			}
+		case "COMPONENTS":
+			if err := parseComponents(tz, d); err != nil {
+				return nil, err
+			}
+		case "NETS":
+			if err := parseNets(tz, d); err != nil {
+				return nil, err
+			}
+		case "END":
+			tz.Next() // DESIGN or section name; ignore
+		default:
+			// VERSION, DIVIDERCHAR, etc.
+			tz.SkipStatement()
+		}
+	}
+	if d.Name == "" {
+		return nil, fmt.Errorf("def: no DESIGN statement found")
+	}
+	return d, nil
+}
+
+func parseComponents(tz *tok.Tokenizer, d *Design) error {
+	// COMPONENTS <n> ; - name cell [+ PLACED ( x y ) orient] ; ... END COMPONENTS
+	declared := -1
+	if t, ok := tz.Next(); ok {
+		if n, err := strconv.Atoi(t); err == nil {
+			declared = n
+		}
+	}
+	tz.SkipStatement()
+	for {
+		t, ok := tz.Next()
+		if !ok {
+			return fmt.Errorf("def: EOF inside COMPONENTS")
+		}
+		if strings.EqualFold(t, "END") {
+			tz.Next() // COMPONENTS
+			break
+		}
+		if t != "-" {
+			return fmt.Errorf("def: expected '-' in COMPONENTS, got %q", t)
+		}
+		name, ok1 := tz.Next()
+		cell, ok2 := tz.Next()
+		if !ok1 || !ok2 {
+			return fmt.Errorf("def: truncated component")
+		}
+		comp := Component{Name: name, Cell: cell}
+		// Scan the rest of the statement for PLACED coordinates.
+		var nums []int
+		for {
+			t2, ok := tz.Next()
+			if !ok {
+				return fmt.Errorf("def: EOF in component %s", name)
+			}
+			if t2 == ";" {
+				break
+			}
+			if n, err := strconv.Atoi(t2); err == nil {
+				nums = append(nums, n)
+			}
+		}
+		if len(nums) >= 2 {
+			comp.X, comp.Y = nums[0], nums[1]
+		}
+		d.Components = append(d.Components, comp)
+	}
+	if declared >= 0 && declared != len(d.Components) {
+		return fmt.Errorf("def: COMPONENTS declares %d, found %d", declared, len(d.Components))
+	}
+	return nil
+}
+
+func parseNets(tz *tok.Tokenizer, d *Design) error {
+	declared := -1
+	if t, ok := tz.Next(); ok {
+		if n, err := strconv.Atoi(t); err == nil {
+			declared = n
+		}
+	}
+	tz.SkipStatement()
+	for {
+		t, ok := tz.Next()
+		if !ok {
+			return fmt.Errorf("def: EOF inside NETS")
+		}
+		if strings.EqualFold(t, "END") {
+			tz.Next() // NETS
+			break
+		}
+		if t != "-" {
+			return fmt.Errorf("def: expected '-' in NETS, got %q", t)
+		}
+		name, ok := tz.Next()
+		if !ok {
+			return fmt.Errorf("def: truncated net")
+		}
+		net := Net{Name: name}
+		for {
+			t2, ok := tz.Next()
+			if !ok {
+				return fmt.Errorf("def: EOF in net %s", name)
+			}
+			if t2 == ";" {
+				break
+			}
+			if t2 != "(" {
+				continue // skip properties like + USE SIGNAL
+			}
+			comp, ok1 := tz.Next()
+			pin, ok2 := tz.Next()
+			close1, ok3 := tz.Next()
+			if !ok1 || !ok2 || !ok3 || close1 != ")" {
+				return fmt.Errorf("def: malformed connection in net %s", name)
+			}
+			net.Conns = append(net.Conns, Conn{Comp: comp, Pin: pin})
+		}
+		d.Nets = append(d.Nets, net)
+	}
+	if declared >= 0 && declared != len(d.Nets) {
+		return fmt.Errorf("def: NETS declares %d, found %d", declared, len(d.Nets))
+	}
+	return nil
+}
+
+// ToCircuit converts a parsed design into a netlist, resolving bias/area
+// via the library. Components referencing cells absent from the library
+// are an error.
+func ToCircuit(d *Design, lib *cellib.Library) (*netlist.Circuit, error) {
+	if lib == nil {
+		lib = cellib.Default()
+	}
+	b := netlist.NewBuilder(d.Name, lib)
+	ids := make(map[string]netlist.GateID, len(d.Components))
+	for _, comp := range d.Components {
+		cell, ok := lib.ByName(comp.Cell)
+		if !ok {
+			return nil, fmt.Errorf("def: component %s references unknown cell %s", comp.Name, comp.Cell)
+		}
+		id := b.AddGateRaw(comp.Name, cell.Name, cell.Bias, cell.Area())
+		ids[comp.Name] = id
+	}
+	// Collect sink connections first so each sink's in-edges can be added
+	// in input-pin order (pin names "i<k>"): cells with non-commutative
+	// inputs (ANDN2T, MUX2T) keep their operand semantics through the
+	// round trip.
+	type conn struct {
+		drv, sink netlist.GateID
+		pin       int
+		seq       int
+	}
+	var conns []conn
+	seq := 0
+	for _, net := range d.Nets {
+		if len(net.Conns) < 2 {
+			return nil, fmt.Errorf("def: net %s has %d connections (need ≥ 2)", net.Name, len(net.Conns))
+		}
+		drv, ok := ids[net.Conns[0].Comp]
+		if !ok {
+			return nil, fmt.Errorf("def: net %s driver %s is not a component", net.Name, net.Conns[0].Comp)
+		}
+		for _, c := range net.Conns[1:] {
+			sink, ok := ids[c.Comp]
+			if !ok {
+				return nil, fmt.Errorf("def: net %s sink %s is not a component", net.Name, c.Comp)
+			}
+			pin := 1 << 30 // unknown pin names sort after numbered ones
+			if n, err := fmt.Sscanf(c.Pin, "i%d", &pin); n == 1 && err == nil {
+				// parsed
+			}
+			conns = append(conns, conn{drv: drv, sink: sink, pin: pin, seq: seq})
+			seq++
+		}
+	}
+	sort.SliceStable(conns, func(a, b int) bool {
+		if conns[a].sink != conns[b].sink {
+			return conns[a].sink < conns[b].sink
+		}
+		if conns[a].pin != conns[b].pin {
+			return conns[a].pin < conns[b].pin
+		}
+		return conns[a].seq < conns[b].seq
+	})
+	for _, c := range conns {
+		b.Connect(c.drv, c.sink)
+	}
+	return b.Build()
+}
+
+// SortedComponentNames returns the component names in sorted order (test
+// helper for deterministic comparisons).
+func (d *Design) SortedComponentNames() []string {
+	names := make([]string, len(d.Components))
+	for i, c := range d.Components {
+		names[i] = c.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,241 @@
+package def
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+)
+
+// fixture builds a small mapped-style circuit with a splitter fanout.
+func fixture(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	lib := cellib.Default()
+	b := netlist.NewBuilder("fix", lib)
+	in := b.AddCell("in0", cellib.KindDCSFQ)
+	sp := b.AddCell("sp0", cellib.KindSplit)
+	f1 := b.AddCell("ff1", cellib.KindDFF)
+	f2 := b.AddCell("ff2", cellib.KindDFF)
+	o1 := b.AddCell("out1", cellib.KindSFQDC)
+	o2 := b.AddCell("out2", cellib.KindSFQDC)
+	b.Connect(in, sp)
+	b.Connect(sp, f1)
+	b.Connect(sp, f2)
+	b.Connect(f1, o1)
+	b.Connect(f2, o2)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func edgeKey(c *netlist.Circuit) []string {
+	keys := make([]string, 0, c.NumEdges())
+	for _, e := range c.Edges {
+		keys = append(keys, c.Gates[e.From].Name+">"+c.Gates[e.To].Name)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := fixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if d.Name != "fix" {
+		t.Errorf("design name = %q", d.Name)
+	}
+	if d.DBU != DBU {
+		t.Errorf("DBU = %d, want %d", d.DBU, DBU)
+	}
+	got, err := ToCircuit(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumGates() != orig.NumGates() || got.NumEdges() != orig.NumEdges() {
+		t.Fatalf("round trip: %d/%d gates, %d/%d edges",
+			got.NumGates(), orig.NumGates(), got.NumEdges(), orig.NumEdges())
+	}
+	a, b := edgeKey(orig), edgeKey(got)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("edge %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if got.TotalBias() != orig.TotalBias() || got.TotalArea() != orig.TotalArea() {
+		t.Errorf("totals differ: bias %g/%g area %g/%g",
+			got.TotalBias(), orig.TotalBias(), got.TotalArea(), orig.TotalArea())
+	}
+}
+
+func TestWriterPlacementInsideDie(t *testing.T) {
+	orig := fixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DieW <= 0 || d.DieH <= 0 {
+		t.Fatalf("die = %dx%d", d.DieW, d.DieH)
+	}
+	for _, comp := range d.Components {
+		if comp.X < 0 || comp.X >= d.DieW || comp.Y < 0 || comp.Y >= d.DieH {
+			t.Errorf("component %s placed at (%d,%d) outside die %dx%d",
+				comp.Name, comp.X, comp.Y, d.DieW, d.DieH)
+		}
+	}
+}
+
+func TestWriterNetConvention(t *testing.T) {
+	orig := fixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The splitter's net must list the splitter first (driver), then both
+	// sinks.
+	for _, n := range d.Nets {
+		if n.Name == "net_sp0" {
+			if len(n.Conns) != 3 {
+				t.Fatalf("net_sp0 has %d conns", len(n.Conns))
+			}
+			if n.Conns[0].Comp != "sp0" || n.Conns[0].Pin != "o0" {
+				t.Errorf("driver = %+v", n.Conns[0])
+			}
+			return
+		}
+	}
+	t.Error("net_sp0 not found")
+}
+
+func TestWriteRejectsInvalidCircuit(t *testing.T) {
+	bad := &netlist.Circuit{Name: "", Gates: nil, Edges: nil}
+	if err := Write(&bytes.Buffer{}, bad, nil); err == nil {
+		t.Error("Write accepted an invalid circuit")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no design", "VERSION 5.8 ;\n", "no DESIGN"},
+		{"eof after design", "DESIGN", "EOF after DESIGN"},
+		{"component count mismatch", "DESIGN d ;\nCOMPONENTS 2 ;\n- a DFFT ;\nEND COMPONENTS\nEND DESIGN\n", "declares 2, found 1"},
+		{"bad component lead", "DESIGN d ;\nCOMPONENTS 1 ;\nx a DFFT ;\nEND COMPONENTS\n", "expected '-'"},
+		{"eof in components", "DESIGN d ;\nCOMPONENTS 1 ;\n- a DFFT ", "EOF"},
+		{"net count mismatch", "DESIGN d ;\nNETS 5 ;\n- n ( a o0 ) ( b i0 ) ;\nEND NETS\nEND DESIGN\n", "declares 5, found 1"},
+		{"bad net lead", "DESIGN d ;\nNETS 1 ;\nx n ;\nEND NETS\n", "expected '-'"},
+		{"malformed conn", "DESIGN d ;\nNETS 1 ;\n- n ( a o0 ( b ;\nEND NETS\nEND DESIGN\n", "malformed connection"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Parse = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestToCircuitErrors(t *testing.T) {
+	t.Run("unknown cell", func(t *testing.T) {
+		d := &Design{Name: "d", Components: []Component{{Name: "a", Cell: "NOSUCH"}}}
+		if _, err := ToCircuit(d, nil); err == nil || !strings.Contains(err.Error(), "unknown cell") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("one-conn net", func(t *testing.T) {
+		d := &Design{Name: "d",
+			Components: []Component{{Name: "a", Cell: "DFFT"}},
+			Nets:       []Net{{Name: "n", Conns: []Conn{{Comp: "a", Pin: "o0"}}}},
+		}
+		if _, err := ToCircuit(d, nil); err == nil || !strings.Contains(err.Error(), "need ≥ 2") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("unknown driver", func(t *testing.T) {
+		d := &Design{Name: "d",
+			Components: []Component{{Name: "a", Cell: "DFFT"}},
+			Nets:       []Net{{Name: "n", Conns: []Conn{{Comp: "ghost", Pin: "o0"}, {Comp: "a", Pin: "i0"}}}},
+		}
+		if _, err := ToCircuit(d, nil); err == nil || !strings.Contains(err.Error(), "driver") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("unknown sink", func(t *testing.T) {
+		d := &Design{Name: "d",
+			Components: []Component{{Name: "a", Cell: "DFFT"}},
+			Nets:       []Net{{Name: "n", Conns: []Conn{{Comp: "a", Pin: "o0"}, {Comp: "ghost", Pin: "i0"}}}},
+		}
+		if _, err := ToCircuit(d, nil); err == nil || !strings.Contains(err.Error(), "sink") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestParseToleratesForeignStatements(t *testing.T) {
+	src := `
+VERSION 5.8 ;
+DIVIDERCHAR "/" ;
+DESIGN top ;
+TECHNOLOGY tech ;
+UNITS DISTANCE MICRONS 2000 ;
+ROW row0 CORE 0 0 N DO 10 BY 1 STEP 100 0 ;
+COMPONENTS 2 ;
+- u1 DFFT + PLACED ( 100 200 ) N ;
+- u2 SFQDC ;
+END COMPONENTS
+NETS 1 ;
+- n1 ( u1 o0 ) ( u2 i0 ) + USE SIGNAL ;
+END NETS
+END DESIGN
+`
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DBU != 2000 {
+		t.Errorf("DBU = %d", d.DBU)
+	}
+	if len(d.Components) != 2 || d.Components[0].X != 100 || d.Components[0].Y != 200 {
+		t.Errorf("components = %+v", d.Components)
+	}
+	if len(d.Nets) != 1 || len(d.Nets[0].Conns) != 2 {
+		t.Errorf("nets = %+v", d.Nets)
+	}
+	c, err := ToCircuit(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 || c.NumEdges() != 1 {
+		t.Errorf("circuit = %d gates %d edges", c.NumGates(), c.NumEdges())
+	}
+}
+
+func TestSortedComponentNames(t *testing.T) {
+	d := &Design{Components: []Component{{Name: "z"}, {Name: "a"}, {Name: "m"}}}
+	got := d.SortedComponentNames()
+	if got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("sorted = %v", got)
+	}
+}

@@ -1,0 +1,28 @@
+package def
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the DEF reader never panics on arbitrary input —
+// malformed files must fail with errors, not crashes. Without -fuzz the
+// seed corpus runs as a regular test.
+func FuzzParse(f *testing.F) {
+	f.Add("DESIGN top ;\nCOMPONENTS 1 ;\n- a DFFT ;\nEND COMPONENTS\nEND DESIGN\n")
+	f.Add("VERSION 5.8 ;\nDESIGN d ;\nNETS 1 ;\n- n ( a o0 ) ( b i0 ) ;\nEND NETS\nEND DESIGN\n")
+	f.Add("DESIGN x ;\nDIEAREA ( 0 0 ) ( 10 10 ) ;\nEND DESIGN")
+	f.Add("")
+	f.Add("- - - ; ( ) END END END")
+	f.Add("COMPONENTS 99 ;")
+	f.Add("DESIGN 🤖 ;\nUNITS DISTANCE MICRONS notanumber ;")
+	f.Add("REGIONS 1 ;\n- r ( 1 2 ) ( 3 4 ) + TYPE FENCE ;\nEND REGIONS")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(strings.NewReader(src))
+		if err == nil && d != nil {
+			// Whatever parsed must convert or fail cleanly too.
+			_, _ = ToCircuit(d, nil)
+		}
+		_, _, _ = ParseRegionsGroups(strings.NewReader(src))
+	})
+}

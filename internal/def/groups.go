@@ -1,0 +1,296 @@
+package def
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpp/internal/netlist"
+	"gpp/internal/place"
+	"gpp/internal/tok"
+)
+
+// Region is a parsed DEF REGION: a named rectangle (dbu).
+type Region struct {
+	Name           string
+	X0, Y0, X1, Y1 int
+	Fence          bool
+}
+
+// Group is a parsed DEF GROUP: named component set, optionally bound to a
+// region.
+type Group struct {
+	Name       string
+	Components []string
+	Region     string
+}
+
+// WritePlaced emits a partitioned, placed design as DEF with one REGION
+// (TYPE FENCE) per ground-plane band and one GROUP binding each plane's
+// cells to its region — the standard DEF way to hand a partition to
+// downstream physical design tools.
+func WritePlaced(w io.Writer, c *netlist.Circuit, p *place.Placement) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if len(p.Cells) != c.NumGates() {
+		return fmt.Errorf("def: placement has %d cells, circuit has %d gates", len(p.Cells), c.NumGates())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n")
+	fmt.Fprintf(bw, "DESIGN %s ;\n", c.Name)
+	fmt.Fprintf(bw, "UNITS DISTANCE MICRONS %d ;\n", DBU)
+	fmt.Fprintf(bw, "DIEAREA ( 0 0 ) ( %d %d ) ;\n\n", mmToDBU(p.DieW), mmToDBU(p.DieH))
+
+	fmt.Fprintf(bw, "REGIONS %d ;\n", len(p.Bands))
+	for _, b := range p.Bands {
+		fmt.Fprintf(bw, "- plane_%d ( 0 %d ) ( %d %d ) + TYPE FENCE ;\n",
+			b.Plane+1, mmToDBU(b.Y0), mmToDBU(p.DieW), mmToDBU(b.Y1))
+	}
+	fmt.Fprintf(bw, "END REGIONS\n\n")
+
+	// Components with placement from the plane-banded placer.
+	pos := make(map[netlist.GateID][2]int, len(p.Cells))
+	planeOf := make(map[netlist.GateID]int, len(p.Cells))
+	for _, cp := range p.Cells {
+		pos[cp.Gate] = [2]int{mmToDBU(cp.X), mmToDBU(cp.Y)}
+		planeOf[cp.Gate] = cp.Plane
+	}
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", c.NumGates())
+	for _, g := range c.Gates {
+		xy := pos[g.ID]
+		fmt.Fprintf(bw, "- %s %s + PLACED ( %d %d ) N ;\n", g.Name, g.Cell, xy[0], xy[1])
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n\n")
+
+	fmt.Fprintf(bw, "GROUPS %d ;\n", len(p.Bands))
+	for _, b := range p.Bands {
+		fmt.Fprintf(bw, "- plane_%d", b.Plane+1)
+		n := 0
+		for _, g := range c.Gates {
+			if planeOf[g.ID] == b.Plane {
+				fmt.Fprintf(bw, " %s", g.Name)
+				n++
+				if n%8 == 0 {
+					fmt.Fprintf(bw, "\n   ")
+				}
+			}
+		}
+		fmt.Fprintf(bw, " + REGION plane_%d ;\n", b.Plane+1)
+	}
+	fmt.Fprintf(bw, "END GROUPS\n\n")
+
+	// The serial bias chain as SPECIALNETS: the supply enters plane K (the
+	// top band), each plane's ground return feeds the next bias bus, and
+	// plane 1 returns to ground — Fig. 1 of the paper in DEF form. Each
+	// net is annotated + USE POWER with a routing stub along its band.
+	fmt.Fprintf(bw, "SPECIALNETS %d ;\n", len(p.Bands)+1)
+	fmt.Fprintf(bw, "- bias_supply + USE POWER ;\n")
+	for i := len(p.Bands) - 1; i >= 0; i-- {
+		b := p.Bands[i]
+		fmt.Fprintf(bw, "- bias_gp%d + USE POWER + POLYGON met0 ( 0 %d ) ( %d %d ) ;\n",
+			b.Plane+1, mmToDBU(b.Y0), mmToDBU(p.DieW), mmToDBU(b.Y1))
+	}
+	fmt.Fprintf(bw, "END SPECIALNETS\n\n")
+
+	out := c.OutEdges()
+	nets := 0
+	for i := range c.Gates {
+		if len(out[i]) > 0 {
+			nets++
+		}
+	}
+	pinIdx := make([]int, c.NumEdges())
+	seen := make([]int, c.NumGates())
+	for ei, e := range c.Edges {
+		pinIdx[ei] = seen[e.To]
+		seen[e.To]++
+	}
+	fmt.Fprintf(bw, "NETS %d ;\n", nets)
+	for i, g := range c.Gates {
+		if len(out[i]) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "- net_%s ( %s o0 )", g.Name, g.Name)
+		for _, ei := range out[i] {
+			sink := c.Edges[ei].To
+			fmt.Fprintf(bw, " ( %s i%d )", c.Gates[sink].Name, pinIdx[ei])
+		}
+		fmt.Fprintf(bw, " ;\n")
+	}
+	fmt.Fprintf(bw, "END NETS\n\nEND DESIGN\n")
+	return bw.Flush()
+}
+
+func mmToDBU(mm float64) int { return int(mm*1000*DBU + 0.5) }
+
+// ParseRegionsGroups parses the REGIONS and GROUPS sections of a DEF file
+// written by WritePlaced (or any tool using the same subset).
+func ParseRegionsGroups(r io.Reader) ([]Region, []Group, error) {
+	tz := tok.New(r)
+	var regions []Region
+	var groups []Group
+	for {
+		t, ok := tz.Next()
+		if !ok {
+			break
+		}
+		switch strings.ToUpper(t) {
+		case "REGIONS":
+			rs, err := parseRegions(tz)
+			if err != nil {
+				return nil, nil, err
+			}
+			regions = rs
+		case "GROUPS":
+			gs, err := parseGroups(tz)
+			if err != nil {
+				return nil, nil, err
+			}
+			groups = gs
+		case "END":
+			tz.Next()
+		default:
+			tz.SkipStatement()
+		}
+	}
+	return regions, groups, nil
+}
+
+func parseRegions(tz *tok.Tokenizer) ([]Region, error) {
+	tz.SkipStatement() // count ;
+	var out []Region
+	for {
+		t, ok := tz.Next()
+		if !ok {
+			return nil, fmt.Errorf("def: EOF inside REGIONS")
+		}
+		if strings.EqualFold(t, "END") {
+			tz.Next() // REGIONS
+			return out, nil
+		}
+		if t != "-" {
+			return nil, fmt.Errorf("def: expected '-' in REGIONS, got %q", t)
+		}
+		name, ok := tz.Next()
+		if !ok {
+			return nil, fmt.Errorf("def: truncated region")
+		}
+		reg := Region{Name: name}
+		var nums []int
+		for {
+			t2, ok := tz.Next()
+			if !ok {
+				return nil, fmt.Errorf("def: EOF in region %s", name)
+			}
+			if t2 == ";" {
+				break
+			}
+			if n, err := strconv.Atoi(t2); err == nil {
+				nums = append(nums, n)
+			}
+			if strings.EqualFold(t2, "FENCE") {
+				reg.Fence = true
+			}
+		}
+		if len(nums) < 4 {
+			return nil, fmt.Errorf("def: region %s has %d coordinates, want 4", name, len(nums))
+		}
+		reg.X0, reg.Y0, reg.X1, reg.Y1 = nums[0], nums[1], nums[2], nums[3]
+		out = append(out, reg)
+	}
+}
+
+func parseGroups(tz *tok.Tokenizer) ([]Group, error) {
+	tz.SkipStatement() // count ;
+	var out []Group
+	for {
+		t, ok := tz.Next()
+		if !ok {
+			return nil, fmt.Errorf("def: EOF inside GROUPS")
+		}
+		if strings.EqualFold(t, "END") {
+			tz.Next() // GROUPS
+			return out, nil
+		}
+		if t != "-" {
+			return nil, fmt.Errorf("def: expected '-' in GROUPS, got %q", t)
+		}
+		name, ok := tz.Next()
+		if !ok {
+			return nil, fmt.Errorf("def: truncated group")
+		}
+		grp := Group{Name: name}
+		inRegion := false
+		for {
+			t2, ok := tz.Next()
+			if !ok {
+				return nil, fmt.Errorf("def: EOF in group %s", name)
+			}
+			if t2 == ";" {
+				break
+			}
+			switch {
+			case t2 == "+":
+				inRegion = false
+			case strings.EqualFold(t2, "REGION"):
+				inRegion = true
+			case inRegion:
+				grp.Region = t2
+				inRegion = false
+			default:
+				grp.Components = append(grp.Components, t2)
+			}
+		}
+		out = append(out, grp)
+	}
+}
+
+// LabelsFromGroups recovers a plane labeling from parsed groups: group
+// "plane_<k>" (1-based) assigns its components to plane k−1. Components
+// absent from every group are an error.
+func LabelsFromGroups(c *netlist.Circuit, groups []Group) ([]int, int, error) {
+	ids := make(map[string]netlist.GateID, c.NumGates())
+	for _, g := range c.Gates {
+		ids[g.Name] = g.ID
+	}
+	labels := make([]int, c.NumGates())
+	for i := range labels {
+		labels[i] = -1
+	}
+	maxPlane := -1
+	for _, grp := range groups {
+		var plane int
+		if _, err := fmt.Sscanf(grp.Name, "plane_%d", &plane); err != nil {
+			continue // foreign group
+		}
+		plane-- // 1-based in DEF
+		if plane < 0 {
+			return nil, 0, fmt.Errorf("def: group %s has non-positive plane number", grp.Name)
+		}
+		if plane > maxPlane {
+			maxPlane = plane
+		}
+		for _, comp := range grp.Components {
+			id, ok := ids[comp]
+			if !ok {
+				return nil, 0, fmt.Errorf("def: group %s references unknown component %s", grp.Name, comp)
+			}
+			if labels[id] >= 0 {
+				return nil, 0, fmt.Errorf("def: component %s in multiple plane groups", comp)
+			}
+			labels[id] = plane
+		}
+	}
+	if maxPlane < 0 {
+		return nil, 0, fmt.Errorf("def: no plane_<k> groups found")
+	}
+	for i, lb := range labels {
+		if lb < 0 {
+			return nil, 0, fmt.Errorf("def: gate %s not assigned to any plane group", c.Gates[i].Name)
+		}
+	}
+	return labels, maxPlane + 1, nil
+}

@@ -1,0 +1,199 @@
+package def
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/place"
+)
+
+func placedFixture(t *testing.T) (*netlist.Circuit, []int, *place.Placement) {
+	t.Helper()
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Build(c, 4, res.Labels, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res.Labels, pl
+}
+
+func TestWritePlacedRoundTrip(t *testing.T) {
+	c, labels, pl := placedFixture(t)
+	var buf bytes.Buffer
+	if err := WritePlaced(&buf, c, pl); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+
+	// The netlist itself must still round-trip through the plain parser.
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ToCircuit(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumGates() != c.NumGates() || got.NumEdges() != c.NumEdges() {
+		t.Fatalf("netlist lost: %d/%d gates, %d/%d edges",
+			got.NumGates(), c.NumGates(), got.NumEdges(), c.NumEdges())
+	}
+
+	// Regions and groups must recover the partition exactly.
+	regions, groups, err := ParseRegionsGroups(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 4 || len(groups) != 4 {
+		t.Fatalf("%d regions, %d groups; want 4 each", len(regions), len(groups))
+	}
+	for _, r := range regions {
+		if !r.Fence {
+			t.Errorf("region %s not a FENCE", r.Name)
+		}
+		if r.X1 <= r.X0 || r.Y1 <= r.Y0 {
+			t.Errorf("region %s degenerate: %+v", r.Name, r)
+		}
+	}
+	recovered, k, err := LabelsFromGroups(c, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Fatalf("recovered K = %d", k)
+	}
+	for i := range labels {
+		if recovered[i] != labels[i] {
+			t.Fatalf("gate %d: recovered plane %d, want %d", i, recovered[i], labels[i])
+		}
+	}
+}
+
+func TestRegionsMatchBands(t *testing.T) {
+	c, _, pl := placedFixture(t)
+	var buf bytes.Buffer
+	if err := WritePlaced(&buf, c, pl); err != nil {
+		t.Fatal(err)
+	}
+	regions, _, err := ParseRegionsGroups(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions stack bottom-to-top like the bands.
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Y0 != regions[i-1].Y1 {
+			t.Errorf("region %d not adjacent to %d: %d vs %d",
+				i, i-1, regions[i].Y0, regions[i-1].Y1)
+		}
+	}
+	if regions[0].Y0 != 0 {
+		t.Errorf("first region starts at %d", regions[0].Y0)
+	}
+}
+
+func TestLabelsFromGroupsErrors(t *testing.T) {
+	c, _, _ := placedFixture(t)
+	t.Run("unknown component", func(t *testing.T) {
+		groups := []Group{{Name: "plane_1", Components: []string{"ghost"}}}
+		if _, _, err := LabelsFromGroups(c, groups); err == nil {
+			t.Error("unknown component accepted")
+		}
+	})
+	t.Run("duplicate assignment", func(t *testing.T) {
+		name := c.Gates[0].Name
+		groups := []Group{
+			{Name: "plane_1", Components: []string{name}},
+			{Name: "plane_2", Components: []string{name}},
+		}
+		if _, _, err := LabelsFromGroups(c, groups); err == nil {
+			t.Error("duplicate assignment accepted")
+		}
+	})
+	t.Run("no plane groups", func(t *testing.T) {
+		if _, _, err := LabelsFromGroups(c, []Group{{Name: "misc"}}); err == nil {
+			t.Error("missing plane groups accepted")
+		}
+	})
+	t.Run("unassigned gate", func(t *testing.T) {
+		groups := []Group{{Name: "plane_1", Components: []string{c.Gates[0].Name}}}
+		if _, _, err := LabelsFromGroups(c, groups); err == nil {
+			t.Error("partial assignment accepted")
+		}
+	})
+}
+
+func TestParseRegionsGroupsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"eof in regions", "REGIONS 1 ;\n- r ( 0 0 ) ( 1 1 ) + TYPE FENCE ;\n"},
+		{"bad region lead", "REGIONS 1 ;\nx r ;\nEND REGIONS\n"},
+		{"few coords", "REGIONS 1 ;\n- r ( 0 0 ) ;\nEND REGIONS\n"},
+		{"eof in groups", "GROUPS 1 ;\n- g a b ;\n"},
+		{"bad group lead", "GROUPS 1 ;\nx g ;\nEND GROUPS\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ParseRegionsGroups(strings.NewReader(tc.src)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestWritePlacedRejectsMismatch(t *testing.T) {
+	c, _, pl := placedFixture(t)
+	other, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlaced(&bytes.Buffer{}, other, pl); err == nil {
+		t.Error("mismatched placement accepted")
+	}
+	_ = c
+}
+
+func TestWritePlacedEmitsBiasSpecialNets(t *testing.T) {
+	c, _, pl := placedFixture(t)
+	var buf bytes.Buffer
+	if err := WritePlaced(&buf, c, pl); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	if !strings.Contains(src, "SPECIALNETS 5 ;") {
+		t.Errorf("SPECIALNETS header missing (K=4 planes + supply)")
+	}
+	for k := 1; k <= 4; k++ {
+		if !strings.Contains(src, "- bias_gp"+string(rune('0'+k))) {
+			t.Errorf("bias net for plane %d missing", k)
+		}
+	}
+	if !strings.Contains(src, "- bias_supply + USE POWER ;") {
+		t.Error("supply net missing")
+	}
+	// The plain parser must still read the rest of the design (it skips
+	// the SPECIALNETS section).
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Components) != c.NumGates() {
+		t.Errorf("components lost: %d vs %d", len(d.Components), c.NumGates())
+	}
+}

@@ -1,0 +1,99 @@
+package def
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+)
+
+// randomMappedCircuit builds a random SFQ-legal circuit using library
+// cells: a layered chain with extra forward edges into free input pins.
+func randomMappedCircuit(seed int64, n int) (*netlist.Circuit, error) {
+	rng := rand.New(rand.NewSource(seed))
+	lib := cellib.Default()
+	b := netlist.NewBuilder("rand", lib)
+	kinds := []cellib.Kind{cellib.KindDFF, cellib.KindBuffer, cellib.KindSplit, cellib.KindAND}
+	ids := make([]netlist.GateID, 0, n)
+	ids = append(ids, b.AddCell("src", cellib.KindDCSFQ))
+	for i := 1; i < n; i++ {
+		ids = append(ids, b.AddCell("g"+itoa(i), kinds[rng.Intn(len(kinds))]))
+		b.Connect(ids[rng.Intn(i)], ids[i])
+	}
+	// A few extra edges.
+	for i := 0; i < n/3; i++ {
+		a := rng.Intn(n - 1)
+		c := a + 1 + rng.Intn(n-a-1)
+		b.Connect(ids[a], ids[c])
+	}
+	return b.Build()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// TestRoundTripProperty: arbitrary library-cell circuits survive the
+// write→parse→rebuild cycle with the exact multiset of edges, totals, and
+// component count.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%80) + 5
+		orig, err := randomMappedCircuit(seed, n)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, orig, nil); err != nil {
+			return false
+		}
+		d, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := ToCircuit(d, nil)
+		if err != nil {
+			return false
+		}
+		if got.NumGates() != orig.NumGates() || got.NumEdges() != orig.NumEdges() {
+			return false
+		}
+		if got.TotalBias() != orig.TotalBias() || got.TotalArea() != orig.TotalArea() {
+			return false
+		}
+		a := edgeKeys(orig)
+		b := edgeKeys(got)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func edgeKeys(c *netlist.Circuit) []string {
+	keys := make([]string, 0, c.NumEdges())
+	for _, e := range c.Edges {
+		keys = append(keys, c.Gates[e.From].Name+">"+c.Gates[e.To].Name)
+	}
+	sort.Strings(keys)
+	return keys
+}

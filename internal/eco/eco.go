@@ -1,0 +1,187 @@
+// Package eco implements incremental repartitioning for engineering
+// change orders: when a partitioned design grows by a few cells (buffer
+// insertion, coupler retiming, late logic fixes), rerunning the full
+// gradient descent both wastes time and — worse for a physical design
+// already being laid out — can move every gate. Extend instead keeps the
+// existing assignment, places each new gate on the plane that minimizes
+// the paper's discrete objective, and runs a move-based cleanup restricted
+// to the neighborhood the edit touched.
+package eco
+
+import (
+	"fmt"
+
+	"gpp/internal/partition"
+)
+
+// Options configures Extend.
+type Options struct {
+	// Coeffs weight the discrete objective; zero value uses the defaults.
+	Coeffs partition.Coeffs
+	// LocalPasses bounds the neighborhood cleanup sweeps (default 4;
+	// 0 keeps the pure greedy insertion).
+	LocalPasses int
+	localSet    bool
+}
+
+// WithoutCleanup disables the local refinement pass.
+func (o Options) WithoutCleanup() Options {
+	o.LocalPasses = 0
+	o.localSet = true
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	if o.Coeffs == (partition.Coeffs{}) {
+		o.Coeffs = partition.DefaultCoeffs()
+	}
+	if o.LocalPasses == 0 && !o.localSet {
+		o.LocalPasses = 4
+	}
+	return o
+}
+
+// Result reports the incremental assignment.
+type Result struct {
+	// Labels covers all p.G gates (old labels preserved unless the
+	// cleanup moved them).
+	Labels []int
+	// Inserted is the number of newly assigned gates; Adjusted counts old
+	// gates moved by the cleanup.
+	Inserted int
+	Adjusted int
+}
+
+// Extend assigns the gates of p beyond len(oldLabels) into the existing
+// partition. The problem's first len(oldLabels) gates must be the old
+// design's gates in their original order (the usual shape of an appended
+// netlist edit).
+func Extend(p *partition.Problem, oldLabels []int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	oldG := len(oldLabels)
+	if oldG == 0 {
+		return nil, fmt.Errorf("eco: empty base assignment")
+	}
+	if oldG > p.G {
+		return nil, fmt.Errorf("eco: base assignment has %d gates, problem only %d", oldG, p.G)
+	}
+	labels := make([]int, p.G)
+	for i, lb := range oldLabels {
+		if lb < 0 || lb >= p.K {
+			return nil, fmt.Errorf("eco: base label %d of gate %d outside [0,%d)", lb, i, p.K)
+		}
+		labels[i] = lb
+	}
+	for i := oldG; i < p.G; i++ {
+		labels[i] = -1
+	}
+
+	adj := make([][]int32, p.G)
+	for _, e := range p.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	bk, ak := make([]float64, p.K), make([]float64, p.K)
+	for i := 0; i < oldG; i++ {
+		bk[labels[i]] += p.Bias[i]
+		ak[labels[i]] += p.Area[i]
+	}
+	pow4 := func(x float64) float64 { x *= x; return x * x }
+	c := opts.Coeffs
+
+	// insertionCost of placing unassigned gate i on plane to, counting
+	// only edges to already-assigned neighbors.
+	insertionCost := func(i, to int) float64 {
+		var wire float64
+		for _, j := range adj[i] {
+			if labels[j] < 0 {
+				continue
+			}
+			wire += pow4(float64(to - labels[j]))
+		}
+		d1 := c.C1 * wire / p.N1
+		bq := bk[to] - p.MeanBias
+		bi := p.Bias[i]
+		d2 := c.C2 * ((bq+bi)*(bq+bi) - bq*bq) / (float64(p.K) * p.N2)
+		aq := ak[to] - p.MeanArea
+		ai := p.Area[i]
+		d3 := c.C3 * ((aq+ai)*(aq+ai) - aq*aq) / (float64(p.K) * p.N3)
+		return d1 + d2 + d3
+	}
+
+	res := &Result{}
+	for i := oldG; i < p.G; i++ {
+		best, bestCost := 0, insertionCost(i, 0)
+		for k := 1; k < p.K; k++ {
+			if cost := insertionCost(i, k); cost < bestCost {
+				best, bestCost = k, cost
+			}
+		}
+		labels[i] = best
+		bk[best] += p.Bias[i]
+		ak[best] += p.Area[i]
+		res.Inserted++
+	}
+
+	// Neighborhood cleanup: the touched set is the new gates plus their
+	// direct neighbors; sweep single-gate moves over it.
+	if opts.LocalPasses > 0 {
+		touched := make(map[int]bool)
+		for i := oldG; i < p.G; i++ {
+			touched[i] = true
+			for _, j := range adj[i] {
+				touched[int(j)] = true
+			}
+		}
+		order := make([]int, 0, len(touched))
+		for i := 0; i < p.G; i++ {
+			if touched[i] {
+				order = append(order, i)
+			}
+		}
+		for pass := 0; pass < opts.LocalPasses; pass++ {
+			moves := 0
+			for _, i := range order {
+				from := labels[i]
+				bi, ai := p.Bias[i], p.Area[i]
+				bestDelta, bestTo := 0.0, -1
+				for to := 0; to < p.K; to++ {
+					if to == from {
+						continue
+					}
+					var dWire float64
+					for _, j := range adj[i] {
+						lj := float64(labels[j])
+						dWire += pow4(float64(to)-lj) - pow4(float64(from)-lj)
+					}
+					d1 := c.C1 * dWire / p.N1
+					bp := bk[from] - p.MeanBias
+					bq := bk[to] - p.MeanBias
+					d2 := c.C2 * ((bp-bi)*(bp-bi) + (bq+bi)*(bq+bi) - bp*bp - bq*bq) / (float64(p.K) * p.N2)
+					ap := ak[from] - p.MeanArea
+					aq := ak[to] - p.MeanArea
+					d3 := c.C3 * ((ap-ai)*(ap-ai) + (aq+ai)*(aq+ai) - ap*ap - aq*aq) / (float64(p.K) * p.N3)
+					if delta := d1 + d2 + d3; delta < bestDelta-1e-15 {
+						bestDelta, bestTo = delta, to
+					}
+				}
+				if bestTo >= 0 {
+					bk[from] -= bi
+					ak[from] -= ai
+					bk[bestTo] += bi
+					ak[bestTo] += ai
+					labels[i] = bestTo
+					moves++
+					if i < oldG {
+						res.Adjusted++
+					}
+				}
+			}
+			if moves == 0 {
+				break
+			}
+		}
+	}
+	res.Labels = labels
+	return res, nil
+}

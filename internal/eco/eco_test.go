@@ -1,0 +1,185 @@
+package eco
+
+import (
+	"testing"
+
+	"gpp/internal/cellib"
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+)
+
+// grownCircuit partitions a benchmark, then appends a chain of new cells
+// hanging off an existing gate, returning the extended problem and the
+// base labels.
+func grownCircuit(t *testing.T, name string, k, extra int) (*partition.Problem, []int, int) {
+	t.Helper()
+	c, err := gen.Benchmark(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldG := c.NumGates()
+
+	// Append a DFF chain driven by the last gate with an output.
+	lib := cellib.Default()
+	grown := c.Clone()
+	dff, _ := lib.ByKind(cellib.KindDFF)
+	prev := netlist.GateID(0)
+	for i := 0; i < extra; i++ {
+		id := netlist.GateID(len(grown.Gates))
+		grown.Gates = append(grown.Gates, netlist.Gate{
+			ID: id, Name: "eco_ff" + itoa(i), Cell: dff.Name, Bias: dff.Bias, Area: dff.Area(),
+		})
+		grown.Edges = append(grown.Edges, netlist.Edge{From: prev, To: id})
+		prev = id
+	}
+	if err := grown.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := partition.FromCircuit(grown, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p2, res.Labels, oldG
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+func TestExtendBasicContract(t *testing.T) {
+	p2, base, oldG := grownCircuit(t, "KSA8", 5, 25)
+	res, err := Extend(p2, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != p2.G {
+		t.Fatalf("%d labels for %d gates", len(res.Labels), p2.G)
+	}
+	if res.Inserted != 25 {
+		t.Errorf("Inserted = %d, want 25", res.Inserted)
+	}
+	for i, lb := range res.Labels {
+		if lb < 0 || lb >= p2.K {
+			t.Fatalf("label[%d] = %d", i, lb)
+		}
+	}
+	m, err := recycle.Evaluate(p2, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BalanceCheck(); err != nil {
+		t.Fatal(err)
+	}
+	_ = oldG
+}
+
+func TestExtendStability(t *testing.T) {
+	// The whole point of ECO: most old gates keep their plane.
+	p2, base, oldG := grownCircuit(t, "KSA8", 5, 15)
+	res, err := Extend(p2, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < oldG; i++ {
+		if res.Labels[i] != base[i] {
+			moved++
+		}
+	}
+	if moved != res.Adjusted {
+		t.Errorf("Adjusted = %d but %d old gates moved", res.Adjusted, moved)
+	}
+	if moved > oldG/10 {
+		t.Errorf("ECO moved %d of %d old gates (> 10%%)", moved, oldG)
+	}
+}
+
+func TestExtendWithoutCleanupPreservesOldLabelsExactly(t *testing.T) {
+	p2, base, oldG := grownCircuit(t, "KSA4", 4, 10)
+	res, err := Extend(p2, base, Options{}.WithoutCleanup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < oldG; i++ {
+		if res.Labels[i] != base[i] {
+			t.Fatalf("gate %d moved without cleanup", i)
+		}
+	}
+	if res.Adjusted != 0 {
+		t.Errorf("Adjusted = %d without cleanup", res.Adjusted)
+	}
+}
+
+func TestExtendQualityReasonable(t *testing.T) {
+	// The incremental result must not be dramatically worse than a full
+	// re-solve of the grown problem on the discrete objective.
+	p2, base, _ := grownCircuit(t, "KSA8", 5, 30)
+	res, err := Extend(p2, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := partition.DefaultCoeffs()
+	ecoCost := p2.DiscreteCost(res.Labels, c).Total
+
+	full, err := p2.Solve(partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCost := p2.DiscreteCost(full.Labels, c).Total
+	// Allow a generous factor; the win is stability and speed, not cost.
+	if ecoCost > 3*fullCost+0.05 {
+		t.Errorf("incremental cost %g far above full re-solve %g", ecoCost, fullCost)
+	}
+}
+
+func TestExtendErrors(t *testing.T) {
+	p2, base, _ := grownCircuit(t, "KSA4", 4, 5)
+	if _, err := Extend(p2, nil, Options{}); err == nil {
+		t.Error("empty base accepted")
+	}
+	tooLong := make([]int, p2.G+1)
+	if _, err := Extend(p2, tooLong, Options{}); err == nil {
+		t.Error("oversized base accepted")
+	}
+	bad := append([]int(nil), base...)
+	bad[0] = 99
+	if _, err := Extend(p2, bad, Options{}); err == nil {
+		t.Error("out-of-range base label accepted")
+	}
+}
+
+func TestExtendNoNewGates(t *testing.T) {
+	// Degenerate edit: base covers the whole problem; Extend is a no-op
+	// insertion plus optional cleanup.
+	p2, base, oldG := grownCircuit(t, "KSA4", 4, 1)
+	full := append([]int(nil), base...)
+	full = append(full, 0) // label the single new gate manually
+	res, err := Extend(p2, full, Options{}.WithoutCleanup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 0 {
+		t.Errorf("Inserted = %d, want 0", res.Inserted)
+	}
+	_ = oldG
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpp/internal/baseline"
+	"gpp/internal/gen"
+	"gpp/internal/multilevel"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+)
+
+// MethodResult scores one partitioning method on one circuit.
+type MethodResult struct {
+	Circuit  string
+	Method   string
+	K        int
+	DLE1Pct  float64
+	DHalfPct float64
+	ICompPct float64
+	AFSPct   float64
+	Cost     float64 // discrete objective c1F1+c2F2+c3F3 (+const F4)
+}
+
+func scoreLabels(p *partition.Problem, circuit, method string, labels []int) (MethodResult, error) {
+	m, err := recycle.Evaluate(p, labels)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	bd := p.DiscreteCost(labels, partition.DefaultCoeffs())
+	return MethodResult{
+		Circuit:  circuit,
+		Method:   method,
+		K:        p.K,
+		DLE1Pct:  m.DistLEPct(1),
+		DHalfPct: m.HalfKDistPct(),
+		ICompPct: m.ICompPct,
+		AFSPct:   m.AFreePct,
+		Cost:     bd.Total,
+	}, nil
+}
+
+// AblationBaselines compares the paper's gradient-descent algorithm against
+// the baseline partitioners on one circuit at the given K.
+func AblationBaselines(name string, k int, cfg Config) ([]MethodResult, error) {
+	cfg = cfg.withDefaults()
+	c, err := gen.Benchmark(name, cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return nil, err
+	}
+	coeffs := partition.DefaultCoeffs()
+	var out []MethodResult
+
+	res, err := p.Solve(cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	r, err := scoreLabels(p, name, "gradient-descent", res.Labels)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	refOpts := cfg.Solver
+	refOpts.Refine = true
+	resR, err := p.Solve(refOpts)
+	if err != nil {
+		return nil, err
+	}
+	r, err = scoreLabels(p, name, "gradient-descent+refine", resR.Labels)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	r, err = scoreLabels(p, name, "random", baseline.Random(p, 1))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	r, err = scoreLabels(p, name, "layered-greedy", baseline.LayeredGreedy(p))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	r, err = scoreLabels(p, name, "greedy-refine", baseline.GreedyRefine(p, coeffs, 1, 12))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	ann, err := baseline.Anneal(p, baseline.AnnealOptions{Coeffs: coeffs, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	r, err = scoreLabels(p, name, "anneal", ann)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	spec, err := baseline.Spectral(p, 300, 1)
+	if err != nil {
+		return nil, err
+	}
+	r, err = scoreLabels(p, name, "spectral", spec)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	ml, err := multilevel.Partition(p, multilevel.Options{Solver: cfg.Solver})
+	if err != nil {
+		return nil, err
+	}
+	r, err = scoreLabels(p, name, "multilevel", ml.Labels)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	return out, nil
+}
+
+// AblationGradients compares the exact and paper-literal gradient modes.
+func AblationGradients(name string, k int, cfg Config) ([]MethodResult, error) {
+	cfg = cfg.withDefaults()
+	c, err := gen.Benchmark(name, cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return nil, err
+	}
+	var out []MethodResult
+	for _, mode := range []partition.GradientMode{partition.GradientExact, partition.GradientPaper} {
+		opts := cfg.Solver
+		opts.Gradient = mode
+		res, err := p.Solve(opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gradient ablation %v: %w", mode, err)
+		}
+		r, err := scoreLabels(p, name, "gradient-"+mode.String(), res.Labels)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Convergence returns the per-iteration cost trace for one circuit.
+func Convergence(name string, k int, cfg Config) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	c, err := gen.Benchmark(name, cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.Solver
+	opts.TraceCost = true
+	res, err := p.Solve(opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.CostTrace, nil
+}

@@ -1,0 +1,253 @@
+// Package experiments regenerates the paper's evaluation: Table I
+// (benchmark suite at K = 5), Table II (KSA4 over K = 5..10), Table III
+// (partitioning under a 100 mA supply limit), plus the ablations called out
+// in DESIGN.md (gradient variants, baselines, convergence traces).
+//
+// Every runner returns structured rows so callers (cmd/gpp-bench, the
+// root-level benchmarks, EXPERIMENTS.md generation) can render or compare
+// them; PaperTableI/II/III embed the published numbers for side-by-side
+// reporting.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gpp/internal/cellib"
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+)
+
+// Config controls the experiment runs.
+type Config struct {
+	// Library defaults to cellib.Default().
+	Library *cellib.Library
+	// Solver options; zero value uses the tuned defaults. The Seed applies
+	// to every circuit.
+	Solver partition.Options
+	// Parallel runs independent per-circuit solves on all CPUs (results
+	// are identical either way — every solve is seeded).
+	Parallel bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Library == nil {
+		c.Library = cellib.Default()
+	}
+	return c
+}
+
+// Row is one partitioning result in the shape of the paper's table rows.
+type Row struct {
+	Circuit string
+	Gates   int
+	Conns   int
+	K       int
+
+	DLE1Pct  float64 // % connections with d ≤ 1
+	DLE2Pct  float64 // % connections with d ≤ 2
+	DHalfPct float64 // % connections with d ≤ ⌊K/2⌋
+
+	BCir     float64 // mA
+	BMax     float64 // mA
+	ICompPct float64 // %
+	ACir     float64 // mm²
+	AMax     float64 // mm²
+	AFSPct   float64 // %
+
+	Iters     int
+	Converged bool
+}
+
+func runOne(c *netlist.Circuit, k int, cfg Config) (Row, error) {
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return Row{}, err
+	}
+	res, err := p.Solve(cfg.Solver)
+	if err != nil {
+		return Row{}, err
+	}
+	m, err := recycle.Evaluate(p, res.Labels)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Circuit:   c.Name,
+		Gates:     c.NumGates(),
+		Conns:     c.NumEdges(),
+		K:         k,
+		DLE1Pct:   m.DistLEPct(1),
+		DLE2Pct:   m.DistLEPct(2),
+		DHalfPct:  m.HalfKDistPct(),
+		BCir:      m.TotalBias,
+		BMax:      m.BMax,
+		ICompPct:  m.ICompPct,
+		ACir:      m.TotalArea,
+		AMax:      m.AMax,
+		AFSPct:    m.AFreePct,
+		Iters:     res.Iters,
+		Converged: res.Converged,
+	}, nil
+}
+
+// TableI partitions the full benchmark suite with K = 5.
+func TableI(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	suite, err := gen.Suite(cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(suite))
+	err = forEach(cfg.Parallel, len(suite), func(i int) error {
+		r, err := runOne(suite[i], 5, cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: table I %s: %w", suite[i].Name, err)
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// forEach runs fn(0..n-1), in parallel across CPUs when requested. The
+// first error wins; all workers run to completion either way.
+func forEach(parallel bool, n int, fn func(i int) error) error {
+	if !parallel || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// TableII partitions KSA4 for K = 5..10.
+func TableII(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	c, err := gen.Benchmark("KSA4", cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, 6)
+	for k := 5; k <= 10; k++ {
+		r, err := runOne(c, k, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table II K=%d: %w", k, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// TableIIIRow extends Row with the supply-limit search outcome.
+type TableIIIRow struct {
+	Row
+	KLB  int // ⌈B_cir / limit⌉, the lower bound on K
+	KRes int // smallest K for which the partition meets the limit
+}
+
+// TableIII reproduces the 100 mA supply-limit experiment: for each circuit
+// of the suite except KSA4 (whose B_cir is already below the limit), the
+// plane count is searched upward from K_LB = ⌈B_cir/limit⌉ until the
+// partition's B_max is within the limit.
+func TableIII(cfg Config, limitMA float64) ([]TableIIIRow, error) {
+	cfg = cfg.withDefaults()
+	if limitMA <= 0 {
+		limitMA = 100
+	}
+	names := make([]string, 0, len(gen.BenchmarkNames)-1)
+	for _, name := range gen.BenchmarkNames {
+		if name != "KSA4" {
+			names = append(names, name)
+		}
+	}
+	rows := make([]TableIIIRow, len(names))
+	err := forEach(cfg.Parallel, len(names), func(i int) error {
+		c, err := gen.Benchmark(names[i], cfg.Library)
+		if err != nil {
+			return err
+		}
+		row, err := CurrentLimitSearch(c, limitMA, cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: table III %s: %w", names[i], err)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// CurrentLimitSearch finds the smallest K ≥ ⌈B_cir/limit⌉ whose partition
+// has B_max ≤ limit and returns that partition's row. The search gives up
+// (with an error) after 4·K_LB + 16 attempts — the paper's own results show
+// K_res can exceed K_LB by ~55% on the hardest circuits, so the cap is
+// generous.
+func CurrentLimitSearch(c *netlist.Circuit, limitMA float64, cfg Config) (TableIIIRow, error) {
+	cfg = cfg.withDefaults()
+	totalBias := c.TotalBias()
+	if totalBias <= limitMA {
+		return TableIIIRow{}, fmt.Errorf("experiments: circuit %s needs only %.2f mA, below the %g mA limit (no partition required)",
+			c.Name, totalBias, limitMA)
+	}
+	klb := int((totalBias + limitMA - 1e-9) / limitMA)
+	if float64(klb)*limitMA < totalBias {
+		klb++
+	}
+	if klb < 2 {
+		klb = 2
+	}
+	maxK := 4*klb + 16
+	for k := klb; k <= maxK; k++ {
+		if k > c.NumGates() {
+			break
+		}
+		r, err := runOne(c, k, cfg)
+		if err != nil {
+			return TableIIIRow{}, err
+		}
+		if r.BMax <= limitMA {
+			return TableIIIRow{Row: r, KLB: klb, KRes: k}, nil
+		}
+	}
+	return TableIIIRow{}, fmt.Errorf("experiments: %s: no K in [%d, %d] meets the %g mA limit", c.Name, klb, maxK, limitMA)
+}

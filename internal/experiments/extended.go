@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"gpp/internal/gen"
+	"gpp/internal/partition"
+	"gpp/internal/place"
+	"gpp/internal/power"
+	"gpp/internal/recycle"
+	"gpp/internal/route"
+	"gpp/internal/timing"
+)
+
+// FreqPenaltyRow quantifies the operating-frequency cost of partitioning —
+// the effect the paper's Section III-B.3 warns about qualitatively.
+type FreqPenaltyRow struct {
+	Circuit        string
+	K              int
+	BaseFreqGHz    float64
+	PartFreqGHz    float64
+	FreqRatio      float64
+	AddedLatencyPS float64
+	Crossings      int
+}
+
+// FrequencyPenalty sweeps K and reports the partitioned circuit's maximum
+// operating frequency versus the unpartitioned baseline.
+func FrequencyPenalty(name string, ks []int, cfg Config) ([]FreqPenaltyRow, error) {
+	cfg = cfg.withDefaults()
+	c, err := gen.Benchmark(name, cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FreqPenaltyRow, 0, len(ks))
+	for _, k := range ks {
+		p, err := partition.FromCircuit(c, k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Solve(cfg.Solver)
+		if err != nil {
+			return nil, err
+		}
+		pen, err := timing.ComparePartition(c, res.Labels, timing.Options{Library: cfg.Library})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FreqPenaltyRow{
+			Circuit:        name,
+			K:              k,
+			BaseFreqGHz:    pen.Base.MaxFreqGHz,
+			PartFreqGHz:    pen.Partitioned.MaxFreqGHz,
+			FreqRatio:      pen.FreqRatio,
+			AddedLatencyPS: pen.AddedLatencyPS,
+			Crossings:      pen.Partitioned.CouplerCrossings,
+		})
+	}
+	return rows, nil
+}
+
+// PowerRow is the recycled-vs-parallel power comparison for one circuit.
+type PowerRow struct {
+	Circuit           string
+	K                 int
+	ParallelSupplyA   float64
+	RecycledSupplyA   float64
+	CurrentReduction  float64
+	LeadLossReduction float64
+	BiasLinesBefore   int
+	BiasLinesAfter    int
+}
+
+// PowerComparison partitions each named circuit at K and models the supply
+// economics (the paper's motivating argument, including the bias-pad count
+// of its closing paragraph).
+func PowerComparison(names []string, k int, padLimitMA float64, cfg Config) ([]PowerRow, error) {
+	cfg = cfg.withDefaults()
+	if padLimitMA <= 0 {
+		padLimitMA = 100
+	}
+	rows := make([]PowerRow, 0, len(names))
+	for _, name := range names {
+		c, err := gen.Benchmark(name, cfg.Library)
+		if err != nil {
+			return nil, err
+		}
+		p, err := partition.FromCircuit(c, k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Solve(cfg.Solver)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := recycle.BuildPlan(c, p, res.Labels, recycle.PlanOptions{Library: cfg.Library})
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := power.Compare(c, plan, power.Options{Scheme: power.RSFQ})
+		if err != nil {
+			return nil, err
+		}
+		before, err := power.BiasLines(c.TotalBias(), padLimitMA)
+		if err != nil {
+			return nil, err
+		}
+		after, err := power.BiasLines(plan.SupplyCurrent, padLimitMA)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PowerRow{
+			Circuit:           name,
+			K:                 k,
+			ParallelSupplyA:   cmp.Parallel.SupplyCurrentA,
+			RecycledSupplyA:   cmp.Recycled.SupplyCurrentA,
+			CurrentReduction:  cmp.CurrentReduction,
+			LeadLossReduction: cmp.LeadLossReduction,
+			BiasLinesBefore:   before,
+			BiasLinesAfter:    after,
+		})
+	}
+	return rows, nil
+}
+
+// SeedStats summarizes metric spread across solver seeds.
+type SeedStats struct {
+	Circuit string
+	K       int
+	Seeds   int
+
+	MeanDLE1, StdDLE1   float64
+	MeanIComp, StdIComp float64
+	BestCost, WorstCost float64
+}
+
+// SeedSensitivity runs the solver with `seeds` different seeds and reports
+// the spread of the headline metrics — the robustness of Algorithm 1's
+// random initialization.
+func SeedSensitivity(name string, k, seeds int, cfg Config) (*SeedStats, error) {
+	cfg = cfg.withDefaults()
+	if seeds < 2 {
+		return nil, fmt.Errorf("experiments: need ≥ 2 seeds, got %d", seeds)
+	}
+	c, err := gen.Benchmark(name, cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return nil, err
+	}
+	st := &SeedStats{Circuit: name, K: k, Seeds: seeds, BestCost: math.Inf(1), WorstCost: math.Inf(-1)}
+	d1s := make([]float64, 0, seeds)
+	ics := make([]float64, 0, seeds)
+	coeffs := cfg.Solver.Coeffs
+	if coeffs == (partition.Coeffs{}) {
+		coeffs = partition.DefaultCoeffs()
+	}
+	for s := 0; s < seeds; s++ {
+		o := cfg.Solver
+		o.Seed = int64(s + 1)
+		res, err := p.Solve(o)
+		if err != nil {
+			return nil, err
+		}
+		m, err := recycle.Evaluate(p, res.Labels)
+		if err != nil {
+			return nil, err
+		}
+		d1s = append(d1s, m.DistLEPct(1))
+		ics = append(ics, m.ICompPct)
+		cost := p.DiscreteCost(res.Labels, coeffs).Total
+		if cost < st.BestCost {
+			st.BestCost = cost
+		}
+		if cost > st.WorstCost {
+			st.WorstCost = cost
+		}
+	}
+	st.MeanDLE1, st.StdDLE1 = meanStd(d1s)
+	st.MeanIComp, st.StdIComp = meanStd(ics)
+	return st, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// RoundingRow compares the argmax snap of Algorithm 1 against the
+// capacity-aware balanced rounding extension.
+type RoundingRow struct {
+	Circuit  string
+	K        int
+	Method   string
+	DLE1Pct  float64
+	BMax     float64
+	ICompPct float64
+}
+
+// AblationRounding compares plain argmax snapping, balanced rounding, and
+// balanced rounding + refinement on one circuit.
+func AblationRounding(name string, k int, slack float64, cfg Config) ([]RoundingRow, error) {
+	cfg = cfg.withDefaults()
+	c, err := gen.Benchmark(name, cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return nil, err
+	}
+	score := func(method string, labels []int) (RoundingRow, error) {
+		m, err := recycle.Evaluate(p, labels)
+		if err != nil {
+			return RoundingRow{}, err
+		}
+		return RoundingRow{
+			Circuit: name, K: k, Method: method,
+			DLE1Pct: m.DistLEPct(1), BMax: m.BMax, ICompPct: m.ICompPct,
+		}, nil
+	}
+	var rows []RoundingRow
+	res, err := p.Solve(cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	r, err := score("argmax", res.Labels)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	bal, err := p.SolveBalanced(cfg.Solver, slack)
+	if err != nil {
+		return nil, err
+	}
+	r, err = score("balanced", bal.Labels)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	refOpts := cfg.Solver
+	refOpts.Refine = true
+	balRef, err := p.SolveBalanced(refOpts, slack)
+	if err != nil {
+		return nil, err
+	}
+	r, err = score("balanced+refine", balRef.Labels)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	return rows, nil
+}
+
+// CongestionRow reports boundary-channel routing congestion for one K.
+type CongestionRow struct {
+	Circuit     string
+	K           int
+	MaxTracks   int
+	TotalWireMM float64
+	Crossings   int
+}
+
+// Congestion sweeps K and measures the channel-routing cost of the
+// partition on the banded placement: the tallest boundary channel (in
+// tracks) and the total horizontal channel wirelength — the physical area
+// cost the paper's distance⁴ term controls by proxy.
+func Congestion(name string, ks []int, cfg Config) ([]CongestionRow, error) {
+	cfg = cfg.withDefaults()
+	c, err := gen.Benchmark(name, cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CongestionRow, 0, len(ks))
+	for _, k := range ks {
+		p, err := partition.FromCircuit(c, k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Solve(cfg.Solver)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := place.Build(c, k, res.Labels, place.Options{Library: cfg.Library})
+		if err != nil {
+			return nil, err
+		}
+		rt, err := route.Build(c, res.Labels, pl)
+		if err != nil {
+			return nil, err
+		}
+		m, err := recycle.Evaluate(p, res.Labels)
+		if err != nil {
+			return nil, err
+		}
+		crossings, _ := m.CrossingCount()
+		rows = append(rows, CongestionRow{
+			Circuit: name, K: k,
+			MaxTracks: rt.MaxTracks, TotalWireMM: rt.TotalWireMM, Crossings: crossings,
+		})
+	}
+	return rows, nil
+}

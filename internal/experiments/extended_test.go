@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFrequencyPenaltyMonotoneInK(t *testing.T) {
+	rows, err := FrequencyPenalty("KSA8", []int{2, 5, 8}, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FreqRatio <= 0 || r.FreqRatio > 1 {
+			t.Errorf("K=%d frequency ratio %g outside (0,1]", r.K, r.FreqRatio)
+		}
+		if r.BaseFreqGHz <= 0 {
+			t.Errorf("K=%d base frequency %g", r.K, r.BaseFreqGHz)
+		}
+		if r.PartFreqGHz > r.BaseFreqGHz {
+			t.Errorf("K=%d partitioned faster than base", r.K)
+		}
+		if r.AddedLatencyPS < 0 {
+			t.Errorf("K=%d negative added latency", r.K)
+		}
+	}
+	// The base frequency is K-independent.
+	if rows[0].BaseFreqGHz != rows[2].BaseFreqGHz {
+		t.Error("base frequency varies with K")
+	}
+	// More planes ⇒ at least as many crossings (loose monotonicity: allow
+	// equality, fail only on a strict decrease by more than 20%).
+	if float64(rows[2].Crossings) < 0.8*float64(rows[0].Crossings) {
+		t.Errorf("crossings fell sharply with K: %d → %d", rows[0].Crossings, rows[2].Crossings)
+	}
+}
+
+func TestPowerComparisonShowsSavings(t *testing.T) {
+	rows, err := PowerComparison([]string{"KSA8", "KSA16"}, 5, 100, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CurrentReduction <= 1 {
+			t.Errorf("%s: no current reduction (%.2f)", r.Circuit, r.CurrentReduction)
+		}
+		if r.LeadLossReduction <= r.CurrentReduction {
+			t.Errorf("%s: lead loss reduction %.2f not superlinear vs %.2f",
+				r.Circuit, r.LeadLossReduction, r.CurrentReduction)
+		}
+		if r.BiasLinesAfter > r.BiasLinesBefore {
+			t.Errorf("%s: recycling increased bias lines %d → %d",
+				r.Circuit, r.BiasLinesBefore, r.BiasLinesAfter)
+		}
+		if r.RecycledSupplyA >= r.ParallelSupplyA {
+			t.Errorf("%s: recycled supply not smaller", r.Circuit)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	st, err := SeedSensitivity("KSA4", 5, 4, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seeds != 4 {
+		t.Errorf("seeds = %d", st.Seeds)
+	}
+	if st.MeanDLE1 <= 0 || st.MeanDLE1 > 100 {
+		t.Errorf("mean d≤1 = %g", st.MeanDLE1)
+	}
+	if st.StdDLE1 < 0 || st.StdIComp < 0 {
+		t.Error("negative standard deviation")
+	}
+	if st.BestCost > st.WorstCost {
+		t.Errorf("best cost %g above worst %g", st.BestCost, st.WorstCost)
+	}
+}
+
+func TestSeedSensitivityValidation(t *testing.T) {
+	if _, err := SeedSensitivity("KSA4", 5, 1, fastConfig()); err == nil {
+		t.Error("single seed accepted")
+	}
+}
+
+func TestAblationRoundingBoundsBMax(t *testing.T) {
+	rows, err := AblationRounding("KSA8", 5, 0.05, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]RoundingRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	arg, ok1 := byMethod["argmax"]
+	bal, ok2 := byMethod["balanced"]
+	if !ok1 || !ok2 {
+		t.Fatalf("methods missing: %v", rows)
+	}
+	if bal.BMax > arg.BMax+1e-9 {
+		t.Errorf("balanced rounding B_max %.3f worse than argmax %.3f", bal.BMax, arg.BMax)
+	}
+	if bal.ICompPct > arg.ICompPct+1e-9 {
+		t.Errorf("balanced rounding I_comp %.2f%% worse than argmax %.2f%%", bal.ICompPct, arg.ICompPct)
+	}
+}
+
+func TestAdderTopologies(t *testing.T) {
+	rows, err := AdderTopologies(16, 5, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]TopologyRow{}
+	for _, r := range rows {
+		byName[r.Topology] = r
+		if r.DLE1Pct <= 0 || r.DLE1Pct > 100 {
+			t.Errorf("%s: d≤1 = %g", r.Topology, r.DLE1Pct)
+		}
+		if r.Gates <= 0 || r.Conns <= r.Gates/2 {
+			t.Errorf("%s: implausible size %d/%d", r.Topology, r.Gates, r.Conns)
+		}
+	}
+	// Ripple is the deepest topology, Sklansky/Kogge-Stone the shallowest.
+	if byName["ripple"].Depth <= byName["sklansky"].Depth {
+		t.Errorf("ripple depth %d not above sklansky %d",
+			byName["ripple"].Depth, byName["sklansky"].Depth)
+	}
+	// The near-1D ripple chain must partition at least as well on the
+	// locality metric as the long-wire Sklansky network.
+	if byName["ripple"].DLE1Pct < byName["sklansky"].DLE1Pct-3 {
+		t.Errorf("ripple d≤1 %.1f%% unexpectedly below sklansky %.1f%%",
+			byName["ripple"].DLE1Pct, byName["sklansky"].DLE1Pct)
+	}
+}
+
+func TestTuneCoefficients(t *testing.T) {
+	opts := TuneOptions{
+		C1Grid:   []float64{1, 4},
+		C2Grid:   []float64{0.5},
+		C4Grid:   []float64{1},
+		MaxIters: 300,
+	}
+	all, best, err := TuneCoefficients("KSA4", 5, opts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("%d candidates, want 2", len(all))
+	}
+	for _, r := range all {
+		if r.Score < best.Score {
+			t.Errorf("candidate %+v beats reported best %+v", r, best)
+		}
+		if r.Score <= 0 || r.DLE1Pct <= 0 {
+			t.Errorf("implausible candidate %+v", r)
+		}
+	}
+	// The best candidate's coefficients must come from the grid.
+	if best.Coeffs.C1 != 1 && best.Coeffs.C1 != 4 {
+		t.Errorf("best C1 = %g not from grid", best.Coeffs.C1)
+	}
+	if best.Coeffs.C3 != best.Coeffs.C2 {
+		t.Error("C3 should track C2")
+	}
+}
+
+func TestKSweep(t *testing.T) {
+	pts, err := KSweep([]string{"KSA4", "KSA8"}, []int{3, 5}, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points, want 4", len(pts))
+	}
+	// Circuit-major order.
+	if pts[0].Circuit != "KSA4" || pts[0].K != 3 || pts[3].Circuit != "KSA8" || pts[3].K != 5 {
+		t.Errorf("ordering wrong: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.DLE1Pct <= 0 || p.BMax <= 0 {
+			t.Errorf("implausible point %+v", p)
+		}
+	}
+	// B_max falls as K grows for the same circuit.
+	if pts[1].BMax >= pts[0].BMax {
+		t.Errorf("KSA4 B_max did not fall: K=3 %.2f → K=5 %.2f", pts[0].BMax, pts[1].BMax)
+	}
+	if _, err := KSweep(nil, []int{3}, fastConfig()); err == nil {
+		t.Error("empty circuit list accepted")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// Parallel execution must not change results: every solve is seeded
+	// per circuit, so Table II rows (cheap) computed through the parallel
+	// sweep path equal the serial ones.
+	serial := fastConfig()
+	parallel := fastConfig()
+	parallel.Parallel = true
+	a, err := KSweep([]string{"KSA4", "KSA8"}, []int{3, 5}, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KSweep([]string{"KSA4", "KSA8"}, []int{3, 5}, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: serial %+v vs parallel %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCongestionGrowsWithK(t *testing.T) {
+	rows, err := Congestion("KSA8", []int{2, 5}, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxTracks <= 0 || r.TotalWireMM <= 0 || r.Crossings <= 0 {
+			t.Errorf("implausible congestion row %+v", r)
+		}
+	}
+	// More planes ⇒ more crossings overall (loose check, 20% slop).
+	if float64(rows[1].Crossings) < 0.8*float64(rows[0].Crossings) {
+		t.Errorf("crossings fell with K: %d → %d", rows[0].Crossings, rows[1].Crossings)
+	}
+}
+
+func TestTuneCoefficientsDefaultGrids(t *testing.T) {
+	all, best, err := TuneCoefficients("KSA4", 4, TuneOptions{MaxIters: 120}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default grids: 4 × 3 × 3 = 36 candidates.
+	if len(all) != 36 {
+		t.Errorf("%d candidates with default grids, want 36", len(all))
+	}
+	if best.Score <= 0 {
+		t.Errorf("best score %g", best.Score)
+	}
+}

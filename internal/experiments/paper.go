@@ -1,0 +1,83 @@
+package experiments
+
+// PaperRow holds the published numbers for one benchmark row, used for
+// side-by-side paper-vs-measured reporting in EXPERIMENTS.md and
+// cmd/gpp-bench. Fields mirror Row; zero means "not reported".
+type PaperRow struct {
+	Circuit  string
+	Gates    int
+	Conns    int
+	K        int
+	DLE1Pct  float64
+	DLE2Pct  float64
+	DHalfPct float64
+	BCir     float64
+	BMax     float64
+	ICompPct float64
+	ACir     float64
+	AMax     float64
+	AFSPct   float64
+	KLB      int
+	KRes     int
+}
+
+// PaperTableI is Table I of the paper (K = 5).
+var PaperTableI = []PaperRow{
+	{Circuit: "KSA4", Gates: 93, Conns: 118, K: 5, DLE1Pct: 74.6, DLE2Pct: 97.5, BCir: 80.089, BMax: 17.50, ICompPct: 9.24, ACir: 0.4512, AMax: 0.0972, AFSPct: 7.71},
+	{Circuit: "KSA8", Gates: 252, Conns: 320, K: 5, DLE1Pct: 70.3, DLE2Pct: 94.4, BCir: 216.72, BMax: 45.27, ICompPct: 4.43, ACir: 1.2192, AMax: 0.2520, AFSPct: 3.35},
+	{Circuit: "KSA16", Gates: 650, Conns: 826, K: 5, DLE1Pct: 66.5, DLE2Pct: 88.7, BCir: 557.66, BMax: 118.09, ICompPct: 5.88, ACir: 3.1392, AMax: 0.6600, AFSPct: 5.12},
+	{Circuit: "KSA32", Gates: 1592, Conns: 2029, K: 5, DLE1Pct: 64.4, DLE2Pct: 85.9, BCir: 1362.55, BMax: 304.07, ICompPct: 11.58, ACir: 7.6800, AMax: 1.7028, AFSPct: 10.86},
+	{Circuit: "MULT4", Gates: 254, Conns: 310, K: 5, DLE1Pct: 73.2, DLE2Pct: 93.2, BCir: 222.03, BMax: 47.70, ICompPct: 7.42, ACir: 1.2192, AMax: 0.2616, AFSPct: 7.28},
+	{Circuit: "MULT8", Gates: 1374, Conns: 1678, K: 5, DLE1Pct: 63.6, DLE2Pct: 85.6, BCir: 1201.32, BMax: 256.85, ICompPct: 6.90, ACir: 6.5952, AMax: 1.4004, AFSPct: 6.17},
+	{Circuit: "ID4", Gates: 553, Conns: 678, K: 5, DLE1Pct: 71.1, DLE2Pct: 91.4, BCir: 467.00, BMax: 100.29, ICompPct: 6.69, ACir: 2.6796, AMax: 0.5700, AFSPct: 6.36},
+	{Circuit: "ID8", Gates: 3209, Conns: 3705, K: 5, DLE1Pct: 58.2, DLE2Pct: 81.6, BCir: 2783.89, BMax: 622.39, ICompPct: 11.78, ACir: 15.5400, AMax: 3.4860, AFSPct: 12.16},
+	{Circuit: "C432", Gates: 1216, Conns: 1434, K: 5, DLE1Pct: 65.0, DLE2Pct: 87.5, BCir: 1045.17, BMax: 222.31, ICompPct: 6.35, ACir: 5.9448, AMax: 1.2792, AFSPct: 7.59},
+	{Circuit: "C499", Gates: 991, Conns: 1318, K: 5, DLE1Pct: 63.5, DLE2Pct: 86.3, BCir: 834.92, BMax: 178.17, ICompPct: 6.70, ACir: 4.8060, AMax: 1.0212, AFSPct: 6.24},
+	{Circuit: "C1355", Gates: 1046, Conns: 1367, K: 5, DLE1Pct: 61.8, DLE2Pct: 85.4, BCir: 883.35, BMax: 192.41, ICompPct: 8.97, ACir: 5.0808, AMax: 1.1076, AFSPct: 9.00},
+	{Circuit: "C1908", Gates: 1695, Conns: 2095, K: 5, DLE1Pct: 60.0, DLE2Pct: 85.0, BCir: 1447.03, BMax: 328.53, ICompPct: 13.52, ACir: 8.2536, AMax: 1.8804, AFSPct: 13.91},
+	{Circuit: "C3540", Gates: 3792, Conns: 4927, K: 5, DLE1Pct: 54.0, DLE2Pct: 77.7, BCir: 3193.23, BMax: 670.01, ICompPct: 4.91, ACir: 18.5556, AMax: 3.8784, AFSPct: 4.51},
+}
+
+// PaperTableII is Table II of the paper (KSA4, K = 5..10). DHalfPct is the
+// paper's "d ≤ ⌊K/2⌋" column.
+var PaperTableII = []PaperRow{
+	{Circuit: "KSA4", K: 5, DLE1Pct: 74.6, DHalfPct: 97.5, BMax: 17.50, ICompPct: 9.24, AMax: 0.0972, AFSPct: 7.71},
+	{Circuit: "KSA4", K: 6, DLE1Pct: 64.4, DHalfPct: 94.9, BMax: 14.40, ICompPct: 7.88, AMax: 0.0840, AFSPct: 11.70},
+	{Circuit: "KSA4", K: 7, DLE1Pct: 53.4, DHalfPct: 89.8, BMax: 12.45, ICompPct: 8.79, AMax: 0.0696, AFSPct: 7.98},
+	{Circuit: "KSA4", K: 8, DLE1Pct: 45.8, DHalfPct: 95.8, BMax: 11.16, ICompPct: 11.49, AMax: 0.0648, AFSPct: 14.89},
+	{Circuit: "KSA4", K: 9, DLE1Pct: 38.1, DHalfPct: 83.9, BMax: 10.24, ICompPct: 15.12, AMax: 0.0576, AFSPct: 14.89},
+	{Circuit: "KSA4", K: 10, DLE1Pct: 38.1, DHalfPct: 90.7, BMax: 9.69, ICompPct: 21.64, AMax: 0.0552, AFSPct: 22.34},
+}
+
+// PaperTableIII is Table III of the paper (100 mA supply limit).
+var PaperTableIII = []PaperRow{
+	{Circuit: "KSA8", KLB: 3, KRes: 3, DHalfPct: 95.9, BMax: 78.31, ICompPct: 8.40, AMax: 0.4476, AFSPct: 10.14},
+	{Circuit: "KSA16", KLB: 6, KRes: 7, DHalfPct: 84.9, BMax: 93.37, ICompPct: 17.20, AMax: 0.5208, AFSPct: 16.13},
+	{Circuit: "KSA32", KLB: 14, KRes: 17, DHalfPct: 77.4, BMax: 99.98, ICompPct: 24.74, AMax: 0.5628, AFSPct: 24.58},
+	{Circuit: "MULT4", KLB: 3, KRes: 3, DHalfPct: 91.0, BMax: 79.34, ICompPct: 7.20, AMax: 0.4404, AFSPct: 8.37},
+	{Circuit: "MULT8", KLB: 13, KRes: 15, DHalfPct: 77.5, BMax: 96.78, ICompPct: 20.87, AMax: 0.5340, AFSPct: 21.45},
+	{Circuit: "ID4", KLB: 5, KRes: 6, DHalfPct: 92.6, BMax: 87.38, ICompPct: 11.55, AMax: 0.4944, AFSPct: 10.70},
+	{Circuit: "ID8", KLB: 28, KRes: 40, DHalfPct: 75.3, BMax: 99.65, ICompPct: 43.17, AMax: 0.5580, AFSPct: 43.63},
+	{Circuit: "C432", KLB: 11, KRes: 14, DHalfPct: 83.0, BMax: 87.15, ICompPct: 16.73, AMax: 0.5040, AFSPct: 18.69},
+	{Circuit: "C499", KLB: 9, KRes: 11, DHalfPct: 79.6, BMax: 91.42, ICompPct: 20.44, AMax: 0.5340, AFSPct: 22.22},
+	{Circuit: "C1355", KLB: 9, KRes: 11, DHalfPct: 80.7, BMax: 96.77, ICompPct: 20.51, AMax: 0.5628, AFSPct: 21.85},
+	{Circuit: "C1908", KLB: 15, KRes: 17, DHalfPct: 78.2, BMax: 97.78, ICompPct: 14.88, AMax: 0.5628, AFSPct: 15.92},
+	{Circuit: "C3540", KLB: 32, KRes: 50, DHalfPct: 77.1, BMax: 92.61, ICompPct: 45.01, AMax: 0.5400, AFSPct: 45.51},
+}
+
+// PaperAverages holds the headline suite averages the paper reports in the
+// text for Table I.
+var PaperAverages = struct {
+	DLE1Pct, DLE2Pct, ICompPct, AFSPct float64
+}{DLE1Pct: 65.1, DLE2Pct: 87.7, ICompPct: 8.0, AFSPct: 7.7}
+
+// FindPaperRow looks up a published row by circuit name (and K when
+// nonzero).
+func FindPaperRow(rows []PaperRow, circuit string, k int) (PaperRow, bool) {
+	for _, r := range rows {
+		if r.Circuit == circuit && (k == 0 || r.K == k) {
+			return r, true
+		}
+	}
+	return PaperRow{}, false
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+)
+
+// SweepPoint is one (circuit, K) sample of the K-scaling curves.
+type SweepPoint struct {
+	Circuit  string
+	K        int
+	DLE1Pct  float64
+	DHalfPct float64
+	BMax     float64
+	ICompPct float64
+	AFSPct   float64
+}
+
+// KSweep generalizes Table II beyond KSA4: every named circuit is
+// partitioned at every K in ks, producing the d≤1 / I_comp / A_FS curves
+// versus plane count — the scaling figure the paper's Table II samples at
+// a single circuit. Points come back in (circuit-major, K-minor) order.
+func KSweep(names []string, ks []int, cfg Config) ([]SweepPoint, error) {
+	cfg = cfg.withDefaults()
+	if len(names) == 0 || len(ks) == 0 {
+		return nil, fmt.Errorf("experiments: sweep needs circuits and K values")
+	}
+	circuits := make([]*netlist.Circuit, len(names))
+	for i, n := range names {
+		c, err := gen.Benchmark(n, cfg.Library)
+		if err != nil {
+			return nil, err
+		}
+		circuits[i] = c
+	}
+	type job struct{ ci, ki int }
+	jobs := make([]job, 0, len(names)*len(ks))
+	for ci := range names {
+		for ki := range ks {
+			jobs = append(jobs, job{ci, ki})
+		}
+	}
+	points := make([]SweepPoint, len(jobs))
+	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
+		ci, ki := jobs[j].ci, jobs[j].ki
+		row, err := runOne(circuits[ci], ks[ki], cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: sweep %s K=%d: %w", names[ci], ks[ki], err)
+		}
+		points[j] = SweepPoint{
+			Circuit:  names[ci],
+			K:        ks[ki],
+			DLE1Pct:  row.DLE1Pct,
+			DHalfPct: row.DHalfPct,
+			BMax:     row.BMax,
+			ICompPct: row.ICompPct,
+			AFSPct:   row.AFSPct,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpp/internal/gen"
+	"gpp/internal/logic"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+	"gpp/internal/sfqmap"
+)
+
+// TopologyRow reports partition quality for one adder topology.
+type TopologyRow struct {
+	Topology string
+	Gates    int
+	Conns    int
+	Depth    int
+	DLE1Pct  float64
+	DLE2Pct  float64
+	ICompPct float64
+}
+
+// AdderTopologies partitions functionally identical n-bit adders with
+// different prefix-network topologies at the given K — an experiment on
+// how wiring locality drives partitionability. The ripple-carry chain is
+// nearly one-dimensional and should partition best on the distance
+// metric; Sklansky's long high-fanout prefix wires should partition
+// worst; Kogge-Stone and Brent-Kung sit between.
+func AdderTopologies(n, k int, cfg Config) ([]TopologyRow, error) {
+	cfg = cfg.withDefaults()
+	builders := []struct {
+		name  string
+		build func(int) (*logic.Circuit, error)
+	}{
+		{"ripple", gen.RippleCarry},
+		{"brent-kung", gen.BrentKung},
+		{"kogge-stone", gen.KSA},
+		{"sklansky", gen.Sklansky},
+	}
+	rows := make([]TopologyRow, 0, len(builders))
+	for _, bd := range builders {
+		lc, err := bd.build(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s adder: %w", bd.name, err)
+		}
+		c, err := sfqmap.Map(lc, sfqmap.Options{Library: cfg.Library, ClockTree: true})
+		if err != nil {
+			return nil, err
+		}
+		p, err := partition.FromCircuit(c, k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Solve(cfg.Solver)
+		if err != nil {
+			return nil, err
+		}
+		m, err := recycle.Evaluate(p, res.Labels)
+		if err != nil {
+			return nil, err
+		}
+		_, depth, err := c.Levels()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TopologyRow{
+			Topology: bd.name,
+			Gates:    c.NumGates(),
+			Conns:    c.NumEdges(),
+			Depth:    depth,
+			DLE1Pct:  m.DistLEPct(1),
+			DLE2Pct:  m.DistLEPct(2),
+			ICompPct: m.ICompPct,
+		})
+	}
+	return rows, nil
+}

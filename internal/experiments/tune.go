@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"gpp/internal/gen"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+)
+
+// TuneResult is one evaluated coefficient set.
+type TuneResult struct {
+	Coeffs   partition.Coeffs
+	Score    float64 // lower is better
+	DLE1Pct  float64
+	ICompPct float64
+	AFSPct   float64
+}
+
+// TuneOptions configures the coefficient search.
+type TuneOptions struct {
+	// Grids for each coefficient; zero-length grids use the defaults
+	// below. c3 always tracks c2 (the paper treats bias and area balance
+	// symmetrically, and so does the metric structure).
+	C1Grid, C2Grid, C4Grid []float64
+	// MaxIters caps the per-candidate solve (default 800 — tuning runs
+	// many solves, and ranking stabilizes long before full convergence).
+	MaxIters int
+	// Seed for the solver.
+	Seed int64
+}
+
+// TuneCoefficients grid-searches the cost-function constants c1..c4 (the
+// paper only says they "can be tuned") on one benchmark circuit. The
+// score balances the paper's three goals with equal weight:
+//
+//	score = (100 − %d≤1) + %I_comp + %A_FS
+//
+// Returns all evaluated candidates sorted by rank order of evaluation,
+// plus the best. Deterministic for a fixed seed.
+func TuneCoefficients(name string, k int, opts TuneOptions, cfg Config) ([]TuneResult, TuneResult, error) {
+	cfg = cfg.withDefaults()
+	if len(opts.C1Grid) == 0 {
+		opts.C1Grid = []float64{0.5, 1, 2, 4}
+	}
+	if len(opts.C2Grid) == 0 {
+		opts.C2Grid = []float64{0.25, 0.5, 1}
+	}
+	if len(opts.C4Grid) == 0 {
+		opts.C4Grid = []float64{0.5, 1, 2}
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 800
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	c, err := gen.Benchmark(name, cfg.Library)
+	if err != nil {
+		return nil, TuneResult{}, err
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return nil, TuneResult{}, err
+	}
+	var all []TuneResult
+	best := TuneResult{Score: math.Inf(1)}
+	for _, c1 := range opts.C1Grid {
+		for _, c2 := range opts.C2Grid {
+			for _, c4 := range opts.C4Grid {
+				co := partition.Coeffs{C1: c1, C2: c2, C3: c2, C4: c4}
+				res, err := p.Solve(partition.Options{
+					Coeffs: co, Seed: opts.Seed, MaxIters: opts.MaxIters,
+				})
+				if err != nil {
+					return nil, TuneResult{}, fmt.Errorf("experiments: tune %+v: %w", co, err)
+				}
+				m, err := recycle.Evaluate(p, res.Labels)
+				if err != nil {
+					return nil, TuneResult{}, err
+				}
+				tr := TuneResult{
+					Coeffs:   co,
+					DLE1Pct:  m.DistLEPct(1),
+					ICompPct: m.ICompPct,
+					AFSPct:   m.AFreePct,
+				}
+				tr.Score = (100 - tr.DLE1Pct) + tr.ICompPct + tr.AFSPct
+				all = append(all, tr)
+				if tr.Score < best.Score {
+					best = tr
+				}
+			}
+		}
+	}
+	return all, best, nil
+}

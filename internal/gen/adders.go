@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"fmt"
+
+	"gpp/internal/logic"
+)
+
+// This file provides alternative adder topologies beside the Kogge–Stone
+// of ksa.go: ripple-carry, Sklansky and Brent–Kung. They compute the same
+// function with very different wiring locality, which makes them a natural
+// workload for studying how circuit topology interacts with ground plane
+// partitioning (see experiments.AdderTopologies): a ripple chain is almost
+// one-dimensional (ideal for consecutive planes), Sklansky has high-fanout
+// long wires (hard), Brent–Kung sits between.
+
+// prefixAdder builds an n-bit adder from a parallel-prefix network: the
+// network function receives a combine(hi, lo) callback that merges the
+// group generate/propagate of segment lo into segment hi in place.
+func prefixAdder(name string, n int, network func(combine func(hi, lo int), n int)) (*logic.Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: adder width must be ≥ 2, got %d", n)
+	}
+	b := logic.NewBuilder(name)
+	a := make([]logic.NodeID, n)
+	bb := make([]logic.NodeID, n)
+	for i := 0; i < n; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+		bb[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	p := make([]logic.NodeID, n)
+	g := make([]logic.NodeID, n)
+	for i := 0; i < n; i++ {
+		p[i] = b.Xor(a[i], bb[i])
+		g[i] = b.And(a[i], bb[i])
+	}
+	G := append([]logic.NodeID(nil), g...)
+	P := append([]logic.NodeID(nil), p...)
+	combine := func(hi, lo int) {
+		// (G,P)[hi] ∘ (G,P)[lo]: G = G_hi ∨ (P_hi · G_lo); P = P_hi · P_lo.
+		t := b.And(P[hi], G[lo])
+		G[hi] = b.Or(G[hi], t)
+		P[hi] = b.And(P[hi], P[lo])
+	}
+	network(combine, n)
+	b.Output("s0", p[0])
+	for i := 1; i < n; i++ {
+		b.Output(fmt.Sprintf("s%d", i), b.Xor(p[i], G[i-1]))
+	}
+	b.Output("cout", G[n-1])
+	return b.Build()
+}
+
+// RippleCarry builds an n-bit ripple-carry adder: the prefix network is a
+// serial chain (depth n−1, minimal wiring).
+func RippleCarry(n int) (*logic.Circuit, error) {
+	return prefixAdder(fmt.Sprintf("RCA%d", n), n, func(combine func(hi, lo int), n int) {
+		for i := 1; i < n; i++ {
+			combine(i, i-1)
+		}
+	})
+}
+
+// Sklansky builds an n-bit Sklansky (divide-and-conquer) adder: minimal
+// depth log2(n) with fanout growing toward the root. n must be a power of
+// two.
+func Sklansky(n int) (*logic.Circuit, error) {
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("gen: Sklansky width must be a power of two, got %d", n)
+	}
+	return prefixAdder(fmt.Sprintf("SKL%d", n), n, func(combine func(hi, lo int), n int) {
+		for d := 1; d < n; d <<= 1 {
+			for i := 0; i < n; i++ {
+				if i&d != 0 {
+					// Source is the last index of the lower half-block;
+					// it has bit d clear, so it is never a same-level
+					// target and in-place combining is safe.
+					combine(i, (i&^(d-1))-1)
+				}
+			}
+		}
+	})
+}
+
+// BrentKung builds an n-bit Brent–Kung adder: depth 2·log2(n)−1 with
+// minimal cell count and bounded fanout. n must be a power of two.
+func BrentKung(n int) (*logic.Circuit, error) {
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("gen: Brent-Kung width must be a power of two, got %d", n)
+	}
+	return prefixAdder(fmt.Sprintf("BK%d", n), n, func(combine func(hi, lo int), n int) {
+		// Up-sweep: build power-of-two group prefixes.
+		for d := 1; d < n; d <<= 1 {
+			for i := 2*d - 1; i < n; i += 2 * d {
+				combine(i, i-d)
+			}
+		}
+		// Down-sweep: fill in the remaining prefixes.
+		for d := n / 4; d >= 1; d >>= 1 {
+			for i := 3*d - 1; i < n; i += 2 * d {
+				combine(i, i-d)
+			}
+		}
+	})
+}

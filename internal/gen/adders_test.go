@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpp/internal/logic"
+)
+
+func checkAdder(t *testing.T, c *logic.Circuit, n int, a, b uint64) {
+	t.Helper()
+	outs := evalBits(t, c, map[string]uint64{"a": a, "b": b}, map[string]int{"a": n, "b": n})
+	sum := bitsToUint(t, outs, "s", n)
+	cout := uint64(0)
+	if outs["cout"] {
+		cout = 1
+	}
+	if got, want := cout<<uint(n)|sum, a+b; got != want {
+		t.Fatalf("%s: %d + %d = %d, want %d", c.Name, a, b, got, want)
+	}
+}
+
+func TestAdderTopologiesExhaustive4(t *testing.T) {
+	builders := map[string]func(int) (*logic.Circuit, error){
+		"ripple":    RippleCarry,
+		"sklansky":  Sklansky,
+		"brentkung": BrentKung,
+	}
+	for name, build := range builders {
+		c, err := build(4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for a := uint64(0); a < 16; a++ {
+			for b := uint64(0); b < 16; b++ {
+				checkAdder(t, c, 4, a, b)
+			}
+		}
+	}
+}
+
+func TestAdderTopologiesRandom16(t *testing.T) {
+	for _, build := range []func(int) (*logic.Circuit, error){RippleCarry, Sklansky, BrentKung} {
+		c, err := build(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(61))
+		for trial := 0; trial < 60; trial++ {
+			a := rng.Uint64() & 0xffff
+			b := rng.Uint64() & 0xffff
+			checkAdder(t, c, 16, a, b)
+		}
+	}
+}
+
+func TestAdderTopologyShapes(t *testing.T) {
+	// Structural sanity: ripple is deepest, Sklansky shallowest; Brent-Kung
+	// has the fewest prefix cells of the log-depth networks.
+	rca, err := RippleCarry(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skl, err := Sklansky(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := BrentKung(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rca.NumNodes() >= skl.NumNodes() {
+		t.Errorf("ripple (%d nodes) should be smaller than Sklansky (%d)", rca.NumNodes(), skl.NumNodes())
+	}
+	if bk.NumNodes() > skl.NumNodes() {
+		t.Errorf("Brent-Kung (%d nodes) should not exceed Sklansky (%d)", bk.NumNodes(), skl.NumNodes())
+	}
+}
+
+func TestAdderTopologyErrors(t *testing.T) {
+	if _, err := RippleCarry(1); err == nil {
+		t.Error("RippleCarry(1) accepted")
+	}
+	if _, err := Sklansky(12); err == nil {
+		t.Error("Sklansky(12) accepted")
+	}
+	if _, err := BrentKung(6); err == nil {
+		t.Error("BrentKung(6) accepted")
+	}
+}

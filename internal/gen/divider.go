@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"fmt"
+
+	"gpp/internal/logic"
+)
+
+// Divider builds an n-bit restoring array integer divider at the logic
+// level: dividend a (n bits) / divisor d (n bits) → quotient q (n bits) and
+// remainder r (n bits). Division by zero yields q = all-ones, r = a (the
+// natural behavior of the restoring array; callers verify d ≠ 0).
+//
+// Structure: n rows; row i shifts the partial remainder left by one,
+// brings in dividend bit a_{n−1−i}, subtracts the divisor with a ripple
+// borrow chain, and selects (restores) via muxes controlled by the borrow
+// out — the classic restoring array divider the SFQ benchmark suite's ID
+// circuits implement.
+func Divider(n int) (*logic.Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: divider width must be ≥ 2, got %d", n)
+	}
+	b := logic.NewBuilder(fmt.Sprintf("ID%d", n))
+	a := make([]logic.NodeID, n)
+	d := make([]logic.NodeID, n)
+	for i := 0; i < n; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		d[i] = b.Input(fmt.Sprintf("d%d", i))
+	}
+
+	// fullSubtractor computes x − y − bin → (diff, bout) in 6 gates.
+	fullSub := func(x, y, bin logic.NodeID) (diff, bout logic.NodeID) {
+		t := b.Xor(x, y)
+		diff = b.Xor(t, bin)
+		// bout = (¬x ∧ (y ∨ bin)) ∨ (y ∧ bin)
+		u := b.Or(y, bin)
+		v := b.AndNot(u, x) // u ∧ ¬x
+		w := b.And(y, bin)
+		bout = b.Or(v, w)
+		return diff, bout
+	}
+	// halfSub computes x − y → (diff, bout) in 2 gates.
+	halfSub := func(x, y logic.NodeID) (diff, bout logic.NodeID) {
+		return b.Xor(x, y), b.AndNot(y, x) // y ∧ ¬x
+	}
+	// mux selects sel ? x : y in 3 gates.
+	mux := func(sel, x, y logic.NodeID) logic.NodeID {
+		return b.Or(b.And(x, sel), b.AndNot(y, sel))
+	}
+
+	// Partial remainder R, n bits, invariant R < D when D ≠ 0. There is no
+	// constant-zero node in the IR, so the first rows track only the bits
+	// that can be nonzero (the remainder grows by one bit per row until it
+	// reaches full width).
+	var r []logic.NodeID // r[0] = LSB; len grows to n
+	q := make([]logic.NodeID, n)
+	for i := 0; i < n; i++ {
+		// Shift left, bring in a_{n−1−i}: R' = 2R + a_bit (len(r)+1 bits).
+		// When len(rp) exceeds n, the invariant R < D keeps the top bit's
+		// value zero after the restore muxes, so it is dropped below.
+		rp := append([]logic.NodeID{a[n-1-i]}, r...)
+		// T = R' − D over len(rp) bits (D padded conceptually with zeros:
+		// positions ≥ n subtract zero, i.e. borrow propagation only).
+		t := make([]logic.NodeID, len(rp))
+		var borrow logic.NodeID
+		for j := 0; j < len(rp); j++ {
+			var dj logic.NodeID
+			hasD := j < n
+			if hasD {
+				dj = d[j]
+			}
+			switch {
+			case j == 0 && hasD:
+				t[j], borrow = halfSub(rp[j], dj)
+			case j == 0:
+				t[j] = rp[j] // subtracting zero with no borrow
+			case hasD:
+				t[j], borrow = fullSub(rp[j], dj, borrow)
+			default:
+				// x − 0 − borrow
+				t[j] = b.Xor(rp[j], borrow)
+				borrow = b.AndNot(borrow, rp[j]) // borrow ∧ ¬x
+			}
+		}
+		// Divisor bits above the current remainder width subtract from an
+		// implicit zero: any set bit forces a borrow (0 − d_j − bin
+		// borrows whenever d_j ∨ bin). The difference bits are not needed:
+		// when q_i = 1 they are provably zero and the restore muxes below
+		// never read them.
+		for j := len(rp); j < n; j++ {
+			borrow = b.Or(d[j], borrow)
+		}
+		// q_i = 1 iff no final borrow (T ≥ 0).
+		qi := b.Not(borrow)
+		q[n-1-i] = qi
+		// Restore: R_next = qi ? T : R', truncated to min(len, n) bits.
+		width := len(rp)
+		if width > n {
+			width = n
+		}
+		next := make([]logic.NodeID, width)
+		for j := 0; j < width; j++ {
+			next[j] = mux(qi, t[j], rp[j])
+		}
+		r = next
+	}
+	for i := 0; i < n; i++ {
+		b.Output(fmt.Sprintf("q%d", i), q[i])
+	}
+	for i := 0; i < len(r); i++ {
+		b.Output(fmt.Sprintf("r%d", i), r[i])
+	}
+	return b.Build()
+}

@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpp/internal/logic"
+)
+
+// evalBits drives a logic circuit whose inputs are named with the given
+// prefixes + bit index and returns the output values keyed by name.
+func evalBits(t *testing.T, c *logic.Circuit, inputs map[string]uint64, widths map[string]int) map[string]bool {
+	t.Helper()
+	vals := make(map[logic.NodeID]bool)
+	for _, n := range c.Nodes {
+		if n.Op != logic.OpInput {
+			continue
+		}
+		assigned := false
+		for prefix, v := range inputs {
+			w := widths[prefix]
+			for b := 0; b < w; b++ {
+				if n.Name == prefix+itoa(b) {
+					vals[n.ID] = v>>uint(b)&1 == 1
+					assigned = true
+				}
+			}
+		}
+		if !assigned {
+			t.Fatalf("input %q not covered by test harness", n.Name)
+		}
+	}
+	all, err := c.Eval(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool)
+	for _, n := range c.Nodes {
+		if n.Op == logic.OpOutput {
+			out[n.Name] = all[n.ID]
+		}
+	}
+	return out
+}
+
+func bitsToUint(t *testing.T, outs map[string]bool, prefix string, width int) uint64 {
+	t.Helper()
+	var v uint64
+	for b := 0; b < width; b++ {
+		name := prefix + itoa(b)
+		bit, ok := outs[name]
+		if !ok {
+			t.Fatalf("output %q missing (have %v)", name, keys(outs))
+		}
+		if bit {
+			v |= 1 << uint(b)
+		}
+	}
+	return v
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+func TestKSAFunctionalExhaustive4(t *testing.T) {
+	c, err := KSA(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			outs := evalBits(t, c, map[string]uint64{"a": a, "b": b}, map[string]int{"a": 4, "b": 4})
+			sum := bitsToUint(t, outs, "s", 4)
+			cout := uint64(0)
+			if outs["cout"] {
+				cout = 1
+			}
+			if got, want := cout<<4|sum, a+b; got != want {
+				t.Fatalf("KSA4: %d + %d = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestKSAFunctionalRandom(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		c, err := KSA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		mask := uint64(1)<<uint(n) - 1
+		for trial := 0; trial < 50; trial++ {
+			a := rng.Uint64() & mask
+			b := rng.Uint64() & mask
+			outs := evalBits(t, c, map[string]uint64{"a": a, "b": b}, map[string]int{"a": n, "b": n})
+			sum := bitsToUint(t, outs, "s", n)
+			cout := uint64(0)
+			if outs["cout"] {
+				cout = 1
+			}
+			if got, want := cout<<uint(n)|sum, a+b; got != want {
+				t.Fatalf("KSA%d: %d + %d = %d, want %d", n, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestKSARejectsBadWidths(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if _, err := KSA(n); err == nil {
+			t.Errorf("KSA(%d) should fail", n)
+		}
+	}
+}
+
+func TestMultFunctionalExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		c, err := Mult(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim := uint64(1) << uint(n)
+		for a := uint64(0); a < lim; a++ {
+			for b := uint64(0); b < lim; b++ {
+				outs := evalBits(t, c, map[string]uint64{"a": a, "b": b}, map[string]int{"a": n, "b": n})
+				got := bitsToUint(t, outs, "p", 2*n)
+				if got != a*b {
+					t.Fatalf("MULT%d: %d × %d = %d, want %d", n, a, b, got, a*b)
+				}
+			}
+		}
+	}
+}
+
+func TestMultFunctionalRandom8(t *testing.T) {
+	c, err := Mult(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		a := rng.Uint64() & 0xff
+		b := rng.Uint64() & 0xff
+		outs := evalBits(t, c, map[string]uint64{"a": a, "b": b}, map[string]int{"a": 8, "b": 8})
+		got := bitsToUint(t, outs, "p", 16)
+		if got != a*b {
+			t.Fatalf("MULT8: %d × %d = %d, want %d", a, b, got, a*b)
+		}
+	}
+}
+
+func TestMultRejectsBadWidths(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		if _, err := Mult(n); err == nil {
+			t.Errorf("Mult(%d) should fail", n)
+		}
+	}
+}
+
+func TestDividerFunctionalExhaustive4(t *testing.T) {
+	c, err := Divider(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for d := uint64(1); d < 16; d++ {
+			outs := evalBits(t, c, map[string]uint64{"a": a, "d": d}, map[string]int{"a": 4, "d": 4})
+			q := bitsToUint(t, outs, "q", 4)
+			r := bitsToUint(t, outs, "r", 4)
+			if q != a/d || r != a%d {
+				t.Fatalf("ID4: %d / %d = (%d, %d), want (%d, %d)", a, d, q, r, a/d, a%d)
+			}
+		}
+	}
+}
+
+func TestDividerFunctionalRandom8(t *testing.T) {
+	c, err := Divider(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() & 0xff
+		d := rng.Uint64()&0xff + 1
+		if d > 0xff {
+			d = 0xff
+		}
+		outs := evalBits(t, c, map[string]uint64{"a": a, "d": d}, map[string]int{"a": 8, "d": 8})
+		q := bitsToUint(t, outs, "q", 8)
+		r := bitsToUint(t, outs, "r", 8)
+		if q != a/d || r != a%d {
+			t.Fatalf("ID8: %d / %d = (%d, %d), want (%d, %d)", a, d, q, r, a/d, a%d)
+		}
+	}
+}
+
+func TestDividerRejectsBadWidths(t *testing.T) {
+	if _, err := Divider(1); err == nil {
+		t.Error("Divider(1) should fail")
+	}
+}

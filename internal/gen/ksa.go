@@ -1,0 +1,86 @@
+// Package gen generates the benchmark circuits of the paper's evaluation:
+// Kogge–Stone adders (KSA4/8/16/32), array multipliers (MULT4/8),
+// non-restoring integer dividers (ID4/8), and ISCAS85-class synthetic
+// netlists calibrated to the published gate/connection counts (C432, C499,
+// C1355, C1908, C3540).
+//
+// The arithmetic circuits are built structurally at the logic level and
+// then SFQ-technology-mapped (internal/sfqmap); the ISCAS substitutes are
+// generated directly as mapped netlists with SFQ-legal degree bounds. See
+// DESIGN.md §2 for the substitution rationale.
+package gen
+
+import (
+	"fmt"
+
+	"gpp/internal/logic"
+)
+
+// KSA builds an n-bit Kogge–Stone adder (a + b, carry out) at the logic
+// level. n must be a power of two ≥ 2.
+//
+// Structure: bitwise propagate p_i = a_i⊕b_i and generate g_i = a_i·b_i,
+// then log2(n) parallel-prefix combine levels
+//
+//	G_i^(d) = G_i ∨ (P_i · G_{i−2^(d−1)})
+//	P_i^(d) = P_i · P_{i−2^(d−1)}
+//
+// and finally sums s_i = p_i ⊕ c_{i−1} with c_i = G_i^(final).
+func KSA(n int) (*logic.Circuit, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("gen: KSA width must be a power of two ≥ 2, got %d", n)
+	}
+	b := logic.NewBuilder(fmt.Sprintf("KSA%d", n))
+	a := make([]logic.NodeID, n)
+	bb := make([]logic.NodeID, n)
+	for i := 0; i < n; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+		bb[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	p := make([]logic.NodeID, n)
+	g := make([]logic.NodeID, n)
+	for i := 0; i < n; i++ {
+		p[i] = b.Xor(a[i], bb[i])
+		g[i] = b.And(a[i], bb[i])
+	}
+	// Parallel-prefix combine. G[i], P[i] evolve level by level.
+	G := append([]logic.NodeID(nil), g...)
+	P := append([]logic.NodeID(nil), p...)
+	for d := 1; d < n; d <<= 1 {
+		nextG := append([]logic.NodeID(nil), G...)
+		nextP := append([]logic.NodeID(nil), P...)
+		for i := d; i < n; i++ {
+			t := b.And(P[i], G[i-d])
+			nextG[i] = b.Or(G[i], t)
+			// P is only needed where another combine level will read it.
+			if i >= 2*d {
+				nextP[i] = b.And(P[i], P[i-d])
+			}
+		}
+		G, P = nextG, nextP
+	}
+	// Sums: s_0 = p_0 (no carry in), s_i = p_i ⊕ c_{i−1} with c_i = G[i].
+	b.Output("s0", p[0])
+	for i := 1; i < n; i++ {
+		s := b.Xor(p[i], G[i-1])
+		b.Output(fmt.Sprintf("s%d", i), s)
+	}
+	b.Output("cout", G[n-1])
+	return b.Build()
+}
+
+// fullAdder adds a 1-bit full adder (x + y + cin → sum, cout) using the
+// standard 5-gate decomposition (2 XOR, 2 AND, 1 OR).
+func fullAdder(b *logic.Builder, x, y, cin logic.NodeID) (sum, cout logic.NodeID) {
+	t := b.Xor(x, y)
+	sum = b.Xor(t, cin)
+	c1 := b.And(x, y)
+	c2 := b.And(t, cin)
+	cout = b.Or(c1, c2)
+	return sum, cout
+}
+
+// halfAdder adds a 1-bit half adder (x + y → sum, cout).
+func halfAdder(b *logic.Builder, x, y logic.NodeID) (sum, cout logic.NodeID) {
+	return b.Xor(x, y), b.And(x, y)
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"fmt"
+
+	"gpp/internal/logic"
+)
+
+// Mult builds an n×n unsigned array multiplier (2n-bit product) at the
+// logic level.
+//
+// Structure: n² partial products pp_{i,j} = a_i·b_j are reduced with a
+// deterministic column-compression array of half/full adders (carry-save
+// reduction, column by column), the gate-level shape the SFQ benchmark
+// suite's MULT circuits implement.
+func Mult(n int) (*logic.Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: MULT width must be ≥ 2, got %d", n)
+	}
+	b := logic.NewBuilder(fmt.Sprintf("MULT%d", n))
+	a := make([]logic.NodeID, n)
+	bb := make([]logic.NodeID, n)
+	for i := 0; i < n; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+		bb[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+
+	// cols[w] collects the bits of weight w awaiting reduction.
+	width := 2 * n
+	cols := make([][]logic.NodeID, width+1) // +1 guard column, must stay empty
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cols[i+j] = append(cols[i+j], b.And(a[i], bb[j]))
+		}
+	}
+
+	// Column-by-column carry-save reduction: compress each column to a
+	// single bit, pushing carries into the next column.
+	for w := 0; w < width; w++ {
+		for len(cols[w]) > 1 {
+			if len(cols[w]) >= 3 {
+				x, y, z := cols[w][0], cols[w][1], cols[w][2]
+				cols[w] = cols[w][3:]
+				s, c := fullAdder(b, x, y, z)
+				cols[w] = append(cols[w], s)
+				cols[w+1] = append(cols[w+1], c)
+			} else {
+				x, y := cols[w][0], cols[w][1]
+				cols[w] = cols[w][2:]
+				s, c := halfAdder(b, x, y)
+				cols[w] = append(cols[w], s)
+				cols[w+1] = append(cols[w+1], c)
+			}
+		}
+		if len(cols[w]) == 1 {
+			b.Output(fmt.Sprintf("p%d", w), cols[w][0])
+		}
+	}
+	if len(cols[width]) != 0 {
+		return nil, fmt.Errorf("gen: MULT%d reduction overflowed the product width", n)
+	}
+	return b.Build()
+}

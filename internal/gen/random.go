@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpp/internal/logic"
+)
+
+// RandomLogicConfig controls RandomLogic.
+type RandomLogicConfig struct {
+	// Inputs is the primary input count (default 8).
+	Inputs int
+	// Gates is the Boolean gate count (default 100).
+	Gates int
+	// Outputs is the primary output count (default 4, capped at Gates).
+	Outputs int
+	// Locality biases operand selection toward recently created nodes,
+	// in [0,1): 0 = uniform over all earlier nodes (wide, ISCAS-like
+	// reconvergence), 0.9 = mostly chains (deep, datapath-like). Default
+	// 0.5.
+	Locality float64
+	Seed     int64
+}
+
+func (c RandomLogicConfig) withDefaults() RandomLogicConfig {
+	if c.Inputs <= 0 {
+		c.Inputs = 8
+	}
+	if c.Gates <= 0 {
+		c.Gates = 100
+	}
+	if c.Outputs <= 0 {
+		c.Outputs = 4
+	}
+	if c.Outputs > c.Gates {
+		c.Outputs = c.Gates
+	}
+	return c
+}
+
+// RandomLogic generates a random valid logic circuit — an arbitrary
+// workload for partitioning studies beyond the fixed benchmark suite.
+// Deterministic for a given config.
+func RandomLogic(cfg RandomLogicConfig) (*logic.Circuit, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Locality < 0 || cfg.Locality >= 1 {
+		return nil, fmt.Errorf("gen: locality %g outside [0,1)", cfg.Locality)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := logic.NewBuilder(fmt.Sprintf("RAND%d", cfg.Gates))
+	nodes := make([]logic.NodeID, 0, cfg.Inputs+cfg.Gates)
+	for i := 0; i < cfg.Inputs; i++ {
+		nodes = append(nodes, b.Input(fmt.Sprintf("x%d", i)))
+	}
+	pick := func() logic.NodeID {
+		n := len(nodes)
+		if rng.Float64() < cfg.Locality {
+			// Recent window: the last ~12% of created nodes.
+			win := n / 8
+			if win < 2 {
+				win = 2
+			}
+			if win > n {
+				win = n
+			}
+			return nodes[n-1-rng.Intn(win)]
+		}
+		return nodes[rng.Intn(n)]
+	}
+	for i := 0; i < cfg.Gates; i++ {
+		x, y := pick(), pick()
+		switch rng.Intn(8) {
+		case 0, 1:
+			nodes = append(nodes, b.And(x, y))
+		case 2, 3:
+			nodes = append(nodes, b.Or(x, y))
+		case 4, 5:
+			nodes = append(nodes, b.Xor(x, y))
+		case 6:
+			nodes = append(nodes, b.Not(x))
+		case 7:
+			nodes = append(nodes, b.AndNot(x, y))
+		}
+	}
+	for i := 0; i < cfg.Outputs; i++ {
+		b.Output(fmt.Sprintf("y%d", i), nodes[len(nodes)-1-i])
+	}
+	return b.Build()
+}

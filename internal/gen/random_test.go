@@ -1,0 +1,129 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpp/internal/logic"
+	"gpp/internal/sfqmap"
+)
+
+func TestRandomLogicValidAndMappable(t *testing.T) {
+	lc, err := RandomLogic(RandomLogicConfig{Inputs: 6, Gates: 80, Outputs: 3, Locality: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lc.Inputs()); got != 6 {
+		t.Errorf("%d inputs", got)
+	}
+	if got := len(lc.Outputs()); got != 3 {
+		t.Errorf("%d outputs", got)
+	}
+	mapped, err := sfqmap.Map(lc, sfqmap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.IsDAG() {
+		t.Error("mapped random circuit cyclic")
+	}
+}
+
+// depthOf computes the Boolean-gate depth of a logic circuit.
+func depthOf(lc *logic.Circuit) int {
+	depth := make([]int, lc.NumNodes())
+	max := 0
+	for _, n := range lc.Nodes {
+		d := 0
+		for _, in := range n.Ins {
+			if depth[in] > d {
+				d = depth[in]
+			}
+		}
+		switch n.Op {
+		case logic.OpInput, logic.OpOutput, logic.OpBuf:
+		default:
+			d++
+		}
+		depth[n.ID] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func TestRandomLogicLocalityShapesDepth(t *testing.T) {
+	deep, err := RandomLogic(RandomLogicConfig{Gates: 200, Locality: 0.9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RandomLogic(RandomLogicConfig{Gates: 200, Locality: 0.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dDeep, dWide := depthOf(deep), depthOf(wide); dDeep <= dWide {
+		t.Errorf("high locality depth %d not above low locality %d", dDeep, dWide)
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	cfg := RandomLogicConfig{Gates: 50, Seed: 11}
+	a, err := RandomLogic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomLogic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatal("non-deterministic size")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Op != b.Nodes[i].Op {
+			t.Fatal("non-deterministic structure")
+		}
+	}
+}
+
+func TestRandomLogicValidation(t *testing.T) {
+	if _, err := RandomLogic(RandomLogicConfig{Locality: 1.0}); err == nil {
+		t.Error("locality 1.0 accepted")
+	}
+	if _, err := RandomLogic(RandomLogicConfig{Locality: -0.5}); err == nil {
+		t.Error("negative locality accepted")
+	}
+}
+
+// Property: every random config yields a circuit that validates, maps, and
+// evaluates without error.
+func TestRandomLogicProperty(t *testing.T) {
+	f := func(seed int64, gRaw, locRaw uint8) bool {
+		cfg := RandomLogicConfig{
+			Inputs:   3 + int(gRaw%5),
+			Gates:    20 + int(gRaw),
+			Outputs:  1 + int(gRaw%4),
+			Locality: float64(locRaw%90) / 100,
+			Seed:     seed,
+		}
+		lc, err := RandomLogic(cfg)
+		if err != nil {
+			return false
+		}
+		in := map[logic.NodeID]bool{}
+		for i, id := range lc.Inputs() {
+			in[id] = i%2 == 0
+		}
+		if _, err := lc.Eval(in); err != nil {
+			return false
+		}
+		mapped, err := sfqmap.Map(lc, sfqmap.DefaultOptions())
+		return err == nil && mapped.IsDAG()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

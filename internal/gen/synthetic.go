@@ -1,0 +1,196 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+)
+
+// SyntheticSpec describes a synthetic technology-mapped netlist with exact
+// gate and connection counts. It is used to substitute the ISCAS85 rows of
+// the paper's benchmark suite (C432, C499, C1355, C1908, C3540), whose
+// post-routing DEF files are not available: the generated netlists have the
+// published gate/connection counts and SFQ-legal structure (out-degree ≤ 2,
+// splitter-realized fanout, single-sink nets).
+type SyntheticSpec struct {
+	Name  string
+	Gates int // exact cell count G
+	Conns int // exact connection count |E|
+	Seed  int64
+}
+
+// Synthetic generates a mapped SFQ netlist with exactly spec.Gates cells
+// and spec.Conns connections, as a layered random DAG with a degree plan
+// matching mapped-netlist structure:
+//
+//	inputs   (DCSFQ):  in 0, out 1
+//	sinks    (SFQDC):  in 1, out 0
+//	splitters(SPLIT):  in 1, out 2
+//	2-in gates (clocked Boolean): in 2, out 1
+//	1-in cells (DFF/JTL/NOT mix): in 1, out 1
+//
+// The counts follow from the degree balance: with E − G = nS − nO, the
+// splitter count is nS = nO + (E − G) and the 2-input gate count is
+// nG = nI + (E − G). Generation is deterministic for a given spec.
+func Synthetic(spec SyntheticSpec, lib *cellib.Library) (*netlist.Circuit, error) {
+	g, e := spec.Gates, spec.Conns
+	if g < 10 {
+		return nil, fmt.Errorf("gen: synthetic circuit needs ≥ 10 gates, got %d", g)
+	}
+	if e <= g-1 {
+		return nil, fmt.Errorf("gen: synthetic circuit needs > G-1 connections for a connected mapped netlist, got G=%d E=%d", g, e)
+	}
+	if e >= 2*g {
+		return nil, fmt.Errorf("gen: synthetic circuit cannot exceed out-degree 2: G=%d E=%d", g, e)
+	}
+	if lib == nil {
+		lib = cellib.Default()
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Degree plan.
+	nI := g / 25
+	if nI < 4 {
+		nI = 4
+	}
+	nO := g / 25
+	if nO < 4 {
+		nO = 4
+	}
+	nS := nO + (e - g) // splitters
+	nG := nI + (e - g) // 2-input gates
+	nB := g - nI - nO - nS - nG
+	if nS < 0 || nG < 0 || nB < 0 {
+		return nil, fmt.Errorf("gen: infeasible degree plan for G=%d E=%d (nI=%d nO=%d nS=%d nG=%d nB=%d)",
+			g, e, nI, nO, nS, nG, nB)
+	}
+
+	// Roles in topological position order: inputs first, sinks last, the
+	// rest shuffled between.
+	type role int
+	const (
+		roleInput role = iota
+		roleSink
+		roleSplit
+		roleGate2
+		roleBuf1
+	)
+	middle := make([]role, 0, nS+nG+nB)
+	for i := 0; i < nS; i++ {
+		middle = append(middle, roleSplit)
+	}
+	for i := 0; i < nG; i++ {
+		middle = append(middle, roleGate2)
+	}
+	for i := 0; i < nB; i++ {
+		middle = append(middle, roleBuf1)
+	}
+	rng.Shuffle(len(middle), func(i, j int) { middle[i], middle[j] = middle[j], middle[i] })
+	roles := make([]role, 0, g)
+	for i := 0; i < nI; i++ {
+		roles = append(roles, roleInput)
+	}
+	roles = append(roles, middle...)
+	for i := 0; i < nO; i++ {
+		roles = append(roles, roleSink)
+	}
+
+	outCap := make([]int, g)
+	inCap := make([]int, g)
+	for v, r := range roles {
+		switch r {
+		case roleInput:
+			outCap[v] = 1
+		case roleSink:
+			inCap[v] = 1
+		case roleSplit:
+			inCap[v], outCap[v] = 1, 2
+		case roleGate2:
+			inCap[v], outCap[v] = 2, 1
+		case roleBuf1:
+			inCap[v], outCap[v] = 1, 1
+		}
+	}
+
+	// Edge construction. Phase 1 (connectivity backbone): every vertex with
+	// in-capacity gets its first in-edge from a random earlier vertex with
+	// free out-capacity. Phase 2: remaining in-stubs are matched to free
+	// out-stubs of earlier vertices. Duplicate edges are avoided.
+	outUsed := make([]int, g)
+	inUsed := make([]int, g)
+	edgeSet := make(map[[2]int]bool, e)
+	edges := make([]netlist.Edge, 0, e)
+
+	// freeOut tracks vertices with available out-capacity, kept sorted by
+	// construction (vertices enter when created, leave when saturated).
+	addEdge := func(u, v int) bool {
+		key := [2]int{u, v}
+		if edgeSet[key] {
+			return false
+		}
+		edgeSet[key] = true
+		edges = append(edges, netlist.Edge{From: netlist.GateID(u), To: netlist.GateID(v)})
+		outUsed[u]++
+		inUsed[v]++
+		return true
+	}
+	// pickEarlierSource returns a random earlier vertex with free
+	// out-capacity and no existing edge to v, or -1.
+	pickEarlierSource := func(v int) int {
+		// Random probing first, linear fallback for determinism.
+		for try := 0; try < 32; try++ {
+			u := rng.Intn(v)
+			if outUsed[u] < outCap[u] && !edgeSet[[2]int{u, v}] {
+				return u
+			}
+		}
+		for u := v - 1; u >= 0; u-- {
+			if outUsed[u] < outCap[u] && !edgeSet[[2]int{u, v}] {
+				return u
+			}
+		}
+		return -1
+	}
+
+	for v := 0; v < g; v++ {
+		for s := 0; s < inCap[v]; s++ {
+			u := pickEarlierSource(v)
+			if u < 0 {
+				return nil, fmt.Errorf("gen: synthetic %s: no free source for vertex %d (seed %d)", spec.Name, v, spec.Seed)
+			}
+			if !addEdge(u, v) {
+				return nil, fmt.Errorf("gen: synthetic %s: duplicate edge injection at vertex %d", spec.Name, v)
+			}
+		}
+	}
+	if len(edges) != e {
+		return nil, fmt.Errorf("gen: synthetic %s: produced %d edges, want %d (degree plan bug)", spec.Name, len(edges), e)
+	}
+
+	// Materialize cells.
+	b := netlist.NewBuilder(spec.Name, lib)
+	gate2Kinds := []cellib.Kind{cellib.KindAND, cellib.KindOR, cellib.KindXOR, cellib.KindNAND, cellib.KindNOR, cellib.KindXNOR}
+	buf1Kinds := []cellib.Kind{cellib.KindDFF, cellib.KindDFF, cellib.KindBuffer, cellib.KindNOT}
+	for v, r := range roles {
+		var kind cellib.Kind
+		switch r {
+		case roleInput:
+			kind = cellib.KindDCSFQ
+		case roleSink:
+			kind = cellib.KindSFQDC
+		case roleSplit:
+			kind = cellib.KindSplit
+		case roleGate2:
+			kind = gate2Kinds[rng.Intn(len(gate2Kinds))]
+		case roleBuf1:
+			kind = buf1Kinds[rng.Intn(len(buf1Kinds))]
+		}
+		b.AddCell(fmt.Sprintf("n%d", v), kind)
+	}
+	for _, ed := range edges {
+		b.Connect(ed.From, ed.To)
+	}
+	return b.Build()
+}

@@ -1,0 +1,215 @@
+// Package graph provides the small set of graph utilities the benchmark
+// generators and baseline partitioners need: undirected connectivity,
+// BFS distances, and seeded random DAG construction.
+//
+// Vertices are dense ints 0..N-1; edges are directed (from, to) pairs.
+// The package is deliberately free of netlist-specific types so it can be
+// tested in isolation.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Edge is a directed edge.
+type Edge struct {
+	From, To int
+}
+
+// Undirected builds undirected adjacency lists for n vertices.
+func Undirected(n int, edges []Edge) [][]int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	return adj
+}
+
+// Components labels each vertex with its undirected connected component
+// (0-based, in order of first discovery) and returns the component count.
+func Components(n int, edges []Edge) (label []int, count int) {
+	adj := Undirected(n, edges)
+	label = make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []int
+	for v := 0; v < n; v++ {
+		if label[v] >= 0 {
+			continue
+		}
+		label[v] = count
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[u] {
+				if label[w] < 0 {
+					label[w] = count
+					stack = append(stack, w)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// BFSDist returns the undirected BFS distance from src to every vertex
+// (-1 for unreachable vertices).
+func BFSDist(n int, edges []Edge, src int) []int {
+	adj := Undirected(n, edges)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[u] {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// IsDAG reports whether the directed edge set is acyclic over n vertices.
+func IsDAG(n int, edges []Edge) bool {
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, e := range edges {
+		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	queue := make([]int, 0, n)
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, w := range succ[u] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen == n
+}
+
+// DegreeHistogram returns out-degree counts: hist[d] = number of vertices
+// with out-degree d.
+func DegreeHistogram(n int, edges []Edge) map[int]int {
+	out := make([]int, n)
+	for _, e := range edges {
+		out[e.From]++
+	}
+	hist := make(map[int]int)
+	for _, d := range out {
+		hist[d]++
+	}
+	return hist
+}
+
+// RandomDAGConfig controls RandomLayeredDAG.
+type RandomDAGConfig struct {
+	Vertices  int     // total vertex count
+	Layers    int     // number of topological layers (≥ 2)
+	EdgeRatio float64 // target |E| / |V|
+	Locality  float64 // probability an edge targets the next layer (vs any later layer), in [0,1]
+	Seed      int64
+}
+
+// RandomLayeredDAG builds a connected, layered random DAG that mimics the
+// structure of technology-mapped logic: vertices are spread over layers,
+// every non-first-layer vertex has at least one predecessor in an earlier
+// layer, and additional edges are added (mostly layer-local) until the target
+// edge ratio is met. The result is deterministic for a given config.
+func RandomLayeredDAG(cfg RandomDAGConfig) ([]Edge, error) {
+	if cfg.Vertices < 2 {
+		return nil, fmt.Errorf("graph: need ≥2 vertices, got %d", cfg.Vertices)
+	}
+	if cfg.Layers < 2 {
+		return nil, fmt.Errorf("graph: need ≥2 layers, got %d", cfg.Layers)
+	}
+	if cfg.Layers > cfg.Vertices {
+		return nil, fmt.Errorf("graph: layers %d > vertices %d", cfg.Layers, cfg.Vertices)
+	}
+	if cfg.EdgeRatio <= 0 {
+		return nil, fmt.Errorf("graph: edge ratio must be positive, got %g", cfg.EdgeRatio)
+	}
+	if cfg.Locality < 0 || cfg.Locality > 1 {
+		return nil, fmt.Errorf("graph: locality must be in [0,1], got %g", cfg.Locality)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Assign vertices to layers: each layer gets at least one vertex, the
+	// remainder is spread randomly.
+	layerOf := make([]int, cfg.Vertices)
+	for v := 0; v < cfg.Layers; v++ {
+		layerOf[v] = v
+	}
+	for v := cfg.Layers; v < cfg.Vertices; v++ {
+		layerOf[v] = rng.Intn(cfg.Layers)
+	}
+	// Renumber so vertex order follows layer order (keeps edges forward).
+	order := make([]int, cfg.Vertices)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return layerOf[order[a]] < layerOf[order[b]] })
+	layers := make([][]int, cfg.Layers)
+	newLayer := make([]int, cfg.Vertices)
+	for newID, oldID := range order {
+		l := layerOf[oldID]
+		layers[l] = append(layers[l], newID)
+		newLayer[newID] = l
+	}
+
+	var edges []Edge
+	// Backbone: every vertex beyond layer 0 gets one predecessor from the
+	// previous non-empty layer, guaranteeing connectivity and acyclicity.
+	for l := 1; l < cfg.Layers; l++ {
+		prev := layers[l-1]
+		for _, v := range layers[l] {
+			p := prev[rng.Intn(len(prev))]
+			edges = append(edges, Edge{From: p, To: v})
+		}
+	}
+	target := int(cfg.EdgeRatio * float64(cfg.Vertices))
+	if target < len(edges) {
+		target = len(edges)
+	}
+	for len(edges) < target {
+		// Pick a source in a layer that has at least one later layer.
+		l := rng.Intn(cfg.Layers - 1)
+		if len(layers[l]) == 0 {
+			continue
+		}
+		src := layers[l][rng.Intn(len(layers[l]))]
+		dstLayer := l + 1
+		if rng.Float64() > cfg.Locality {
+			dstLayer = l + 1 + rng.Intn(cfg.Layers-l-1)
+		}
+		if len(layers[dstLayer]) == 0 {
+			continue
+		}
+		dst := layers[dstLayer][rng.Intn(len(layers[dstLayer]))]
+		edges = append(edges, Edge{From: src, To: dst})
+	}
+	_ = newLayer
+	return edges, nil
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComponents(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}; vertex 5 isolated.
+	edges := []Edge{{0, 1}, {1, 2}, {3, 4}}
+	label, count := Components(6, edges)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Errorf("vertices 0,1,2 not in one component: %v", label)
+	}
+	if label[3] != label[4] || label[3] == label[0] {
+		t.Errorf("vertices 3,4 mislabeled: %v", label)
+	}
+	if label[5] == label[0] || label[5] == label[3] {
+		t.Errorf("vertex 5 not isolated: %v", label)
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	label, count := Components(0, nil)
+	if count != 0 || len(label) != 0 {
+		t.Errorf("empty graph: count=%d label=%v", count, label)
+	}
+}
+
+func TestBFSDist(t *testing.T) {
+	// Path 0-1-2-3 with a chord 0-2; vertex 4 unreachable.
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 2}}
+	dist := BFSDist(5, edges, 0)
+	want := []int{0, 1, 1, 2, -1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestIsDAG(t *testing.T) {
+	if !IsDAG(3, []Edge{{0, 1}, {1, 2}, {0, 2}}) {
+		t.Error("acyclic graph reported cyclic")
+	}
+	if IsDAG(3, []Edge{{0, 1}, {1, 2}, {2, 0}}) {
+		t.Error("cycle not detected")
+	}
+	if !IsDAG(2, nil) {
+		t.Error("edgeless graph should be a DAG")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	edges := []Edge{{0, 1}, {0, 2}, {1, 2}}
+	hist := DegreeHistogram(4, edges)
+	if hist[2] != 1 || hist[1] != 1 || hist[0] != 2 {
+		t.Errorf("hist = %v", hist)
+	}
+}
+
+func TestRandomLayeredDAGInvariants(t *testing.T) {
+	cfg := RandomDAGConfig{Vertices: 200, Layers: 10, EdgeRatio: 1.3, Locality: 0.8, Seed: 7}
+	edges, err := RandomLayeredDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDAG(cfg.Vertices, edges) {
+		t.Error("generated graph is cyclic")
+	}
+	if len(edges) < int(cfg.EdgeRatio*float64(cfg.Vertices)) {
+		t.Errorf("only %d edges for target ratio %.2f", len(edges), cfg.EdgeRatio)
+	}
+	// Every vertex that is not a source must have an in-edge (the backbone
+	// guarantees a predecessor in an earlier layer), so the number of weak
+	// components is bounded by the number of sources.
+	indeg := make([]int, cfg.Vertices)
+	for _, e := range edges {
+		if e.From < 0 || e.From >= cfg.Vertices || e.To < 0 || e.To >= cfg.Vertices {
+			t.Fatalf("edge %v out of range", e)
+		}
+		indeg[e.To]++
+	}
+	sources := 0
+	for _, d := range indeg {
+		if d == 0 {
+			sources++
+		}
+	}
+	_, count := Components(cfg.Vertices, edges)
+	if count > sources {
+		t.Errorf("graph has %d components but only %d sources", count, sources)
+	}
+}
+
+func TestRandomLayeredDAGDeterministic(t *testing.T) {
+	cfg := RandomDAGConfig{Vertices: 60, Layers: 6, EdgeRatio: 1.2, Locality: 0.7, Seed: 42}
+	a, err := RandomLayeredDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomLayeredDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandomLayeredDAGErrors(t *testing.T) {
+	cases := []RandomDAGConfig{
+		{Vertices: 1, Layers: 2, EdgeRatio: 1},
+		{Vertices: 10, Layers: 1, EdgeRatio: 1},
+		{Vertices: 5, Layers: 9, EdgeRatio: 1},
+		{Vertices: 10, Layers: 2, EdgeRatio: 0},
+		{Vertices: 10, Layers: 2, EdgeRatio: 1, Locality: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := RandomLayeredDAG(cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+}
+
+// Property: random layered DAGs are always acyclic, whatever the seed and
+// (valid) shape.
+func TestRandomLayeredDAGAlwaysAcyclic(t *testing.T) {
+	f := func(seed int64, vRaw, lRaw uint8) bool {
+		v := int(vRaw%150) + 10
+		l := int(lRaw%8) + 2
+		if l > v {
+			l = v
+		}
+		edges, err := RandomLayeredDAG(RandomDAGConfig{
+			Vertices: v, Layers: l, EdgeRatio: 1.25, Locality: 0.75, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		return IsDAG(v, edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

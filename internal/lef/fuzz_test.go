@@ -1,0 +1,22 @@
+package lef
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the LEF reader never panics on arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add("MACRO X\n SIZE 1 BY 1 ;\nEND X\n")
+	f.Add("PROPERTYDEFINITIONS\n MACRO biasCurrent REAL ;\nEND PROPERTYDEFINITIONS\nMACRO Y\n PIN a\n DIRECTION INPUT ;\n END a\nEND Y\n")
+	f.Add("")
+	f.Add("MACRO")
+	f.Add("MACRO Z\n PROPERTY biasCurrent -1e309 ;\nEND Z\n")
+	f.Add("END LIBRARY MACRO ; ; ;")
+	f.Fuzz(func(t *testing.T, src string) {
+		macros, err := Parse(strings.NewReader(src))
+		if err == nil && macros != nil {
+			_, _ = ToLibrary("fuzz", macros)
+		}
+	})
+}

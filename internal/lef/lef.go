@@ -1,0 +1,242 @@
+// Package lef reads and writes the subset of the LEF (Library Exchange
+// Format) needed to describe an SFQ cell library: MACRO blocks with SIZE
+// geometry, PIN declarations, and a biasCurrent PROPERTY carrying the cell's
+// bias requirement in mA (LEF itself has no bias concept; the property
+// convention keeps the DEF/LEF pair self-contained, mirroring how the SFQ
+// benchmark suite distributes cell data alongside the routed designs).
+package lef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpp/internal/cellib"
+	"gpp/internal/tok"
+)
+
+// Write emits the library as LEF. Geometry is written in microns.
+func Write(w io.Writer, lib *cellib.Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n")
+	fmt.Fprintf(bw, "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n\n")
+	fmt.Fprintf(bw, "PROPERTYDEFINITIONS\n  MACRO biasCurrent REAL ;\n  MACRO jjCount INTEGER ;\n  MACRO clocked INTEGER ;\n  MACRO delayPS REAL ;\nEND PROPERTYDEFINITIONS\n\n")
+	for _, c := range lib.Cells() {
+		fmt.Fprintf(bw, "MACRO %s\n", c.Name)
+		fmt.Fprintf(bw, "  CLASS CORE ;\n")
+		fmt.Fprintf(bw, "  SIZE %.3f BY %.3f ;\n", c.Width()*1000, c.Height()*1000)
+		fmt.Fprintf(bw, "  PROPERTY biasCurrent %.4f ;\n", c.Bias)
+		fmt.Fprintf(bw, "  PROPERTY jjCount %d ;\n", c.JJs)
+		fmt.Fprintf(bw, "  PROPERTY delayPS %.3f ;\n", c.DelayPS)
+		clk := 0
+		if c.Clocked {
+			clk = 1
+		}
+		fmt.Fprintf(bw, "  PROPERTY clocked %d ;\n", clk)
+		for i := 0; i < c.Inputs; i++ {
+			fmt.Fprintf(bw, "  PIN i%d\n    DIRECTION INPUT ;\n  END i%d\n", i, i)
+		}
+		if c.Clocked {
+			fmt.Fprintf(bw, "  PIN clk\n    DIRECTION INPUT ;\n  END clk\n")
+		}
+		for i := 0; i < c.Outputs; i++ {
+			fmt.Fprintf(bw, "  PIN o%d\n    DIRECTION OUTPUT ;\n  END o%d\n", i, i)
+		}
+		fmt.Fprintf(bw, "END %s\n\n", c.Name)
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+// Macro is one parsed LEF macro.
+type Macro struct {
+	Name     string
+	WidthUm  float64 // microns
+	HeightUm float64
+	Bias     float64 // mA (from the biasCurrent property; 0 if absent)
+	DelayPS  float64 // ps (from the delayPS property; 0 if absent)
+	JJs      int
+	Clocked  bool
+	InPins   []string
+	OutPins  []string
+}
+
+// Area returns the macro area in mm².
+func (m Macro) Area() float64 { return m.WidthUm * m.HeightUm / 1e6 }
+
+// Parse reads the LEF subset written by Write (and tolerates unknown
+// statements by skipping to the next ';').
+func Parse(r io.Reader) (map[string]Macro, error) {
+	tz := tok.New(r)
+	macros := make(map[string]Macro)
+	for {
+		t, ok := tz.Next()
+		if !ok {
+			break
+		}
+		// PROPERTYDEFINITIONS contains "MACRO <name> <type> ;" statements
+		// that must not be mistaken for macro blocks.
+		if strings.EqualFold(t, "PROPERTYDEFINITIONS") {
+			for {
+				t2, ok := tz.Next()
+				if !ok {
+					return nil, fmt.Errorf("lef: EOF inside PROPERTYDEFINITIONS")
+				}
+				if strings.EqualFold(t2, "END") {
+					tz.Next() // PROPERTYDEFINITIONS
+					break
+				}
+			}
+			continue
+		}
+		if !strings.EqualFold(t, "MACRO") {
+			continue
+		}
+		name, ok := tz.Next()
+		if !ok {
+			return nil, fmt.Errorf("lef: EOF after MACRO")
+		}
+		m := Macro{Name: name}
+		if err := parseMacroBody(tz, &m); err != nil {
+			return nil, err
+		}
+		macros[name] = m
+	}
+	if len(macros) == 0 {
+		return nil, fmt.Errorf("lef: no MACRO blocks found")
+	}
+	return macros, nil
+}
+
+func parseMacroBody(tz *tok.Tokenizer, m *Macro) error {
+	for {
+		t, ok := tz.Next()
+		if !ok {
+			return fmt.Errorf("lef: EOF inside MACRO %s", m.Name)
+		}
+		switch strings.ToUpper(t) {
+		case "END":
+			nxt, _ := tz.Next() // macro name (or LIBRARY)
+			if nxt != m.Name {
+				return fmt.Errorf("lef: END %s inside MACRO %s", nxt, m.Name)
+			}
+			return nil
+		case "SIZE":
+			wStr, ok1 := tz.Next()
+			by, ok2 := tz.Next()
+			hStr, ok3 := tz.Next()
+			if !ok1 || !ok2 || !ok3 || !strings.EqualFold(by, "BY") {
+				return fmt.Errorf("lef: malformed SIZE in MACRO %s", m.Name)
+			}
+			w, err1 := strconv.ParseFloat(wStr, 64)
+			h, err2 := strconv.ParseFloat(hStr, 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("lef: bad SIZE numbers in MACRO %s", m.Name)
+			}
+			m.WidthUm, m.HeightUm = w, h
+			tz.SkipStatement()
+		case "PROPERTY":
+			key, ok1 := tz.Next()
+			val, ok2 := tz.Next()
+			if !ok1 || !ok2 {
+				return fmt.Errorf("lef: malformed PROPERTY in MACRO %s", m.Name)
+			}
+			switch key {
+			case "biasCurrent":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return fmt.Errorf("lef: bad biasCurrent %q in MACRO %s", val, m.Name)
+				}
+				m.Bias = f
+			case "delayPS":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return fmt.Errorf("lef: bad delayPS %q in MACRO %s", val, m.Name)
+				}
+				m.DelayPS = f
+			case "jjCount":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return fmt.Errorf("lef: bad jjCount %q in MACRO %s", val, m.Name)
+				}
+				m.JJs = n
+			case "clocked":
+				m.Clocked = val == "1"
+			}
+			tz.SkipStatement()
+		case "PIN":
+			pin, ok := tz.Next()
+			if !ok {
+				return fmt.Errorf("lef: EOF in PIN of MACRO %s", m.Name)
+			}
+			dirOut := false
+			for {
+				t2, ok := tz.Next()
+				if !ok {
+					return fmt.Errorf("lef: EOF in PIN %s of MACRO %s", pin, m.Name)
+				}
+				if strings.EqualFold(t2, "END") {
+					tz.Next() // pin name
+					break
+				}
+				if strings.EqualFold(t2, "DIRECTION") {
+					d, _ := tz.Next()
+					dirOut = strings.EqualFold(d, "OUTPUT")
+				}
+			}
+			if dirOut {
+				m.OutPins = append(m.OutPins, pin)
+			} else {
+				m.InPins = append(m.InPins, pin)
+			}
+		default:
+			tz.SkipStatement()
+		}
+	}
+}
+
+// ToLibrary converts parsed macros into a cell library. Cells get
+// KindUnknown unless their name matches the default library's naming.
+func ToLibrary(name string, macros map[string]Macro) (*cellib.Library, error) {
+	def := cellib.Default()
+	names := make([]string, 0, len(macros))
+	for n := range macros {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cells := make([]cellib.Cell, 0, len(names))
+	nextKind := cellib.Kind(1000) // synthetic kinds for unknown macros
+	for _, n := range names {
+		m := macros[n]
+		kind := nextKind
+		if c, ok := def.ByName(n); ok {
+			kind = c.Kind
+		} else {
+			nextKind++
+		}
+		tw := int(m.WidthUm/(cellib.TileW*1000) + 0.5)
+		th := int(m.HeightUm/(cellib.TileH*1000) + 0.5)
+		if tw < 1 {
+			tw = 1
+		}
+		if th < 1 {
+			th = 1
+		}
+		// The clk pin is an input in LEF but is not a data input.
+		dataIns := 0
+		for _, p := range m.InPins {
+			if p != "clk" {
+				dataIns++
+			}
+		}
+		cells = append(cells, cellib.Cell{
+			Name: n, Kind: kind, JJs: m.JJs, Bias: m.Bias, DelayPS: m.DelayPS,
+			TilesW: tw, TilesH: th,
+			Inputs: dataIns, Outputs: len(m.OutPins), Clocked: m.Clocked,
+		})
+	}
+	return cellib.NewLibrary(name, cells)
+}

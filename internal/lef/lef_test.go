@@ -1,0 +1,180 @@
+package lef
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gpp/internal/cellib"
+)
+
+func TestRoundTrip(t *testing.T) {
+	lib := cellib.Default()
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	macros, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(macros) != lib.Len() {
+		t.Fatalf("parsed %d macros, library has %d cells", len(macros), lib.Len())
+	}
+	for _, c := range lib.Cells() {
+		m, ok := macros[c.Name]
+		if !ok {
+			t.Errorf("macro %s missing", c.Name)
+			continue
+		}
+		if math.Abs(m.Bias-c.Bias) > 1e-9 {
+			t.Errorf("%s: bias %g, want %g", c.Name, m.Bias, c.Bias)
+		}
+		if math.Abs(m.Area()-c.Area()) > 1e-9 {
+			t.Errorf("%s: area %g, want %g", c.Name, m.Area(), c.Area())
+		}
+		if m.JJs != c.JJs {
+			t.Errorf("%s: JJs %d, want %d", c.Name, m.JJs, c.JJs)
+		}
+		if m.Clocked != c.Clocked {
+			t.Errorf("%s: clocked %v, want %v", c.Name, m.Clocked, c.Clocked)
+		}
+		if len(m.OutPins) != c.Outputs {
+			t.Errorf("%s: %d output pins, want %d", c.Name, len(m.OutPins), c.Outputs)
+		}
+		wantIns := c.Inputs
+		if c.Clocked {
+			wantIns++ // clk pin
+		}
+		if len(m.InPins) != wantIns {
+			t.Errorf("%s: %d input pins, want %d", c.Name, len(m.InPins), wantIns)
+		}
+	}
+}
+
+func TestRoundTripToLibrary(t *testing.T) {
+	lib := cellib.Default()
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	macros, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := ToLibrary("roundtrip", macros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib2.Len() != lib.Len() {
+		t.Fatalf("library sizes differ: %d vs %d", lib2.Len(), lib.Len())
+	}
+	for _, want := range lib.Cells() {
+		got, ok := lib2.ByName(want.Name)
+		if !ok {
+			t.Errorf("cell %s missing after round trip", want.Name)
+			continue
+		}
+		if got.Bias != want.Bias || got.TilesW != want.TilesW || got.TilesH != want.TilesH ||
+			got.Inputs != want.Inputs || got.Outputs != want.Outputs ||
+			got.Clocked != want.Clocked || got.JJs != want.JJs || got.Kind != want.Kind ||
+			got.DelayPS != want.DelayPS {
+			t.Errorf("cell %s differs: got %+v, want %+v", want.Name, got, want)
+		}
+	}
+}
+
+func TestParseUnknownStatementsSkipped(t *testing.T) {
+	src := `
+VERSION 5.8 ;
+MANUFACTURINGGRID 0.005 ;
+MACRO FOO
+  CLASS CORE ;
+  FOREIGN FOO 0 0 ;
+  SIZE 80.000 BY 40.000 ;
+  PROPERTY biasCurrent 0.5000 ;
+  SYMMETRY X Y ;
+  PIN a
+    DIRECTION INPUT ;
+    USE SIGNAL ;
+  END a
+  PIN q
+    DIRECTION OUTPUT ;
+  END q
+END FOO
+END LIBRARY
+`
+	macros, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := macros["FOO"]
+	if !ok {
+		t.Fatal("FOO not parsed")
+	}
+	if m.WidthUm != 80 || m.HeightUm != 40 {
+		t.Errorf("size = %gx%g", m.WidthUm, m.HeightUm)
+	}
+	if m.Bias != 0.5 {
+		t.Errorf("bias = %g", m.Bias)
+	}
+	if len(m.InPins) != 1 || len(m.OutPins) != 1 {
+		t.Errorf("pins = %v / %v", m.InPins, m.OutPins)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no macros", "VERSION 5.8 ;\nEND LIBRARY\n", "no MACRO"},
+		{"eof in macro", "MACRO X\n SIZE 1 BY 1 ;\n", "EOF inside MACRO"},
+		{"bad size", "MACRO X\n SIZE a BY b ;\nEND X\n", "bad SIZE"},
+		{"size missing BY", "MACRO X\n SIZE 1 2 ;\nEND X\n", "malformed SIZE"},
+		{"bad bias", "MACRO X\n PROPERTY biasCurrent oops ;\nEND X\n", "bad biasCurrent"},
+		{"bad jj", "MACRO X\n PROPERTY jjCount oops ;\nEND X\n", "bad jjCount"},
+		{"bad delay", "MACRO X\n PROPERTY delayPS oops ;\nEND X\n", "bad delayPS"},
+		{"mismatched end", "MACRO X\n SIZE 1 BY 1 ;\nEND Y\n", "END Y inside MACRO X"},
+		{"eof after macro kw", "MACRO", "EOF after MACRO"},
+		{"eof in propdefs", "PROPERTYDEFINITIONS\n MACRO biasCurrent REAL ;\n", "EOF inside PROPERTYDEFINITIONS"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Parse = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestToLibraryUnknownMacroGetsSyntheticKind(t *testing.T) {
+	macros := map[string]Macro{
+		"CUSTOM1": {Name: "CUSTOM1", WidthUm: 40, HeightUm: 40, Bias: 0.3, InPins: []string{"a"}, OutPins: []string{"q"}},
+		"CUSTOM2": {Name: "CUSTOM2", WidthUm: 80, HeightUm: 40, Bias: 0.7, InPins: []string{"a", "clk"}, OutPins: []string{"q"}, Clocked: true},
+	}
+	lib, err := ToLibrary("custom", macros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, ok := lib.ByName("CUSTOM1")
+	if !ok {
+		t.Fatal("CUSTOM1 missing")
+	}
+	c2, ok := lib.ByName("CUSTOM2")
+	if !ok {
+		t.Fatal("CUSTOM2 missing")
+	}
+	if c1.Kind == c2.Kind {
+		t.Error("synthetic kinds must be distinct")
+	}
+	if c2.Inputs != 1 {
+		t.Errorf("clk pin counted as data input: Inputs = %d", c2.Inputs)
+	}
+	if c1.TilesW != 1 || c2.TilesW != 2 {
+		t.Errorf("tile rounding wrong: %d, %d", c1.TilesW, c2.TilesW)
+	}
+}

@@ -1,0 +1,131 @@
+package logic
+
+import "fmt"
+
+// PathBalance returns a fully path-balanced copy of the circuit: every
+// clocked gate's data inputs arrive with the same pipeline depth, realized
+// by inserting OpDelay (DFF) chains on shallow inputs — the standard SFQ
+// synthesis step (the paper's SFQ primer, Section II: "most gates are
+// clocked implying that a circuit is gate-level pipelined"). Without it, a
+// gate whose inputs come from different pipeline depths would combine
+// pulses from different logical waves.
+//
+// Clock-depth convention: every Boolean op is one pipeline stage; inputs,
+// outputs, buffers and delays add depth as marked; OpDelay counts as a
+// stage itself. Primary outputs are also equalized so every result of a
+// wave leaves the circuit on the same clock tick.
+//
+// Returns the balanced circuit and the number of delay elements inserted.
+// A circuit that is already balanced comes back structurally identical
+// (zero insertions).
+func PathBalance(c *Circuit) (*Circuit, int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, 0, err
+	}
+	b := NewBuilder(c.Name)
+	newID := make([]NodeID, len(c.Nodes))
+	depth := make([]int, len(c.Nodes)) // pipeline depth at each ORIGINAL node's output
+	inserted := 0
+
+	// delayTo lifts src (a NEW-circuit node at depth have) to depth want.
+	delayTo := func(src NodeID, have, want int) NodeID {
+		for ; have < want; have++ {
+			src = b.Delay(src)
+			inserted++
+		}
+		return src
+	}
+
+	stageOf := func(op Op) int {
+		switch op {
+		case OpAnd, OpOr, OpXor, OpNot, OpNand, OpNor, OpXnor, OpAndNot, OpDelay:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	// First pass over outputs is not needed separately for inner balance;
+	// collect output nodes to equalize at the end.
+	maxOutDepth := 0
+	type outRec struct {
+		oldID NodeID
+	}
+	var outs []outRec
+
+	for _, n := range c.Nodes {
+		switch n.Op {
+		case OpInput:
+			newID[n.ID] = b.Input(n.Name)
+			depth[n.ID] = 0
+		case OpOutput:
+			// Defer: outputs are added last, equalized to the deepest one.
+			outs = append(outs, outRec{oldID: n.ID})
+			if d := depth[n.Ins[0]]; d > maxOutDepth {
+				maxOutDepth = d
+			}
+		default:
+			// Balance the inputs to the max of their depths.
+			maxIn := 0
+			for _, in := range n.Ins {
+				if depth[in] > maxIn {
+					maxIn = depth[in]
+				}
+			}
+			lifted := make([]NodeID, len(n.Ins))
+			for i, in := range n.Ins {
+				lifted[i] = delayTo(newID[in], depth[in], maxIn)
+			}
+			id := b.add(n.Op, n.Name, lifted...)
+			newID[n.ID] = id
+			depth[n.ID] = maxIn + stageOf(n.Op)
+		}
+	}
+	for _, o := range outs {
+		src := c.Nodes[o.oldID].Ins[0]
+		lifted := delayTo(newID[src], depth[src], maxOutDepth)
+		b.Output(c.Nodes[o.oldID].Name, lifted)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, 0, fmt.Errorf("logic: path balance produced invalid circuit: %w", err)
+	}
+	return out, inserted, nil
+}
+
+// IsPathBalanced reports whether every multi-input Boolean gate's inputs
+// share one pipeline depth and all primary outputs leave at one depth.
+func IsPathBalanced(c *Circuit) bool {
+	depth := make([]int, len(c.Nodes))
+	outDepth := -1
+	for _, n := range c.Nodes {
+		switch n.Op {
+		case OpInput:
+			depth[n.ID] = 0
+		case OpOutput:
+			d := depth[n.Ins[0]]
+			if outDepth < 0 {
+				outDepth = d
+			} else if outDepth != d {
+				return false
+			}
+		default:
+			maxIn := 0
+			for _, in := range n.Ins {
+				if depth[in] > maxIn {
+					maxIn = depth[in]
+				}
+			}
+			if len(n.Ins) == 2 && depth[n.Ins[0]] != depth[n.Ins[1]] {
+				return false
+			}
+			stage := 0
+			switch n.Op {
+			case OpAnd, OpOr, OpXor, OpNot, OpNand, OpNor, OpXnor, OpAndNot, OpDelay:
+				stage = 1
+			}
+			depth[n.ID] = maxIn + stage
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package logic
+
+import (
+	"testing"
+)
+
+// unbalanced: a ⊕ (b ∧ c) — the XOR's inputs arrive at depths 0 and 1.
+func unbalanced(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("ub")
+	a := b.Input("a")
+	bb := b.Input("b")
+	cc := b.Input("c")
+	and := b.And(bb, cc)
+	x := b.Xor(a, and)
+	b.Output("z", x)
+	return b.MustBuild()
+}
+
+func TestPathBalanceInsertsDelays(t *testing.T) {
+	c := unbalanced(t)
+	if IsPathBalanced(c) {
+		t.Fatal("fixture should be unbalanced")
+	}
+	bal, inserted, err := PathBalance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted != 1 {
+		t.Errorf("inserted %d delays, want 1 (lift input a to depth 1)", inserted)
+	}
+	if !IsPathBalanced(bal) {
+		t.Error("result not balanced")
+	}
+	if bal.NumNodes() != c.NumNodes()+1 {
+		t.Errorf("node count %d, want %d", bal.NumNodes(), c.NumNodes()+1)
+	}
+}
+
+func TestPathBalancePreservesFunction(t *testing.T) {
+	c := unbalanced(t)
+	bal, _, err := PathBalance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := c.Inputs()
+	balIns := bal.Inputs()
+	for mask := 0; mask < 8; mask++ {
+		orig := map[NodeID]bool{}
+		lift := map[NodeID]bool{}
+		for i := 0; i < 3; i++ {
+			orig[ins[i]] = mask>>i&1 == 1
+			lift[balIns[i]] = mask>>i&1 == 1
+		}
+		v1, err := c.Eval(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := bal.Eval(lift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1[c.Outputs()[0]] != v2[bal.Outputs()[0]] {
+			t.Fatalf("function changed at input mask %b", mask)
+		}
+	}
+}
+
+func TestPathBalanceIdempotent(t *testing.T) {
+	c := unbalanced(t)
+	bal, _, err := PathBalance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, inserted, err := PathBalance(bal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted != 0 {
+		t.Errorf("second balance inserted %d delays", inserted)
+	}
+	if again.NumNodes() != bal.NumNodes() {
+		t.Errorf("node count changed on re-balance")
+	}
+}
+
+func TestPathBalanceEqualizesOutputs(t *testing.T) {
+	// Two outputs at different depths: a (depth 0) and a∧b (depth 1).
+	b := NewBuilder("outs")
+	a := b.Input("a")
+	bb := b.Input("b")
+	g := b.And(a, bb)
+	b.Output("shallow", a)
+	b.Output("deep", g)
+	c := b.MustBuild()
+	if IsPathBalanced(c) {
+		t.Fatal("fixture should be output-unbalanced")
+	}
+	bal, inserted, err := PathBalance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted == 0 {
+		t.Error("no delays inserted for output skew")
+	}
+	if !IsPathBalanced(bal) {
+		t.Error("outputs still unbalanced")
+	}
+}
+
+func TestPathBalanceAlreadyBalancedUntouched(t *testing.T) {
+	b := NewBuilder("bal")
+	x := b.Input("x")
+	y := b.Input("y")
+	g := b.And(x, y)
+	b.Output("z", g)
+	c := b.MustBuild()
+	out, inserted, err := PathBalance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted != 0 || out.NumNodes() != c.NumNodes() {
+		t.Errorf("balanced circuit modified: %d inserted", inserted)
+	}
+}
+
+func TestPathBalanceRejectsInvalid(t *testing.T) {
+	bad := &Circuit{Name: "bad", Nodes: []Node{{ID: 0, Op: OpAnd, Ins: []NodeID{0, 0}}}}
+	if _, _, err := PathBalance(bad); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}

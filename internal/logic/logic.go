@@ -1,0 +1,265 @@
+// Package logic is the small gate-level intermediate representation the
+// benchmark generators produce and the SFQ technology mapper consumes.
+//
+// A logic circuit is a DAG of at-most-2-input Boolean gates plus primary
+// inputs and outputs. Fanout is unrestricted here; the SFQ mapper
+// (internal/sfqmap) later realizes fanout with explicit splitter trees and
+// adds the clock distribution network.
+package logic
+
+import "fmt"
+
+// Op is a logic gate operation.
+type Op int
+
+// Operations. OpInput nodes have no inputs; OpOutput nodes have exactly one
+// input and mark primary outputs. All Boolean ops take one or two inputs.
+const (
+	OpInvalid Op = iota
+	OpInput
+	OpOutput
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpNand
+	OpNor
+	OpXnor
+	OpAndNot // a AND (NOT b)
+	OpBuf    // single-input buffer (used for repeaters)
+	OpDelay  // single-input clocked delay (maps to a DFF; used by path balancing)
+)
+
+var opNames = map[Op]string{
+	OpInvalid: "INVALID",
+	OpInput:   "INPUT",
+	OpOutput:  "OUTPUT",
+	OpAnd:     "AND",
+	OpOr:      "OR",
+	OpXor:     "XOR",
+	OpNot:     "NOT",
+	OpNand:    "NAND",
+	OpNor:     "NOR",
+	OpXnor:    "XNOR",
+	OpAndNot:  "ANDNOT",
+	OpBuf:     "BUF",
+	OpDelay:   "DELAY",
+}
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OP(%d)", int(o))
+}
+
+// Arity returns the input count the operation requires.
+func (o Op) Arity() int {
+	switch o {
+	case OpInput:
+		return 0
+	case OpOutput, OpNot, OpBuf, OpDelay:
+		return 1
+	case OpAnd, OpOr, OpXor, OpNand, OpNor, OpXnor, OpAndNot:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// NodeID indexes a node within one Circuit.
+type NodeID int
+
+// Node is one logic gate, primary input, or primary output.
+type Node struct {
+	ID   NodeID
+	Op   Op
+	Name string // optional; inputs/outputs get meaningful names
+	Ins  []NodeID
+}
+
+// Circuit is a gate-level logic netlist.
+type Circuit struct {
+	Name  string
+	Nodes []Node
+}
+
+// NumNodes returns the node count.
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// Inputs returns the IDs of all primary inputs, in ID order.
+func (c *Circuit) Inputs() []NodeID {
+	var out []NodeID
+	for _, n := range c.Nodes {
+		if n.Op == OpInput {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Outputs returns the IDs of all primary output markers, in ID order.
+func (c *Circuit) Outputs() []NodeID {
+	var out []NodeID
+	for _, n := range c.Nodes {
+		if n.Op == OpOutput {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Fanouts returns, for each node, the IDs of nodes that consume its value
+// (each consumption counted once per input pin).
+func (c *Circuit) Fanouts() [][]NodeID {
+	fo := make([][]NodeID, len(c.Nodes))
+	for _, n := range c.Nodes {
+		for _, in := range n.Ins {
+			fo[in] = append(fo[in], n.ID)
+		}
+	}
+	return fo
+}
+
+// Validate checks structural invariants: dense IDs, correct arities,
+// forward-only references (nodes may only use lower-numbered nodes, which
+// guarantees acyclicity), and outputs driven by non-output nodes.
+func (c *Circuit) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("logic: circuit has empty name")
+	}
+	for i, n := range c.Nodes {
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("logic: node at index %d has ID %d", i, n.ID)
+		}
+		want := n.Op.Arity()
+		if want < 0 {
+			return fmt.Errorf("logic: node %d has invalid op %v", i, n.Op)
+		}
+		if len(n.Ins) != want {
+			return fmt.Errorf("logic: node %d (%v) has %d inputs, wants %d", i, n.Op, len(n.Ins), want)
+		}
+		for _, in := range n.Ins {
+			if in < 0 || in >= NodeID(i) {
+				return fmt.Errorf("logic: node %d references node %d (must be < %d)", i, in, i)
+			}
+			if c.Nodes[in].Op == OpOutput {
+				return fmt.Errorf("logic: node %d consumes output marker %d", i, in)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the circuit on the given input assignment (keyed by input
+// node ID) and returns the value at every node. Output markers take their
+// driver's value.
+func (c *Circuit) Eval(inputs map[NodeID]bool) ([]bool, error) {
+	vals := make([]bool, len(c.Nodes))
+	for _, n := range c.Nodes {
+		switch n.Op {
+		case OpInput:
+			v, ok := inputs[n.ID]
+			if !ok {
+				return nil, fmt.Errorf("logic: no value for input %d (%s)", n.ID, n.Name)
+			}
+			vals[n.ID] = v
+		case OpOutput, OpBuf, OpDelay:
+			vals[n.ID] = vals[n.Ins[0]]
+		case OpNot:
+			vals[n.ID] = !vals[n.Ins[0]]
+		case OpAnd:
+			vals[n.ID] = vals[n.Ins[0]] && vals[n.Ins[1]]
+		case OpOr:
+			vals[n.ID] = vals[n.Ins[0]] || vals[n.Ins[1]]
+		case OpXor:
+			vals[n.ID] = vals[n.Ins[0]] != vals[n.Ins[1]]
+		case OpNand:
+			vals[n.ID] = !(vals[n.Ins[0]] && vals[n.Ins[1]])
+		case OpNor:
+			vals[n.ID] = !(vals[n.Ins[0]] || vals[n.Ins[1]])
+		case OpXnor:
+			vals[n.ID] = vals[n.Ins[0]] == vals[n.Ins[1]]
+		case OpAndNot:
+			vals[n.ID] = vals[n.Ins[0]] && !vals[n.Ins[1]]
+		default:
+			return nil, fmt.Errorf("logic: cannot evaluate op %v", n.Op)
+		}
+	}
+	return vals, nil
+}
+
+// Builder constructs a Circuit with convenience constructors per operation.
+type Builder struct {
+	name  string
+	nodes []Node
+}
+
+// NewBuilder starts a circuit.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+func (b *Builder) add(op Op, name string, ins ...NodeID) NodeID {
+	id := NodeID(len(b.nodes))
+	in := make([]NodeID, len(ins))
+	copy(in, ins)
+	b.nodes = append(b.nodes, Node{ID: id, Op: op, Name: name, Ins: in})
+	return id
+}
+
+// Input adds a named primary input.
+func (b *Builder) Input(name string) NodeID { return b.add(OpInput, name) }
+
+// Output marks a node as driving a named primary output.
+func (b *Builder) Output(name string, src NodeID) NodeID { return b.add(OpOutput, name, src) }
+
+// And adds an AND gate.
+func (b *Builder) And(x, y NodeID) NodeID { return b.add(OpAnd, "", x, y) }
+
+// Or adds an OR gate.
+func (b *Builder) Or(x, y NodeID) NodeID { return b.add(OpOr, "", x, y) }
+
+// Xor adds an XOR gate.
+func (b *Builder) Xor(x, y NodeID) NodeID { return b.add(OpXor, "", x, y) }
+
+// Not adds an inverter.
+func (b *Builder) Not(x NodeID) NodeID { return b.add(OpNot, "", x) }
+
+// Nand adds a NAND gate.
+func (b *Builder) Nand(x, y NodeID) NodeID { return b.add(OpNand, "", x, y) }
+
+// Nor adds a NOR gate.
+func (b *Builder) Nor(x, y NodeID) NodeID { return b.add(OpNor, "", x, y) }
+
+// Xnor adds an XNOR gate.
+func (b *Builder) Xnor(x, y NodeID) NodeID { return b.add(OpXnor, "", x, y) }
+
+// AndNot adds an x AND (NOT y) gate.
+func (b *Builder) AndNot(x, y NodeID) NodeID { return b.add(OpAndNot, "", x, y) }
+
+// Buf adds a buffer.
+func (b *Builder) Buf(x NodeID) NodeID { return b.add(OpBuf, "", x) }
+
+// Delay adds a clocked delay element (DFF).
+func (b *Builder) Delay(x NodeID) NodeID { return b.add(OpDelay, "", x) }
+
+// Build finalizes and validates the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	c := &Circuit{Name: b.name, Nodes: b.nodes}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustBuild finalizes the circuit, panicking on structural errors (used by
+// the fixed-shape generators, where an error is a bug).
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic("logic: MustBuild: " + err.Error())
+	}
+	return c
+}

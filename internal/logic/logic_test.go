@@ -1,0 +1,218 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpArity(t *testing.T) {
+	cases := map[Op]int{
+		OpInput: 0, OpOutput: 1, OpNot: 1, OpBuf: 1,
+		OpAnd: 2, OpOr: 2, OpXor: 2, OpNand: 2, OpNor: 2, OpXnor: 2, OpAndNot: 2,
+		OpInvalid: -1,
+	}
+	for op, want := range cases {
+		if got := op.Arity(); got != want {
+			t.Errorf("%v.Arity() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAnd.String() != "AND" {
+		t.Errorf("OpAnd = %q", OpAnd.String())
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Errorf("unknown op = %q", Op(99).String())
+	}
+}
+
+// twoInputGates evaluates every 2-input op on all four input combinations.
+func TestEvalTruthTables(t *testing.T) {
+	type tc struct {
+		op Op
+		fn func(a, b bool) bool
+	}
+	cases := []tc{
+		{OpAnd, func(a, b bool) bool { return a && b }},
+		{OpOr, func(a, b bool) bool { return a || b }},
+		{OpXor, func(a, b bool) bool { return a != b }},
+		{OpNand, func(a, b bool) bool { return !(a && b) }},
+		{OpNor, func(a, b bool) bool { return !(a || b) }},
+		{OpXnor, func(a, b bool) bool { return a == b }},
+		{OpAndNot, func(a, b bool) bool { return a && !b }},
+	}
+	for _, c := range cases {
+		b := NewBuilder("tt")
+		x := b.Input("x")
+		y := b.Input("y")
+		var g NodeID
+		switch c.op {
+		case OpAnd:
+			g = b.And(x, y)
+		case OpOr:
+			g = b.Or(x, y)
+		case OpXor:
+			g = b.Xor(x, y)
+		case OpNand:
+			g = b.Nand(x, y)
+		case OpNor:
+			g = b.Nor(x, y)
+		case OpXnor:
+			g = b.Xnor(x, y)
+		case OpAndNot:
+			g = b.AndNot(x, y)
+		}
+		out := b.Output("z", g)
+		circ := b.MustBuild()
+		for _, a := range []bool{false, true} {
+			for _, bb := range []bool{false, true} {
+				vals, err := circ.Eval(map[NodeID]bool{x: a, y: bb})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if vals[out] != c.fn(a, bb) {
+					t.Errorf("%v(%v,%v) = %v, want %v", c.op, a, bb, vals[out], c.fn(a, bb))
+				}
+			}
+		}
+	}
+}
+
+func TestEvalUnary(t *testing.T) {
+	b := NewBuilder("u")
+	x := b.Input("x")
+	n := b.Not(x)
+	bf := b.Buf(x)
+	on := b.Output("n", n)
+	ob := b.Output("b", bf)
+	circ := b.MustBuild()
+	vals, err := circ.Eval(map[NodeID]bool{x: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[on] != false || vals[ob] != true {
+		t.Errorf("NOT(true)=%v BUF(true)=%v", vals[on], vals[ob])
+	}
+}
+
+func TestEvalMissingInput(t *testing.T) {
+	b := NewBuilder("m")
+	x := b.Input("x")
+	b.Output("y", x)
+	circ := b.MustBuild()
+	if _, err := circ.Eval(map[NodeID]bool{}); err == nil {
+		t.Error("Eval without input value should fail")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Run("forward reference", func(t *testing.T) {
+		c := &Circuit{Name: "f", Nodes: []Node{
+			{ID: 0, Op: OpNot, Ins: []NodeID{1}},
+			{ID: 1, Op: OpInput},
+		}}
+		if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "must be <") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("consuming output marker", func(t *testing.T) {
+		c := &Circuit{Name: "o", Nodes: []Node{
+			{ID: 0, Op: OpInput},
+			{ID: 1, Op: OpOutput, Ins: []NodeID{0}},
+			{ID: 2, Op: OpNot, Ins: []NodeID{1}},
+		}}
+		if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "output marker") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("wrong arity", func(t *testing.T) {
+		c := &Circuit{Name: "a", Nodes: []Node{
+			{ID: 0, Op: OpInput},
+			{ID: 1, Op: OpAnd, Ins: []NodeID{0}},
+		}}
+		if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "wants 2") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("bad IDs", func(t *testing.T) {
+		c := &Circuit{Name: "i", Nodes: []Node{{ID: 3, Op: OpInput}}}
+		if err := c.Validate(); err == nil {
+			t.Error("dense-ID violation not caught")
+		}
+	})
+	t.Run("empty name", func(t *testing.T) {
+		c := &Circuit{Nodes: []Node{{ID: 0, Op: OpInput}}}
+		if err := c.Validate(); err == nil {
+			t.Error("empty circuit name not caught")
+		}
+	})
+	t.Run("invalid op", func(t *testing.T) {
+		c := &Circuit{Name: "x", Nodes: []Node{{ID: 0, Op: Op(55)}}}
+		if err := c.Validate(); err == nil {
+			t.Error("invalid op not caught")
+		}
+	})
+}
+
+func TestInputsOutputsFanouts(t *testing.T) {
+	b := NewBuilder("io")
+	x := b.Input("x")
+	y := b.Input("y")
+	g := b.And(x, y)
+	b.Output("o1", g)
+	b.Output("o2", g)
+	c := b.MustBuild()
+	if ins := c.Inputs(); len(ins) != 2 || ins[0] != x || ins[1] != y {
+		t.Errorf("Inputs = %v", ins)
+	}
+	if outs := c.Outputs(); len(outs) != 2 {
+		t.Errorf("Outputs = %v", outs)
+	}
+	fo := c.Fanouts()
+	if len(fo[g]) != 2 {
+		t.Errorf("fanout of AND = %v, want 2 consumers", fo[g])
+	}
+	if len(fo[x]) != 1 {
+		t.Errorf("fanout of x = %v", fo[x])
+	}
+}
+
+// Property: builder circuits always validate and Eval never errors when all
+// inputs are supplied.
+func TestBuilderCircuitsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		b := NewBuilder("prop")
+		x := b.Input("x")
+		y := b.Input("y")
+		nodes := []NodeID{x, y}
+		s := seed
+		for i := 0; i < 20; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			a := nodes[int(uint64(s)>>33)%len(nodes)]
+			s = s*6364136223846793005 + 1442695040888963407
+			bb := nodes[int(uint64(s)>>33)%len(nodes)]
+			switch uint64(s) % 4 {
+			case 0:
+				nodes = append(nodes, b.And(a, bb))
+			case 1:
+				nodes = append(nodes, b.Or(a, bb))
+			case 2:
+				nodes = append(nodes, b.Xor(a, bb))
+			case 3:
+				nodes = append(nodes, b.Not(a))
+			}
+		}
+		b.Output("z", nodes[len(nodes)-1])
+		c, err := b.Build()
+		if err != nil {
+			return false
+		}
+		_, err = c.Eval(map[NodeID]bool{x: true, y: false})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package multilevel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"gpp/internal/gen"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+)
+
+func benchProblem(t *testing.T, name string, k int) *partition.Problem {
+	t.Helper()
+	c, err := gen.Benchmark(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMultilevelBasicContract(t *testing.T) {
+	p := benchProblem(t, "KSA16", 5)
+	res, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != p.G {
+		t.Fatalf("%d labels for %d gates", len(res.Labels), p.G)
+	}
+	for i, lb := range res.Labels {
+		if lb < 0 || lb >= p.K {
+			t.Fatalf("label[%d] = %d", i, lb)
+		}
+	}
+	if res.Levels < 2 {
+		t.Errorf("hierarchy depth %d — coarsening did not engage on %d gates", res.Levels, p.G)
+	}
+	if res.CoarsestSize > p.G {
+		t.Errorf("coarsest size %d above original %d", res.CoarsestSize, p.G)
+	}
+	m, err := recycle.Evaluate(p, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BalanceCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultilevelCoarseningShrinks(t *testing.T) {
+	p := benchProblem(t, "C432", 5)
+	res, err := Partition(p, Options{CoarsestSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoarsestSize > 100 && res.Levels >= 20 {
+		t.Errorf("coarsest %d after %d levels", res.CoarsestSize, res.Levels)
+	}
+	if res.CoarsestSize >= p.G/2 {
+		t.Errorf("coarsening barely shrank: %d of %d", res.CoarsestSize, p.G)
+	}
+}
+
+func TestMultilevelQualityCompetitive(t *testing.T) {
+	// The multilevel flow must beat plain random and be in the same league
+	// as the flat solve on the discrete objective.
+	p := benchProblem(t, "KSA16", 5)
+	coeffs := partition.DefaultCoeffs()
+
+	ml, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlCost := p.DiscreteCost(ml.Labels, coeffs).Total
+
+	rng := rand.New(rand.NewSource(1))
+	rndLabels := make([]int, p.G)
+	for i := range rndLabels {
+		rndLabels[i] = rng.Intn(p.K)
+	}
+	rndCost := p.DiscreteCost(rndLabels, coeffs).Total
+	if mlCost >= rndCost {
+		t.Errorf("multilevel %g not better than random %g", mlCost, rndCost)
+	}
+
+	flat, err := p.Solve(partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatCost := p.DiscreteCost(flat.Labels, coeffs).Total
+	// Multilevel includes refinement, so it should usually win; assert it
+	// is at least not dramatically worse.
+	if mlCost > flatCost*0.5+0.5*rndCost {
+		t.Errorf("multilevel %g much worse than flat %g (random %g)", mlCost, flatCost, rndCost)
+	}
+}
+
+func TestMultilevelFasterOnLargeInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison in -short mode")
+	}
+	p := benchProblem(t, "C3540", 5)
+
+	t0 := time.Now()
+	if _, err := Partition(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mlTime := time.Since(t0)
+
+	t0 = time.Now()
+	if _, err := p.Solve(partition.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	flatTime := time.Since(t0)
+
+	if mlTime > flatTime {
+		t.Logf("note: multilevel (%v) not faster than flat (%v) on this host", mlTime, flatTime)
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	p := benchProblem(t, "KSA8", 5)
+	a, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("multilevel not deterministic")
+		}
+	}
+}
+
+func TestMultilevelTinyInstanceSkipsCoarsening(t *testing.T) {
+	p := benchProblem(t, "KSA4", 5) // 79 gates, below the explicit threshold
+	res, err := Partition(p, Options{CoarsestSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels != 1 {
+		t.Errorf("expected trivial hierarchy, got %d levels", res.Levels)
+	}
+	if len(res.Labels) != p.G {
+		t.Fatal("labels wrong length")
+	}
+}
+
+func TestMultilevelPreservesTotals(t *testing.T) {
+	// Coarsening must conserve total bias/area: verify through the metric
+	// identity on the final labels.
+	p := benchProblem(t, "MULT8", 5)
+	res, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias, area := p.PlaneTotals(res.Labels)
+	var b, a float64
+	for k := 0; k < p.K; k++ {
+		b += bias[k]
+		a += area[k]
+	}
+	if diff := b - p.TotalBias; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("bias total drifted: %g vs %g", b, p.TotalBias)
+	}
+	if diff := a - p.TotalArea; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("area total drifted: %g vs %g", a, p.TotalArea)
+	}
+}
+
+func TestMultilevelOvercoarseningSurfacesError(t *testing.T) {
+	// Forcing the hierarchy below K vertices must produce a clear error,
+	// not a panic or a silent bad partition.
+	p := benchProblem(t, "KSA8", 5)
+	_, err := Partition(p, Options{CoarsestSize: 2, MaxLevels: 20})
+	if err == nil {
+		t.Skip("coarsening could not get below K on this instance")
+	}
+	if !strings.Contains(err.Error(), "vertices for K") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

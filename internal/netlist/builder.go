@@ -1,0 +1,129 @@
+package netlist
+
+import (
+	"fmt"
+
+	"gpp/internal/cellib"
+)
+
+// Builder constructs a Circuit incrementally, assigning dense gate IDs and
+// pulling bias/area from a cell library. It is the single construction path
+// used by generators and the technology mapper, so every produced circuit
+// satisfies Validate by construction.
+type Builder struct {
+	name  string
+	lib   *cellib.Library
+	gates []Gate
+	edges []Edge
+	names map[string]GateID
+	err   error
+}
+
+// NewBuilder creates a builder for a circuit with the given name, drawing
+// cell properties from lib.
+func NewBuilder(name string, lib *cellib.Library) *Builder {
+	return &Builder{
+		name:  name,
+		lib:   lib,
+		names: make(map[string]GateID),
+	}
+}
+
+// AddCell adds an instance of the library cell with the given kind. The
+// instance name must be unique. Returns the new gate's ID.
+func (b *Builder) AddCell(instName string, kind cellib.Kind) GateID {
+	cell, ok := b.lib.ByKind(kind)
+	if !ok {
+		b.fail(fmt.Errorf("netlist: library %q has no cell of kind %v", b.lib.Name(), kind))
+		return -1
+	}
+	return b.addGate(instName, cell.Name, cell.Bias, cell.Area())
+}
+
+// AddGateRaw adds a gate with explicit bias/area, bypassing the library.
+// Used by synthetic generators and by the DEF reader when a component
+// references an unknown cell.
+func (b *Builder) AddGateRaw(instName, cellName string, bias, area float64) GateID {
+	return b.addGate(instName, cellName, bias, area)
+}
+
+func (b *Builder) addGate(instName, cellName string, bias, area float64) GateID {
+	if b.err != nil {
+		return -1
+	}
+	if instName == "" {
+		b.fail(fmt.Errorf("netlist: empty instance name"))
+		return -1
+	}
+	if _, dup := b.names[instName]; dup {
+		b.fail(fmt.Errorf("netlist: duplicate instance name %q", instName))
+		return -1
+	}
+	if bias < 0 || area < 0 {
+		b.fail(fmt.Errorf("netlist: instance %q has negative bias/area", instName))
+		return -1
+	}
+	id := GateID(len(b.gates))
+	b.gates = append(b.gates, Gate{ID: id, Name: instName, Cell: cellName, Bias: bias, Area: area})
+	b.names[instName] = id
+	return id
+}
+
+// Connect adds a directed connection from the output of gate `from` to an
+// input of gate `to`.
+func (b *Builder) Connect(from, to GateID) {
+	if b.err != nil {
+		return
+	}
+	n := GateID(len(b.gates))
+	if from < 0 || from >= n || to < 0 || to >= n {
+		b.fail(fmt.Errorf("netlist: connect %d→%d out of range [0,%d)", from, to, n))
+		return
+	}
+	if from == to {
+		b.fail(fmt.Errorf("netlist: self loop on gate %d (%s)", from, b.gates[from].Name))
+		return
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to})
+}
+
+// ID returns the gate ID for an instance name added earlier.
+func (b *Builder) ID(instName string) (GateID, bool) {
+	id, ok := b.names[instName]
+	return id, ok
+}
+
+// NumGates returns the number of gates added so far.
+func (b *Builder) NumGates() int { return len(b.gates) }
+
+// Err returns the first error encountered, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build finalizes the circuit. It returns an error if any earlier builder
+// call failed or if the result fails validation.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	c := &Circuit{Name: b.name, Gates: b.gates, Edges: b.edges}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustBuild is Build for code paths (generators with fixed structure) where
+// failure indicates a programming error.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic("netlist: MustBuild: " + err.Error())
+	}
+	return c
+}

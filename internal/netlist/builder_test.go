@@ -1,0 +1,153 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpp/internal/cellib"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	lib := cellib.Default()
+	b := NewBuilder("tiny", lib)
+	in := b.AddCell("in0", cellib.KindDCSFQ)
+	ff := b.AddCell("ff0", cellib.KindDFF)
+	out := b.AddCell("out0", cellib.KindSFQDC)
+	b.Connect(in, ff)
+	b.Connect(ff, out)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 3 || c.NumEdges() != 2 {
+		t.Fatalf("built %d gates, %d edges", c.NumGates(), c.NumEdges())
+	}
+	dff, _ := lib.ByKind(cellib.KindDFF)
+	if c.Gates[1].Bias != dff.Bias || c.Gates[1].Area != dff.Area() {
+		t.Errorf("gate bias/area not drawn from library: %+v", c.Gates[1])
+	}
+	if c.Gates[1].Cell != "DFFT" {
+		t.Errorf("cell name = %q, want DFFT", c.Gates[1].Cell)
+	}
+}
+
+func TestBuilderIDLookup(t *testing.T) {
+	b := NewBuilder("t", cellib.Default())
+	want := b.AddCell("x", cellib.KindDFF)
+	got, ok := b.ID("x")
+	if !ok || got != want {
+		t.Errorf("ID(x) = %v, %v; want %v", got, ok, want)
+	}
+	if _, ok := b.ID("missing"); ok {
+		t.Error("ID(missing) should fail")
+	}
+	if b.NumGates() != 1 {
+		t.Errorf("NumGates = %d", b.NumGates())
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	b := NewBuilder("t", cellib.Default())
+	a := b.AddCell("a", cellib.KindDFF)
+	b.Connect(a, a) // self loop → error
+	if b.Err() == nil {
+		t.Fatal("self loop not rejected")
+	}
+	// Subsequent calls are no-ops and Build fails with the first error.
+	if id := b.AddCell("b", cellib.KindDFF); id != -1 {
+		t.Errorf("AddCell after error = %v, want -1", id)
+	}
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "self loop") {
+		t.Errorf("Build error = %v, want self loop", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate name", func(t *testing.T) {
+		b := NewBuilder("t", cellib.Default())
+		b.AddCell("a", cellib.KindDFF)
+		b.AddCell("a", cellib.KindAND)
+		if err := b.Err(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("empty name", func(t *testing.T) {
+		b := NewBuilder("t", cellib.Default())
+		b.AddCell("", cellib.KindDFF)
+		if err := b.Err(); err == nil || !strings.Contains(err.Error(), "empty instance name") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		b := NewBuilder("t", cellib.Default())
+		b.AddCell("a", cellib.Kind(777))
+		if err := b.Err(); err == nil || !strings.Contains(err.Error(), "no cell of kind") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("connect out of range", func(t *testing.T) {
+		b := NewBuilder("t", cellib.Default())
+		a := b.AddCell("a", cellib.KindDFF)
+		b.Connect(a, 7)
+		if err := b.Err(); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("negative raw attributes", func(t *testing.T) {
+		b := NewBuilder("t", cellib.Default())
+		b.AddGateRaw("a", "X", -1, 0)
+		if err := b.Err(); err == nil || !strings.Contains(err.Error(), "negative") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	b := NewBuilder("t", cellib.Default())
+	b.AddCell("", cellib.KindDFF)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on builder error")
+		}
+	}()
+	b.MustBuild()
+}
+
+// Property: any chain circuit built through the Builder validates and has
+// the expected totals.
+func TestBuilderProducesValidCircuits(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		b := NewBuilder("prop", cellib.Default())
+		ids := make([]GateID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddCell(strings.Repeat("g", 1)+string(rune('A'+i%26))+itoa(i), cellib.KindDFF)
+		}
+		for i := 1; i < n; i++ {
+			b.Connect(ids[i-1], ids[i])
+		}
+		c, err := b.Build()
+		if err != nil {
+			return false
+		}
+		return c.Validate() == nil && c.NumGates() == n && c.NumEdges() == n-1 && c.IsDAG()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,55 @@
+package netlist
+
+import "fmt"
+
+// Boundary lists the connections crossing a gate selection, in original
+// gate IDs: In edges enter the selection, Out edges leave it.
+type Boundary struct {
+	In  []Edge
+	Out []Edge
+}
+
+// Subcircuit returns the subcircuit induced by the selected gates (dense
+// re-IDed, names preserved), a map from original to new gate IDs, and the
+// boundary crossing edges. After ground plane partitioning this is how one
+// plane's block is handed to downstream tools: the boundary's In/Out lists
+// are exactly the coupler receiver/driver ports the block needs.
+func Subcircuit(c *Circuit, name string, selected []bool) (*Circuit, map[GateID]GateID, *Boundary, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(selected) != c.NumGates() {
+		return nil, nil, nil, fmt.Errorf("netlist: %d selections for %d gates", len(selected), c.NumGates())
+	}
+	sub := &Circuit{Name: name}
+	idMap := make(map[GateID]GateID)
+	for i, g := range c.Gates {
+		if !selected[i] {
+			continue
+		}
+		ng := g
+		ng.ID = GateID(len(sub.Gates))
+		sub.Gates = append(sub.Gates, ng)
+		idMap[g.ID] = ng.ID
+	}
+	if len(sub.Gates) == 0 {
+		return nil, nil, nil, fmt.Errorf("netlist: empty selection")
+	}
+	bd := &Boundary{}
+	for _, e := range c.Edges {
+		fromIn := selected[e.From]
+		toIn := selected[e.To]
+		switch {
+		case fromIn && toIn:
+			sub.Edges = append(sub.Edges, Edge{From: idMap[e.From], To: idMap[e.To]})
+		case fromIn:
+			bd.Out = append(bd.Out, e)
+		case toIn:
+			bd.In = append(bd.In, e)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("netlist: extracted subcircuit invalid: %w", err)
+	}
+	return sub, idMap, bd, nil
+}

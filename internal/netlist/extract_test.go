@@ -1,0 +1,94 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubcircuitBasic(t *testing.T) {
+	c := chain(t) // g0→g1→g2→g3
+	// Select the middle two gates.
+	sub, idMap, bd, err := Subcircuit(c, "mid", []bool{false, true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumGates() != 2 || sub.NumEdges() != 1 {
+		t.Fatalf("sub = %d gates, %d edges", sub.NumGates(), sub.NumEdges())
+	}
+	if sub.Gates[0].Name != "g1" || sub.Gates[1].Name != "g2" {
+		t.Errorf("names = %s, %s", sub.Gates[0].Name, sub.Gates[1].Name)
+	}
+	if idMap[1] != 0 || idMap[2] != 1 {
+		t.Errorf("idMap = %v", idMap)
+	}
+	if len(bd.In) != 1 || bd.In[0].From != 0 || bd.In[0].To != 1 {
+		t.Errorf("boundary in = %v", bd.In)
+	}
+	if len(bd.Out) != 1 || bd.Out[0].From != 2 || bd.Out[0].To != 3 {
+		t.Errorf("boundary out = %v", bd.Out)
+	}
+	// Bias/area carried over.
+	if sub.TotalBias() != c.Gates[1].Bias+c.Gates[2].Bias {
+		t.Error("bias not preserved")
+	}
+}
+
+func TestSubcircuitErrors(t *testing.T) {
+	c := chain(t)
+	if _, _, _, err := Subcircuit(c, "x", []bool{true}); err == nil {
+		t.Error("short selection accepted")
+	}
+	if _, _, _, err := Subcircuit(c, "x", make([]bool, 4)); err == nil ||
+		!strings.Contains(err.Error(), "empty selection") {
+		t.Errorf("empty selection: %v", err)
+	}
+}
+
+func TestSubcircuitWholeCircuit(t *testing.T) {
+	c := chain(t)
+	all := []bool{true, true, true, true}
+	sub, _, bd, err := Subcircuit(c, "all", all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumGates() != c.NumGates() || sub.NumEdges() != c.NumEdges() {
+		t.Error("whole-circuit extraction lost elements")
+	}
+	if len(bd.In) != 0 || len(bd.Out) != 0 {
+		t.Error("whole-circuit extraction has boundary edges")
+	}
+}
+
+// Property: for random selections of a chain, intra + boundary edges
+// always partition the original edge set, and totals are conserved.
+func TestSubcircuitPartitionsEdges(t *testing.T) {
+	c := chain(t)
+	c.Edges = append(c.Edges, Edge{0, 2}, Edge{1, 3})
+	for mask := 1; mask < 15; mask++ { // skip empty and keep ≥1 selected
+		sel := make([]bool, 4)
+		n := 0
+		for i := 0; i < 4; i++ {
+			if mask>>i&1 == 1 {
+				sel[i] = true
+				n++
+			}
+		}
+		sub, _, bd, err := Subcircuit(c, "s", sel)
+		if err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		outside := 0
+		for _, e := range c.Edges {
+			if !sel[e.From] && !sel[e.To] {
+				outside++
+			}
+		}
+		if sub.NumEdges()+len(bd.In)+len(bd.Out)+outside != c.NumEdges() {
+			t.Fatalf("mask %b: edge partition broken: %d + %d + %d + %d != %d",
+				mask, sub.NumEdges(), len(bd.In), len(bd.Out), outside, c.NumEdges())
+		}
+		if sub.NumGates() != n {
+			t.Fatalf("mask %b: %d gates selected, %d extracted", mask, n, sub.NumGates())
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package netlist defines the gate-level circuit model consumed by the
+// ground plane partitioner and the current-recycling planner.
+//
+// A Circuit is a directed graph: vertices are SFQ cell instances ("gates",
+// following the paper's terminology), edges are point-to-point driver→sink
+// connections. After SFQ technology mapping every net is point-to-point
+// (fanout is realized with explicit splitter cells), so the edge list is
+// exactly the paper's connection set E.
+//
+// Each gate carries the two per-gate quantities the cost function needs:
+// bias current b_i (mA) and area a_i (mm²).
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateID identifies a gate within one Circuit. IDs are dense indices
+// 0..NumGates-1.
+type GateID int
+
+// Gate is one cell instance.
+type Gate struct {
+	ID   GateID
+	Name string  // instance name, unique within the circuit
+	Cell string  // library cell name (e.g. "AND2T"); informational
+	Bias float64 // bias current requirement, mA
+	Area float64 // layout area, mm²
+}
+
+// Edge is a directed connection from the output of gate From to an input of
+// gate To. The partitioning cost uses the undirected plane distance, but the
+// direction matters to the recycling planner (couplers are unidirectional).
+type Edge struct {
+	From, To GateID
+}
+
+// Circuit is a gate-level netlist.
+type Circuit struct {
+	Name  string
+	Gates []Gate
+	Edges []Edge
+}
+
+// NumGates returns G, the gate count.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumEdges returns |E|, the connection count.
+func (c *Circuit) NumEdges() int { return len(c.Edges) }
+
+// TotalBias returns B_cir = Σ b_i in mA.
+func (c *Circuit) TotalBias() float64 {
+	var s float64
+	for _, g := range c.Gates {
+		s += g.Bias
+	}
+	return s
+}
+
+// TotalArea returns A_cir = Σ a_i in mm².
+func (c *Circuit) TotalArea() float64 {
+	var s float64
+	for _, g := range c.Gates {
+		s += g.Area
+	}
+	return s
+}
+
+// Validate checks structural invariants: dense sequential IDs, unique names,
+// edge endpoints in range, no self loops, non-negative bias/area.
+func (c *Circuit) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("netlist: circuit has empty name")
+	}
+	names := make(map[string]GateID, len(c.Gates))
+	for i, g := range c.Gates {
+		if g.ID != GateID(i) {
+			return fmt.Errorf("netlist: gate at index %d has ID %d (want dense IDs)", i, g.ID)
+		}
+		if g.Name == "" {
+			return fmt.Errorf("netlist: gate %d has empty name", i)
+		}
+		if prev, dup := names[g.Name]; dup {
+			return fmt.Errorf("netlist: duplicate gate name %q (gates %d and %d)", g.Name, prev, i)
+		}
+		names[g.Name] = g.ID
+		if g.Bias < 0 {
+			return fmt.Errorf("netlist: gate %q has negative bias %g", g.Name, g.Bias)
+		}
+		if g.Area < 0 {
+			return fmt.Errorf("netlist: gate %q has negative area %g", g.Name, g.Area)
+		}
+	}
+	n := GateID(len(c.Gates))
+	for i, e := range c.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("netlist: edge %d (%d→%d) out of range [0,%d)", i, e.From, e.To, n)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("netlist: edge %d is a self loop on gate %d", i, e.From)
+		}
+	}
+	return nil
+}
+
+// GateByName returns the gate with the given instance name.
+func (c *Circuit) GateByName(name string) (Gate, bool) {
+	for _, g := range c.Gates {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Gate{}, false
+}
+
+// Adjacency returns, for every gate, the IDs of all gates connected to it by
+// any edge (in either direction). Neighbor lists are sorted and may contain
+// duplicates if parallel edges exist (the cost function counts each
+// connection separately, so duplicates are preserved).
+func (c *Circuit) Adjacency() [][]GateID {
+	adj := make([][]GateID, len(c.Gates))
+	for _, e := range c.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	for _, l := range adj {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+	return adj
+}
+
+// OutEdges returns, for every gate, the indices into Edges of its outgoing
+// connections.
+func (c *Circuit) OutEdges() [][]int {
+	out := make([][]int, len(c.Gates))
+	for i, e := range c.Edges {
+		out[e.From] = append(out[e.From], i)
+	}
+	return out
+}
+
+// InEdges returns, for every gate, the indices into Edges of its incoming
+// connections.
+func (c *Circuit) InEdges() [][]int {
+	in := make([][]int, len(c.Gates))
+	for i, e := range c.Edges {
+		in[e.To] = append(in[e.To], i)
+	}
+	return in
+}
+
+// Degrees returns the (in, out) degree of every gate.
+func (c *Circuit) Degrees() (in, out []int) {
+	in = make([]int, len(c.Gates))
+	out = make([]int, len(c.Gates))
+	for _, e := range c.Edges {
+		out[e.From]++
+		in[e.To]++
+	}
+	return in, out
+}
+
+// TopoOrder returns a topological order of the gates, or an error if the
+// circuit contains a directed cycle. SFQ-mapped combinational benchmarks are
+// DAGs (clock edges are not modeled as data edges).
+func (c *Circuit) TopoOrder() ([]GateID, error) {
+	n := len(c.Gates)
+	indeg := make([]int, n)
+	succ := make([][]GateID, n)
+	for _, e := range c.Edges {
+		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	queue := make([]GateID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, GateID(i))
+		}
+	}
+	order := make([]GateID, 0, n)
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		order = append(order, g)
+		for _, s := range succ[g] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("netlist: circuit %q contains a directed cycle (%d of %d gates ordered)", c.Name, len(order), n)
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the circuit's data edges form a directed acyclic
+// graph.
+func (c *Circuit) IsDAG() bool {
+	_, err := c.TopoOrder()
+	return err == nil
+}
+
+// Levels assigns every gate its longest-path depth from any primary input
+// (gate with in-degree zero). Returns the per-gate level and the maximum
+// level. Fails on cyclic circuits.
+func (c *Circuit) Levels() ([]int, int, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	lvl := make([]int, len(c.Gates))
+	succ := make([][]GateID, len(c.Gates))
+	for _, e := range c.Edges {
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	maxLvl := 0
+	for _, g := range order {
+		for _, s := range succ[g] {
+			if lvl[g]+1 > lvl[s] {
+				lvl[s] = lvl[g] + 1
+				if lvl[s] > maxLvl {
+					maxLvl = lvl[s]
+				}
+			}
+		}
+	}
+	return lvl, maxLvl, nil
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	cp := &Circuit{Name: c.Name}
+	cp.Gates = make([]Gate, len(c.Gates))
+	copy(cp.Gates, c.Gates)
+	cp.Edges = make([]Edge, len(c.Edges))
+	copy(cp.Edges, c.Edges)
+	return cp
+}
+
+// Stats summarizes a circuit the way the paper's Table I header does,
+// plus degree information useful for sanity checks.
+type Stats struct {
+	Name      string
+	Gates     int
+	Edges     int
+	TotalBias float64 // B_cir, mA
+	TotalArea float64 // A_cir, mm²
+	MaxFanout int
+	MaxFanin  int
+	AvgBias   float64 // mA per gate
+	AvgArea   float64 // mm² per gate
+	Levels    int     // longest path length (0 if cyclic)
+}
+
+// ComputeStats derives Stats for the circuit.
+func ComputeStats(c *Circuit) Stats {
+	in, out := c.Degrees()
+	s := Stats{
+		Name:      c.Name,
+		Gates:     c.NumGates(),
+		Edges:     c.NumEdges(),
+		TotalBias: c.TotalBias(),
+		TotalArea: c.TotalArea(),
+	}
+	for i := range c.Gates {
+		if out[i] > s.MaxFanout {
+			s.MaxFanout = out[i]
+		}
+		if in[i] > s.MaxFanin {
+			s.MaxFanin = in[i]
+		}
+	}
+	if s.Gates > 0 {
+		s.AvgBias = s.TotalBias / float64(s.Gates)
+		s.AvgArea = s.TotalArea / float64(s.Gates)
+	}
+	if _, ml, err := c.Levels(); err == nil {
+		s.Levels = ml
+	}
+	return s
+}

@@ -1,0 +1,218 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// chain builds a 4-gate chain 0→1→2→3 with distinct bias/area.
+func chain(t *testing.T) *Circuit {
+	t.Helper()
+	c := &Circuit{
+		Name: "chain",
+		Gates: []Gate{
+			{ID: 0, Name: "g0", Cell: "DCSFQ", Bias: 1.0, Area: 0.001},
+			{ID: 1, Name: "g1", Cell: "DFFT", Bias: 2.0, Area: 0.002},
+			{ID: 2, Name: "g2", Cell: "DFFT", Bias: 3.0, Area: 0.003},
+			{ID: 3, Name: "g3", Cell: "SFQDC", Bias: 4.0, Area: 0.004},
+		},
+		Edges: []Edge{{0, 1}, {1, 2}, {2, 3}},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("chain fixture invalid: %v", err)
+	}
+	return c
+}
+
+func TestTotals(t *testing.T) {
+	c := chain(t)
+	if got := c.TotalBias(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("TotalBias = %g, want 10", got)
+	}
+	if got := c.TotalArea(); math.Abs(got-0.010) > 1e-12 {
+		t.Errorf("TotalArea = %g, want 0.010", got)
+	}
+	if c.NumGates() != 4 || c.NumEdges() != 3 {
+		t.Errorf("counts = %d gates, %d edges", c.NumGates(), c.NumEdges())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mk := func(mutate func(*Circuit)) *Circuit {
+		c := &Circuit{
+			Name: "m",
+			Gates: []Gate{
+				{ID: 0, Name: "a", Bias: 1, Area: 1},
+				{ID: 1, Name: "b", Bias: 1, Area: 1},
+			},
+			Edges: []Edge{{0, 1}},
+		}
+		mutate(c)
+		return c
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Circuit)
+		want   string
+	}{
+		{"empty circuit name", func(c *Circuit) { c.Name = "" }, "empty name"},
+		{"non-dense IDs", func(c *Circuit) { c.Gates[1].ID = 5 }, "dense"},
+		{"empty gate name", func(c *Circuit) { c.Gates[0].Name = "" }, "empty name"},
+		{"duplicate names", func(c *Circuit) { c.Gates[1].Name = "a" }, "duplicate gate name"},
+		{"negative bias", func(c *Circuit) { c.Gates[0].Bias = -1 }, "negative bias"},
+		{"negative area", func(c *Circuit) { c.Gates[0].Area = -1 }, "negative area"},
+		{"edge out of range", func(c *Circuit) { c.Edges[0].To = 9 }, "out of range"},
+		{"negative endpoint", func(c *Circuit) { c.Edges[0].From = -1 }, "out of range"},
+		{"self loop", func(c *Circuit) { c.Edges[0] = Edge{1, 1} }, "self loop"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mk(tc.mutate).Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestGateByName(t *testing.T) {
+	c := chain(t)
+	g, ok := c.GateByName("g2")
+	if !ok || g.ID != 2 {
+		t.Errorf("GateByName(g2) = %v, %v", g, ok)
+	}
+	if _, ok := c.GateByName("nope"); ok {
+		t.Error("GateByName(nope) should fail")
+	}
+}
+
+func TestAdjacencyUndirectedWithDuplicates(t *testing.T) {
+	c := chain(t)
+	c.Edges = append(c.Edges, Edge{0, 1}) // parallel edge preserved
+	adj := c.Adjacency()
+	if len(adj[0]) != 2 || adj[0][0] != 1 || adj[0][1] != 1 {
+		t.Errorf("adj[0] = %v, want [1 1]", adj[0])
+	}
+	if len(adj[1]) != 3 { // 0, 0, 2
+		t.Errorf("adj[1] = %v, want 3 neighbors", adj[1])
+	}
+	if len(adj[3]) != 1 || adj[3][0] != 2 {
+		t.Errorf("adj[3] = %v, want [2]", adj[3])
+	}
+}
+
+func TestInOutEdgesAndDegrees(t *testing.T) {
+	c := chain(t)
+	out := c.OutEdges()
+	in := c.InEdges()
+	if len(out[0]) != 1 || c.Edges[out[0][0]].To != 1 {
+		t.Errorf("out[0] = %v", out[0])
+	}
+	if len(in[0]) != 0 || len(in[3]) != 1 {
+		t.Errorf("in degrees wrong: in[0]=%v in[3]=%v", in[0], in[3])
+	}
+	ind, outd := c.Degrees()
+	wantIn := []int{0, 1, 1, 1}
+	wantOut := []int{1, 1, 1, 0}
+	for i := range wantIn {
+		if ind[i] != wantIn[i] || outd[i] != wantOut[i] {
+			t.Errorf("gate %d degrees = (%d,%d), want (%d,%d)", i, ind[i], outd[i], wantIn[i], wantOut[i])
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	c := chain(t)
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[GateID]int)
+	for i, g := range order {
+		pos[g] = i
+	}
+	for _, e := range c.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %d→%d violates topo order", e.From, e.To)
+		}
+	}
+	if !c.IsDAG() {
+		t.Error("chain should be a DAG")
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	c := chain(t)
+	c.Edges = append(c.Edges, Edge{3, 0})
+	if _, err := c.TopoOrder(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("TopoOrder on cycle = %v, want cycle error", err)
+	}
+	if c.IsDAG() {
+		t.Error("cyclic circuit reported as DAG")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	// Diamond: 0→1, 0→2, 1→3, 2→3, plus a long path 0→1→2 makes level(3)=3.
+	c := &Circuit{
+		Name: "diamond",
+		Gates: []Gate{
+			{ID: 0, Name: "a"}, {ID: 1, Name: "b"}, {ID: 2, Name: "c"}, {ID: 3, Name: "d"},
+		},
+		Edges: []Edge{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}},
+	}
+	lvl, maxLvl, err := c.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if lvl[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, lvl[i], want[i])
+		}
+	}
+	if maxLvl != 3 {
+		t.Errorf("maxLevel = %d, want 3", maxLvl)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := chain(t)
+	cp := c.Clone()
+	cp.Gates[0].Bias = 99
+	cp.Edges[0].To = 3
+	if c.Gates[0].Bias == 99 || c.Edges[0].To == 3 {
+		t.Error("Clone shares storage with original")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := chain(t)
+	c.Edges = append(c.Edges, Edge{0, 2}) // fanout 2 at gate 0, fanin 2 at gate 2
+	st := ComputeStats(c)
+	if st.Gates != 4 || st.Edges != 4 {
+		t.Errorf("stats counts = %d/%d", st.Gates, st.Edges)
+	}
+	if st.MaxFanout != 2 || st.MaxFanin != 2 {
+		t.Errorf("max degrees = out %d in %d, want 2/2", st.MaxFanout, st.MaxFanin)
+	}
+	if math.Abs(st.AvgBias-2.5) > 1e-12 {
+		t.Errorf("AvgBias = %g, want 2.5", st.AvgBias)
+	}
+	if st.Levels != 3 {
+		t.Errorf("Levels = %d, want 3", st.Levels)
+	}
+}
+
+func TestComputeStatsCyclic(t *testing.T) {
+	c := chain(t)
+	c.Edges = append(c.Edges, Edge{3, 0})
+	st := ComputeStats(c)
+	if st.Levels != 0 {
+		t.Errorf("cyclic circuit Levels = %d, want 0", st.Levels)
+	}
+}

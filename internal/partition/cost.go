@@ -1,0 +1,321 @@
+package partition
+
+import "math"
+
+// W is the relaxed assignment matrix, stored row-major: w[i*K+k] is
+// w_{i,k}, the degree to which gate i belongs to plane k (planes are
+// 0-based internally; the label value used in the distance cost is k+1,
+// matching the paper's 1..K convention).
+type W []float64
+
+// NewW allocates a zero matrix for the problem.
+func (p *Problem) NewW() W { return make(W, p.G*p.K) }
+
+// At returns w_{i,k}.
+func (w W) At(i, k, K int) float64 { return w[i*K+k] }
+
+// Labels computes the continuous labels l_i = Σ_k (k+1)·w_{i,k} (Eq. 3).
+func (p *Problem) Labels(w W) []float64 {
+	l := make([]float64, p.G)
+	for i := 0; i < p.G; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		var s float64
+		for k, v := range row {
+			s += float64(k+1) * v
+		}
+		l[i] = s
+	}
+	return l
+}
+
+// planeSums computes B_k = Σ_i b_i·w_{i,k} and A_k likewise.
+func (p *Problem) planeSums(w W) (bk, ak []float64) {
+	bk = make([]float64, p.K)
+	ak = make([]float64, p.K)
+	for i := 0; i < p.G; i++ {
+		b, a := p.Bias[i], p.Area[i]
+		row := w[i*p.K : (i+1)*p.K]
+		for k, v := range row {
+			bk[k] += b * v
+			ak[k] += a * v
+		}
+	}
+	return bk, ak
+}
+
+// Cost evaluates the relaxed cost F and its components at w.
+func (p *Problem) Cost(w W, c Coeffs) Breakdown {
+	f1 := p.costF1(w)
+	f2, f3 := p.costF2F3(w)
+	f4 := p.costF4(w)
+	return c.combine(f1, f2, f3, f4)
+}
+
+func (p *Problem) costF1(w W) float64 {
+	if len(p.Edges) == 0 {
+		return 0
+	}
+	l := p.Labels(w)
+	var s float64
+	for _, e := range p.Edges {
+		d := l[e[0]] - l[e[1]]
+		d2 := d * d
+		s += d2 * d2
+	}
+	return s / p.N1
+}
+
+func (p *Problem) costF2F3(w W) (f2, f3 float64) {
+	bk, ak := p.planeSums(w)
+	var bMean, aMean float64
+	for k := 0; k < p.K; k++ {
+		bMean += bk[k]
+		aMean += ak[k]
+	}
+	bMean /= float64(p.K)
+	aMean /= float64(p.K)
+	var bVar, aVar float64
+	for k := 0; k < p.K; k++ {
+		db := bk[k] - bMean
+		da := ak[k] - aMean
+		bVar += db * db
+		aVar += da * da
+	}
+	f2 = bVar / (float64(p.K) * p.N2)
+	f3 = aVar / (float64(p.K) * p.N3)
+	return f2, f3
+}
+
+func (p *Problem) costF4(w W) float64 {
+	var s float64
+	invK := 1.0 / float64(p.K)
+	for i := 0; i < p.G; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		mean := sum * invK
+		t1 := sum - 1 // K·w̄_i − 1
+		var varSum float64
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		s += t1*t1 - invK*varSum
+	}
+	return s / p.N4
+}
+
+// GradientMode selects between the analytically exact gradients and the
+// formulas as literally printed in the paper's Eq. 10 (which drop the sign
+// of (l_i − l_j) in ∂F1 and disagree with d F4/dw by a K(1−w_ik) term; see
+// DESIGN.md). The exact mode is the default and is validated against finite
+// differences in the tests.
+type GradientMode int
+
+const (
+	// GradientExact uses analytic derivatives of Eqs. 4–6, 9.
+	GradientExact GradientMode = iota
+	// GradientPaper uses the formulas exactly as printed in Eq. 10.
+	GradientPaper
+)
+
+// String names the gradient mode.
+func (m GradientMode) String() string {
+	switch m {
+	case GradientExact:
+		return "exact"
+	case GradientPaper:
+		return "paper"
+	default:
+		return "unknown"
+	}
+}
+
+// Gradient writes ∂F/∂w into grad (same layout as w), combining the four
+// terms with the coefficients. grad must have length G*K.
+func (p *Problem) Gradient(w W, c Coeffs, mode GradientMode, grad []float64) {
+	for i := range grad {
+		grad[i] = 0
+	}
+	p.addGradF1(w, c.C1, mode, grad)
+	p.addGradF2F3(w, c.C2, c.C3, grad)
+	p.addGradF4(w, c.C4, mode, grad)
+}
+
+// addGradF1 adds c1·∂F1/∂w.
+//
+// Exact: ∂F1/∂w_{i,k} = (4(k+1)/N1) Σ_{j ~ i} (l_i − l_j)³, where j ranges
+// over all neighbors of i (each parallel edge counted separately).
+//
+// Paper (Eq. 10): same but with |l_i − l_j|³ and the incoming sum
+// subtracted from the outgoing sum, i.e. the sign of the difference is
+// replaced by the edge orientation.
+func (p *Problem) addGradF1(w W, c1 float64, mode GradientMode, grad []float64) {
+	if c1 == 0 || len(p.Edges) == 0 {
+		return
+	}
+	l := p.Labels(w)
+	// s[i] accumulates Σ_j (l_i − l_j)³ (exact) or the paper's oriented
+	// absolute-value sums.
+	s := make([]float64, p.G)
+	for _, e := range p.Edges {
+		u, v := e[0], e[1]
+		d := l[u] - l[v]
+		switch mode {
+		case GradientExact:
+			t := d * d * d
+			s[u] += t
+			s[v] -= t
+		case GradientPaper:
+			t := math.Abs(d)
+			t = t * t * t
+			// Outgoing connections of u add, incoming connections of v
+			// subtract (Eq. 10 first line).
+			s[u] += t
+			s[v] -= t
+		}
+	}
+	scale := 4 * c1 / p.N1
+	for i := 0; i < p.G; i++ {
+		if s[i] == 0 {
+			continue
+		}
+		base := i * p.K
+		for k := 0; k < p.K; k++ {
+			grad[base+k] += scale * float64(k+1) * s[i]
+		}
+	}
+}
+
+// addGradF2F3 adds c2·∂F2/∂w + c3·∂F3/∂w.
+//
+// ∂F2/∂w_{i,k} = 2·b_i·(B_k − B̄)/(K·N2) — the paper's printed formula is
+// also the exact derivative here (the mean-shift terms cancel because
+// Σ_k (B_k − B̄) = 0). Same for F3 with areas.
+func (p *Problem) addGradF2F3(w W, c2, c3 float64, grad []float64) {
+	if c2 == 0 && c3 == 0 {
+		return
+	}
+	bk, ak := p.planeSums(w)
+	var bMean, aMean float64
+	for k := 0; k < p.K; k++ {
+		bMean += bk[k]
+		aMean += ak[k]
+	}
+	bMean /= float64(p.K)
+	aMean /= float64(p.K)
+	// Per-plane factors reused across all gates.
+	bf := make([]float64, p.K)
+	af := make([]float64, p.K)
+	for k := 0; k < p.K; k++ {
+		bf[k] = 2 * c2 * (bk[k] - bMean) / (float64(p.K) * p.N2)
+		af[k] = 2 * c3 * (ak[k] - aMean) / (float64(p.K) * p.N3)
+	}
+	for i := 0; i < p.G; i++ {
+		b, a := p.Bias[i], p.Area[i]
+		base := i * p.K
+		for k := 0; k < p.K; k++ {
+			grad[base+k] += b*bf[k] + a*af[k]
+		}
+	}
+}
+
+// addGradF4 adds c4·∂F4/∂w.
+//
+// Exact: ∂F4/∂w_{i,k} = (2/N4)·[(K·w̄_i − 1) − (w_{i,k} − w̄_i)/K].
+//
+// Paper (Eq. 10): (2/N4)·[(K + 1/K)(w̄_i − w_{i,k}) + K − 1].
+func (p *Problem) addGradF4(w W, c4 float64, mode GradientMode, grad []float64) {
+	if c4 == 0 {
+		return
+	}
+	invK := 1.0 / float64(p.K)
+	scale := 2 * c4 / p.N4
+	kf := float64(p.K)
+	for i := 0; i < p.G; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		mean := sum * invK
+		base := i * p.K
+		switch mode {
+		case GradientExact:
+			t1 := sum - 1
+			for k := 0; k < p.K; k++ {
+				grad[base+k] += scale * (t1 - (row[k]-mean)*invK)
+			}
+		case GradientPaper:
+			for k := 0; k < p.K; k++ {
+				grad[base+k] += scale * ((kf+invK)*(mean-row[k]) + kf - 1)
+			}
+		}
+	}
+}
+
+// Assign snaps the relaxed matrix to a discrete assignment: each gate goes
+// to the plane with the largest w_{i,k} (lowest index wins ties). Returned
+// labels are 0-based plane indices.
+func (p *Problem) Assign(w W) []int {
+	labels := make([]int, p.G)
+	for i := 0; i < p.G; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		best, bestK := row[0], 0
+		for k := 1; k < p.K; k++ {
+			if row[k] > best {
+				best, bestK = row[k], k
+			}
+		}
+		labels[i] = bestK
+	}
+	return labels
+}
+
+// DiscreteCost evaluates the cost components at an integer assignment
+// (labels are 0-based planes). F4 is constant at vertices
+// (−(K−1)/(K²·N4)·G) and is reported for completeness.
+func (p *Problem) DiscreteCost(labels []int, c Coeffs) Breakdown {
+	var f1 float64
+	if len(p.Edges) > 0 {
+		var s float64
+		for _, e := range p.Edges {
+			d := float64(labels[e[0]] - labels[e[1]])
+			d2 := d * d
+			s += d2 * d2
+		}
+		f1 = s / p.N1
+	}
+	bk := make([]float64, p.K)
+	ak := make([]float64, p.K)
+	for i, lb := range labels {
+		bk[lb] += p.Bias[i]
+		ak[lb] += p.Area[i]
+	}
+	var bVar, aVar float64
+	for k := 0; k < p.K; k++ {
+		db := bk[k] - p.MeanBias
+		da := ak[k] - p.MeanArea
+		bVar += db * db
+		aVar += da * da
+	}
+	f2 := bVar / (float64(p.K) * p.N2)
+	f3 := aVar / (float64(p.K) * p.N3)
+	kf := float64(p.K)
+	f4 := -float64(p.G) * (kf - 1) / (kf * kf) / p.N4
+	return c.combine(f1, f2, f3, f4)
+}
+
+// PlaneTotals returns the per-plane bias (mA) and area (mm²) sums for a
+// discrete assignment.
+func (p *Problem) PlaneTotals(labels []int) (bias, area []float64) {
+	bias = make([]float64, p.K)
+	area = make([]float64, p.K)
+	for i, lb := range labels {
+		bias[lb] += p.Bias[i]
+		area[lb] += p.Area[i]
+	}
+	return bias, area
+}

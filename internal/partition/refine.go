@@ -1,0 +1,86 @@
+package partition
+
+// Refine greedily improves a discrete assignment in place by single-gate
+// moves, minimizing the discrete objective c1·F1 + c2·F2 + c3·F3 (F4 is
+// constant over integer assignments and drops out of every move delta).
+//
+// The pass sweeps all gates in index order; for each gate it evaluates the
+// cost delta of moving it to every other plane and applies the best strictly
+// improving move. Sweeps repeat until a sweep makes no move or maxPasses is
+// reached. Returns the total number of moves applied.
+//
+// A move's delta is computed incrementally in O(deg(i) + K):
+//
+//	ΔF1 = Σ_{j~i} ((q − l_j)⁴ − (p − l_j)⁴) / N1
+//	ΔF2 = ((B_p − b_i − B̄)² + (B_q + b_i − B̄)² − (B_p − B̄)² − (B_q − B̄)²) / (K·N2)
+//
+// and analogously for F3, where p→q is the move and B̄ = B_cir/K is constant.
+func (p *Problem) Refine(labels []int, c Coeffs, maxPasses int) int {
+	if maxPasses <= 0 {
+		maxPasses = 8
+	}
+	// Incidence lists: for each gate, its neighbors (both directions,
+	// duplicates preserved — each connection counts separately in F1).
+	adj := make([][]int32, p.G)
+	for _, e := range p.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	bk, ak := p.PlaneTotals(labels)
+
+	pow4 := func(x float64) float64 { x *= x; return x * x }
+
+	totalMoves := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		moves := 0
+		for i := 0; i < p.G; i++ {
+			from := labels[i]
+			bi, ai := p.Bias[i], p.Area[i]
+
+			// F1 contribution of gate i's connections for each candidate
+			// plane, computed once over the neighbor list.
+			// wire[q] = Σ_j (q − l_j)⁴ in label units (planes are 0-based;
+			// distances are invariant to the +1 shift).
+			bestDelta := 0.0
+			bestTo := -1
+			for to := 0; to < p.K; to++ {
+				if to == from {
+					continue
+				}
+				var dWire float64
+				for _, j := range adj[i] {
+					lj := float64(labels[j])
+					dWire += pow4(float64(to)-lj) - pow4(float64(from)-lj)
+				}
+				d1 := c.C1 * dWire / p.N1
+
+				bp := bk[from] - p.MeanBias
+				bq := bk[to] - p.MeanBias
+				d2 := c.C2 * ((bp-bi)*(bp-bi) + (bq+bi)*(bq+bi) - bp*bp - bq*bq) / (float64(p.K) * p.N2)
+
+				ap := ak[from] - p.MeanArea
+				aq := ak[to] - p.MeanArea
+				d3 := c.C3 * ((ap-ai)*(ap-ai) + (aq+ai)*(aq+ai) - ap*ap - aq*aq) / (float64(p.K) * p.N3)
+
+				delta := d1 + d2 + d3
+				if delta < bestDelta-1e-15 {
+					bestDelta = delta
+					bestTo = to
+				}
+			}
+			if bestTo >= 0 {
+				bk[from] -= bi
+				ak[from] -= ai
+				bk[bestTo] += bi
+				ak[bestTo] += ai
+				labels[i] = bestTo
+				moves++
+			}
+		}
+		totalMoves += moves
+		if moves == 0 {
+			break
+		}
+	}
+	return totalMoves
+}

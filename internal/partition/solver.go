@@ -1,0 +1,286 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Options configures the gradient-descent solver (Algorithm 1).
+type Options struct {
+	// Coeffs are the c1..c4 constants of Eq. 8. Zero value means
+	// DefaultCoeffs().
+	Coeffs Coeffs
+
+	// Margin is the relative-cost stopping threshold of Algorithm 1:
+	// iteration stops when |cost_new/cost_old − 1| ≤ Margin. Default 1e-4
+	// (the paper's value).
+	Margin float64
+
+	// MaxIters caps the descent loop. Algorithm 1 has no explicit cap; the
+	// cap guards pathological coefficient choices. Default 4000.
+	MaxIters int
+
+	// LearnRate, if positive, is a fixed step size: w ← w − LearnRate·∇F.
+	// If zero, the step is auto-calibrated so that the first update moves
+	// the largest-magnitude entry by InitStep (see below). Algorithm 1
+	// subtracts the raw gradient; because the normalized gradients scale
+	// like 1/(G·K) that literal rule stalls on real circuit sizes, so
+	// auto-calibration is the default. Set LearnRate = 1 to reproduce the
+	// literal algorithm.
+	LearnRate float64
+
+	// InitStep is the auto-calibration target for the first step's largest
+	// entry movement. Default 0.25/K: a w-entry movement of δ can move a
+	// continuous label by up to K·δ, so the default keeps the per-step
+	// label movement bounded by ~0.25 planes independent of K (large K
+	// collapses onto a single plane with K-independent steps).
+	InitStep float64
+
+	// Seed seeds the random initialization. Runs are deterministic for a
+	// fixed seed. Default 1.
+	Seed int64
+
+	// Gradient selects exact (default) or paper-literal gradients.
+	Gradient GradientMode
+
+	// Renormalize, if true, rescales each row to sum to one after every
+	// update (projection onto the simplex face the initialization starts
+	// on). Algorithm 1 only clamps to [0,1]; renormalization is an
+	// ablation option.
+	Renormalize bool
+
+	// Momentum, when in (0, 1), applies heavy-ball momentum to the
+	// descent: v ← Momentum·v + ∇F; w ← w − step·v. The paper uses plain
+	// gradient steps; momentum is an extension that typically reaches the
+	// stopping margin in fewer iterations on large circuits.
+	Momentum float64
+
+	// ReduceDims, if true, uses the paper's dimension-reduction trick
+	// (Section IV-C): because Σ_k w_{i,k} = 1 is known, each row is
+	// updated as a K−1-dimensional free vector with the last coordinate
+	// derived as 1 − Σ of the rest. Free coordinates move against the
+	// *reduced* gradient ∂F/∂w_{i,k} − ∂F/∂w_{i,K}, are clamped to [0,1],
+	// and the row is rescaled when the free part exceeds one, keeping the
+	// derived coordinate non-negative. Mutually exclusive with
+	// Renormalize in effect (rows stay stochastic by construction).
+	ReduceDims bool
+
+	// Refine, if true, runs the greedy move-based refinement pass on the
+	// discrete assignment after descent (see Refine). Off by default: the
+	// headline reproduction reports the raw Algorithm-1 output.
+	Refine bool
+
+	// RefinePasses caps refinement sweeps (default 8).
+	RefinePasses int
+
+	// TraceCost, if true, records the total cost after every iteration.
+	TraceCost bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Coeffs == (Coeffs{}) {
+		o.Coeffs = DefaultCoeffs()
+	}
+	if o.Margin <= 0 {
+		o.Margin = 1e-4
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 4000
+	}
+	// InitStep defaults to 0.25/K in Solve (needs the problem's K).
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 8
+	}
+	return o
+}
+
+// Result is the solver output.
+type Result struct {
+	// Labels is the discrete assignment: Labels[i] ∈ [0, K) is the plane of
+	// gate i.
+	Labels []int
+
+	// W is the relaxed matrix at termination (before snapping).
+	W W
+
+	// Iters is the number of gradient iterations performed.
+	Iters int
+
+	// Converged reports whether the margin criterion (rather than the
+	// iteration cap) stopped the loop.
+	Converged bool
+
+	// Relaxed is the cost at the final relaxed point; Discrete is the cost
+	// of the snapped (and optionally refined) assignment.
+	Relaxed, Discrete Breakdown
+
+	// StepSize is the learning rate actually used.
+	StepSize float64
+
+	// CostTrace holds the total cost per iteration when Options.TraceCost
+	// is set.
+	CostTrace []float64
+
+	// RefineMoves counts gates moved by the refinement pass (0 when
+	// refinement is disabled).
+	RefineMoves int
+}
+
+// Solve runs Algorithm 1 on the problem.
+func (p *Problem) Solve(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Margin >= 1 {
+		return nil, fmt.Errorf("partition: margin %g must be < 1", opts.Margin)
+	}
+	if opts.InitStep <= 0 {
+		opts.InitStep = 0.25 / float64(p.K)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Lines 3–11: random init, rows normalized to sum 1.
+	w := p.NewW()
+	for i := 0; i < p.G; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		var sum float64
+		for k := range row {
+			v := rng.Float64()
+			row[k] = v
+			sum += v
+		}
+		if sum == 0 {
+			// Vanishingly unlikely; fall back to uniform.
+			for k := range row {
+				row[k] = 1 / float64(p.K)
+			}
+			continue
+		}
+		for k := range row {
+			row[k] /= sum
+		}
+	}
+
+	grad := make([]float64, p.G*p.K)
+	var velocity []float64
+	if opts.Momentum > 0 {
+		if opts.Momentum >= 1 {
+			return nil, fmt.Errorf("partition: momentum %g must be < 1", opts.Momentum)
+		}
+		velocity = make([]float64, p.G*p.K)
+	}
+	step := opts.LearnRate
+	if step <= 0 {
+		// Auto-calibrate: first step moves the largest entry by InitStep.
+		p.Gradient(w, opts.Coeffs, opts.Gradient, grad)
+		maxAbs := 0.0
+		for _, g := range grad {
+			if a := math.Abs(g); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			step = 1 // flat start; any step is a no-op until curvature appears
+		} else {
+			step = opts.InitStep / maxAbs
+		}
+	}
+
+	res := &Result{StepSize: step}
+	costOld := math.Inf(1)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		// Line 13: cost_new.
+		bd := p.Cost(w, opts.Coeffs)
+		costNew := bd.Total
+		if opts.TraceCost {
+			res.CostTrace = append(res.CostTrace, costNew)
+		}
+		// Line 14: relative stopping criterion. Guard the division for
+		// costs near zero (F4 makes the total signed).
+		if !math.IsInf(costOld, 1) {
+			denom := math.Abs(costOld)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			if math.Abs(costNew-costOld)/denom <= opts.Margin {
+				res.Converged = true
+				res.Iters = iter
+				break
+			}
+		}
+		costOld = costNew
+
+		// Lines 17–24: gradient step with clamping.
+		p.Gradient(w, opts.Coeffs, opts.Gradient, grad)
+		if velocity != nil {
+			for j := range grad {
+				velocity[j] = opts.Momentum*velocity[j] + grad[j]
+				grad[j] = velocity[j]
+			}
+		}
+		if opts.ReduceDims {
+			// K−1 free coordinates per row; the last is derived.
+			last := p.K - 1
+			for i := 0; i < p.G; i++ {
+				base := i * p.K
+				gLast := grad[base+last]
+				var sum float64
+				for k := 0; k < last; k++ {
+					v := w[base+k] - step*(grad[base+k]-gLast)
+					if v < 0 {
+						v = 0
+					} else if v > 1 {
+						v = 1
+					}
+					w[base+k] = v
+					sum += v
+				}
+				if sum > 1 {
+					inv := 1 / sum
+					for k := 0; k < last; k++ {
+						w[base+k] *= inv
+					}
+					sum = 1
+				}
+				w[base+last] = 1 - sum
+			}
+		} else {
+			for j, g := range grad {
+				v := w[j] - step*g
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				w[j] = v
+			}
+		}
+		if opts.Renormalize {
+			for i := 0; i < p.G; i++ {
+				row := w[i*p.K : (i+1)*p.K]
+				var sum float64
+				for _, v := range row {
+					sum += v
+				}
+				if sum > 0 {
+					for k := range row {
+						row[k] /= sum
+					}
+				}
+			}
+		}
+		res.Iters = iter + 1
+	}
+
+	res.W = w
+	res.Relaxed = p.Cost(w, opts.Coeffs)
+	// Lines 27–30: snap to argmax.
+	res.Labels = p.Assign(w)
+	if opts.Refine {
+		res.RefineMoves = p.Refine(res.Labels, opts.Coeffs, opts.RefinePasses)
+	}
+	res.Discrete = p.DiscreteCost(res.Labels, opts.Coeffs)
+	return res, nil
+}

@@ -1,0 +1,343 @@
+// Package place implements ground-plane-aware placement: after
+// partitioning, each plane becomes a horizontal band of the chip (the
+// stacked layout of the paper's Fig. 1 — planes are parallel stripes so
+// that serial bias current flows top to bottom and only adjacent planes
+// share a boundary), cells are row-packed inside their plane's band, and
+// inter-plane nets are assigned coupler slots on the boundary between the
+// bands they cross.
+//
+// The placement is deliberately simple (row packing, no detailed
+// optimization); its role is to turn a partition into laid-out geometry so
+// that area metrics, boundary congestion, and wirelength effects of the
+// partition can be measured, and so the result can be written back to DEF
+// with plane GROUPS/REGIONS.
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+)
+
+// CellPlacement is the placed location of one gate, in millimetres.
+type CellPlacement struct {
+	Gate  netlist.GateID
+	Plane int
+	X, Y  float64 // lower-left corner
+	W, H  float64
+}
+
+// Band is the horizontal stripe of one ground plane.
+type Band struct {
+	Plane  int
+	Y0, Y1 float64 // bottom and top edge, mm
+	Used   float64 // placed cell area, mm²
+	Util   float64 // Used / band area
+}
+
+// CouplerSlot is a reserved location for one driver/receiver pair on a
+// plane boundary. Congested boundaries stack couplers in multiple rows
+// (Row 0 hugs the boundary; higher rows sit behind it).
+type CouplerSlot struct {
+	Edge     int     // circuit edge index this slot serves
+	Boundary int     // between plane Boundary and Boundary+1
+	X        float64 // slot position along the boundary, mm
+	Row      int     // coupler row on this boundary (0 = closest)
+}
+
+// Placement is a full plane-banded layout.
+type Placement struct {
+	CircuitName string
+	K           int
+	DieW, DieH  float64 // mm
+	Cells       []CellPlacement
+	Bands       []Band
+	Slots       []CouplerSlot
+
+	// HPWL is the half-perimeter wirelength over all connections, mm.
+	HPWL float64
+	// CrossHPWL is the HPWL of inter-plane connections only.
+	CrossHPWL float64
+}
+
+// Options configures the placer.
+type Options struct {
+	// Library resolves cell geometry; defaults to cellib.Default().
+	Library *cellib.Library
+	// Whitespace is the fractional slack added to each band beyond its
+	// cells' area (default 0.15, i.e. 15% breathing room).
+	Whitespace float64
+	// CouplerPitch is the spacing between coupler slots on a boundary in
+	// mm (default 0.08, two tiles).
+	CouplerPitch float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Library == nil {
+		o.Library = cellib.Default()
+	}
+	if o.Whitespace <= 0 {
+		o.Whitespace = 0.15
+	}
+	if o.CouplerPitch <= 0 {
+		o.CouplerPitch = 2 * cellib.TileW
+	}
+	return o
+}
+
+// Build places the circuit under the given plane labeling (0-based planes,
+// one label per gate).
+func Build(c *netlist.Circuit, k int, labels []int, opts Options) (*Placement, error) {
+	opts = opts.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(labels) != c.NumGates() {
+		return nil, fmt.Errorf("place: %d labels for %d gates", len(labels), c.NumGates())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("place: need at least one plane, got %d", k)
+	}
+	perPlane := make([][]netlist.GateID, k)
+	planeArea := make([]float64, k)
+	for i, lb := range labels {
+		if lb < 0 || lb >= k {
+			return nil, fmt.Errorf("place: gate %d labeled %d outside [0,%d)", i, lb, k)
+		}
+		perPlane[lb] = append(perPlane[lb], netlist.GateID(i))
+		planeArea[lb] += c.Gates[i].Area
+	}
+
+	// Die width: wide enough that the largest plane fits in a band of a
+	// few rows. Aim for a roughly square die overall.
+	total := c.TotalArea() * (1 + opts.Whitespace)
+	dieW := math.Sqrt(total)
+	if dieW < 4*cellib.TileW {
+		dieW = 4 * cellib.TileW
+	}
+
+	p := &Placement{CircuitName: c.Name, K: k, DieW: dieW}
+	rowH := 2 * cellib.TileH
+
+	y := 0.0
+	for plane := 0; plane < k; plane++ {
+		band := Band{Plane: plane, Y0: y}
+		x, rowY := 0.0, y
+		for _, gid := range perPlane[plane] {
+			g := c.Gates[gid]
+			w, h := cellGeom(opts.Library, g)
+			if x+w > dieW && x > 0 {
+				x = 0
+				rowY += rowH
+			}
+			p.Cells = append(p.Cells, CellPlacement{
+				Gate: gid, Plane: plane, X: x, Y: rowY, W: w, H: h,
+			})
+			band.Used += g.Area
+			x += w
+		}
+		// Close the band: at least one row tall, plus whitespace rows.
+		bandTop := rowY + rowH
+		slack := (bandTop - band.Y0) * opts.Whitespace
+		band.Y1 = bandTop + slack
+		if band.Y1 == band.Y0 {
+			band.Y1 = band.Y0 + rowH // empty plane still occupies one row
+		}
+		bandArea := (band.Y1 - band.Y0) * dieW
+		if bandArea > 0 {
+			band.Util = band.Used / bandArea
+		}
+		p.Bands = append(p.Bands, band)
+		y = band.Y1
+	}
+	p.DieH = y
+
+	cx, cy := p.cellCenters(c)
+	p.placeCouplers(c, labels, cx, opts)
+	p.computeWirelength(c, labels, cx, cy)
+	return p, nil
+}
+
+func cellGeom(lib *cellib.Library, g netlist.Gate) (w, h float64) {
+	if cell, ok := lib.ByName(g.Cell); ok {
+		return cell.Width(), cell.Height()
+	}
+	// Unknown cell: derive a square-ish footprint from its area.
+	side := math.Sqrt(g.Area)
+	if side < cellib.TileW {
+		side = cellib.TileW
+	}
+	return side, side
+}
+
+// cellCenters returns the placed center coordinates per gate.
+func (p *Placement) cellCenters(c *netlist.Circuit) (cx, cy []float64) {
+	cx = make([]float64, c.NumGates())
+	cy = make([]float64, c.NumGates())
+	for _, cp := range p.Cells {
+		cx[cp.Gate] = cp.X + cp.W/2
+		cy[cp.Gate] = cp.Y + cp.H/2
+	}
+	return cx, cy
+}
+
+// placeCouplers assigns each boundary-crossing hop a slot along its
+// boundary, near the midpoint of the connection's endpoints so the coupler
+// does not add gratuitous horizontal wirelength. Slots sit on a
+// CouplerPitch grid; collisions probe outward to the nearest free grid
+// position (wrapping at the die edge when a boundary saturates).
+func (p *Placement) placeCouplers(c *netlist.Circuit, labels []int, cx []float64, opts Options) {
+	gridN := int(p.DieW/opts.CouplerPitch) + 1
+	occ := make([]map[int]int, p.K) // per boundary: grid cell → couplers stacked
+	for k := range occ {
+		occ[k] = make(map[int]int)
+	}
+	claim := func(boundary int, want float64) (float64, int) {
+		g := int(want/opts.CouplerPitch + 0.5)
+		if g < 0 {
+			g = 0
+		}
+		if g >= gridN {
+			g = gridN - 1
+		}
+		// The closest grid cell with the boundary's minimum occupancy:
+		// probe outward (0, +1, −1, …); the first cell matching the global
+		// minimum is the nearest one.
+		minOcc := 1 << 30
+		for cell := 0; cell < gridN; cell++ {
+			if o := occ[boundary][cell]; o < minOcc {
+				minOcc = o
+			}
+		}
+		for probe := 0; probe < 2*gridN; probe++ {
+			d := (probe + 1) / 2
+			if probe%2 == 1 {
+				d = -d
+			}
+			cand := ((g+d)%gridN + gridN) % gridN
+			if occ[boundary][cand] == minOcc {
+				occ[boundary][cand]++
+				return float64(cand) * opts.CouplerPitch, minOcc
+			}
+		}
+		occ[boundary][g]++ // unreachable; keep the bookkeeping consistent
+		return float64(g) * opts.CouplerPitch, occ[boundary][g] - 1
+	}
+	for ei, e := range c.Edges {
+		a, b := labels[e.From], labels[e.To]
+		if a == b {
+			continue
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mid := (cx[e.From] + cx[e.To]) / 2
+		for boundary := lo; boundary < hi; boundary++ {
+			x, row := claim(boundary, mid)
+			if x >= p.DieW {
+				x = math.Mod(x, p.DieW)
+			}
+			p.Slots = append(p.Slots, CouplerSlot{Edge: ei, Boundary: boundary, X: x, Row: row})
+		}
+	}
+}
+
+// computeWirelength sums HPWL per connection using placed cell centers.
+func (p *Placement) computeWirelength(c *netlist.Circuit, labels []int, cx, cy []float64) {
+	for _, e := range c.Edges {
+		dx := math.Abs(cx[e.From] - cx[e.To])
+		dy := math.Abs(cy[e.From] - cy[e.To])
+		p.HPWL += dx + dy
+		if labels[e.From] != labels[e.To] {
+			p.CrossHPWL += dx + dy
+		}
+	}
+}
+
+// BoundaryCongestion returns, per boundary (k, k+1), the number of coupler
+// slots placed on it.
+func (p *Placement) BoundaryCongestion() []int {
+	out := make([]int, p.K-1)
+	if p.K < 2 {
+		return nil
+	}
+	for _, s := range p.Slots {
+		if s.Boundary >= 0 && s.Boundary < len(out) {
+			out[s.Boundary]++
+		}
+	}
+	return out
+}
+
+// Validate checks the geometric invariants: every cell inside its plane's
+// band and the die, bands contiguous and ordered, no negative utilization.
+func (p *Placement) Validate() error {
+	if len(p.Bands) != p.K {
+		return fmt.Errorf("place: %d bands for %d planes", len(p.Bands), p.K)
+	}
+	prev := 0.0
+	for i, b := range p.Bands {
+		if b.Plane != i {
+			return fmt.Errorf("place: band %d labeled plane %d", i, b.Plane)
+		}
+		if math.Abs(b.Y0-prev) > 1e-9 {
+			return fmt.Errorf("place: band %d starts at %g, previous ended at %g", i, b.Y0, prev)
+		}
+		if b.Y1 <= b.Y0 {
+			return fmt.Errorf("place: band %d is empty or inverted (%g, %g)", i, b.Y0, b.Y1)
+		}
+		if b.Util < 0 || b.Util > 1+1e-9 {
+			return fmt.Errorf("place: band %d utilization %g outside [0,1]", i, b.Util)
+		}
+		prev = b.Y1
+	}
+	if math.Abs(prev-p.DieH) > 1e-9 {
+		return fmt.Errorf("place: bands end at %g, die height is %g", prev, p.DieH)
+	}
+	for _, cp := range p.Cells {
+		band := p.Bands[cp.Plane]
+		if cp.Y < band.Y0-1e-9 || cp.Y+cp.H > band.Y1+1e-9 {
+			return fmt.Errorf("place: gate %d at y=[%g,%g] outside its band [%g,%g]",
+				cp.Gate, cp.Y, cp.Y+cp.H, band.Y0, band.Y1)
+		}
+		if cp.X < -1e-9 || cp.X+cp.W > p.DieW+1e-9 {
+			return fmt.Errorf("place: gate %d at x=[%g,%g] outside die width %g",
+				cp.Gate, cp.X, cp.X+cp.W, p.DieW)
+		}
+	}
+	return nil
+}
+
+// OverlapCount counts pairs of overlapping cells within each plane (the
+// row packer should produce zero; exported for verification).
+func (p *Placement) OverlapCount() int {
+	byPlane := make(map[int][]CellPlacement)
+	for _, cp := range p.Cells {
+		byPlane[cp.Plane] = append(byPlane[cp.Plane], cp)
+	}
+	overlaps := 0
+	for _, cells := range byPlane {
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].Y != cells[j].Y {
+				return cells[i].Y < cells[j].Y
+			}
+			return cells[i].X < cells[j].X
+		})
+		for i := 0; i < len(cells); i++ {
+			for j := i + 1; j < len(cells); j++ {
+				a, b := cells[i], cells[j]
+				if b.Y >= a.Y+a.H {
+					break // sorted by Y; no further overlap possible
+				}
+				if a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H {
+					overlaps++
+				}
+			}
+		}
+	}
+	return overlaps
+}

@@ -1,0 +1,235 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+func placed(t *testing.T, name string, k int) (*netlist.Circuit, []int, *Placement) {
+	t.Helper()
+	c, err := gen.Benchmark(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Build(c, k, res.Labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res.Labels, pl
+}
+
+func TestBuildValidGeometry(t *testing.T) {
+	c, _, pl := placed(t, "KSA8", 5)
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Cells) != c.NumGates() {
+		t.Fatalf("%d placements for %d gates", len(pl.Cells), c.NumGates())
+	}
+	if pl.OverlapCount() != 0 {
+		t.Errorf("%d overlapping cell pairs", pl.OverlapCount())
+	}
+	if pl.DieW <= 0 || pl.DieH <= 0 {
+		t.Errorf("die = %g × %g", pl.DieW, pl.DieH)
+	}
+}
+
+func TestBandsStackLikeFig1(t *testing.T) {
+	_, labels, pl := placed(t, "KSA8", 5)
+	if len(pl.Bands) != 5 {
+		t.Fatalf("%d bands", len(pl.Bands))
+	}
+	// Bands tile the die bottom to top in plane order.
+	for i := 1; i < len(pl.Bands); i++ {
+		if pl.Bands[i].Y0 != pl.Bands[i-1].Y1 {
+			t.Errorf("band %d not adjacent to band %d", i, i-1)
+		}
+	}
+	// Every cell's Y range lies inside its plane's band.
+	for _, cp := range pl.Cells {
+		b := pl.Bands[cp.Plane]
+		if cp.Y < b.Y0-1e-9 || cp.Y+cp.H > b.Y1+1e-9 {
+			t.Fatalf("cell of gate %d outside band %d", cp.Gate, cp.Plane)
+		}
+		if labels[cp.Gate] != cp.Plane {
+			t.Fatalf("gate %d placed on plane %d but labeled %d", cp.Gate, cp.Plane, labels[cp.Gate])
+		}
+	}
+}
+
+func TestBandUtilization(t *testing.T) {
+	_, _, pl := placed(t, "KSA16", 5)
+	for _, b := range pl.Bands {
+		if b.Util <= 0 || b.Util > 1 {
+			t.Errorf("band %d utilization %g outside (0,1]", b.Plane, b.Util)
+		}
+		// Row packing with 15% whitespace should stay reasonably dense.
+		if b.Used > 0 && b.Util < 0.2 {
+			t.Errorf("band %d utilization %.2f suspiciously low", b.Plane, b.Util)
+		}
+	}
+}
+
+func TestCouplerSlotsMatchCrossings(t *testing.T) {
+	c, labels, pl := placed(t, "KSA8", 5)
+	want := 0
+	for _, e := range c.Edges {
+		d := labels[e.From] - labels[e.To]
+		if d < 0 {
+			d = -d
+		}
+		want += d
+	}
+	if len(pl.Slots) != want {
+		t.Errorf("%d coupler slots, want %d", len(pl.Slots), want)
+	}
+	cong := pl.BoundaryCongestion()
+	total := 0
+	for _, n := range cong {
+		total += n
+	}
+	if total != want {
+		t.Errorf("congestion sums to %d, want %d", total, want)
+	}
+	for _, s := range pl.Slots {
+		if s.X < 0 || s.X >= pl.DieW {
+			t.Errorf("slot at x=%g outside die width %g", s.X, pl.DieW)
+		}
+		if s.Boundary < 0 || s.Boundary >= pl.K-1 {
+			t.Errorf("slot on boundary %d outside [0,%d)", s.Boundary, pl.K-1)
+		}
+	}
+}
+
+func TestWirelengthPositiveAndCrossSubset(t *testing.T) {
+	_, _, pl := placed(t, "MULT4", 5)
+	if pl.HPWL <= 0 {
+		t.Error("zero wirelength")
+	}
+	if pl.CrossHPWL < 0 || pl.CrossHPWL > pl.HPWL {
+		t.Errorf("cross HPWL %g outside [0, %g]", pl.CrossHPWL, pl.HPWL)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, c.NumGates())
+	if _, err := Build(c, 0, labels, Options{}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Build(c, 3, labels[:5], Options{}); err == nil {
+		t.Error("short labels accepted")
+	}
+	bad := append([]int(nil), labels...)
+	bad[0] = 7
+	if _, err := Build(c, 3, bad, Options{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestEmptyPlaneStillGetsBand(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, c.NumGates()) // everything on plane 0
+	pl, err := Build(c, 3, labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Bands) != 3 {
+		t.Fatalf("%d bands", len(pl.Bands))
+	}
+	for _, b := range pl.Bands[1:] {
+		if b.Y1 <= b.Y0 {
+			t.Error("empty plane band has zero height")
+		}
+		if b.Used != 0 {
+			t.Error("empty plane has used area")
+		}
+	}
+}
+
+func TestAreaConservation(t *testing.T) {
+	c, _, pl := placed(t, "KSA8", 4)
+	var placedArea float64
+	for _, b := range pl.Bands {
+		placedArea += b.Used
+	}
+	if math.Abs(placedArea-c.TotalArea()) > 1e-9 {
+		t.Errorf("band areas sum to %g, circuit total %g", placedArea, c.TotalArea())
+	}
+}
+
+func TestCouplerSlotsNoCollision(t *testing.T) {
+	_, _, pl := placed(t, "KSA8", 5)
+	type key struct {
+		b, row, x int
+	}
+	seen := map[key]int{}
+	maxRow := 0
+	for _, s := range pl.Slots {
+		k := key{s.Boundary, s.Row, int(s.X*1000 + 0.5)}
+		seen[k]++
+		if s.Row > maxRow {
+			maxRow = s.Row
+		}
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("boundary %d row %d has %d slots at x=%d µm", k.b, k.row, n, k.x)
+		}
+	}
+	// Rows fill evenly: the row count is bounded by ⌈crossings/grid⌉ + 1.
+	if maxRow > len(pl.Slots) {
+		t.Errorf("implausible row %d", maxRow)
+	}
+}
+
+func TestCouplerSlotsNearEndpoints(t *testing.T) {
+	// On average, a slot should sit closer to its connection's midpoint
+	// than a uniformly random slot would (die width / 4 expected distance
+	// for random). The probing keeps it within a couple of pitches for
+	// uncongested boundaries.
+	c, labels, pl := placed(t, "KSA8", 5)
+	cx := make(map[int]float64)
+	for _, cp := range pl.Cells {
+		cx[int(cp.Gate)] = cp.X + cp.W/2
+	}
+	var sum float64
+	for _, s := range pl.Slots {
+		e := c.Edges[s.Edge]
+		mid := (cx[int(e.From)] + cx[int(e.To)]) / 2
+		d := s.X - mid
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	avg := sum / float64(len(pl.Slots))
+	// Min-occupancy filling pushes late slots away from their midpoint on
+	// congested boundaries; the average must still beat uniform-random.
+	if avg > pl.DieW/4 {
+		t.Errorf("average slot-to-midpoint distance %.3f mm not better than random (%.3f)",
+			avg, pl.DieW/4)
+	}
+	_ = labels
+}

@@ -1,0 +1,199 @@
+// Package power models the power and thermal-load economics that motivate
+// current recycling (Sections I–II of the paper): the bias current of a
+// large SFQ chip reaches tens of amperes, and the problem is not the
+// on-chip power (microwatts) but the current magnitude itself — resistive
+// dissipation in the cryostat's current leads grows with I², and every
+// ampere of lead current adds conductive heat load at 4 K. Serial biasing
+// divides the supply current by ≈K at the cost of a K× higher stack
+// voltage, leaving on-chip power unchanged while shrinking lead loss
+// quadratically.
+//
+// Two biasing schemes are modeled:
+//
+//   - RSFQ: resistor biasing from a ~2.5 mV bus; static power V_bus·B_cir
+//     dominates on-chip dissipation.
+//   - ERSFQ: inductor/JJ-limiter biasing; static power is eliminated and
+//     only the dynamic switching energy I_b·Φ0 per SFQ pulse remains.
+//
+// All values are first-order and per the constants in the paper's cited
+// literature; the package's purpose is the parallel-vs-recycled comparison,
+// where modeling simplifications cancel.
+package power
+
+import (
+	"fmt"
+
+	"gpp/internal/netlist"
+	"gpp/internal/recycle"
+)
+
+// Phi0 is the single flux quantum, V·s (Eq. 1 of the paper).
+const Phi0 = 2.07e-15
+
+// Scheme selects the biasing style.
+type Scheme int
+
+// Biasing schemes.
+const (
+	RSFQ Scheme = iota
+	ERSFQ
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case RSFQ:
+		return "RSFQ"
+	case ERSFQ:
+		return "ERSFQ"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Options configures the model.
+type Options struct {
+	Scheme Scheme
+	// BiasBusVoltage (V); default 2.5e-3.
+	BiasBusVoltage float64
+	// ClockGHz is the operating frequency; default 20.
+	ClockGHz float64
+	// Activity is the average switching probability per gate per cycle;
+	// default 0.25.
+	Activity float64
+	// LeadResistance is the effective room-temperature-to-4K current lead
+	// resistance in ohms; default 0.1 Ω (a few meters of graded leads).
+	LeadResistance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BiasBusVoltage <= 0 {
+		o.BiasBusVoltage = 2.5e-3
+	}
+	if o.ClockGHz <= 0 {
+		o.ClockGHz = 20
+	}
+	if o.Activity <= 0 {
+		o.Activity = 0.25
+	}
+	if o.LeadResistance <= 0 {
+		o.LeadResistance = 0.1
+	}
+	return o
+}
+
+// Budget is the modeled power breakdown, all in watts unless noted.
+type Budget struct {
+	Scheme Scheme
+
+	// SupplyCurrentA is the current delivered through the cryostat leads.
+	SupplyCurrentA float64
+	// SupplyVoltage is the voltage across the bias network (stack voltage
+	// when recycled).
+	SupplyVoltage float64
+
+	// StaticOnChip is the bias-network dissipation on chip (zero for
+	// ERSFQ).
+	StaticOnChip float64
+	// DynamicOnChip is the switching energy burn: Σ_i b_i·Φ0·α·f.
+	DynamicOnChip float64
+	// LeadLoss is the I²R dissipation in the supply leads.
+	LeadLoss float64
+	// Total = StaticOnChip + DynamicOnChip + LeadLoss.
+	Total float64
+}
+
+// ForCircuit models the budget for an unpartitioned (parallel-biased)
+// circuit: the leads carry the full B_cir.
+func ForCircuit(c *netlist.Circuit, opts Options) (*Budget, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	bcirA := c.TotalBias() / 1000 // mA → A
+	return budget(opts, bcirA, opts.BiasBusVoltage, bcirA), nil
+}
+
+// ForPlan models the budget for a recycled design: the leads carry only
+// the plan's supply current, the stack voltage is K·V_bus, and on-chip
+// static/dynamic terms still see the full circuit bias (every gate is
+// biased regardless of which plane it sits on; dummy and coupler overhead
+// current is included since it flows through the stack).
+func ForPlan(plan *recycle.Plan, opts Options) (*Budget, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	supplyA := plan.SupplyCurrent / 1000
+	// On-chip static dissipation: the full stack drops K·V_bus across the
+	// supply current — identical to V_bus across B_cir(+overhead) in the
+	// balanced limit.
+	onChipA := supplyA * float64(plan.K)
+	return budget(opts, supplyA, plan.StackVoltage(), onChipA), nil
+}
+
+func budget(opts Options, supplyA, supplyV, onChipEquivA float64) *Budget {
+	b := &Budget{
+		Scheme:         opts.Scheme,
+		SupplyCurrentA: supplyA,
+		SupplyVoltage:  supplyV,
+	}
+	if opts.Scheme == RSFQ {
+		b.StaticOnChip = opts.BiasBusVoltage * onChipEquivA
+	}
+	// Dynamic: each mA of gate bias switching at α·f burns b·Φ0 per pulse.
+	fHz := opts.ClockGHz * 1e9
+	b.DynamicOnChip = onChipEquivA * Phi0 * opts.Activity * fHz
+	b.LeadLoss = opts.LeadResistance * supplyA * supplyA
+	b.Total = b.StaticOnChip + b.DynamicOnChip + b.LeadLoss
+	return b
+}
+
+// Comparison reports parallel vs recycled budgets.
+type Comparison struct {
+	Parallel *Budget
+	Recycled *Budget
+	// CurrentReduction = parallel supply current / recycled supply
+	// current (≈ K for a balanced partition).
+	CurrentReduction float64
+	// LeadLossReduction = parallel lead loss / recycled lead loss
+	// (≈ K² — the quadratic win that motivates the technique).
+	LeadLossReduction float64
+}
+
+// Compare models both configurations of the same circuit.
+func Compare(c *netlist.Circuit, plan *recycle.Plan, opts Options) (*Comparison, error) {
+	par, err := ForCircuit(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := ForPlan(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Parallel: par, Recycled: rec}
+	if rec.SupplyCurrentA > 0 {
+		cmp.CurrentReduction = par.SupplyCurrentA / rec.SupplyCurrentA
+	}
+	if rec.LeadLoss > 0 {
+		cmp.LeadLossReduction = par.LeadLoss / rec.LeadLoss
+	}
+	return cmp, nil
+}
+
+// BiasLines estimates how many physical bias pads a supply needs when one
+// pad sustains at most padLimitMA — the paper's closing argument (its [23]
+// uses 31 lines for 2.5 A; recycling collapses that to 1).
+func BiasLines(supplyMA, padLimitMA float64) (int, error) {
+	if padLimitMA <= 0 {
+		return 0, fmt.Errorf("power: pad limit must be positive, got %g", padLimitMA)
+	}
+	if supplyMA <= 0 {
+		return 0, nil
+	}
+	n := int(supplyMA / padLimitMA)
+	if float64(n)*padLimitMA < supplyMA {
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,171 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+)
+
+func fixture(t *testing.T, name string, k int) (*Comparison, *recycle.Plan) {
+	t.Helper()
+	c, err := gen.Benchmark(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := recycle.BuildPlan(c, p, res.Labels, recycle.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(c, plan, Options{Scheme: RSFQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp, plan
+}
+
+func TestCompareCurrentAndLeadLoss(t *testing.T) {
+	cmp, plan := fixture(t, "KSA16", 5)
+	// Current reduction approaches K for a balanced partition, minus
+	// coupler overhead; it must be meaningfully above 1.
+	if cmp.CurrentReduction < 1.5 {
+		t.Errorf("current reduction %.2f, want > 1.5", cmp.CurrentReduction)
+	}
+	if cmp.CurrentReduction > float64(plan.K) {
+		t.Errorf("current reduction %.2f exceeds K=%d (impossible)", cmp.CurrentReduction, plan.K)
+	}
+	// Lead loss shrinks quadratically with the current reduction.
+	wantLead := cmp.CurrentReduction * cmp.CurrentReduction
+	if math.Abs(cmp.LeadLossReduction-wantLead)/wantLead > 1e-9 {
+		t.Errorf("lead loss reduction %.3f, want (current reduction)² = %.3f",
+			cmp.LeadLossReduction, wantLead)
+	}
+}
+
+func TestRSFQvsERSFQStatic(t *testing.T) {
+	c, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsfq, err := ForCircuit(c, Options{Scheme: RSFQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ersfq, err := ForCircuit(c, Options{Scheme: ERSFQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsfq.StaticOnChip <= 0 {
+		t.Error("RSFQ has no static power")
+	}
+	if ersfq.StaticOnChip != 0 {
+		t.Errorf("ERSFQ static power = %g, want 0", ersfq.StaticOnChip)
+	}
+	if ersfq.DynamicOnChip <= 0 {
+		t.Error("ERSFQ has no dynamic power")
+	}
+	if rsfq.DynamicOnChip != ersfq.DynamicOnChip {
+		t.Error("dynamic power should not depend on the biasing scheme")
+	}
+	if ersfq.Total >= rsfq.Total {
+		t.Error("ERSFQ not more efficient than RSFQ")
+	}
+}
+
+func TestForCircuitHandNumbers(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Scheme: RSFQ, BiasBusVoltage: 2.5e-3, ClockGHz: 20, Activity: 0.25, LeadResistance: 0.1}
+	b, err := ForCircuit(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iA := c.TotalBias() / 1000
+	if math.Abs(b.SupplyCurrentA-iA) > 1e-12 {
+		t.Errorf("supply = %g A, want %g", b.SupplyCurrentA, iA)
+	}
+	if math.Abs(b.StaticOnChip-2.5e-3*iA) > 1e-15 {
+		t.Errorf("static = %g W", b.StaticOnChip)
+	}
+	wantDyn := iA * Phi0 * 0.25 * 20e9
+	if math.Abs(b.DynamicOnChip-wantDyn)/wantDyn > 1e-12 {
+		t.Errorf("dynamic = %g W, want %g", b.DynamicOnChip, wantDyn)
+	}
+	if math.Abs(b.LeadLoss-0.1*iA*iA)/b.LeadLoss > 1e-12 {
+		t.Errorf("lead loss = %g W", b.LeadLoss)
+	}
+	if math.Abs(b.Total-(b.StaticOnChip+b.DynamicOnChip+b.LeadLoss)) > 1e-15 {
+		t.Error("total is not the sum of parts")
+	}
+}
+
+func TestStackVoltageScalesWithK(t *testing.T) {
+	cmp, plan := fixture(t, "KSA8", 5)
+	if math.Abs(cmp.Recycled.SupplyVoltage-plan.StackVoltage()) > 1e-12 {
+		t.Errorf("recycled voltage %g, want stack voltage %g",
+			cmp.Recycled.SupplyVoltage, plan.StackVoltage())
+	}
+	if cmp.Parallel.SupplyVoltage >= cmp.Recycled.SupplyVoltage {
+		t.Error("recycling should raise the supply voltage")
+	}
+}
+
+func TestBiasLines(t *testing.T) {
+	// The paper's closing argument: its ref [23] feeds 2.5 A through 31
+	// lines at ~80 mA each; one recycled feed replaces them.
+	n, err := BiasLines(2500, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 31 {
+		t.Errorf("BiasLines(2500, 81) = %d, want 31", n)
+	}
+	n, err = BiasLines(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("exact fit needs %d lines", n)
+	}
+	if n, _ := BiasLines(0, 100); n != 0 {
+		t.Errorf("zero current needs %d lines", n)
+	}
+	if _, err := BiasLines(100, 0); err == nil {
+		t.Error("zero pad limit accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if RSFQ.String() != "RSFQ" || ERSFQ.String() != "ERSFQ" || Scheme(9).String() != "UNKNOWN" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SupplyVoltage != 2.5e-3 {
+		t.Errorf("default bus voltage %g", b.SupplyVoltage)
+	}
+	if b.LeadLoss <= 0 || b.DynamicOnChip <= 0 {
+		t.Error("defaults produced zero terms")
+	}
+}

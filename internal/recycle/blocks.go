@@ -1,0 +1,57 @@
+package recycle
+
+import (
+	"fmt"
+
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+// PlaneBlock is one ground plane's extracted circuit block.
+type PlaneBlock struct {
+	Plane   int
+	Circuit *netlist.Circuit
+	// Receivers/Drivers count the coupler ports this block needs on its
+	// boundaries (connections entering / leaving the plane). Chained hops
+	// through the plane (for non-adjacent connections) are NOT included —
+	// they are interconnect of the plan, not ports of the logic block.
+	Receivers int
+	Drivers   int
+}
+
+// PlaneNetlists splits a partitioned circuit into one standalone netlist
+// per ground plane (names preserved; IDs re-densified per block), the
+// deliverable each plane's physical design starts from.
+func PlaneNetlists(c *netlist.Circuit, p *partition.Problem, labels []int) ([]PlaneBlock, error) {
+	if c.NumGates() != p.G {
+		return nil, fmt.Errorf("recycle: circuit has %d gates, problem %d", c.NumGates(), p.G)
+	}
+	if len(labels) != p.G {
+		return nil, fmt.Errorf("recycle: %d labels for %d gates", len(labels), p.G)
+	}
+	blocks := make([]PlaneBlock, 0, p.K)
+	for k := 0; k < p.K; k++ {
+		selected := make([]bool, c.NumGates())
+		any := false
+		for i, lb := range labels {
+			if lb == k {
+				selected[i] = true
+				any = true
+			}
+		}
+		if !any {
+			return nil, fmt.Errorf("recycle: plane %d is empty", k+1)
+		}
+		sub, _, bd, err := netlist.Subcircuit(c, fmt.Sprintf("%s_plane%d", c.Name, k+1), selected)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, PlaneBlock{
+			Plane:     k,
+			Circuit:   sub,
+			Receivers: len(bd.In),
+			Drivers:   len(bd.Out),
+		})
+	}
+	return blocks, nil
+}

@@ -1,0 +1,145 @@
+package recycle
+
+import (
+	"fmt"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+// TrafficMatrix returns the K×K inter-plane connection matrix: t[a][b] is
+// the number of directed connections from a gate on plane a to a gate on
+// plane b (diagonal = intra-plane). Physical designers read this as
+// boundary congestion: entries far from the diagonal are the expensive
+// chained-coupler routes the paper's distance⁴ cost suppresses.
+func TrafficMatrix(p *partition.Problem, labels []int) ([][]int, error) {
+	if len(labels) != p.G {
+		return nil, fmt.Errorf("recycle: %d labels for %d gates", len(labels), p.G)
+	}
+	t := make([][]int, p.K)
+	for i := range t {
+		t[i] = make([]int, p.K)
+	}
+	for _, e := range p.Edges {
+		a, b := labels[e[0]], labels[e[1]]
+		if a < 0 || a >= p.K || b < 0 || b >= p.K {
+			return nil, fmt.Errorf("recycle: label outside [0,%d)", p.K)
+		}
+		t[a][b]++
+	}
+	return t, nil
+}
+
+// BiasWindow is the feasible supply-current interval for a serial stack
+// whose gates tolerate a relative bias deviation of ±Tolerance before
+// under- or over-biasing (Section III-B.1 of the paper: "some blocks may
+// fail because of under-biasing or over-biasing").
+type BiasWindow struct {
+	Tolerance float64 // δ, relative
+	// LoMA/HiMA bound the supply current that keeps every plane inside
+	// its tolerance. Feasible reports Lo ≤ Hi.
+	LoMA, HiMA float64
+	Feasible   bool
+	// WindowPct is the feasible window width relative to its center
+	// (0 when infeasible) — the stack's operating margin.
+	WindowPct float64
+}
+
+// BiasWindowWithoutDummies computes the supply window for the raw
+// partition: every plane k is designed for B_k, so a common supply I works
+// only if B_max·(1−δ) ≤ I ≤ B_min·(1+δ) — usually an empty interval,
+// which is exactly why the paper inserts dummy structures.
+func BiasWindowWithoutDummies(m *Metrics, tolerance float64) (BiasWindow, error) {
+	if tolerance <= 0 || tolerance >= 1 {
+		return BiasWindow{}, fmt.Errorf("recycle: tolerance %g outside (0,1)", tolerance)
+	}
+	bMin := m.PlaneBias[0]
+	for _, b := range m.PlaneBias[1:] {
+		if b < bMin {
+			bMin = b
+		}
+	}
+	w := BiasWindow{
+		Tolerance: tolerance,
+		LoMA:      m.BMax * (1 - tolerance),
+		HiMA:      bMin * (1 + tolerance),
+	}
+	finish(&w)
+	return w, nil
+}
+
+// BiasWindowWithDummies computes the supply window after dummy insertion:
+// every plane is compensated to draw the plan's supply current, so the
+// whole stack shares one design point and the window is the full ±δ.
+func BiasWindowWithDummies(plan *Plan, tolerance float64) (BiasWindow, error) {
+	if tolerance <= 0 || tolerance >= 1 {
+		return BiasWindow{}, fmt.Errorf("recycle: tolerance %g outside (0,1)", tolerance)
+	}
+	w := BiasWindow{
+		Tolerance: tolerance,
+		LoMA:      plan.SupplyCurrent * (1 - tolerance),
+		HiMA:      plan.SupplyCurrent * (1 + tolerance),
+	}
+	finish(&w)
+	return w, nil
+}
+
+func finish(w *BiasWindow) {
+	w.Feasible = w.LoMA <= w.HiMA
+	if w.Feasible {
+		center := (w.LoMA + w.HiMA) / 2
+		if center > 0 {
+			w.WindowPct = 100 * (w.HiMA - w.LoMA) / center
+		}
+	}
+}
+
+// JJStats counts Josephson junctions: the whole circuit, per plane, and
+// the overhead a plan adds (couplers + dummies). JJ count is the standard
+// complexity measure for SFQ chips.
+type JJStats struct {
+	Total    int   // logic JJs in the circuit
+	PerPlane []int // logic JJs per plane
+	Coupler  int   // JJs added by driver/receiver pairs
+	Dummy    int   // JJs added by dummy structures
+}
+
+// CountJJs derives JJ statistics for a partitioned circuit (and its plan,
+// when non-nil) using the library's per-cell JJ counts.
+func CountJJs(c *netlist.Circuit, labels []int, plan *Plan, lib *cellib.Library) (*JJStats, error) {
+	if lib == nil {
+		lib = cellib.Default()
+	}
+	if len(labels) != c.NumGates() {
+		return nil, fmt.Errorf("recycle: %d labels for %d gates", len(labels), c.NumGates())
+	}
+	k := 0
+	for _, lb := range labels {
+		if lb+1 > k {
+			k = lb + 1
+		}
+	}
+	st := &JJStats{PerPlane: make([]int, k)}
+	for i, g := range c.Gates {
+		cell, ok := lib.ByName(g.Cell)
+		if !ok {
+			return nil, fmt.Errorf("recycle: gate %s uses unknown cell %q", g.Name, g.Cell)
+		}
+		st.Total += cell.JJs
+		if labels[i] < 0 {
+			return nil, fmt.Errorf("recycle: negative label for gate %d", i)
+		}
+		st.PerPlane[labels[i]] += cell.JJs
+	}
+	if plan != nil {
+		drv := lib.MustByKind(cellib.KindDriver)
+		rcv := lib.MustByKind(cellib.KindReceiver)
+		dmy := lib.MustByKind(cellib.KindDummy)
+		st.Coupler = len(plan.Hops) * (drv.JJs + rcv.JJs)
+		for _, ps := range plan.Planes {
+			st.Dummy += ps.DummyCells * dmy.JJs
+		}
+	}
+	return st, nil
+}

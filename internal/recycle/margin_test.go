@@ -1,0 +1,202 @@
+package recycle
+
+import (
+	"math"
+	"testing"
+
+	"gpp/internal/cellib"
+	"gpp/internal/gen"
+	"gpp/internal/partition"
+)
+
+func TestTrafficMatrix(t *testing.T) {
+	p := mkProblem(t, 5, 3, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}, 1)
+	labels := []int{0, 0, 1, 2, 2}
+	tm, err := TrafficMatrix(p, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,1): 0→0; (1,2): 0→1; (2,3): 1→2; (3,4): 2→2; (0,4): 0→2.
+	want := [][]int{{1, 1, 1}, {0, 0, 1}, {0, 0, 1}}
+	for a := range want {
+		for b := range want[a] {
+			if tm[a][b] != want[a][b] {
+				t.Errorf("t[%d][%d] = %d, want %d", a, b, tm[a][b], want[a][b])
+			}
+		}
+	}
+	// Sum equals the edge count.
+	total := 0
+	for _, row := range tm {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != p.G-0 && total != len(p.Edges) {
+		t.Errorf("matrix sums to %d, want %d", total, len(p.Edges))
+	}
+}
+
+func TestTrafficMatrixErrors(t *testing.T) {
+	p := mkProblem(t, 4, 2, [][2]int{{0, 1}}, 2)
+	if _, err := TrafficMatrix(p, []int{0}); err == nil {
+		t.Error("short labels accepted")
+	}
+	if _, err := TrafficMatrix(p, []int{0, 9, 0, 0}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestBiasWindowWithoutDummiesUsuallyInfeasible(t *testing.T) {
+	// Planes at 80, 100, 120 mA with ±5% tolerance: supply must be ≥ 114
+	// and ≤ 84 — empty. This is the paper's argument for dummies.
+	m := &Metrics{K: 3, PlaneBias: []float64{80, 100, 120}, BMax: 120}
+	w, err := BiasWindowWithoutDummies(m, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Feasible {
+		t.Errorf("imbalanced stack reported feasible: %+v", w)
+	}
+	// Nearly balanced planes with a generous tolerance: feasible.
+	m2 := &Metrics{K: 3, PlaneBias: []float64{98, 100, 102}, BMax: 102}
+	w2, err := BiasWindowWithoutDummies(m2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Feasible {
+		t.Errorf("balanced stack reported infeasible: %+v", w2)
+	}
+	if w2.LoMA >= w2.HiMA || w2.WindowPct <= 0 {
+		t.Errorf("window malformed: %+v", w2)
+	}
+}
+
+func TestBiasWindowWithDummies(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA8", 5)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BiasWindowWithDummies(plan, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Feasible {
+		t.Fatal("compensated stack must be feasible")
+	}
+	if math.Abs(w.WindowPct-20) > 1e-9 {
+		t.Errorf("±10%% tolerance should give a 20%% window, got %.2f%%", w.WindowPct)
+	}
+	if math.Abs(w.LoMA-plan.SupplyCurrent*0.9) > 1e-9 {
+		t.Errorf("Lo = %g", w.LoMA)
+	}
+}
+
+func TestBiasWindowValidation(t *testing.T) {
+	m := &Metrics{K: 2, PlaneBias: []float64{1, 1}, BMax: 1}
+	for _, tol := range []float64{0, -0.1, 1, 1.5} {
+		if _, err := BiasWindowWithoutDummies(m, tol); err == nil {
+			t.Errorf("tolerance %g accepted", tol)
+		}
+	}
+}
+
+func TestCountJJs(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA4", 4)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := CountJJs(c, labels, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total <= 0 {
+		t.Fatal("no JJs counted")
+	}
+	sum := 0
+	for _, n := range st.PerPlane {
+		sum += n
+	}
+	if sum != st.Total {
+		t.Errorf("per-plane JJs sum to %d, total %d", sum, st.Total)
+	}
+	lib := cellib.Default()
+	drv := lib.MustByKind(cellib.KindDriver)
+	rcv := lib.MustByKind(cellib.KindReceiver)
+	if st.Coupler != len(plan.Hops)*(drv.JJs+rcv.JJs) {
+		t.Errorf("coupler JJs = %d", st.Coupler)
+	}
+	if st.Dummy < 0 {
+		t.Error("negative dummy JJs")
+	}
+	// Note: on a circuit this small the coupler overhead legitimately
+	// exceeds the logic JJ count — recycling pays off at scale, not on
+	// 79-gate toys — so no upper bound is asserted here.
+}
+
+func TestCountJJsErrors(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CountJJs(c, []int{0}, nil, nil); err == nil {
+		t.Error("short labels accepted")
+	}
+	labels := make([]int, c.NumGates())
+	bad := c.Clone()
+	bad.Gates[0].Cell = "NOSUCH"
+	if _, err := CountJJs(bad, labels, nil, nil); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	_ = partition.DefaultCoeffs()
+}
+
+func TestPlaneNetlists(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA8", 5)
+	blocks, err := PlaneNetlists(c, p, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 5 {
+		t.Fatalf("%d blocks", len(blocks))
+	}
+	totalGates, totalEdges, totalRecv, totalDrv := 0, 0, 0, 0
+	var totalBias float64
+	for _, b := range blocks {
+		if err := b.Circuit.Validate(); err != nil {
+			t.Fatalf("plane %d invalid: %v", b.Plane, err)
+		}
+		totalGates += b.Circuit.NumGates()
+		totalEdges += b.Circuit.NumEdges()
+		totalRecv += b.Receivers
+		totalDrv += b.Drivers
+		totalBias += b.Circuit.TotalBias()
+	}
+	if totalGates != c.NumGates() {
+		t.Errorf("blocks hold %d gates, circuit has %d", totalGates, c.NumGates())
+	}
+	m, err := Evaluate(p, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings, _ := m.CrossingCount()
+	if totalEdges+crossings != c.NumEdges() {
+		t.Errorf("intra %d + crossing %d != total %d", totalEdges, crossings, c.NumEdges())
+	}
+	if totalRecv != crossings || totalDrv != crossings {
+		t.Errorf("ports (%d in, %d out) vs %d crossings", totalRecv, totalDrv, crossings)
+	}
+	if diff := totalBias - c.TotalBias(); diff > 1e-9 || diff < -1e-9 {
+		t.Error("bias not conserved across blocks")
+	}
+}
+
+func TestPlaneNetlistsEmptyPlane(t *testing.T) {
+	c, p, _ := planFixture(t, "KSA4", 4)
+	labels := make([]int, c.NumGates()) // all on plane 0
+	if _, err := PlaneNetlists(c, p, labels); err == nil {
+		t.Error("empty plane accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Package recycle evaluates ground-plane partitions for current recycling
+// and plans the physical realization: inter-plane inductive couplers, dummy
+// bias structures, and the serial bias stack.
+//
+// The metrics here are exactly the columns of the paper's Tables I–III:
+//
+//	d ≤ x    fraction of connections whose plane distance |l_i1 − l_i2| ≤ x
+//	B_max    largest per-plane bias current (= the external supply current)
+//	I_comp   Σ_k (B_max − B_k), the current wasted in dummy structures,
+//	         reported as a percentage of B_cir
+//	A_max    largest per-plane gate area
+//	A_FS     Σ_k (A_max − A_k) / A_cir, free (wasted) chip area percentage
+package recycle
+
+import (
+	"fmt"
+	"math"
+
+	"gpp/internal/partition"
+)
+
+// Metrics summarizes the quality of one discrete partition.
+type Metrics struct {
+	K     int
+	Gates int
+	Edges int
+
+	// DistHist[d] counts connections with plane distance exactly d,
+	// d ∈ [0, K−1].
+	DistHist []int
+
+	// Bias per plane (mA) and area per plane (mm²), indexed by plane.
+	PlaneBias []float64
+	PlaneArea []float64
+
+	TotalBias float64 // B_cir, mA
+	TotalArea float64 // A_cir, mm²
+
+	BMax        float64 // B_max, mA
+	IComp       float64 // Σ_k (B_max − B_k), mA
+	ICompPct    float64 // I_comp as % of B_cir
+	AMax        float64 // A_max, mm²
+	AFreePct    float64 // A_FS as % of A_cir
+	EmptyPlanes int     // planes with no gates (a defect for recycling)
+}
+
+// Evaluate computes the metrics of a labeling for problem p. Labels are
+// 0-based planes and must all lie in [0, K).
+func Evaluate(p *partition.Problem, labels []int) (*Metrics, error) {
+	if len(labels) != p.G {
+		return nil, fmt.Errorf("recycle: %d labels for %d gates", len(labels), p.G)
+	}
+	m := &Metrics{
+		K:         p.K,
+		Gates:     p.G,
+		Edges:     len(p.Edges),
+		DistHist:  make([]int, p.K),
+		PlaneBias: make([]float64, p.K),
+		PlaneArea: make([]float64, p.K),
+		TotalBias: p.TotalBias,
+		TotalArea: p.TotalArea,
+	}
+	counts := make([]int, p.K)
+	for i, lb := range labels {
+		if lb < 0 || lb >= p.K {
+			return nil, fmt.Errorf("recycle: gate %d has label %d outside [0,%d)", i, lb, p.K)
+		}
+		m.PlaneBias[lb] += p.Bias[i]
+		m.PlaneArea[lb] += p.Area[i]
+		counts[lb]++
+	}
+	for _, c := range counts {
+		if c == 0 {
+			m.EmptyPlanes++
+		}
+	}
+	for _, e := range p.Edges {
+		d := labels[e[0]] - labels[e[1]]
+		if d < 0 {
+			d = -d
+		}
+		m.DistHist[d]++
+	}
+	for k := 0; k < p.K; k++ {
+		if m.PlaneBias[k] > m.BMax {
+			m.BMax = m.PlaneBias[k]
+		}
+		if m.PlaneArea[k] > m.AMax {
+			m.AMax = m.PlaneArea[k]
+		}
+	}
+	m.IComp = float64(p.K)*m.BMax - m.TotalBias
+	if m.TotalBias > 0 {
+		m.ICompPct = 100 * m.IComp / m.TotalBias
+	}
+	if m.TotalArea > 0 {
+		m.AFreePct = 100 * (float64(p.K)*m.AMax - m.TotalArea) / m.TotalArea
+	}
+	return m, nil
+}
+
+// DistLEPct returns the percentage of connections with plane distance ≤ d.
+// For d ≥ K−1 it returns 100 (all connections). Circuits with no
+// connections report 100.
+func (m *Metrics) DistLEPct(d int) float64 {
+	if m.Edges == 0 {
+		return 100
+	}
+	if d >= m.K-1 {
+		return 100
+	}
+	n := 0
+	for i := 0; i <= d && i < len(m.DistHist); i++ {
+		n += m.DistHist[i]
+	}
+	return 100 * float64(n) / float64(m.Edges)
+}
+
+// HalfKDistPct returns the paper's "d ≤ ⌊K/2⌋" column.
+func (m *Metrics) HalfKDistPct() float64 {
+	return m.DistLEPct(m.K / 2)
+}
+
+// CrossingCount returns the number of connections with distance ≥ 1 (each
+// needs at least one coupler pair) and the total coupler pairs needed
+// (distance d needs d pairs, one per plane boundary crossed).
+func (m *Metrics) CrossingCount() (crossings, couplerPairs int) {
+	for d := 1; d < len(m.DistHist); d++ {
+		crossings += m.DistHist[d]
+		couplerPairs += d * m.DistHist[d]
+	}
+	return crossings, couplerPairs
+}
+
+// BalanceCheck verifies the metric identities that must hold for any valid
+// evaluation: Σ B_k = B_cir, Σ A_k = A_cir, I_comp = K·B_max − B_cir ≥ 0,
+// and the distance histogram sums to |E|.
+func (m *Metrics) BalanceCheck() error {
+	var bSum, aSum float64
+	for k := 0; k < m.K; k++ {
+		bSum += m.PlaneBias[k]
+		aSum += m.PlaneArea[k]
+	}
+	if !closeEnough(bSum, m.TotalBias) {
+		return fmt.Errorf("recycle: plane bias sums to %g, circuit total is %g", bSum, m.TotalBias)
+	}
+	if !closeEnough(aSum, m.TotalArea) {
+		return fmt.Errorf("recycle: plane area sums to %g, circuit total is %g", aSum, m.TotalArea)
+	}
+	if m.IComp < -1e-9 {
+		return fmt.Errorf("recycle: negative I_comp %g", m.IComp)
+	}
+	n := 0
+	for _, c := range m.DistHist {
+		n += c
+	}
+	if n != m.Edges {
+		return fmt.Errorf("recycle: distance histogram sums to %d, edge count is %d", n, m.Edges)
+	}
+	return nil
+}
+
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}

@@ -1,0 +1,261 @@
+package recycle
+
+import (
+	"fmt"
+	"sort"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+// CouplerHop is one plane-boundary crossing of one logical connection. A
+// connection from plane p to plane q with |p − q| = d is realized as d
+// chained driver/receiver pairs, one per intermediate boundary, because
+// inductive coupling only works between physically adjacent ground planes
+// (Section III-B.3 of the paper).
+type CouplerHop struct {
+	Edge      int // index into the circuit's edge list
+	FromPlane int // sending plane of this hop (0-based)
+	ToPlane   int // receiving plane of this hop
+}
+
+// PlaneSummary describes one ground plane of the recycling plan.
+type PlaneSummary struct {
+	Plane      int
+	Gates      int
+	Bias       float64 // mA consumed by logic gates
+	Area       float64 // mm² of logic gates
+	DummyBias  float64 // mA routed through dummy structures
+	DummyCells int     // number of dummy cells inserted
+	Drivers    int     // coupler driver halves on this plane
+	Receivers  int     // coupler receiver halves on this plane
+	// OverheadBias/OverheadArea add couplers and dummies.
+	OverheadBias float64
+	OverheadArea float64
+}
+
+// Plan is the physical realization of a partition for serial biasing.
+type Plan struct {
+	CircuitName string
+	K           int
+	Labels      []int
+
+	Metrics *Metrics
+	Planes  []PlaneSummary
+	Hops    []CouplerHop
+
+	// SupplyCurrent is the externally provided current, equal to the
+	// largest per-plane total (logic + overhead) after dummy insertion
+	// makes all planes equal.
+	SupplyCurrent float64
+
+	// BiasBusVoltage is the per-plane bias bus voltage (V); the stack
+	// voltage is K times this.
+	BiasBusVoltage float64
+
+	// TotalDummyBias is Σ dummy current over planes (mA); TotalCouplerArea
+	// and TotalDummyArea are the added layout area (mm²).
+	TotalDummyBias   float64
+	TotalCouplerArea float64
+	TotalDummyArea   float64
+
+	// MaxHopsPerConnection is the largest coupler chain length, a proxy for
+	// the worst-case added latency the paper warns about.
+	MaxHopsPerConnection int
+}
+
+// PlanOptions configures BuildPlan.
+type PlanOptions struct {
+	// Library supplies the driver, receiver and dummy cells. Defaults to
+	// cellib.Default().
+	Library *cellib.Library
+	// BiasBusVoltage in volts; default 2.5e-3 (the paper's 2.5 mV).
+	BiasBusVoltage float64
+}
+
+// BuildPlan turns a discrete partition into a current-recycling plan:
+// coupler chains for every inter-plane connection, dummy structures sized so
+// every plane draws the same current, and the resulting supply requirement.
+//
+// The circuit must be the one the problem was built from (same gate order).
+func BuildPlan(c *netlist.Circuit, p *partition.Problem, labels []int, opts PlanOptions) (*Plan, error) {
+	if c.NumGates() != p.G {
+		return nil, fmt.Errorf("recycle: circuit has %d gates, problem has %d", c.NumGates(), p.G)
+	}
+	if opts.Library == nil {
+		opts.Library = cellib.Default()
+	}
+	if opts.BiasBusVoltage == 0 {
+		opts.BiasBusVoltage = 2.5e-3
+	}
+	m, err := Evaluate(p, labels)
+	if err != nil {
+		return nil, err
+	}
+	drv := opts.Library.MustByKind(cellib.KindDriver)
+	rcv := opts.Library.MustByKind(cellib.KindReceiver)
+	dummy := opts.Library.MustByKind(cellib.KindDummy)
+
+	plan := &Plan{
+		CircuitName:    c.Name,
+		K:              p.K,
+		Labels:         append([]int(nil), labels...),
+		Metrics:        m,
+		BiasBusVoltage: opts.BiasBusVoltage,
+	}
+	plan.Planes = make([]PlaneSummary, p.K)
+	for k := range plan.Planes {
+		plan.Planes[k].Plane = k
+	}
+	for i, lb := range labels {
+		ps := &plan.Planes[lb]
+		ps.Gates++
+		ps.Bias += p.Bias[i]
+		ps.Area += p.Area[i]
+	}
+
+	// Coupler chains: a connection from plane a to plane b is realized as
+	// hops a→a±1→…→b. The driver half sits on the sending plane of each
+	// hop, the receiver half on the receiving plane.
+	for ei, e := range p.Edges {
+		a, b := labels[e[0]], labels[e[1]]
+		if a == b {
+			continue
+		}
+		stepDir := 1
+		if b < a {
+			stepDir = -1
+		}
+		hops := 0
+		for q := a; q != b; q += stepDir {
+			hop := CouplerHop{Edge: ei, FromPlane: q, ToPlane: q + stepDir}
+			plan.Hops = append(plan.Hops, hop)
+			plan.Planes[q].Drivers++
+			plan.Planes[q+stepDir].Receivers++
+			hops++
+		}
+		if hops > plan.MaxHopsPerConnection {
+			plan.MaxHopsPerConnection = hops
+		}
+	}
+	for k := range plan.Planes {
+		ps := &plan.Planes[k]
+		ps.OverheadBias = float64(ps.Drivers)*drv.Bias + float64(ps.Receivers)*rcv.Bias
+		ps.OverheadArea = float64(ps.Drivers)*drv.Area() + float64(ps.Receivers)*rcv.Area()
+		plan.TotalCouplerArea += ps.OverheadArea
+	}
+
+	// Dummy insertion: after couplers, every plane must draw the same
+	// current as the hungriest plane. The shortfall is burned in dummy
+	// cells (each passes dummy.Bias mA).
+	maxDraw := 0.0
+	for k := range plan.Planes {
+		if d := plan.Planes[k].Bias + plan.Planes[k].OverheadBias; d > maxDraw {
+			maxDraw = d
+		}
+	}
+	plan.SupplyCurrent = maxDraw
+	for k := range plan.Planes {
+		ps := &plan.Planes[k]
+		short := maxDraw - (ps.Bias + ps.OverheadBias)
+		if short <= 0 {
+			continue
+		}
+		n := int(short / dummy.Bias)
+		if float64(n)*dummy.Bias < short-1e-12 {
+			n++ // round up so the plane can absorb the full shortfall
+		}
+		ps.DummyCells = n
+		ps.DummyBias = short
+		plan.TotalDummyBias += short
+		da := float64(n) * dummy.Area()
+		ps.OverheadArea += da
+		plan.TotalDummyArea += da
+	}
+	return plan, nil
+}
+
+// StackVoltage returns the total voltage across the serial bias stack.
+func (p *Plan) StackVoltage() float64 {
+	return float64(p.K) * p.BiasBusVoltage
+}
+
+// SavedCurrent returns how much supply current serial biasing saves versus
+// parallel biasing (B_cir − supply).
+func (p *Plan) SavedCurrent() float64 {
+	return p.Metrics.TotalBias - p.SupplyCurrent
+}
+
+// Validate checks the plan's electrical bookkeeping: every plane draws
+// exactly the supply current (Kirchhoff-style series conservation), hop
+// chains are plane-adjacent, and per-plane driver/receiver counts match the
+// hop list.
+func (p *Plan) Validate() error {
+	drvCount := make([]int, p.K)
+	rcvCount := make([]int, p.K)
+	for _, h := range p.Hops {
+		d := h.ToPlane - h.FromPlane
+		if d != 1 && d != -1 {
+			return fmt.Errorf("recycle: hop on edge %d spans non-adjacent planes %d→%d", h.Edge, h.FromPlane, h.ToPlane)
+		}
+		if h.FromPlane < 0 || h.FromPlane >= p.K || h.ToPlane < 0 || h.ToPlane >= p.K {
+			return fmt.Errorf("recycle: hop on edge %d out of plane range", h.Edge)
+		}
+		drvCount[h.FromPlane]++
+		rcvCount[h.ToPlane]++
+	}
+	for k, ps := range p.Planes {
+		if ps.Drivers != drvCount[k] || ps.Receivers != rcvCount[k] {
+			return fmt.Errorf("recycle: plane %d coupler counts (%d,%d) disagree with hop list (%d,%d)",
+				k, ps.Drivers, ps.Receivers, drvCount[k], rcvCount[k])
+		}
+		draw := ps.Bias + ps.OverheadBias + ps.DummyBias
+		if diff := draw - p.SupplyCurrent; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("recycle: plane %d draws %.9f mA, supply is %.9f mA", k, draw, p.SupplyCurrent)
+		}
+	}
+	return nil
+}
+
+// ChainLengths returns a histogram of coupler chain lengths per crossing
+// connection: hist[d] = number of connections realized with d hops (d ≥ 1).
+func (p *Plan) ChainLengths() map[int]int {
+	perEdge := make(map[int]int)
+	for _, h := range p.Hops {
+		perEdge[h.Edge]++
+	}
+	hist := make(map[int]int)
+	for _, n := range perEdge {
+		hist[n]++
+	}
+	return hist
+}
+
+// BusiestBoundary returns the plane boundary (k, k+1) carrying the most
+// hops and that count. Returns (-1, 0) if there are no hops.
+func (p *Plan) BusiestBoundary() (boundary, hops int) {
+	if len(p.Hops) == 0 {
+		return -1, 0
+	}
+	counts := make(map[int]int)
+	for _, h := range p.Hops {
+		b := h.FromPlane
+		if h.ToPlane < h.FromPlane {
+			b = h.ToPlane
+		}
+		counts[b]++
+	}
+	keys := make([]int, 0, len(counts))
+	for b := range counts {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	boundary, hops = -1, 0
+	for _, b := range keys {
+		if counts[b] > hops {
+			boundary, hops = b, counts[b]
+		}
+	}
+	return boundary, hops
+}

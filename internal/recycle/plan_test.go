@@ -1,0 +1,226 @@
+package recycle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gpp/internal/cellib"
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+// planFixture builds a benchmark circuit, partitions it deterministically,
+// and returns everything BuildPlan needs.
+func planFixture(t *testing.T, name string, k int) (*netlist.Circuit, *partition.Problem, []int) {
+	t.Helper()
+	c, err := gen.Benchmark(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p, res.Labels
+}
+
+func TestBuildPlanValidates(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA4", 4)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.K != 4 || plan.CircuitName != "KSA4" {
+		t.Errorf("plan header: %+v", plan)
+	}
+	if plan.BiasBusVoltage != 2.5e-3 {
+		t.Errorf("default bus voltage = %g", plan.BiasBusVoltage)
+	}
+	if got := plan.StackVoltage(); math.Abs(got-4*2.5e-3) > 1e-12 {
+		t.Errorf("stack voltage = %g", got)
+	}
+}
+
+func TestPlanEveryPlaneDrawsSupply(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA8", 5)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, ps := range plan.Planes {
+		draw := ps.Bias + ps.OverheadBias + ps.DummyBias
+		if math.Abs(draw-plan.SupplyCurrent) > 1e-9 {
+			t.Errorf("plane %d draws %g, supply is %g", k, draw, plan.SupplyCurrent)
+		}
+	}
+	// Serial biasing must beat parallel biasing on this benchmark.
+	if plan.SavedCurrent() <= 0 {
+		t.Errorf("no supply current saved: supply %g vs total %g", plan.SupplyCurrent, plan.Metrics.TotalBias)
+	}
+}
+
+func TestPlanCouplerAccounting(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA4", 5)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop count must equal Σ_d d·hist[d].
+	wantHops := 0
+	for d := 1; d < len(plan.Metrics.DistHist); d++ {
+		wantHops += d * plan.Metrics.DistHist[d]
+	}
+	if len(plan.Hops) != wantHops {
+		t.Errorf("%d hops, want %d", len(plan.Hops), wantHops)
+	}
+	_, pairs := plan.Metrics.CrossingCount()
+	if pairs != wantHops {
+		t.Errorf("CrossingCount pairs %d != %d", pairs, wantHops)
+	}
+	// Chain length histogram sums to the crossing count.
+	crossings, _ := plan.Metrics.CrossingCount()
+	total := 0
+	maxLen := 0
+	for hops, n := range plan.ChainLengths() {
+		total += n
+		if hops > maxLen {
+			maxLen = hops
+		}
+	}
+	if total != crossings {
+		t.Errorf("chain histogram sums to %d, want %d", total, crossings)
+	}
+	if maxLen != plan.MaxHopsPerConnection {
+		t.Errorf("max chain %d, plan says %d", maxLen, plan.MaxHopsPerConnection)
+	}
+	// Every hop crosses exactly one boundary.
+	for _, h := range plan.Hops {
+		if d := h.ToPlane - h.FromPlane; d != 1 && d != -1 {
+			t.Fatalf("hop %+v crosses %d boundaries", h, d)
+		}
+	}
+}
+
+func TestPlanDummyRounding(t *testing.T) {
+	c, p, labels := planFixture(t, "MULT4", 5)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cellib.Default()
+	dummy := lib.MustByKind(cellib.KindDummy)
+	for k, ps := range plan.Planes {
+		if ps.DummyBias < 0 {
+			t.Errorf("plane %d has negative dummy bias", k)
+		}
+		// Enough dummy cells to absorb the shortfall.
+		if float64(ps.DummyCells)*dummy.Bias < ps.DummyBias-1e-9 {
+			t.Errorf("plane %d: %d dummies cannot pass %g mA", k, ps.DummyCells, ps.DummyBias)
+		}
+		// Not grossly over-provisioned (at most one extra cell).
+		if ps.DummyCells > 0 && float64(ps.DummyCells-1)*dummy.Bias >= ps.DummyBias+1e-9 {
+			t.Errorf("plane %d: %d dummies over-provisioned for %g mA", k, ps.DummyCells, ps.DummyBias)
+		}
+	}
+}
+
+func TestPlanBusiestBoundary(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA8", 5)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, hops := plan.BusiestBoundary()
+	if b < 0 || b >= plan.K-1 {
+		t.Fatalf("boundary = %d", b)
+	}
+	// Recount by hand.
+	count := 0
+	for _, h := range plan.Hops {
+		lo := h.FromPlane
+		if h.ToPlane < lo {
+			lo = h.ToPlane
+		}
+		if lo == b {
+			count++
+		}
+	}
+	if count != hops {
+		t.Errorf("busiest boundary recount %d != %d", count, hops)
+	}
+}
+
+func TestPlanNoHops(t *testing.T) {
+	// All gates on one plane (K=2, everything on plane 0): no hops, and
+	// BusiestBoundary reports none.
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, c.NumGates())
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Hops) != 0 {
+		t.Errorf("%d hops for a single-plane labeling", len(plan.Hops))
+	}
+	if b, n := plan.BusiestBoundary(); b != -1 || n != 0 {
+		t.Errorf("BusiestBoundary = %d, %d", b, n)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPlanMismatchedCircuit(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA4", 4)
+	other, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPlan(other, p, labels, PlanOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "gates") {
+		t.Errorf("mismatched circuit accepted: %v", err)
+	}
+	_ = c
+}
+
+func TestBuildPlanCustomVoltage(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA4", 4)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{BiasBusVoltage: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BiasBusVoltage != 5e-3 {
+		t.Errorf("voltage = %g", plan.BiasBusVoltage)
+	}
+}
+
+func TestPlanValidateDetectsCorruption(t *testing.T) {
+	c, p, labels := planFixture(t, "KSA4", 4)
+	plan, err := BuildPlan(c, p, labels, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Hops) == 0 {
+		t.Skip("no hops to corrupt")
+	}
+	plan.Hops[0].ToPlane = plan.Hops[0].FromPlane + 2
+	if err := plan.Validate(); err == nil {
+		t.Error("corrupted hop not detected")
+	}
+}

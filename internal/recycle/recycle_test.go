@@ -1,0 +1,169 @@
+package recycle
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpp/internal/partition"
+)
+
+func mkProblem(t *testing.T, g, k int, edges [][2]int, seed int64) *partition.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bias := make([]float64, g)
+	area := make([]float64, g)
+	for i := range bias {
+		bias[i] = 0.5 + rng.Float64()
+		area[i] = 0.002 + 0.004*rng.Float64()
+	}
+	p, err := partition.NewProblem("t", k, bias, area, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEvaluateHandComputed(t *testing.T) {
+	p, err := partition.NewProblem("hand", 3,
+		[]float64{2, 4, 6, 8},
+		[]float64{0.2, 0.4, 0.6, 0.8},
+		[][2]int{{0, 1}, {1, 2}, {0, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Planes: gate0→0, gate1→0, gate2→1, gate3→2.
+	m, err := Evaluate(p, []int{0, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distances: (0,1)=0, (1,2)=1, (0,3)=2, (2,3)=1 → hist [1,2,1].
+	if m.DistHist[0] != 1 || m.DistHist[1] != 2 || m.DistHist[2] != 1 {
+		t.Errorf("hist = %v", m.DistHist)
+	}
+	if got := m.DistLEPct(0); math.Abs(got-25) > 1e-9 {
+		t.Errorf("d≤0 = %g%%", got)
+	}
+	if got := m.DistLEPct(1); math.Abs(got-75) > 1e-9 {
+		t.Errorf("d≤1 = %g%%", got)
+	}
+	if got := m.DistLEPct(2); got != 100 {
+		t.Errorf("d≤2 = %g%%", got)
+	}
+	// B: plane0 = 6, plane1 = 6, plane2 = 8 → Bmax = 8, Icomp = 24−20 = 4,
+	// pct = 20%.
+	if m.BMax != 8 {
+		t.Errorf("BMax = %g", m.BMax)
+	}
+	if math.Abs(m.IComp-4) > 1e-9 || math.Abs(m.ICompPct-20) > 1e-9 {
+		t.Errorf("Icomp = %g (%g%%)", m.IComp, m.ICompPct)
+	}
+	// A: 0.6, 0.6, 0.8 → Amax 0.8, AFS = (2.4−2)/2 = 20%.
+	if math.Abs(m.AMax-0.8) > 1e-9 || math.Abs(m.AFreePct-20) > 1e-9 {
+		t.Errorf("Amax = %g, AFS = %g%%", m.AMax, m.AFreePct)
+	}
+	if m.EmptyPlanes != 0 {
+		t.Errorf("EmptyPlanes = %d", m.EmptyPlanes)
+	}
+	if err := m.BalanceCheck(); err != nil {
+		t.Errorf("BalanceCheck: %v", err)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	p := mkProblem(t, 4, 2, [][2]int{{0, 1}}, 1)
+	if _, err := Evaluate(p, []int{0, 1}); err == nil || !strings.Contains(err.Error(), "labels") {
+		t.Errorf("short labels: %v", err)
+	}
+	if _, err := Evaluate(p, []int{0, 1, 2, 0}); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-range label: %v", err)
+	}
+}
+
+func TestEmptyPlaneDetection(t *testing.T) {
+	p := mkProblem(t, 4, 3, nil, 2)
+	m, err := Evaluate(p, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EmptyPlanes != 1 {
+		t.Errorf("EmptyPlanes = %d, want 1", m.EmptyPlanes)
+	}
+}
+
+func TestDistLEPctNoEdges(t *testing.T) {
+	p := mkProblem(t, 4, 2, nil, 3)
+	m, err := Evaluate(p, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DistLEPct(0) != 100 || m.HalfKDistPct() != 100 {
+		t.Error("edgeless circuit should report 100%")
+	}
+}
+
+func TestCrossingCount(t *testing.T) {
+	p := mkProblem(t, 6, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}, 4)
+	// labels: 0,0,1,3,3,0 → distances 0,1,2,0,3
+	m, err := Evaluate(p, []int{0, 0, 1, 3, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings, pairs := m.CrossingCount()
+	if crossings != 3 {
+		t.Errorf("crossings = %d, want 3", crossings)
+	}
+	if pairs != 1+2+3 {
+		t.Errorf("pairs = %d, want 6", pairs)
+	}
+}
+
+// Property: the metric identities hold for arbitrary random labelings.
+func TestMetricIdentitiesProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%5) + 2
+		g := 30
+		rng := rand.New(rand.NewSource(seed))
+		var edges [][2]int
+		for i := 0; i < 50; i++ {
+			a, b := rng.Intn(g), rng.Intn(g)
+			if a != b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		p := mkProblem(t, g, k, edges, seed)
+		labels := make([]int, g)
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+		}
+		m, err := Evaluate(p, labels)
+		if err != nil {
+			return false
+		}
+		if m.BalanceCheck() != nil {
+			return false
+		}
+		// I_comp = K·B_max − B_cir and is non-negative.
+		if math.Abs(m.IComp-(float64(k)*m.BMax-m.TotalBias)) > 1e-9 {
+			return false
+		}
+		if m.IComp < -1e-9 {
+			return false
+		}
+		// DistLEPct is monotone in d and reaches 100 at K−1.
+		prev := -1.0
+		for d := 0; d < k; d++ {
+			v := m.DistLEPct(d)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return m.DistLEPct(k-1) == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

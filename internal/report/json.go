@@ -1,0 +1,32 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON renders the table as a JSON array of objects keyed by column
+// name — the machine-readable form for downstream tooling (plotting,
+// regression tracking).
+func (t *Table) WriteJSON(w io.Writer) error {
+	rows := make([]map[string]string, 0, len(t.Rows))
+	for i, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("report: row %d has %d cells for %d columns", i, len(row), len(t.Columns))
+		}
+		obj := make(map[string]string, len(row))
+		for j, cell := range row {
+			obj[t.Columns[j]] = cell
+		}
+		rows = append(rows, obj)
+	}
+	doc := struct {
+		Title   string              `json:"title,omitempty"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: rows}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,123 @@
+// Package report renders experiment results as paper-style ASCII tables,
+// CSV, or Markdown.
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple rectangular table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it must have exactly one cell per column.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// MustAddRow appends a row, panicking on arity mismatch (for fixed-shape
+// experiment code where a mismatch is a bug).
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintln(bw, t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(bw, "  ")
+			}
+			fmt.Fprintf(bw, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(bw)
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(bw, strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return bw.Flush()
+}
+
+// WriteCSV renders the table as CSV (RFC-4180 quoting for cells containing
+// commas or quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(bw, ",")
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				fmt.Fprintf(bw, "\"%s\"", strings.ReplaceAll(cell, `"`, `""`))
+			} else {
+				fmt.Fprint(bw, cell)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return bw.Flush()
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintf(bw, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(bw, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(bw, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(bw, "| %s |\n", strings.Join(row, " | "))
+	}
+	return bw.Flush()
+}
+
+// F formats a float with the given number of decimals (helper for
+// experiment code).
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

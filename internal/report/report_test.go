@@ -1,0 +1,132 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Sample",
+		Columns: []string{"Name", "Value"},
+	}
+	t.MustAddRow("alpha", "1")
+	t.MustAddRow("beta", "22")
+	return t
+}
+
+func TestWriteTextAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows → 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Fatalf("got %d lines:\n%s", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "Sample") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	// Columns aligned: "Name " padded to width of "alpha".
+	headerIdx := strings.Index(lines[1], "Value")
+	rowIdx := strings.Index(lines[3], "1")
+	if headerIdx != rowIdx {
+		t.Errorf("column start misaligned: header %d vs row %d\n%s", headerIdx, rowIdx, out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.MustAddRow("plain", `quote " and, comma`)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"quote \"\" and, comma\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| Name | Value |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("markdown separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| alpha | 1 |") {
+		t.Errorf("markdown row missing:\n%s", out)
+	}
+}
+
+func TestAddRowArity(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	if err := tab.AddRow("only one"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tab.AddRow("1", "2"); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+}
+
+func TestMustAddRowPanics(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow did not panic")
+		}
+	}()
+	tab.MustAddRow("1", "2")
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Pct(65.04); got != "65.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Title != "Sample" || len(doc.Columns) != 2 || len(doc.Rows) != 2 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.Rows[0]["Name"] != "alpha" || doc.Rows[1]["Value"] != "22" {
+		t.Errorf("rows = %v", doc.Rows)
+	}
+}
+
+func TestWriteJSONRowArity(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.Rows = append(tab.Rows, []string{"only one"})
+	if err := tab.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package route
+
+import (
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/place"
+)
+
+func TestAssignTracksHandCases(t *testing.T) {
+	// Three disjoint spans → 1 track.
+	spans := []Span{{Lo: 0, Hi: 1}, {Lo: 2, Hi: 3}, {Lo: 4, Hi: 5}}
+	if got := assignTracks(spans); got != 1 {
+		t.Errorf("disjoint spans: %d tracks, want 1", got)
+	}
+	// Three pairwise overlapping spans → 3 tracks.
+	spans = []Span{{Lo: 0, Hi: 10}, {Lo: 1, Hi: 9}, {Lo: 2, Hi: 8}}
+	if got := assignTracks(spans); got != 3 {
+		t.Errorf("nested spans: %d tracks, want 3", got)
+	}
+	// Staircase: (0,2) (1,3) (2,4) — spans 1 and 3 can share (2 ≤ 2).
+	spans = []Span{{Lo: 0, Hi: 2}, {Lo: 1, Hi: 3}, {Lo: 2, Hi: 4}}
+	if got := assignTracks(spans); got != 2 {
+		t.Errorf("staircase: %d tracks, want 2", got)
+	}
+	if got := assignTracks(nil); got != 0 {
+		t.Errorf("empty: %d tracks", got)
+	}
+}
+
+func TestAssignTracksIsValidColoring(t *testing.T) {
+	// Whatever the count, no two spans on one track may overlap.
+	spans := []Span{
+		{Lo: 0, Hi: 5}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 6}, {Lo: 3, Hi: 4},
+		{Lo: 4.5, Hi: 7}, {Lo: 6, Hi: 8}, {Lo: 0.5, Hi: 1.5},
+	}
+	assignTracks(spans)
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.Track == b.Track && a.Lo < b.Hi && b.Lo < a.Hi {
+				t.Fatalf("spans %d and %d overlap on track %d", i, j, a.Track)
+			}
+		}
+	}
+}
+
+func TestBuildOnRealPlacement(t *testing.T) {
+	c, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Build(c, 5, res.Labels, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Build(c, res.Labels, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Channels) != 4 {
+		t.Fatalf("%d channels for K=5", len(rt.Channels))
+	}
+	totalSpans := 0
+	for _, ch := range rt.Channels {
+		totalSpans += len(ch.Spans)
+		if len(ch.Spans) > 0 && ch.Tracks == 0 {
+			t.Errorf("boundary %d has spans but no tracks", ch.Boundary)
+		}
+		if ch.Tracks > len(ch.Spans) {
+			t.Errorf("boundary %d: %d tracks for %d spans", ch.Boundary, ch.Tracks, len(ch.Spans))
+		}
+	}
+	if totalSpans != len(pl.Slots) {
+		t.Errorf("%d spans for %d slots", totalSpans, len(pl.Slots))
+	}
+	if rt.MaxTracks <= 0 {
+		t.Error("no congestion measured on a real partition")
+	}
+	if rt.TotalWireMM <= 0 {
+		t.Error("no channel wirelength")
+	}
+}
+
+func TestBuildSinglePlane(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, c.NumGates())
+	pl, err := place.Build(c, 1, labels, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Build(c, labels, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.MaxTracks != 0 || len(rt.Channels) != 0 {
+		t.Errorf("single plane routed: %+v", rt)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &place.Placement{K: 3}
+	if _, err := Build(c, []int{0}, pl); err == nil {
+		t.Error("short labels accepted")
+	}
+	_ = netlist.Edge{}
+}

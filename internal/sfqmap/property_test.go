@@ -1,0 +1,142 @@
+package sfqmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpp/internal/cellib"
+	"gpp/internal/logic"
+)
+
+// randomLogic builds a random valid logic circuit from a seed: a few
+// inputs, a run of random 1/2-input gates over earlier nodes, and outputs
+// on the last few nodes.
+func randomLogic(seed int64, size int) *logic.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	b := logic.NewBuilder("rand")
+	nodes := []logic.NodeID{}
+	nIn := 3 + rng.Intn(4)
+	for i := 0; i < nIn; i++ {
+		nodes = append(nodes, b.Input("in"+itoa(i)))
+	}
+	for i := 0; i < size; i++ {
+		x := nodes[rng.Intn(len(nodes))]
+		y := nodes[rng.Intn(len(nodes))]
+		switch rng.Intn(6) {
+		case 0:
+			nodes = append(nodes, b.And(x, y))
+		case 1:
+			nodes = append(nodes, b.Or(x, y))
+		case 2:
+			nodes = append(nodes, b.Xor(x, y))
+		case 3:
+			nodes = append(nodes, b.Not(x))
+		case 4:
+			nodes = append(nodes, b.AndNot(x, y))
+		case 5:
+			nodes = append(nodes, b.Buf(x))
+		}
+	}
+	nOut := 1 + rng.Intn(3)
+	for i := 0; i < nOut; i++ {
+		b.Output("out"+itoa(i), nodes[len(nodes)-1-i])
+	}
+	return b.MustBuild()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// TestMapPropertyInvariants: for arbitrary random logic circuits, mapping
+// preserves the SFQ structural discipline.
+func TestMapPropertyInvariants(t *testing.T) {
+	lib := cellib.Default()
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw%60) + 5
+		lc := randomLogic(seed, size)
+		mapped, err := Map(lc, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		if mapped.Validate() != nil || !mapped.IsDAG() {
+			return false
+		}
+		in, out := mapped.Degrees()
+		for i, g := range mapped.Gates {
+			cell, ok := lib.ByName(g.Cell)
+			if !ok {
+				return false
+			}
+			// Fanout discipline: only splitters drive two sinks.
+			switch cell.Kind {
+			case cellib.KindSplit, cellib.KindClkSplit:
+				if out[i] != 2 {
+					return false
+				}
+			default:
+				if out[i] > 1 {
+					return false
+				}
+			}
+			// Clock discipline: clocked cells get data inputs + 1 clock.
+			if cell.Clocked && in[i] != cell.Inputs+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMapPreservesReachability: every mapped non-clock cell must be
+// reachable from some input converter, mirroring the logic circuit's
+// connectivity.
+func TestMapPreservesReachability(t *testing.T) {
+	lc := randomLogic(11, 40)
+	mapped, err := Map(lc, DefaultOptions().WithoutClockTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := mapped.Degrees()
+	reach := make([]bool, mapped.NumGates())
+	succ := make([][]int, mapped.NumGates())
+	for _, e := range mapped.Edges {
+		succ[e.From] = append(succ[e.From], int(e.To))
+	}
+	var stack []int
+	for i := range mapped.Gates {
+		if in[i] == 0 {
+			reach[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range succ[u] {
+			if !reach[v] {
+				reach[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	for i, r := range reach {
+		if !r {
+			t.Fatalf("mapped cell %s unreachable from inputs", mapped.Gates[i].Name)
+		}
+	}
+}

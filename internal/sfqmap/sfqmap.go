@@ -1,0 +1,208 @@
+// Package sfqmap performs SFQ technology mapping: it turns a gate-level
+// logic circuit (internal/logic) into an SFQ cell netlist
+// (internal/netlist) the way the paper's benchmark suite was prepared.
+//
+// SFQ imposes two structural requirements that the mapper realizes
+// explicitly (Section II of the paper):
+//
+//   - Fanout: an SFQ gate output can drive exactly one sink, so a logical
+//     fanout of f is realized with a binary tree of f−1 splitter cells.
+//   - Clocking: most SFQ logic gates are clocked (gate-level pipelining).
+//     The mapper builds a clock distribution network as a binary tree of
+//     clock splitters rooted at a clock source, delivering one clock pulse
+//     edge to every clocked cell. Clock connections are ordinary
+//     connections in the DEF netlist, exactly as in the paper's
+//     post-routing benchmarks.
+package sfqmap
+
+import (
+	"fmt"
+
+	"gpp/internal/cellib"
+	"gpp/internal/logic"
+	"gpp/internal/netlist"
+)
+
+// Options configures the mapper.
+type Options struct {
+	// Library supplies the SFQ cells; defaults to cellib.Default().
+	Library *cellib.Library
+	// ClockTree controls whether the clock distribution network is
+	// generated. Default true (matches the paper's netlists, where clock
+	// nets are part of the routed design).
+	ClockTree bool
+	// clockTreeSet distinguishes "explicitly false" from zero value.
+	clockTreeSet bool
+}
+
+// DefaultOptions returns the standard mapping configuration.
+func DefaultOptions() Options {
+	return Options{Library: cellib.Default(), ClockTree: true, clockTreeSet: true}
+}
+
+// WithoutClockTree returns o with clock tree generation disabled.
+func (o Options) WithoutClockTree() Options {
+	o.ClockTree = false
+	o.clockTreeSet = true
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	if o.Library == nil {
+		o.Library = cellib.Default()
+	}
+	if !o.clockTreeSet {
+		o.ClockTree = true
+	}
+	return o
+}
+
+var opToKind = map[logic.Op]cellib.Kind{
+	logic.OpInput:  cellib.KindDCSFQ,
+	logic.OpOutput: cellib.KindSFQDC,
+	logic.OpAnd:    cellib.KindAND,
+	logic.OpOr:     cellib.KindOR,
+	logic.OpXor:    cellib.KindXOR,
+	logic.OpNot:    cellib.KindNOT,
+	logic.OpNand:   cellib.KindNAND,
+	logic.OpNor:    cellib.KindNOR,
+	logic.OpXnor:   cellib.KindXNOR,
+	logic.OpAndNot: cellib.KindAND2N,
+	logic.OpBuf:    cellib.KindBuffer,
+	logic.OpDelay:  cellib.KindDFF,
+}
+
+// Map technology-maps a logic circuit into an SFQ netlist.
+func Map(lc *logic.Circuit, opts Options) (*netlist.Circuit, error) {
+	opts = opts.withDefaults()
+	if err := lc.Validate(); err != nil {
+		return nil, err
+	}
+	lib := opts.Library
+	b := netlist.NewBuilder(lc.Name, lib)
+
+	// 1. Instantiate one SFQ cell per logic node.
+	gateOf := make([]netlist.GateID, len(lc.Nodes))
+	var clocked []netlist.GateID
+	for _, n := range lc.Nodes {
+		kind, ok := opToKind[n.Op]
+		if !ok {
+			return nil, fmt.Errorf("sfqmap: no SFQ mapping for op %v", n.Op)
+		}
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("%s_%d", n.Op, n.ID)
+		} else {
+			name = fmt.Sprintf("%s_%s", n.Op, name)
+		}
+		id := b.AddCell(name, kind)
+		gateOf[n.ID] = id
+		if cell, _ := lib.ByKind(kind); cell.Clocked {
+			clocked = append(clocked, id)
+		}
+	}
+
+	// 2. Realize data connections with splitter trees. For each driver with
+	// fanout f ≥ 2, build a binary splitter tree with f−1 SPLIT cells; the
+	// tree's f leaf outputs feed the sinks. Leaves are handed out in
+	// consumption order and the sink-side edges are added in *pin order*
+	// (a second pass over every node's inputs), so non-commutative cells
+	// (ANDN2T, MUX2T) keep their operand semantics through mapping.
+	fanouts := lc.Fanouts()
+	splitters := 0
+	feeds := make([][]netlist.GateID, len(lc.Nodes)) // per driver: leaf queue
+	for _, n := range lc.Nodes {
+		f := len(fanouts[n.ID])
+		if f == 0 {
+			continue
+		}
+		feeds[n.ID] = buildSplitterTree(b, gateOf[n.ID], f, &splitters)
+		if b.Err() != nil {
+			return nil, b.Err()
+		}
+	}
+	next := make([]int, len(lc.Nodes)) // consumption cursor per driver
+	for _, n := range lc.Nodes {
+		for _, src := range n.Ins {
+			leaf := feeds[src][next[src]]
+			next[src]++
+			b.Connect(leaf, gateOf[n.ID])
+		}
+		if b.Err() != nil {
+			return nil, b.Err()
+		}
+	}
+
+	// 3. Clock network: a clock source feeding a binary tree of clock
+	// splitters, one leaf per clocked cell.
+	if opts.ClockTree && len(clocked) > 0 {
+		clkSrc := b.AddCell("clk_src", cellib.KindDCSFQ)
+		cs := 0
+		connectClockTree(b, clkSrc, clocked, &cs)
+		if b.Err() != nil {
+			return nil, b.Err()
+		}
+	}
+
+	return b.Build()
+}
+
+// buildSplitterTree creates the splitter tree that fans driver out to n
+// consumers and returns the n leaf sources (each may appear twice — a
+// splitter's two outputs — and is to be connected to exactly one sink).
+func buildSplitterTree(b *netlist.Builder, driver netlist.GateID, n int, counter *int) []netlist.GateID {
+	if n == 1 {
+		return []netlist.GateID{driver}
+	}
+	sp := b.AddCell(fmt.Sprintf("split_%d", *counter), cellib.KindSplit)
+	*counter++
+	b.Connect(driver, sp)
+	half := n / 2
+	leaves := buildSplitterTree(b, sp, half, counter)
+	return append(leaves, buildSplitterTree(b, sp, n-half, counter)...)
+}
+
+// connectClockTree distributes a clock pulse from src to every gate in
+// sinks via CSPLIT cells.
+func connectClockTree(b *netlist.Builder, src netlist.GateID, sinks []netlist.GateID, counter *int) {
+	if len(sinks) == 1 {
+		b.Connect(src, sinks[0])
+		return
+	}
+	sp := b.AddCell(fmt.Sprintf("csplit_%d", *counter), cellib.KindClkSplit)
+	*counter++
+	b.Connect(src, sp)
+	half := len(sinks) / 2
+	connectClockTree(b, sp, sinks[:half], counter)
+	connectClockTree(b, sp, sinks[half:], counter)
+}
+
+// MapStats describes what mapping produced.
+type MapStats struct {
+	LogicNodes     int
+	Cells          int
+	DataSplitters  int
+	ClockSplitters int
+	ClockedCells   int
+	Edges          int
+}
+
+// Stats recomputes mapping statistics from a mapped circuit.
+func Stats(lc *logic.Circuit, mapped *netlist.Circuit) MapStats {
+	st := MapStats{LogicNodes: lc.NumNodes(), Cells: mapped.NumGates(), Edges: mapped.NumEdges()}
+	for _, g := range mapped.Gates {
+		switch g.Cell {
+		case "SPLIT":
+			st.DataSplitters++
+		case "CSPLIT":
+			st.ClockSplitters++
+		}
+	}
+	lib := cellib.Default()
+	for _, g := range mapped.Gates {
+		if c, ok := lib.ByName(g.Cell); ok && c.Clocked {
+			st.ClockedCells++
+		}
+	}
+	return st
+}

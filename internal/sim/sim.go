@@ -1,0 +1,189 @@
+// Package sim is a single-wave functional simulator for technology-mapped
+// SFQ netlists. In SFQ logic one computation is one wave of pulses: every
+// primary input emits at most one pulse (pulse = logic 1, no pulse = 0),
+// pulses propagate through asynchronous cells (splitters, JTLs, mergers)
+// immediately, and each clocked gate fires once when its clock pulse
+// arrives, emitting a pulse iff its Boolean function of the data pulses
+// that arrived beforehand is true.
+//
+// Under the concurrent-flow clocking the paper's circuits use (clock
+// follows data), "arrived beforehand" is guaranteed by construction, so a
+// wave's functional result equals a topological evaluation of the mapped
+// DAG with clock edges ignored. That is what Run computes — making it an
+// end-to-end functional check of the whole substrate pipeline: generator →
+// technology mapper (splitter trees, clock network) → netlist.
+//
+// The simulator also reports per-gate pulse activity, which feeds the
+// power model's activity factor with measured rather than assumed values.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+)
+
+// Result is one simulated wave.
+type Result struct {
+	// Pulse[g] reports whether gate g emitted a pulse during the wave.
+	Pulse []bool
+	// Outputs maps every SFQDC (output converter) gate name to its value.
+	Outputs map[string]bool
+	// PulseCount is the total number of pulses emitted (switching
+	// activity of the wave).
+	PulseCount int
+}
+
+// Options configures the simulator.
+type Options struct {
+	// Library classifies cells; defaults to cellib.Default().
+	Library *cellib.Library
+}
+
+// Run simulates one wave. inputs maps DCSFQ gate names (the mapper names
+// them after the logic inputs, e.g. "INPUT_a0") to pulse presence; input
+// converters absent from the map emit no pulse. The clock source ("clk_src"
+// when the mapper generated one) always pulses.
+func Run(c *netlist.Circuit, inputs map[string]bool, opts Options) (*Result, error) {
+	if opts.Library == nil {
+		opts.Library = cellib.Default()
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify cells and collect per-gate data inputs (clock edges are
+	// identified as edges from the clock network: clock source or clock
+	// splitters).
+	kind := make([]cellib.Kind, c.NumGates())
+	clocked := make([]bool, c.NumGates())
+	for i, g := range c.Gates {
+		cell, ok := opts.Library.ByName(g.Cell)
+		if !ok {
+			return nil, fmt.Errorf("sim: gate %s uses cell %q absent from library %q", g.Name, g.Cell, opts.Library.Name())
+		}
+		kind[i] = cell.Kind
+		clocked[i] = cell.Clocked
+	}
+	isClockNet := make([]bool, c.NumGates())
+	for i, g := range c.Gates {
+		if kind[i] == cellib.KindClkSplit || g.Name == "clk_src" {
+			isClockNet[i] = true
+		}
+	}
+
+	inEdges := c.InEdges()
+	res := &Result{
+		Pulse:   make([]bool, c.NumGates()),
+		Outputs: make(map[string]bool),
+	}
+	for _, gid := range order {
+		i := int(gid)
+		g := c.Gates[i]
+		// Gather data-input pulses (ignore clock edges).
+		var data []bool
+		for _, ei := range inEdges[i] {
+			from := int(c.Edges[ei].From)
+			if isClockNet[from] && clocked[i] {
+				continue // clock pin
+			}
+			data = append(data, res.Pulse[from])
+		}
+		var out bool
+		switch kind[i] {
+		case cellib.KindDCSFQ:
+			if g.Name == "clk_src" {
+				out = true
+			} else {
+				out = inputs[g.Name] || inputs[strings.TrimPrefix(g.Name, "INPUT_")]
+			}
+		case cellib.KindClkSplit:
+			out = allOf(data) && len(data) > 0 // propagate the clock pulse
+		case cellib.KindSplit, cellib.KindBuffer, cellib.KindDFF, cellib.KindSFQDC:
+			out = len(data) > 0 && data[0]
+		case cellib.KindMerge:
+			out = anyOf(data)
+		case cellib.KindAND:
+			out = len(data) == 2 && data[0] && data[1]
+		case cellib.KindOR:
+			out = anyOf(data) && len(data) == 2
+		case cellib.KindXOR:
+			out = len(data) == 2 && data[0] != data[1]
+		case cellib.KindNAND:
+			out = len(data) == 2 && !(data[0] && data[1])
+		case cellib.KindNOR:
+			out = len(data) == 2 && !(data[0] || data[1])
+		case cellib.KindXNOR:
+			out = len(data) == 2 && data[0] == data[1]
+		case cellib.KindAND2N:
+			out = len(data) == 2 && data[0] && !data[1]
+		case cellib.KindNOT:
+			out = len(data) == 1 && !data[0]
+		case cellib.KindMux:
+			// data[2] selects between data[0] and data[1].
+			if len(data) == 3 {
+				if data[2] {
+					out = data[0]
+				} else {
+					out = data[1]
+				}
+			}
+		case cellib.KindDriver, cellib.KindReceiver:
+			out = len(data) > 0 && data[0]
+		case cellib.KindDummy:
+			out = false
+		default:
+			return nil, fmt.Errorf("sim: no pulse semantics for cell kind %v (gate %s)", kind[i], g.Name)
+		}
+		res.Pulse[i] = out
+		if out {
+			res.PulseCount++
+		}
+		if kind[i] == cellib.KindSFQDC {
+			res.Outputs[g.Name] = out
+		}
+	}
+	return res, nil
+}
+
+func allOf(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+func anyOf(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Activity estimates the average switching activity of the circuit over a
+// set of input waves: pulses emitted / (gates × waves). This feeds the
+// power model with a measured activity factor.
+func Activity(c *netlist.Circuit, waves []map[string]bool, opts Options) (float64, error) {
+	if len(waves) == 0 {
+		return 0, fmt.Errorf("sim: no input waves")
+	}
+	total := 0
+	for _, w := range waves {
+		res, err := Run(c, w, opts)
+		if err != nil {
+			return 0, err
+		}
+		total += res.PulseCount
+	}
+	return float64(total) / float64(c.NumGates()*len(waves)), nil
+}

@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gpp/internal/cellib"
+	"gpp/internal/def"
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+)
+
+// runMappedAdder simulates a mapped KSA and decodes the sum.
+func runAdder(t *testing.T, c *netlist.Circuit, n int, a, b uint64) uint64 {
+	t.Helper()
+	inputs := map[string]bool{}
+	for i := 0; i < n; i++ {
+		inputs[fmt.Sprintf("a%d", i)] = a>>uint(i)&1 == 1
+		inputs[fmt.Sprintf("b%d", i)] = b>>uint(i)&1 == 1
+	}
+	res, err := Run(c, inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for i := 0; i < n; i++ {
+		if res.Outputs[fmt.Sprintf("OUTPUT_s%d", i)] {
+			sum |= 1 << uint(i)
+		}
+	}
+	if res.Outputs["OUTPUT_cout"] {
+		sum |= 1 << uint(n)
+	}
+	return sum
+}
+
+// TestMappedKSA4Exhaustive is the end-to-end substrate check: the SFQ
+// netlist produced by generator + technology mapper (splitter trees, clock
+// network) must still compute correct addition pulse-for-pulse.
+func TestMappedKSA4Exhaustive(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			if got := runAdder(t, c, 4, a, b); got != a+b {
+				t.Fatalf("mapped KSA4: %d + %d = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+func TestMappedKSA16Random(t *testing.T) {
+	c, err := gen.Benchmark("KSA16", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 40; trial++ {
+		a := rng.Uint64() & 0xffff
+		b := rng.Uint64() & 0xffff
+		if got := runAdder(t, c, 16, a, b); got != a+b {
+			t.Fatalf("mapped KSA16: %d + %d = %d, want %d", a, b, got, a+b)
+		}
+	}
+}
+
+func TestMappedMult4Exhaustive(t *testing.T) {
+	c, err := gen.Benchmark("MULT4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			inputs := map[string]bool{}
+			for i := 0; i < 4; i++ {
+				inputs[fmt.Sprintf("a%d", i)] = a>>uint(i)&1 == 1
+				inputs[fmt.Sprintf("b%d", i)] = b>>uint(i)&1 == 1
+			}
+			res, err := Run(c, inputs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var prod uint64
+			for i := 0; i < 8; i++ {
+				if res.Outputs[fmt.Sprintf("OUTPUT_p%d", i)] {
+					prod |= 1 << uint(i)
+				}
+			}
+			if prod != a*b {
+				t.Fatalf("mapped MULT4: %d × %d = %d, want %d", a, b, prod, a*b)
+			}
+		}
+	}
+}
+
+func TestMappedDividerRandom(t *testing.T) {
+	c, err := gen.Benchmark("ID4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		a := rng.Uint64() & 0xf
+		d := rng.Uint64()&0xe + 1
+		inputs := map[string]bool{}
+		for i := 0; i < 4; i++ {
+			inputs[fmt.Sprintf("a%d", i)] = a>>uint(i)&1 == 1
+			inputs[fmt.Sprintf("d%d", i)] = d>>uint(i)&1 == 1
+		}
+		res, err := Run(c, inputs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q, r uint64
+		for i := 0; i < 4; i++ {
+			if res.Outputs[fmt.Sprintf("OUTPUT_q%d", i)] {
+				q |= 1 << uint(i)
+			}
+			if res.Outputs[fmt.Sprintf("OUTPUT_r%d", i)] {
+				r |= 1 << uint(i)
+			}
+		}
+		if q != a/d || r != a%d {
+			t.Fatalf("mapped ID4: %d / %d = (%d, %d), want (%d, %d)", a, d, q, r, a/d, a%d)
+		}
+	}
+}
+
+func TestMissingInputsReadAsZero(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 + 0 = 0: no sum output pulses.
+	for name, v := range res.Outputs {
+		if v {
+			t.Errorf("output %s pulsed for all-zero inputs", name)
+		}
+	}
+	// The clock network still pulses (activity > 0).
+	if res.PulseCount == 0 {
+		t.Error("no pulses at all — clock network silent")
+	}
+}
+
+func TestActivityMeasured(t *testing.T) {
+	c, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	waves := make([]map[string]bool, 16)
+	for w := range waves {
+		in := map[string]bool{}
+		for i := 0; i < 8; i++ {
+			in[fmt.Sprintf("a%d", i)] = rng.Intn(2) == 1
+			in[fmt.Sprintf("b%d", i)] = rng.Intn(2) == 1
+		}
+		waves[w] = in
+	}
+	act, err := Activity(c, waves, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act <= 0.1 || act >= 1 {
+		t.Errorf("measured activity %.3f outside plausible (0.1, 1)", act)
+	}
+}
+
+func TestActivityNoWaves(t *testing.T) {
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Activity(c, nil, Options{}); err == nil {
+		t.Error("empty wave set accepted")
+	}
+}
+
+func TestRunUnknownCell(t *testing.T) {
+	b := netlist.NewBuilder("x", cellib.Default())
+	b.AddCell("a", cellib.KindDFF)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Gates[0].Cell = "NOSUCH"
+	if _, err := Run(c, nil, Options{}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestRunCyclicRejected(t *testing.T) {
+	b := netlist.NewBuilder("cyc", cellib.Default())
+	a := b.AddCell("a", cellib.KindBuffer)
+	bb := b.AddCell("b", cellib.KindBuffer)
+	b.Connect(a, bb)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Edges = append(c.Edges, netlist.Edge{From: bb, To: a})
+	if _, err := Run(c, nil, Options{}); err == nil {
+		t.Error("cyclic circuit accepted")
+	}
+}
+
+// TestDEFRoundTripPreservesSemantics: the divider exercises pin-order
+// sensitivity (ANDN2T); writing to DEF and reading back must not change
+// its function.
+func TestDEFRoundTripPreservesSemantics(t *testing.T) {
+	orig, err := gen.Benchmark("ID4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := def.Write(&buf, orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := def.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := def.ToCircuit(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		a := rng.Uint64() & 0xf
+		dv := rng.Uint64()&0xe + 1
+		inputs := map[string]bool{}
+		for i := 0; i < 4; i++ {
+			inputs[fmt.Sprintf("a%d", i)] = a>>uint(i)&1 == 1
+			inputs[fmt.Sprintf("d%d", i)] = dv>>uint(i)&1 == 1
+		}
+		r1, err := Run(orig, inputs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(recovered, inputs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range r1.Outputs {
+			if r2.Outputs[name] != v {
+				t.Fatalf("output %s differs after DEF round trip (a=%d d=%d)", name, a, dv)
+			}
+		}
+	}
+}
+
+// TestBalancedMappedKSA4Exhaustive: path balancing (DFF insertion) must
+// not change the computed function of the mapped netlist.
+func TestBalancedMappedKSA4Exhaustive(t *testing.T) {
+	c, err := gen.BenchmarkBalanced("KSA4", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			if got := runAdder(t, c, 4, a, b); got != a+b {
+				t.Fatalf("balanced KSA4: %d + %d = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+// TestMergeAndMuxSemantics covers the pulse functions the benchmark suite
+// does not exercise (MERGET, MUX2T).
+func TestMergeAndMuxSemantics(t *testing.T) {
+	b := netlist.NewBuilder("mm", cellib.Default())
+	a := b.AddCell("a", cellib.KindDCSFQ)
+	bb := b.AddCell("b", cellib.KindDCSFQ)
+	sel := b.AddCell("sel", cellib.KindDCSFQ)
+	mg := b.AddCell("mg", cellib.KindMerge)
+	mx := b.AddCell("mx", cellib.KindMux)
+	oMg := b.AddCell("out_mg", cellib.KindSFQDC)
+	oMx := b.AddCell("out_mx", cellib.KindSFQDC)
+	b.Connect(a, mg)
+	b.Connect(bb, mg)
+	b.Connect(mg, oMg)
+	// Mux pin order: i0 = x, i1 = y, i2 = select.
+	a2 := b.AddCell("a2", cellib.KindDCSFQ)
+	b2 := b.AddCell("b2", cellib.KindDCSFQ)
+	b.Connect(a2, mx)
+	b.Connect(b2, mx)
+	b.Connect(sel, mx)
+	b.Connect(mx, oMx)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in     map[string]bool
+		mg, mx bool
+	}{
+		{map[string]bool{"a": true}, true, false},                // merge passes either input
+		{map[string]bool{"b": true}, true, false},                //
+		{map[string]bool{}, false, false},                        // no pulses
+		{map[string]bool{"a2": true, "sel": true}, false, true},  // mux selects x
+		{map[string]bool{"b2": true, "sel": true}, false, false}, // sel=1 picks x (absent)
+		{map[string]bool{"b2": true}, false, true},               // sel=0 picks y
+	}
+	for i, tc := range cases {
+		res, err := Run(c, tc.in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outputs["out_mg"] != tc.mg || res.Outputs["out_mx"] != tc.mx {
+			t.Errorf("case %d: merge=%v mux=%v, want %v/%v (in=%v)",
+				i, res.Outputs["out_mg"], res.Outputs["out_mx"], tc.mg, tc.mx, tc.in)
+		}
+	}
+}

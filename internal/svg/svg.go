@@ -1,0 +1,103 @@
+// Package svg renders ground-plane partitioning artifacts as standalone
+// SVG documents: the plane-banded chip layout (cells colored by plane,
+// coupler slots on band boundaries) and the serial bias stack of the
+// paper's Fig. 1. Pure string generation on the standard library; the
+// output opens in any browser and embeds in documentation.
+package svg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"gpp/internal/place"
+	"gpp/internal/recycle"
+)
+
+// planePalette cycles for arbitrary K; the first entries are chosen for
+// adjacent-contrast (neighboring bands always differ clearly).
+var planePalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+	"#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+func planeColor(k int) string { return planePalette[k%len(planePalette)] }
+
+// WriteLayout renders a plane-banded placement: one horizontal band per
+// ground plane, placed cells as rectangles in the plane's color, coupler
+// slots as ticks on the boundaries.
+func WriteLayout(w io.Writer, p *place.Placement) error {
+	if len(p.Bands) == 0 {
+		return fmt.Errorf("svg: placement has no bands")
+	}
+	const scale = 220 // px per mm
+	const margin = 24
+	width := p.DieW*scale + 2*margin
+	height := p.DieH*scale + 2*margin
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	// Y flips so plane 1 is drawn at the top (the supply side in Fig. 1).
+	flipY := func(y float64) float64 { return margin + (p.DieH-y)*scale }
+
+	for _, b := range p.Bands {
+		yTop := flipY(b.Y1)
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.10" stroke="#888" stroke-width="0.5"/>`+"\n",
+			float64(margin), yTop, p.DieW*scale, (b.Y1-b.Y0)*scale, planeColor(b.Plane))
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" fill="#444">GP%d (util %.0f%%)</text>`+"\n",
+			float64(margin)+4, yTop+13, b.Plane+1, b.Util*100)
+	}
+	for _, cp := range p.Cells {
+		fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.8"/>`+"\n",
+			margin+cp.X*scale, flipY(cp.Y+cp.H), cp.W*scale, cp.H*scale, planeColor(cp.Plane))
+	}
+	for _, s := range p.Slots {
+		y := flipY(p.Bands[s.Boundary].Y1)
+		fmt.Fprintf(bw, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#222" stroke-width="1.2"/>`+"\n",
+			margin+s.X*scale, y-3, margin+s.X*scale, y+3)
+	}
+	fmt.Fprintf(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+// WriteStack renders the serial bias stack of a recycling plan (the
+// paper's Fig. 1): one box per plane with its current budget, the supply
+// entering the top plane and the ground return leaving the bottom.
+func WriteStack(w io.Writer, plan *recycle.Plan) error {
+	if plan.K == 0 {
+		return fmt.Errorf("svg: plan has no planes")
+	}
+	const boxW, boxH, gap, margin = 360, 46, 18, 30
+	width := boxW + 2*margin + 140
+	height := plan.K*(boxH+gap) + 2*margin + 20
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(bw, `<text x="%d" y="%d" font-size="12" font-family="sans-serif">supply %.1f mA ↓ (stack %.1f mV)</text>`+"\n",
+		margin, margin-8, plan.SupplyCurrent, plan.StackVoltage()*1000)
+	for i, ps := range plan.Planes {
+		y := margin + i*(boxH+gap)
+		frac := 0.0
+		if plan.SupplyCurrent > 0 {
+			frac = ps.Bias / plan.SupplyCurrent
+		}
+		fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.15" stroke="#555"/>`+"\n",
+			margin, y, boxW, boxH, planeColor(ps.Plane))
+		fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="%s" fill-opacity="0.75"/>`+"\n",
+			margin, y, float64(boxW)*frac, boxH, planeColor(ps.Plane))
+		fmt.Fprintf(bw, `<text x="%d" y="%d" font-size="11" font-family="sans-serif" fill="#222">GP%d: logic %.1f + couplers %.1f + dummy %.1f mA</text>`+"\n",
+			margin+6, y+boxH/2+4, ps.Plane+1, ps.Bias, ps.OverheadBias, ps.DummyBias)
+		if i < plan.K-1 {
+			midX := margin + boxW/2
+			fmt.Fprintf(bw, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333" stroke-width="1.5" marker-end="url(#arr)"/>`+"\n",
+				midX, y+boxH, midX, y+boxH+gap)
+		}
+	}
+	fmt.Fprintf(bw, `<defs><marker id="arr" markerWidth="8" markerHeight="8" refX="4" refY="4" orient="auto"><path d="M0,0 L8,4 L0,8 z" fill="#333"/></marker></defs>`+"\n")
+	fmt.Fprintf(bw, `<text x="%d" y="%d" font-size="12" font-family="sans-serif">↓ ground return</text>`+"\n",
+		margin, margin+plan.K*(boxH+gap)+8)
+	fmt.Fprintf(bw, "</svg>\n")
+	return bw.Flush()
+}

@@ -1,0 +1,115 @@
+package svg
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/partition"
+	"gpp/internal/place"
+	"gpp/internal/recycle"
+)
+
+func fixtures(t *testing.T) (*place.Placement, *recycle.Plan) {
+	t.Helper()
+	c, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := place.Build(c, 4, res.Labels, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := recycle.BuildPlan(c, p, res.Labels, recycle.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layout, plan
+}
+
+// wellFormed parses the output as XML — catches unescaped characters and
+// tag mismatches.
+func wellFormed(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestWriteLayout(t *testing.T) {
+	layout, _ := fixtures(t)
+	var buf bytes.Buffer
+	if err := WriteLayout(&buf, layout); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	// One band rect + one cell rect each, plus slot ticks.
+	if n := strings.Count(out, "<rect"); n < len(layout.Bands)+len(layout.Cells) {
+		t.Errorf("%d rects for %d bands + %d cells", n, len(layout.Bands), len(layout.Cells))
+	}
+	if n := strings.Count(out, "<line"); n != len(layout.Slots) {
+		t.Errorf("%d slot ticks for %d slots", n, len(layout.Slots))
+	}
+	for k := 1; k <= 4; k++ {
+		if !strings.Contains(out, "GP"+string(rune('0'+k))) {
+			t.Errorf("plane label GP%d missing", k)
+		}
+	}
+}
+
+func TestWriteStack(t *testing.T) {
+	_, plan := fixtures(t)
+	var buf bytes.Buffer
+	if err := WriteStack(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	if !strings.Contains(out, "supply") || !strings.Contains(out, "ground return") {
+		t.Error("stack annotations missing")
+	}
+	// Two rects per plane (frame + fill bar).
+	if n := strings.Count(out, "<rect"); n < 2*plan.K {
+		t.Errorf("%d rects for %d planes", n, plan.K)
+	}
+	// K−1 inter-plane arrows.
+	if n := strings.Count(out, "marker-end"); n != plan.K-1 {
+		t.Errorf("%d arrows for %d planes", n, plan.K)
+	}
+}
+
+func TestEmptyInputsRejected(t *testing.T) {
+	if err := WriteLayout(&bytes.Buffer{}, &place.Placement{}); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if err := WriteStack(&bytes.Buffer{}, &recycle.Plan{}); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestPlaneColorsCycle(t *testing.T) {
+	if planeColor(0) == planeColor(1) {
+		t.Error("adjacent planes share a color")
+	}
+	if planeColor(3) != planeColor(3+len(planePalette)) {
+		t.Error("palette does not cycle")
+	}
+}

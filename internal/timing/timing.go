@@ -1,0 +1,260 @@
+// Package timing implements a first-order SFQ timing model and quantifies
+// the frequency penalty of ground plane partitioning.
+//
+// SFQ circuits are gate-level pipelined (Section II of the paper): every
+// clocked gate is a pipeline stage, and the clock period is bounded by the
+// slowest stage — the longest delay from one clocked gate's output, through
+// any unclocked cells (splitters, JTLs), to the next clocked gate. The
+// paper's Section III-B.3 warns that connections between non-adjacent
+// planes need chained inductive couplers, which "consume more area on the
+// chip and also decrease the operating frequency": every plane boundary a
+// connection crosses inserts a driver/receiver pair into the stage path.
+// This package makes that penalty measurable.
+//
+// The model is deliberately first-order — per-cell fixed delays, no skew
+// optimization, concurrent-flow clock assumed ideal — because its job is
+// comparing the same circuit before and after partitioning, where the
+// common-mode simplifications cancel.
+package timing
+
+import (
+	"fmt"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+)
+
+// Analysis is the timing result for one circuit (optionally under a
+// partition).
+type Analysis struct {
+	CircuitName string
+
+	// CriticalStagePS is the slowest pipeline stage delay (ps): the clock
+	// period lower bound.
+	CriticalStagePS float64
+	// MaxFreqGHz = 1000 / CriticalStagePS.
+	MaxFreqGHz float64
+	// CriticalStageAt is the clocked gate whose stage is critical.
+	CriticalStageAt netlist.GateID
+	// TotalLatencyPS is the longest input→output path delay (pipeline
+	// depth × period in a perfectly balanced design; reported as raw
+	// combinational sum here).
+	TotalLatencyPS float64
+	// Stages is the number of clocked cells (pipeline stages).
+	Stages int
+	// CouplerCrossings counts coupler pairs inserted on stage paths (0
+	// without a partition).
+	CouplerCrossings int
+}
+
+// Options configures the analysis.
+type Options struct {
+	// Library resolves per-cell delays; defaults to cellib.Default().
+	Library *cellib.Library
+	// Labels, if non-nil, is a plane labeling: every connection crossing
+	// |Δplane| boundaries is charged that many coupler-pair delays.
+	Labels []int
+	// CouplerDelayPS is the added delay of one driver/receiver pair;
+	// default is the library driver + receiver delays.
+	CouplerDelayPS float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Library == nil {
+		o.Library = cellib.Default()
+	}
+	if o.CouplerDelayPS <= 0 {
+		drv := o.Library.MustByKind(cellib.KindDriver)
+		rcv := o.Library.MustByKind(cellib.KindReceiver)
+		o.CouplerDelayPS = drv.DelayPS + rcv.DelayPS
+	}
+	return o
+}
+
+// Analyze computes the stage-delay timing of the circuit.
+//
+// For every gate g, reach(g) is the longest delay from the most recent
+// clocked output (or primary source) to g's output:
+//
+//	reach(g) = delay(g)                       if g is clocked or a source
+//	reach(g) = max over preds p of
+//	           (reach(p) + edgeExtra(p,g)) + delay(g)   otherwise
+//
+// and for clocked g the stage delay is max_p (reach(p) + edgeExtra(p,g)) +
+// delay(g). edgeExtra is the coupler chain delay of the connection under
+// the partition.
+func Analyze(c *netlist.Circuit, opts Options) (*Analysis, error) {
+	opts = opts.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Labels != nil && len(opts.Labels) != c.NumGates() {
+		return nil, fmt.Errorf("timing: %d labels for %d gates", len(opts.Labels), c.NumGates())
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	delay := make([]float64, c.NumGates())
+	clocked := make([]bool, c.NumGates())
+	for i, g := range c.Gates {
+		cell, ok := opts.Library.ByName(g.Cell)
+		if !ok {
+			return nil, fmt.Errorf("timing: gate %s uses cell %q absent from library %q",
+				g.Name, g.Cell, opts.Library.Name())
+		}
+		delay[i] = cell.DelayPS
+		clocked[i] = cell.Clocked
+	}
+
+	inEdges := c.InEdges()
+	an := &Analysis{CircuitName: c.Name, CriticalStageAt: -1}
+	reach := make([]float64, c.NumGates())  // stage-local arrival at output
+	arrive := make([]float64, c.NumGates()) // global arrival at output
+	for _, gid := range order {
+		i := int(gid)
+		var maxStageIn, maxGlobalIn float64
+		for _, ei := range inEdges[i] {
+			e := c.Edges[ei]
+			extra := 0.0
+			if opts.Labels != nil {
+				d := opts.Labels[e.From] - opts.Labels[e.To]
+				if d < 0 {
+					d = -d
+				}
+				if d > 0 {
+					extra = float64(d) * opts.CouplerDelayPS
+					an.CouplerCrossings += d
+				}
+			}
+			if v := reach[e.From] + extra; v > maxStageIn {
+				maxStageIn = v
+			}
+			if v := arrive[e.From] + extra; v > maxGlobalIn {
+				maxGlobalIn = v
+			}
+		}
+		arrive[i] = maxGlobalIn + delay[i]
+		if arrive[i] > an.TotalLatencyPS {
+			an.TotalLatencyPS = arrive[i]
+		}
+		if clocked[i] {
+			an.Stages++
+			stage := maxStageIn + delay[i]
+			if stage > an.CriticalStagePS {
+				an.CriticalStagePS = stage
+				an.CriticalStageAt = gid
+			}
+			reach[i] = delay[i] // a clocked output starts a new stage
+		} else {
+			reach[i] = maxStageIn + delay[i]
+		}
+	}
+	if an.CriticalStagePS == 0 {
+		// Purely unclocked circuit: the whole path is one "stage".
+		an.CriticalStagePS = an.TotalLatencyPS
+	}
+	if an.CriticalStagePS > 0 {
+		an.MaxFreqGHz = 1000 / an.CriticalStagePS
+	}
+	return an, nil
+}
+
+// Penalty compares unpartitioned and partitioned timing of the same
+// circuit.
+type Penalty struct {
+	Base        *Analysis
+	Partitioned *Analysis
+	// FreqRatio = partitioned f_max / base f_max (≤ 1).
+	FreqRatio float64
+	// AddedLatencyPS = partitioned − base total latency.
+	AddedLatencyPS float64
+}
+
+// ComparePartition runs the analysis with and without the labeling and
+// reports the frequency penalty the coupler chains introduce.
+func ComparePartition(c *netlist.Circuit, labels []int, opts Options) (*Penalty, error) {
+	base, err := Analyze(c, Options{Library: opts.Library, CouplerDelayPS: opts.CouplerDelayPS})
+	if err != nil {
+		return nil, err
+	}
+	po := opts
+	po.Labels = labels
+	part, err := Analyze(c, po)
+	if err != nil {
+		return nil, err
+	}
+	pen := &Penalty{Base: base, Partitioned: part, AddedLatencyPS: part.TotalLatencyPS - base.TotalLatencyPS}
+	if base.MaxFreqGHz > 0 {
+		pen.FreqRatio = part.MaxFreqGHz / base.MaxFreqGHz
+	}
+	return pen, nil
+}
+
+// StageHistogram buckets every pipeline stage's delay: hist[i] counts
+// clocked gates whose stage delay falls in [i·binPS, (i+1)·binPS). The
+// spread shows how far the design is from the perfectly balanced pipeline
+// the critical stage implies — a long tail means a few stages throttle
+// the whole clock.
+func StageHistogram(c *netlist.Circuit, opts Options, binPS float64) ([]int, error) {
+	if binPS <= 0 {
+		return nil, fmt.Errorf("timing: bin width %g must be positive", binPS)
+	}
+	opts = opts.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	delay := make([]float64, c.NumGates())
+	clocked := make([]bool, c.NumGates())
+	for i, g := range c.Gates {
+		cell, ok := opts.Library.ByName(g.Cell)
+		if !ok {
+			return nil, fmt.Errorf("timing: gate %s uses unknown cell %q", g.Name, g.Cell)
+		}
+		delay[i] = cell.DelayPS
+		clocked[i] = cell.Clocked
+	}
+	inEdges := c.InEdges()
+	reach := make([]float64, c.NumGates())
+	var stages []float64
+	for _, gid := range order {
+		i := int(gid)
+		var maxIn float64
+		for _, ei := range inEdges[i] {
+			e := c.Edges[ei]
+			extra := 0.0
+			if opts.Labels != nil {
+				d := opts.Labels[e.From] - opts.Labels[e.To]
+				if d < 0 {
+					d = -d
+				}
+				extra = float64(d) * opts.CouplerDelayPS
+			}
+			if v := reach[e.From] + extra; v > maxIn {
+				maxIn = v
+			}
+		}
+		if clocked[i] {
+			stages = append(stages, maxIn+delay[i])
+			reach[i] = delay[i]
+		} else {
+			reach[i] = maxIn + delay[i]
+		}
+	}
+	maxStage := 0.0
+	for _, s := range stages {
+		if s > maxStage {
+			maxStage = s
+		}
+	}
+	hist := make([]int, int(maxStage/binPS)+1)
+	for _, s := range stages {
+		hist[int(s/binPS)]++
+	}
+	return hist, nil
+}

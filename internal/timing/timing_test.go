@@ -1,0 +1,241 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gpp/internal/cellib"
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+// handBuilt: DCSFQ → DFF → JTL → JTL → AND (clocked), with a second input
+// DCSFQ → AND.
+//
+// Stage delays with the default library (DCSFQ 5, DFF 5, JTL 3, AND 8).
+// A stage includes the upstream clocked gate's clock-to-Q delay (the
+// period must cover clk-to-Q + data path + capture):
+//
+//	DFF stage:  dcsfq(5) + dff(5) = 10          (source starts a stage)
+//	AND stage:  dff clk-to-Q(5) + jtl(3) + jtl(3) + and(8) = 19; the other
+//	            input path dcsfq(5) + and(8) = 13 → stage is 19.
+func handBuilt(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("hand", cellib.Default())
+	in1 := b.AddCell("in1", cellib.KindDCSFQ)
+	ff := b.AddCell("ff", cellib.KindDFF)
+	j1 := b.AddCell("j1", cellib.KindBuffer)
+	j2 := b.AddCell("j2", cellib.KindBuffer)
+	in2 := b.AddCell("in2", cellib.KindDCSFQ)
+	and := b.AddCell("and", cellib.KindAND)
+	b.Connect(in1, ff)
+	b.Connect(ff, j1)
+	b.Connect(j1, j2)
+	b.Connect(j2, and)
+	b.Connect(in2, and)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAnalyzeHandComputed(t *testing.T) {
+	c := handBuilt(t)
+	an, err := Analyze(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Stages != 2 {
+		t.Errorf("stages = %d, want 2 (DFF, AND)", an.Stages)
+	}
+	if math.Abs(an.CriticalStagePS-19) > 1e-9 {
+		t.Errorf("critical stage = %g ps, want 19", an.CriticalStagePS)
+	}
+	andID, _ := c.GateByName("and")
+	if an.CriticalStageAt != andID.ID {
+		t.Errorf("critical stage at gate %d, want AND (%d)", an.CriticalStageAt, andID.ID)
+	}
+	// Total latency: 5+5+3+3+8 = 24.
+	if math.Abs(an.TotalLatencyPS-24) > 1e-9 {
+		t.Errorf("latency = %g ps, want 24", an.TotalLatencyPS)
+	}
+	if math.Abs(an.MaxFreqGHz-1000.0/19) > 1e-9 {
+		t.Errorf("f_max = %g GHz", an.MaxFreqGHz)
+	}
+	if an.CouplerCrossings != 0 {
+		t.Errorf("couplers without partition: %d", an.CouplerCrossings)
+	}
+}
+
+func TestAnalyzeWithPartitionAddsCouplerDelay(t *testing.T) {
+	c := handBuilt(t)
+	// Put the two JTLs on plane 2 and everything else on plane 0: the
+	// ff→j1 connection crosses 2 boundaries, j2→and crosses 2 back.
+	labels := []int{0, 0, 2, 2, 0, 0}
+	an, err := Analyze(c, Options{Labels: labels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coupler pair = LDRV 8 + LRCV 8 = 16 ps; AND stage gains 2×2×16 = 64:
+	// 19 + 64 = 83.
+	if math.Abs(an.CriticalStagePS-83) > 1e-9 {
+		t.Errorf("critical stage = %g ps, want 83", an.CriticalStagePS)
+	}
+	if an.CouplerCrossings != 4 {
+		t.Errorf("coupler crossings = %d, want 4", an.CouplerCrossings)
+	}
+}
+
+func TestAnalyzeCustomCouplerDelay(t *testing.T) {
+	c := handBuilt(t)
+	labels := []int{0, 0, 1, 1, 0, 0}
+	an, err := Analyze(c, Options{Labels: labels, CouplerDelayPS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ff→j1 and j2→and each cross one boundary: stage 19 + 200 = 219.
+	if math.Abs(an.CriticalStagePS-219) > 1e-9 {
+		t.Errorf("critical stage = %g ps, want 219", an.CriticalStagePS)
+	}
+}
+
+func TestComparePartitionPenalty(t *testing.T) {
+	c, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pen, err := ComparePartition(c, res.Labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen.FreqRatio <= 0 || pen.FreqRatio > 1 {
+		t.Errorf("frequency ratio %g outside (0,1]", pen.FreqRatio)
+	}
+	if pen.AddedLatencyPS < 0 {
+		t.Errorf("partition removed latency: %g", pen.AddedLatencyPS)
+	}
+	if pen.Partitioned.CouplerCrossings == 0 {
+		t.Error("no coupler crossings on a real partition")
+	}
+	if pen.Base.MaxFreqGHz < pen.Partitioned.MaxFreqGHz {
+		t.Error("partitioned circuit faster than unpartitioned")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	c := handBuilt(t)
+	if _, err := Analyze(c, Options{Labels: []int{0}}); err == nil {
+		t.Error("short labels accepted")
+	}
+	// Unknown cell.
+	bad := c.Clone()
+	bad.Gates[0].Cell = "NOSUCH"
+	if _, err := Analyze(bad, Options{}); err == nil || !strings.Contains(err.Error(), "NOSUCH") {
+		t.Errorf("err = %v", err)
+	}
+	// Cyclic circuit.
+	cyc := c.Clone()
+	cyc.Edges = append(cyc.Edges, netlist.Edge{From: 5, To: 0})
+	if _, err := Analyze(cyc, Options{}); err == nil {
+		t.Error("cyclic circuit accepted")
+	}
+}
+
+func TestUnclockedCircuitUsesTotalLatency(t *testing.T) {
+	b := netlist.NewBuilder("chain", cellib.Default())
+	a := b.AddCell("a", cellib.KindBuffer)
+	bb := b.AddCell("b", cellib.KindBuffer)
+	cc := b.AddCell("c", cellib.KindBuffer)
+	b.Connect(a, bb)
+	b.Connect(bb, cc)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Stages != 0 {
+		t.Errorf("stages = %d", an.Stages)
+	}
+	if math.Abs(an.CriticalStagePS-9) > 1e-9 { // 3 JTLs
+		t.Errorf("critical = %g, want 9", an.CriticalStagePS)
+	}
+}
+
+func TestIdentityPartitionNoPenalty(t *testing.T) {
+	c := handBuilt(t)
+	labels := make([]int, c.NumGates()) // all on one plane
+	pen, err := ComparePartition(c, labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen.FreqRatio != 1 {
+		t.Errorf("single-plane partition has frequency ratio %g", pen.FreqRatio)
+	}
+	if pen.AddedLatencyPS != 0 {
+		t.Errorf("single-plane partition added %g ps", pen.AddedLatencyPS)
+	}
+}
+
+func TestLibraryDelaysPlausible(t *testing.T) {
+	for _, cell := range cellib.Default().Cells() {
+		if cell.Kind == cellib.KindDummy {
+			continue // passive load, no signal path
+		}
+		if cell.DelayPS <= 0 || cell.DelayPS > 30 {
+			t.Errorf("%s: delay %g ps outside plausible SFQ range", cell.Name, cell.DelayPS)
+		}
+	}
+}
+
+func TestStageHistogram(t *testing.T) {
+	c, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := StageHistogram(c, Options{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total != an.Stages {
+		t.Errorf("histogram sums to %d stages, analysis says %d", total, an.Stages)
+	}
+	// The last non-empty bucket must contain the critical stage.
+	lastIdx := -1
+	for i, n := range hist {
+		if n > 0 {
+			lastIdx = i
+		}
+	}
+	if lastIdx < 0 {
+		t.Fatal("empty histogram")
+	}
+	lo, hi := float64(lastIdx)*5, float64(lastIdx+1)*5
+	if an.CriticalStagePS < lo || an.CriticalStagePS >= hi {
+		t.Errorf("critical stage %.1f ps outside last bucket [%.0f, %.0f)", an.CriticalStagePS, lo, hi)
+	}
+	if _, err := StageHistogram(c, Options{}, 0); err == nil {
+		t.Error("zero bin width accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Package tok provides the whitespace tokenizer shared by the LEF and DEF
+// readers. Tokens are whitespace-separated words; ';' and parentheses are
+// standalone tokens even when glued to a word (matching LEF/DEF syntax
+// where `;`, `(`, `)` are statement/group delimiters); '#' starts a
+// line comment.
+package tok
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Tokenizer scans LEF/DEF-style tokens from a reader.
+type Tokenizer struct {
+	sc   *bufio.Scanner
+	buf  []string
+	done bool
+}
+
+// New creates a tokenizer over r.
+func New(r io.Reader) *Tokenizer {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Tokenizer{sc: sc}
+}
+
+// Next returns the next token, or "", false at EOF.
+func (t *Tokenizer) Next() (string, bool) {
+	for len(t.buf) == 0 {
+		if t.done {
+			return "", false
+		}
+		if !t.sc.Scan() {
+			t.done = true
+			return "", false
+		}
+		line := t.sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, w := range strings.Fields(line) {
+			t.buf = append(t.buf, split(w)...)
+		}
+	}
+	tk := t.buf[0]
+	t.buf = t.buf[1:]
+	return tk, true
+}
+
+// Peek returns the next token without consuming it.
+func (t *Tokenizer) Peek() (string, bool) {
+	tk, ok := t.Next()
+	if !ok {
+		return "", false
+	}
+	t.buf = append([]string{tk}, t.buf...)
+	return tk, true
+}
+
+// SkipStatement consumes tokens up to and including the next ';'.
+func (t *Tokenizer) SkipStatement() {
+	for {
+		tk, ok := t.Next()
+		if !ok || tk == ";" {
+			return
+		}
+	}
+}
+
+// Err returns any underlying scan error.
+func (t *Tokenizer) Err() error { return t.sc.Err() }
+
+// split separates delimiters that LEF/DEF allow to be glued to words.
+func split(w string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(w); i++ {
+		switch w[i] {
+		case ';', '(', ')':
+			if i > start {
+				out = append(out, w[start:i])
+			}
+			out = append(out, string(w[i]))
+			start = i + 1
+		}
+	}
+	if start < len(w) {
+		out = append(out, w[start:])
+	}
+	return out
+}

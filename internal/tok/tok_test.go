@@ -1,0 +1,109 @@
+package tok
+
+import (
+	"strings"
+	"testing"
+)
+
+func collect(t *testing.T, s string) []string {
+	t.Helper()
+	tz := New(strings.NewReader(s))
+	var out []string
+	for {
+		tk, ok := tz.Next()
+		if !ok {
+			break
+		}
+		out = append(out, tk)
+	}
+	if err := tz.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := collect(t, "DESIGN top ;\nUNITS DISTANCE MICRONS 1000 ;")
+	want := []string{"DESIGN", "top", ";", "UNITS", "DISTANCE", "MICRONS", "1000", ";"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGluedDelimiters(t *testing.T) {
+	got := collect(t, "DIEAREA (0 0) (100 200);")
+	want := []string{"DIEAREA", "(", "0", "0", ")", "(", "100", "200", ")", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := collect(t, "A B # this is a comment ; ( )\nC")
+	want := []string{"A", "B", "C"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	tz := New(strings.NewReader("X Y"))
+	p1, ok := tz.Peek()
+	if !ok || p1 != "X" {
+		t.Fatalf("Peek = %q, %v", p1, ok)
+	}
+	n1, _ := tz.Next()
+	if n1 != "X" {
+		t.Errorf("Next after Peek = %q, want X", n1)
+	}
+	n2, _ := tz.Next()
+	if n2 != "Y" {
+		t.Errorf("second Next = %q, want Y", n2)
+	}
+	if _, ok := tz.Peek(); ok {
+		t.Error("Peek at EOF should fail")
+	}
+}
+
+func TestSkipStatement(t *testing.T) {
+	tz := New(strings.NewReader("IGNORE a b c ; NEXT"))
+	tz.Next() // IGNORE
+	tz.SkipStatement()
+	got, _ := tz.Next()
+	if got != "NEXT" {
+		t.Errorf("after SkipStatement got %q, want NEXT", got)
+	}
+	// SkipStatement at EOF terminates.
+	tz.SkipStatement()
+	if _, ok := tz.Next(); ok {
+		t.Error("expected EOF")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	tz := New(strings.NewReader(""))
+	if _, ok := tz.Next(); ok {
+		t.Error("empty input should yield no tokens")
+	}
+	// Repeated Next at EOF stays at EOF.
+	if _, ok := tz.Next(); ok {
+		t.Error("EOF is not sticky")
+	}
+}
+
+func TestLongLine(t *testing.T) {
+	// Lines longer than the default bufio.Scanner limit must still scan.
+	var sb strings.Builder
+	for i := 0; i < 100000; i++ {
+		sb.WriteString("tok ")
+	}
+	got := collect(t, sb.String())
+	if len(got) != 100000 {
+		t.Errorf("got %d tokens, want 100000", len(got))
+	}
+}

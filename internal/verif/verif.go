@@ -1,0 +1,248 @@
+// Package verif is an independent verifier for partitioning results and
+// recycling plans. It recomputes every claimed property from first
+// principles with deliberately naive code paths (no shared helpers with
+// the packages under test), so a bookkeeping bug in the optimizer, the
+// metrics, or the planner shows up as a reported issue rather than as two
+// modules agreeing on the same mistake.
+package verif
+
+import (
+	"fmt"
+
+	"gpp/internal/netlist"
+	"gpp/internal/place"
+	"gpp/internal/recycle"
+)
+
+// Issue is one verification finding.
+type Issue struct {
+	Check string // short machine-friendly check name
+	Msg   string
+}
+
+func (i Issue) String() string { return i.Check + ": " + i.Msg }
+
+// issuef appends a formatted issue.
+func issuef(issues []Issue, check, format string, args ...any) []Issue {
+	return append(issues, Issue{Check: check, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Partition verifies a plane labeling against the circuit: label ranges,
+// no empty planes, and (when limitMA > 0) that no plane's bias exceeds the
+// supply limit. Returns the empty slice when everything holds.
+func Partition(c *netlist.Circuit, k int, labels []int, limitMA float64) []Issue {
+	var issues []Issue
+	if err := c.Validate(); err != nil {
+		return issuef(issues, "circuit", "%v", err)
+	}
+	if k < 2 {
+		issues = issuef(issues, "planes", "K = %d leaves nothing to recycle", k)
+	}
+	if len(labels) != c.NumGates() {
+		return issuef(issues, "labels", "%d labels for %d gates", len(labels), c.NumGates())
+	}
+	biasPer := make([]float64, k)
+	count := make([]int, k)
+	for i, lb := range labels {
+		if lb < 0 || lb >= k {
+			issues = issuef(issues, "labels", "gate %d labeled %d outside [0,%d)", i, lb, k)
+			continue
+		}
+		biasPer[lb] += c.Gates[i].Bias
+		count[lb]++
+	}
+	for plane := 0; plane < k; plane++ {
+		if count[plane] == 0 {
+			issues = issuef(issues, "empty-plane",
+				"plane %d has no gates: serial biasing would drop the whole supply across dummies", plane+1)
+		}
+		if limitMA > 0 && biasPer[plane] > limitMA+1e-9 {
+			issues = issuef(issues, "supply-limit",
+				"plane %d needs %.3f mA, above the %.3f mA limit", plane+1, biasPer[plane], limitMA)
+		}
+	}
+	return issues
+}
+
+// Metrics cross-checks a Metrics value against a from-scratch recount.
+func Metrics(c *netlist.Circuit, labels []int, m *recycle.Metrics) []Issue {
+	var issues []Issue
+	if len(labels) != c.NumGates() {
+		return issuef(issues, "labels", "%d labels for %d gates", len(labels), c.NumGates())
+	}
+	k := m.K
+	bias := make([]float64, k)
+	area := make([]float64, k)
+	for i, lb := range labels {
+		if lb < 0 || lb >= k {
+			return issuef(issues, "labels", "gate %d labeled %d outside [0,%d)", i, lb, k)
+		}
+		bias[lb] += c.Gates[i].Bias
+		area[lb] += c.Gates[i].Area
+	}
+	var bMax, aMax float64
+	for p := 0; p < k; p++ {
+		if !near(bias[p], m.PlaneBias[p]) {
+			issues = issuef(issues, "plane-bias", "plane %d recount %.6f mA vs reported %.6f mA",
+				p+1, bias[p], m.PlaneBias[p])
+		}
+		if !near(area[p], m.PlaneArea[p]) {
+			issues = issuef(issues, "plane-area", "plane %d recount %.6f mm² vs reported %.6f mm²",
+				p+1, area[p], m.PlaneArea[p])
+		}
+		if bias[p] > bMax {
+			bMax = bias[p]
+		}
+		if area[p] > aMax {
+			aMax = area[p]
+		}
+	}
+	if !near(bMax, m.BMax) {
+		issues = issuef(issues, "bmax", "recount %.6f vs reported %.6f", bMax, m.BMax)
+	}
+	if !near(aMax, m.AMax) {
+		issues = issuef(issues, "amax", "recount %.6f vs reported %.6f", aMax, m.AMax)
+	}
+	hist := make([]int, k)
+	for _, e := range c.Edges {
+		d := labels[e.From] - labels[e.To]
+		if d < 0 {
+			d = -d
+		}
+		hist[d]++
+	}
+	for d := 0; d < k; d++ {
+		if hist[d] != m.DistHist[d] {
+			issues = issuef(issues, "dist-hist", "d=%d recount %d vs reported %d", d, hist[d], m.DistHist[d])
+		}
+	}
+	wantIComp := float64(k)*bMax - c.TotalBias()
+	if !near(wantIComp, m.IComp) {
+		issues = issuef(issues, "icomp", "recount %.6f vs reported %.6f", wantIComp, m.IComp)
+	}
+	return issues
+}
+
+// Plan verifies a recycling plan end to end: series conservation, chain
+// contiguity per crossing connection, and dummy sufficiency.
+func Plan(c *netlist.Circuit, labels []int, plan *recycle.Plan) []Issue {
+	var issues []Issue
+	if plan.K < 1 {
+		return issuef(issues, "plan", "K = %d", plan.K)
+	}
+	// Per-edge chain reconstruction: the hops of edge e must walk
+	// plane-by-plane from the driver's plane to the sink's plane.
+	hopsByEdge := make(map[int][]recycle.CouplerHop)
+	for _, h := range plan.Hops {
+		hopsByEdge[h.Edge] = append(hopsByEdge[h.Edge], h)
+	}
+	for ei, e := range c.Edges {
+		a, b := labels[e.From], labels[e.To]
+		hops := hopsByEdge[ei]
+		want := a - b
+		if want < 0 {
+			want = -want
+		}
+		if len(hops) != want {
+			issues = issuef(issues, "chain-length", "edge %d (planes %d→%d) has %d hops, want %d",
+				ei, a+1, b+1, len(hops), want)
+			continue
+		}
+		cur := a
+		for hi, h := range hops {
+			if h.FromPlane != cur {
+				issues = issuef(issues, "chain-walk", "edge %d hop %d starts at plane %d, chain is at %d",
+					ei, hi, h.FromPlane+1, cur+1)
+				break
+			}
+			step := h.ToPlane - h.FromPlane
+			if step != 1 && step != -1 {
+				issues = issuef(issues, "chain-step", "edge %d hop %d jumps %d planes", ei, hi, step)
+				break
+			}
+			cur = h.ToPlane
+		}
+		if len(hops) == want && want > 0 && cur != b {
+			issues = issuef(issues, "chain-end", "edge %d chain ends at plane %d, sink is on %d", ei, cur+1, b+1)
+		}
+	}
+	// Series conservation: every plane draws the supply exactly.
+	for p, ps := range plan.Planes {
+		draw := ps.Bias + ps.OverheadBias + ps.DummyBias
+		if !near(draw, plan.SupplyCurrent) {
+			issues = issuef(issues, "series-conservation",
+				"plane %d draws %.6f mA, supply is %.6f mA", p+1, draw, plan.SupplyCurrent)
+		}
+		if ps.DummyBias < -1e-9 {
+			issues = issuef(issues, "dummy", "plane %d has negative dummy bias", p+1)
+		}
+	}
+	// The supply must equal the hungriest plane (no headroom, no deficit).
+	maxDraw := 0.0
+	for _, ps := range plan.Planes {
+		if d := ps.Bias + ps.OverheadBias; d > maxDraw {
+			maxDraw = d
+		}
+	}
+	if !near(maxDraw, plan.SupplyCurrent) {
+		issues = issuef(issues, "supply", "supply %.6f mA vs hungriest plane %.6f mA",
+			plan.SupplyCurrent, maxDraw)
+	}
+	return issues
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}
+
+// Placement verifies a plane-banded layout against its labeling: every
+// gate placed exactly once, on the band matching its plane, inside the
+// die, with no overlapping cells and one coupler slot per boundary hop.
+func Placement(c *netlist.Circuit, labels []int, pl *place.Placement) []Issue {
+	var issues []Issue
+	if len(labels) != c.NumGates() {
+		return issuef(issues, "labels", "%d labels for %d gates", len(labels), c.NumGates())
+	}
+	if err := pl.Validate(); err != nil {
+		issues = issuef(issues, "geometry", "%v", err)
+	}
+	seen := make(map[netlist.GateID]int)
+	for _, cp := range pl.Cells {
+		seen[cp.Gate]++
+		if int(cp.Gate) < len(labels) && cp.Plane != labels[cp.Gate] {
+			issues = issuef(issues, "plane-mismatch", "gate %d placed on plane %d but labeled %d",
+				cp.Gate, cp.Plane+1, labels[cp.Gate]+1)
+		}
+	}
+	for i := range c.Gates {
+		if n := seen[netlist.GateID(i)]; n != 1 {
+			issues = issuef(issues, "coverage", "gate %d placed %d times", i, n)
+		}
+	}
+	if n := pl.OverlapCount(); n != 0 {
+		issues = issuef(issues, "overlap", "%d overlapping cell pairs", n)
+	}
+	wantSlots := 0
+	for _, e := range c.Edges {
+		d := labels[e.From] - labels[e.To]
+		if d < 0 {
+			d = -d
+		}
+		wantSlots += d
+	}
+	if len(pl.Slots) != wantSlots {
+		issues = issuef(issues, "coupler-slots", "%d slots for %d boundary hops", len(pl.Slots), wantSlots)
+	}
+	return issues
+}

@@ -1,0 +1,203 @@
+package verif
+
+import (
+	"strings"
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/place"
+	"gpp/internal/recycle"
+)
+
+func fixture(t *testing.T, name string, k int) (*netlist.Circuit, []int, *recycle.Metrics, *recycle.Plan) {
+	t.Helper()
+	c, err := gen.Benchmark(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := recycle.Evaluate(p, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := recycle.BuildPlan(c, p, res.Labels, recycle.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res.Labels, m, plan
+}
+
+func TestCleanPipelinePassesAllChecks(t *testing.T) {
+	c, labels, m, plan := fixture(t, "KSA8", 5)
+	if issues := Partition(c, 5, labels, 0); len(issues) != 0 {
+		t.Errorf("Partition: %v", issues)
+	}
+	if issues := Metrics(c, labels, m); len(issues) != 0 {
+		t.Errorf("Metrics: %v", issues)
+	}
+	if issues := Plan(c, labels, plan); len(issues) != 0 {
+		t.Errorf("Plan: %v", issues)
+	}
+}
+
+func TestPartitionDetectsEmptyPlane(t *testing.T) {
+	c, _, _, _ := fixture(t, "KSA4", 4)
+	labels := make([]int, c.NumGates()) // everything on plane 0
+	issues := Partition(c, 4, labels, 0)
+	empty := 0
+	for _, is := range issues {
+		if is.Check == "empty-plane" {
+			empty++
+		}
+	}
+	if empty != 3 {
+		t.Errorf("%d empty-plane issues, want 3 (%v)", empty, issues)
+	}
+}
+
+func TestPartitionDetectsSupplyViolation(t *testing.T) {
+	c, labels, m, _ := fixture(t, "KSA8", 5)
+	limit := m.BMax - 1 // just below the achieved maximum
+	issues := Partition(c, 5, labels, limit)
+	found := false
+	for _, is := range issues {
+		if is.Check == "supply-limit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("limit violation not reported: %v", issues)
+	}
+}
+
+func TestPartitionDetectsBadLabels(t *testing.T) {
+	c, labels, _, _ := fixture(t, "KSA4", 4)
+	bad := append([]int(nil), labels...)
+	bad[0] = 9
+	issues := Partition(c, 4, bad, 0)
+	if len(issues) == 0 {
+		t.Error("out-of-range label not reported")
+	}
+	if issues := Partition(c, 4, labels[:3], 0); len(issues) == 0 {
+		t.Error("short labels not reported")
+	}
+}
+
+func TestMetricsDetectsTampering(t *testing.T) {
+	c, labels, m, _ := fixture(t, "KSA4", 4)
+	m.PlaneBias[0] += 1 // corrupt
+	issues := Metrics(c, labels, m)
+	found := false
+	for _, is := range issues {
+		if is.Check == "plane-bias" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tampered plane bias not detected: %v", issues)
+	}
+	// The corrupted max may also trip; what must not happen is silence.
+	m.PlaneBias[0] -= 1
+	m.DistHist[0]++
+	m.DistHist[1]--
+	issues = Metrics(c, labels, m)
+	found = false
+	for _, is := range issues {
+		if is.Check == "dist-hist" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tampered histogram not detected: %v", issues)
+	}
+}
+
+func TestPlanDetectsMissingHop(t *testing.T) {
+	c, labels, _, plan := fixture(t, "KSA8", 5)
+	if len(plan.Hops) == 0 {
+		t.Skip("partition produced no crossings")
+	}
+	plan.Hops = plan.Hops[:len(plan.Hops)-1]
+	issues := Plan(c, labels, plan)
+	found := false
+	for _, is := range issues {
+		if is.Check == "chain-length" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing hop not detected: %v", issues)
+	}
+}
+
+func TestPlanDetectsBrokenConservation(t *testing.T) {
+	c, labels, _, plan := fixture(t, "KSA4", 4)
+	plan.Planes[0].DummyBias += 0.5
+	issues := Plan(c, labels, plan)
+	found := false
+	for _, is := range issues {
+		if is.Check == "series-conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("broken conservation not detected: %v", issues)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	is := Issue{Check: "x", Msg: "y"}
+	if !strings.Contains(is.String(), "x") || !strings.Contains(is.String(), "y") {
+		t.Errorf("Issue.String = %q", is.String())
+	}
+}
+
+func TestPlacementVerification(t *testing.T) {
+	c, labels, _, _ := fixture(t, "KSA8", 5)
+	pl, err := place.Build(c, 5, labels, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := Placement(c, labels, pl); len(issues) != 0 {
+		t.Fatalf("clean placement reported issues: %v", issues)
+	}
+	// Corrupt: move a cell to the wrong band.
+	pl.Cells[0].Plane = (pl.Cells[0].Plane + 1) % 5
+	issues := Placement(c, labels, pl)
+	found := false
+	for _, is := range issues {
+		if is.Check == "plane-mismatch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("plane mismatch not detected: %v", issues)
+	}
+	// Corrupt: drop a coupler slot.
+	pl2, err := place.Build(c, 5, labels, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl2.Slots) > 0 {
+		pl2.Slots = pl2.Slots[1:]
+		issues = Placement(c, labels, pl2)
+		found = false
+		for _, is := range issues {
+			if is.Check == "coupler-slots" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing slot not detected: %v", issues)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpp/internal/cellib"
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+func small(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("tiny", cellib.Default())
+	in := b.AddCell("in0", cellib.KindDCSFQ)
+	clk := b.AddCell("clk0", cellib.KindDCSFQ)
+	ff := b.AddCell("ff0", cellib.KindDFF)
+	o := b.AddCell("out0", cellib.KindSFQDC)
+	b.Connect(in, ff)
+	b.Connect(clk, ff) // DFF data + clk
+	b.Connect(ff, o)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func render(t *testing.T, c *netlist.Circuit, opts Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, c, opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWriteBasicStructure(t *testing.T) {
+	src := render(t, small(t), Options{})
+	for _, want := range []string{
+		"module tiny (",
+		"endmodule",
+		"input pi_in0;",
+		"input pi_clk0;",
+		"output po_out0;",
+		"wire net_ff0;",
+		"DFFT u_ff0 (",
+		"SFQDC u_out0 (.i0(net_ff0), .o0(po_out0));",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in output:\n%s", want, src)
+		}
+	}
+}
+
+func TestWriteClockPinNamed(t *testing.T) {
+	src := render(t, small(t), Options{})
+	// The DFF's second input is the clock pin: .clk(net_clk0).
+	if !strings.Contains(src, ".clk(net_clk0)") {
+		t.Errorf("clock pin not named:\n%s", src)
+	}
+}
+
+func TestWritePlaneAttributes(t *testing.T) {
+	c := small(t)
+	src := render(t, c, Options{Labels: []int{0, 0, 1, 2}})
+	if !strings.Contains(src, "(* ground_plane = 2 *)") {
+		t.Errorf("plane attribute missing:\n%s", src)
+	}
+	if strings.Count(src, "(* ground_plane") != c.NumGates() {
+		t.Errorf("expected one attribute per instance:\n%s", src)
+	}
+}
+
+func TestWriteLabelsLengthChecked(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, small(t), Options{Labels: []int{0}}); err == nil {
+		t.Error("short labels accepted")
+	}
+}
+
+func TestWriteRejectsInvalidCircuit(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, &netlist.Circuit{}, Options{}); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestEscapeIdentifiers(t *testing.T) {
+	if escape("ok_name$1") != "ok_name$1" {
+		t.Error("legal identifier escaped")
+	}
+	got := escape("weird.name[3]")
+	if !strings.HasPrefix(got, `\`) || !strings.HasSuffix(got, " ") {
+		t.Errorf("escaped identifier malformed: %q", got)
+	}
+}
+
+func TestWriteWholeBenchmarkParsesAsBalancedText(t *testing.T) {
+	// Not a Verilog parser, but strong structural checks on real output:
+	// one instantiation per gate, one wire per driver, balanced
+	// parentheses, module/endmodule bracketing.
+	c, err := gen.Benchmark("KSA4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := render(t, c, Options{Labels: res.Labels})
+	if strings.Count(src, "module ") != 1 || strings.Count(src, "endmodule") != 1 {
+		t.Error("module bracketing wrong")
+	}
+	if n := strings.Count(src, "\n  (* ground_plane"); n != c.NumGates() {
+		t.Errorf("%d plane attributes for %d gates", n, c.NumGates())
+	}
+	if strings.Count(src, "(") != strings.Count(src, ")") {
+		t.Error("unbalanced parentheses")
+	}
+	_, out := c.Degrees()
+	wires := 0
+	for i := range c.Gates {
+		if out[i] > 0 {
+			wires++
+		}
+	}
+	if n := strings.Count(src, "  wire "); n != wires {
+		t.Errorf("%d wires for %d drivers", n, wires)
+	}
+}
