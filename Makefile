@@ -1,0 +1,28 @@
+# Build / test entry points. `make check` is the tier-1 gate (see README):
+# vet plus the full test suite under the race detector — the parallel
+# kernels and the restart portfolio must stay race-clean.
+
+GO ?= go
+
+.PHONY: build test check race bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Run the solver-options fuzzer for 30s (regular `make test` already runs
+# its seed corpus as a unit test).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzSolveOptions -fuzztime 30s ./internal/partition

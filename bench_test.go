@@ -19,6 +19,7 @@ package gpp
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"gpp/internal/def"
@@ -222,6 +223,89 @@ func BenchmarkCostGradient(b *testing.B) {
 		p.Gradient(w, coeffs, partition.GradientExact, grad)
 	}
 }
+
+// parallelKernelProblem builds the ≥5k-gate synthetic instance the
+// serial-vs-parallel kernel benchmarks share. Big enough that the cost and
+// gradient evaluations span many shards (see DESIGN.md §7), so the worker
+// pool has real work to spread.
+func parallelKernelProblem(b *testing.B) *partition.Problem {
+	b.Helper()
+	c, err := gen.Synthetic(gen.SyntheticSpec{Name: "par6000", Gates: 6000, Conns: 8400, Seed: 1}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchmarkCostGradientWorkers measures one CostParallel + GradientParallel
+// evaluation on the 6000-gate synthetic at a fixed worker count. Workers = 1
+// is the serial baseline; the results are bit-identical at every count, so
+// the only difference is wall-clock time.
+func benchmarkCostGradientWorkers(b *testing.B, workers int) {
+	p := parallelKernelProblem(b)
+	w := p.NewW()
+	for i := range w {
+		w[i] = 1.0 / float64(p.K)
+	}
+	grad := make([]float64, p.G*p.K)
+	coeffs := partition.DefaultCoeffs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.CostParallel(w, coeffs, workers)
+		p.GradientParallel(w, coeffs, partition.GradientExact, grad, workers)
+	}
+}
+
+func BenchmarkCostGradient6000W1(b *testing.B) { benchmarkCostGradientWorkers(b, 1) }
+func BenchmarkCostGradient6000W4(b *testing.B) { benchmarkCostGradientWorkers(b, 4) }
+func BenchmarkCostGradient6000W8(b *testing.B) { benchmarkCostGradientWorkers(b, 8) }
+
+// benchmarkSolveWorkers measures a full Solve on the 6000-gate synthetic at
+// a fixed worker count (identical Labels/Iters at every count).
+func benchmarkSolveWorkers(b *testing.B, workers int) {
+	p := parallelKernelProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Solve(partition.Options{Seed: 1, MaxIters: 40, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Iters), "iters")
+	}
+}
+
+func BenchmarkSolve6000W1(b *testing.B) { benchmarkSolveWorkers(b, 1) }
+func BenchmarkSolve6000W8(b *testing.B) { benchmarkSolveWorkers(b, 8) }
+
+// benchmarkPortfolioWorkers measures an 8-seed restart race on C3540 at a
+// fixed portfolio concurrency (serial kernels inside each restart — the
+// configuration the CLI uses, since restarts are embarrassingly parallel).
+func benchmarkPortfolioWorkers(b *testing.B, workers int) {
+	c, err := gen.Benchmark("C3540", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf, err := p.SolvePortfolio(context.Background(), partition.Options{Seed: 1, Workers: 1},
+			partition.PortfolioOptions{Restarts: 8, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pf.Best.Discrete.Total, "best-cost")
+	}
+}
+
+func BenchmarkPortfolioC3540W1(b *testing.B) { benchmarkPortfolioWorkers(b, 1) }
+func BenchmarkPortfolioC3540W8(b *testing.B) { benchmarkPortfolioWorkers(b, 8) }
 
 // BenchmarkRefine measures the greedy move refinement pass.
 func BenchmarkRefine(b *testing.B) {

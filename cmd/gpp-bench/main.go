@@ -14,6 +14,8 @@
 //	gpp-bench -table 1 -csv       # CSV instead of aligned text
 //	gpp-bench -table 1 -md        # Markdown tables
 //	gpp-bench -table 1 -json      # machine-readable JSON
+//	gpp-bench -table 1 -restarts 8   # best-of-8 restart race per solve
+//	gpp-bench -table 1 -workers 4    # sharded kernels (identical results)
 package main
 
 import (
@@ -32,10 +34,14 @@ func main() {
 	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
 	limit := flag.Float64("limit", 100, "supply-current limit in mA for table 3")
 	seed := flag.Int64("seed", 1, "solver random seed")
+	workers := flag.Int("workers", 1, "kernel worker goroutines per solve (0 = one per CPU); results are identical for every count")
+	restarts := flag.Int("restarts", 1, "random restarts per solve; the best discrete-cost result is kept")
 	flag.Parse()
 
 	cfg := experiments.Config{Parallel: true}
 	cfg.Solver.Seed = *seed
+	cfg.Solver.Workers = *workers
+	cfg.Restarts = *restarts
 
 	emit := func(t *report.Table) {
 		var err error

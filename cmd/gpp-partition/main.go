@@ -12,9 +12,12 @@
 //	gpp-partition -circuit C432 -limit 100          # search K for a 100 mA supply
 //	gpp-partition -circuit KSA16 -k 5 -balanced 0.05 -refine
 //	gpp-partition -circuit KSA16 -k 5 -placed-def out.def   # plane REGIONS/GROUPS
+//	gpp-partition -circuit KSA32 -k 5 -restarts 16 -seeds   # concurrent restart portfolio
+//	gpp-partition -circuit C3540 -k 8 -workers 8            # parallel kernels, bit-identical to -workers 1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +45,9 @@ func main() {
 	limit := flag.Float64("limit", 0, "if > 0, search the smallest K whose B_max fits this supply (mA); overrides -k")
 	seed := flag.Int64("seed", 1, "solver random seed")
 	refine := flag.Bool("refine", false, "run greedy move refinement after gradient descent")
-	restarts := flag.Int("restarts", 1, "random restarts; the best discrete-cost result is kept")
+	restarts := flag.Int("restarts", 1, "random restarts raced concurrently; the best discrete-cost result is kept")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = one per CPU, 1 = serial); results are identical for every count")
+	showSeeds := flag.Bool("seeds", false, "with -restarts > 1, print the per-seed portfolio summary")
 	balanced := flag.Float64("balanced", -1, "if ≥ 0, use capacity-aware rounding with this bias slack (e.g. 0.05)")
 	assign := flag.String("assign", "", "write gate→plane assignment TSV to this path")
 	placedDEF := flag.String("placed-def", "", "write partitioned+placed DEF (plane REGIONS/GROUPS) to this path")
@@ -58,7 +63,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := partition.Options{Seed: *seed, Refine: *refine}
+	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers}
 
 	if *limit > 0 {
 		row, err := experiments.CurrentLimitSearch(c, *limit, experiments.Config{Solver: opts, Library: lib})
@@ -78,7 +83,27 @@ func main() {
 	case *balanced >= 0:
 		res, err = p.SolveBalanced(opts, *balanced)
 	case *restarts > 1:
-		res, err = p.SolveBest(opts, *restarts)
+		// Race the restarts on the worker pool with serial kernels inside
+		// each solve — restarts are embarrassingly parallel, so portfolio
+		// concurrency is the better use of the same CPU budget.
+		solverOpts := opts
+		solverOpts.Workers = 1
+		var pf *partition.Portfolio
+		pf, err = p.SolvePortfolio(context.Background(), solverOpts,
+			partition.PortfolioOptions{Restarts: *restarts, Workers: *workers})
+		if err == nil {
+			res = pf.Best
+			if *showSeeds {
+				for _, sr := range pf.Seeds {
+					marker := " "
+					if sr.Seed == pf.BestSeed {
+						marker = "*"
+					}
+					fmt.Printf("%s seed %-4d iters %-5d converged=%-5v discrete cost %.6f\n",
+						marker, sr.Seed, sr.Iters, sr.Converged, sr.Discrete.Total)
+				}
+			}
+		}
 	default:
 		res, err = p.Solve(opts)
 	}

@@ -1,6 +1,7 @@
 package gpp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,6 +34,13 @@ type (
 	PowerComparison = power.Comparison
 	// Issue is one verification finding.
 	Issue = verif.Issue
+	// PortfolioOptions configures a concurrent multi-seed restart race.
+	PortfolioOptions = partition.PortfolioOptions
+	// Portfolio is the outcome of a restart race (best result + per-seed
+	// summaries).
+	Portfolio = partition.Portfolio
+	// SeedResult summarizes one restart of a portfolio.
+	SeedResult = partition.SeedResult
 )
 
 // Place lays the partitioned circuit out as stacked plane bands (the
@@ -138,6 +146,28 @@ func PartitionBest(c *Circuit, k int, opts Options, restarts int) (*Result, erro
 		return nil, err
 	}
 	return &Result{K: k, Labels: res.Labels, Metrics: m, Iters: res.Iters, Converged: res.Converged}, nil
+}
+
+// PartitionPortfolio races po.Restarts independent solver runs concurrently
+// on a bounded worker pool and returns the best discrete-cost partition
+// plus the full per-seed portfolio. The race is deterministic: the same
+// options produce the same winner regardless of worker count or completion
+// order. Cancelling ctx stops the race early with the context error.
+func PartitionPortfolio(ctx context.Context, c *Circuit, k int, opts Options, po PortfolioOptions) (*Result, *Portfolio, error) {
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	pf, err := p.SolvePortfolio(ctx, opts, po)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := recycle.Evaluate(p, pf.Best.Labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{K: k, Labels: pf.Best.Labels, Metrics: m, Iters: pf.Best.Iters, Converged: pf.Best.Converged}
+	return res, pf, nil
 }
 
 // SimResult is one simulated SFQ pulse wave.

@@ -31,6 +31,10 @@ type Config struct {
 	// Parallel runs independent per-circuit solves on all CPUs (results
 	// are identical either way — every solve is seeded).
 	Parallel bool
+	// Restarts, when > 1, races that many seeds per solve (Solver.Seed,
+	// Seed+1, …) and keeps the best discrete-cost result. Selection is
+	// deterministic, so tables stay reproducible.
+	Restarts int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,7 +71,12 @@ func runOne(c *netlist.Circuit, k int, cfg Config) (Row, error) {
 	if err != nil {
 		return Row{}, err
 	}
-	res, err := p.Solve(cfg.Solver)
+	var res *partition.Result
+	if cfg.Restarts > 1 {
+		res, err = p.SolveBest(cfg.Solver, cfg.Restarts)
+	} else {
+		res, err = p.Solve(cfg.Solver)
+	}
 	if err != nil {
 		return Row{}, err
 	}

@@ -1,6 +1,20 @@
 package partition
 
-import "math"
+import (
+	"math"
+
+	"gpp/internal/pool"
+)
+
+// Shard sizes for the parallel kernels. The shard layout is a pure function
+// of the problem size — never of the worker count — so per-shard partial
+// sums merged in shard-index order associate identically for Workers = 1
+// and Workers = N, and every worker count produces bitwise identical
+// results (see DESIGN.md §7).
+const (
+	gateChunk = 256
+	edgeChunk = 1024
+)
 
 // W is the relaxed assignment matrix, stored row-major: w[i*K+k] is
 // w_{i,k}, the degree to which gate i belongs to plane k (planes are
@@ -15,58 +29,99 @@ func (p *Problem) NewW() W { return make(W, p.G*p.K) }
 func (w W) At(i, k, K int) float64 { return w[i*K+k] }
 
 // Labels computes the continuous labels l_i = Σ_k (k+1)·w_{i,k} (Eq. 3).
-func (p *Problem) Labels(w W) []float64 {
+func (p *Problem) Labels(w W) []float64 { return p.labelsParallel(w, 1) }
+
+func (p *Problem) labelsParallel(w W, workers int) []float64 {
 	l := make([]float64, p.G)
-	for i := 0; i < p.G; i++ {
-		row := w[i*p.K : (i+1)*p.K]
-		var s float64
-		for k, v := range row {
-			s += float64(k+1) * v
+	pool.Run(workers, pool.Shards(p.G, gateChunk), func(s int) {
+		lo, hi := pool.ShardRange(p.G, gateChunk, s)
+		for i := lo; i < hi; i++ {
+			row := w[i*p.K : (i+1)*p.K]
+			var sum float64
+			for k, v := range row {
+				sum += float64(k+1) * v
+			}
+			l[i] = sum
 		}
-		l[i] = s
-	}
+	})
 	return l
 }
 
-// planeSums computes B_k = Σ_i b_i·w_{i,k} and A_k likewise.
-func (p *Problem) planeSums(w W) (bk, ak []float64) {
+// planeSums computes B_k = Σ_i b_i·w_{i,k} and A_k likewise. Each shard
+// accumulates into its own K-vector; the partials are merged in shard
+// order, so the totals are identical for every worker count.
+func (p *Problem) planeSums(w W, workers int) (bk, ak []float64) {
+	shards := pool.Shards(p.G, gateChunk)
+	partB := make([]float64, shards*p.K)
+	partA := make([]float64, shards*p.K)
+	pool.Run(workers, shards, func(s int) {
+		lo, hi := pool.ShardRange(p.G, gateChunk, s)
+		pb := partB[s*p.K : (s+1)*p.K]
+		pa := partA[s*p.K : (s+1)*p.K]
+		for i := lo; i < hi; i++ {
+			b, a := p.Bias[i], p.Area[i]
+			row := w[i*p.K : (i+1)*p.K]
+			for k, v := range row {
+				pb[k] += b * v
+				pa[k] += a * v
+			}
+		}
+	})
 	bk = make([]float64, p.K)
 	ak = make([]float64, p.K)
-	for i := 0; i < p.G; i++ {
-		b, a := p.Bias[i], p.Area[i]
-		row := w[i*p.K : (i+1)*p.K]
-		for k, v := range row {
-			bk[k] += b * v
-			ak[k] += a * v
+	for s := 0; s < shards; s++ {
+		for k := 0; k < p.K; k++ {
+			bk[k] += partB[s*p.K+k]
+			ak[k] += partA[s*p.K+k]
 		}
 	}
 	return bk, ak
 }
 
-// Cost evaluates the relaxed cost F and its components at w.
-func (p *Problem) Cost(w W, c Coeffs) Breakdown {
-	f1 := p.costF1(w)
-	f2, f3 := p.costF2F3(w)
-	f4 := p.costF4(w)
+// Cost evaluates the relaxed cost F and its components at w (serially —
+// shorthand for CostParallel with one worker).
+func (p *Problem) Cost(w W, c Coeffs) Breakdown { return p.CostParallel(w, c, 1) }
+
+// CostParallel evaluates the relaxed cost on `workers` goroutines (≤ 0 =
+// one per CPU). The fixed shard decomposition makes the result bitwise
+// identical for every worker count.
+func (p *Problem) CostParallel(w W, c Coeffs, workers int) Breakdown {
+	workers = pool.Resolve(workers)
+	l := p.labelsParallel(w, workers)
+	f1 := p.costF1(l, workers)
+	bk, ak := p.planeSums(w, workers)
+	f2, f3 := p.varianceF2F3(bk, ak)
+	f4 := p.costF4(w, workers)
 	return c.combine(f1, f2, f3, f4)
 }
 
-func (p *Problem) costF1(w W) float64 {
-	if len(p.Edges) == 0 {
+func (p *Problem) costF1(l []float64, workers int) float64 {
+	ne := len(p.Edges)
+	if ne == 0 {
 		return 0
 	}
-	l := p.Labels(w)
-	var s float64
-	for _, e := range p.Edges {
-		d := l[e[0]] - l[e[1]]
-		d2 := d * d
-		s += d2 * d2
+	shards := pool.Shards(ne, edgeChunk)
+	part := make([]float64, shards)
+	pool.Run(workers, shards, func(s int) {
+		lo, hi := pool.ShardRange(ne, edgeChunk, s)
+		var sum float64
+		for _, e := range p.Edges[lo:hi] {
+			d := l[e[0]] - l[e[1]]
+			d2 := d * d
+			sum += d2 * d2
+		}
+		part[s] = sum
+	})
+	var total float64
+	for _, v := range part {
+		total += v
 	}
-	return s / p.N1
+	return total / p.N1
 }
 
-func (p *Problem) costF2F3(w W) (f2, f3 float64) {
-	bk, ak := p.planeSums(w)
+// varianceF2F3 finishes F2/F3 from the per-plane sums (K is small, so this
+// stays serial).
+func (p *Problem) varianceF2F3(bk, ak []float64) (f2, f3 float64) {
 	var bMean, aMean float64
 	for k := 0; k < p.K; k++ {
 		bMean += bk[k]
@@ -86,25 +141,35 @@ func (p *Problem) costF2F3(w W) (f2, f3 float64) {
 	return f2, f3
 }
 
-func (p *Problem) costF4(w W) float64 {
-	var s float64
+func (p *Problem) costF4(w W, workers int) float64 {
 	invK := 1.0 / float64(p.K)
-	for i := 0; i < p.G; i++ {
-		row := w[i*p.K : (i+1)*p.K]
+	shards := pool.Shards(p.G, gateChunk)
+	part := make([]float64, shards)
+	pool.Run(workers, shards, func(s int) {
+		lo, hi := pool.ShardRange(p.G, gateChunk, s)
 		var sum float64
-		for _, v := range row {
-			sum += v
+		for i := lo; i < hi; i++ {
+			row := w[i*p.K : (i+1)*p.K]
+			var rowSum float64
+			for _, v := range row {
+				rowSum += v
+			}
+			mean := rowSum * invK
+			t1 := rowSum - 1 // K·w̄_i − 1
+			var varSum float64
+			for _, v := range row {
+				d := v - mean
+				varSum += d * d
+			}
+			sum += t1*t1 - invK*varSum
 		}
-		mean := sum * invK
-		t1 := sum - 1 // K·w̄_i − 1
-		var varSum float64
-		for _, v := range row {
-			d := v - mean
-			varSum += d * d
-		}
-		s += t1*t1 - invK*varSum
+		part[s] = sum
+	})
+	var total float64
+	for _, v := range part {
+		total += v
 	}
-	return s / p.N4
+	return total / p.N4
 }
 
 // GradientMode selects between the analytically exact gradients and the
@@ -134,126 +199,138 @@ func (m GradientMode) String() string {
 }
 
 // Gradient writes ∂F/∂w into grad (same layout as w), combining the four
-// terms with the coefficients. grad must have length G*K.
+// terms with the coefficients. grad must have length G*K. Serial shorthand
+// for GradientParallel with one worker.
 func (p *Problem) Gradient(w W, c Coeffs, mode GradientMode, grad []float64) {
-	for i := range grad {
-		grad[i] = 0
-	}
-	p.addGradF1(w, c.C1, mode, grad)
-	p.addGradF2F3(w, c.C2, c.C3, grad)
-	p.addGradF4(w, c.C4, mode, grad)
+	p.GradientParallel(w, c, mode, grad, 1)
 }
 
-// addGradF1 adds c1·∂F1/∂w.
+// GradientParallel writes ∂F/∂w into grad using `workers` goroutines (≤ 0 =
+// one per CPU). The global reductions (labels, per-plane sums, neighbor
+// sums) run as shard-merged kernels and the per-gate row writes are
+// conflict-free, so the result is bitwise identical for every worker count.
 //
-// Exact: ∂F1/∂w_{i,k} = (4(k+1)/N1) Σ_{j ~ i} (l_i − l_j)³, where j ranges
-// over all neighbors of i (each parallel edge counted separately).
+// Per-term math (see the serial derivation the kernels preserve):
 //
-// Paper (Eq. 10): same but with |l_i − l_j|³ and the incoming sum
-// subtracted from the outgoing sum, i.e. the sign of the difference is
-// replaced by the edge orientation.
-func (p *Problem) addGradF1(w W, c1 float64, mode GradientMode, grad []float64) {
-	if c1 == 0 || len(p.Edges) == 0 {
-		return
-	}
-	l := p.Labels(w)
-	// s[i] accumulates Σ_j (l_i − l_j)³ (exact) or the paper's oriented
-	// absolute-value sums.
-	s := make([]float64, p.G)
-	for _, e := range p.Edges {
-		u, v := e[0], e[1]
-		d := l[u] - l[v]
-		switch mode {
-		case GradientExact:
-			t := d * d * d
-			s[u] += t
-			s[v] -= t
-		case GradientPaper:
-			t := math.Abs(d)
-			t = t * t * t
-			// Outgoing connections of u add, incoming connections of v
-			// subtract (Eq. 10 first line).
-			s[u] += t
-			s[v] -= t
-		}
-	}
-	scale := 4 * c1 / p.N1
-	for i := 0; i < p.G; i++ {
-		if s[i] == 0 {
-			continue
-		}
-		base := i * p.K
-		for k := 0; k < p.K; k++ {
-			grad[base+k] += scale * float64(k+1) * s[i]
-		}
-	}
-}
-
-// addGradF2F3 adds c2·∂F2/∂w + c3·∂F3/∂w.
+// F1 exact: ∂F1/∂w_{i,k} = (4(k+1)/N1) Σ_{j ~ i} (l_i − l_j)³, where j
+// ranges over all neighbors of i (each parallel edge counted separately).
+// F1 paper (Eq. 10): same but with |l_i − l_j|³ and the incoming sum
+// subtracted from the outgoing sum.
 //
-// ∂F2/∂w_{i,k} = 2·b_i·(B_k − B̄)/(K·N2) — the paper's printed formula is
-// also the exact derivative here (the mean-shift terms cancel because
+// F2/F3: ∂F2/∂w_{i,k} = 2·b_i·(B_k − B̄)/(K·N2) — the paper's printed
+// formula is also the exact derivative (the mean-shift terms cancel because
 // Σ_k (B_k − B̄) = 0). Same for F3 with areas.
-func (p *Problem) addGradF2F3(w W, c2, c3 float64, grad []float64) {
-	if c2 == 0 && c3 == 0 {
-		return
+//
+// F4 exact: ∂F4/∂w_{i,k} = (2/N4)·[(K·w̄_i − 1) − (w_{i,k} − w̄_i)/K].
+// F4 paper (Eq. 10): (2/N4)·[(K + 1/K)(w̄_i − w_{i,k}) + K − 1].
+func (p *Problem) GradientParallel(w W, c Coeffs, mode GradientMode, grad []float64, workers int) {
+	workers = pool.Resolve(workers)
+
+	// Global quantities shared by all rows.
+	var ns []float64 // F1 neighbor sums Σ_j (l_i − l_j)³ per gate
+	if c.C1 != 0 && len(p.Edges) > 0 {
+		l := p.labelsParallel(w, workers)
+		ns = p.neighborSums(l, mode, workers)
 	}
-	bk, ak := p.planeSums(w)
-	var bMean, aMean float64
-	for k := 0; k < p.K; k++ {
-		bMean += bk[k]
-		aMean += ak[k]
-	}
-	bMean /= float64(p.K)
-	aMean /= float64(p.K)
-	// Per-plane factors reused across all gates.
-	bf := make([]float64, p.K)
-	af := make([]float64, p.K)
-	for k := 0; k < p.K; k++ {
-		bf[k] = 2 * c2 * (bk[k] - bMean) / (float64(p.K) * p.N2)
-		af[k] = 2 * c3 * (ak[k] - aMean) / (float64(p.K) * p.N3)
-	}
-	for i := 0; i < p.G; i++ {
-		b, a := p.Bias[i], p.Area[i]
-		base := i * p.K
+	var bf, af []float64 // per-plane F2/F3 factors reused across all gates
+	if c.C2 != 0 || c.C3 != 0 {
+		bk, ak := p.planeSums(w, workers)
+		var bMean, aMean float64
 		for k := 0; k < p.K; k++ {
-			grad[base+k] += b*bf[k] + a*af[k]
+			bMean += bk[k]
+			aMean += ak[k]
+		}
+		bMean /= float64(p.K)
+		aMean /= float64(p.K)
+		bf = make([]float64, p.K)
+		af = make([]float64, p.K)
+		for k := 0; k < p.K; k++ {
+			bf[k] = 2 * c.C2 * (bk[k] - bMean) / (float64(p.K) * p.N2)
+			af[k] = 2 * c.C3 * (ak[k] - aMean) / (float64(p.K) * p.N3)
 		}
 	}
+
+	scale1 := 4 * c.C1 / p.N1
+	invK := 1.0 / float64(p.K)
+	scale4 := 2 * c.C4 / p.N4
+	kf := float64(p.K)
+	pool.Run(workers, pool.Shards(p.G, gateChunk), func(s int) {
+		lo, hi := pool.ShardRange(p.G, gateChunk, s)
+		for i := lo; i < hi; i++ {
+			base := i * p.K
+			row := w[base : base+p.K]
+			g := grad[base : base+p.K]
+			// The terms add in the historical order (F1, then F2+F3, then
+			// F4) so the fused pass reproduces the old three-pass sums.
+			if ns != nil && ns[i] != 0 {
+				for k := 0; k < p.K; k++ {
+					g[k] = scale1 * float64(k+1) * ns[i]
+				}
+			} else {
+				for k := 0; k < p.K; k++ {
+					g[k] = 0
+				}
+			}
+			if bf != nil {
+				b, a := p.Bias[i], p.Area[i]
+				for k := 0; k < p.K; k++ {
+					g[k] += b*bf[k] + a*af[k]
+				}
+			}
+			if c.C4 != 0 {
+				var rowSum float64
+				for _, v := range row {
+					rowSum += v
+				}
+				mean := rowSum * invK
+				switch mode {
+				case GradientExact:
+					t1 := rowSum - 1
+					for k := 0; k < p.K; k++ {
+						g[k] += scale4 * (t1 - (row[k]-mean)*invK)
+					}
+				case GradientPaper:
+					for k := 0; k < p.K; k++ {
+						g[k] += scale4 * ((kf+invK)*(mean-row[k]) + kf - 1)
+					}
+				}
+			}
+		}
+	})
 }
 
-// addGradF4 adds c4·∂F4/∂w.
-//
-// Exact: ∂F4/∂w_{i,k} = (2/N4)·[(K·w̄_i − 1) − (w_{i,k} − w̄_i)/K].
-//
-// Paper (Eq. 10): (2/N4)·[(K + 1/K)(w̄_i − w_{i,k}) + K − 1].
-func (p *Problem) addGradF4(w W, c4 float64, mode GradientMode, grad []float64) {
-	if c4 == 0 {
-		return
-	}
-	invK := 1.0 / float64(p.K)
-	scale := 2 * c4 / p.N4
-	kf := float64(p.K)
-	for i := 0; i < p.G; i++ {
-		row := w[i*p.K : (i+1)*p.K]
-		var sum float64
-		for _, v := range row {
-			sum += v
-		}
-		mean := sum * invK
-		base := i * p.K
-		switch mode {
-		case GradientExact:
-			t1 := sum - 1
-			for k := 0; k < p.K; k++ {
-				grad[base+k] += scale * (t1 - (row[k]-mean)*invK)
+// neighborSums gathers s[i] = Σ_{j ~ i} (l_i − l_j)³ (exact mode) or the
+// paper's oriented |·|³ sums, via the incidence CSR. Each gate's sum is
+// accumulated privately in edge order — the same association as the
+// historical scatter loop — so the values match it bitwise while staying
+// write-conflict-free across workers.
+func (p *Problem) neighborSums(l []float64, mode GradientMode, workers int) []float64 {
+	s := make([]float64, p.G)
+	pool.Run(workers, pool.Shards(p.G, gateChunk), func(sh int) {
+		lo, hi := pool.ShardRange(p.G, gateChunk, sh)
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for idx := p.incStart[i]; idx < p.incStart[i+1]; idx++ {
+				e := p.Edges[p.incEdge[idx]]
+				d := l[e[0]] - l[e[1]]
+				var t float64
+				switch mode {
+				case GradientExact:
+					t = d * d * d
+				case GradientPaper:
+					t = math.Abs(d)
+					t = t * t * t
+				}
+				if p.incSign[idx] < 0 {
+					// Incoming connection (Eq. 10 first line subtracts).
+					t = -t
+				}
+				sum += t
 			}
-		case GradientPaper:
-			for k := 0; k < p.K; k++ {
-				grad[base+k] += scale * ((kf+invK)*(mean-row[k]) + kf - 1)
-			}
+			s[i] = sum
 		}
-	}
+	})
+	return s
 }
 
 // Assign snaps the relaxed matrix to a discrete assignment: each gate goes

@@ -249,6 +249,51 @@ func TestGradientMatchesFiniteDifference(t *testing.T) {
 	}
 }
 
+// TestGradientParallelMatchesFiniteDifference repeats the finite-difference
+// validation against the sharded kernels on a problem large enough to span
+// many gate and edge shards, for several worker counts — a shard-boundary
+// bug (an edge or gate dropped or double-counted at a chunk seam) cannot
+// hide from the derivative check. The GradientPaper mode is deliberately
+// not the exact derivative (documented deviation), so for it the parallel
+// kernel is instead pinned elementwise to the serial paper-mode kernel at
+// the same probes.
+func TestGradientParallelMatchesFiniteDifference(t *testing.T) {
+	// 700 gates / 2600 edges → multiple 256-gate and 1024-edge shards.
+	p := randProblem(t, 700, 4, 2600, 31)
+	w := randW(p, 32)
+	c := Coeffs{C1: 1.3, C2: 0.7, C3: 0.9, C4: 1.1}
+	for _, workers := range []int{2, 3, 8} {
+		grad := make([]float64, p.G*p.K)
+		p.GradientParallel(w, c, GradientExact, grad, workers)
+
+		const h = 1e-6
+		for probe := 0; probe < 40; probe++ {
+			idx := (probe * 7919) % len(w)
+			orig := w[idx]
+			w[idx] = orig + h
+			up := p.CostParallel(w, c, workers).Total
+			w[idx] = orig - h
+			dn := p.CostParallel(w, c, workers).Total
+			w[idx] = orig
+			fd := (up - dn) / (2 * h)
+			if math.Abs(fd-grad[idx]) > 1e-4*(1+math.Abs(fd)) {
+				t.Errorf("workers %d idx %d: analytic %g vs finite-diff %g", workers, idx, grad[idx], fd)
+			}
+		}
+
+		paperSerial := make([]float64, p.G*p.K)
+		paperPar := make([]float64, p.G*p.K)
+		p.Gradient(w, c, GradientPaper, paperSerial)
+		p.GradientParallel(w, c, GradientPaper, paperPar, workers)
+		for i := range paperSerial {
+			if paperSerial[i] != paperPar[i] {
+				t.Fatalf("workers %d: paper-mode grad[%d] differs from serial: %v vs %v",
+					workers, i, paperSerial[i], paperPar[i])
+			}
+		}
+	}
+}
+
 // The paper's printed formulas are NOT the exact derivatives (documented
 // deviation); this test pins down that they differ at a generic point, so
 // the two modes are genuinely distinct ablation arms.

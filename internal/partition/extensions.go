@@ -1,32 +1,21 @@
 package partition
 
 import (
-	"fmt"
+	"context"
 	"sort"
 )
 
 // SolveBest runs Solve with `restarts` different seeds (opts.Seed,
 // opts.Seed+1, …) and returns the result with the lowest discrete cost —
-// the natural extension of Algorithm 1's random initialization. Restarts
-// are independent, so the extra robustness costs a linear factor in time.
+// the natural extension of Algorithm 1's random initialization. It is the
+// serial shorthand for SolvePortfolio; use that directly for concurrent
+// restarts, per-seed summaries, or cancellation.
 func (p *Problem) SolveBest(opts Options, restarts int) (*Result, error) {
-	if restarts < 1 {
-		return nil, fmt.Errorf("partition: need ≥ 1 restart, got %d", restarts)
+	pf, err := p.SolvePortfolio(context.Background(), opts, PortfolioOptions{Restarts: restarts, Workers: 1})
+	if err != nil {
+		return nil, err
 	}
-	opts = opts.withDefaults()
-	var best *Result
-	for r := 0; r < restarts; r++ {
-		o := opts
-		o.Seed = opts.Seed + int64(r)
-		res, err := p.Solve(o)
-		if err != nil {
-			return nil, fmt.Errorf("partition: restart %d: %w", r, err)
-		}
-		if best == nil || res.Discrete.Total < best.Discrete.Total {
-			best = res
-		}
-	}
-	return best, nil
+	return pf.Best, nil
 }
 
 // BalancedAssign snaps a relaxed matrix to a discrete assignment under a

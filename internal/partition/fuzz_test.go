@@ -1,0 +1,112 @@
+package partition
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+// fuzzProblem is the small fixed circuit every FuzzSolveOptions input runs
+// against: a 24-gate, K=3 instance with mixed bias/area and a connected
+// edge set. Built once — Problem is immutable and fuzz workers run
+// concurrently.
+var fuzzProblem = sync.OnceValue(func() *Problem {
+	const g = 24
+	bias := make([]float64, g)
+	area := make([]float64, g)
+	for i := 0; i < g; i++ {
+		bias[i] = 0.5 + float64(i%5)*0.3
+		area[i] = 0.001 + float64(i%7)*0.002
+	}
+	var edges [][2]int
+	for i := 1; i < g; i++ {
+		edges = append(edges, [2]int{i - 1, i})
+	}
+	for i := 0; i+5 < g; i += 3 {
+		edges = append(edges, [2]int{i, i + 5})
+	}
+	p, err := NewProblem("fuzz", 3, bias, area, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+})
+
+// FuzzSolveOptions drives Solve and SolvePortfolio with arbitrary Options
+// field combinations — margin, momentum, learn rate, worker counts,
+// restarts, and the Renormalize/ReduceDims arms — and asserts the engine
+// either rejects the options with an error or returns a well-formed result:
+// no panics, every label in [0, K), and every entry of W finite in [0, 1].
+// Without -fuzz the seed corpus runs as a regular test.
+func FuzzSolveOptions(f *testing.F) {
+	f.Add(1e-4, 0.0, 0.0, 0.0, 0, 1, false, false, false, int64(1))
+	f.Add(1e-3, 0.9, 0.5, 0.1, 1, 3, false, false, true, int64(7))
+	f.Add(0.5, 0.0, 1.0, 0.0, 8, 2, true, false, false, int64(42))
+	f.Add(1e-6, 0.5, 0.0, 0.25, 3, 4, false, true, false, int64(-9))
+	f.Add(-1.0, -0.5, -2.0, -1.0, -4, -2, true, true, true, int64(0)) // invalid arms
+	f.Add(math.NaN(), math.Inf(1), math.NaN(), math.Inf(-1), 1000000, 9, false, false, false, int64(3))
+	f.Fuzz(func(t *testing.T, margin, momentum, learnRate, initStep float64,
+		workers, restarts int, renormalize, reduceDims, refine bool, seed int64) {
+		p := fuzzProblem()
+		// Bound the knobs that only control how much work is done, not
+		// which code paths run: huge worker counts would spawn goroutine
+		// armies and huge restart counts unbounded work. Everything else —
+		// including negative, NaN, and infinite values — goes straight to
+		// the solver, which must either error or produce a valid result.
+		if workers > 16 {
+			workers = 16
+		}
+		if restarts > 6 {
+			restarts = 6
+		}
+		if learnRate > 10 || learnRate < -10 {
+			// Keep finite-but-astronomical rates from overflowing w into
+			// NaN via Inf·0 — validation only rejects non-finite values.
+			learnRate = math.Mod(learnRate, 10)
+		}
+		opts := Options{
+			Margin:      margin,
+			Momentum:    momentum,
+			LearnRate:   learnRate,
+			InitStep:    initStep,
+			Workers:     workers,
+			Seed:        seed,
+			Renormalize: renormalize,
+			ReduceDims:  reduceDims,
+			Refine:      refine,
+			MaxIters:    30,
+		}
+		if reduceDims {
+			opts.Gradient = GradientPaper
+		}
+		check := func(res *Result) {
+			t.Helper()
+			for i, lb := range res.Labels {
+				if lb < 0 || lb >= p.K {
+					t.Fatalf("label[%d] = %d outside [0, %d)", i, lb, p.K)
+				}
+			}
+			for i := 0; i < p.G; i++ {
+				row := res.W[i*p.K : (i+1)*p.K]
+				for k, v := range row {
+					if math.IsNaN(v) || v < 0 || v > 1 {
+						t.Fatalf("w[%d,%d] = %v outside [0, 1]", i, k, v)
+					}
+				}
+			}
+		}
+		res, err := p.Solve(opts)
+		if err == nil {
+			check(res)
+		}
+		pf, err := p.SolvePortfolio(context.Background(), opts,
+			PortfolioOptions{Restarts: restarts, Workers: workers})
+		if err == nil {
+			check(pf.Best)
+			if len(pf.Seeds) != restarts {
+				t.Fatalf("portfolio returned %d summaries for %d restarts", len(pf.Seeds), restarts)
+			}
+		}
+	})
+}

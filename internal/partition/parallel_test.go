@@ -1,0 +1,159 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"gpp/internal/gen"
+)
+
+// requireIdenticalResults asserts bitwise equality of everything the
+// determinism contract covers: labels, iteration counts, convergence flag,
+// the full relaxed matrix, and every field of both cost breakdowns.
+func requireIdenticalResults(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	if a.Iters != b.Iters {
+		t.Errorf("%s: iters differ: %d vs %d", name, a.Iters, b.Iters)
+	}
+	if a.Converged != b.Converged {
+		t.Errorf("%s: converged differs: %v vs %v", name, a.Converged, b.Converged)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("%s: label[%d] differs: %d vs %d", name, i, a.Labels[i], b.Labels[i])
+		}
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatalf("%s: w[%d] differs bitwise: %v vs %v", name, i, a.W[i], b.W[i])
+		}
+	}
+	requireIdenticalBreakdown(t, name+" relaxed", a.Relaxed, b.Relaxed)
+	requireIdenticalBreakdown(t, name+" discrete", a.Discrete, b.Discrete)
+}
+
+func requireIdenticalBreakdown(t *testing.T, name string, a, b Breakdown) {
+	t.Helper()
+	if a.F1 != b.F1 || a.F2 != b.F2 || a.F3 != b.F3 || a.F4 != b.F4 || a.Total != b.Total {
+		t.Errorf("%s: breakdown differs exactly: %+v vs %+v", name, a, b)
+	}
+}
+
+// TestSolveWorkersDeterminismTableI is the headline determinism regression:
+// for every Table-I benchmark circuit, a fully serial solve (Workers: 1)
+// and a solve on all CPUs must produce bit-identical labels, iteration
+// counts, relaxed matrices, and cost breakdowns for the same seed. The
+// fixed-shard-order merge makes this exact — no tolerances anywhere.
+func TestSolveWorkersDeterminismTableI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism sweep skipped in -short mode")
+	}
+	for _, name := range gen.BenchmarkNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := gen.Benchmark(name, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := FromCircuit(c, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Determinism must hold at every iterate, converged or not; the
+			// cap keeps the largest circuits fast under -race.
+			base := Options{Seed: 1, MaxIters: 60}
+			serial := base
+			serial.Workers = 1
+			parallel := base
+			// NumCPU, but at least 4 so single-core hosts still exercise a
+			// real multi-goroutine pool (extra workers beyond the shard
+			// count are simply not spawned).
+			parallel.Workers = runtime.NumCPU()
+			if parallel.Workers < 4 {
+				parallel.Workers = 4
+			}
+			a, err := p.Solve(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := p.Solve(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdenticalResults(t, name, a, b)
+		})
+	}
+}
+
+// TestSolveWorkersDeterminismOptionCross sweeps the solver's option arms
+// (momentum, renormalize, reduce-dims, paper gradients, refinement) across
+// odd worker counts on a problem large enough to span many shards.
+func TestSolveWorkersDeterminismOptionCross(t *testing.T) {
+	p := randProblem(t, 700, 5, 2600, 11)
+	variants := []Options{
+		{Seed: 3, MaxIters: 40},
+		{Seed: 3, MaxIters: 40, Momentum: 0.5},
+		{Seed: 3, MaxIters: 40, Renormalize: true},
+		{Seed: 3, MaxIters: 40, ReduceDims: true},
+		{Seed: 3, MaxIters: 40, Gradient: GradientPaper},
+		{Seed: 3, MaxIters: 40, Refine: true},
+	}
+	for vi, base := range variants {
+		serial := base
+		serial.Workers = 1
+		want, err := p.Solve(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 7, 16} {
+			o := base
+			o.Workers = workers
+			got, err := p.Solve(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdenticalResults(t, fmt.Sprintf("variant %d workers %d", vi, workers), want, got)
+		}
+	}
+}
+
+// TestCostParallelBitIdentical checks the cost kernel alone across worker
+// counts, including non-divisors of the shard count.
+func TestCostParallelBitIdentical(t *testing.T) {
+	p := randProblem(t, 900, 4, 3100, 12)
+	w := randW(p, 13)
+	c := Coeffs{C1: 1.2, C2: 0.6, C3: 0.8, C4: 1.1}
+	want := p.Cost(w, c)
+	if math.IsNaN(want.Total) {
+		t.Fatal("serial cost is NaN")
+	}
+	for _, workers := range []int{0, 2, 3, 5, 8, 64} {
+		got := p.CostParallel(w, c, workers)
+		requireIdenticalBreakdown(t, fmt.Sprintf("workers %d", workers), want, got)
+	}
+}
+
+// TestGradientParallelBitIdentical checks the gradient kernel elementwise
+// across worker counts for both gradient modes.
+func TestGradientParallelBitIdentical(t *testing.T) {
+	p := randProblem(t, 900, 4, 3100, 14)
+	w := randW(p, 15)
+	c := Coeffs{C1: 1.2, C2: 0.6, C3: 0.8, C4: 1.1}
+	for _, mode := range []GradientMode{GradientExact, GradientPaper} {
+		want := make([]float64, p.G*p.K)
+		p.Gradient(w, c, mode, want)
+		for _, workers := range []int{0, 2, 3, 5, 8, 64} {
+			got := make([]float64, p.G*p.K)
+			p.GradientParallel(w, c, mode, got, workers)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("mode %v workers %d: grad[%d] differs bitwise: %v vs %v",
+						mode, workers, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+
+	"gpp/internal/pool"
+)
+
+// PortfolioOptions configures SolvePortfolio's restart race.
+type PortfolioOptions struct {
+	// Restarts is the number of independent seeds raced; restart r runs
+	// with seed base.Seed + r. Must be ≥ 1.
+	Restarts int
+
+	// Workers bounds how many restarts run concurrently: 0 ("auto") means
+	// one per CPU, 1 races the seeds serially. Each restart additionally
+	// runs its kernels on the base Options.Workers goroutines, so the total
+	// parallelism is the product; for CPU-bound portfolios keep one of the
+	// two knobs at 1 (portfolio concurrency with serial kernels is the
+	// usual choice — restarts are embarrassingly parallel).
+	Workers int
+}
+
+// SeedResult summarizes one restart of the portfolio.
+type SeedResult struct {
+	Seed      int64
+	Iters     int
+	Converged bool
+	Relaxed   Breakdown
+	Discrete  Breakdown
+}
+
+// Portfolio is the outcome of a multi-seed restart race.
+type Portfolio struct {
+	// Best is the lowest discrete-cost result; ties break toward the
+	// lowest seed, so selection is deterministic regardless of which
+	// restart finishes first.
+	Best *Result
+	// BestSeed is the seed that produced Best.
+	BestSeed int64
+	// Seeds holds one summary per restart, in seed order.
+	Seeds []SeedResult
+}
+
+// SolvePortfolio races po.Restarts independent Algorithm-1 runs (seeds
+// base.Seed, base.Seed+1, …) on a bounded worker pool and returns the best
+// discrete-cost result plus a per-seed summary. Every restart is captured
+// by its seed index and the winner is selected by a serial scan in seed
+// order, so the outcome is identical for every portfolio worker count.
+//
+// Cancelling ctx stops the race early: restarts already running finish,
+// not-yet-started ones are skipped, and the context error is returned.
+func (p *Problem) SolvePortfolio(ctx context.Context, base Options, po PortfolioOptions) (*Portfolio, error) {
+	if po.Restarts < 1 {
+		return nil, fmt.Errorf("partition: portfolio needs ≥ 1 restart, got %d", po.Restarts)
+	}
+	if po.Workers < 0 {
+		return nil, fmt.Errorf("partition: portfolio workers %d must be ≥ 0 (0 = one per CPU)", po.Workers)
+	}
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base = base.withDefaults()
+	results := make([]*Result, po.Restarts)
+	err := pool.Map(ctx, pool.Resolve(po.Workers), po.Restarts, func(r int) error {
+		o := base
+		o.Seed = base.Seed + int64(r)
+		res, err := p.Solve(o)
+		if err != nil {
+			return fmt.Errorf("partition: restart %d (seed %d): %w", r, o.Seed, err)
+		}
+		results[r] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pf := &Portfolio{Seeds: make([]SeedResult, po.Restarts)}
+	for r, res := range results {
+		seed := base.Seed + int64(r)
+		pf.Seeds[r] = SeedResult{
+			Seed:      seed,
+			Iters:     res.Iters,
+			Converged: res.Converged,
+			Relaxed:   res.Relaxed,
+			Discrete:  res.Discrete,
+		}
+		if pf.Best == nil || res.Discrete.Total < pf.Best.Discrete.Total {
+			pf.Best = res
+			pf.BestSeed = seed
+		}
+	}
+	return pf, nil
+}

@@ -50,6 +50,16 @@ type Problem struct {
 	// normalizer means; the live per-iteration means drift slightly while
 	// row sums are unconstrained and are recomputed in the cost.
 	MeanBias, MeanArea float64
+
+	// Incidence CSR for the F1 gradient gather: for gate i, incEdge
+	// [incStart[i]:incStart[i+1]] lists its incident edge indices in
+	// increasing edge order, and incSign is +1 where the gate is the edge's
+	// first endpoint. The gather lets gradient workers accumulate each
+	// gate's neighbor sum privately (no scatter write conflicts) while
+	// preserving the serial edge-order summation exactly.
+	incStart []int32 // length G+1
+	incEdge  []int32 // length 2·|Edges|
+	incSign  []int8  // length 2·|Edges|
 }
 
 // NewProblem validates and precomputes a partitioning instance.
@@ -112,7 +122,35 @@ func NewProblem(name string, k int, bias, area []float64, edges [][2]int) (*Prob
 		p.N3 = 1
 	}
 	p.N4 = float64(g) * km1 * km1
+	p.buildIncidence()
 	return p, nil
+}
+
+// buildIncidence fills the incidence CSR (see the field comments). Edge
+// order is preserved per gate so gather-based neighbor sums associate the
+// same way as the historical scatter loop.
+func (p *Problem) buildIncidence() {
+	p.incStart = make([]int32, p.G+1)
+	for _, e := range p.Edges {
+		p.incStart[e[0]+1]++
+		p.incStart[e[1]+1]++
+	}
+	for i := 0; i < p.G; i++ {
+		p.incStart[i+1] += p.incStart[i]
+	}
+	p.incEdge = make([]int32, 2*len(p.Edges))
+	p.incSign = make([]int8, 2*len(p.Edges))
+	cursor := make([]int32, p.G)
+	copy(cursor, p.incStart[:p.G])
+	for idx, e := range p.Edges {
+		u, v := e[0], e[1]
+		p.incEdge[cursor[u]] = int32(idx)
+		p.incSign[cursor[u]] = 1
+		cursor[u]++
+		p.incEdge[cursor[v]] = int32(idx)
+		p.incSign[cursor[v]] = -1
+		cursor[v]++
+	}
 }
 
 // FromCircuit builds a Problem from a netlist circuit.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"gpp/internal/pool"
 )
 
 // Options configures the gradient-descent solver (Algorithm 1).
@@ -62,9 +64,18 @@ type Options struct {
 	// derived as 1 − Σ of the rest. Free coordinates move against the
 	// *reduced* gradient ∂F/∂w_{i,k} − ∂F/∂w_{i,K}, are clamped to [0,1],
 	// and the row is rescaled when the free part exceeds one, keeping the
-	// derived coordinate non-negative. Mutually exclusive with
-	// Renormalize in effect (rows stay stochastic by construction).
+	// derived coordinate non-negative. Mutually exclusive with Renormalize
+	// (rows stay stochastic by construction); combining them is a
+	// validation error.
 	ReduceDims bool
+
+	// Workers is the number of goroutines the cost/gradient kernels run
+	// on: 0 ("auto") means one per CPU, 1 means fully serial, N means
+	// exactly N. The kernels use a fixed shard decomposition with
+	// shard-order merges, so every worker count produces bitwise
+	// identical results — Workers is purely a speed knob. Negative values
+	// are a validation error.
+	Workers int
 
 	// Refine, if true, runs the greedy move-based refinement pass on the
 	// discrete assignment after descent (see Refine). Off by default: the
@@ -76,6 +87,35 @@ type Options struct {
 
 	// TraceCost, if true, records the total cost after every iteration.
 	TraceCost bool
+}
+
+// validate rejects nonsensical option combinations before defaulting. Zero
+// values mean "use the default" and are fine; negatives and non-finite
+// values have no meaning anywhere and were historically silently coerced —
+// now they are descriptive errors.
+func (o Options) validate() error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	switch {
+	case o.Workers < 0:
+		return fmt.Errorf("partition: workers %d must be ≥ 0 (0 = one per CPU)", o.Workers)
+	case !finite(o.Margin) || o.Margin < 0:
+		return fmt.Errorf("partition: margin %g must be a finite value in [0, 1)", o.Margin)
+	case o.Margin >= 1:
+		return fmt.Errorf("partition: margin %g must be < 1", o.Margin)
+	case o.MaxIters < 0:
+		return fmt.Errorf("partition: max iterations %d must be ≥ 0 (0 = default)", o.MaxIters)
+	case !finite(o.LearnRate) || o.LearnRate < 0:
+		return fmt.Errorf("partition: learn rate %g must be a finite value ≥ 0 (0 = auto-calibrate)", o.LearnRate)
+	case !finite(o.InitStep) || o.InitStep < 0:
+		return fmt.Errorf("partition: init step %g must be a finite value ≥ 0 (0 = default)", o.InitStep)
+	case !finite(o.Momentum) || o.Momentum < 0 || o.Momentum >= 1:
+		return fmt.Errorf("partition: momentum %g must be a finite value in [0, 1)", o.Momentum)
+	case o.Renormalize && o.ReduceDims:
+		return fmt.Errorf("partition: Renormalize and ReduceDims are mutually exclusive (reduced rows are stochastic by construction)")
+	case o.RefinePasses < 0:
+		return fmt.Errorf("partition: refine passes %d must be ≥ 0 (0 = default)", o.RefinePasses)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -130,12 +170,15 @@ type Result struct {
 	RefineMoves int
 }
 
-// Solve runs Algorithm 1 on the problem.
+// Solve runs Algorithm 1 on the problem. The cost/gradient kernels run on
+// opts.Workers goroutines; results are bitwise identical for every worker
+// count (fixed shard decomposition, shard-order merges).
 func (p *Problem) Solve(opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if opts.Margin >= 1 {
-		return nil, fmt.Errorf("partition: margin %g must be < 1", opts.Margin)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
+	opts = opts.withDefaults()
+	workers := pool.Resolve(opts.Workers)
 	if opts.InitStep <= 0 {
 		opts.InitStep = 0.25 / float64(p.K)
 	}
@@ -166,15 +209,12 @@ func (p *Problem) Solve(opts Options) (*Result, error) {
 	grad := make([]float64, p.G*p.K)
 	var velocity []float64
 	if opts.Momentum > 0 {
-		if opts.Momentum >= 1 {
-			return nil, fmt.Errorf("partition: momentum %g must be < 1", opts.Momentum)
-		}
 		velocity = make([]float64, p.G*p.K)
 	}
 	step := opts.LearnRate
 	if step <= 0 {
 		// Auto-calibrate: first step moves the largest entry by InitStep.
-		p.Gradient(w, opts.Coeffs, opts.Gradient, grad)
+		p.GradientParallel(w, opts.Coeffs, opts.Gradient, grad, workers)
 		maxAbs := 0.0
 		for _, g := range grad {
 			if a := math.Abs(g); a > maxAbs {
@@ -192,7 +232,7 @@ func (p *Problem) Solve(opts Options) (*Result, error) {
 	costOld := math.Inf(1)
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		// Line 13: cost_new.
-		bd := p.Cost(w, opts.Coeffs)
+		bd := p.CostParallel(w, opts.Coeffs, workers)
 		costNew := bd.Total
 		if opts.TraceCost {
 			res.CostTrace = append(res.CostTrace, costNew)
@@ -213,69 +253,75 @@ func (p *Problem) Solve(opts Options) (*Result, error) {
 		costOld = costNew
 
 		// Lines 17–24: gradient step with clamping.
-		p.Gradient(w, opts.Coeffs, opts.Gradient, grad)
-		if velocity != nil {
-			for j := range grad {
-				velocity[j] = opts.Momentum*velocity[j] + grad[j]
-				grad[j] = velocity[j]
+		p.GradientParallel(w, opts.Coeffs, opts.Gradient, grad, workers)
+		// The update is elementwise per gate row (no cross-row reductions),
+		// so the shards are trivially deterministic for any worker count.
+		pool.Run(workers, pool.Shards(p.G, gateChunk), func(s int) {
+			lo, hi := pool.ShardRange(p.G, gateChunk, s)
+			jLo, jHi := lo*p.K, hi*p.K
+			if velocity != nil {
+				for j := jLo; j < jHi; j++ {
+					velocity[j] = opts.Momentum*velocity[j] + grad[j]
+					grad[j] = velocity[j]
+				}
 			}
-		}
-		if opts.ReduceDims {
-			// K−1 free coordinates per row; the last is derived.
-			last := p.K - 1
-			for i := 0; i < p.G; i++ {
-				base := i * p.K
-				gLast := grad[base+last]
-				var sum float64
-				for k := 0; k < last; k++ {
-					v := w[base+k] - step*(grad[base+k]-gLast)
+			if opts.ReduceDims {
+				// K−1 free coordinates per row; the last is derived.
+				last := p.K - 1
+				for i := lo; i < hi; i++ {
+					base := i * p.K
+					gLast := grad[base+last]
+					var sum float64
+					for k := 0; k < last; k++ {
+						v := w[base+k] - step*(grad[base+k]-gLast)
+						if v < 0 {
+							v = 0
+						} else if v > 1 {
+							v = 1
+						}
+						w[base+k] = v
+						sum += v
+					}
+					if sum > 1 {
+						inv := 1 / sum
+						for k := 0; k < last; k++ {
+							w[base+k] *= inv
+						}
+						sum = 1
+					}
+					w[base+last] = 1 - sum
+				}
+			} else {
+				for j := jLo; j < jHi; j++ {
+					v := w[j] - step*grad[j]
 					if v < 0 {
 						v = 0
 					} else if v > 1 {
 						v = 1
 					}
-					w[base+k] = v
-					sum += v
+					w[j] = v
 				}
-				if sum > 1 {
-					inv := 1 / sum
-					for k := 0; k < last; k++ {
-						w[base+k] *= inv
+			}
+			if opts.Renormalize {
+				for i := lo; i < hi; i++ {
+					row := w[i*p.K : (i+1)*p.K]
+					var sum float64
+					for _, v := range row {
+						sum += v
 					}
-					sum = 1
-				}
-				w[base+last] = 1 - sum
-			}
-		} else {
-			for j, g := range grad {
-				v := w[j] - step*g
-				if v < 0 {
-					v = 0
-				} else if v > 1 {
-					v = 1
-				}
-				w[j] = v
-			}
-		}
-		if opts.Renormalize {
-			for i := 0; i < p.G; i++ {
-				row := w[i*p.K : (i+1)*p.K]
-				var sum float64
-				for _, v := range row {
-					sum += v
-				}
-				if sum > 0 {
-					for k := range row {
-						row[k] /= sum
+					if sum > 0 {
+						for k := range row {
+							row[k] /= sum
+						}
 					}
 				}
 			}
-		}
+		})
 		res.Iters = iter + 1
 	}
 
 	res.W = w
-	res.Relaxed = p.Cost(w, opts.Coeffs)
+	res.Relaxed = p.CostParallel(w, opts.Coeffs, workers)
 	// Lines 27–30: snap to argmax.
 	res.Labels = p.Assign(w)
 	if opts.Refine {

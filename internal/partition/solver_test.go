@@ -3,6 +3,7 @@ package partition
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -104,6 +105,65 @@ func TestSolveInvalidMargin(t *testing.T) {
 	p := randProblem(t, 10, 2, 15, 5)
 	if _, err := p.Solve(Options{Margin: 1.5}); err == nil {
 		t.Error("margin ≥ 1 accepted")
+	}
+}
+
+// TestSolveOptionValidation pins down every nonsensical Options combination
+// the solver must reject with a descriptive error instead of silently
+// coercing (the historical behavior for most of them).
+func TestSolveOptionValidation(t *testing.T) {
+	p := randProblem(t, 10, 2, 15, 5)
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring the error must contain
+	}{
+		{"negative workers", Options{Workers: -1}, "workers"},
+		{"negative margin", Options{Margin: -0.1}, "margin"},
+		{"NaN margin", Options{Margin: nan}, "margin"},
+		{"margin one", Options{Margin: 1}, "margin"},
+		{"negative max iters", Options{MaxIters: -5}, "max iterations"},
+		{"negative learn rate", Options{LearnRate: -0.5}, "learn rate"},
+		{"infinite learn rate", Options{LearnRate: inf}, "learn rate"},
+		{"negative init step", Options{InitStep: -0.1}, "init step"},
+		{"NaN init step", Options{InitStep: nan}, "init step"},
+		{"negative momentum", Options{Momentum: -0.2}, "momentum"},
+		{"momentum one", Options{Momentum: 1}, "momentum"},
+		{"NaN momentum", Options{Momentum: nan}, "momentum"},
+		{"renormalize with reduce-dims", Options{Renormalize: true, ReduceDims: true}, "mutually exclusive"},
+		{"negative refine passes", Options{RefinePasses: -1}, "refine passes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := p.Solve(tc.opts)
+			if err == nil {
+				t.Fatalf("options %+v accepted", tc.opts)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSolveValidOptionBoundaries confirms the validation does not reject
+// the meaningful boundary values (zero means "default" throughout).
+func TestSolveValidOptionBoundaries(t *testing.T) {
+	p := randProblem(t, 10, 2, 15, 5)
+	for _, opts := range []Options{
+		{},
+		{Workers: 0},
+		{Workers: 1},
+		{Workers: 64, MaxIters: 5},
+		{Momentum: 0.99, MaxIters: 5},
+		{ReduceDims: true, MaxIters: 5},
+		{Renormalize: true, MaxIters: 5},
+	} {
+		if _, err := p.Solve(opts); err != nil {
+			t.Errorf("valid options %+v rejected: %v", opts, err)
+		}
 	}
 }
 

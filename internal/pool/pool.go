@@ -1,0 +1,154 @@
+// Package pool provides the deterministic parallelism primitives used by
+// the solver engine: worker-count resolution, fixed sharding of index
+// ranges, a shard dispatcher for data-parallel kernels, and a bounded,
+// cancellable task runner for the restart portfolio.
+//
+// The central invariant is that the *shard layout* of a kernel depends only
+// on the problem size, never on the worker count. Workers execute shards in
+// an unspecified order, but every shard writes only shard-private state and
+// the per-shard partial results are merged serially in shard-index order.
+// Floating-point reductions therefore associate identically for Workers = 1
+// and Workers = N, making parallel results bitwise equal to serial ones.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps an Options-style worker count to an actual one: anything
+// ≤ 0 ("auto") becomes runtime.NumCPU(), anything ≥ 1 is used as-is.
+// Negative counts are rejected earlier by Options validation; Resolve
+// treats them as auto so direct kernel calls stay safe.
+func Resolve(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Shards returns how many fixed-size chunks the index range [0, n) splits
+// into. The layout is a pure function of n and chunk — never of the worker
+// count — which is what makes shard-order merges reproducible.
+func Shards(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return (n + chunk - 1) / chunk
+}
+
+// ShardRange returns the half-open index range [lo, hi) covered by shard s
+// of the [0, n) range split into chunk-sized shards.
+func ShardRange(n, chunk, s int) (lo, hi int) {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	lo = s * chunk
+	hi = lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Run executes fn(s) for every shard s in [0, shards). With one worker the
+// shards run inline in index order — the serial path, with zero goroutine
+// overhead. With more, min(workers, shards) goroutines drain an atomic
+// counter; execution order is unspecified, so fn must touch only
+// shard-private state and callers merge partials in shard order afterwards.
+func Run(workers, shards int, fn func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) on at most `workers` goroutines.
+// Started items always run to completion; when ctx is cancelled, not-yet-
+// started items are skipped and Map reports the context error. When one or
+// more calls fail, the error of the lowest index is returned (deterministic
+// even though execution order is not). Item errors take precedence over a
+// late cancellation.
+func Map(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	var skipped atomic.Bool
+	run := func(i int) {
+		if ctx.Err() != nil {
+			skipped.Store(true)
+			return
+		}
+		errs[i] = fn(i)
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if skipped.Load() {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Errorf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != runtime.NumCPU() {
+		t.Errorf("Resolve(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(1); got != 1 {
+		t.Errorf("Resolve(1) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d, want 7", got)
+	}
+}
+
+func TestShardsLayout(t *testing.T) {
+	cases := []struct {
+		n, chunk, want int
+	}{
+		{0, 4, 0},
+		{-1, 4, 0},
+		{1, 4, 1},
+		{4, 4, 1},
+		{5, 4, 2},
+		{8, 4, 2},
+		{9, 4, 3},
+		{10, 0, 10}, // zero chunk degrades to 1
+	}
+	for _, tc := range cases {
+		if got := Shards(tc.n, tc.chunk); got != tc.want {
+			t.Errorf("Shards(%d, %d) = %d, want %d", tc.n, tc.chunk, got, tc.want)
+		}
+	}
+}
+
+func TestShardRangesCoverExactly(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 5, 17, 100, 1023} {
+		for _, chunk := range []int{1, 3, 4, 16, 2000} {
+			shards := Shards(n, chunk)
+			covered := 0
+			prevHi := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := ShardRange(n, chunk, s)
+				if lo != prevHi {
+					t.Fatalf("n=%d chunk=%d shard %d: lo %d, want %d (gap/overlap)", n, chunk, s, lo, prevHi)
+				}
+				if hi < lo || hi > n {
+					t.Fatalf("n=%d chunk=%d shard %d: bad range [%d,%d)", n, chunk, s, lo, hi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n {
+				t.Fatalf("n=%d chunk=%d: shards cover %d indices", n, chunk, covered)
+			}
+		}
+	}
+}
+
+func TestRunExecutesEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const shards = 37
+		var counts [shards]atomic.Int32
+		Run(workers, shards, func(s int) { counts[s].Add(1) })
+		for s := range counts {
+			if got := counts[s].Load(); got != 1 {
+				t.Errorf("workers=%d: shard %d ran %d times", workers, s, got)
+			}
+		}
+	}
+}
+
+func TestRunSerialInOrder(t *testing.T) {
+	var order []int
+	Run(1, 5, func(s int) { order = append(order, s) })
+	for i, s := range order {
+		if s != i {
+			t.Fatalf("serial Run out of order: %v", order)
+		}
+	}
+}
+
+func TestRunZeroShards(t *testing.T) {
+	Run(4, 0, func(int) { t.Fatal("fn called with zero shards") })
+}
+
+func TestMapRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 64} {
+		const n = 23
+		var counts [n]atomic.Int32
+		err := Map(context.Background(), workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Errorf("workers=%d: item %d ran %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	err := Map(context.Background(), 8, 10, func(i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		if i == 7 {
+			return errors.New("boom-7")
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want the lowest-index error %v", err, wantErr)
+	}
+}
+
+func TestMapCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err := Map(ctx, 4, 10, func(i int) error {
+		ran++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d items ran despite pre-cancelled context", ran)
+	}
+}
+
+func TestMapMidwayCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := Map(ctx, 1, 10, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Errorf("ran %d items before serial cancellation took effect, want 3", got)
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	if err := Map(context.Background(), 4, 0, func(int) error { return fmt.Errorf("no") }); err != nil {
+		t.Fatal(err)
+	}
+}
