@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench fuzz
+.PHONY: build test check race bench obs-bench fuzz
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,17 @@ race:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchtime 1x ./internal/partition ./internal/obs
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Telemetry overhead benchmarks: SolveTraceOff vs SolveTraceNop bounds the
+# cost of the instrumentation hooks with tracing off (must stay <2% and
+# alloc-free — TestSolveIterationPathAllocFree guards the alloc half);
+# SolveTraceJSONL and JSONLEmit price the enabled path.
+obs-bench:
+	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchmem ./internal/partition ./internal/obs
 
 # Run the solver-options fuzzer for 30s (regular `make test` already runs
 # its seed corpus as a unit test).

@@ -16,6 +16,8 @@
 //	gpp-bench -table 1 -json      # machine-readable JSON
 //	gpp-bench -table 1 -restarts 8   # best-of-8 restart race per solve
 //	gpp-bench -table 1 -workers 4    # sharded kernels (identical results)
+//	gpp-bench -table 1 -trace t1.jsonl -manifest t1.json   # telemetry artifacts
+//	gpp-bench -table all -metrics-addr :8080               # live /metrics + pprof
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"os"
 
 	"gpp/internal/experiments"
+	"gpp/internal/obs/obscli"
 	"gpp/internal/report"
 )
 
@@ -36,12 +39,31 @@ func main() {
 	seed := flag.Int64("seed", 1, "solver random seed")
 	workers := flag.Int("workers", 1, "kernel worker goroutines per solve (0 = one per CPU); results are identical for every count")
 	restarts := flag.Int("restarts", 1, "random restarts per solve; the best discrete-cost result is kept")
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start("gpp-bench")
+	if err != nil {
+		fatal(err)
+	}
+	cleanup = sess.Close
+	sess.Meta("table", *table)
+	sess.Meta("seed", *seed)
+	sess.Meta("restarts", *restarts)
+	sess.Meta("workers", *workers)
 
 	cfg := experiments.Config{Parallel: true}
 	cfg.Solver.Seed = *seed
 	cfg.Solver.Workers = *workers
 	cfg.Restarts = *restarts
+	if sess.Tracer != nil {
+		// Tracing forces serial per-circuit solves: concurrent circuits
+		// would interleave their events in the shared sink, and the whole
+		// point of the trace is a deterministic, diffable stream.
+		cfg.Parallel = false
+		cfg.Solver.Tracer = sess.Tracer
+	}
 
 	emit := func(t *report.Table) {
 		var err error
@@ -221,6 +243,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -table %q (want 1, 2, 3, ablation, extended, tune, all)", *table))
 	}
+
+	if err := sess.Close(); err != nil {
+		cleanup = nil
+		fatal(err)
+	}
 }
 
 // tableI renders measured rows beside the published Table I values
@@ -324,7 +351,16 @@ func ablationTable(title string, rows []experiments.MethodResult) *report.Table 
 	return t
 }
 
+// cleanup, when set, flushes the telemetry session so traces and manifests
+// survive error exits too.
+var cleanup func() error
+
 func fatal(err error) {
+	if cleanup != nil {
+		if cerr := cleanup(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gpp-bench:", cerr)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "gpp-bench:", err)
 	os.Exit(1)
 }

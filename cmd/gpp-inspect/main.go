@@ -3,10 +3,16 @@
 // distributions, and logical depth — the inputs the partitioning cost
 // function sees.
 //
+// The `trace` subcommand digests a JSONL solver trace (written by the other
+// tools' -trace flag) into per-term convergence tables and, for portfolio
+// runs, a restart leaderboard.
+//
 // Usage:
 //
 //	gpp-inspect -circuit KSA16
 //	gpp-inspect -def design.def [-lef cells.lef]
+//	gpp-inspect trace run.jsonl
+//	gpp-inspect trace -rows 20 run.jsonl
 package main
 
 import (
@@ -20,11 +26,16 @@ import (
 	"gpp/internal/gen"
 	"gpp/internal/lef"
 	"gpp/internal/netlist"
+	"gpp/internal/obs"
 	"gpp/internal/recycle"
 	"gpp/internal/timing"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
 	defPath := flag.String("def", "", "input DEF netlist")
 	lefPath := flag.String("lef", "", "LEF cell library for -def")
 	circuit := flag.String("circuit", "", "generate a benchmark instead of reading DEF")
@@ -68,6 +79,35 @@ func main() {
 			fmt.Printf("timing:       %d stages, critical %.1f ps → f_max %.2f GHz, latency %.1f ps\n",
 				an.Stages, an.CriticalStagePS, an.MaxFreqGHz, an.TotalLatencyPS)
 		}
+	}
+}
+
+// runTrace implements `gpp-inspect trace [-rows N] <trace.jsonl>`.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("gpp-inspect trace", flag.ExitOnError)
+	rows := fs.Int("rows", 12, "max iteration rows per solve's convergence table")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gpp-inspect trace [-rows N] <trace.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.Summarize(events).WriteText(os.Stdout, *rows); err != nil {
+		fatal(err)
 	}
 }
 

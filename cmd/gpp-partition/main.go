@@ -14,6 +14,8 @@
 //	gpp-partition -circuit KSA16 -k 5 -placed-def out.def   # plane REGIONS/GROUPS
 //	gpp-partition -circuit KSA32 -k 5 -restarts 16 -seeds   # concurrent restart portfolio
 //	gpp-partition -circuit C3540 -k 8 -workers 8            # parallel kernels, bit-identical to -workers 1
+//	gpp-partition -circuit KSA8 -k 5 -trace run.jsonl -manifest run.json  # telemetry artifacts
+//	gpp-partition -circuit C3540 -k 8 -metrics-addr :8080   # /metrics, /debug/vars, /debug/pprof
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"gpp/internal/gen"
 	"gpp/internal/lef"
 	"gpp/internal/netlist"
+	"gpp/internal/obs/obscli"
 	"gpp/internal/partition"
 	"gpp/internal/place"
 	"gpp/internal/recycle"
@@ -56,14 +59,26 @@ func main() {
 	plan := flag.Bool("plan", true, "print the current-recycling plan summary")
 	showTiming := flag.Bool("timing", false, "print the frequency-penalty analysis")
 	verify := flag.Bool("verify", true, "independently verify the result before reporting")
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start("gpp-partition")
+	if err != nil {
+		fatal(err)
+	}
+	cleanup = sess.Close
 
 	c, lib, err := loadCircuit(*defPath, *lefPath, *circuit)
 	if err != nil {
 		fatal(err)
 	}
+	sess.Meta("circuit", map[string]any{
+		"name": c.Name, "gates": c.NumGates(), "edges": c.NumEdges(),
+	})
+	sess.Meta("seed", *seed)
 
-	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers}
+	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers, Tracer: sess.Tracer}
 
 	if *limit > 0 {
 		row, err := experiments.CurrentLimitSearch(c, *limit, experiments.Config{Solver: opts, Library: lib})
@@ -73,6 +88,10 @@ func main() {
 		fmt.Printf("%s: K_LB=%d K_res=%d (limit %.1f mA)\n", c.Name, row.KLB, row.KRes, *limit)
 		*k = row.KRes
 	}
+
+	sess.Meta("k", *k)
+	sess.Meta("restarts", *restarts)
+	sess.Meta("workers", *workers)
 
 	p, err := partition.FromCircuit(c, *k)
 	if err != nil {
@@ -203,6 +222,13 @@ func main() {
 		}
 		fmt.Printf("wrote assignment to %s\n", *assign)
 	}
+
+	sess.Meta("iters", res.Iters)
+	sess.Meta("converged", res.Converged)
+	if err := sess.Close(); err != nil {
+		cleanup = nil
+		fatal(err)
+	}
 }
 
 func loadCircuit(defPath, lefPath, circuit string) (*netlist.Circuit, *cellib.Library, error) {
@@ -265,7 +291,16 @@ func totalDummies(pl *recycle.Plan) int {
 	return n
 }
 
+// cleanup, when set, flushes the telemetry session so traces and manifests
+// survive error exits too.
+var cleanup func() error
+
 func fatal(err error) {
+	if cleanup != nil {
+		if cerr := cleanup(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gpp-partition:", cerr)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "gpp-partition:", err)
 	os.Exit(1)
 }

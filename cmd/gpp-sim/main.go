@@ -9,6 +9,7 @@
 //	gpp-sim -circuit KSA4 -in a0,b0 -all        # also dump internal pulses
 //	gpp-sim -def design.def -lef cells.lef -in x0
 //	gpp-sim -circuit KSA8 -activity 64          # measured switching activity
+//	gpp-sim -circuit KSA4 -in a0 -trace sim.jsonl -manifest sim.json
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"gpp/internal/gen"
 	"gpp/internal/lef"
 	"gpp/internal/netlist"
+	"gpp/internal/obs"
+	"gpp/internal/obs/obscli"
 	"gpp/internal/sim"
 )
 
@@ -34,20 +37,39 @@ func main() {
 	all := flag.Bool("all", false, "dump every gate's pulse, not just outputs")
 	activity := flag.Int("activity", 0, "if > 0, measure switching activity over this many random waves instead")
 	seed := flag.Int64("seed", 1, "random seed for -activity")
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start("gpp-sim")
+	if err != nil {
+		fatal(err)
+	}
+	cleanup = sess.Close
 
 	c, err := load(*defPath, *lefPath, *circuit)
 	if err != nil {
 		fatal(err)
 	}
+	sess.Meta("circuit", map[string]any{
+		"name": c.Name, "gates": c.NumGates(), "edges": c.NumEdges(),
+	})
 
 	if *activity > 0 {
 		act, err := measureActivity(c, *activity, *seed)
 		if err != nil {
 			fatal(err)
 		}
+		if sess.Tracer != nil {
+			sess.Tracer.Emit(obs.Event{Kind: obs.KindSimActivity,
+				Circuit: c.Name, Waves: *activity, Activity: act})
+		}
 		fmt.Printf("%s: switching activity %.4f pulses/gate/wave over %d random waves\n",
 			c.Name, act, *activity)
+		if err := sess.Close(); err != nil {
+			cleanup = nil
+			fatal(err)
+		}
 		return
 	}
 
@@ -60,6 +82,10 @@ func main() {
 	res, err := sim.Run(c, inputs, sim.Options{})
 	if err != nil {
 		fatal(err)
+	}
+	if sess.Tracer != nil {
+		sess.Tracer.Emit(obs.Event{Kind: obs.KindSimWave,
+			Circuit: c.Name, Pulses: res.PulseCount})
 	}
 	names := make([]string, 0, len(res.Outputs))
 	for n := range res.Outputs {
@@ -81,6 +107,10 @@ func main() {
 				fmt.Printf("  %s\n", g.Name)
 			}
 		}
+	}
+	if err := sess.Close(); err != nil {
+		cleanup = nil
+		fatal(err)
 	}
 }
 
@@ -151,7 +181,16 @@ func load(defPath, lefPath, circuit string) (*netlist.Circuit, error) {
 	}
 }
 
+// cleanup, when set, flushes the telemetry session so traces and manifests
+// survive error exits too.
+var cleanup func() error
+
 func fatal(err error) {
+	if cleanup != nil {
+		if cerr := cleanup(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gpp-sim:", cerr)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "gpp-sim:", err)
 	os.Exit(1)
 }

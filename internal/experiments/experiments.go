@@ -17,9 +17,13 @@ import (
 	"gpp/internal/cellib"
 	"gpp/internal/gen"
 	"gpp/internal/netlist"
+	"gpp/internal/obs"
 	"gpp/internal/partition"
 	"gpp/internal/recycle"
 )
+
+var mExperimentSolves = obs.Default().Counter("gpp_experiment_solves_total",
+	"experiment-suite circuit solves (table rows and limit-search probes)")
 
 // Config controls the experiment runs.
 type Config struct {
@@ -70,6 +74,15 @@ func runOne(c *netlist.Circuit, k int, cfg Config) (Row, error) {
 	p, err := partition.FromCircuit(c, k)
 	if err != nil {
 		return Row{}, err
+	}
+	mExperimentSolves.Inc()
+	if t := cfg.Solver.Tracer; t != nil {
+		// Tag the solve that follows with its circuit. Callers that trace
+		// must run circuits serially (cfg.Parallel off) so the experiment
+		// header and its solve events stay adjacent in the stream; the CLIs
+		// enforce that.
+		t.Emit(obs.Event{Kind: obs.KindExperiment, Circuit: c.Name, K: k,
+			Gates: c.NumGates(), Edges: c.NumEdges()})
 	}
 	var res *partition.Result
 	if cfg.Restarts > 1 {

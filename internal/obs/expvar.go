@@ -1,0 +1,14 @@
+package obs
+
+import "expvar"
+
+// PublishExpvar exposes the registry's Snapshot under the given expvar
+// name (e.g. "gpp"), making it part of every /debug/vars payload.
+// Publishing the same name twice is a no-op instead of the expvar panic,
+// so CLIs can call this unconditionally.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// newTinyBufWriter returns a bufio.Writer whose buffer is smaller than any
+// event line, so every Emit hits the underlying writer immediately.
+func newTinyBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, 1) }
+
+// traceFixture exercises every event kind the solver stack emits.
+func traceFixture() []Event {
+	return []Event{
+		{Kind: KindExperiment, Circuit: "KSA8", K: 5, Gates: 160, Edges: 230},
+		{Kind: KindRestartStart, Restart: 0, Seed: 1},
+		{Kind: KindSolveStart, Seed: 1, K: 5, Gates: 160, Edges: 230},
+		{Kind: KindPool, GateShards: 1, EdgeShards: 1},
+		{Kind: KindIter, Iter: 0, F: 1.25, F1: 0.5, F2: 0.25, F3: 0.125, F4: 0.375, GradN: 0.0625, Step: 0.03125, Clamped: 12},
+		{Kind: KindSnap, FDiscrete: 0.75},
+		{Kind: KindRefine, Pass: 1, Moves: 3},
+		{Kind: KindSolveDone, Iters: 42, Converged: true, FRelaxed: 1.125, FDiscrete: 0.625, Step: 0.03125, RefineMoves: 3},
+		{Kind: KindRestartDone, Restart: 0, Seed: 1, Iters: 42, Converged: true, FDiscrete: 0.625},
+		{Kind: KindRestartSkipped, Restart: 1, Seed: 2},
+		{Kind: KindWinner, Seed: 1, Restarts: 2, FDiscrete: 0.625},
+		{Kind: KindSimWave, Circuit: "KSA4", Pulses: 17},
+		{Kind: KindSimActivity, Circuit: "KSA4", Waves: 64, Activity: 0.5},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := traceFixture()
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(events))
+	}
+	for i := range events {
+		if decoded[i] != events[i] {
+			t.Errorf("event %d (%s) round-trip mismatch:\n got %+v\nwant %+v",
+				i, events[i].Kind, decoded[i], events[i])
+		}
+	}
+}
+
+// TestJSONLDeterministic: the same events produce byte-identical output —
+// the property that lets traces be diffed across Workers settings.
+func TestJSONLDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		sink := NewJSONL(&buf)
+		for _, e := range traceFixture() {
+			sink.Emit(e)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("identical event streams rendered differently")
+	}
+}
+
+// TestJSONLExactFloats: floats survive with full precision (shortest
+// round-trip formatting), and non-finite values degrade to null instead of
+// corrupting the stream.
+func TestJSONLExactFloats(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	want := 0.1 + 0.2 // classic non-representable sum
+	sink.Emit(Event{Kind: KindIter, Iter: 1, F: want, GradN: math.NaN(), Step: math.Inf(1)})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].F != want {
+		t.Errorf("F = %v, want exact %v", evs[0].F, want)
+	}
+	if evs[0].GradN != 0 || evs[0].Step != 0 {
+		t.Errorf("non-finite floats should decode as absent, got grad=%v step=%v", evs[0].GradN, evs[0].Step)
+	}
+}
+
+type failWriter struct{ fails int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.fails++
+	return 0, errors.New("disk full")
+}
+
+// TestJSONLErrorLatch: the first write error is kept, later emits are
+// dropped (no repeated writes against a broken sink), and Err/Close both
+// report it.
+func TestJSONLErrorLatch(t *testing.T) {
+	fw := &failWriter{}
+	sink := &JSONL{w: newTinyBufWriter(fw)}
+	sink.Emit(Event{Kind: KindIter, Iter: 0})
+	sink.Emit(Event{Kind: KindIter, Iter: 1})
+	sink.Emit(Event{Kind: KindIter, Iter: 2})
+	if sink.Err() == nil {
+		t.Fatal("expected latched error")
+	}
+	if !strings.Contains(sink.Err().Error(), "disk full") {
+		t.Errorf("unexpected error: %v", sink.Err())
+	}
+	if fw.fails != 1 {
+		t.Errorf("sink wrote %d times after failure, want exactly 1 attempt", fw.fails)
+	}
+	if err := sink.Close(); err == nil {
+		t.Error("Close should report the latched error")
+	}
+}
+
+func TestReadTraceBadLine(t *testing.T) {
+	_, err := ReadTrace(strings.NewReader("{\"ev\":\"iter\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-2 error, got %v", err)
+	}
+}
+
+// BenchmarkJSONLEmit measures the per-event cost of the hand-rolled
+// encoder on the hottest event kind (iter).
+func BenchmarkJSONLEmit(b *testing.B) {
+	sink := NewJSONL(io.Discard)
+	ev := Event{Kind: KindIter, Iter: 17, F: 1.25, F1: 0.5, F2: 0.25,
+		F3: 0.125, F4: 0.375, GradN: 0.0625, Step: 0.03125, Clamped: 12}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink.Emit(ev)
+	}
+	if err := sink.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

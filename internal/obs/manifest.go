@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Manifest is the reproducibility record of one run: the exact command,
+// code version, host shape, and timing, plus caller-supplied extras
+// (solver options, seed, circuit stats). Together with a JSONL trace it
+// makes any solve re-runnable and attributable from its artifacts alone.
+type Manifest struct {
+	Tool string   `json:"tool"`
+	Args []string `json:"args"`
+
+	GitDescribe string `json:"git_describe,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+
+	Start     string  `json:"start"` // RFC 3339
+	WallMS    float64 `json:"wall_ms"`
+	UserCPUMS float64 `json:"user_cpu_ms,omitempty"`
+	SysCPUMS  float64 `json:"sys_cpu_ms,omitempty"`
+
+	// Extra carries run-specific payload: "options" (the solver Options
+	// with the Tracer field zeroed), "seed", "circuit" stats, table names…
+	Extra map[string]any `json:"extra,omitempty"`
+
+	start time.Time
+}
+
+// NewManifest starts a manifest for the named tool: captures the command
+// line, environment shape, code version, and the start timestamp.
+func NewManifest(tool string) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		Tool:        tool,
+		Args:        append([]string(nil), os.Args[1:]...),
+		GitDescribe: gitDescribe(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Start:       now.Format(time.RFC3339),
+		start:       now,
+	}
+}
+
+// Set records one extra key (solver options, circuit stats, …).
+func (m *Manifest) Set(key string, v any) {
+	if m.Extra == nil {
+		m.Extra = map[string]any{}
+	}
+	m.Extra[key] = v
+}
+
+// Finish stamps wall and CPU time. Call once, just before writing.
+func (m *Manifest) Finish() {
+	m.WallMS = float64(time.Since(m.start)) / float64(time.Millisecond)
+	user, sys := cpuTimes()
+	m.UserCPUMS = float64(user) / float64(time.Millisecond)
+	m.SysCPUMS = float64(sys) / float64(time.Millisecond)
+}
+
+// Write renders the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// gitDescribe identifies the built code: the module build info's VCS
+// revision when present (release binaries), else `git describe` against
+// the working tree (development runs), else empty. Best effort only —
+// failures never block a run.
+func gitDescribe() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "describe", "--tags", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestManifestWrite(t *testing.T) {
+	m := NewManifest("obs-test")
+	m.Set("seed", int64(7))
+	m.Set("circuit", map[string]any{"name": "KSA8", "gates": 160})
+	m.Finish()
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Tool      string         `json:"tool"`
+		GoVersion string         `json:"go_version"`
+		NumCPU    int            `json:"num_cpu"`
+		Start     string         `json:"start"`
+		Extra     map[string]any `json:"extra"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Tool != "obs-test" || decoded.GoVersion == "" || decoded.NumCPU < 1 || decoded.Start == "" {
+		t.Errorf("manifest fields incomplete: %+v", decoded)
+	}
+	if decoded.Extra["seed"].(float64) != 7 {
+		t.Errorf("extra seed = %v", decoded.Extra["seed"])
+	}
+}
+
+// TestServeMux checks the three debug surfaces: Prometheus text on
+// /metrics, expvar JSON on /debug/vars, and a live pprof index.
+func TestServeMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mux_test_total", "mux test counter").Add(9)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return sb.String()
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "mux_test_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "mux_test_total") {
+		t.Errorf("/debug/vars missing bridged registry:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing:\n%s", body)
+	}
+}

@@ -1,0 +1,125 @@
+// Package obscli wires the telemetry subsystem into the command-line tools:
+// every CLI registers the same three flags (-trace, -metrics-addr,
+// -manifest), starts a Session after flag parsing, and defers Close. The
+// package keeps the per-command boilerplate to three lines and guarantees
+// the tools agree on flag names and semantics.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"gpp/internal/obs"
+)
+
+// Flags holds the observability flag values. Register them on a FlagSet
+// before Parse, then call Start.
+type Flags struct {
+	Trace       string
+	Manifest    string
+	MetricsAddr string
+}
+
+// Register adds -trace, -manifest, and -metrics-addr to fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "",
+		"write a JSONL solver trace to this path (deterministic; inspect with `gpp-inspect trace`)")
+	fs.StringVar(&f.Manifest, "manifest", "",
+		"write a JSON run manifest (args, code version, timings) to this path on exit")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080 or 127.0.0.1:0)")
+}
+
+// Session is the live telemetry state of one CLI run.
+type Session struct {
+	// Tracer is non-nil iff -trace was given; pass it to the solver options.
+	Tracer obs.Tracer
+
+	manifest  *obs.Manifest
+	manifestP string
+	sink      *obs.JSONL
+	traceFile *os.File
+	server    *http.Server
+	closed    bool
+}
+
+// Start opens the trace sink, starts the metrics server, and begins the run
+// manifest, according to which flags were set. The returned Session is
+// non-nil even when all flags are empty (every method is a no-op then);
+// callers defer Close unconditionally.
+func (f Flags) Start(tool string) (*Session, error) {
+	s := &Session{}
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("%s: trace: %w", tool, err)
+		}
+		s.traceFile = file
+		s.sink = obs.NewJSONL(file)
+		s.Tracer = s.sink
+	}
+	if f.MetricsAddr != "" {
+		srv, addr, err := obs.Serve(f.MetricsAddr, obs.Default())
+		if err != nil {
+			s.cleanupTrace()
+			return nil, fmt.Errorf("%s: %w", tool, err)
+		}
+		s.server = srv
+		fmt.Fprintf(os.Stderr, "%s: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", tool, addr)
+	}
+	if f.Manifest != "" {
+		s.manifest = obs.NewManifest(tool)
+		s.manifestP = f.Manifest
+	}
+	return s, nil
+}
+
+func (s *Session) cleanupTrace() {
+	if s.traceFile != nil {
+		s.traceFile.Close()
+		s.traceFile = nil
+	}
+}
+
+// Meta records one extra manifest key (solver options, circuit stats, …).
+// No-op without -manifest.
+func (s *Session) Meta(key string, v any) {
+	if s.manifest != nil {
+		s.manifest.Set(key, v)
+	}
+}
+
+// Close flushes and closes the trace file, stamps and writes the manifest,
+// and shuts down the metrics server. The first error wins; trace-sink write
+// errors that the solver already surfaced come back here too, so a run that
+// ignored them still fails loudly. Close is idempotent — error paths and
+// the normal exit path can both call it.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.sink != nil {
+		keep(s.sink.Close())
+	}
+	if s.traceFile != nil {
+		keep(s.traceFile.Close())
+		s.traceFile = nil
+	}
+	if s.manifest != nil {
+		s.manifest.Finish()
+		keep(s.manifest.WriteFile(s.manifestP))
+	}
+	if s.server != nil {
+		keep(s.server.Close())
+	}
+	return first
+}

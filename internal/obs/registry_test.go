@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("t_counter") != c {
+		t.Error("Counter not idempotent by name")
+	}
+
+	g := r.Gauge("t_gauge")
+	g.Set(2.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Errorf("gauge = %g, want 1.25", got)
+	}
+
+	h := r.Histogram("t_hist", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 99, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 1105.5 {
+		t.Errorf("hist sum = %g, want 1105.5", h.Sum())
+	}
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid metric name")
+		}
+	}()
+	NewRegistry().Counter("bad name!")
+}
+
+// TestRegistryConcurrency hammers every instrument type from many
+// goroutines while a reader repeatedly snapshots and renders — the test
+// is meaningful under -race (make check runs it there).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_counter")
+			g := r.Gauge("conc_gauge")
+			h := r.Histogram("conc_hist", []float64{10, 100})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 150))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WriteProm(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("conc_counter").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("conc_gauge").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %g, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("conc_hist", nil).Count(); got != workers*perWorker {
+		t.Errorf("hist count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestPromExpositionGolden pins the exact exposition text: sorted
+// families, TYPE/HELP lines, cumulative le buckets with +Inf, sum, count.
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gpp_solves_total", "completed solves").Add(3)
+	r.Gauge("gpp_active_workers").Set(2.5)
+	h := r.Histogram("gpp_iters", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE gpp_active_workers gauge",
+		"gpp_active_workers 2.5",
+		"# TYPE gpp_iters histogram",
+		`gpp_iters_bucket{le="10"} 1`,
+		`gpp_iters_bucket{le="100"} 2`,
+		`gpp_iters_bucket{le="+Inf"} 3`,
+		"gpp_iters_sum 555",
+		"gpp_iters_count 3",
+		"# HELP gpp_solves_total completed solves",
+		"# TYPE gpp_solves_total counter",
+		"gpp_solves_total 3",
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestExpvarBridge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bridge_counter").Add(7)
+	r.PublishExpvar("obs_test_bridge")
+	r.PublishExpvar("obs_test_bridge") // second publish must not panic
+
+	v := expvar.Get("obs_test_bridge")
+	if v == nil {
+		t.Fatal("expvar name not published")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar payload not JSON: %v", err)
+	}
+	if got, ok := decoded["bridge_counter"].(float64); !ok || got != 7 {
+		t.Errorf("bridge_counter = %v, want 7", decoded["bridge_counter"])
+	}
+}

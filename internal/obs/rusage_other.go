@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// cpuTimes is unavailable off unix; the manifest omits CPU time there.
+func cpuTimes() (user, sys time.Duration) { return 0, 0 }

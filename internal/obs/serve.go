@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the debug HTTP mux for a registry:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar JSON (reg is bridged under the name "gpp")
+//	/debug/pprof/  the standard pprof handlers (profile, heap, trace, …)
+func NewMux(reg *Registry) *http.ServeMux {
+	reg.PublishExpvar("gpp")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug mux on addr (":0" picks a free port) in a
+// background goroutine and returns the server plus the bound address.
+// Callers stop it with server.Close.
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// SolveTrace is one reconstructed Algorithm-1 run inside a trace: its
+// bracketing events plus every iteration event, attributed to a restart
+// when the run raced inside a portfolio.
+type SolveTrace struct {
+	Restart int   // -1 for a standalone solve
+	Seed    int64 // from solve_start (or restart_start)
+
+	Start   Event
+	Iters   []Event // KindIter, in order
+	Snap    *Event
+	Refines []Event // KindRefine, in order
+	Done    *Event  // KindSolveDone (or restart_done fallback)
+}
+
+// Summary is the structural digest of a JSONL trace.
+type Summary struct {
+	Events      int
+	Solves      []*SolveTrace
+	Winner      *Event  // portfolio winner, if any
+	Experiments []Event // KindExperiment headers, in order
+}
+
+// Summarize reconstructs per-solve traces from a flat event stream.
+// Portfolio traces are serial by construction (restarts are replayed in
+// seed order), so attribution is positional: events between restart_start
+// and restart_done belong to that restart.
+func Summarize(events []Event) *Summary {
+	s := &Summary{Events: len(events)}
+	restart := -1
+	var seed int64
+	var cur *SolveTrace
+	for i := range events {
+		e := events[i]
+		switch e.Kind {
+		case KindRestartStart:
+			restart, seed = e.Restart, e.Seed
+		case KindSolveStart:
+			cur = &SolveTrace{Restart: restart, Seed: e.Seed, Start: e}
+			if restart >= 0 {
+				cur.Seed = seed
+			}
+			s.Solves = append(s.Solves, cur)
+		case KindIter:
+			if cur != nil {
+				cur.Iters = append(cur.Iters, e)
+			}
+		case KindSnap:
+			if cur != nil {
+				ev := e
+				cur.Snap = &ev
+			}
+		case KindRefine:
+			if cur != nil {
+				cur.Refines = append(cur.Refines, e)
+			}
+		case KindSolveDone:
+			if cur != nil {
+				ev := e
+				cur.Done = &ev
+				cur = nil
+			}
+		case KindRestartDone:
+			// Replay order guarantees this follows the restart's solve
+			// events; use it as the Done record if the inner solve lacked
+			// one, then close the restart scope.
+			if n := len(s.Solves); n > 0 && s.Solves[n-1].Done == nil && s.Solves[n-1].Restart == e.Restart {
+				ev := e
+				s.Solves[n-1].Done = &ev
+			}
+			restart, seed, cur = -1, 0, nil
+		case KindRestartSkipped:
+			restart, seed, cur = -1, 0, nil
+		case KindWinner:
+			ev := e
+			s.Winner = &ev
+		case KindExperiment:
+			s.Experiments = append(s.Experiments, e)
+		}
+	}
+	return s
+}
+
+// WriteText renders the summary for humans: one per-term convergence table
+// per solve (sampled down to maxRows rows) and, for portfolio traces, a
+// restart leaderboard sorted by discrete cost. maxRows ≤ 0 means 12.
+func (s *Summary) WriteText(w io.Writer, maxRows int) error {
+	if maxRows <= 0 {
+		maxRows = 12
+	}
+	bw := &errWriter{w: w}
+	bw.printf("trace: %d events, %d solve(s)\n", s.Events, len(s.Solves))
+	for _, ex := range s.Experiments {
+		bw.printf("experiment: %s K=%d (%d gates, %d connections)\n", ex.Circuit, ex.K, ex.Gates, ex.Edges)
+	}
+	for _, st := range s.Solves {
+		bw.printf("\n")
+		label := fmt.Sprintf("solve seed=%d", st.Seed)
+		if st.Restart >= 0 {
+			label = fmt.Sprintf("restart %d, seed=%d", st.Restart, st.Seed)
+		}
+		if st.Done != nil {
+			bw.printf("%s: %d iters, converged=%v, F_relaxed=%s, F_discrete=%s\n",
+				label, st.Done.Iters, st.Done.Converged, fnum(st.Done.FRelaxed), fnum(st.Done.FDiscrete))
+		} else {
+			bw.printf("%s: (incomplete trace)\n", label)
+		}
+		if len(st.Iters) > 0 {
+			bw.printf("  %6s %12s %12s %12s %12s %12s %11s %8s\n",
+				"iter", "F", "F1", "F2", "F3", "F4", "|grad|", "clamped")
+			for _, e := range sampleRows(st.Iters, maxRows) {
+				bw.printf("  %6d %12s %12s %12s %12s %12s %11s %8d\n",
+					e.Iter, fnum(e.F), fnum(e.F1), fnum(e.F2), fnum(e.F3), fnum(e.F4), fnum(e.GradN), e.Clamped)
+			}
+			first, last := st.Iters[0], st.Iters[len(st.Iters)-1]
+			if first.F != 0 {
+				bw.printf("  F dropped %.2f%% over %d traced iterations\n",
+					100*(first.F-last.F)/first.F, len(st.Iters))
+			}
+		}
+		if st.Snap != nil {
+			bw.printf("  snap: F_discrete=%s\n", fnum(st.Snap.FDiscrete))
+		}
+		for _, r := range st.Refines {
+			bw.printf("  refine pass %d: %d moves\n", r.Pass, r.Moves)
+		}
+	}
+	// Restart leaderboard: every solve that ran inside a portfolio, by
+	// ascending discrete cost (the selection objective).
+	var board []*SolveTrace
+	for _, st := range s.Solves {
+		if st.Restart >= 0 && st.Done != nil {
+			board = append(board, st)
+		}
+	}
+	if len(board) > 0 {
+		sort.SliceStable(board, func(a, b int) bool {
+			if board[a].Done.FDiscrete != board[b].Done.FDiscrete {
+				return board[a].Done.FDiscrete < board[b].Done.FDiscrete
+			}
+			return board[a].Seed < board[b].Seed
+		})
+		bw.printf("\nrestart leaderboard (by discrete cost):\n")
+		bw.printf("  %4s %6s %6s %10s %12s\n", "", "seed", "iters", "converged", "F_discrete")
+		for _, st := range board {
+			marker := " "
+			if s.Winner != nil && st.Seed == s.Winner.Seed {
+				marker = "*"
+			}
+			bw.printf("  %4s %6d %6d %10v %12s\n", marker, st.Seed, st.Done.Iters, st.Done.Converged, fnum(st.Done.FDiscrete))
+		}
+	}
+	if s.Winner != nil {
+		bw.printf("\nwinner: seed %d of %d restarts, F_discrete=%s\n",
+			s.Winner.Seed, s.Winner.Restarts, fnum(s.Winner.FDiscrete))
+	}
+	return bw.err
+}
+
+// sampleRows picks ≤ max rows spread evenly across evs, always keeping the
+// first and last.
+func sampleRows(evs []Event, max int) []Event {
+	if len(evs) <= max {
+		return evs
+	}
+	out := make([]Event, 0, max)
+	for i := 0; i < max; i++ {
+		idx := i * (len(evs) - 1) / (max - 1)
+		out = append(out, evs[idx])
+	}
+	return out
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// errWriter folds the write-error plumbing out of the render loop.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

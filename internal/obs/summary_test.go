@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func portfolioTrace() []Event {
+	var evs []Event
+	solve := func(restart int, seed int64, iters int, fd float64) {
+		evs = append(evs,
+			Event{Kind: KindRestartStart, Restart: restart, Seed: seed},
+			Event{Kind: KindSolveStart, Seed: seed, K: 5, Gates: 24, Edges: 30},
+			Event{Kind: KindPool, GateShards: 1, EdgeShards: 1},
+		)
+		for i := 0; i < iters; i++ {
+			evs = append(evs, Event{Kind: KindIter, Iter: i, F: 2.0 - float64(i)*0.1,
+				F1: 1, F2: 0.5, F3: 0.25, F4: 0.25, GradN: 0.5, Step: 0.01, Clamped: i})
+		}
+		evs = append(evs,
+			Event{Kind: KindSnap, FDiscrete: fd + 0.1},
+			Event{Kind: KindRefine, Pass: 1, Moves: 2},
+			Event{Kind: KindSolveDone, Iters: iters, Converged: true, FRelaxed: 1.5, FDiscrete: fd, Step: 0.01, RefineMoves: 2},
+			Event{Kind: KindRestartDone, Restart: restart, Seed: seed, Iters: iters, Converged: true, FDiscrete: fd},
+		)
+	}
+	solve(0, 1, 5, 0.8)
+	solve(1, 2, 4, 0.6)
+	evs = append(evs, Event{Kind: KindRestartSkipped, Restart: 2, Seed: 3})
+	evs = append(evs, Event{Kind: KindWinner, Seed: 2, Restarts: 3, FDiscrete: 0.6})
+	return evs
+}
+
+func TestSummarizePortfolio(t *testing.T) {
+	s := Summarize(portfolioTrace())
+	if len(s.Solves) != 2 {
+		t.Fatalf("got %d solves, want 2", len(s.Solves))
+	}
+	first := s.Solves[0]
+	if first.Restart != 0 || first.Seed != 1 || len(first.Iters) != 5 {
+		t.Errorf("solve 0 misattributed: restart=%d seed=%d iters=%d", first.Restart, first.Seed, len(first.Iters))
+	}
+	if first.Done == nil || first.Done.FDiscrete != 0.8 {
+		t.Errorf("solve 0 done record wrong: %+v", first.Done)
+	}
+	if first.Snap == nil || len(first.Refines) != 1 {
+		t.Errorf("solve 0 snap/refine missing")
+	}
+	if s.Winner == nil || s.Winner.Seed != 2 {
+		t.Errorf("winner = %+v, want seed 2", s.Winner)
+	}
+}
+
+func TestSummaryWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Summarize(portfolioTrace()).WriteText(&buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"2 solve(s)",
+		"restart 0, seed=1",
+		"restart 1, seed=2",
+		"F1", "F2", "F3", "F4", "|grad|",
+		"restart leaderboard",
+		"winner: seed 2 of 3 restarts",
+		"refine pass 1: 2 moves",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+	// The leaderboard is sorted by discrete cost: seed 2 (0.6) first.
+	if li, other := strings.Index(out, "leaderboard"), strings.LastIndex(out, "0.8"); li > other {
+		t.Errorf("leaderboard ordering looks wrong:\n%s", out)
+	}
+}
+
+func TestSampleRowsKeepsEnds(t *testing.T) {
+	evs := make([]Event, 100)
+	for i := range evs {
+		evs[i] = Event{Kind: KindIter, Iter: i}
+	}
+	got := sampleRows(evs, 10)
+	if len(got) != 10 {
+		t.Fatalf("sampled %d rows, want 10", len(got))
+	}
+	if got[0].Iter != 0 || got[9].Iter != 99 {
+		t.Errorf("sampling dropped the endpoints: first=%d last=%d", got[0].Iter, got[9].Iter)
+	}
+}

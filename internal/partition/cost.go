@@ -16,6 +16,71 @@ const (
 	edgeChunk = 1024
 )
 
+// scratch holds the reusable buffers of the cost/gradient kernels. Solve
+// allocates one scratch up front and threads it through every iteration, so
+// the descent loop itself is allocation-free (guarded by
+// TestSolveIterationPathAllocFree and the obs-bench benchmarks). The public
+// one-shot entry points (Cost, CostParallel, Gradient, …) allocate a fresh
+// scratch per call, which preserves their stateless contract — and, because
+// a fresh scratch is all zeros, makes the buffered kernels bitwise identical
+// to the historical allocating ones.
+type scratch struct {
+	l        []float64 // G continuous labels
+	ns       []float64 // G neighbor sums (F1 gradient)
+	partEdge []float64 // edge-shard partials (F1 cost)
+	partGate []float64 // gate-shard partials (F4 cost)
+	partB    []float64 // gateShards×K per-plane bias partials
+	partA    []float64 // gateShards×K per-plane area partials
+	bk, ak   []float64 // K per-plane sums
+	bf, af   []float64 // K per-plane gradient factors (F2/F3)
+	clamp    []int     // gate-shard clamp counts (update step)
+
+	// Bound kernel inputs, set by the *Into entry points before each
+	// pool.Run. The shard closures below read them through the scratch
+	// pointer so the closures can be built once, here, and reused for the
+	// whole solve: pool.Run's parallel branch makes its fn argument
+	// escape, so a closure literal at the call site would heap-allocate
+	// on every kernel call — nine allocations per descent iteration.
+	w     W            // assignment matrix the kernels read
+	grad  []float64    // gradient output row block
+	c     Coeffs       // coefficients for the gradient pass
+	mode  GradientMode // gradient mode for F1/F4 terms
+	hasNS bool         // F1 gradient term active (sc.ns is valid)
+	hasBA bool         // F2/F3 gradient terms active (sc.bf/sc.af valid)
+
+	labelsFn func(int)
+	edgeF1Fn func(int)
+	planeFn  func(int)
+	gateF4Fn func(int)
+	nsFn     func(int)
+	gradFn   func(int)
+}
+
+func (p *Problem) newScratch() *scratch {
+	gs := pool.Shards(p.G, gateChunk)
+	es := pool.Shards(len(p.Edges), edgeChunk)
+	sc := &scratch{
+		l:        make([]float64, p.G),
+		ns:       make([]float64, p.G),
+		partEdge: make([]float64, es),
+		partGate: make([]float64, gs),
+		partB:    make([]float64, gs*p.K),
+		partA:    make([]float64, gs*p.K),
+		bk:       make([]float64, p.K),
+		ak:       make([]float64, p.K),
+		bf:       make([]float64, p.K),
+		af:       make([]float64, p.K),
+		clamp:    make([]int, gs),
+	}
+	sc.labelsFn = func(s int) { p.labelsShard(sc, s) }
+	sc.edgeF1Fn = func(s int) { p.costF1Shard(sc, s) }
+	sc.planeFn = func(s int) { p.planeSumsShard(sc, s) }
+	sc.gateF4Fn = func(s int) { p.costF4Shard(sc, s) }
+	sc.nsFn = func(s int) { p.neighborSumsShard(sc, s) }
+	sc.gradFn = func(s int) { p.gradientShard(sc, s) }
+	return sc
+}
+
 // W is the relaxed assignment matrix, stored row-major: w[i*K+k] is
 // w_{i,k}, the degree to which gate i belongs to plane k (planes are
 // 0-based internally; the label value used in the distance cost is k+1,
@@ -32,50 +97,74 @@ func (w W) At(i, k, K int) float64 { return w[i*K+k] }
 func (p *Problem) Labels(w W) []float64 { return p.labelsParallel(w, 1) }
 
 func (p *Problem) labelsParallel(w W, workers int) []float64 {
-	l := make([]float64, p.G)
-	pool.Run(workers, pool.Shards(p.G, gateChunk), func(s int) {
-		lo, hi := pool.ShardRange(p.G, gateChunk, s)
-		for i := lo; i < hi; i++ {
-			row := w[i*p.K : (i+1)*p.K]
-			var sum float64
-			for k, v := range row {
-				sum += float64(k+1) * v
-			}
-			l[i] = sum
+	sc := p.newScratch()
+	p.labelsInto(w, workers, sc)
+	return sc.l
+}
+
+// labelsInto fills sc.l with the continuous labels of w.
+func (p *Problem) labelsInto(w W, workers int, sc *scratch) {
+	sc.w = w
+	pool.Run(workers, pool.Shards(p.G, gateChunk), sc.labelsFn)
+}
+
+func (p *Problem) labelsShard(sc *scratch, s int) {
+	w, l := sc.w, sc.l
+	lo, hi := pool.ShardRange(p.G, gateChunk, s)
+	for i := lo; i < hi; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		var sum float64
+		for k, v := range row {
+			sum += float64(k+1) * v
 		}
-	})
-	return l
+		l[i] = sum
+	}
 }
 
 // planeSums computes B_k = Σ_i b_i·w_{i,k} and A_k likewise. Each shard
 // accumulates into its own K-vector; the partials are merged in shard
 // order, so the totals are identical for every worker count.
 func (p *Problem) planeSums(w W, workers int) (bk, ak []float64) {
+	sc := p.newScratch()
+	p.planeSumsInto(w, workers, sc)
+	return sc.bk, sc.ak
+}
+
+// planeSumsInto fills sc.bk / sc.ak. Shard partials are zeroed inside the
+// shard body (so a reused scratch behaves exactly like a fresh one) and
+// merged in shard-index order, keeping the totals bitwise identical for
+// every worker count.
+func (p *Problem) planeSumsInto(w W, workers int, sc *scratch) {
 	shards := pool.Shards(p.G, gateChunk)
-	partB := make([]float64, shards*p.K)
-	partA := make([]float64, shards*p.K)
-	pool.Run(workers, shards, func(s int) {
-		lo, hi := pool.ShardRange(p.G, gateChunk, s)
-		pb := partB[s*p.K : (s+1)*p.K]
-		pa := partA[s*p.K : (s+1)*p.K]
-		for i := lo; i < hi; i++ {
-			b, a := p.Bias[i], p.Area[i]
-			row := w[i*p.K : (i+1)*p.K]
-			for k, v := range row {
-				pb[k] += b * v
-				pa[k] += a * v
-			}
-		}
-	})
-	bk = make([]float64, p.K)
-	ak = make([]float64, p.K)
+	sc.w = w
+	pool.Run(workers, shards, sc.planeFn)
+	for k := 0; k < p.K; k++ {
+		sc.bk[k], sc.ak[k] = 0, 0
+	}
 	for s := 0; s < shards; s++ {
 		for k := 0; k < p.K; k++ {
-			bk[k] += partB[s*p.K+k]
-			ak[k] += partA[s*p.K+k]
+			sc.bk[k] += sc.partB[s*p.K+k]
+			sc.ak[k] += sc.partA[s*p.K+k]
 		}
 	}
-	return bk, ak
+}
+
+func (p *Problem) planeSumsShard(sc *scratch, s int) {
+	w := sc.w
+	lo, hi := pool.ShardRange(p.G, gateChunk, s)
+	pb := sc.partB[s*p.K : (s+1)*p.K]
+	pa := sc.partA[s*p.K : (s+1)*p.K]
+	for k := range pb {
+		pb[k], pa[k] = 0, 0
+	}
+	for i := lo; i < hi; i++ {
+		b, a := p.Bias[i], p.Area[i]
+		row := w[i*p.K : (i+1)*p.K]
+		for k, v := range row {
+			pb[k] += b * v
+			pa[k] += a * v
+		}
+	}
 }
 
 // Cost evaluates the relaxed cost F and its components at w (serially —
@@ -87,36 +176,45 @@ func (p *Problem) Cost(w W, c Coeffs) Breakdown { return p.CostParallel(w, c, 1)
 // identical for every worker count.
 func (p *Problem) CostParallel(w W, c Coeffs, workers int) Breakdown {
 	workers = pool.Resolve(workers)
-	l := p.labelsParallel(w, workers)
-	f1 := p.costF1(l, workers)
-	bk, ak := p.planeSums(w, workers)
-	f2, f3 := p.varianceF2F3(bk, ak)
-	f4 := p.costF4(w, workers)
+	return p.costWith(w, c, workers, p.newScratch())
+}
+
+// costWith is CostParallel against caller-owned scratch buffers — the
+// allocation-free form the descent loop uses.
+func (p *Problem) costWith(w W, c Coeffs, workers int, sc *scratch) Breakdown {
+	p.labelsInto(w, workers, sc)
+	f1 := p.costF1(workers, sc)
+	p.planeSumsInto(w, workers, sc)
+	f2, f3 := p.varianceF2F3(sc.bk, sc.ak)
+	f4 := p.costF4(w, workers, sc)
 	return c.combine(f1, f2, f3, f4)
 }
 
-func (p *Problem) costF1(l []float64, workers int) float64 {
+// costF1 reads the labels from sc.l (filled by labelsInto).
+func (p *Problem) costF1(workers int, sc *scratch) float64 {
 	ne := len(p.Edges)
 	if ne == 0 {
 		return 0
 	}
-	shards := pool.Shards(ne, edgeChunk)
-	part := make([]float64, shards)
-	pool.Run(workers, shards, func(s int) {
-		lo, hi := pool.ShardRange(ne, edgeChunk, s)
-		var sum float64
-		for _, e := range p.Edges[lo:hi] {
-			d := l[e[0]] - l[e[1]]
-			d2 := d * d
-			sum += d2 * d2
-		}
-		part[s] = sum
-	})
+	pool.Run(workers, pool.Shards(ne, edgeChunk), sc.edgeF1Fn)
 	var total float64
-	for _, v := range part {
+	for _, v := range sc.partEdge {
 		total += v
 	}
 	return total / p.N1
+}
+
+func (p *Problem) costF1Shard(sc *scratch, s int) {
+	l := sc.l
+	ne := len(p.Edges)
+	lo, hi := pool.ShardRange(ne, edgeChunk, s)
+	var sum float64
+	for _, e := range p.Edges[lo:hi] {
+		d := l[e[0]] - l[e[1]]
+		d2 := d * d
+		sum += d2 * d2
+	}
+	sc.partEdge[s] = sum
 }
 
 // varianceF2F3 finishes F2/F3 from the per-plane sums (K is small, so this
@@ -141,35 +239,37 @@ func (p *Problem) varianceF2F3(bk, ak []float64) (f2, f3 float64) {
 	return f2, f3
 }
 
-func (p *Problem) costF4(w W, workers int) float64 {
-	invK := 1.0 / float64(p.K)
-	shards := pool.Shards(p.G, gateChunk)
-	part := make([]float64, shards)
-	pool.Run(workers, shards, func(s int) {
-		lo, hi := pool.ShardRange(p.G, gateChunk, s)
-		var sum float64
-		for i := lo; i < hi; i++ {
-			row := w[i*p.K : (i+1)*p.K]
-			var rowSum float64
-			for _, v := range row {
-				rowSum += v
-			}
-			mean := rowSum * invK
-			t1 := rowSum - 1 // K·w̄_i − 1
-			var varSum float64
-			for _, v := range row {
-				d := v - mean
-				varSum += d * d
-			}
-			sum += t1*t1 - invK*varSum
-		}
-		part[s] = sum
-	})
+func (p *Problem) costF4(w W, workers int, sc *scratch) float64 {
+	sc.w = w
+	pool.Run(workers, pool.Shards(p.G, gateChunk), sc.gateF4Fn)
 	var total float64
-	for _, v := range part {
+	for _, v := range sc.partGate {
 		total += v
 	}
 	return total / p.N4
+}
+
+func (p *Problem) costF4Shard(sc *scratch, s int) {
+	w := sc.w
+	invK := 1.0 / float64(p.K)
+	lo, hi := pool.ShardRange(p.G, gateChunk, s)
+	var sum float64
+	for i := lo; i < hi; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		var rowSum float64
+		for _, v := range row {
+			rowSum += v
+		}
+		mean := rowSum * invK
+		t1 := rowSum - 1 // K·w̄_i − 1
+		var varSum float64
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		sum += t1*t1 - invK*varSum
+	}
+	sc.partGate[s] = sum
 }
 
 // GradientMode selects between the analytically exact gradients and the
@@ -225,16 +325,22 @@ func (p *Problem) Gradient(w W, c Coeffs, mode GradientMode, grad []float64) {
 // F4 paper (Eq. 10): (2/N4)·[(K + 1/K)(w̄_i − w_{i,k}) + K − 1].
 func (p *Problem) GradientParallel(w W, c Coeffs, mode GradientMode, grad []float64, workers int) {
 	workers = pool.Resolve(workers)
+	p.gradientWith(w, c, mode, grad, workers, p.newScratch())
+}
 
+// gradientWith is GradientParallel against caller-owned scratch buffers —
+// the allocation-free form the descent loop uses.
+func (p *Problem) gradientWith(w W, c Coeffs, mode GradientMode, grad []float64, workers int, sc *scratch) {
 	// Global quantities shared by all rows.
-	var ns []float64 // F1 neighbor sums Σ_j (l_i − l_j)³ per gate
-	if c.C1 != 0 && len(p.Edges) > 0 {
-		l := p.labelsParallel(w, workers)
-		ns = p.neighborSums(l, mode, workers)
+	sc.hasNS = c.C1 != 0 && len(p.Edges) > 0 // F1 neighbor sums Σ_j (l_i − l_j)³
+	if sc.hasNS {
+		p.labelsInto(w, workers, sc)
+		p.neighborSumsInto(mode, workers, sc)
 	}
-	var bf, af []float64 // per-plane F2/F3 factors reused across all gates
-	if c.C2 != 0 || c.C3 != 0 {
-		bk, ak := p.planeSums(w, workers)
+	sc.hasBA = c.C2 != 0 || c.C3 != 0 // per-plane F2/F3 factors
+	if sc.hasBA {
+		p.planeSumsInto(w, workers, sc)
+		bk, ak := sc.bk, sc.ak
 		var bMean, aMean float64
 		for k := 0; k < p.K; k++ {
 			bMean += bk[k]
@@ -242,95 +348,107 @@ func (p *Problem) GradientParallel(w W, c Coeffs, mode GradientMode, grad []floa
 		}
 		bMean /= float64(p.K)
 		aMean /= float64(p.K)
-		bf = make([]float64, p.K)
-		af = make([]float64, p.K)
+		bf, af := sc.bf, sc.af
 		for k := 0; k < p.K; k++ {
 			bf[k] = 2 * c.C2 * (bk[k] - bMean) / (float64(p.K) * p.N2)
 			af[k] = 2 * c.C3 * (ak[k] - aMean) / (float64(p.K) * p.N3)
 		}
 	}
+	sc.w, sc.grad, sc.c, sc.mode = w, grad, c, mode
+	pool.Run(workers, pool.Shards(p.G, gateChunk), sc.gradFn)
+}
 
+func (p *Problem) gradientShard(sc *scratch, s int) {
+	w, grad, c, mode := sc.w, sc.grad, sc.c, sc.mode
+	var ns []float64
+	if sc.hasNS {
+		ns = sc.ns
+	}
+	var bf, af []float64
+	if sc.hasBA {
+		bf, af = sc.bf, sc.af
+	}
 	scale1 := 4 * c.C1 / p.N1
 	invK := 1.0 / float64(p.K)
 	scale4 := 2 * c.C4 / p.N4
 	kf := float64(p.K)
-	pool.Run(workers, pool.Shards(p.G, gateChunk), func(s int) {
-		lo, hi := pool.ShardRange(p.G, gateChunk, s)
-		for i := lo; i < hi; i++ {
-			base := i * p.K
-			row := w[base : base+p.K]
-			g := grad[base : base+p.K]
-			// The terms add in the historical order (F1, then F2+F3, then
-			// F4) so the fused pass reproduces the old three-pass sums.
-			if ns != nil && ns[i] != 0 {
-				for k := 0; k < p.K; k++ {
-					g[k] = scale1 * float64(k+1) * ns[i]
-				}
-			} else {
-				for k := 0; k < p.K; k++ {
-					g[k] = 0
-				}
+	lo, hi := pool.ShardRange(p.G, gateChunk, s)
+	for i := lo; i < hi; i++ {
+		base := i * p.K
+		row := w[base : base+p.K]
+		g := grad[base : base+p.K]
+		// The terms add in the historical order (F1, then F2+F3, then
+		// F4) so the fused pass reproduces the old three-pass sums.
+		if ns != nil && ns[i] != 0 {
+			for k := 0; k < p.K; k++ {
+				g[k] = scale1 * float64(k+1) * ns[i]
 			}
-			if bf != nil {
-				b, a := p.Bias[i], p.Area[i]
-				for k := 0; k < p.K; k++ {
-					g[k] += b*bf[k] + a*af[k]
-				}
+		} else {
+			for k := 0; k < p.K; k++ {
+				g[k] = 0
 			}
-			if c.C4 != 0 {
-				var rowSum float64
-				for _, v := range row {
-					rowSum += v
+		}
+		if bf != nil {
+			b, a := p.Bias[i], p.Area[i]
+			for k := 0; k < p.K; k++ {
+				g[k] += b*bf[k] + a*af[k]
+			}
+		}
+		if c.C4 != 0 {
+			var rowSum float64
+			for _, v := range row {
+				rowSum += v
+			}
+			mean := rowSum * invK
+			switch mode {
+			case GradientExact:
+				t1 := rowSum - 1
+				for k := 0; k < p.K; k++ {
+					g[k] += scale4 * (t1 - (row[k]-mean)*invK)
 				}
-				mean := rowSum * invK
-				switch mode {
-				case GradientExact:
-					t1 := rowSum - 1
-					for k := 0; k < p.K; k++ {
-						g[k] += scale4 * (t1 - (row[k]-mean)*invK)
-					}
-				case GradientPaper:
-					for k := 0; k < p.K; k++ {
-						g[k] += scale4 * ((kf+invK)*(mean-row[k]) + kf - 1)
-					}
+			case GradientPaper:
+				for k := 0; k < p.K; k++ {
+					g[k] += scale4 * ((kf+invK)*(mean-row[k]) + kf - 1)
 				}
 			}
 		}
-	})
+	}
 }
 
-// neighborSums gathers s[i] = Σ_{j ~ i} (l_i − l_j)³ (exact mode) or the
-// paper's oriented |·|³ sums, via the incidence CSR. Each gate's sum is
-// accumulated privately in edge order — the same association as the
-// historical scatter loop — so the values match it bitwise while staying
-// write-conflict-free across workers.
-func (p *Problem) neighborSums(l []float64, mode GradientMode, workers int) []float64 {
-	s := make([]float64, p.G)
-	pool.Run(workers, pool.Shards(p.G, gateChunk), func(sh int) {
-		lo, hi := pool.ShardRange(p.G, gateChunk, sh)
-		for i := lo; i < hi; i++ {
-			var sum float64
-			for idx := p.incStart[i]; idx < p.incStart[i+1]; idx++ {
-				e := p.Edges[p.incEdge[idx]]
-				d := l[e[0]] - l[e[1]]
-				var t float64
-				switch mode {
-				case GradientExact:
-					t = d * d * d
-				case GradientPaper:
-					t = math.Abs(d)
-					t = t * t * t
-				}
-				if p.incSign[idx] < 0 {
-					// Incoming connection (Eq. 10 first line subtracts).
-					t = -t
-				}
-				sum += t
+// neighborSumsInto gathers sc.ns[i] = Σ_{j ~ i} (l_i − l_j)³ (exact mode)
+// or the paper's oriented |·|³ sums from sc.l, via the incidence CSR. Each
+// gate's sum is accumulated privately in edge order — the same association
+// as the historical scatter loop — so the values match it bitwise while
+// staying write-conflict-free across workers.
+func (p *Problem) neighborSumsInto(mode GradientMode, workers int, sc *scratch) {
+	sc.mode = mode
+	pool.Run(workers, pool.Shards(p.G, gateChunk), sc.nsFn)
+}
+
+func (p *Problem) neighborSumsShard(sc *scratch, sh int) {
+	l, mode := sc.l, sc.mode
+	lo, hi := pool.ShardRange(p.G, gateChunk, sh)
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for idx := p.incStart[i]; idx < p.incStart[i+1]; idx++ {
+			e := p.Edges[p.incEdge[idx]]
+			d := l[e[0]] - l[e[1]]
+			var t float64
+			switch mode {
+			case GradientExact:
+				t = d * d * d
+			case GradientPaper:
+				t = math.Abs(d)
+				t = t * t * t
 			}
-			s[i] = sum
+			if p.incSign[idx] < 0 {
+				// Incoming connection (Eq. 10 first line subtracts).
+				t = -t
+			}
+			sum += t
 		}
-	})
-	return s
+		sc.ns[i] = sum
+	}
 }
 
 // Assign snaps the relaxed matrix to a discrete assignment: each gate goes

@@ -1,0 +1,22 @@
+package partition
+
+import "gpp/internal/obs"
+
+// Solver metrics, registered on the process-wide registry (served by the
+// CLIs' -metrics-addr). All updates happen once per solve — never inside the
+// iteration loop — so instrumentation costs nothing on the hot path.
+var (
+	mSolves = obs.Default().Counter("gpp_solver_solves_total",
+		"completed Algorithm-1 solves")
+	mIters = obs.Default().Counter("gpp_solver_iterations_total",
+		"gradient iterations across all solves")
+	mConverged = obs.Default().Counter("gpp_solver_converged_total",
+		"solves stopped by the margin criterion (rather than the iteration cap)")
+	mRestarts = obs.Default().Counter("gpp_solver_restarts_total",
+		"portfolio restarts completed")
+	mRefineMoves = obs.Default().Counter("gpp_solver_refine_moves_total",
+		"gates moved by greedy refinement")
+	mItersPerSolve = obs.Default().Histogram("gpp_solver_iters_per_solve",
+		[]float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000},
+		"iteration count distribution per solve")
+)

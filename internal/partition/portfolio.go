@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"gpp/internal/obs"
 	"gpp/internal/pool"
 )
 
@@ -65,19 +66,60 @@ func (p *Problem) SolvePortfolio(ctx context.Context, base Options, po Portfolio
 		ctx = context.Background()
 	}
 	base = base.withDefaults()
+	// Restarts race concurrently, so each one traces into its own buffer;
+	// the buffers are replayed into the real tracer serially, in seed order,
+	// after the race. That keeps portfolio traces byte-identical at every
+	// worker count — the interleaving of the race never reaches the sink.
+	tracer := base.Tracer
+	var bufs []*obs.Buffer
+	if tracer != nil {
+		bufs = make([]*obs.Buffer, po.Restarts)
+	}
 	results := make([]*Result, po.Restarts)
-	err := pool.Map(ctx, pool.Resolve(po.Workers), po.Restarts, func(r int) error {
+	mapErr := pool.Map(ctx, pool.Resolve(po.Workers), po.Restarts, func(r int) error {
 		o := base
 		o.Seed = base.Seed + int64(r)
+		if tracer != nil {
+			b := &obs.Buffer{}
+			bufs[r] = b
+			b.Emit(obs.Event{Kind: obs.KindRestartStart, Restart: r, Seed: o.Seed})
+			o.Tracer = b
+		}
 		res, err := p.Solve(o)
 		if err != nil {
 			return fmt.Errorf("partition: restart %d (seed %d): %w", r, o.Seed, err)
 		}
 		results[r] = res
+		if tracer != nil {
+			bufs[r].Emit(obs.Event{Kind: obs.KindRestartDone, Restart: r, Seed: o.Seed,
+				Iters: res.Iters, Converged: res.Converged, FDiscrete: res.Discrete.Total})
+		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if tracer != nil {
+		for r := 0; r < po.Restarts; r++ {
+			if results[r] != nil {
+				bufs[r].ReplayTo(tracer)
+				mRestarts.Inc()
+			} else {
+				// Cancelled before it ran, or failed mid-solve: record the
+				// gap so the trace explains the missing seed.
+				tracer.Emit(obs.Event{Kind: obs.KindRestartSkipped,
+					Restart: r, Seed: base.Seed + int64(r)})
+			}
+		}
+	} else {
+		for r := 0; r < po.Restarts; r++ {
+			if results[r] != nil {
+				mRestarts.Inc()
+			}
+		}
+	}
+	if mapErr != nil {
+		if serr := obs.SinkErr(tracer); serr != nil {
+			return nil, fmt.Errorf("partition: trace sink: %w", serr)
+		}
+		return nil, mapErr
 	}
 	pf := &Portfolio{Seeds: make([]SeedResult, po.Restarts)}
 	for r, res := range results {
@@ -93,6 +135,13 @@ func (p *Problem) SolvePortfolio(ctx context.Context, base Options, po Portfolio
 			pf.Best = res
 			pf.BestSeed = seed
 		}
+	}
+	if tracer != nil {
+		tracer.Emit(obs.Event{Kind: obs.KindWinner, Seed: pf.BestSeed,
+			Restarts: po.Restarts, FDiscrete: pf.Best.Discrete.Total})
+	}
+	if err := obs.SinkErr(tracer); err != nil {
+		return nil, fmt.Errorf("partition: trace sink: %w", err)
 	}
 	return pf, nil
 }

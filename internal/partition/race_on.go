@@ -1,0 +1,8 @@
+//go:build race
+
+package partition
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-count guard skips itself under -race, where instrumentation
+// changes allocation behavior.
+const raceEnabled = true

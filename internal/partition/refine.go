@@ -16,6 +16,14 @@ package partition
 //
 // and analogously for F3, where p→q is the move and B̄ = B_cir/K is constant.
 func (p *Problem) Refine(labels []int, c Coeffs, maxPasses int) int {
+	return p.refineTraced(labels, c, maxPasses, nil)
+}
+
+// refineTraced is Refine with an optional per-sweep callback: onPass is
+// invoked after every executed sweep with its 1-based index and move count
+// (including the terminal zero-move sweep, which shows refinement actually
+// converged rather than hitting the pass cap).
+func (p *Problem) refineTraced(labels []int, c Coeffs, maxPasses int, onPass func(pass, moves int)) int {
 	if maxPasses <= 0 {
 		maxPasses = 8
 	}
@@ -78,6 +86,9 @@ func (p *Problem) Refine(labels []int, c Coeffs, maxPasses int) int {
 			}
 		}
 		totalMoves += moves
+		if onPass != nil {
+			onPass(pass+1, moves)
+		}
 		if moves == 0 {
 			break
 		}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gpp/internal/obs"
 	"gpp/internal/pool"
 )
 
@@ -87,6 +88,16 @@ type Options struct {
 
 	// TraceCost, if true, records the total cost after every iteration.
 	TraceCost bool
+
+	// Tracer, when non-nil, receives structured telemetry events for the
+	// solve: solve_start, pool, one iter event per gradient update, snap,
+	// refine passes, and solve_done (see internal/obs). A nil Tracer is the
+	// default and keeps the iteration path allocation-free; event payloads
+	// are pure functions of solver state, so traces are deterministic at
+	// every Workers count. If the tracer is a sink that latches a write
+	// error (obs.JSONL), Solve surfaces that error instead of silently
+	// dropping the trace.
+	Tracer obs.Tracer
 }
 
 // validate rejects nonsensical option combinations before defaulting. Zero
@@ -182,6 +193,19 @@ func (p *Problem) Solve(opts Options) (*Result, error) {
 	if opts.InitStep <= 0 {
 		opts.InitStep = 0.25 / float64(p.K)
 	}
+	tracer := opts.Tracer
+	sc := p.newScratch()
+	if tracer != nil {
+		// Neither event records the worker count: the shard layout is a
+		// pure function of the problem size, and the trace stream must be
+		// byte-identical across Workers settings (the manifest records
+		// the environment; the trace records the algorithm).
+		tracer.Emit(obs.Event{Kind: obs.KindSolveStart, Seed: opts.Seed,
+			K: p.K, Gates: p.G, Edges: len(p.Edges)})
+		tracer.Emit(obs.Event{Kind: obs.KindPool,
+			GateShards: pool.Shards(p.G, gateChunk),
+			EdgeShards: pool.Shards(len(p.Edges), edgeChunk)})
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Lines 3–11: random init, rows normalized to sum 1.
@@ -214,7 +238,7 @@ func (p *Problem) Solve(opts Options) (*Result, error) {
 	step := opts.LearnRate
 	if step <= 0 {
 		// Auto-calibrate: first step moves the largest entry by InitStep.
-		p.GradientParallel(w, opts.Coeffs, opts.Gradient, grad, workers)
+		p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, workers, sc)
 		maxAbs := 0.0
 		for _, g := range grad {
 			if a := math.Abs(g); a > maxAbs {
@@ -228,11 +252,84 @@ func (p *Problem) Solve(opts Options) (*Result, error) {
 		}
 	}
 
+	// Lines 17–24 worker body: gradient step with clamping. The update is
+	// elementwise per gate row (no cross-row reductions), so the shards
+	// are trivially deterministic for any worker count. The closure is
+	// built once, outside the loop — pool.Run makes its fn escape, so a
+	// literal inside the loop would heap-allocate every iteration.
+	update := func(s int) {
+		lo, hi := pool.ShardRange(p.G, gateChunk, s)
+		jLo, jHi := lo*p.K, hi*p.K
+		clamped := 0
+		if velocity != nil {
+			for j := jLo; j < jHi; j++ {
+				velocity[j] = opts.Momentum*velocity[j] + grad[j]
+				grad[j] = velocity[j]
+			}
+		}
+		if opts.ReduceDims {
+			// K−1 free coordinates per row; the last is derived.
+			last := p.K - 1
+			for i := lo; i < hi; i++ {
+				base := i * p.K
+				gLast := grad[base+last]
+				var sum float64
+				for k := 0; k < last; k++ {
+					v := w[base+k] - step*(grad[base+k]-gLast)
+					if v < 0 {
+						v = 0
+						clamped++
+					} else if v > 1 {
+						v = 1
+						clamped++
+					}
+					w[base+k] = v
+					sum += v
+				}
+				if sum > 1 {
+					inv := 1 / sum
+					for k := 0; k < last; k++ {
+						w[base+k] *= inv
+					}
+					sum = 1
+				}
+				w[base+last] = 1 - sum
+			}
+		} else {
+			for j := jLo; j < jHi; j++ {
+				v := w[j] - step*grad[j]
+				if v < 0 {
+					v = 0
+					clamped++
+				} else if v > 1 {
+					v = 1
+					clamped++
+				}
+				w[j] = v
+			}
+		}
+		sc.clamp[s] = clamped
+		if opts.Renormalize {
+			for i := lo; i < hi; i++ {
+				row := w[i*p.K : (i+1)*p.K]
+				var sum float64
+				for _, v := range row {
+					sum += v
+				}
+				if sum > 0 {
+					for k := range row {
+						row[k] /= sum
+					}
+				}
+			}
+		}
+	}
+
 	res := &Result{StepSize: step}
 	costOld := math.Inf(1)
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		// Line 13: cost_new.
-		bd := p.CostParallel(w, opts.Coeffs, workers)
+		bd := p.costWith(w, opts.Coeffs, workers, sc)
 		costNew := bd.Total
 		if opts.TraceCost {
 			res.CostTrace = append(res.CostTrace, costNew)
@@ -253,80 +350,65 @@ func (p *Problem) Solve(opts Options) (*Result, error) {
 		costOld = costNew
 
 		// Lines 17–24: gradient step with clamping.
-		p.GradientParallel(w, opts.Coeffs, opts.Gradient, grad, workers)
-		// The update is elementwise per gate row (no cross-row reductions),
-		// so the shards are trivially deterministic for any worker count.
-		pool.Run(workers, pool.Shards(p.G, gateChunk), func(s int) {
-			lo, hi := pool.ShardRange(p.G, gateChunk, s)
-			jLo, jHi := lo*p.K, hi*p.K
-			if velocity != nil {
-				for j := jLo; j < jHi; j++ {
-					velocity[j] = opts.Momentum*velocity[j] + grad[j]
-					grad[j] = velocity[j]
-				}
+		p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, workers, sc)
+		var gradNorm float64
+		if tracer != nil {
+			// Serial reduction, computed only when traced: the merge order
+			// is fixed, so the value diffs clean across Workers settings.
+			var sum float64
+			for _, g := range grad {
+				sum += g * g
 			}
-			if opts.ReduceDims {
-				// K−1 free coordinates per row; the last is derived.
-				last := p.K - 1
-				for i := lo; i < hi; i++ {
-					base := i * p.K
-					gLast := grad[base+last]
-					var sum float64
-					for k := 0; k < last; k++ {
-						v := w[base+k] - step*(grad[base+k]-gLast)
-						if v < 0 {
-							v = 0
-						} else if v > 1 {
-							v = 1
-						}
-						w[base+k] = v
-						sum += v
-					}
-					if sum > 1 {
-						inv := 1 / sum
-						for k := 0; k < last; k++ {
-							w[base+k] *= inv
-						}
-						sum = 1
-					}
-					w[base+last] = 1 - sum
-				}
-			} else {
-				for j := jLo; j < jHi; j++ {
-					v := w[j] - step*grad[j]
-					if v < 0 {
-						v = 0
-					} else if v > 1 {
-						v = 1
-					}
-					w[j] = v
-				}
-			}
-			if opts.Renormalize {
-				for i := lo; i < hi; i++ {
-					row := w[i*p.K : (i+1)*p.K]
-					var sum float64
-					for _, v := range row {
-						sum += v
-					}
-					if sum > 0 {
-						for k := range row {
-							row[k] /= sum
-						}
-					}
-				}
-			}
-		})
+			gradNorm = math.Sqrt(sum)
+		}
+		pool.Run(workers, pool.Shards(p.G, gateChunk), update)
 		res.Iters = iter + 1
+		if tracer != nil {
+			clamped := 0
+			for _, c := range sc.clamp {
+				clamped += c
+			}
+			tracer.Emit(obs.Event{Kind: obs.KindIter, Iter: iter,
+				F: bd.Total, F1: bd.F1, F2: bd.F2, F3: bd.F3, F4: bd.F4,
+				GradN: gradNorm, Step: step, Clamped: clamped})
+		}
 	}
 
 	res.W = w
-	res.Relaxed = p.CostParallel(w, opts.Coeffs, workers)
+	res.Relaxed = p.costWith(w, opts.Coeffs, workers, sc)
 	// Lines 27–30: snap to argmax.
 	res.Labels = p.Assign(w)
+	if tracer != nil {
+		// Discrete cost at the snap point, before any refinement; computed
+		// only when traced (the refined cost below is what Result reports).
+		tracer.Emit(obs.Event{Kind: obs.KindSnap,
+			FDiscrete: p.DiscreteCost(res.Labels, opts.Coeffs).Total})
+	}
 	if opts.Refine {
-		res.RefineMoves = p.Refine(res.Labels, opts.Coeffs, opts.RefinePasses)
+		var onPass func(pass, moves int)
+		if tracer != nil {
+			onPass = func(pass, moves int) {
+				tracer.Emit(obs.Event{Kind: obs.KindRefine, Pass: pass, Moves: moves})
+			}
+		}
+		res.RefineMoves = p.refineTraced(res.Labels, opts.Coeffs, opts.RefinePasses, onPass)
 	}
 	res.Discrete = p.DiscreteCost(res.Labels, opts.Coeffs)
+	if tracer != nil {
+		tracer.Emit(obs.Event{Kind: obs.KindSolveDone, Iters: res.Iters,
+			Converged: res.Converged, FRelaxed: res.Relaxed.Total,
+			FDiscrete: res.Discrete.Total, Step: res.StepSize,
+			RefineMoves: res.RefineMoves})
+	}
+	mSolves.Inc()
+	mIters.Add(int64(res.Iters))
+	if res.Converged {
+		mConverged.Inc()
+	}
+	mItersPerSolve.Observe(float64(res.Iters))
+	mRefineMoves.Add(int64(res.RefineMoves))
+	if err := obs.SinkErr(tracer); err != nil {
+		return nil, fmt.Errorf("partition: trace sink: %w", err)
+	}
 	return res, nil
 }

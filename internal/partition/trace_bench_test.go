@@ -1,0 +1,36 @@
+package partition
+
+import (
+	"io"
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/obs"
+)
+
+// benchmarkSolveTrace measures a fixed-length descent (Margin too small to
+// converge, so every run performs exactly MaxIters iterations) under a given
+// tracer. Comparing TraceOff against TraceNop bounds the cost of the
+// instrumentation hooks themselves; TraceJSONL adds encoding and writing.
+func benchmarkSolveTrace(b *testing.B, tracer obs.Tracer) {
+	c, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := FromCircuit(c, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Seed: 1, MaxIters: 50, Margin: 1e-300, Workers: 1, Tracer: tracer}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveTraceOff(b *testing.B)   { benchmarkSolveTrace(b, nil) }
+func BenchmarkSolveTraceNop(b *testing.B)   { benchmarkSolveTrace(b, obs.Nop()) }
+func BenchmarkSolveTraceJSONL(b *testing.B) { benchmarkSolveTrace(b, obs.NewJSONL(io.Discard)) }

@@ -16,6 +16,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"gpp/internal/obs"
+)
+
+// Pool utilization metrics. Counters are bumped once per Run/Map call (not
+// per shard execution), so kernels pay two atomic adds per dispatch —
+// invisible next to the kernel work itself, and allocation-free.
+var (
+	mRuns = obs.Default().Counter("gpp_pool_runs_total",
+		"shard-kernel dispatches")
+	mParallelRuns = obs.Default().Counter("gpp_pool_parallel_runs_total",
+		"shard-kernel dispatches that used more than one goroutine")
+	mShards = obs.Default().Counter("gpp_pool_shards_total",
+		"shards executed across all dispatches")
+	mMapTasks = obs.Default().Counter("gpp_pool_map_tasks_total",
+		"tasks submitted to the bounded task runner")
 )
 
 // Resolve maps an Options-style worker count to an actual one: anything
@@ -68,6 +84,8 @@ func Run(workers, shards int, fn func(shard int)) {
 	if shards <= 0 {
 		return
 	}
+	mRuns.Inc()
+	mShards.Add(int64(shards))
 	if workers > shards {
 		workers = shards
 	}
@@ -77,6 +95,7 @@ func Run(workers, shards int, fn func(shard int)) {
 		}
 		return
 	}
+	mParallelRuns.Inc()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -105,6 +124,7 @@ func Map(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	mMapTasks.Add(int64(n))
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,60 @@
+package gpp
+
+import (
+	"io"
+
+	"gpp/internal/obs"
+)
+
+// Observability facade: the solver telemetry subsystem (internal/obs)
+// re-exported for downstream users. A Tracer plugged into Options.Tracer
+// receives structured events for every solver phase; TraceWriter is the
+// JSONL sink whose output `gpp-inspect trace` digests; Registry is the
+// metrics registry the CLIs serve on -metrics-addr.
+
+type (
+	// Tracer receives structured solver telemetry events (assign one to
+	// Options.Tracer). Nil means tracing off, at zero cost.
+	Tracer = obs.Tracer
+	// TraceEvent is one telemetry event (kind plus the fields meaningful
+	// for that kind).
+	TraceEvent = obs.Event
+	// TraceKind identifies a TraceEvent's type.
+	TraceKind = obs.Kind
+	// TraceWriter is the JSONL trace sink: deterministic field order and
+	// float formatting, so traces of bit-identical runs diff clean.
+	TraceWriter = obs.JSONL
+	// TraceSummary is the structural digest of a trace (per-solve
+	// convergence series, restart leaderboard, winner).
+	TraceSummary = obs.Summary
+	// Registry is a zero-dependency metrics registry (counters, gauges,
+	// histograms) with Prometheus text exposition and an expvar bridge.
+	Registry = obs.Registry
+	// Manifest is the reproducibility record of one run.
+	Manifest = obs.Manifest
+)
+
+// Observe returns a deterministic JSONL trace sink writing to w. Plug it
+// into Options.Tracer, and call Close when done to flush (solvers surface
+// the sink's first write error on their own error path as well):
+//
+//	var buf bytes.Buffer
+//	sink := gpp.Observe(&buf)
+//	res, err := gpp.Partition(c, 5, gpp.Options{Tracer: sink})
+//	err = sink.Close()
+func Observe(w io.Writer) *TraceWriter { return obs.NewJSONL(w) }
+
+// ReadTrace decodes a JSONL trace (as written by Observe or the CLIs'
+// -trace flag) back into events.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadTrace(r) }
+
+// SummarizeTrace reconstructs per-solve traces from a flat event stream;
+// its WriteText renders the human-readable digest `gpp-inspect trace`
+// prints.
+func SummarizeTrace(events []TraceEvent) *TraceSummary { return obs.Summarize(events) }
+
+// DefaultRegistry is the process-wide metrics registry the solver stack
+// instruments (solve counts, iteration totals, pool utilization). The CLIs
+// serve it over HTTP via -metrics-addr; embedders can render it with
+// WriteProm or bridge it to expvar with PublishExpvar.
+func DefaultRegistry() *Registry { return obs.Default() }

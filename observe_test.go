@@ -1,0 +1,71 @@
+package gpp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestObserveFacade traces a small solve end to end through the public
+// facade: Observe sink → Partition → ReadTrace → SummarizeTrace.
+func TestObserveFacade(t *testing.T) {
+	c, err := Benchmark("KSA4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := Observe(&buf)
+	res, err := Partition(c, 5, Options{Seed: 1, Refine: true, Tracer: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeTrace(events)
+	if len(sum.Solves) != 1 {
+		t.Fatalf("summarized %d solves, want 1", len(sum.Solves))
+	}
+	st := sum.Solves[0]
+	if st.Done == nil || st.Done.Iters != res.Iters {
+		t.Errorf("trace iters disagree with result: trace=%+v result=%d", st.Done, res.Iters)
+	}
+	if len(st.Iters) == 0 || st.Snap == nil {
+		t.Errorf("trace missing iteration or snap events (%d iters)", len(st.Iters))
+	}
+
+	var text strings.Builder
+	if err := sum.WriteText(&text, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "solve seed=1") {
+		t.Errorf("summary text missing solve header:\n%s", text.String())
+	}
+}
+
+func TestDefaultRegistryCounts(t *testing.T) {
+	reg := DefaultRegistry()
+	before := reg.Counter("gpp_solver_solves_total").Value()
+	c, err := Benchmark("KSA4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(c, 5, Options{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if after := reg.Counter("gpp_solver_solves_total").Value(); after != before+1 {
+		t.Errorf("solves counter went %d → %d, want +1", before, after)
+	}
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "gpp_solver_iters_per_solve_bucket") {
+		t.Error("exposition missing solver histogram")
+	}
+}
