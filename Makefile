@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench obs-bench fuzz
+.PHONY: build test check race bench obs-bench serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchtime 1x ./internal/partition ./internal/obs
+	$(MAKE) serve-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -29,6 +30,13 @@ bench:
 # SolveTraceJSONL and JSONLEmit price the enabled path.
 obs-bench:
 	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchmem ./internal/partition ./internal/obs
+
+# Daemon drain proof (DESIGN.md §9): one fresh run of the serve smoke —
+# 32 concurrent mixed cached/uncached submissions against a live daemon,
+# a real SIGTERM mid-flight, then an audit that every accepted job
+# drained to a complete, byte-consistent response. Race detector on.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke$$' -v ./internal/serve
 
 # Run the solver-options fuzzer for 30s (regular `make test` already runs
 # its seed corpus as a unit test).

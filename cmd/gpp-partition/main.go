@@ -79,6 +79,13 @@ func main() {
 	sess.Meta("seed", *seed)
 
 	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers, Tracer: sess.Tracer}
+	// The manifest records the *normalized* options fingerprint, so two
+	// spellings of the same solve (say -seed 1 vs the default) are
+	// recognizably one configuration across runs — the same identity the
+	// serve daemon's result cache keys on.
+	if fp, err := opts.Fingerprint(); err == nil {
+		sess.Meta("options_fingerprint", fp)
+	}
 
 	if *limit > 0 {
 		row, err := experiments.CurrentLimitSearch(c, *limit, experiments.Config{Solver: opts, Library: lib})

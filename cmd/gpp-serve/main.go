@@ -1,0 +1,73 @@
+// Command gpp-serve runs the partition daemon: an HTTP/JSON service that
+// accepts partition jobs, solves them on a bounded worker pool, and
+// answers repeated requests from a content-addressed result cache.
+//
+// Usage:
+//
+//	gpp-serve -addr :8399
+//	gpp-serve -addr :8399 -workers 4 -queue 128 -cache 512
+//
+// Submit a job and read it back:
+//
+//	curl -s localhost:8399/v1/jobs -d '{"circuit":"KSA8","k":5}'
+//	curl -s localhost:8399/v1/jobs/<id>
+//	curl -s localhost:8399/v1/jobs/<id>/result
+//	curl -s localhost:8399/v1/jobs/<id>/assignment
+//	curl -Ns localhost:8399/v1/jobs/<id>/events        # SSE progress
+//
+// The daemon serves /healthz, /metrics (Prometheus text), /debug/vars and
+// /debug/pprof from the same listener. SIGTERM/SIGINT starts a graceful
+// drain: admissions stop with 503, accepted jobs run to completion (up to
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpp/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8399", "listen address (host:port; :0 picks a free port)")
+	queue := flag.Int("queue", 64, "max jobs waiting in the queue before submissions get 429")
+	workers := flag.Int("workers", 0, "jobs solved concurrently (0 = one per CPU)")
+	cacheEntries := flag.Int("cache", 256, "content-addressed result cache size in entries (negative disables)")
+	maxJobs := flag.Int("max-jobs", 4096, "job registry size; oldest finished jobs are evicted beyond it")
+	defaultTimeout := flag.Duration("default-job-time", 2*time.Minute, "per-job deadline when the request sets none")
+	maxTimeout := flag.Duration("max-job-time", 10*time.Minute, "cap on any requested per-job deadline")
+	progressEvery := flag.Int("progress-every", 25, "stream every Nth solver iteration on /events (1 = all)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		QueueDepth:        *queue,
+		Workers:           *workers,
+		CacheEntries:      *cacheEntries,
+		MaxJobs:           *maxJobs,
+		DefaultJobTimeout: *defaultTimeout,
+		MaxJobTimeout:     *maxTimeout,
+		ProgressEvery:     *progressEvery,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	err := srv.Run(ctx, *addr, *drainTimeout, func(bound string) {
+		fmt.Fprintf(os.Stderr, "gpp-serve: listening on http://%s (healthz, /v1/jobs, /metrics, /debug/pprof)\n", bound)
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "gpp-serve:", err)
+		os.Exit(1)
+	}
+	if err != nil {
+		// Forced drain: the grace period expired and in-flight jobs were
+		// cancelled. Report it but exit cleanly — the drain completed.
+		fmt.Fprintln(os.Stderr, "gpp-serve: drain timeout expired; in-flight jobs cancelled")
+	}
+}

@@ -27,6 +27,7 @@
 package gpp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -82,11 +83,19 @@ func DefaultLibrary() *Library { return cellib.Default() }
 // Partition splits the circuit into k serially-biasable ground planes with
 // the paper's gradient-descent algorithm.
 func Partition(c *Circuit, k int, opts Options) (*Result, error) {
+	return PartitionCtx(context.Background(), c, k, opts)
+}
+
+// PartitionCtx is Partition with cooperative cancellation: the solver
+// checks ctx once per gradient iteration, so a deadline or cancel stops
+// the descent within one iteration. This is the path the serve daemon
+// uses to enforce per-job deadlines.
+func PartitionCtx(ctx context.Context, c *Circuit, k int, opts Options) (*Result, error) {
 	p, err := partition.FromCircuit(c, k)
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.Solve(opts)
+	res, err := p.SolveCtx(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +111,17 @@ func Partition(c *Circuit, k int, opts Options) (*Result, error) {
 // structures equalizing per-plane current draw, and the resulting external
 // supply requirement.
 func PlanRecycling(c *Circuit, res *Result) (*Plan, error) {
+	return PlanRecyclingCtx(context.Background(), c, res)
+}
+
+// PlanRecyclingCtx is PlanRecycling under a context. Plan construction is
+// a single pass (no iteration to interrupt), so the context is checked at
+// entry: an already-expired deadline fails fast instead of building a
+// plan nobody will read.
+func PlanRecyclingCtx(ctx context.Context, c *Circuit, res *Result) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gpp: plan recycling: %w", err)
+	}
 	p, err := partition.FromCircuit(c, res.K)
 	if err != nil {
 		return nil, err

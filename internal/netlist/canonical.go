@@ -1,0 +1,37 @@
+package netlist
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AppendCanonical appends a canonical binary encoding of the circuit's
+// solver-visible content to b and returns the extended slice. The encoding
+// covers exactly what determines a partition result: the gate count, every
+// gate's bias and area (IEEE-754 bit patterns, in gate-ID order), and the
+// edge list in circuit order. Instance names and cell names are excluded —
+// two netlists differing only in naming solve identically, so a
+// content-addressed cache must give them the same key.
+//
+// Gate and edge *order* is preserved, not sorted: the cost kernels reduce
+// in a fixed order derived from these lists, so a reordered-but-isomorphic
+// circuit is a genuinely different solve and must hash differently.
+func (c *Circuit) AppendCanonical(b []byte) []byte {
+	var scratch [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		b = append(b, scratch[:]...)
+	}
+	b = append(b, "gpp-netlist-v1"...)
+	u64(uint64(len(c.Gates)))
+	u64(uint64(len(c.Edges)))
+	for _, g := range c.Gates {
+		u64(math.Float64bits(g.Bias))
+		u64(math.Float64bits(g.Area))
+	}
+	for _, e := range c.Edges {
+		u64(uint64(e.From))
+		u64(uint64(e.To))
+	}
+	return b
+}

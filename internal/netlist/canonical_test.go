@@ -1,0 +1,96 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func canonTestCircuit() *Circuit {
+	c := &Circuit{Name: "canon"}
+	for i := 0; i < 4; i++ {
+		c.Gates = append(c.Gates, Gate{
+			ID:   GateID(i),
+			Name: fmt.Sprintf("g%d", i),
+			Cell: "AND2T",
+			Bias: 0.1 * float64(i+1),
+			Area: 0.001 * float64(i+1),
+		})
+	}
+	c.Edges = []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}}
+	return c
+}
+
+func TestAppendCanonicalDeterministic(t *testing.T) {
+	c := canonTestCircuit()
+	a := c.AppendCanonical(nil)
+	b := c.AppendCanonical(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same circuit differ")
+	}
+	if !bytes.HasPrefix(a, []byte("gpp-netlist-v1")) {
+		t.Fatalf("missing version prefix: %q", a[:16])
+	}
+	// 14-byte prefix + 2 count words + 2 words per gate + 2 per edge.
+	want := 14 + 8*(2+2*len(c.Gates)+2*len(c.Edges))
+	if len(a) != want {
+		t.Fatalf("encoding length %d, want %d", len(a), want)
+	}
+	// Appends to an existing slice rather than replacing it.
+	pre := []byte("head")
+	ext := c.AppendCanonical(pre)
+	if !bytes.Equal(ext[:4], []byte("head")) || !bytes.Equal(ext[4:], a) {
+		t.Fatal("AppendCanonical did not append to the given slice")
+	}
+}
+
+// Renaming instances or cells must not change the canonical bytes: the
+// solver never sees names, so a content-addressed cache must treat the
+// renamed netlist as the same circuit.
+func TestAppendCanonicalIgnoresNames(t *testing.T) {
+	c := canonTestCircuit()
+	renamed := c.Clone()
+	renamed.Name = "other"
+	for i := range renamed.Gates {
+		renamed.Gates[i].Name = fmt.Sprintf("renamed_%d", i)
+		renamed.Gates[i].Cell = "OR2T"
+	}
+	if !bytes.Equal(c.AppendCanonical(nil), renamed.AppendCanonical(nil)) {
+		t.Fatal("renaming gates changed the canonical bytes")
+	}
+}
+
+// Reordering the edge list (even to an isomorphic circuit) must change the
+// bytes: the kernels reduce in list order, so a reordered circuit is a
+// different float computation and caching across the two would be wrong.
+func TestAppendCanonicalOrderSensitive(t *testing.T) {
+	c := canonTestCircuit()
+	reordered := c.Clone()
+	reordered.Edges[0], reordered.Edges[1] = reordered.Edges[1], reordered.Edges[0]
+	if bytes.Equal(c.AppendCanonical(nil), reordered.AppendCanonical(nil)) {
+		t.Fatal("edge reorder did not change the canonical bytes")
+	}
+}
+
+func TestAppendCanonicalContentSensitive(t *testing.T) {
+	c := canonTestCircuit()
+	base := c.AppendCanonical(nil)
+
+	biased := c.Clone()
+	biased.Gates[2].Bias += 1e-9
+	if bytes.Equal(base, biased.AppendCanonical(nil)) {
+		t.Fatal("bias change did not change the canonical bytes")
+	}
+
+	area := c.Clone()
+	area.Gates[0].Area *= 2
+	if bytes.Equal(base, area.AppendCanonical(nil)) {
+		t.Fatal("area change did not change the canonical bytes")
+	}
+
+	edge := c.Clone()
+	edge.Edges[3] = Edge{1, 3}
+	if bytes.Equal(base, edge.AppendCanonical(nil)) {
+		t.Fatal("edge change did not change the canonical bytes")
+	}
+}

@@ -78,6 +78,12 @@ func (j *JSONL) Close() error {
 	return j.err
 }
 
+// AppendEvent appends the one-line JSON encoding of e (including the
+// trailing newline) to b — the same deterministic encoding the JSONL sink
+// writes. The serve subsystem uses it to frame SSE progress payloads so a
+// streamed trace diffs clean against a file trace of the same solve.
+func AppendEvent(b []byte, e Event) []byte { return appendEvent(b, e) }
+
 // appendEvent encodes e as one JSON line into b. Only the fields
 // meaningful for e.Kind are written, always in the same order; unknown
 // kinds fall back to encoding/json over the whole struct.

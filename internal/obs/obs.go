@@ -114,6 +114,43 @@ type Tracer interface {
 	Emit(Event)
 }
 
+// TracerFunc adapts a plain function to the Tracer interface — the
+// adapter the serve subsystem uses to fan solver events into a job's
+// progress stream without a named type per consumer.
+type TracerFunc func(Event)
+
+// Emit calls f(e).
+func (f TracerFunc) Emit(e Event) { f(e) }
+
+// tee forwards every event to two tracers, a's latched sink error (if
+// any) winning over b's for SinkErr.
+type tee struct{ a, b Tracer }
+
+func (t tee) Emit(e Event) {
+	t.a.Emit(e)
+	t.b.Emit(e)
+}
+
+func (t tee) Err() error {
+	if err := SinkErr(t.a); err != nil {
+		return err
+	}
+	return SinkErr(t.b)
+}
+
+// Tee returns a Tracer duplicating every event to both arguments. A nil
+// argument means "just the other one" (and Tee(nil, nil) is nil), so
+// callers can compose optional tracers unconditionally.
+func Tee(a, b Tracer) Tracer {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return tee{a, b}
+}
+
 // nop discards every event. Its Emit inlines to nothing.
 type nop struct{}
 

@@ -94,9 +94,15 @@ func (p *Problem) BalancedAssign(w W, capacitySlack float64) []int {
 // argmax, then optionally refines. It returns the solver result with the
 // balanced labels substituted (and Discrete recomputed).
 func (p *Problem) SolveBalanced(opts Options, capacitySlack float64) (*Result, error) {
+	return p.SolveBalancedCtx(context.Background(), opts, capacitySlack)
+}
+
+// SolveBalancedCtx is SolveBalanced with the cooperative cancellation of
+// SolveCtx.
+func (p *Problem) SolveBalancedCtx(ctx context.Context, opts Options, capacitySlack float64) (*Result, error) {
 	snapOpts := opts
 	snapOpts.Refine = false
-	res, err := p.Solve(snapOpts)
+	res, err := p.SolveCtx(ctx, snapOpts)
 	if err != nil {
 		return nil, err
 	}

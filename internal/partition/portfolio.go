@@ -50,8 +50,9 @@ type Portfolio struct {
 // by its seed index and the winner is selected by a serial scan in seed
 // order, so the outcome is identical for every portfolio worker count.
 //
-// Cancelling ctx stops the race early: restarts already running finish,
-// not-yet-started ones are skipped, and the context error is returned.
+// Cancelling ctx stops the race early: restarts already running stop at
+// their next gradient iteration (see SolveCtx), not-yet-started ones are
+// skipped, and the context error is returned.
 func (p *Problem) SolvePortfolio(ctx context.Context, base Options, po PortfolioOptions) (*Portfolio, error) {
 	if po.Restarts < 1 {
 		return nil, fmt.Errorf("partition: portfolio needs ≥ 1 restart, got %d", po.Restarts)
@@ -85,7 +86,7 @@ func (p *Problem) SolvePortfolio(ctx context.Context, base Options, po Portfolio
 			b.Emit(obs.Event{Kind: obs.KindRestartStart, Restart: r, Seed: o.Seed})
 			o.Tracer = b
 		}
-		res, err := p.Solve(o)
+		res, err := p.SolveCtx(ctx, o)
 		if err != nil {
 			return fmt.Errorf("partition: restart %d (seed %d): %w", r, o.Seed, err)
 		}

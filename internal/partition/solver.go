@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -185,6 +186,18 @@ type Result struct {
 // opts.Workers goroutines; results are bitwise identical for every worker
 // count (fixed shard decomposition, shard-order merges).
 func (p *Problem) Solve(opts Options) (*Result, error) {
+	return p.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// once per gradient iteration, so a server deadline or client cancel stops
+// a long descent within one iteration instead of running it to the cap.
+// The partial state is discarded — a cancelled solve returns only the
+// context's error.
+func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -328,6 +341,12 @@ func (p *Problem) Solve(opts Options) (*Result, error) {
 	res := &Result{StepSize: step}
 	costOld := math.Inf(1)
 	for iter := 0; iter < opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			if serr := obs.SinkErr(tracer); serr != nil {
+				return nil, fmt.Errorf("partition: trace sink: %w", serr)
+			}
+			return nil, fmt.Errorf("partition: solve cancelled after %d iterations: %w", iter, err)
+		}
 		// Line 13: cost_new.
 		bd := p.costWith(w, opts.Coeffs, workers, sc)
 		costNew := bd.Total

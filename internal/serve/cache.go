@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one cached solve: the exact marshaled result body served
+// to every request with the same key, plus the decoded labels the
+// assignment endpoint renders against a job's own gate names. Both are
+// read-only after insertion — entries are shared across jobs.
+type cacheEntry struct {
+	key    string
+	body   []byte
+	labels []int
+}
+
+// lru is a small content-addressed LRU: map for lookup, intrusive list
+// for recency, capacity in entries. Result bodies are a few KB (labels
+// dominate), so an entry-count bound is the right granularity; a
+// byte-size bound would buy little and complicate eviction.
+type lru struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *cacheEntry
+	idx map[string]*list.Element
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 0 {
+		capacity = 0 // caching disabled
+	}
+	return &lru{cap: capacity, ll: list.New(), idx: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the entry and marks it most recently used.
+func (c *lru) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts the entry, evicting from the cold end when over capacity.
+// A concurrent duplicate insert (two identical misses racing) keeps the
+// first entry — both computed identical bytes, so either is correct.
+func (c *lru) put(e *cacheEntry) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[e.key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.idx, cold.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/partition"
+)
+
+func entry(key string) *cacheEntry {
+	return &cacheEntry{key: key, body: []byte(key), labels: []int{0}}
+}
+
+func TestLRUEvictsColdEnd(t *testing.T) {
+	c := newLRU(2)
+	c.put(entry("a"))
+	c.put(entry("b"))
+	if _, ok := c.get("a"); !ok { // refresh a: b is now coldest
+		t.Fatal("a missing")
+	}
+	c.put(entry("c"))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted (coldest after a's refresh)")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted despite being refreshed")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing right after insert")
+	}
+}
+
+func TestLRUDuplicateInsertKeepsFirst(t *testing.T) {
+	c := newLRU(4)
+	first := entry("k")
+	c.put(first)
+	c.put(&cacheEntry{key: "k", body: []byte("other")})
+	got, ok := c.get("k")
+	if !ok || &got.body[0] != &first.body[0] {
+		t.Fatal("duplicate insert replaced the first entry")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(-1)
+	c.put(entry("a"))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatalf("disabled cache len = %d", c.len())
+	}
+}
+
+func TestCircuitHashStableAndNameBlind(t *testing.T) {
+	a, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CircuitHash(a) != CircuitHash(b) {
+		t.Fatal("two generations of the same benchmark hash differently")
+	}
+	renamed := a.Clone()
+	for i := range renamed.Gates {
+		renamed.Gates[i].Name = fmt.Sprintf("x%d", i)
+	}
+	if CircuitHash(renamed) != CircuitHash(a) {
+		t.Fatal("renaming gates changed the circuit hash")
+	}
+	other, err := gen.Benchmark("MULT4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CircuitHash(other) == CircuitHash(a) {
+		t.Fatal("distinct benchmarks collide")
+	}
+}
+
+// TestJobKeyContract pins the cache-key semantics: Workers never changes
+// the key (the solver is bitwise deterministic across worker counts), while
+// every solve-relevant dial does.
+func TestJobKeyContract(t *testing.T) {
+	c, err := gen.Benchmark("KSA8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(o partition.Options) partition.Options {
+		n, err := o.NormalizeFor(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	base, err := jobKey(c, norm(partition.Options{Workers: 1}), 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel, err := jobKey(c, norm(partition.Options{Workers: 8}), 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel != base {
+		t.Error("Workers changed the cache key; it must be execution-only")
+	}
+
+	slack := 0.05
+	variants := map[string]string{}
+	add := func(name string, opts partition.Options, k, restarts int, balanced *float64) {
+		key, err := jobKey(c, norm(opts), k, restarts, balanced)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		variants[name] = key
+	}
+	add("k5", partition.Options{Workers: 1}, 5, 1, nil)
+	add("seed", partition.Options{Workers: 1, Seed: 9}, 4, 1, nil)
+	add("restarts", partition.Options{Workers: 1}, 4, 8, nil)
+	add("balanced", partition.Options{Workers: 1}, 4, 1, &slack)
+	seen := map[string]string{base: "base"}
+	for name, key := range variants {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[key] = name
+	}
+
+	other, err := gen.Benchmark("MULT4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherKey, err := jobKey(other, norm(partition.Options{Workers: 1}), 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherKey == base {
+		t.Error("different circuits share a cache key")
+	}
+}

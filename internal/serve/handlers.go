@@ -1,0 +1,476 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpp/internal/assignio"
+	"gpp/internal/def"
+	"gpp/internal/gen"
+	"gpp/internal/netlist"
+	"gpp/internal/obs"
+	"gpp/internal/partition"
+)
+
+// maxRequestBytes bounds a submission body; DEF uploads dominate and the
+// paper-scale benchmarks are well under a megabyte.
+const maxRequestBytes = 64 << 20
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/assignment", s.handleAssignment)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	debug := obs.NewMux(obs.Default())
+	s.mux.Handle("GET /metrics", debug)
+	s.mux.Handle("/debug/", debug)
+}
+
+// JobRequest is the submission document for POST /v1/jobs. Exactly one of
+// Circuit (a benchmark name), DEF (an inline DEF netlist), or FromJob (a
+// prior job id whose circuit is reused) selects the input.
+type JobRequest struct {
+	Circuit string `json:"circuit,omitempty"`
+	DEF     string `json:"def,omitempty"`
+	FromJob string `json:"from_job,omitempty"`
+
+	// K is the plane count. Required.
+	K int `json:"k"`
+
+	// Restarts > 1 races a multi-seed portfolio and keeps the best result.
+	Restarts int `json:"restarts,omitempty"`
+
+	// BalancedSlack, when set, snaps with capacity-aware rounding at this
+	// bias slack instead of plain argmax.
+	BalancedSlack *float64 `json:"balanced_slack,omitempty"`
+
+	// Plan includes the current-recycling plan summary in the result.
+	Plan bool `json:"plan,omitempty"`
+
+	// TimeoutMS bounds the job (queue wait included); 0 means the server
+	// default, and the server maximum caps it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Options tunes the solver; zero values mean the solver defaults.
+	Options *JobOptions `json:"options,omitempty"`
+}
+
+// JobOptions is the JSON mirror of partition.Options (the solver-relevant
+// subset plus Workers; Workers affects speed only, never the result or the
+// cache key).
+type JobOptions struct {
+	Seed          int64   `json:"seed,omitempty"`
+	Margin        float64 `json:"margin,omitempty"`
+	MaxIters      int     `json:"max_iters,omitempty"`
+	LearnRate     float64 `json:"learn_rate,omitempty"`
+	InitStep      float64 `json:"init_step,omitempty"`
+	Momentum      float64 `json:"momentum,omitempty"`
+	Renormalize   bool    `json:"renormalize,omitempty"`
+	ReduceDims    bool    `json:"reduce_dims,omitempty"`
+	PaperGradient bool    `json:"paper_gradient,omitempty"`
+	Refine        bool    `json:"refine,omitempty"`
+	RefinePasses  int     `json:"refine_passes,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+}
+
+func (o *JobOptions) toPartition() partition.Options {
+	if o == nil {
+		return partition.Options{}
+	}
+	p := partition.Options{
+		Seed:         o.Seed,
+		Margin:       o.Margin,
+		MaxIters:     o.MaxIters,
+		LearnRate:    o.LearnRate,
+		InitStep:     o.InitStep,
+		Momentum:     o.Momentum,
+		Renormalize:  o.Renormalize,
+		ReduceDims:   o.ReduceDims,
+		Refine:       o.Refine,
+		RefinePasses: o.RefinePasses,
+		Workers:      o.Workers,
+	}
+	if o.PaperGradient {
+		p.Gradient = partition.GradientPaper
+	}
+	return p
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	var req JobRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, status, err := s.buildJob(&req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	mSubmitted.Inc()
+	// Cache check before queueing: a hit completes synchronously and never
+	// occupies a queue slot or a worker.
+	if ent, ok := s.cache.get(j.key); ok {
+		mCacheHits.Inc()
+		mCompleted.Inc()
+		j.cancel()
+		s.store.add(j)
+		j.finishOK(ent.body, ent.labels, true)
+		writeJSON(w, http.StatusOK, s.statusJSON(j))
+		return
+	}
+	mCacheMisses.Inc()
+	s.store.add(j)
+	j.broker.publish(obs.Event{Kind: kindJobQueued})
+	switch code := s.enqueue(j); code {
+	case http.StatusAccepted:
+		writeJSON(w, http.StatusAccepted, s.statusJSON(j))
+	case http.StatusServiceUnavailable:
+		s.store.remove(j.id)
+		j.cancel()
+		writeError(w, code, "daemon is draining")
+	default: // 429
+		mRejected.Inc()
+		s.store.remove(j.id)
+		j.cancel()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			"queue full (%d jobs waiting); retry later", s.cfg.QueueDepth)
+	}
+}
+
+// buildJob parses and validates a request into a ready-to-queue job. The
+// returned int is the HTTP status for the error case.
+func (s *Server) buildJob(req *JobRequest) (*job, int, error) {
+	var (
+		c    *netlist.Circuit
+		name string
+	)
+	sources := 0
+	for _, set := range []bool{req.Circuit != "", req.DEF != "", req.FromJob != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("exactly one of circuit, def, from_job must be set")
+	}
+	switch {
+	case req.Circuit != "":
+		bc, err := gen.Benchmark(req.Circuit, nil)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		c, name = bc, bc.Name
+	case req.DEF != "":
+		d, err := def.Parse(strings.NewReader(req.DEF))
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		c, err = def.ToCircuit(d, s.cfg.Library)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		name = c.Name
+	default:
+		prior, ok := s.store.get(req.FromJob)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("from_job %q not found", req.FromJob)
+		}
+		c, name = prior.circuit, prior.circuitName
+	}
+	if req.K < 1 {
+		return nil, http.StatusBadRequest, fmt.Errorf("k must be ≥ 1, got %d", req.K)
+	}
+	restarts := req.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	if req.BalancedSlack != nil && restarts > 1 {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("balanced_slack and restarts > 1 are mutually exclusive")
+	}
+	opts := req.Options.toPartition()
+	if opts.Workers == 0 {
+		// Inside the daemon, cross-job concurrency is the parallelism
+		// axis; kernels default to serial (a request may override).
+		opts.Workers = 1
+	}
+	opts, err := opts.NormalizeFor(req.K)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	key, err := jobKey(c, opts, req.K, restarts, req.BalancedSlack)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	timeout := s.cfg.DefaultJobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxJobTimeout {
+		timeout = s.cfg.MaxJobTimeout
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	j := &job{
+		id:          newJobID(),
+		circuit:     c,
+		circuitName: name,
+		circuitHash: CircuitHash(c),
+		key:         key,
+		k:           req.K,
+		restarts:    restarts,
+		balanced:    req.BalancedSlack,
+		opts:        opts,
+		plan:        req.Plan,
+		ctx:         ctx,
+		cancel:      cancel,
+		broker:      newBroker(),
+	}
+	j.mu.Lock()
+	j.status = StatusQueued
+	j.submitted = time.Now()
+	j.mu.Unlock()
+	return j, 0, nil
+}
+
+// statusBody is the job document served by GET /v1/jobs/{id} (and echoed
+// on submission). Result is the exact cached body, embedded raw.
+type statusBody struct {
+	ID          string          `json:"id"`
+	Status      Status          `json:"status"`
+	Cache       string          `json:"cache"`
+	Circuit     string          `json:"circuit"`
+	CircuitHash string          `json:"circuit_hash"`
+	Gates       int             `json:"gates"`
+	Edges       int             `json:"edges"`
+	K           int             `json:"k"`
+	Restarts    int             `json:"restarts,omitempty"`
+	Key         string          `json:"key"`
+	Submitted   string          `json:"submitted_at,omitempty"`
+	Started     string          `json:"started_at,omitempty"`
+	Finished    string          `json:"finished_at,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) statusJSON(j *job) statusBody {
+	status, hit, errMsg, body, _, submitted, started, finished := j.snapshot()
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	sb := statusBody{
+		ID:          j.id,
+		Status:      status,
+		Cache:       cache,
+		Circuit:     j.circuitName,
+		CircuitHash: j.circuitHash,
+		Gates:       j.circuit.NumGates(),
+		Edges:       j.circuit.NumEdges(),
+		K:           j.k,
+		Key:         j.key,
+		Error:       errMsg,
+		Result:      body,
+	}
+	if j.restarts > 1 {
+		sb.Restarts = j.restarts
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	sb.Submitted, sb.Started, sb.Finished = stamp(submitted), stamp(started), stamp(finished)
+	return sb
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.list()
+	out := struct {
+		Jobs []statusBody `json:"jobs"`
+	}{Jobs: make([]statusBody, 0, len(jobs))}
+	for _, j := range jobs {
+		sb := s.statusJSON(j)
+		sb.Result = nil // list is a summary; fetch results per job
+		out.Jobs = append(out.Jobs, sb)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, s.statusJSON(j))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	status, _, _, _, _, _, _, _ := j.snapshot()
+	if status.terminal() {
+		writeError(w, http.StatusConflict, "job %s already %s", j.id, status)
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": "cancelling"})
+}
+
+// handleResult serves the raw result document — byte-identical across a
+// cold solve and every later cache hit of the same key.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	status, _, errMsg, body, _, _, _, _ := j.snapshot()
+	switch status {
+	case StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	case StatusFailed, StatusCancelled:
+		writeError(w, http.StatusConflict, "job %s %s: %s", j.id, status, errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; poll or stream /events", j.id, status)
+	}
+}
+
+// handleAssignment renders the result as the assignment TSV the CLI tools
+// share (assignio format), against this job's own gate names.
+func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	status, _, _, _, labels, _, _, _ := j.snapshot()
+	if status != StatusDone {
+		writeError(w, http.StatusConflict, "job %s is %s", j.id, status)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	var buf bytes.Buffer
+	if err := assignio.Write(&buf, j.circuit, labels); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleEvents streams the job's progress as Server-Sent Events: the
+// buffered history first, then live events until the job finishes, closed
+// by a terminal "status" frame carrying the full job document.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	replay, ch, detach := j.broker.subscribe()
+	defer detach()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	var scratch []byte
+	for _, e := range replay {
+		scratch = writeSSE(w, scratch, e)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				// Job finished: emit the terminal status frame and end.
+				doc, err := json.Marshal(s.statusJSON(j))
+				if err == nil {
+					fmt.Fprintf(w, "event: status\ndata: %s\n\n", doc)
+				}
+				flusher.Flush()
+				return
+			}
+			scratch = writeSSE(w, scratch, e)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE frames one event, reusing scratch for the JSONL encoding.
+func writeSSE(w io.Writer, scratch []byte, e obs.Event) []byte {
+	scratch = obs.AppendEvent(scratch[:0], e)
+	data := bytes.TrimRight(scratch, "\n")
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data)
+	return scratch
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status     string `json:"status"`
+		Jobs       int    `json:"jobs"`
+		QueueDepth int    `json:"queue_depth"`
+		QueueCap   int    `json:"queue_cap"`
+		CacheSize  int    `json:"cache_entries"`
+		Workers    int    `json:"workers"`
+	}
+	h := health{
+		Status:     "ok",
+		Jobs:       s.store.len(),
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+		CacheSize:  s.cache.len(),
+		Workers:    s.cfg.Workers,
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

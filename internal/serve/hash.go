@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+)
+
+// CircuitHash returns the hex sha256 of the circuit's canonical bytes
+// (netlist.AppendCanonical): the content address of everything the solver
+// sees. Instance and cell names are excluded — renaming gates does not
+// change the solve — while gate/edge order is included, because the
+// kernels' fixed reduction order makes a reordered circuit a different
+// float computation.
+func CircuitHash(c *netlist.Circuit) string {
+	sum := sha256.Sum256(c.AppendCanonical(nil))
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheKey derives the content address of one solve: the circuit hash
+// input, the normalized options fingerprint (which deliberately excludes
+// Workers/Tracer/TraceCost — see partition.Options.Fingerprint), the
+// plane count, the restart count, and the balanced-rounding slack (NaN
+// when plain argmax snapping is used). Any two requests with equal keys
+// are guaranteed the same result bytes; the determinism tests hold the
+// serve stack to that.
+func cacheKey(c *netlist.Circuit, optsFingerprint string, k, restarts int, balanced float64, hasBalanced bool) string {
+	h := sha256.New()
+	h.Write([]byte("gpp-serve-v1\n"))
+	h.Write(c.AppendCanonical(nil))
+	fmt.Fprintf(h, "\n%s|k=%d|restarts=%d", optsFingerprint, k, restarts)
+	if hasBalanced {
+		fmt.Fprintf(h, "|balanced=%s", strconv.FormatFloat(balanced, 'x', -1, 64))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// jobKey computes the cache key for a parsed job request. The options must
+// already be normalized for k so the fingerprint resolves the K-dependent
+// InitStep default.
+func jobKey(c *netlist.Circuit, opts partition.Options, k, restarts int, balanced *float64) (string, error) {
+	fp, err := opts.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	if balanced != nil {
+		return cacheKey(c, fp, k, restarts, *balanced, true), nil
+	}
+	return cacheKey(c, fp, k, restarts, 0, false), nil
+}

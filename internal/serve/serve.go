@@ -1,0 +1,137 @@
+// Package serve is the partition-as-a-service subsystem: a stdlib-only
+// HTTP/JSON daemon that accepts partition jobs (circuit by DEF upload,
+// named benchmark, or prior-job reference), runs them on a bounded worker
+// pool, and answers repeated requests from a content-addressed result
+// cache so identical (circuit, options, K) solves never recompute.
+//
+// The moving parts, and the contracts the tests pin down:
+//
+//   - Job queue with backpressure. Submissions enter a bounded channel;
+//     when it is full the daemon answers 429 with a Retry-After header
+//     instead of buffering unboundedly. A draining daemon answers 503.
+//   - Content-addressed cache. The key is
+//     sha256(canonical circuit bytes ‖ normalized-options fingerprint ‖
+//     K ‖ restarts ‖ balanced slack); see cacheKey. Cached entries store
+//     the marshaled result body, so a cache hit returns bytes identical
+//     to the cold solve that produced them — and because the solver is
+//     bitwise deterministic at every Options.Workers count and Workers is
+//     excluded from the fingerprint, a cold solve at any worker count
+//     would produce those same bytes.
+//   - Per-job deadlines and cancellation. Every job carries a context
+//     whose timeout starts at submission (queue wait counts);
+//     DELETE /v1/jobs/{id} cancels it, and the solver stops within one
+//     gradient iteration (partition.SolveCtx).
+//   - Streaming progress. Each job owns an event broker fed by an
+//     obs.TracerFunc adapter; GET /v1/jobs/{id}/events replays the
+//     history and then streams live solver events as SSE frames encoded
+//     with the deterministic obs JSONL encoder.
+//   - Graceful shutdown. Shutdown stops admissions, closes the queue, and
+//     drains: every accepted job still runs to completion and keeps its
+//     response. Only when the shutdown context expires are in-flight
+//     solves cancelled.
+//
+// The daemon front-end lives in cmd/gpp-serve; the gpp facade re-exports
+// the Config type for embedding the server in other Go programs.
+package serve
+
+import (
+	"runtime"
+	"time"
+
+	"gpp/internal/cellib"
+	"gpp/internal/obs"
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// production-sane default filled in by New.
+type Config struct {
+	// QueueDepth bounds how many accepted-but-not-started jobs the daemon
+	// holds; a full queue rejects submissions with 429 + Retry-After.
+	// Default 64.
+	QueueDepth int
+
+	// Workers is how many jobs solve concurrently. 0 means one per CPU.
+	// Kernel parallelism inside each job defaults to serial (a job's
+	// options may raise it); cross-job concurrency is the daemon's main
+	// parallelism axis.
+	Workers int
+
+	// CacheEntries bounds the content-addressed result cache (LRU
+	// eviction). Default 256; 0 means the default, negative disables
+	// caching.
+	CacheEntries int
+
+	// MaxJobs bounds the job registry; beyond it the oldest finished job
+	// is evicted. Default 4096.
+	MaxJobs int
+
+	// DefaultJobTimeout applies when a request carries no timeout_ms.
+	// Default 2m.
+	DefaultJobTimeout time.Duration
+
+	// MaxJobTimeout caps any requested timeout. Default 10m.
+	MaxJobTimeout time.Duration
+
+	// ProgressEvery forwards every Nth iter event to a job's progress
+	// stream (all other event kinds always pass). Default 25; 1 streams
+	// every iteration.
+	ProgressEvery int
+
+	// Library resolves DEF uploads. Default cellib.Default().
+	Library *cellib.Library
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.DefaultJobTimeout <= 0 {
+		c.DefaultJobTimeout = 2 * time.Minute
+	}
+	if c.MaxJobTimeout <= 0 {
+		c.MaxJobTimeout = 10 * time.Minute
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 25
+	}
+	if c.Library == nil {
+		c.Library = cellib.Default()
+	}
+	return c
+}
+
+// Serve metrics, registered on the process-wide obs registry like the
+// solver and pool counters, so /metrics on the daemon exposes the whole
+// stack in one scrape.
+var (
+	mSubmitted = obs.Default().Counter("gpp_serve_jobs_submitted_total",
+		"partition jobs accepted (cache hits included)")
+	mCompleted = obs.Default().Counter("gpp_serve_jobs_completed_total",
+		"jobs that finished with a result (cache hits included)")
+	mFailed = obs.Default().Counter("gpp_serve_jobs_failed_total",
+		"jobs that ended in an error (deadline exceeded included)")
+	mCancelled = obs.Default().Counter("gpp_serve_jobs_cancelled_total",
+		"jobs cancelled by the client or a forced shutdown")
+	mCacheHits = obs.Default().Counter("gpp_serve_cache_hits_total",
+		"submissions answered from the content-addressed result cache")
+	mCacheMisses = obs.Default().Counter("gpp_serve_cache_misses_total",
+		"submissions that had to solve")
+	mRejected = obs.Default().Counter("gpp_serve_queue_rejected_total",
+		"submissions rejected with 429 because the queue was full")
+	mQueueDepth = obs.Default().Gauge("gpp_serve_queue_depth",
+		"jobs waiting in the queue")
+	mInflight = obs.Default().Gauge("gpp_serve_jobs_inflight",
+		"jobs currently solving")
+	mJobSeconds = obs.Default().Histogram("gpp_serve_job_seconds",
+		[]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120, 600},
+		"wall time of completed solves (cache hits excluded)")
+)

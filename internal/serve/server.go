@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"gpp/internal/obs"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+)
+
+// Server is the partition daemon: an http.Handler plus the worker pool
+// behind it. Create one with New, mount it (or let Run listen), and stop
+// it with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	store *jobStore
+	cache *lru
+	queue chan *job
+
+	// qmu guards the draining flag and queue sends against the close in
+	// Shutdown; a send never races the close because both hold qmu.
+	qmu      sync.Mutex
+	draining bool
+
+	workers  sync.WaitGroup
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+}
+
+// New builds a Server and starts its worker pool. The caller owns
+// shutdown: every New must be paired with Shutdown (tests included), or
+// the workers leak.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: newJobStore(cfg.MaxJobs),
+		cache: newLRU(cfg.CacheEntries),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	s.routes()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go func() {
+			defer s.workers.Done()
+			for j := range s.queue {
+				mQueueDepth.Set(float64(len(s.queue)))
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the daemon's mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the daemon: admissions stop (submissions get 503), the
+// queue is closed, and every accepted job — queued or in flight — runs to
+// completion with its response intact. If ctx expires first, in-flight
+// solves are cancelled (they stop within one gradient iteration, are
+// recorded as cancelled jobs, and the remaining queued jobs fail fast the
+// same way) and ctx's error is returned. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseStop() // cancel every job context; drains promptly
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Run listens on addr and serves until ctx is cancelled (the daemon wires
+// SIGTERM/SIGINT into ctx), then drains with the given grace period and
+// finally closes the listener. It returns the bound address via the
+// started callback (nil is fine) so callers binding ":0" can discover it.
+func (s *Server) Run(ctx context.Context, addr string, grace time.Duration, started func(addr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	if started != nil {
+		started(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	drainErr := s.Shutdown(dctx)
+	// In-flight jobs are done (or cancelled); now stop the HTTP side,
+	// giving open SSE streams a moment to flush their terminal frames.
+	hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer hcancel()
+	_ = hs.Shutdown(hctx)
+	return drainErr
+}
+
+// enqueue admits a job under the backpressure contract. It returns
+// http.StatusAccepted on success, 503 while draining, or 429 when full.
+func (s *Server) enqueue(j *job) int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.draining {
+		return http.StatusServiceUnavailable
+	}
+	select {
+	case s.queue <- j:
+		mQueueDepth.Set(float64(len(s.queue)))
+		return http.StatusAccepted
+	default:
+		return http.StatusTooManyRequests
+	}
+}
+
+// retryAfterSeconds estimates how long a rejected client should wait: one
+// queue slot's worth of the recent mean job time, floored at one second.
+func (s *Server) retryAfterSeconds() int {
+	n := mJobSeconds.Count()
+	if n == 0 {
+		return 1
+	}
+	mean := mJobSeconds.Sum() / float64(n)
+	wait := mean * float64(s.cfg.QueueDepth) / float64(s.cfg.Workers)
+	if wait < 1 {
+		return 1
+	}
+	if wait > 60 {
+		return 60
+	}
+	return int(wait + 0.5)
+}
+
+// runJob executes one queued job end to end.
+func (s *Server) runJob(j *job) {
+	defer j.cancel()
+	// A second identical request may have been cached while this one
+	// waited in the queue; serve it from there instead of re-solving.
+	if ent, ok := s.cache.get(j.key); ok {
+		mCacheHits.Inc()
+		mCompleted.Inc()
+		j.setRunning()
+		j.finishOK(ent.body, ent.labels, true)
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		s.finishWithError(j, err)
+		return
+	}
+	j.setRunning()
+	mInflight.Add(1)
+	start := time.Now()
+	body, labels, err := s.solve(j)
+	mInflight.Add(-1)
+	if err != nil {
+		s.finishWithError(j, err)
+		return
+	}
+	mJobSeconds.Observe(time.Since(start).Seconds())
+	s.cache.put(&cacheEntry{key: j.key, body: body, labels: labels})
+	mCompleted.Inc()
+	j.finishOK(body, labels, false)
+}
+
+func (s *Server) finishWithError(j *job, err error) {
+	if errors.Is(err, context.Canceled) {
+		mCancelled.Inc()
+		j.finishErr(StatusCancelled, err)
+		return
+	}
+	mFailed.Inc()
+	j.finishErr(StatusFailed, err)
+}
+
+// solve runs the job's configured solver flavor and marshals the result
+// envelope. The progress tracer forwards a throttled event stream into
+// the job's broker; the solver's determinism guarantees make the envelope
+// a pure function of the cache key.
+func (s *Server) solve(j *job) (body []byte, labels []int, err error) {
+	p, err := partition.FromCircuit(j.circuit, j.k)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := j.opts
+	every := s.cfg.ProgressEvery
+	br := j.broker
+	opts.Tracer = obs.TracerFunc(func(e obs.Event) {
+		if e.Kind == obs.KindIter && every > 1 && e.Iter%every != 0 {
+			return
+		}
+		br.publish(e)
+	})
+
+	var res *partition.Result
+	bestSeed := int64(0)
+	switch {
+	case j.balanced != nil:
+		res, err = p.SolveBalancedCtx(j.ctx, opts, *j.balanced)
+	case j.restarts > 1:
+		var pf *partition.Portfolio
+		pf, err = p.SolvePortfolio(j.ctx, opts, partition.PortfolioOptions{
+			Restarts: j.restarts,
+			// Restarts are the parallelism axis within the job; kernels
+			// stay at the job's (default serial) worker count.
+			Workers: opts.Workers,
+		})
+		if err == nil {
+			res = pf.Best
+			bestSeed = pf.BestSeed
+		}
+	default:
+		res, err = p.SolveCtx(j.ctx, opts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := recycle.Evaluate(p, res.Labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := resultEnvelope{
+		K:            j.k,
+		BestSeed:     bestSeed,
+		Iters:        res.Iters,
+		Converged:    res.Converged,
+		DiscreteCost: res.Discrete.Total,
+		RefineMoves:  res.RefineMoves,
+		Labels:       res.Labels,
+		Metrics:      metricsJSON(m),
+	}
+	if j.plan {
+		pl, perr := recycle.BuildPlan(j.circuit, p, res.Labels, recycle.PlanOptions{Library: s.cfg.Library})
+		if perr != nil {
+			return nil, nil, perr
+		}
+		crossings, pairs := m.CrossingCount()
+		env.Plan = &planJSON{
+			SupplyCurrentMA: pl.SupplyCurrent,
+			SavedCurrentMA:  pl.SavedCurrent(),
+			StackVoltageMV:  pl.StackVoltage() * 1000,
+			Crossings:       crossings,
+			CouplerPairs:    pairs,
+			CouplerAreaMM2:  pl.TotalCouplerArea,
+			DummyAreaMM2:    pl.TotalDummyArea,
+			MaxHops:         pl.MaxHopsPerConnection,
+		}
+	}
+	body, err = json.Marshal(&env)
+	if err != nil {
+		return nil, nil, err
+	}
+	return body, res.Labels, nil
+}
+
+// resultEnvelope is the cached/served result document. Marshaling goes
+// through encoding/json with a fixed field order (struct order) and
+// shortest-round-trip floats, so bit-identical solver outputs marshal to
+// byte-identical documents — the property the cache-determinism tests
+// assert end to end.
+type resultEnvelope struct {
+	K            int         `json:"k"`
+	BestSeed     int64       `json:"best_seed,omitempty"`
+	Iters        int         `json:"iters"`
+	Converged    bool        `json:"converged"`
+	DiscreteCost float64     `json:"discrete_cost"`
+	RefineMoves  int         `json:"refine_moves,omitempty"`
+	Labels       []int       `json:"labels"`
+	Metrics      metricsBody `json:"metrics"`
+	Plan         *planJSON   `json:"plan,omitempty"`
+}
+
+// metricsBody mirrors recycle.Metrics with wire-friendly names plus the
+// paper's derived headline percentages.
+type metricsBody struct {
+	K           int       `json:"k"`
+	Gates       int       `json:"gates"`
+	Edges       int       `json:"edges"`
+	DistHist    []int     `json:"dist_hist"`
+	PlaneBias   []float64 `json:"plane_bias_ma"`
+	PlaneArea   []float64 `json:"plane_area_mm2"`
+	TotalBias   float64   `json:"total_bias_ma"`
+	TotalArea   float64   `json:"total_area_mm2"`
+	BMax        float64   `json:"b_max_ma"`
+	IComp       float64   `json:"i_comp_ma"`
+	ICompPct    float64   `json:"i_comp_pct"`
+	AMax        float64   `json:"a_max_mm2"`
+	AFreePct    float64   `json:"a_free_pct"`
+	EmptyPlanes int       `json:"empty_planes,omitempty"`
+	DistLE1Pct  float64   `json:"dist_le1_pct"`
+	DistLE2Pct  float64   `json:"dist_le2_pct"`
+	HalfKPct    float64   `json:"dist_le_halfk_pct"`
+}
+
+func metricsJSON(m *recycle.Metrics) metricsBody {
+	return metricsBody{
+		K: m.K, Gates: m.Gates, Edges: m.Edges,
+		DistHist: m.DistHist, PlaneBias: m.PlaneBias, PlaneArea: m.PlaneArea,
+		TotalBias: m.TotalBias, TotalArea: m.TotalArea,
+		BMax: m.BMax, IComp: m.IComp, ICompPct: m.ICompPct,
+		AMax: m.AMax, AFreePct: m.AFreePct, EmptyPlanes: m.EmptyPlanes,
+		DistLE1Pct: m.DistLEPct(1), DistLE2Pct: m.DistLEPct(2), HalfKPct: m.HalfKDistPct(),
+	}
+}
+
+// planJSON is the recycling-plan summary included when a job asks for it.
+type planJSON struct {
+	SupplyCurrentMA float64 `json:"supply_current_ma"`
+	SavedCurrentMA  float64 `json:"saved_current_ma"`
+	StackVoltageMV  float64 `json:"stack_voltage_mv"`
+	Crossings       int     `json:"crossings"`
+	CouplerPairs    int     `json:"coupler_pairs"`
+	CouplerAreaMM2  float64 `json:"coupler_area_mm2"`
+	DummyAreaMM2    float64 `json:"dummy_area_mm2"`
+	MaxHops         int     `json:"max_hops"`
+}

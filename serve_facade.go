@@ -1,0 +1,47 @@
+package gpp
+
+import (
+	"gpp/internal/serve"
+)
+
+// Serve facade: run the partition daemon inside another Go program. The
+// standalone daemon lives in cmd/gpp-serve; these re-exports give embedded
+// users the same subsystem without importing internal packages.
+
+type (
+	// ServeConfig sizes the partition daemon (queue depth, worker count,
+	// cache entries, per-job deadlines, progress-stream throttle).
+	ServeConfig = serve.Config
+	// Server is the partition daemon: an http.Handler plus its worker
+	// pool; stop it with Shutdown.
+	Server = serve.Server
+	// JobRequest is the POST /v1/jobs submission document.
+	JobRequest = serve.JobRequest
+	// JobOptions is the JSON mirror of the solver Options accepted in a
+	// JobRequest.
+	JobOptions = serve.JobOptions
+	// JobStatus is a job's lifecycle state (queued, running, done,
+	// failed, cancelled).
+	JobStatus = serve.Status
+)
+
+// NewServer builds a partition daemon and starts its worker pool. Mount
+// it on any mux (it is an http.Handler) or let Server.Run listen; pair
+// every NewServer with a Server.Shutdown.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// CircuitHash returns the content address of a circuit — the hex sha256
+// of its canonical solver-visible bytes (gate biases/areas and the edge
+// list, names excluded). Together with Options normalization it defines
+// the daemon's result-cache key.
+func CircuitHash(c *Circuit) string { return serve.CircuitHash(c) }
+
+// NormalizeOptions validates opts and fills every default the solver
+// would apply for a K-plane problem, so two spellings of the same solve
+// compare (and hash) equal.
+func NormalizeOptions(opts Options, k int) (Options, error) { return opts.NormalizeFor(k) }
+
+// OptionsFingerprint returns the stable hash of the normalized
+// solver-relevant option fields (Workers, Tracer and TraceCost excluded —
+// they never change the result).
+func OptionsFingerprint(opts Options) (string, error) { return opts.Fingerprint() }
