@@ -102,12 +102,12 @@ func TestJobKeyContract(t *testing.T) {
 		}
 		return n
 	}
-	base, err := jobKey(c, norm(partition.Options{Workers: 1}), 4, 1, nil)
+	base, err := jobKey(c, norm(partition.Options{Workers: 1}), 4, 1, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	parallel, err := jobKey(c, norm(partition.Options{Workers: 8}), 4, 1, nil)
+	parallel, err := jobKey(c, norm(partition.Options{Workers: 8}), 4, 1, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,17 +117,18 @@ func TestJobKeyContract(t *testing.T) {
 
 	slack := 0.05
 	variants := map[string]string{}
-	add := func(name string, opts partition.Options, k, restarts int, balanced *float64) {
-		key, err := jobKey(c, norm(opts), k, restarts, balanced)
+	add := func(name string, opts partition.Options, k, restarts int, balanced *float64, plan bool) {
+		key, err := jobKey(c, norm(opts), k, restarts, balanced, plan)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		variants[name] = key
 	}
-	add("k5", partition.Options{Workers: 1}, 5, 1, nil)
-	add("seed", partition.Options{Workers: 1, Seed: 9}, 4, 1, nil)
-	add("restarts", partition.Options{Workers: 1}, 4, 8, nil)
-	add("balanced", partition.Options{Workers: 1}, 4, 1, &slack)
+	add("k5", partition.Options{Workers: 1}, 5, 1, nil, false)
+	add("seed", partition.Options{Workers: 1, Seed: 9}, 4, 1, nil, false)
+	add("restarts", partition.Options{Workers: 1}, 4, 8, nil, false)
+	add("balanced", partition.Options{Workers: 1}, 4, 1, &slack, false)
+	add("plan", partition.Options{Workers: 1}, 4, 1, nil, true)
 	seen := map[string]string{base: "base"}
 	for name, key := range variants {
 		if prev, dup := seen[key]; dup {
@@ -140,7 +141,7 @@ func TestJobKeyContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	otherKey, err := jobKey(other, norm(partition.Options{Workers: 1}), 4, 1, nil)
+	otherKey, err := jobKey(other, norm(partition.Options{Workers: 1}), 4, 1, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

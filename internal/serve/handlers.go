@@ -20,8 +20,10 @@ import (
 )
 
 // maxRequestBytes bounds a submission body; DEF uploads dominate and the
-// paper-scale benchmarks are well under a megabyte.
-const maxRequestBytes = 64 << 20
+// paper-scale benchmarks are well under a megabyte, so 8 MiB is generous
+// headroom without letting a client pin tens of megabytes per request on
+// a body that would only fail DEF parsing anyway.
+const maxRequestBytes = 8 << 20
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
@@ -137,7 +139,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.statusJSON(j))
 		return
 	}
-	mCacheMisses.Inc()
+	// Misses are counted at resolution time (runJob), not here: a job that
+	// misses now may still be answered from the cache after queueing behind
+	// an identical solve, and counting both ends would double-book it.
 	s.store.add(j)
 	j.broker.publish(obs.Event{Kind: kindJobQueued})
 	switch code := s.enqueue(j); code {
@@ -219,7 +223,7 @@ func (s *Server) buildJob(req *JobRequest) (*job, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	key, err := jobKey(c, opts, req.K, restarts, req.BalancedSlack)
+	key, err := jobKey(c, opts, req.K, restarts, req.BalancedSlack, req.Plan)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}

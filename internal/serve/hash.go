@@ -24,11 +24,15 @@ func CircuitHash(c *netlist.Circuit) string {
 // cacheKey derives the content address of one solve: the circuit hash
 // input, the normalized options fingerprint (which deliberately excludes
 // Workers/Tracer/TraceCost — see partition.Options.Fingerprint), the
-// plane count, the restart count, and the balanced-rounding slack (NaN
-// when plain argmax snapping is used). Any two requests with equal keys
-// are guaranteed the same result bytes; the determinism tests hold the
-// serve stack to that.
-func cacheKey(c *netlist.Circuit, optsFingerprint string, k, restarts int, balanced float64, hasBalanced bool) string {
+// plane count, the restart count, the balanced-rounding slack (absent
+// when plain argmax snapping is used), and the plan flag. The plan flag
+// must be part of the key because the cached body differs with it: a
+// plan=true result embeds the recycling-plan section, a plan=false
+// result omits it, and serving one for the other would silently drop or
+// invent that section. Any two requests with equal keys are guaranteed
+// the same result bytes; the determinism tests hold the serve stack to
+// that.
+func cacheKey(c *netlist.Circuit, optsFingerprint string, k, restarts int, balanced float64, hasBalanced, plan bool) string {
 	h := sha256.New()
 	h.Write([]byte("gpp-serve-v1\n"))
 	h.Write(c.AppendCanonical(nil))
@@ -36,19 +40,22 @@ func cacheKey(c *netlist.Circuit, optsFingerprint string, k, restarts int, balan
 	if hasBalanced {
 		fmt.Fprintf(h, "|balanced=%s", strconv.FormatFloat(balanced, 'x', -1, 64))
 	}
+	if plan {
+		h.Write([]byte("|plan=true"))
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // jobKey computes the cache key for a parsed job request. The options must
 // already be normalized for k so the fingerprint resolves the K-dependent
 // InitStep default.
-func jobKey(c *netlist.Circuit, opts partition.Options, k, restarts int, balanced *float64) (string, error) {
+func jobKey(c *netlist.Circuit, opts partition.Options, k, restarts int, balanced *float64, plan bool) (string, error) {
 	fp, err := opts.Fingerprint()
 	if err != nil {
 		return "", err
 	}
 	if balanced != nil {
-		return cacheKey(c, fp, k, restarts, *balanced, true), nil
+		return cacheKey(c, fp, k, restarts, *balanced, true, plan), nil
 	}
-	return cacheKey(c, fp, k, restarts, 0, false), nil
+	return cacheKey(c, fp, k, restarts, 0, false, plan), nil
 }

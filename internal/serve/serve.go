@@ -11,7 +11,8 @@
 //     instead of buffering unboundedly. A draining daemon answers 503.
 //   - Content-addressed cache. The key is
 //     sha256(canonical circuit bytes ‖ normalized-options fingerprint ‖
-//     K ‖ restarts ‖ balanced slack); see cacheKey. Cached entries store
+//     K ‖ restarts ‖ balanced slack ‖ plan flag); see cacheKey. Cached
+//     entries store
 //     the marshaled result body, so a cache hit returns bytes identical
 //     to the cold solve that produced them — and because the solver is
 //     bitwise deterministic at every Options.Workers count and Workers is
@@ -124,7 +125,7 @@ var (
 	mCacheHits = obs.Default().Counter("gpp_serve_cache_hits_total",
 		"submissions answered from the content-addressed result cache")
 	mCacheMisses = obs.Default().Counter("gpp_serve_cache_misses_total",
-		"submissions that had to solve")
+		"jobs that reached a worker with no cached result (counted at resolution, not submission)")
 	mRejected = obs.Default().Counter("gpp_serve_queue_rejected_total",
 		"submissions rejected with 429 because the queue was full")
 	mQueueDepth = obs.Default().Gauge("gpp_serve_queue_depth",

@@ -180,6 +180,10 @@ func (s *Server) runJob(j *job) {
 		j.finishOK(ent.body, ent.labels, true)
 		return
 	}
+	// This is the single miss-counting point: every submission resolves as
+	// exactly one hit (here or synchronously at submit) or one miss, so
+	// hits + misses never exceeds submissions.
+	mCacheMisses.Inc()
 	if err := j.ctx.Err(); err != nil {
 		s.finishWithError(j, err)
 		return
@@ -234,12 +238,19 @@ func (s *Server) solve(j *job) (body []byte, labels []int, err error) {
 	case j.balanced != nil:
 		res, err = p.SolveBalancedCtx(j.ctx, opts, *j.balanced)
 	case j.restarts > 1:
+		// Restarts are the parallelism axis within the job: auto (one per
+		// CPU) while kernels stay serial, which is the daemon default. A
+		// request that raises kernel workers flips the axis — restarts go
+		// serial so exactly one of the two knobs is parallel, per the
+		// PortfolioOptions guidance (the product would oversubscribe).
+		portfolioWorkers := 0
+		if opts.Workers > 1 {
+			portfolioWorkers = 1
+		}
 		var pf *partition.Portfolio
 		pf, err = p.SolvePortfolio(j.ctx, opts, partition.PortfolioOptions{
 			Restarts: j.restarts,
-			// Restarts are the parallelism axis within the job; kernels
-			// stay at the job's (default serial) worker count.
-			Workers: opts.Workers,
+			Workers:  portfolioWorkers,
 		})
 		if err == nil {
 			res = pf.Best

@@ -553,6 +553,56 @@ func TestDEFUploadAndPlan(t *testing.T) {
 	}
 }
 
+// TestPlanFlagSplitsCacheKey is the regression test for a cache-key
+// collision: the plan flag changes the cached body (the recycling-plan
+// section is only present when requested), so a plan=true submission must
+// never be answered from a plan=false entry or vice versa.
+func TestPlanFlagSplitsCacheKey(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	bare := fastReq(7)
+	planned := fastReq(7)
+	planned.Plan = true
+
+	code, sbBare, _ := postJob(t, base, bare)
+	if code != http.StatusAccepted {
+		t.Fatalf("cold plan=false submit = %d, want 202", code)
+	}
+	if st := waitTerminal(t, base, sbBare.ID); st.Status != StatusDone {
+		t.Fatalf("plan=false job ended %s (%s)", st.Status, st.Error)
+	}
+
+	// The planned variant of the now-cached solve must miss and re-solve.
+	code, sbPlan, _ := postJob(t, base, planned)
+	if code != http.StatusAccepted || sbPlan.Cache != "miss" {
+		t.Fatalf("plan=true after cached plan=false: code=%d cache=%q, want 202/miss", code, sbPlan.Cache)
+	}
+	if sbPlan.Key == sbBare.Key {
+		t.Fatal("plan=true and plan=false share a cache key")
+	}
+	if st := waitTerminal(t, base, sbPlan.ID); st.Status != StatusDone {
+		t.Fatalf("plan=true job ended %s (%s)", st.Status, st.Error)
+	}
+
+	// Each flavor now hits its own entry with the matching body shape.
+	check := func(req JobRequest, wantPlan bool) {
+		t.Helper()
+		code, sb, _ := postJob(t, base, req)
+		if code != http.StatusOK || sb.Cache != "hit" {
+			t.Fatalf("resubmit plan=%v: code=%d cache=%q, want 200/hit", req.Plan, code, sb.Cache)
+		}
+		var env resultEnvelope
+		if err := json.Unmarshal(getBody(t, base, "/v1/jobs/"+sb.ID+"/result", http.StatusOK), &env); err != nil {
+			t.Fatal(err)
+		}
+		if got := env.Plan != nil; got != wantPlan {
+			t.Fatalf("plan=%v cache hit returned plan-present=%v", req.Plan, got)
+		}
+	}
+	check(bare, false)
+	check(planned, true)
+}
+
 func TestHealthzAndMetrics(t *testing.T) {
 	_, base := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
 	var h struct {
