@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench obs-bench serve-smoke fuzz
+.PHONY: build test check race bench bench-json bench-smoke obs-bench serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,24 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchtime 1x ./internal/partition ./internal/obs
+	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Solver hot-path perf trajectory (BENCH_PR4.json): full measurement run via
+# the gpp-bench -perf harness. Label the series after the commit under
+# measurement and append so before/after history accumulates, e.g.:
+#   make bench-json PERF_LABEL=pr4-fused
+PERF_LABEL ?= head
+bench-json:
+	$(GO) run ./cmd/gpp-bench -perf -perf-label $(PERF_LABEL) -perf-append
+
+# Liveness check for the perf harness itself: one tiny circuit, one op per
+# cell, output discarded — seconds, not minutes, so it rides in `make check`.
+bench-smoke:
+	$(GO) run ./cmd/gpp-bench -perf -perf-smoke -perf-out=- > /dev/null
 
 # Telemetry overhead benchmarks: SolveTraceOff vs SolveTraceNop bounds the
 # cost of the instrumentation hooks with tracing off (must stay <2% and

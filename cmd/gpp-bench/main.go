@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gpp/internal/experiments"
 	"gpp/internal/obs/obscli"
@@ -39,9 +40,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "solver random seed")
 	workers := flag.Int("workers", 1, "kernel worker goroutines per solve (0 = one per CPU); results are identical for every count")
 	restarts := flag.Int("restarts", 1, "random restarts per solve; the best discrete-cost result is kept")
+	perf := flag.Bool("perf", false, "run the solver perf harness instead of the tables and write a perf-trajectory JSON (see -perf-out)")
+	perfOut := flag.String("perf-out", "BENCH_PR4.json", "perf-trajectory output file (\"-\" for stdout)")
+	perfLabel := flag.String("perf-label", "head", "series label recorded in the trajectory file")
+	perfAppend := flag.Bool("perf-append", false, "append to / replace within an existing trajectory file instead of overwriting it")
+	perfSmoke := flag.Bool("perf-smoke", false, "one-op smoke run on a tiny circuit (keeps the harness wired into make check)")
+	perfTime := flag.Duration("perf-benchtime", time.Second, "minimum measurement time per benchmark cell")
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *perf {
+		if err := runPerf(*perfOut, *perfLabel, *perfAppend, *perfSmoke, *perfTime); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	sess, err := obsFlags.Start("gpp-bench")
 	if err != nil {

@@ -16,56 +16,137 @@ const (
 	edgeChunk = 1024
 )
 
-// scratch holds the reusable buffers of the cost/gradient kernels. Solve
-// allocates one scratch up front and threads it through every iteration, so
-// the descent loop itself is allocation-free (guarded by
-// TestSolveIterationPathAllocFree and the obs-bench benchmarks). The public
-// one-shot entry points (Cost, CostParallel, Gradient, …) allocate a fresh
-// scratch per call, which preserves their stateless contract — and, because
-// a fresh scratch is all zeros, makes the buffered kernels bitwise identical
-// to the historical allocating ones.
+// scratch holds the reusable buffers of the cost/gradient kernels plus the
+// executor they dispatch on (a persistent pool.Group inside Solve, a
+// one-shot pool.Ephemeral for the stateless entry points). Solve allocates
+// one scratch up front and threads it through every iteration, so the
+// descent loop itself is allocation-free (guarded by
+// TestSolveIterationPathAllocFree and the obs-bench benchmarks).
+//
+// The public one-shot entry points (Cost, CostParallel, Gradient, Labels,
+// …) allocate a fresh scratch per call, which preserves their stateless
+// contract — and, because a fresh scratch is all zeros, makes the buffered
+// kernels bitwise identical to the historical allocating ones. Each entry
+// point allocates only the buffers and kernel closures its passes actually
+// touch (newLabelsScratch / newPlaneScratch / newCostScratch /
+// newGradScratch below); newScratch is the full solver set.
 type scratch struct {
+	ex pool.Executor // dispatch target for every kernel in this scratch
+
 	l        []float64 // G continuous labels
 	ns       []float64 // G neighbor sums (F1 gradient)
+	cube     []float64 // |E| per-edge (l_i−l_j)³ terms (fused F1 → gather)
 	partEdge []float64 // edge-shard partials (F1 cost)
 	partGate []float64 // gate-shard partials (F4 cost)
 	partB    []float64 // gateShards×K per-plane bias partials
 	partA    []float64 // gateShards×K per-plane area partials
+	partNorm []float64 // gate-shard Σg² partials (traced solves only)
 	bk, ak   []float64 // K per-plane sums
 	bf, af   []float64 // K per-plane gradient factors (F2/F3)
 	clamp    []int     // gate-shard clamp counts (update step)
 
-	// Bound kernel inputs, set by the *Into entry points before each
-	// pool.Run. The shard closures below read them through the scratch
+	// Bound kernel inputs, set by the *With entry points before each
+	// dispatch. The shard closures below read them through the scratch
 	// pointer so the closures can be built once, here, and reused for the
-	// whole solve: pool.Run's parallel branch makes its fn argument
-	// escape, so a closure literal at the call site would heap-allocate
-	// on every kernel call — nine allocations per descent iteration.
-	w     W            // assignment matrix the kernels read
-	grad  []float64    // gradient output row block
-	c     Coeffs       // coefficients for the gradient pass
-	mode  GradientMode // gradient mode for F1/F4 terms
-	hasNS bool         // F1 gradient term active (sc.ns is valid)
-	hasBA bool         // F2/F3 gradient terms active (sc.bf/sc.af valid)
+	// whole solve: a dispatched fn escapes, so a closure literal at the
+	// call site would heap-allocate on every kernel call — several
+	// allocations per descent iteration.
+	w        W            // assignment matrix the kernels read
+	grad     []float64    // gradient output row block
+	c        Coeffs       // coefficients for the gradient pass
+	mode     GradientMode // gradient mode for F1/F4 terms
+	hasNS    bool         // F1 gradient term active (sc.ns / sc.cube valid)
+	hasBA    bool         // F2/F3 gradient terms active (sc.bf/sc.af valid)
+	wantNorm bool         // gradient pass also fills sc.partNorm
 
-	labelsFn func(int)
-	edgeF1Fn func(int)
-	planeFn  func(int)
-	gateF4Fn func(int)
-	nsFn     func(int)
-	gradFn   func(int)
+	labelsFn    func(int)
+	planeFn     func(int)
+	fusedGateFn func(int)
+	edgeIterFn  func(int)
+	nsFn        func(int)
+	nsGatherFn  func(int)
+	gradFn      func(int)
 }
 
-func (p *Problem) newScratch() *scratch {
+// newLabelsScratch carries exactly what the labels pass touches.
+func (p *Problem) newLabelsScratch(ex pool.Executor) *scratch {
+	sc := &scratch{ex: ex, l: make([]float64, p.G)}
+	sc.labelsFn = func(s int) { p.labelsShard(sc, s) }
+	return sc
+}
+
+// newPlaneScratch carries exactly what the per-plane sum pass touches.
+func (p *Problem) newPlaneScratch(ex pool.Executor) *scratch {
+	gs := pool.Shards(p.G, gateChunk)
+	sc := &scratch{
+		ex:    ex,
+		partB: make([]float64, gs*p.K),
+		partA: make([]float64, gs*p.K),
+		bk:    make([]float64, p.K),
+		ak:    make([]float64, p.K),
+	}
+	sc.planeFn = func(s int) { p.planeSumsShard(sc, s) }
+	return sc
+}
+
+// newCostScratch carries the buffers of one cost evaluation (fused gate
+// pass + F1 edge pass) — no gradient, neighbor-sum, or update state.
+func (p *Problem) newCostScratch(ex pool.Executor) *scratch {
 	gs := pool.Shards(p.G, gateChunk)
 	es := pool.Shards(len(p.Edges), edgeChunk)
 	sc := &scratch{
+		ex:       ex,
 		l:        make([]float64, p.G),
-		ns:       make([]float64, p.G),
 		partEdge: make([]float64, es),
 		partGate: make([]float64, gs),
 		partB:    make([]float64, gs*p.K),
 		partA:    make([]float64, gs*p.K),
+		bk:       make([]float64, p.K),
+		ak:       make([]float64, p.K),
+	}
+	sc.fusedGateFn = func(s int) { p.fusedGateShard(sc, s) }
+	sc.edgeIterFn = func(s int) { p.edgeIterShard(sc, s) }
+	return sc
+}
+
+// newGradScratch carries the buffers of one gradient evaluation (labels,
+// neighbor sums computed directly from the labels, plane sums, row pass).
+func (p *Problem) newGradScratch(ex pool.Executor) *scratch {
+	gs := pool.Shards(p.G, gateChunk)
+	sc := &scratch{
+		ex:    ex,
+		l:     make([]float64, p.G),
+		ns:    make([]float64, p.G),
+		partB: make([]float64, gs*p.K),
+		partA: make([]float64, gs*p.K),
+		bk:    make([]float64, p.K),
+		ak:    make([]float64, p.K),
+		bf:    make([]float64, p.K),
+		af:    make([]float64, p.K),
+	}
+	sc.labelsFn = func(s int) { p.labelsShard(sc, s) }
+	sc.planeFn = func(s int) { p.planeSumsShard(sc, s) }
+	sc.nsFn = func(s int) { p.neighborSumsShard(sc, s) }
+	sc.gradFn = func(s int) { p.gradientShard(sc, s) }
+	return sc
+}
+
+// newScratch is the full solver scratch: everything the fused iteration
+// evaluation (iterWith), the calibration gradient, the final cost, and the
+// update step need.
+func (p *Problem) newScratch(ex pool.Executor) *scratch {
+	gs := pool.Shards(p.G, gateChunk)
+	es := pool.Shards(len(p.Edges), edgeChunk)
+	sc := &scratch{
+		ex:       ex,
+		l:        make([]float64, p.G),
+		ns:       make([]float64, p.G),
+		cube:     make([]float64, len(p.Edges)),
+		partEdge: make([]float64, es),
+		partGate: make([]float64, gs),
+		partB:    make([]float64, gs*p.K),
+		partA:    make([]float64, gs*p.K),
+		partNorm: make([]float64, gs),
 		bk:       make([]float64, p.K),
 		ak:       make([]float64, p.K),
 		bf:       make([]float64, p.K),
@@ -73,10 +154,11 @@ func (p *Problem) newScratch() *scratch {
 		clamp:    make([]int, gs),
 	}
 	sc.labelsFn = func(s int) { p.labelsShard(sc, s) }
-	sc.edgeF1Fn = func(s int) { p.costF1Shard(sc, s) }
 	sc.planeFn = func(s int) { p.planeSumsShard(sc, s) }
-	sc.gateF4Fn = func(s int) { p.costF4Shard(sc, s) }
+	sc.fusedGateFn = func(s int) { p.fusedGateShard(sc, s) }
+	sc.edgeIterFn = func(s int) { p.edgeIterShard(sc, s) }
 	sc.nsFn = func(s int) { p.neighborSumsShard(sc, s) }
+	sc.nsGatherFn = func(s int) { p.nsGatherShard(sc, s) }
 	sc.gradFn = func(s int) { p.gradientShard(sc, s) }
 	return sc
 }
@@ -94,18 +176,16 @@ func (p *Problem) NewW() W { return make(W, p.G*p.K) }
 func (w W) At(i, k, K int) float64 { return w[i*K+k] }
 
 // Labels computes the continuous labels l_i = Σ_k (k+1)·w_{i,k} (Eq. 3).
-func (p *Problem) Labels(w W) []float64 { return p.labelsParallel(w, 1) }
-
-func (p *Problem) labelsParallel(w W, workers int) []float64 {
-	sc := p.newScratch()
-	p.labelsInto(w, workers, sc)
+func (p *Problem) Labels(w W) []float64 {
+	sc := p.newLabelsScratch(pool.Ephemeral(1))
+	p.labelsInto(w, sc)
 	return sc.l
 }
 
 // labelsInto fills sc.l with the continuous labels of w.
-func (p *Problem) labelsInto(w W, workers int, sc *scratch) {
+func (p *Problem) labelsInto(w W, sc *scratch) {
 	sc.w = w
-	pool.Run(workers, pool.Shards(p.G, gateChunk), sc.labelsFn)
+	sc.ex.Run(pool.Shards(p.G, gateChunk), sc.labelsFn)
 }
 
 func (p *Problem) labelsShard(sc *scratch, s int) {
@@ -125,8 +205,8 @@ func (p *Problem) labelsShard(sc *scratch, s int) {
 // accumulates into its own K-vector; the partials are merged in shard
 // order, so the totals are identical for every worker count.
 func (p *Problem) planeSums(w W, workers int) (bk, ak []float64) {
-	sc := p.newScratch()
-	p.planeSumsInto(w, workers, sc)
+	sc := p.newPlaneScratch(pool.Ephemeral(workers))
+	p.planeSumsInto(w, sc)
 	return sc.bk, sc.ak
 }
 
@@ -134,10 +214,10 @@ func (p *Problem) planeSums(w W, workers int) (bk, ak []float64) {
 // shard body (so a reused scratch behaves exactly like a fresh one) and
 // merged in shard-index order, keeping the totals bitwise identical for
 // every worker count.
-func (p *Problem) planeSumsInto(w W, workers int, sc *scratch) {
+func (p *Problem) planeSumsInto(w W, sc *scratch) {
 	shards := pool.Shards(p.G, gateChunk)
 	sc.w = w
-	pool.Run(workers, shards, sc.planeFn)
+	sc.ex.Run(shards, sc.planeFn)
 	for k := 0; k < p.K; k++ {
 		sc.bk[k], sc.ak[k] = 0, 0
 	}
@@ -175,28 +255,92 @@ func (p *Problem) Cost(w W, c Coeffs) Breakdown { return p.CostParallel(w, c, 1)
 // one per CPU). The fixed shard decomposition makes the result bitwise
 // identical for every worker count.
 func (p *Problem) CostParallel(w W, c Coeffs, workers int) Breakdown {
-	workers = pool.Resolve(workers)
-	return p.costWith(w, c, workers, p.newScratch())
+	sc := p.newCostScratch(pool.Ephemeral(pool.Resolve(workers)))
+	return p.costWith(w, c, sc)
 }
 
 // costWith is CostParallel against caller-owned scratch buffers — the
-// allocation-free form the descent loop uses.
-func (p *Problem) costWith(w W, c Coeffs, workers int, sc *scratch) Breakdown {
-	p.labelsInto(w, workers, sc)
-	f1 := p.costF1(workers, sc)
-	p.planeSumsInto(w, workers, sc)
+// allocation-free form the descent loop's final evaluation uses. It is the
+// cost half of iterWith: one fused gate sweep (labels + plane-sum + F4
+// partials) and one edge sweep (F1 partials).
+func (p *Problem) costWith(w W, c Coeffs, sc *scratch) Breakdown {
+	sc.w = w
+	sc.hasNS = false // cost only: the edge pass skips the cube fill
+	sc.ex.Run(pool.Shards(p.G, gateChunk), sc.fusedGateFn)
+	f4 := p.mergeGatePartials(sc)
 	f2, f3 := p.varianceF2F3(sc.bk, sc.ak)
-	f4 := p.costF4(w, workers, sc)
+	f1 := p.costF1(sc)
 	return c.combine(f1, f2, f3, f4)
 }
 
-// costF1 reads the labels from sc.l (filled by labelsInto).
-func (p *Problem) costF1(workers int, sc *scratch) float64 {
+// fusedGateShard is the single gate sweep shared by every cost/iteration
+// evaluation: one pass over the rows of w produces the continuous labels
+// (Eq. 3), the per-plane bias/area partial sums (F2/F3), and the F4 vertex
+// penalty partials. Each quantity keeps its own accumulator and its
+// historical accumulation order, so the fused sweep is bitwise identical to
+// the three separate sweeps it replaces — it just reads w once instead of
+// three times.
+func (p *Problem) fusedGateShard(sc *scratch, s int) {
+	w := sc.w
+	lo, hi := pool.ShardRange(p.G, gateChunk, s)
+	pb := sc.partB[s*p.K : (s+1)*p.K]
+	pa := sc.partA[s*p.K : (s+1)*p.K]
+	for k := range pb {
+		pb[k], pa[k] = 0, 0
+	}
+	invK := 1.0 / float64(p.K)
+	var f4 float64
+	for i := lo; i < hi; i++ {
+		b, a := p.Bias[i], p.Area[i]
+		row := w[i*p.K : (i+1)*p.K]
+		var lsum, rowSum float64
+		for k, v := range row {
+			lsum += float64(k+1) * v
+			pb[k] += b * v
+			pa[k] += a * v
+			rowSum += v
+		}
+		sc.l[i] = lsum
+		mean := rowSum * invK
+		t1 := rowSum - 1 // K·w̄_i − 1
+		var varSum float64
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		f4 += t1*t1 - invK*varSum
+	}
+	sc.partGate[s] = f4
+}
+
+// mergeGatePartials folds the fused gate sweep's shard partials in
+// shard-index order: per-plane sums into sc.bk/sc.ak and the normalized F4
+// total as the return value.
+func (p *Problem) mergeGatePartials(sc *scratch) (f4 float64) {
+	shards := pool.Shards(p.G, gateChunk)
+	for k := 0; k < p.K; k++ {
+		sc.bk[k], sc.ak[k] = 0, 0
+	}
+	var total float64
+	for s := 0; s < shards; s++ {
+		total += sc.partGate[s]
+		for k := 0; k < p.K; k++ {
+			sc.bk[k] += sc.partB[s*p.K+k]
+			sc.ak[k] += sc.partA[s*p.K+k]
+		}
+	}
+	return total / p.N4
+}
+
+// costF1 runs the edge sweep (reading the labels from sc.l) and merges its
+// partials. When sc.hasNS is set the sweep also fills sc.cube with the
+// per-edge cubed differences the gradient's neighbor-sum gather reuses.
+func (p *Problem) costF1(sc *scratch) float64 {
 	ne := len(p.Edges)
 	if ne == 0 {
 		return 0
 	}
-	pool.Run(workers, pool.Shards(ne, edgeChunk), sc.edgeF1Fn)
+	sc.ex.Run(pool.Shards(ne, edgeChunk), sc.edgeIterFn)
 	var total float64
 	for _, v := range sc.partEdge {
 		total += v
@@ -204,15 +348,43 @@ func (p *Problem) costF1(workers int, sc *scratch) float64 {
 	return total / p.N1
 }
 
-func (p *Problem) costF1Shard(sc *scratch, s int) {
+// edgeIterShard accumulates the F1 cost partial of one edge shard and — on
+// the fused iteration path — stores each edge's cubed label difference for
+// the neighbor-sum gather, so the gradient never recomputes l_i − l_j. The
+// cube values match the historical per-gate recomputation bitwise: d²·d
+// pairs the multiplications exactly as (d·d)·d did, and the paper-mode
+// |d|³ keeps its left-to-right association.
+func (p *Problem) edgeIterShard(sc *scratch, s int) {
 	l := sc.l
 	ne := len(p.Edges)
 	lo, hi := pool.ShardRange(ne, edgeChunk, s)
 	var sum float64
-	for _, e := range p.Edges[lo:hi] {
-		d := l[e[0]] - l[e[1]]
-		d2 := d * d
-		sum += d2 * d2
+	switch {
+	case !sc.hasNS:
+		for _, e := range p.Edges[lo:hi] {
+			d := l[e[0]] - l[e[1]]
+			d2 := d * d
+			sum += d2 * d2
+		}
+	case sc.mode == GradientExact:
+		cube := sc.cube
+		for ei := lo; ei < hi; ei++ {
+			e := p.Edges[ei]
+			d := l[e[0]] - l[e[1]]
+			d2 := d * d
+			sum += d2 * d2
+			cube[ei] = d2 * d
+		}
+	default: // GradientPaper: |l_i − l_j|³ (Eq. 10 as printed)
+		cube := sc.cube
+		for ei := lo; ei < hi; ei++ {
+			e := p.Edges[ei]
+			d := l[e[0]] - l[e[1]]
+			d2 := d * d
+			sum += d2 * d2
+			t := math.Abs(d)
+			cube[ei] = t * t * t
+		}
 	}
 	sc.partEdge[s] = sum
 }
@@ -237,39 +409,6 @@ func (p *Problem) varianceF2F3(bk, ak []float64) (f2, f3 float64) {
 	f2 = bVar / (float64(p.K) * p.N2)
 	f3 = aVar / (float64(p.K) * p.N3)
 	return f2, f3
-}
-
-func (p *Problem) costF4(w W, workers int, sc *scratch) float64 {
-	sc.w = w
-	pool.Run(workers, pool.Shards(p.G, gateChunk), sc.gateF4Fn)
-	var total float64
-	for _, v := range sc.partGate {
-		total += v
-	}
-	return total / p.N4
-}
-
-func (p *Problem) costF4Shard(sc *scratch, s int) {
-	w := sc.w
-	invK := 1.0 / float64(p.K)
-	lo, hi := pool.ShardRange(p.G, gateChunk, s)
-	var sum float64
-	for i := lo; i < hi; i++ {
-		row := w[i*p.K : (i+1)*p.K]
-		var rowSum float64
-		for _, v := range row {
-			rowSum += v
-		}
-		mean := rowSum * invK
-		t1 := rowSum - 1 // K·w̄_i − 1
-		var varSum float64
-		for _, v := range row {
-			d := v - mean
-			varSum += d * d
-		}
-		sum += t1*t1 - invK*varSum
-	}
-	sc.partGate[s] = sum
 }
 
 // GradientMode selects between the analytically exact gradients and the
@@ -324,38 +463,81 @@ func (p *Problem) Gradient(w W, c Coeffs, mode GradientMode, grad []float64) {
 // F4 exact: ∂F4/∂w_{i,k} = (2/N4)·[(K·w̄_i − 1) − (w_{i,k} − w̄_i)/K].
 // F4 paper (Eq. 10): (2/N4)·[(K + 1/K)(w̄_i − w_{i,k}) + K − 1].
 func (p *Problem) GradientParallel(w W, c Coeffs, mode GradientMode, grad []float64, workers int) {
-	workers = pool.Resolve(workers)
-	p.gradientWith(w, c, mode, grad, workers, p.newScratch())
+	sc := p.newGradScratch(pool.Ephemeral(pool.Resolve(workers)))
+	p.gradientWith(w, c, mode, grad, sc)
 }
 
-// gradientWith is GradientParallel against caller-owned scratch buffers —
-// the allocation-free form the descent loop uses.
-func (p *Problem) gradientWith(w W, c Coeffs, mode GradientMode, grad []float64, workers int, sc *scratch) {
+// gradientWith is GradientParallel against caller-owned scratch buffers.
+// The descent loop proper uses the fused iterWith instead; this standalone
+// form serves the one-shot entry points and the solver's step
+// auto-calibration, computing the neighbor sums directly from the labels
+// (no cube buffer required).
+func (p *Problem) gradientWith(w W, c Coeffs, mode GradientMode, grad []float64, sc *scratch) {
 	// Global quantities shared by all rows.
 	sc.hasNS = c.C1 != 0 && len(p.Edges) > 0 // F1 neighbor sums Σ_j (l_i − l_j)³
 	if sc.hasNS {
-		p.labelsInto(w, workers, sc)
-		p.neighborSumsInto(mode, workers, sc)
+		p.labelsInto(w, sc)
+		sc.mode = mode
+		sc.ex.Run(pool.Shards(p.G, gateChunk), sc.nsFn)
 	}
 	sc.hasBA = c.C2 != 0 || c.C3 != 0 // per-plane F2/F3 factors
 	if sc.hasBA {
-		p.planeSumsInto(w, workers, sc)
-		bk, ak := sc.bk, sc.ak
-		var bMean, aMean float64
-		for k := 0; k < p.K; k++ {
-			bMean += bk[k]
-			aMean += ak[k]
-		}
-		bMean /= float64(p.K)
-		aMean /= float64(p.K)
-		bf, af := sc.bf, sc.af
-		for k := 0; k < p.K; k++ {
-			bf[k] = 2 * c.C2 * (bk[k] - bMean) / (float64(p.K) * p.N2)
-			af[k] = 2 * c.C3 * (ak[k] - aMean) / (float64(p.K) * p.N3)
-		}
+		p.planeSumsInto(w, sc)
+		p.planeFactors(c, sc)
 	}
 	sc.w, sc.grad, sc.c, sc.mode = w, grad, c, mode
-	pool.Run(workers, pool.Shards(p.G, gateChunk), sc.gradFn)
+	sc.ex.Run(pool.Shards(p.G, gateChunk), sc.gradFn)
+}
+
+// iterWith is the fused per-iteration evaluation the descent loop runs: one
+// set of global reductions feeds both the cost Breakdown and the gradient.
+// Compared to the historical costWith + gradientWith pair it computes the
+// labels and per-plane sums once instead of twice, folds the F4 cost
+// partials into the same gate sweep, and shares the per-edge cubed label
+// differences between the F1 cost and the neighbor-sum gather. Every
+// individual accumulator keeps its historical association, so the fused
+// evaluation is bitwise identical to the two-pass one at every worker
+// count (see DESIGN.md §10).
+func (p *Problem) iterWith(w W, c Coeffs, mode GradientMode, grad []float64, sc *scratch) Breakdown {
+	sc.w, sc.mode = w, mode
+	sc.hasNS = c.C1 != 0 && len(p.Edges) > 0
+	gateShards := pool.Shards(p.G, gateChunk)
+
+	// Cost-side reductions (also the gradient's shared global quantities).
+	sc.ex.Run(gateShards, sc.fusedGateFn)
+	f4 := p.mergeGatePartials(sc)
+	f2, f3 := p.varianceF2F3(sc.bk, sc.ak)
+	f1 := p.costF1(sc) // fills sc.cube for the gather below (hasNS)
+
+	// Gradient-side finishing passes on the shared reductions.
+	if sc.hasNS {
+		sc.ex.Run(gateShards, sc.nsGatherFn)
+	}
+	sc.hasBA = c.C2 != 0 || c.C3 != 0
+	if sc.hasBA {
+		p.planeFactors(c, sc)
+	}
+	sc.grad, sc.c = grad, c
+	sc.ex.Run(gateShards, sc.gradFn)
+	return c.combine(f1, f2, f3, f4)
+}
+
+// planeFactors turns the per-plane sums sc.bk/sc.ak into the F2/F3 gradient
+// row factors sc.bf/sc.af.
+func (p *Problem) planeFactors(c Coeffs, sc *scratch) {
+	bk, ak := sc.bk, sc.ak
+	var bMean, aMean float64
+	for k := 0; k < p.K; k++ {
+		bMean += bk[k]
+		aMean += ak[k]
+	}
+	bMean /= float64(p.K)
+	aMean /= float64(p.K)
+	bf, af := sc.bf, sc.af
+	for k := 0; k < p.K; k++ {
+		bf[k] = 2 * c.C2 * (bk[k] - bMean) / (float64(p.K) * p.N2)
+		af[k] = 2 * c.C3 * (ak[k] - aMean) / (float64(p.K) * p.N3)
+	}
 }
 
 func (p *Problem) gradientShard(sc *scratch, s int) {
@@ -373,6 +555,7 @@ func (p *Problem) gradientShard(sc *scratch, s int) {
 	scale4 := 2 * c.C4 / p.N4
 	kf := float64(p.K)
 	lo, hi := pool.ShardRange(p.G, gateChunk, s)
+	var normSum float64
 	for i := lo; i < hi; i++ {
 		base := i * p.K
 		row := w[base : base+p.K]
@@ -412,19 +595,23 @@ func (p *Problem) gradientShard(sc *scratch, s int) {
 				}
 			}
 		}
+		if sc.wantNorm {
+			for k := 0; k < p.K; k++ {
+				normSum += g[k] * g[k]
+			}
+		}
+	}
+	if sc.wantNorm {
+		sc.partNorm[s] = normSum
 	}
 }
 
-// neighborSumsInto gathers sc.ns[i] = Σ_{j ~ i} (l_i − l_j)³ (exact mode)
+// neighborSumsShard gathers sc.ns[i] = Σ_{j ~ i} (l_i − l_j)³ (exact mode)
 // or the paper's oriented |·|³ sums from sc.l, via the incidence CSR. Each
 // gate's sum is accumulated privately in edge order — the same association
 // as the historical scatter loop — so the values match it bitwise while
-// staying write-conflict-free across workers.
-func (p *Problem) neighborSumsInto(mode GradientMode, workers int, sc *scratch) {
-	sc.mode = mode
-	pool.Run(workers, pool.Shards(p.G, gateChunk), sc.nsFn)
-}
-
+// staying write-conflict-free across workers. This is the standalone
+// variant used when no fused edge pass has filled sc.cube.
 func (p *Problem) neighborSumsShard(sc *scratch, sh int) {
 	l, mode := sc.l, sc.mode
 	lo, hi := pool.ShardRange(p.G, gateChunk, sh)
@@ -441,6 +628,26 @@ func (p *Problem) neighborSumsShard(sc *scratch, sh int) {
 				t = math.Abs(d)
 				t = t * t * t
 			}
+			if p.incSign[idx] < 0 {
+				// Incoming connection (Eq. 10 first line subtracts).
+				t = -t
+			}
+			sum += t
+		}
+		sc.ns[i] = sum
+	}
+}
+
+// nsGatherShard is neighborSumsShard against the per-edge cubes the fused
+// F1 pass already computed: a pure gather (load, sign, add) with no
+// floating-point recomputation, in the same per-gate edge order.
+func (p *Problem) nsGatherShard(sc *scratch, sh int) {
+	cube := sc.cube
+	lo, hi := pool.ShardRange(p.G, gateChunk, sh)
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for idx := p.incStart[i]; idx < p.incStart[i+1]; idx++ {
+			t := cube[p.incEdge[idx]]
 			if p.incSign[idx] < 0 {
 				// Incoming connection (Eq. 10 first line subtracts).
 				t = -t

@@ -120,6 +120,63 @@ func TestSolveWorkersDeterminismOptionCross(t *testing.T) {
 	}
 }
 
+// TestSolveWorkersDeterminismSweep pins the PR-4 acceptance sweep: Workers
+// = 1, 2, and NumCPU produce bitwise identical Results on real circuits,
+// with the persistent-group dispatch on the fused iteration kernel. (The
+// option-cross test above covers odd counts; this one is the named
+// contract.)
+func TestSolveWorkersDeterminismSweep(t *testing.T) {
+	counts := []int{1, 2, runtime.NumCPU()}
+	for _, circuit := range []string{"KSA16", "C499"} {
+		c, err := gen.Benchmark(circuit, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := FromCircuit(c, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *Result
+		for _, workers := range counts {
+			got, err := p.Solve(Options{Seed: 1, MaxIters: 80, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			requireIdenticalResults(t, fmt.Sprintf("%s workers %d", circuit, workers), want, got)
+		}
+	}
+}
+
+// TestSolveNoGoroutineLeak bounds runtime.NumGoroutine across repeated
+// multi-worker solves: each solve's persistent group must tear its workers
+// down synchronously on return (Group.Close waits for worker exit), so the
+// goroutine count cannot creep with solve count.
+func TestSolveNoGoroutineLeak(t *testing.T) {
+	if raceEnabled {
+		t.Skip("goroutine accounting is noisy under -race")
+	}
+	p := randProblem(t, 300, 5, 900, 21)
+	opts := Options{Seed: 1, MaxIters: 5, Margin: 1e-300, Workers: 8}
+	if _, err := p.Solve(opts); err != nil { // warm-up: lazy runtime goroutines
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		if _, err := p.Solve(opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Solve returns only after Group.Close's exited.Wait, so no settling
+	// sleep is needed: any growth here is a real leak.
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew across 25 solves: %d before, %d after", before, after)
+	}
+}
+
 // TestCostParallelBitIdentical checks the cost kernel alone across worker
 // counts, including non-divisors of the shard count.
 func TestCostParallelBitIdentical(t *testing.T) {

@@ -207,7 +207,15 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 		opts.InitStep = 0.25 / float64(p.K)
 	}
 	tracer := opts.Tracer
-	sc := p.newScratch()
+	// One persistent worker group per solve: the descent loop dispatches
+	// ~5 shard kernels per iteration, and reusing parked workers turns each
+	// dispatch from workers goroutine spawns + joins into one channel send
+	// per worker. Close tears the goroutines down synchronously on every
+	// return path, so solves never leak workers.
+	grp := pool.NewGroup(workers)
+	defer grp.Close()
+	sc := p.newScratch(grp)
+	sc.wantNorm = tracer != nil
 	if tracer != nil {
 		// Neither event records the worker count: the shard layout is a
 		// pure function of the problem size, and the trace stream must be
@@ -251,7 +259,7 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 	step := opts.LearnRate
 	if step <= 0 {
 		// Auto-calibrate: first step moves the largest entry by InitStep.
-		p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, workers, sc)
+		p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, sc)
 		maxAbs := 0.0
 		for _, g := range grad {
 			if a := math.Abs(g); a > maxAbs {
@@ -268,7 +276,7 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 	// Lines 17–24 worker body: gradient step with clamping. The update is
 	// elementwise per gate row (no cross-row reductions), so the shards
 	// are trivially deterministic for any worker count. The closure is
-	// built once, outside the loop — pool.Run makes its fn escape, so a
+	// built once, outside the loop — a dispatched fn escapes, so a
 	// literal inside the loop would heap-allocate every iteration.
 	update := func(s int) {
 		lo, hi := pool.ShardRange(p.G, gateChunk, s)
@@ -340,6 +348,7 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 
 	res := &Result{StepSize: step}
 	costOld := math.Inf(1)
+	var relaxed Breakdown
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			if serr := obs.SinkErr(tracer); serr != nil {
@@ -347,8 +356,10 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 			}
 			return nil, fmt.Errorf("partition: solve cancelled after %d iterations: %w", iter, err)
 		}
-		// Line 13: cost_new.
-		bd := p.costWith(w, opts.Coeffs, workers, sc)
+		// Lines 13 and 17–19, fused: one set of global reductions (labels,
+		// per-plane sums, per-edge cubes) yields both cost_new and ∇F at
+		// the current w (see DESIGN.md §10).
+		bd := p.iterWith(w, opts.Coeffs, opts.Gradient, grad, sc)
 		costNew := bd.Total
 		if opts.TraceCost {
 			res.CostTrace = append(res.CostTrace, costNew)
@@ -363,24 +374,27 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 			if math.Abs(costNew-costOld)/denom <= opts.Margin {
 				res.Converged = true
 				res.Iters = iter
+				// No update ran this iteration, so w is final and bd is
+				// already the relaxed cost at it — no extra evaluation.
+				relaxed = bd
 				break
 			}
 		}
 		costOld = costNew
 
-		// Lines 17–24: gradient step with clamping.
-		p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, workers, sc)
 		var gradNorm float64
 		if tracer != nil {
-			// Serial reduction, computed only when traced: the merge order
-			// is fixed, so the value diffs clean across Workers settings.
+			// Per-shard Σg² partials merged in shard-index order: the
+			// gradient pass already visited every entry, and the fixed
+			// merge order diffs clean across Workers settings.
 			var sum float64
-			for _, g := range grad {
-				sum += g * g
+			for _, v := range sc.partNorm {
+				sum += v
 			}
 			gradNorm = math.Sqrt(sum)
 		}
-		pool.Run(workers, pool.Shards(p.G, gateChunk), update)
+		// Lines 20–24: apply the step.
+		grp.Run(pool.Shards(p.G, gateChunk), update)
 		res.Iters = iter + 1
 		if tracer != nil {
 			clamped := 0
@@ -394,7 +408,12 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 	}
 
 	res.W = w
-	res.Relaxed = p.costWith(w, opts.Coeffs, workers, sc)
+	if !res.Converged {
+		// Cap-terminated: the last update moved w after its evaluation,
+		// so the final relaxed cost needs one more pass.
+		relaxed = p.costWith(w, opts.Coeffs, sc)
+	}
+	res.Relaxed = relaxed
 	// Lines 27–30: snap to argmax.
 	res.Labels = p.Assign(w)
 	if tracer != nil {

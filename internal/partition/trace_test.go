@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -204,26 +205,39 @@ func TestSolveTraceSinkErrorSurfaced(t *testing.T) {
 
 // TestSolveIterationPathAllocFree is the tier-1 guard for design constraint
 // №1 of internal/obs: with tracing off, the descent loop performs zero
-// allocations per iteration. Two solves differing only in iteration count
-// must allocate exactly the same — every allocation is per-solve setup.
+// allocations per iteration — at every worker count, now that dispatches go
+// through the persistent group (one channel send per worker, no goroutine
+// spawns). Two solves differing only in iteration count must allocate
+// exactly the same — every allocation is per-solve setup.
 func TestSolveIterationPathAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
 	p := traceProblem(t, "KSA4", 5)
-	solve := func(maxIters int) func() {
-		return func() {
-			// A margin no real cost ratio reaches keeps the loop running
-			// for exactly maxIters iterations.
-			if _, err := p.Solve(Options{Seed: 1, MaxIters: maxIters, Margin: 1e-300, Workers: 1}); err != nil {
-				t.Fatal(err)
-			}
+	counts := []int{1, 2, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if seen[workers] {
+			continue
 		}
-	}
-	short := testing.AllocsPerRun(5, solve(10))
-	long := testing.AllocsPerRun(5, solve(110))
-	if long != short {
-		t.Errorf("iteration path allocates: %.1f allocs at 10 iters vs %.1f at 110 (+%.2f per iteration)",
-			short, long, (long-short)/100)
+		seen[workers] = true
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			solve := func(maxIters int) func() {
+				return func() {
+					// A margin no real cost ratio reaches keeps the loop
+					// running for exactly maxIters iterations.
+					if _, err := p.Solve(Options{Seed: 1, MaxIters: maxIters, Margin: 1e-300, Workers: workers}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			short := testing.AllocsPerRun(5, solve(10))
+			long := testing.AllocsPerRun(5, solve(110))
+			if long != short {
+				t.Errorf("iteration path allocates: %.1f allocs at 10 iters vs %.1f at 110 (+%.2f per iteration)",
+					short, long, (long-short)/100)
+			}
+		})
 	}
 }

@@ -1,0 +1,171 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gpp/internal/obs"
+)
+
+// Persistent-group metrics: groups created and dispatches handed to live
+// workers (as opposed to the spawn-per-call Run path).
+var (
+	mGroups = obs.Default().Counter("gpp_pool_groups_total",
+		"persistent worker groups created")
+	mGroupDispatches = obs.Default().Counter("gpp_pool_group_dispatches_total",
+		"shard-kernel dispatches executed on persistent group workers")
+)
+
+// Executor runs a shard kernel: fn(s) for every shard s in [0, shards).
+// Implementations must uphold the pool contract — every shard runs exactly
+// once, fn touches only shard-private state, and the caller merges partials
+// in shard-index order afterwards — so a kernel behaves identically on any
+// Executor.
+//
+// Two implementations exist: Ephemeral (spawn-per-call, for one-shot entry
+// points) and *Group (persistent workers, for iteration hot loops).
+type Executor interface {
+	Run(shards int, fn func(shard int))
+}
+
+// Ephemeral returns a one-shot Executor that dispatches through Run with a
+// fixed worker count, spawning and joining goroutines on every call. Fine
+// for single evaluations; inside an iteration loop use a Group instead.
+func Ephemeral(workers int) Executor { return ephemeral(workers) }
+
+type ephemeral int
+
+func (e ephemeral) Run(shards int, fn func(shard int)) { Run(int(e), shards, fn) }
+
+// Group is a persistent worker pool: `workers−1` long-lived goroutines plus
+// the dispatching caller, created once and reused for every Run until Close.
+// Compared to the spawn-per-call Run path it replaces one goroutine spawn +
+// join per worker per dispatch with one buffered-channel send per worker —
+// the difference the descent loop's ~5 dispatches per iteration live on.
+//
+// A dispatch is an epoch: the caller publishes the kernel and shard count,
+// resets the shared shard cursor, wakes the workers, then works the cursor
+// itself; a barrier (sync.WaitGroup) closes the epoch when every
+// participant has drained the cursor. The channel send/receive orders the
+// epoch state writes before the workers' reads, and the barrier orders the
+// workers' shard writes before the caller's shard-order merge — the same
+// happens-before edges the spawn-per-call path got from go/Wait.
+//
+// Determinism is untouched: the shard layout never depends on the worker
+// count (Shards/ShardRange are functions of the problem size only), workers
+// race only for *which* shard to run next, and every shard still writes
+// only shard-private state. Run is not reentrant — one dispatch at a time,
+// from one goroutine (the solver's descent loop is exactly that shape).
+//
+// A nil or single-worker Group runs shards inline in index order: the
+// serial path, with zero goroutine overhead and no goroutines to leak.
+type Group struct {
+	workers int
+	wake    []chan struct{} // one slot per persistent worker (workers−1 of them)
+	fn      func(int)       // current epoch's kernel
+	shards  int             // current epoch's shard count
+	next    atomic.Int64    // shared shard cursor
+	barrier sync.WaitGroup  // open participants of the current epoch
+	exited  sync.WaitGroup  // worker lifetimes, for a synchronous Close
+	closed  bool
+}
+
+// NewGroup creates a persistent group of `workers` participants: the caller
+// plus workers−1 goroutines parked on their wake channels. workers ≤ 1
+// creates a no-goroutine group whose Run is a plain serial loop.
+func NewGroup(workers int) *Group {
+	g := &Group{workers: workers}
+	if workers <= 1 {
+		return g
+	}
+	mGroups.Inc()
+	g.wake = make([]chan struct{}, workers-1)
+	g.exited.Add(workers - 1)
+	for i := range g.wake {
+		g.wake[i] = make(chan struct{}, 1)
+		go g.worker(i)
+	}
+	return g
+}
+
+// Workers reports the group's participant count (callers size shard batches
+// and validation messages off it).
+func (g *Group) Workers() int {
+	if g == nil {
+		return 1
+	}
+	return g.workers
+}
+
+func (g *Group) worker(id int) {
+	defer g.exited.Done()
+	for range g.wake[id] {
+		g.drain()
+		g.barrier.Done()
+	}
+}
+
+// drain claims shards off the epoch cursor until none remain.
+func (g *Group) drain() {
+	fn, shards := g.fn, g.shards
+	for {
+		s := int(g.next.Add(1)) - 1
+		if s >= shards {
+			return
+		}
+		fn(s)
+	}
+}
+
+// Run executes fn(s) for every shard s in [0, shards) on the group. With one
+// participant (or one shard) the shards run inline in index order — exactly
+// the serial Run path. Otherwise min(workers, shards) participants drain the
+// shared cursor. Not reentrant; callers dispatch one kernel at a time.
+func (g *Group) Run(shards int, fn func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	mRuns.Inc()
+	mShards.Add(int64(shards))
+	participants := 1
+	if g != nil {
+		participants = g.workers
+	}
+	if participants > shards {
+		participants = shards
+	}
+	if participants <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	mParallelRuns.Inc()
+	mGroupDispatches.Inc()
+	g.fn, g.shards = fn, shards
+	g.next.Store(0)
+	// Wake workers first so they overlap with the caller's own drain; the
+	// caller is always a participant, so only participants−1 workers wake.
+	g.barrier.Add(participants - 1)
+	for i := 0; i < participants-1; i++ {
+		g.wake[i] <- struct{}{}
+	}
+	g.drain()
+	g.barrier.Wait()
+	g.fn = nil // drop the kernel reference between epochs
+}
+
+// Close retires the persistent workers and waits until every goroutine has
+// exited, so callers can bound goroutine counts deterministically (the leak
+// regression test does exactly that). Closing a nil, serial, or
+// already-closed group is a no-op. Close must not race a Run.
+func (g *Group) Close() {
+	if g == nil || g.workers <= 1 || g.closed {
+		return
+	}
+	g.closed = true
+	for _, ch := range g.wake {
+		close(ch)
+	}
+	g.exited.Wait()
+}

@@ -1,0 +1,177 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 4, 9} {
+		g := NewGroup(workers)
+		for _, shards := range []int{0, 1, 2, 3, 7, 64, 257} {
+			hits := make([]atomic.Int32, shards)
+			g.Run(shards, func(s int) { hits[s].Add(1) })
+			for s := range hits {
+				if got := hits[s].Load(); got != 1 {
+					t.Errorf("workers=%d shards=%d: shard %d ran %d times, want 1",
+						workers, shards, s, got)
+				}
+			}
+		}
+		g.Close()
+	}
+}
+
+func TestGroupSerialIsInOrder(t *testing.T) {
+	for _, g := range []*Group{nil, NewGroup(0), NewGroup(1)} {
+		var order []int
+		g.Run(5, func(s int) { order = append(order, s) })
+		for s, got := range order {
+			if got != s {
+				t.Fatalf("serial group ran shards out of order: %v", order)
+			}
+		}
+		if len(order) != 5 {
+			t.Fatalf("serial group ran %d shards, want 5", len(order))
+		}
+		g.Close()
+	}
+}
+
+// TestGroupSingleShardRunsInline checks that a one-shard dispatch never pays
+// for a worker handoff: the caller runs it.
+func TestGroupSingleShardRunsInline(t *testing.T) {
+	g := NewGroup(4)
+	defer g.Close()
+	var calls int // not atomic: must be caller-only
+	g.Run(1, func(s int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("single shard ran %d times, want 1", calls)
+	}
+}
+
+// TestGroupReuse dispatches many kernels through the same group, checking
+// the epoch handoff resets cleanly between Runs.
+func TestGroupReuse(t *testing.T) {
+	g := NewGroup(4)
+	defer g.Close()
+	var total atomic.Int64
+	for ep := 0; ep < 200; ep++ {
+		shards := 1 + ep%13
+		g.Run(shards, func(s int) { total.Add(int64(s + 1)) })
+	}
+	var want int64
+	for ep := 0; ep < 200; ep++ {
+		n := int64(1 + ep%13)
+		want += n * (n + 1) / 2
+	}
+	if got := total.Load(); got != want {
+		t.Fatalf("200 reused dispatches summed %d, want %d", got, want)
+	}
+}
+
+func TestGroupWorkers(t *testing.T) {
+	var nilG *Group
+	if got := nilG.Workers(); got != 1 {
+		t.Errorf("nil group Workers() = %d, want 1", got)
+	}
+	g := NewGroup(6)
+	defer g.Close()
+	if got := g.Workers(); got != 6 {
+		t.Errorf("Workers() = %d, want 6", got)
+	}
+}
+
+// TestGroupCloseStopsGoroutines verifies Close is synchronous: after it
+// returns, the group's goroutines are gone.
+func TestGroupCloseStopsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	g := NewGroup(8)
+	g.Run(64, func(int) {})
+	g.Close()
+	g.Close() // idempotent
+	// NumGoroutine can transiently overshoot from unrelated runtime
+	// goroutines; poll briefly rather than demanding instant equality.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after Close: %d, want ≤ %d (pre-create)",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGroupRunAfterSerialClose checks the degenerate groups tolerate Close
+// then further (serial) use — Close on them is a documented no-op.
+func TestGroupSerialCloseNoOp(t *testing.T) {
+	g := NewGroup(1)
+	g.Close()
+	ran := 0
+	g.Run(3, func(int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("serial group after Close ran %d shards, want 3", ran)
+	}
+	var nilG *Group
+	nilG.Close() // must not panic
+}
+
+// TestGroupMatchesEphemeral runs the same shard-partial reduction on a
+// persistent group and on the spawn-per-call path and requires bitwise
+// identical merges — the substitution the solver makes.
+func TestGroupMatchesEphemeral(t *testing.T) {
+	const shards = 41
+	kernel := func(out []float64) func(int) {
+		return func(s int) {
+			v := 1.0
+			for i := 0; i < 50; i++ {
+				v = v*1.0000001 + float64(s)/(float64(i)+1)
+			}
+			out[s] = v
+		}
+	}
+	want := make([]float64, shards)
+	Ephemeral(3).Run(shards, kernel(want))
+	for _, workers := range []int{1, 2, 5} {
+		g := NewGroup(workers)
+		got := make([]float64, shards)
+		g.Run(shards, kernel(got))
+		g.Close()
+		for s := range got {
+			if got[s] != want[s] {
+				t.Fatalf("workers=%d shard %d: group %x != ephemeral %x",
+					workers, s, got[s], want[s])
+			}
+		}
+	}
+}
+
+func BenchmarkGroupDispatch(b *testing.B) {
+	for _, workers := range []int{2, 4} {
+		g := NewGroup(workers)
+		b.Run(benchName("group", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Run(32, func(int) {})
+			}
+		})
+		g.Close()
+	}
+	for _, workers := range []int{2, 4} {
+		b.Run(benchName("spawn", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Run(workers, 32, func(int) {})
+			}
+		})
+	}
+}
+
+func benchName(kind string, workers int) string {
+	return kind + "W" + string(rune('0'+workers))
+}
