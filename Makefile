@@ -1,10 +1,10 @@
 # Build / test entry points. `make check` is the tier-1 gate (see README):
-# vet plus the full test suite under the race detector — the parallel
-# kernels and the restart portfolio must stay race-clean.
+# gofmt + vet plus the full test suite under the race detector — the
+# parallel kernels and the restart portfolio must stay race-clean.
 
 GO ?= go
 
-.PHONY: build test check race bench bench-json bench-smoke obs-bench serve-smoke fuzz
+.PHONY: build test check fmt-check race bench bench-json bench-smoke obs-bench serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,17 @@ build:
 test:
 	$(GO) test ./...
 
+# Formatting gate: gofmt -l prints offending files and stays silent when
+# clean; the shell check turns any output into a failure.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
 check:
+	$(MAKE) fmt-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchtime 1x ./internal/partition ./internal/obs
@@ -25,13 +32,15 @@ check:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Solver hot-path perf trajectory (BENCH_PR4.json): full measurement run via
-# the gpp-bench -perf harness. Label the series after the commit under
-# measurement and append so before/after history accumulates, e.g.:
-#   make bench-json PERF_LABEL=pr4-fused
+# Solver hot-path perf trajectory: full measurement run via the gpp-bench
+# -perf harness (now including the checkpoint-interval sweep). Label the
+# series after the commit under measurement and append so before/after
+# history accumulates, e.g.:
+#   make bench-json PERF_LABEL=pr5-ckpt PERF_OUT=BENCH_PR5.json
 PERF_LABEL ?= head
+PERF_OUT ?= BENCH_PR5.json
 bench-json:
-	$(GO) run ./cmd/gpp-bench -perf -perf-label $(PERF_LABEL) -perf-append
+	$(GO) run ./cmd/gpp-bench -perf -perf-label $(PERF_LABEL) -perf-out $(PERF_OUT) -perf-append
 
 # Liveness check for the perf harness itself: one tiny circuit, one op per
 # cell, output discarded — seconds, not minutes, so it rides in `make check`.

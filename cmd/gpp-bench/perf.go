@@ -1,6 +1,6 @@
 // perf.go implements gpp-bench's -perf mode: a self-contained micro-benchmark
 // harness over the solver hot path that appends its measurements to a
-// perf-trajectory JSON file (BENCH_PR4.json by default). Each invocation
+// perf-trajectory JSON file (BENCH_PR5.json by default). Each invocation
 // records one labelled series — run it once per commit of interest and the
 // file accumulates a before/after history that future PRs can extend:
 //
@@ -19,11 +19,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"gpp/internal/gen"
 	"gpp/internal/partition"
+	"gpp/internal/store"
 )
 
 // perfSchema versions the file layout so future PRs can evolve it without
@@ -182,6 +184,66 @@ func runPerf(out, label string, appendSeries, smoke bool, budget time.Duration) 
 			b := perfBench{
 				Name:    fmt.Sprintf("BenchmarkSolver%sK%dW%d", sc.circuit, sc.k, workers),
 				Circuit: sc.circuit, K: sc.k, Workers: workers,
+				Ops: ops, NsPerOp: ns, ItersPerOp: iters,
+				NsPerIter:   ns / float64(iters),
+				AllocsPerOp: allocs, BytesPerOp: bytes,
+			}
+			series.Benchmarks = append(series.Benchmarks, b)
+			fmt.Fprintf(os.Stderr, "perf: %-34s %12.0f ns/op %10.0f ns/iter %8.1f allocs/op\n",
+				b.Name, b.NsPerOp, b.NsPerIter, b.AllocsPerOp)
+		}
+	}
+
+	// Checkpoint-interval sweep: the same fixed-iteration solve with the
+	// durable snapshot hook off (the baseline every non-durable caller
+	// gets — must cost ~0) and firing every N iterations, each firing an
+	// encode + atomic fsync'd file replace. ns_per_iter against the
+	// baseline prices the crash-safety a -checkpoint run buys.
+	ckpt := struct {
+		circuit string
+		k       int
+		iters   int
+	}{"KSA32", 5, 200}
+	ckptIntervals := []int{0, 10, 100}
+	if smoke {
+		ckpt.circuit, ckpt.iters = "KSA4", 2
+		ckptIntervals = []int{0, 1}
+	}
+	ckptDir, err := os.MkdirTemp("", "gpp-bench-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(ckptDir)
+	snapPath := filepath.Join(ckptDir, "bench.snap")
+	{
+		p, err := perfProblem(ckpt.circuit, ckpt.k)
+		if err != nil {
+			return err
+		}
+		for _, every := range ckptIntervals {
+			opts := partition.Options{
+				Seed: 1, MaxIters: ckpt.iters, Margin: 1e-300, Workers: 1,
+			}
+			name := fmt.Sprintf("BenchmarkSolverCkpt%sOff", ckpt.circuit)
+			if every > 0 {
+				opts.CheckpointEvery = every
+				opts.Checkpoint = func(s *partition.Snapshot) error {
+					return store.WriteFileAtomic(snapPath, partition.EncodeSnapshot(s), 0o644)
+				}
+				name = fmt.Sprintf("BenchmarkSolverCkpt%sEvery%d", ckpt.circuit, every)
+			}
+			iters := 0
+			op := func() {
+				res, err := p.Solve(opts)
+				if err != nil {
+					panic(err)
+				}
+				iters = res.Iters
+			}
+			ops, ns, allocs, bytes := measureOp(op, budget, maxOps)
+			b := perfBench{
+				Name:    name,
+				Circuit: ckpt.circuit, K: ckpt.k, Workers: 1,
 				Ops: ops, NsPerOp: ns, ItersPerOp: iters,
 				NsPerIter:   ns / float64(iters),
 				AllocsPerOp: allocs, BytesPerOp: bytes,

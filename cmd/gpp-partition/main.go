@@ -15,6 +15,8 @@
 //	gpp-partition -circuit KSA32 -k 5 -restarts 16 -seeds   # concurrent restart portfolio
 //	gpp-partition -circuit C3540 -k 8 -workers 8            # parallel kernels, bit-identical to -workers 1
 //	gpp-partition -circuit KSA8 -k 5 -trace run.jsonl -manifest run.json  # telemetry artifacts
+//	gpp-partition -circuit C3540 -k 8 -checkpoint run.snap  # snapshot every 100 iterations
+//	gpp-partition -circuit C3540 -k 8 -resume run.snap      # continue; bitwise = uninterrupted
 //	gpp-partition -circuit C3540 -k 8 -metrics-addr :8080   # /metrics, /debug/vars, /debug/pprof
 package main
 
@@ -35,6 +37,7 @@ import (
 	"gpp/internal/partition"
 	"gpp/internal/place"
 	"gpp/internal/recycle"
+	"gpp/internal/store"
 	"gpp/internal/svg"
 	"gpp/internal/timing"
 	"gpp/internal/verif"
@@ -56,6 +59,9 @@ func main() {
 	placedDEF := flag.String("placed-def", "", "write partitioned+placed DEF (plane REGIONS/GROUPS) to this path")
 	layoutSVG := flag.String("layout-svg", "", "render the plane-banded layout as SVG to this path")
 	stackSVG := flag.String("stack-svg", "", "render the serial bias stack (Fig. 1) as SVG to this path")
+	checkpoint := flag.String("checkpoint", "", "write a solver snapshot to this path during the solve (atomic replace; restart with -resume)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "iterations between -checkpoint snapshots (0 = solver default, 100)")
+	resume := flag.String("resume", "", "resume the solve from a -checkpoint snapshot; the result is bitwise identical to an uninterrupted run")
 	plan := flag.Bool("plan", true, "print the current-recycling plan summary")
 	showTiming := flag.Bool("timing", false, "print the frequency-penalty analysis")
 	verify := flag.Bool("verify", true, "independently verify the result before reporting")
@@ -79,6 +85,33 @@ func main() {
 	sess.Meta("seed", *seed)
 
 	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers, Tracer: sess.Tracer}
+	if *checkpoint != "" || *resume != "" {
+		// Snapshots capture exactly one descent, so the multi-solve modes
+		// cannot use them: a portfolio interleaves restarts and a K search
+		// runs one solve per candidate K.
+		if *restarts > 1 || *limit > 0 {
+			fatal(fmt.Errorf("-checkpoint/-resume cover a single solve; drop -restarts/-limit"))
+		}
+	}
+	if *checkpoint != "" {
+		path := *checkpoint
+		opts.CheckpointEvery = *checkpointEvery
+		opts.Checkpoint = func(s *partition.Snapshot) error {
+			return store.WriteFileAtomic(path, partition.EncodeSnapshot(s), 0o644)
+		}
+	}
+	if *resume != "" {
+		raw, err := store.ReadFileChecked(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := partition.DecodeSnapshot(raw)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Resume = snap
+		fmt.Fprintf(os.Stderr, "gpp-partition: resuming from %s at iteration %d\n", *resume, snap.Iter)
+	}
 	// The manifest records the *normalized* options fingerprint, so two
 	// spellings of the same solve (say -seed 1 vs the default) are
 	// recognizably one configuration across runs — the same identity the

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestKillRestartDurability is the crash-recovery proof for -data-dir: a
+// real gpp-serve subprocess is SIGKILLed mid-solve — no drain, no
+// journal goodbye — and a second daemon on the same directory must (a)
+// serve the first daemon's finished result from disk byte-identical, as
+// a cache hit, and (b) replay the journaled unfinished job under its
+// original id and run it to completion.
+func TestKillRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	bin := filepath.Join(t.TempDir(), "gpp-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build gpp-serve: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	daemon1, base1 := startDaemon(t, bin, dataDir)
+
+	// Job A: small, runs to completion on daemon 1.
+	reqA := `{"circuit":"KSA8","k":4,"options":{"seed":7,"max_iters":300}}`
+	idA := submit(t, base1, reqA, http.StatusAccepted)
+	waitStatus(t, base1, idA, "done", 60*time.Second)
+	resultA := get(t, base1, "/v1/jobs/"+idA+"/result", http.StatusOK)
+
+	// Job B: a multi-second solve. Kill the daemon while it is mid-descent.
+	reqB := `{"circuit":"C3540","k":8}`
+	idB := submit(t, base1, reqB, http.StatusAccepted)
+	waitStatus(t, base1, idB, "running", 60*time.Second)
+	time.Sleep(200 * time.Millisecond) // well inside the gradient loop
+	if err := daemon1.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL daemon: %v", err)
+	}
+	_ = daemon1.Wait()
+
+	_, base2 := startDaemon(t, bin, dataDir)
+
+	// (a) Daemon 2 has never solved job A's request, yet answers it
+	// synchronously from the persisted cache, byte-identical.
+	idA2 := submit(t, base2, reqA, http.StatusOK)
+	var sb struct {
+		Cache  string          `json:"cache"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(getStatusDoc(t, base2, idA2), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Cache != "hit" {
+		t.Fatalf("replayed submission cache = %q, want hit", sb.Cache)
+	}
+	resultA2 := get(t, base2, "/v1/jobs/"+idA2+"/result", http.StatusOK)
+	if !bytes.Equal(resultA, resultA2) {
+		t.Fatalf("result changed across SIGKILL restart:\n pre: %s\npost: %s", resultA, resultA2)
+	}
+
+	// (b) Job B was journaled but never finished; daemon 2 must have
+	// re-enqueued it under its original id and completed it.
+	waitStatus(t, base2, idB, "done", 120*time.Second)
+	resultB := get(t, base2, "/v1/jobs/"+idB+"/result", http.StatusOK)
+	if len(resultB) == 0 {
+		t.Fatal("replayed job finished with an empty result")
+	}
+	// A fresh identical submission now hits the cache with those bytes.
+	idB2 := submit(t, base2, reqB, http.StatusOK)
+	resultB2 := get(t, base2, "/v1/jobs/"+idB2+"/result", http.StatusOK)
+	if !bytes.Equal(resultB, resultB2) {
+		t.Fatal("replayed result and its cache hit differ")
+	}
+
+	// The recovery is visible in the metrics.
+	metrics := string(get(t, base2, "/metrics", http.StatusOK))
+	for _, want := range []string{
+		"gpp_serve_jobs_recovered_total 1",
+		"gpp_journal_replayed_total",
+		"gpp_serve_cache_disk_hits_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+var listenRe = regexp.MustCompile(`listening on http://(\S+)`)
+
+// startDaemon launches the built binary on a free port with the given
+// data dir, parses the bound address off stderr, and registers cleanup.
+func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-data-dir", dataDir,
+		"-workers", "1", "-queue", "8")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			fmt.Fprintln(os.Stderr, "  [daemon]", line)
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never reported its listen address")
+		return nil, ""
+	}
+}
+
+// submit posts a job document and returns its id, asserting the HTTP
+// code (202 = queued, 200 = synchronous cache hit).
+func submit(t *testing.T, base, body string, wantCode int) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("submit = %d, want %d: %s", resp.StatusCode, wantCode, raw)
+	}
+	var sb struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &sb); err != nil || sb.ID == "" {
+		t.Fatalf("bad submit response %q: %v", raw, err)
+	}
+	return sb.ID
+}
+
+func getStatusDoc(t *testing.T, base, id string) []byte {
+	t.Helper()
+	return get(t, base, "/v1/jobs/"+id, http.StatusOK)
+}
+
+func get(t *testing.T, base, path string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d: %s", path, resp.StatusCode, wantCode, raw)
+	}
+	return raw
+}
+
+// waitStatus polls a job until it reaches the wanted state; any terminal
+// state other than the wanted one fails immediately.
+func waitStatus(t *testing.T, base, id, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var sb struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(getStatusDoc(t, base, id), &sb); err != nil {
+			t.Fatal(err)
+		}
+		if sb.Status == want {
+			return
+		}
+		switch sb.Status {
+		case "done", "failed", "cancelled":
+			t.Fatalf("job %s reached %s (%s) while waiting for %s", id, sb.Status, sb.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s within %v", id, want, timeout)
+}

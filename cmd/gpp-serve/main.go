@@ -19,6 +19,12 @@
 // /debug/pprof from the same listener. SIGTERM/SIGINT starts a graceful
 // drain: admissions stop with 503, accepted jobs run to completion (up to
 // -drain-timeout), then the process exits.
+//
+// With -data-dir the daemon is durable: solved results persist to a
+// content-addressed blob store in that directory and accepted jobs are
+// write-ahead journaled, so a crash or redeploy restarts with the cache
+// intact and re-runs unfinished jobs under their original ids.
+// -store-max-bytes bounds the blob store (GC at boot, oldest first).
 package main
 
 import (
@@ -43,9 +49,11 @@ func main() {
 	maxTimeout := flag.Duration("max-job-time", 10*time.Minute, "cap on any requested per-job deadline")
 	progressEvery := flag.Int("progress-every", 25, "stream every Nth solver iteration on /events (1 = all)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+	dataDir := flag.String("data-dir", "", "durable state directory: persists the result cache and write-ahead job journal across restarts (empty = in-memory)")
+	storeMax := flag.Int64("store-max-bytes", 0, "blob-store size budget enforced at boot, oldest entries evicted first (0 = unbounded; needs -data-dir)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		QueueDepth:        *queue,
 		Workers:           *workers,
 		CacheEntries:      *cacheEntries,
@@ -53,12 +61,18 @@ func main() {
 		DefaultJobTimeout: *defaultTimeout,
 		MaxJobTimeout:     *maxTimeout,
 		ProgressEvery:     *progressEvery,
+		DataDir:           *dataDir,
+		StoreMaxBytes:     *storeMax,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpp-serve:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	err := srv.Run(ctx, *addr, *drainTimeout, func(bound string) {
+	err = srv.Run(ctx, *addr, *drainTimeout, func(bound string) {
 		fmt.Fprintf(os.Stderr, "gpp-serve: listening on http://%s (healthz, /v1/jobs, /metrics, /debug/pprof)\n", bound)
 	})
 	if err != nil && ctx.Err() == nil {

@@ -1,0 +1,326 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Snapshot is the complete descent state at an iteration boundary: the
+// relaxed assignment matrix, the momentum velocity, the calibrated step,
+// the previous iteration's cost (the stopping criterion's reference), the
+// cost-trace prefix, and enough problem/options identity to refuse a
+// resume against the wrong solve. Restarting a solve from a Snapshot in a
+// fresh process produces a Result bitwise identical to the uninterrupted
+// run — at any Options.Workers count — because the snapshot point is an
+// iteration boundary and every kernel is already bitwise deterministic.
+//
+// The RNG is consumed only by the random initialization (G·K Float64
+// draws before iteration 0); every snapshot is taken after that, so
+// RNGDraws records the stream position for the format without a resumed
+// solve ever needing to re-draw.
+type Snapshot struct {
+	// Version is the codec version that produced this snapshot.
+	Version int
+
+	// Name is the problem name (informational; not checked on resume).
+	Name string
+
+	// G, K and EdgeCount pin the problem shape; Fingerprint pins the
+	// normalized options (see Options.Fingerprint). Resume rejects a
+	// snapshot whose identity does not match the problem and options it
+	// is resumed under — the continuation would be a different solve.
+	G, K, EdgeCount int
+	Fingerprint     string
+
+	// Seed is the originating solve's seed (informational; Fingerprint
+	// already covers it).
+	Seed int64
+
+	// Iter is the number of completed gradient iterations: the resumed
+	// loop continues at iteration index Iter.
+	Iter int
+
+	// RNGDraws is the count of rand.Float64 draws consumed (always G·K:
+	// the initialization; the descent itself is deterministic).
+	RNGDraws uint64
+
+	// Step is the learning rate in effect (auto-calibration happens
+	// before iteration 0, so it is final in every snapshot).
+	Step float64
+
+	// CostOld is the stopping criterion's reference: the total cost
+	// evaluated at iteration Iter−1 (+Inf if Iter is 0).
+	CostOld float64
+
+	// W is the relaxed assignment matrix after Iter iterations (length
+	// G·K, row-major).
+	W []float64
+
+	// Velocity is the heavy-ball momentum state (nil when momentum is
+	// off, length G·K otherwise).
+	Velocity []float64
+
+	// CostTrace is the per-iteration total-cost prefix, present only when
+	// the checkpointing solve ran with Options.TraceCost.
+	CostTrace []float64
+}
+
+// snapshotVersion is the current binary codec version.
+const snapshotVersion = 1
+
+// snapshotMagic tags the binary encoding.
+const snapshotMagic = "gppsnap\x01"
+
+// maxSnapshotElems bounds decoded slice lengths (W, Velocity, CostTrace)
+// so a malformed header cannot demand an absurd allocation before the CRC
+// is even checked. 1<<27 float64s is 1 GiB per slice — far beyond any
+// real problem (G·K for the paper-scale circuits is ~10⁴..10⁶).
+const maxSnapshotElems = 1 << 27
+
+// EncodeSnapshot serializes the snapshot to the versioned binary format:
+//
+//	magic ‖ u32 version ‖ u32 crc32(payload) ‖ u64 len(payload) ‖ payload
+//
+// Floats are raw IEEE-754 bit patterns (little-endian), so the encoding
+// is exact — decode(encode(s)) reproduces every float bit for bit, which
+// is what makes a resumed solve bitwise identical rather than merely
+// close. The CRC frame rejects torn or corrupted files at decode time.
+func EncodeSnapshot(s *Snapshot) []byte {
+	var p []byte
+	putU64 := func(v uint64) { p = binary.LittleEndian.AppendUint64(p, v) }
+	putF64 := func(v float64) { putU64(math.Float64bits(v)) }
+	putStr := func(v string) { putU64(uint64(len(v))); p = append(p, v...) }
+	putF64s := func(v []float64) {
+		putU64(uint64(len(v)))
+		for _, f := range v {
+			putF64(f)
+		}
+	}
+	putStr(s.Name)
+	putU64(uint64(s.G))
+	putU64(uint64(s.K))
+	putU64(uint64(s.EdgeCount))
+	putStr(s.Fingerprint)
+	putU64(uint64(s.Seed))
+	putU64(uint64(s.Iter))
+	putU64(s.RNGDraws)
+	putF64(s.Step)
+	putF64(s.CostOld)
+	putF64s(s.W)
+	if s.Velocity == nil {
+		putU64(0xffffffffffffffff) // nil marker: momentum off ≠ empty
+	} else {
+		putF64s(s.Velocity)
+	}
+	putF64s(s.CostTrace)
+
+	out := make([]byte, 0, len(snapshotMagic)+16+len(p))
+	out = append(out, snapshotMagic...)
+	out = binary.LittleEndian.AppendUint32(out, snapshotVersion)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(p))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(p)))
+	return append(out, p...)
+}
+
+// snapDecoder is a bounds-checked cursor over the payload.
+type snapDecoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.p) {
+		d.err = fmt.Errorf("partition: snapshot truncated at byte %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *snapDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *snapDecoder) count(what string) int {
+	n := d.u64()
+	if d.err == nil && n > maxSnapshotElems {
+		d.err = fmt.Errorf("partition: snapshot %s length %d exceeds limit", what, n)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (d *snapDecoder) str(what string) string {
+	n := d.count(what)
+	if d.err == nil && d.off+n > len(d.p) {
+		d.err = fmt.Errorf("partition: snapshot %s truncated", what)
+	}
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.p[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *snapDecoder) f64s(what string) []float64 {
+	n := d.count(what)
+	if d.err == nil && d.off+8*n > len(d.p) {
+		d.err = fmt.Errorf("partition: snapshot %s truncated", what)
+	}
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// DecodeSnapshot parses and validates the binary snapshot format. Any
+// malformed input — bad magic, unknown version, CRC mismatch, truncation,
+// trailing garbage, or internally inconsistent lengths — is a descriptive
+// error, never a panic (FuzzSnapshotDecode holds it to that).
+func DecodeSnapshot(raw []byte) (*Snapshot, error) {
+	head := len(snapshotMagic) + 16
+	if len(raw) < head {
+		return nil, fmt.Errorf("partition: snapshot too short (%d bytes)", len(raw))
+	}
+	if string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("partition: not a snapshot (bad magic)")
+	}
+	version := binary.LittleEndian.Uint32(raw[len(snapshotMagic):])
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("partition: snapshot version %d not supported (have %d)", version, snapshotVersion)
+	}
+	wantCRC := binary.LittleEndian.Uint32(raw[len(snapshotMagic)+4:])
+	wantLen := binary.LittleEndian.Uint64(raw[len(snapshotMagic)+8:])
+	payload := raw[head:]
+	if uint64(len(payload)) != wantLen {
+		return nil, fmt.Errorf("partition: snapshot payload %d bytes, header says %d", len(payload), wantLen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("partition: snapshot CRC mismatch (got %08x, want %08x)", got, wantCRC)
+	}
+
+	d := &snapDecoder{p: payload}
+	s := &Snapshot{Version: int(version)}
+	s.Name = d.str("name")
+	s.G = int(d.u64())
+	s.K = int(d.u64())
+	s.EdgeCount = int(d.u64())
+	s.Fingerprint = d.str("fingerprint")
+	s.Seed = int64(d.u64())
+	s.Iter = int(d.u64())
+	s.RNGDraws = d.u64()
+	s.Step = d.f64()
+	s.CostOld = d.f64()
+	s.W = d.f64s("W")
+	// Velocity uses an explicit nil marker so "momentum off" survives the
+	// round trip distinct from a zero-length slice.
+	if d.err == nil && d.off+8 <= len(d.p) &&
+		binary.LittleEndian.Uint64(d.p[d.off:]) == 0xffffffffffffffff {
+		d.off += 8
+	} else {
+		s.Velocity = d.f64s("velocity")
+	}
+	s.CostTrace = d.f64s("cost trace")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.p) {
+		return nil, fmt.Errorf("partition: snapshot has %d trailing bytes", len(d.p)-d.off)
+	}
+	if s.G <= 0 || s.K <= 0 || s.G > maxSnapshotElems || s.K > maxSnapshotElems {
+		return nil, fmt.Errorf("partition: snapshot shape G=%d K=%d invalid", s.G, s.K)
+	}
+	if len(s.W) != s.G*s.K {
+		return nil, fmt.Errorf("partition: snapshot W has %d entries, want G·K = %d", len(s.W), s.G*s.K)
+	}
+	if s.Velocity != nil && len(s.Velocity) != s.G*s.K {
+		return nil, fmt.Errorf("partition: snapshot velocity has %d entries, want G·K = %d", len(s.Velocity), s.G*s.K)
+	}
+	if s.Iter < 0 || s.EdgeCount < 0 {
+		return nil, fmt.Errorf("partition: snapshot iter %d / edges %d negative", s.Iter, s.EdgeCount)
+	}
+	return s, nil
+}
+
+// checkResume validates a snapshot against the problem and options it is
+// being resumed under. The fingerprint check is strict: resuming with any
+// result-relevant option changed (coefficients, margin, seed, momentum,
+// …) would not be a continuation of the checkpointed solve, so it is
+// rejected rather than silently producing a third, hybrid trajectory.
+func (p *Problem) checkResume(s *Snapshot, opts Options) error {
+	if s == nil {
+		return nil
+	}
+	if s.G != p.G || s.K != p.K || s.EdgeCount != len(p.Edges) {
+		return fmt.Errorf("partition: snapshot is for a %d-gate %d-plane %d-edge problem, not %d/%d/%d",
+			s.G, s.K, s.EdgeCount, p.G, p.K, len(p.Edges))
+	}
+	fp, err := opts.Fingerprint()
+	if err != nil {
+		return err
+	}
+	if s.Fingerprint != fp {
+		return fmt.Errorf("partition: snapshot options fingerprint %.12s… does not match resume options %.12s… (same flags required)",
+			s.Fingerprint, fp)
+	}
+	if len(s.W) != p.G*p.K {
+		return fmt.Errorf("partition: snapshot W has %d entries, want %d", len(s.W), p.G*p.K)
+	}
+	if opts.Momentum > 0 && s.Velocity == nil {
+		return fmt.Errorf("partition: snapshot has no momentum velocity but resume options set momentum %g", opts.Momentum)
+	}
+	for _, v := range s.W {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("partition: snapshot W contains a non-finite entry")
+		}
+	}
+	n := opts
+	n, err = n.Normalize()
+	if err != nil {
+		return err
+	}
+	if s.Iter > n.MaxIters {
+		return fmt.Errorf("partition: snapshot iteration %d exceeds max iterations %d", s.Iter, n.MaxIters)
+	}
+	return nil
+}
+
+// takeSnapshot deep-copies the live descent state at an iteration
+// boundary. iter is the number of completed iterations; costOld is the
+// cost evaluated at iter−1.
+func (p *Problem) takeSnapshot(opts Options, fp string, iter int, step, costOld float64,
+	w W, velocity, costTrace []float64) *Snapshot {
+	s := &Snapshot{
+		Version:     snapshotVersion,
+		Name:        p.Name,
+		G:           p.G,
+		K:           p.K,
+		EdgeCount:   len(p.Edges),
+		Fingerprint: fp,
+		Seed:        opts.Seed,
+		Iter:        iter,
+		RNGDraws:    uint64(p.G * p.K),
+		Step:        step,
+		CostOld:     costOld,
+		W:           append([]float64(nil), w...),
+	}
+	if velocity != nil {
+		s.Velocity = append([]float64(nil), velocity...)
+	}
+	if costTrace != nil {
+		s.CostTrace = append([]float64(nil), costTrace...)
+	}
+	return s
+}

@@ -99,6 +99,29 @@ type Options struct {
 	// error (obs.JSONL), Solve surfaces that error instead of silently
 	// dropping the trace.
 	Tracer obs.Tracer
+
+	// Checkpoint, when non-nil, receives a Snapshot of the complete
+	// descent state every CheckpointEvery iterations (deep copies — the
+	// hook may retain or serialize them). A solve killed after a
+	// checkpoint and resumed from it (Resume) finishes bitwise identical
+	// to the uninterrupted run at any Workers count. A hook error aborts
+	// the solve with that error. Like Tracer, Checkpoint is execution-
+	// only: it never changes the result and is excluded from Fingerprint.
+	Checkpoint func(*Snapshot) error
+
+	// CheckpointEvery is the snapshot cadence in iterations; 0 with a
+	// non-nil Checkpoint hook defaults to 100. Negative is a validation
+	// error.
+	CheckpointEvery int
+
+	// Resume, when non-nil, continues the checkpointed solve instead of
+	// random-initializing: the matrix, momentum velocity, step size,
+	// stopping reference and iteration count all restore from the
+	// snapshot, and the RNG initialization is skipped (the snapshot is
+	// always past it). The snapshot must match the problem shape and the
+	// options fingerprint — a resume under different result-relevant
+	// options is rejected.
+	Resume *Snapshot
 }
 
 // validate rejects nonsensical option combinations before defaulting. Zero
@@ -126,6 +149,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("partition: Renormalize and ReduceDims are mutually exclusive (reduced rows are stochastic by construction)")
 	case o.RefinePasses < 0:
 		return fmt.Errorf("partition: refine passes %d must be ≥ 0 (0 = default)", o.RefinePasses)
+	case o.CheckpointEvery < 0:
+		return fmt.Errorf("partition: checkpoint interval %d must be ≥ 0 (0 = default)", o.CheckpointEvery)
 	}
 	return nil
 }
@@ -146,6 +171,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RefinePasses <= 0 {
 		o.RefinePasses = 8
+	}
+	if o.Checkpoint != nil && o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 100
 	}
 	return o
 }
@@ -206,6 +234,21 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 	if opts.InitStep <= 0 {
 		opts.InitStep = 0.25 / float64(p.K)
 	}
+	// Checkpoint/resume identity: both sides pin the snapshot to the
+	// normalized options fingerprint (computed after the K-dependent
+	// InitStep default resolves), so a checkpointed solve can only be
+	// continued under the exact configuration that produced it.
+	var ckptFP string
+	if opts.Checkpoint != nil || opts.Resume != nil {
+		fp, err := opts.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		ckptFP = fp
+	}
+	if err := p.checkResume(opts.Resume, opts); err != nil {
+		return nil, err
+	}
 	tracer := opts.Tracer
 	// One persistent worker group per solve: the descent loop dispatches
 	// ~5 shard kernels per iteration, and reusing parked workers turns each
@@ -227,49 +270,65 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 			GateShards: pool.Shards(p.G, gateChunk),
 			EdgeShards: pool.Shards(len(p.Edges), edgeChunk)})
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	// Lines 3–11: random init, rows normalized to sum 1.
-	w := p.NewW()
-	for i := 0; i < p.G; i++ {
-		row := w[i*p.K : (i+1)*p.K]
-		var sum float64
-		for k := range row {
-			v := rng.Float64()
-			row[k] = v
-			sum += v
-		}
-		if sum == 0 {
-			// Vanishingly unlikely; fall back to uniform.
-			for k := range row {
-				row[k] = 1 / float64(p.K)
-			}
-			continue
-		}
-		for k := range row {
-			row[k] /= sum
-		}
-	}
-
 	grad := make([]float64, p.G*p.K)
 	var velocity []float64
 	if opts.Momentum > 0 {
 		velocity = make([]float64, p.G*p.K)
 	}
-	step := opts.LearnRate
-	if step <= 0 {
-		// Auto-calibrate: first step moves the largest entry by InitStep.
-		p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, sc)
-		maxAbs := 0.0
-		for _, g := range grad {
-			if a := math.Abs(g); a > maxAbs {
-				maxAbs = a
+	w := p.NewW()
+	var step float64
+	startIter := 0
+	costOld := math.Inf(1)
+	if snap := opts.Resume; snap != nil {
+		// Continue the checkpointed trajectory: matrix, velocity, step,
+		// stopping reference and iteration count restore exactly, and the
+		// RNG initialization (the only randomness, consumed before
+		// iteration 0) is skipped entirely.
+		copy(w, snap.W)
+		if velocity != nil {
+			copy(velocity, snap.Velocity)
+		}
+		step = snap.Step
+		costOld = snap.CostOld
+		startIter = snap.Iter
+	} else {
+		// Lines 3–11: random init, rows normalized to sum 1.
+		rng := rand.New(rand.NewSource(opts.Seed))
+		for i := 0; i < p.G; i++ {
+			row := w[i*p.K : (i+1)*p.K]
+			var sum float64
+			for k := range row {
+				v := rng.Float64()
+				row[k] = v
+				sum += v
+			}
+			if sum == 0 {
+				// Vanishingly unlikely; fall back to uniform.
+				for k := range row {
+					row[k] = 1 / float64(p.K)
+				}
+				continue
+			}
+			for k := range row {
+				row[k] /= sum
 			}
 		}
-		if maxAbs == 0 {
-			step = 1 // flat start; any step is a no-op until curvature appears
-		} else {
-			step = opts.InitStep / maxAbs
+
+		step = opts.LearnRate
+		if step <= 0 {
+			// Auto-calibrate: first step moves the largest entry by InitStep.
+			p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, sc)
+			maxAbs := 0.0
+			for _, g := range grad {
+				if a := math.Abs(g); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs == 0 {
+				step = 1 // flat start; any step is a no-op until curvature appears
+			} else {
+				step = opts.InitStep / maxAbs
+			}
 		}
 	}
 
@@ -346,10 +405,14 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{StepSize: step}
-	costOld := math.Inf(1)
+	res := &Result{StepSize: step, Iters: startIter}
+	if opts.TraceCost && opts.Resume != nil {
+		// The uninterrupted run traced iterations 0..startIter−1 too; the
+		// snapshot carries that prefix so the resumed trace matches.
+		res.CostTrace = append(res.CostTrace, opts.Resume.CostTrace...)
+	}
 	var relaxed Breakdown
-	for iter := 0; iter < opts.MaxIters; iter++ {
+	for iter := startIter; iter < opts.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			if serr := obs.SinkErr(tracer); serr != nil {
 				return nil, fmt.Errorf("partition: trace sink: %w", serr)
@@ -404,6 +467,17 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 			tracer.Emit(obs.Event{Kind: obs.KindIter, Iter: iter,
 				F: bd.Total, F1: bd.F1, F2: bd.F2, F3: bd.F3, F4: bd.F4,
 				GradN: gradNorm, Step: step, Clamped: clamped})
+		}
+		// The update completed, so w/velocity now sit on the iteration
+		// boundary iter+1 with costNew as the next stopping reference —
+		// exactly the state a resume needs to continue from here. The hook
+		// path allocates (deep copies); the no-checkpoint path stays
+		// allocation-free.
+		if opts.Checkpoint != nil && (iter+1)%opts.CheckpointEvery == 0 {
+			snap := p.takeSnapshot(opts, ckptFP, iter+1, step, costNew, w, velocity, res.CostTrace)
+			if err := opts.Checkpoint(snap); err != nil {
+				return nil, fmt.Errorf("partition: checkpoint at iteration %d: %w", iter+1, err)
+			}
 		}
 	}
 

@@ -128,9 +128,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	mSubmitted.Inc()
-	// Cache check before queueing: a hit completes synchronously and never
+	// Cache check before queueing: a hit — in the LRU or persisted on
+	// disk from before a restart — completes synchronously and never
 	// occupies a queue slot or a worker.
-	if ent, ok := s.cache.get(j.key); ok {
+	if ent, ok := s.cacheGet(j.key); ok {
 		mCacheHits.Inc()
 		mCompleted.Inc()
 		j.cancel()
@@ -142,6 +143,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Misses are counted at resolution time (runJob), not here: a job that
 	// misses now may still be answered from the cache after queueing behind
 	// an identical solve, and counting both ends would double-book it.
+	//
+	// Write-ahead: the accept record must be durable before the job can
+	// reach a worker, or a fast solve could journal its terminal record
+	// first and the replay would resurrect a finished job.
+	if s.durable != nil {
+		if err := s.durable.acceptJob(j, &req); err != nil {
+			j.cancel()
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
 	s.store.add(j)
 	j.broker.publish(obs.Event{Kind: kindJobQueued})
 	switch code := s.enqueue(j); code {
@@ -150,11 +162,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case http.StatusServiceUnavailable:
 		s.store.remove(j.id)
 		j.cancel()
+		s.journalFinish(j.id, StatusCancelled)
 		writeError(w, code, "daemon is draining")
 	default: // 429
 		mRejected.Inc()
 		s.store.remove(j.id)
 		j.cancel()
+		s.journalFinish(j.id, StatusCancelled)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests,
 			"queue full (%d jobs waiting); retry later", s.cfg.QueueDepth)
@@ -202,6 +216,13 @@ func (s *Server) buildJob(req *JobRequest) (*job, int, error) {
 		}
 		c, name = prior.circuit, prior.circuitName
 	}
+	return s.makeJob(c, name, req)
+}
+
+// makeJob validates the request against an already-resolved circuit and
+// assembles the job. It is the part of submission shared with journal
+// recovery, which re-runs it against the blob-stored circuit.
+func (s *Server) makeJob(c *netlist.Circuit, name string, req *JobRequest) (*job, int, error) {
 	if req.K < 1 {
 		return nil, http.StatusBadRequest, fmt.Errorf("k must be ≥ 1, got %d", req.K)
 	}
@@ -309,15 +330,53 @@ func (s *Server) statusJSON(j *job) statusBody {
 	return sb
 }
 
+// listLimitDefault and listLimitMax bound GET /v1/jobs responses; the
+// registry holds up to MaxJobs (4096 by default) jobs and an unbounded
+// listing would serialize all of them on every poll.
+const (
+	listLimitDefault = 100
+	listLimitMax     = 1000
+)
+
+// handleList serves a bounded, newest-first job listing. ?limit=N caps
+// the page (default 100, max 1000) and ?status=queued|running|done|
+// failed|cancelled filters before the cap is applied; "total" counts the
+// matches so a truncated page is detectable.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := listLimitDefault
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = min(n, listLimitMax)
+	}
+	var filter Status
+	if v := r.URL.Query().Get("status"); v != "" {
+		switch st := Status(v); st {
+		case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+			filter = st
+		default:
+			writeError(w, http.StatusBadRequest, "bad status %q", v)
+			return
+		}
+	}
 	jobs := s.store.list()
 	out := struct {
-		Jobs []statusBody `json:"jobs"`
-	}{Jobs: make([]statusBody, 0, len(jobs))}
-	for _, j := range jobs {
-		sb := s.statusJSON(j)
-		sb.Result = nil // list is a summary; fetch results per job
-		out.Jobs = append(out.Jobs, sb)
+		Jobs  []statusBody `json:"jobs"`
+		Total int          `json:"total"`
+	}{Jobs: make([]statusBody, 0, min(limit, len(jobs)))}
+	for i := len(jobs) - 1; i >= 0; i-- { // newest first
+		sb := s.statusJSON(jobs[i])
+		if filter != "" && sb.Status != filter {
+			continue
+		}
+		out.Total++
+		if len(out.Jobs) < limit {
+			sb.Result = nil // list is a summary; fetch results per job
+			out.Jobs = append(out.Jobs, sb)
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -445,12 +504,14 @@ func writeSSE(w io.Writer, scratch []byte, e obs.Event) []byte {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status     string `json:"status"`
-		Jobs       int    `json:"jobs"`
-		QueueDepth int    `json:"queue_depth"`
-		QueueCap   int    `json:"queue_cap"`
-		CacheSize  int    `json:"cache_entries"`
-		Workers    int    `json:"workers"`
+		Status      string `json:"status"`
+		Jobs        int    `json:"jobs"`
+		QueueDepth  int    `json:"queue_depth"`
+		QueueCap    int    `json:"queue_cap"`
+		CacheSize   int    `json:"cache_entries"`
+		Workers     int    `json:"workers"`
+		DataDir     string `json:"data_dir,omitempty"`
+		JournalLive int    `json:"journal_live,omitempty"`
 	}
 	h := health{
 		Status:     "ok",
@@ -459,6 +520,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueueCap:   s.cfg.QueueDepth,
 		CacheSize:  s.cache.len(),
 		Workers:    s.cfg.Workers,
+	}
+	if s.durable != nil {
+		h.DataDir = s.cfg.DataDir
+		s.durable.mu.Lock()
+		h.JournalLive = len(s.durable.live)
+		s.durable.mu.Unlock()
 	}
 	code := http.StatusOK
 	if s.Draining() {

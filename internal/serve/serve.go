@@ -30,6 +30,11 @@
 //     drains: every accepted job still runs to completion and keeps its
 //     response. Only when the shutdown context expires are in-flight
 //     solves cancelled.
+//   - Optional durability. With Config.DataDir set, solved results
+//     persist to a content-addressed blob store and accepted jobs are
+//     write-ahead journaled (internal/store): a restarted daemon serves
+//     its old cache byte-identical from disk and re-enqueues
+//     accepted-but-unfinished jobs under their original ids.
 //
 // The daemon front-end lives in cmd/gpp-serve; the gpp facade re-exports
 // the Config type for embedding the server in other Go programs.
@@ -80,6 +85,18 @@ type Config struct {
 
 	// Library resolves DEF uploads. Default cellib.Default().
 	Library *cellib.Library
+
+	// DataDir, when set, makes the daemon durable: solved results persist
+	// to a content-addressed blob store under this directory and every
+	// accepted job is write-ahead journaled, so a crashed or redeployed
+	// daemon restarts with its cache intact and re-runs unfinished jobs
+	// under their original ids. Empty means fully in-memory (the default).
+	DataDir string
+
+	// StoreMaxBytes bounds the blob store; at boot (after journal
+	// recovery) entries are garbage-collected oldest-first down to this
+	// budget. 0 means unbounded. Ignored without DataDir.
+	StoreMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {

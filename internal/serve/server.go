@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -19,11 +20,12 @@ import (
 // behind it. Create one with New, mount it (or let Run listen), and stop
 // it with Shutdown.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	store *jobStore
-	cache *lru
-	queue chan *job
+	cfg     Config
+	mux     *http.ServeMux
+	store   *jobStore
+	cache   *lru
+	durable *durable // nil unless Config.DataDir is set
+	queue   chan *job
 
 	// qmu guards the draining flag and queue sends against the close in
 	// Shutdown; a send never races the close because both hold qmu.
@@ -35,16 +37,26 @@ type Server struct {
 	baseStop context.CancelFunc
 }
 
-// New builds a Server and starts its worker pool. The caller owns
-// shutdown: every New must be paired with Shutdown (tests included), or
-// the workers leak.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. With Config.DataDir
+// set it also opens the durable store, replays the job journal, and
+// re-enqueues every accepted-but-unfinished job under its original id
+// before returning. The caller owns shutdown: every New must be paired
+// with Shutdown (tests included), or the workers leak.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		store: newJobStore(cfg.MaxJobs),
 		cache: newLRU(cfg.CacheEntries),
 		queue: make(chan *job, cfg.QueueDepth),
+	}
+	var pending []*journaledJob
+	if cfg.DataDir != "" {
+		var err error
+		s.durable, pending, err = openDurable(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: open data dir %s: %w", cfg.DataDir, err)
+		}
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	s.routes()
@@ -58,7 +70,60 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
-	return s
+	// Recovery happens with the workers already draining the queue, so a
+	// replay larger than the queue buffer cannot deadlock the blocking
+	// sends; Shutdown cannot race New's sends because the caller does not
+	// hold the Server yet.
+	for _, jj := range pending {
+		s.recoverJob(jj)
+	}
+	if s.durable != nil && cfg.StoreMaxBytes > 0 {
+		if _, err := s.durable.st.Blobs.GC(cfg.StoreMaxBytes, 0); err != nil {
+			return nil, fmt.Errorf("serve: boot GC: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// recoverJob rebuilds one journaled job and re-enqueues it under its
+// original id. Unrecoverable jobs (circuit blob lost, request no longer
+// valid) are marked terminal in the journal so they do not replay again.
+func (s *Server) recoverJob(jj *journaledJob) {
+	c, err := s.durable.loadCircuit(jj)
+	if err == nil {
+		var j *job
+		j, _, err = s.makeJob(c, jj.CircuitName, &JobRequest{
+			K: jj.K, Restarts: jj.Restarts, BalancedSlack: jj.Balanced,
+			Plan: jj.Plan, TimeoutMS: jj.TimeoutMS, Options: jj.Options,
+		})
+		if err == nil {
+			j.id = jj.ID
+			mSubmitted.Inc()
+			mJobsRecovered.Inc()
+			s.store.add(j)
+			j.broker.publish(obs.Event{Kind: kindJobQueued})
+			s.queue <- j
+			mQueueDepth.Set(float64(len(s.queue)))
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gpp-serve: journaled job %s unrecoverable, dropping: %v\n", jj.ID, err)
+	s.durable.finishJob(jj.ID, StatusFailed)
+}
+
+// cacheGet is the two-level cache lookup: the in-memory LRU first, then
+// (when durable) the blob store, promoting disk hits into the LRU.
+func (s *Server) cacheGet(key string) (*cacheEntry, bool) {
+	if ent, ok := s.cache.get(key); ok {
+		return ent, true
+	}
+	if s.durable != nil {
+		if ent, ok := s.durable.loadEntry(key); ok {
+			s.cache.put(ent)
+			return ent, true
+		}
+	}
+	return nil, false
 }
 
 // ServeHTTP dispatches to the daemon's mux.
@@ -94,11 +159,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeDurable()
 		return nil
 	case <-ctx.Done():
 		s.baseStop() // cancel every job context; drains promptly
 		<-done
+		s.closeDurable()
 		return ctx.Err()
+	}
+}
+
+// closeDurable releases the journal handle once, after the last worker
+// (and with it the last journal append) is done. Shutdown is idempotent,
+// so the close must be too; durable.close tolerates a double close.
+func (s *Server) closeDurable() {
+	if s.durable != nil {
+		s.durable.close()
 	}
 }
 
@@ -173,11 +249,12 @@ func (s *Server) runJob(j *job) {
 	defer j.cancel()
 	// A second identical request may have been cached while this one
 	// waited in the queue; serve it from there instead of re-solving.
-	if ent, ok := s.cache.get(j.key); ok {
+	if ent, ok := s.cacheGet(j.key); ok {
 		mCacheHits.Inc()
 		mCompleted.Inc()
 		j.setRunning()
 		j.finishOK(ent.body, ent.labels, true)
+		s.journalFinish(j.id, StatusDone)
 		return
 	}
 	// This is the single miss-counting point: every submission resolves as
@@ -198,19 +275,33 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	mJobSeconds.Observe(time.Since(start).Seconds())
-	s.cache.put(&cacheEntry{key: j.key, body: body, labels: labels})
+	ent := &cacheEntry{key: j.key, body: body, labels: labels}
+	s.cache.put(ent)
+	if s.durable != nil {
+		s.durable.persistEntry(ent)
+	}
 	mCompleted.Inc()
 	j.finishOK(body, labels, false)
+	s.journalFinish(j.id, StatusDone)
 }
 
 func (s *Server) finishWithError(j *job, err error) {
 	if errors.Is(err, context.Canceled) {
 		mCancelled.Inc()
 		j.finishErr(StatusCancelled, err)
+		s.journalFinish(j.id, StatusCancelled)
 		return
 	}
 	mFailed.Inc()
 	j.finishErr(StatusFailed, err)
+	s.journalFinish(j.id, StatusFailed)
+}
+
+// journalFinish records a job's terminal state when running durable.
+func (s *Server) journalFinish(id string, st Status) {
+	if s.durable != nil {
+		s.durable.finishJob(id, st)
+	}
 }
 
 // solve runs the job's configured solver flavor and marshals the result

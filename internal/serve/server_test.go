@@ -24,7 +24,10 @@ import (
 // are cancelled rather than waited for.
 func newTestServer(t *testing.T, cfg Config) (*Server, string) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s)
 	t.Cleanup(func() {
 		hs.Close()
@@ -628,7 +631,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 }
 
 func TestDrainingRejectsSubmissions(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s)
 	defer hs.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -22,7 +22,10 @@ func TestServeSmoke(t *testing.T) {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
 	defer stop()
 
-	srv := New(Config{Workers: 4, QueueDepth: 64, ProgressEvery: 100})
+	srv, err := New(Config{Workers: 4, QueueDepth: 64, ProgressEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addrCh := make(chan string, 1)
 	runErr := make(chan error, 1)
 	go func() {

@@ -1,0 +1,104 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// File frame shared by blobs and standalone checked files: a magic tag, a
+// CRC-32 (IEEE) of the payload, the payload length, then the payload.
+// The length makes truncation detectable even when the truncated prefix
+// happens to CRC clean (it can't — the CRC covers the full payload — but
+// the explicit length gives a crisper error), and the magic rejects files
+// that were never written by this layer at all.
+const frameMagic = "gppblob1"
+
+const frameHeaderLen = len(frameMagic) + 4 + 8 // magic ‖ crc32 ‖ len
+
+// frame wraps payload in the on-disk record format.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeaderLen+len(payload))
+	copy(buf, frameMagic)
+	binary.LittleEndian.PutUint32(buf[len(frameMagic):], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(buf[len(frameMagic)+4:], uint64(len(payload)))
+	copy(buf[frameHeaderLen:], payload)
+	return buf
+}
+
+// unframe validates the record format and returns the payload (aliasing
+// raw, not a copy).
+func unframe(raw []byte) ([]byte, error) {
+	if len(raw) < frameHeaderLen {
+		return nil, fmt.Errorf("store: truncated record (%d bytes, need ≥ %d header)", len(raw), frameHeaderLen)
+	}
+	if string(raw[:len(frameMagic)]) != frameMagic {
+		return nil, fmt.Errorf("store: bad record magic")
+	}
+	wantCRC := binary.LittleEndian.Uint32(raw[len(frameMagic):])
+	wantLen := binary.LittleEndian.Uint64(raw[len(frameMagic)+4:])
+	payload := raw[frameHeaderLen:]
+	if uint64(len(payload)) != wantLen {
+		return nil, fmt.Errorf("store: record length %d, header says %d", len(payload), wantLen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("store: record CRC mismatch (got %08x, want %08x)", got, wantCRC)
+	}
+	return payload, nil
+}
+
+// WriteFileAtomic durably replaces path with a CRC-framed copy of data:
+// write to a temp file in the same directory, fsync it, rename over path,
+// fsync the directory. A crash at any point leaves either the old file or
+// the new one — never a torn mix — and ReadFileChecked detects any
+// partial temp state that a non-atomic writer could have left behind.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(frame(data)); err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("store: chmod %s: %w", path, err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		_ = os.Remove(name)
+		tmp = nil
+		return fmt.Errorf("store: rename %s: %w", path, err)
+	}
+	tmp = nil
+	syncDir(dir)
+	return nil
+}
+
+// ReadFileChecked reads a file written by WriteFileAtomic, validating the
+// frame (magic, length, CRC) before returning the payload.
+func ReadFileChecked(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := unframe(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return payload, nil
+}

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Blobs is an on-disk content-addressed blob store: each blob lives in a
+// file named by a 64-hex-char sha256 key under a two-character fan-out
+// directory (dir/ab/abcd…), CRC-framed and atomically written. Keys are
+// either the hash of the content itself (Put) or any caller-derived
+// sha256 hex — the serve result cache keys on the *request* identity, not
+// the response bytes (PutKeyed).
+//
+// All methods are safe for concurrent use. Two concurrent Puts of the
+// same key both succeed: each writes its own temp file and the renames
+// serialize, last writer wins — identical content either way for honest
+// content addressing.
+type Blobs struct {
+	dir string
+
+	// mu serializes GC against itself; Put/Get run lock-free (atomic
+	// rename makes concurrent writes safe, and a Get racing a GC unlink
+	// just reports a miss, exactly as if GC had run first).
+	mu sync.Mutex
+}
+
+// OpenBlobs creates (if needed) and opens a blob directory.
+func OpenBlobs(dir string) (*Blobs, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Blobs{dir: dir}, nil
+}
+
+// ErrNotFound reports a missing blob key.
+var ErrNotFound = fmt.Errorf("store: blob not found")
+
+// checkKey enforces the sha256-hex key shape so keys are always safe path
+// components (no separators, fixed length).
+func checkKey(key string) error {
+	if len(key) != 64 {
+		return fmt.Errorf("store: blob key %q is not 64 hex chars", key)
+	}
+	for _, c := range key {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return fmt.Errorf("store: blob key %q is not lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+func (b *Blobs) path(key string) string {
+	return filepath.Join(b.dir, key[:2], key)
+}
+
+// Put stores data under its own sha256 and returns the hex key.
+func (b *Blobs) Put(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	key := hex.EncodeToString(sum[:])
+	return key, b.PutKeyed(key, data)
+}
+
+// PutKeyed stores data under a caller-derived sha256-hex key. Re-putting
+// an existing key rewrites the file (atomically) and refreshes its mtime,
+// which doubles as the GC's recency signal.
+func (b *Blobs) PutKeyed(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	p := b.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := WriteFileAtomic(p, data, 0o644); err != nil {
+		return err
+	}
+	mBlobWrites.Inc()
+	return nil
+}
+
+// Get returns the blob for key, or ErrNotFound. A blob that exists but
+// fails its frame check (torn write by a non-atomic actor, bit rot) is
+// removed and reported as a checked error — never served as data.
+func (b *Blobs) Get(key string) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	payload, err := ReadFileChecked(b.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		mBlobCorrupt.Inc()
+		_ = os.Remove(b.path(key))
+		return nil, err
+	}
+	mBlobReads.Inc()
+	return payload, nil
+}
+
+// Has reports whether key exists (without reading or validating it).
+func (b *Blobs) Has(key string) bool {
+	if checkKey(key) != nil {
+		return false
+	}
+	_, err := os.Stat(b.path(key))
+	return err == nil
+}
+
+// Delete removes a blob; a missing key is not an error.
+func (b *Blobs) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	err := os.Remove(b.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// blobInfo is one on-disk blob for Stats/GC.
+type blobInfo struct {
+	key   string
+	size  int64
+	mtime time.Time
+}
+
+// scan walks the fan-out directories. Temp files (in-flight atomic
+// writes) are skipped.
+func (b *Blobs) scan() ([]blobInfo, error) {
+	var out []blobInfo
+	fans, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() || len(fan.Name()) != 2 {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(b.dir, fan.Name()))
+		if err != nil {
+			continue // fan dir GC'd concurrently
+		}
+		for _, e := range entries {
+			if checkKey(e.Name()) != nil {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, blobInfo{key: e.Name(), size: info.Size(), mtime: info.ModTime()})
+		}
+	}
+	return out, nil
+}
+
+// Stats returns the blob count and total on-disk bytes (frame included).
+func (b *Blobs) Stats() (count int, bytes int64, err error) {
+	infos, err := b.scan()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, in := range infos {
+		bytes += in.size
+	}
+	return len(infos), bytes, nil
+}
+
+// GC trims the store: blobs older than maxAge go first (0 disables the
+// age rule), then coldest-mtime blobs until total size fits maxBytes
+// (0 disables the size rule). It returns how many blobs were removed.
+// Ties on mtime break by key so the sweep is deterministic.
+func (b *Blobs) GC(maxBytes int64, maxAge time.Duration) (removed int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	infos, err := b.scan()
+	if err != nil {
+		return 0, err
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if !infos[i].mtime.Equal(infos[j].mtime) {
+			return infos[i].mtime.Before(infos[j].mtime)
+		}
+		return infos[i].key < infos[j].key
+	})
+	var total int64
+	for _, in := range infos {
+		total += in.size
+	}
+	cutoff := time.Time{}
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge)
+	}
+	for _, in := range infos {
+		tooOld := maxAge > 0 && in.mtime.Before(cutoff)
+		tooBig := maxBytes > 0 && total > maxBytes
+		if !tooOld && !tooBig {
+			// infos are mtime-sorted, so nothing later is older, and total
+			// only shrinks on removal — no later entry can qualify either.
+			break
+		}
+		if rmErr := os.Remove(b.path(in.key)); rmErr != nil && !os.IsNotExist(rmErr) {
+			err = fmt.Errorf("store: gc: %w", rmErr)
+			continue
+		}
+		total -= in.size
+		removed++
+		mBlobGCRemoved.Inc()
+	}
+	return removed, err
+}

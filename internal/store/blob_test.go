@@ -1,0 +1,233 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestBlobPutGetRoundTrip(t *testing.T) {
+	b, err := OpenBlobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello, durable world")
+	key, err := b.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sha256.Sum256(data)
+	if key != hex.EncodeToString(want[:]) {
+		t.Fatalf("Put key = %s, want sha256 of content", key)
+	}
+	got, err := b.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, want %q", got, data)
+	}
+	if !b.Has(key) {
+		t.Fatal("Has = false after Put")
+	}
+}
+
+func TestBlobKeyedAndMissing(t *testing.T) {
+	b, err := OpenBlobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	if err := b.PutKeyed(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.Get(key); err != nil || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	_, err = b.Get("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: err = %v, want ErrNotFound", err)
+	}
+	for _, bad := range []string{"", "short", "ZZ23456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+		"../3456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef0"} {
+		if err := b.PutKeyed(bad, nil); err == nil {
+			t.Fatalf("PutKeyed(%q) accepted a malformed key", bad)
+		}
+	}
+}
+
+func TestBlobCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := b.Put([]byte("precious bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk.
+	p := filepath.Join(dir, key[:2], key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(key); err == nil {
+		t.Fatal("Get served a corrupted blob")
+	}
+	// The corrupt file is quarantined (removed); the key now reads as
+	// missing rather than repeatedly erroring.
+	if _, err := b.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after corruption: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBlobTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := b.Put(bytes.Repeat([]byte("x"), 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, key[:2], key)
+	raw, _ := os.ReadFile(p)
+	if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(key); err == nil {
+		t.Fatal("Get served a truncated blob")
+	}
+}
+
+func TestBlobGCSizeBudget(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten 1 KiB blobs with strictly increasing mtimes.
+	var keys []string
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 10; i++ {
+		key, err := b.Put([]byte(fmt.Sprintf("blob-%02d-%s", i, bytes.Repeat([]byte("p"), 1024))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamp := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, key[:2], key), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	_, total, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := b.GC(total/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed < 4 || removed > 6 {
+		t.Fatalf("GC removed %d blobs, want about half of 10", removed)
+	}
+	// The oldest went first; the newest survive.
+	for _, key := range keys[:removed] {
+		if b.Has(key) {
+			t.Fatalf("GC kept cold blob %s", key)
+		}
+	}
+	for _, key := range keys[removed:] {
+		if !b.Has(key) {
+			t.Fatalf("GC removed hot blob %s", key)
+		}
+	}
+	count, bytesLeft, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10-removed || bytesLeft > total/2 {
+		t.Fatalf("after GC: %d blobs, %d bytes (budget %d)", count, bytesLeft, total/2)
+	}
+}
+
+func TestBlobGCMaxAge(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldKey, err := b.Put([]byte("ancient"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, oldKey[:2], oldKey), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	newKey, err := b.Put([]byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := b.GC(0, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || b.Has(oldKey) || !b.Has(newKey) {
+		t.Fatalf("GC removed %d; old present=%v new present=%v", removed, b.Has(oldKey), b.Has(newKey))
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileChecked(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("ReadFileChecked = %q, want v2", got)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the target file", len(entries))
+	}
+}
+
+func TestStoreOpenLayout(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Blobs.Put([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if st.JournalPath() != filepath.Join(dir, "journal.wal") {
+		t.Fatalf("JournalPath = %s", st.JournalPath())
+	}
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openEmpty(t *testing.T) (*Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	return j, path
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	j, path := openEmpty(t)
+	for i := 0; i < 5; i++ {
+		data, _ := json.Marshal(map[string]int{"n": i})
+		rec, err := j.Append(Record{Op: "accept", ID: fmt.Sprintf("job-%d", i), Data: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != uint64(i) {
+			t.Fatalf("append %d got seq %d", i, rec.Seq)
+		}
+	}
+	if _, err := j.Append(Record{Op: "done", ID: "job-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(recs))
+	}
+	if recs[5].Op != "done" || recs[5].ID != "job-2" || recs[5].Seq != 5 {
+		t.Fatalf("last record = %+v", recs[5])
+	}
+	var payload map[string]int
+	if err := json.Unmarshal(recs[3].Data, &payload); err != nil || payload["n"] != 3 {
+		t.Fatalf("record 3 data = %s (%v)", recs[3].Data, err)
+	}
+	// Sequence continues where the replay left off.
+	rec, err := j2.Append(Record{Op: "accept", ID: "job-9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 6 {
+		t.Fatalf("post-replay seq = %d, want 6", rec.Seq)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	j, path := openEmpty(t)
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append(Record{Op: "accept", ID: fmt.Sprintf("j%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage with no newline at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"seq":3,"op":"acc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records through a torn tail, want 3", len(recs))
+	}
+	// The tear was truncated: a fresh append lands cleanly and a third
+	// open sees all four records.
+	if _, err := j2.Append(Record{Op: "accept", ID: "after-tear"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if len(recs) != 4 || recs[3].ID != "after-tear" {
+		t.Fatalf("after tear+append: %d records, last %+v", len(recs), recs[len(recs)-1])
+	}
+}
+
+func TestJournalCorruptMiddleStopsReplay(t *testing.T) {
+	j, path := openEmpty(t)
+	for i := 0; i < 4; i++ {
+		if _, err := j.Append(Record{Op: "accept", ID: fmt.Sprintf("j%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's JSON. Replay keeps record 0
+	// and drops everything from the corruption on — a conservative
+	// prefix, never a gap.
+	lines := 0
+	for i, c := range raw {
+		if c == '\n' {
+			lines++
+			if lines == 1 {
+				raw[i+12] ^= 0x40
+				break
+			}
+		}
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].ID != "j0" {
+		t.Fatalf("replay past corruption: %d records", len(recs))
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	j, path := openEmpty(t)
+	var live []Record
+	for i := 0; i < 20; i++ {
+		rec, err := j.Append(Record{Op: "accept", ID: fmt.Sprintf("j%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 { // keep every fifth as "unfinished"
+			live = append(live, rec)
+		}
+	}
+	if n := j.AppendsSinceCompact(); n != 20 {
+		t.Fatalf("AppendsSinceCompact = %d, want 20", n)
+	}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	if n := j.AppendsSinceCompact(); n != 0 {
+		t.Fatalf("AppendsSinceCompact after compact = %d", n)
+	}
+	// The journal stays appendable across the compact, and the rewritten
+	// file replays as live set + new appends with sequence continuity.
+	rec, err := j.Append(Record{Op: "accept", ID: "post-compact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 20 {
+		t.Fatalf("post-compact seq = %d, want 20", rec.Seq)
+	}
+	j.Close()
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != len(live)+1 {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(live)+1)
+	}
+	for i, want := range live {
+		if recs[i].ID != want.ID || recs[i].Seq != want.Seq {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want)
+		}
+	}
+}
+
+func TestJournalClosedAppendFails(t *testing.T) {
+	j, _ := openEmpty(t)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(Record{Op: "accept"}); err == nil {
+		t.Fatal("append on closed journal succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+package store
+
+import "gpp/internal/obs"
+
+// Durability metrics, registered on the process-wide obs registry so a
+// daemon's /metrics exposes the whole stack in one scrape. The replay and
+// torn-tail counters are the post-crash forensics: after a restart,
+// gpp_journal_replayed_total says how much state came back and
+// gpp_journal_torn_total whether the crash tore an append.
+var (
+	mBlobWrites = obs.Default().Counter("gpp_store_blob_writes_total",
+		"blobs durably written (atomic temp+rename, fsync'd)")
+	mBlobReads = obs.Default().Counter("gpp_store_blob_reads_total",
+		"blobs read and CRC-verified")
+	mBlobCorrupt = obs.Default().Counter("gpp_store_blob_corrupt_total",
+		"blobs that failed their frame check on read (removed, never served)")
+	mBlobGCRemoved = obs.Default().Counter("gpp_store_gc_removed_total",
+		"blobs removed by garbage collection (size budget or max age)")
+	mJournalRecords = obs.Default().Counter("gpp_journal_records_total",
+		"records appended to the write-ahead journal")
+	mJournalReplayed = obs.Default().Counter("gpp_journal_replayed_total",
+		"journal records replayed at open (crash/restart recovery)")
+	mJournalTorn = obs.Default().Counter("gpp_journal_torn_total",
+		"journal opens that found and truncated a torn tail")
+	mJournalCompactions = obs.Default().Counter("gpp_journal_compactions_total",
+		"journal compactions (rewrite down to the live record set)")
+)

@@ -1,0 +1,82 @@
+// Package store is the durability layer: everything the rest of the
+// system needs to survive a crash or redeploy lives here, with zero
+// dependencies beyond the standard library.
+//
+// Three building blocks, each with a narrow crash-safety contract:
+//
+//   - Blobs, an on-disk content-addressed blob store. Every blob is a
+//     sha256-keyed file written via write-to-temp + fsync + rename (the
+//     POSIX atomic-replace idiom), framed with a magic header and a
+//     CRC-32 of the payload so a torn or bit-rotted file is detected on
+//     read instead of being served as data. Garbage collection trims the
+//     store to a byte budget, coldest mtime first.
+//
+//   - Journal, a write-ahead log of small JSON records (append-only
+//     JSONL, one CRC-framed record per line, fsync per append). Replay
+//     tolerates a torn tail — the records before the tear are returned,
+//     the tear is truncated away — and Compact atomically rewrites the
+//     file down to the live set.
+//
+//   - WriteFileAtomic / ReadFileChecked, the same temp+rename+CRC frame
+//     for standalone files (solver checkpoint snapshots use these).
+//
+// The serve daemon composes Blobs (result cache persistence) and Journal
+// (job re-enqueue on boot) under a -data-dir; see internal/serve. The
+// Store type is that composition: one directory owning both.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is one durable data directory: a blob store for bulk content and
+// a well-known journal path for the write-ahead log. Open creates the
+// layout on first use:
+//
+//	dir/
+//	  blobs/<aa>/<sha256-hex>      content-addressed blobs
+//	  journal.wal                  write-ahead JSONL journal
+type Store struct {
+	// Dir is the root data directory.
+	Dir string
+
+	// Blobs is the content-addressed blob store rooted at Dir/blobs.
+	Blobs *Blobs
+}
+
+// Open creates (if needed) and opens a durable data directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	blobs, err := OpenBlobs(filepath.Join(dir, "blobs"))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Dir: dir, Blobs: blobs}, nil
+}
+
+// JournalPath is where the store's write-ahead journal lives; pass it to
+// OpenJournal. The journal is not opened by Open because only some users
+// of a data directory keep one (the serve daemon does, a checkpointing
+// CLI run does not).
+func (s *Store) JournalPath() string {
+	return filepath.Join(s.Dir, "journal.wal")
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry in
+// it is durable. Some filesystems don't support fsync on directories;
+// those errors are ignored (the rename itself is still atomic).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -25,10 +25,12 @@ type (
 	JobStatus = serve.Status
 )
 
-// NewServer builds a partition daemon and starts its worker pool. Mount
-// it on any mux (it is an http.Handler) or let Server.Run listen; pair
-// every NewServer with a Server.Shutdown.
-func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+// NewServer builds a partition daemon and starts its worker pool; with
+// ServeConfig.DataDir set it first replays the durable job journal, so
+// the error covers an unusable data directory. Mount the server on any
+// mux (it is an http.Handler) or let Server.Run listen; pair every
+// NewServer with a Server.Shutdown.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // CircuitHash returns the content address of a circuit — the hex sha256
 // of its canonical solver-visible bytes (gate biases/areas and the edge

@@ -1,0 +1,48 @@
+package gpp
+
+import (
+	"os"
+
+	"gpp/internal/partition"
+	"gpp/internal/store"
+)
+
+// Durability facade: the on-disk primitives behind gpp-serve's -data-dir
+// and gpp-partition's -checkpoint/-resume, re-exported so embedded users
+// can persist results and snapshots with the same crash-safety
+// guarantees (atomic replace, CRC-framed records, fsync before rename).
+
+type (
+	// Store is a durable state directory: a content-addressed blob store
+	// plus the path reserved for a write-ahead journal.
+	Store = store.Store
+	// Blobs is a content-addressed blob store (sha256 keys, CRC-framed
+	// files, atomic writes, mtime-ordered garbage collection).
+	Blobs = store.Blobs
+	// Snapshot is a versioned solver checkpoint: the full descent state
+	// at an iteration boundary, restorable into a solve that finishes
+	// bitwise identical to an uninterrupted run.
+	Snapshot = partition.Snapshot
+)
+
+// OpenStore opens (creating as needed) a durable state directory.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// EncodeSnapshot serializes a solver checkpoint into its versioned,
+// CRC-guarded binary form.
+func EncodeSnapshot(s *Snapshot) []byte { return partition.EncodeSnapshot(s) }
+
+// DecodeSnapshot parses and validates an EncodeSnapshot payload,
+// rejecting version or checksum mismatches and malformed shapes.
+func DecodeSnapshot(raw []byte) (*Snapshot, error) { return partition.DecodeSnapshot(raw) }
+
+// WriteFileAtomic durably replaces path with a CRC-framed record
+// containing data: write to a temp file in the same directory, fsync,
+// rename, fsync the directory. Read it back with ReadFileChecked.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return store.WriteFileAtomic(path, data, perm)
+}
+
+// ReadFileChecked reads a WriteFileAtomic file, verifying the frame
+// checksum before returning the payload.
+func ReadFileChecked(path string) ([]byte, error) { return store.ReadFileChecked(path) }
