@@ -1,16 +1,24 @@
 # Build / test entry points. `make check` is the tier-1 gate (see README):
-# gofmt + vet plus the full test suite under the race detector — the
-# parallel kernels and the restart portfolio must stay race-clean.
+# gofmt + vet plus the fast test suite under the race detector — the
+# parallel kernels and the restart portfolio must stay race-clean. The
+# large-synthetic and e2e V-cycle tests hide behind -short and run in the
+# `test-slow` tier (its own CI job), keeping check's wall time flat.
 
 GO ?= go
 
-.PHONY: build test check fmt-check race bench bench-json bench-smoke obs-bench serve-smoke fuzz
+.PHONY: build test test-slow check fmt-check race bench bench-json bench-smoke obs-bench serve-smoke fuzz
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Slow tier: the full suite with nothing skipped — the 100k-gate V-cycle
+# determinism sweep and the million-gate e2e included — under the race
+# detector. Separate CI job; run locally before perf-sensitive changes.
+test-slow:
+	$(GO) test -race -count=1 -timeout 45m ./...
 
 # Formatting gate: gofmt -l prints offending files and stays silent when
 # clean; the shell check turns any output into a failure.
@@ -24,7 +32,7 @@ race:
 check:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -short -race ./...
 	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchtime 1x ./internal/partition ./internal/obs
 	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
@@ -38,7 +46,7 @@ bench:
 # history accumulates, e.g.:
 #   make bench-json PERF_LABEL=pr5-ckpt PERF_OUT=BENCH_PR5.json
 PERF_LABEL ?= head
-PERF_OUT ?= BENCH_PR5.json
+PERF_OUT ?= BENCH_PR6.json
 bench-json:
 	$(GO) run ./cmd/gpp-bench -perf -perf-label $(PERF_LABEL) -perf-out $(PERF_OUT) -perf-append
 

@@ -41,7 +41,7 @@ func main() {
 	workers := flag.Int("workers", 1, "kernel worker goroutines per solve (0 = one per CPU); results are identical for every count")
 	restarts := flag.Int("restarts", 1, "random restarts per solve; the best discrete-cost result is kept")
 	perf := flag.Bool("perf", false, "run the solver perf harness instead of the tables and write a perf-trajectory JSON (see -perf-out)")
-	perfOut := flag.String("perf-out", "BENCH_PR5.json", "perf-trajectory output file (\"-\" for stdout)")
+	perfOut := flag.String("perf-out", "BENCH_PR6.json", "perf-trajectory output file (\"-\" for stdout)")
 	perfLabel := flag.String("perf-label", "head", "series label recorded in the trajectory file")
 	perfAppend := flag.Bool("perf-append", false, "append to / replace within an existing trajectory file instead of overwriting it")
 	perfSmoke := flag.Bool("perf-smoke", false, "one-op smoke run on a tiny circuit (keeps the harness wired into make check)")

@@ -1,6 +1,6 @@
 // perf.go implements gpp-bench's -perf mode: a self-contained micro-benchmark
 // harness over the solver hot path that appends its measurements to a
-// perf-trajectory JSON file (BENCH_PR5.json by default). Each invocation
+// perf-trajectory JSON file (BENCH_PR6.json by default). Each invocation
 // records one labelled series — run it once per commit of interest and the
 // file accumulates a before/after history that future PRs can extend:
 //
@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gpp/internal/gen"
+	"gpp/internal/multilevel"
 	"gpp/internal/partition"
 	"gpp/internal/store"
 )
@@ -108,16 +109,10 @@ func measureOp(op func(), budget time.Duration, maxOps int) (ops int, nsPerOp, a
 	return ops, nsPerOp, allocsPerOp, bytesPerOp
 }
 
-// perfProblem builds a named benchmark circuit (or the 6000-gate synthetic
-// the root-package parallel benchmarks use) as a partition problem.
+// perfProblem builds a named benchmark circuit as a partition problem;
+// gen.Benchmark covers both the Table I names and the par<N> scaling
+// synthetics (par6000, par100000, par1000000, …).
 func perfProblem(name string, k int) (*partition.Problem, error) {
-	if name == "par6000" {
-		c, err := gen.Synthetic(gen.SyntheticSpec{Name: "par6000", Gates: 6000, Conns: 8400, Seed: 1}, nil)
-		if err != nil {
-			return nil, err
-		}
-		return partition.FromCircuit(c, k)
-	}
 	c, err := gen.Benchmark(name, nil)
 	if err != nil {
 		return nil, err
@@ -244,6 +239,60 @@ func runPerf(out, label string, appendSeries, smoke bool, budget time.Duration) 
 			b := perfBench{
 				Name:    name,
 				Circuit: ckpt.circuit, K: ckpt.k, Workers: 1,
+				Ops: ops, NsPerOp: ns, ItersPerOp: iters,
+				NsPerIter:   ns / float64(iters),
+				AllocsPerOp: allocs, BytesPerOp: bytes,
+			}
+			series.Benchmarks = append(series.Benchmarks, b)
+			fmt.Fprintf(os.Stderr, "perf: %-34s %12.0f ns/op %10.0f ns/iter %8.1f allocs/op\n",
+				b.Name, b.NsPerOp, b.NsPerIter, b.AllocsPerOp)
+		}
+	}
+
+	// Multilevel V-cycle scale series: the million-gate acceptance path.
+	// par6000 anchors the series to the flat solver's benchmark instance;
+	// par100000 sweeps the worker counts (bitwise-identical outputs, so the
+	// sweep prices dispatch overhead exactly like the flat-solver cells);
+	// par1000000 runs once at full parallelism — wall time per op is the
+	// headline number the README scale table quotes.
+	mlCells := []struct {
+		circuit string
+		workers []int
+		maxOps  int
+	}{
+		{"par6000", []int{1}, 3},
+		{"par100000", perfWorkerSweep(), 3},
+		{"par1000000", []int{runtime.NumCPU()}, 1},
+	}
+	if smoke {
+		mlCells = mlCells[:0]
+		mlCells = append(mlCells, struct {
+			circuit string
+			workers []int
+			maxOps  int
+		}{"KSA16", []int{1}, 1})
+	}
+	for _, mc := range mlCells {
+		p, err := perfProblem(mc.circuit, 5)
+		if err != nil {
+			return err
+		}
+		for _, workers := range mc.workers {
+			opts := multilevel.Options{}
+			opts.Solver.Seed = 1
+			opts.Solver.Workers = workers
+			iters := 0
+			op := func() {
+				res, err := multilevel.Partition(p, opts)
+				if err != nil {
+					panic(err)
+				}
+				iters = res.Iters
+			}
+			ops, ns, allocs, bytes := measureOp(op, budget, mc.maxOps)
+			b := perfBench{
+				Name:    fmt.Sprintf("BenchmarkVCycle%sK5W%d", mc.circuit, workers),
+				Circuit: mc.circuit, K: 5, Workers: workers,
 				Ops: ops, NsPerOp: ns, ItersPerOp: iters,
 				NsPerIter:   ns / float64(iters),
 				AllocsPerOp: allocs, BytesPerOp: bytes,

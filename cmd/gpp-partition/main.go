@@ -17,6 +17,8 @@
 //	gpp-partition -circuit KSA8 -k 5 -trace run.jsonl -manifest run.json  # telemetry artifacts
 //	gpp-partition -circuit C3540 -k 8 -checkpoint run.snap  # snapshot every 100 iterations
 //	gpp-partition -circuit C3540 -k 8 -resume run.snap      # continue; bitwise = uninterrupted
+//	gpp-partition -circuit par1000000 -k 5 -multilevel      # million-gate V-cycle in seconds
+//	gpp-partition -circuit par100000 -k 5 -multilevel -coarsest 500 -checkpoint run.vsnap
 //	gpp-partition -circuit C3540 -k 8 -metrics-addr :8080   # /metrics, /debug/vars, /debug/pprof
 package main
 
@@ -32,6 +34,7 @@ import (
 	"gpp/internal/experiments"
 	"gpp/internal/gen"
 	"gpp/internal/lef"
+	"gpp/internal/multilevel"
 	"gpp/internal/netlist"
 	"gpp/internal/obs/obscli"
 	"gpp/internal/partition"
@@ -55,6 +58,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = one per CPU, 1 = serial); results are identical for every count")
 	showSeeds := flag.Bool("seeds", false, "with -restarts > 1, print the per-seed portfolio summary")
 	balanced := flag.Float64("balanced", -1, "if ≥ 0, use capacity-aware rounding with this bias slack (e.g. 0.05)")
+	ml := flag.Bool("multilevel", false, "partition with the multilevel V-cycle (coarsen → solve coarsest → refine per level); the scale path for ≳10⁵-gate instances")
+	coarsest := flag.Int("coarsest", 0, "with -multilevel, stop coarsening at this many supervertices (0 = default, max(200, 10K))")
+	levels := flag.Int("levels", 0, "with -multilevel, cap the hierarchy depth including the original level (0 = default, 32)")
 	assign := flag.String("assign", "", "write gate→plane assignment TSV to this path")
 	placedDEF := flag.String("placed-def", "", "write partitioned+placed DEF (plane REGIONS/GROUPS) to this path")
 	layoutSVG := flag.String("layout-svg", "", "render the plane-banded layout as SVG to this path")
@@ -86,21 +92,26 @@ func main() {
 
 	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers, Tracer: sess.Tracer}
 	if *checkpoint != "" || *resume != "" {
-		// Snapshots capture exactly one descent, so the multi-solve modes
-		// cannot use them: a portfolio interleaves restarts and a K search
-		// runs one solve per candidate K.
+		// Snapshots capture exactly one descent (or one V-cycle), so the
+		// multi-solve modes cannot use them: a portfolio interleaves restarts
+		// and a K search runs one solve per candidate K.
 		if *restarts > 1 || *limit > 0 {
 			fatal(fmt.Errorf("-checkpoint/-resume cover a single solve; drop -restarts/-limit"))
 		}
 	}
-	if *checkpoint != "" {
+	if *ml && (*balanced >= 0 || *restarts > 1 || *limit > 0) {
+		fatal(fmt.Errorf("-multilevel is a single V-cycle solve; drop -balanced/-restarts/-limit"))
+	}
+	// In multilevel mode the snapshot flags use the V-cycle codec and hang
+	// off the multilevel options instead (see the solve switch below).
+	if *checkpoint != "" && !*ml {
 		path := *checkpoint
 		opts.CheckpointEvery = *checkpointEvery
 		opts.Checkpoint = func(s *partition.Snapshot) error {
 			return store.WriteFileAtomic(path, partition.EncodeSnapshot(s), 0o644)
 		}
 	}
-	if *resume != "" {
+	if *resume != "" && !*ml {
 		raw, err := store.ReadFileChecked(*resume)
 		if err != nil {
 			fatal(err)
@@ -139,6 +150,35 @@ func main() {
 	}
 	var res *partition.Result
 	switch {
+	case *ml:
+		mlOpts := multilevel.Options{CoarsestSize: *coarsest, MaxLevels: *levels, Solver: opts}
+		if *checkpoint != "" {
+			path := *checkpoint
+			mlOpts.CheckpointEvery = *checkpointEvery
+			mlOpts.Checkpoint = func(s *multilevel.VSnapshot) error {
+				return store.WriteFileAtomic(path, multilevel.EncodeVSnapshot(s), 0o644)
+			}
+		}
+		if *resume != "" {
+			raw, rerr := store.ReadFileChecked(*resume)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			vs, rerr := multilevel.DecodeVSnapshot(raw)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			mlOpts.Resume = vs
+			fmt.Fprintf(os.Stderr, "gpp-partition: resuming V-cycle from %s at level %d, iteration %d\n",
+				*resume, vs.Level, vs.Inner.Iter)
+		}
+		var mr *multilevel.Result
+		mr, err = multilevel.Partition(p, mlOpts)
+		if err == nil {
+			fmt.Printf("V-cycle: %d levels %v, coarsest solve %d iterations, %d refine moves\n",
+				mr.Levels, mr.LevelSizes, mr.CoarseIters, mr.RefineMoves)
+			res = &partition.Result{Labels: mr.Labels, Iters: mr.Iters, Converged: mr.Converged, Discrete: mr.Discrete}
+		}
 	case *balanced >= 0:
 		res, err = p.SolveBalanced(opts, *balanced)
 	case *restarts > 1:

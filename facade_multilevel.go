@@ -1,0 +1,65 @@
+package gpp
+
+import (
+	"context"
+
+	"gpp/internal/multilevel"
+	"gpp/internal/partition"
+	"gpp/internal/recycle"
+)
+
+// Multilevel facade: the V-cycle partitioner for instances far beyond the
+// paper's Table I scale (hundreds of thousands to millions of gates),
+// with the same quality metrics and the same two invariants as the flat
+// solver — bitwise-identical results at every worker count, and durable
+// checkpoint/resume (per hierarchy level, via the VSnapshot codec).
+
+type (
+	// MultilevelOptions configures the V-cycle (coarsening bounds, inner
+	// solver options, per-level refine budget, checkpointing).
+	MultilevelOptions = multilevel.Options
+	// MultilevelResult is the V-cycle outcome with hierarchy statistics.
+	MultilevelResult = multilevel.Result
+	// VSnapshot is a complete V-cycle checkpoint (hierarchy position plus
+	// the live level's solver state).
+	VSnapshot = multilevel.VSnapshot
+)
+
+// EncodeVSnapshot serializes a V-cycle checkpoint to its versioned,
+// CRC-framed binary format.
+func EncodeVSnapshot(s *VSnapshot) []byte { return multilevel.EncodeVSnapshot(s) }
+
+// DecodeVSnapshot parses and validates the binary V-cycle checkpoint
+// format; malformed input returns a descriptive error, never a panic.
+func DecodeVSnapshot(raw []byte) (*VSnapshot, error) { return multilevel.DecodeVSnapshot(raw) }
+
+// PartitionMultilevel splits the circuit into k planes with the multilevel
+// V-cycle: heavy-edge-matching coarsening, a full gradient-descent solve
+// of the coarsest instance, and per-level projection plus band-limited
+// refinement back up to the original circuit. For Table I-scale circuits
+// Partition is usually the better choice; the V-cycle's advantage starts
+// where the flat descent's per-iteration cost does not fit the time
+// budget (≳10⁵ gates).
+func PartitionMultilevel(c *Circuit, k int, opts MultilevelOptions) (*Result, *MultilevelResult, error) {
+	return PartitionMultilevelCtx(context.Background(), c, k, opts)
+}
+
+// PartitionMultilevelCtx is PartitionMultilevel with cooperative
+// cancellation: the context is checked once per inner gradient iteration
+// at every level, so a deadline or cancel stops the cycle promptly.
+func PartitionMultilevelCtx(ctx context.Context, c *Circuit, k int, opts MultilevelOptions) (*Result, *MultilevelResult, error) {
+	p, err := partition.FromCircuit(c, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	ml, err := multilevel.PartitionCtx(ctx, p, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := recycle.Evaluate(p, ml.Labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{K: k, Labels: ml.Labels, Metrics: m, Iters: ml.Iters, Converged: ml.Converged}
+	return res, ml, nil
+}

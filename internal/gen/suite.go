@@ -2,6 +2,8 @@ package gen
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"gpp/internal/cellib"
 	"gpp/internal/logic"
@@ -28,9 +30,28 @@ var iscasSpecs = map[string]SyntheticSpec{
 }
 
 // Benchmark generates one suite circuit by name, SFQ-mapped and ready for
-// partitioning.
+// partitioning. Beyond the Table I names it accepts "par<N>" for the
+// N-gate scaling synthetic (see ParSpec) — "par6000" is the root-package
+// parallel-benchmark instance, "par1000000" the million-gate multilevel
+// target.
 func Benchmark(name string, lib *cellib.Library) (*netlist.Circuit, error) {
 	return BenchmarkBalanced(name, lib, false)
+}
+
+// ParSpec parses a "par<N>" scaling-synthetic name into its spec: N gates,
+// 1.4·N connections (the mapped-netlist density of the par6000 instance
+// the solver benchmarks standardized on), seed 1. Returns ok=false when
+// the name does not match the pattern.
+func ParSpec(name string) (SyntheticSpec, bool) {
+	digits, found := strings.CutPrefix(name, "par")
+	if !found || digits == "" {
+		return SyntheticSpec{}, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n <= 0 {
+		return SyntheticSpec{}, false
+	}
+	return SyntheticSpec{Name: name, Gates: n, Conns: n + 2*n/5, Seed: 1}, true
 }
 
 // BenchmarkBalanced generates a suite circuit with optional full path
@@ -66,7 +87,9 @@ func BenchmarkBalanced(name string, lib *cellib.Library, balance bool) (*netlist
 	default:
 		spec, ok := iscasSpecs[name]
 		if !ok {
-			return nil, fmt.Errorf("gen: unknown benchmark %q", name)
+			if spec, ok = ParSpec(name); !ok {
+				return nil, fmt.Errorf("gen: unknown benchmark %q", name)
+			}
 		}
 		return Synthetic(spec, lib)
 	}

@@ -1,0 +1,146 @@
+package multilevel
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gpp/internal/partition"
+)
+
+// tableICircuits are the paper's Table I instances the regression suites
+// sweep; the scaling synthetics ride along in the slow tier.
+var tableICircuits = []string{"C432", "C499", "C1355", "C1908", "C3540"}
+
+// requireIdenticalVResults compares every field of two V-cycle results
+// bitwise: labels, hierarchy shape, iteration accounting, and the float
+// cost breakdown (== on floats — the determinism contract is bit
+// equality, not tolerance).
+func requireIdenticalVResults(t *testing.T, what string, want, got *Result) {
+	t.Helper()
+	if got.Levels != want.Levels || got.CoarsestSize != want.CoarsestSize {
+		t.Fatalf("%s: hierarchy diverged: %d levels/%d coarsest vs %d/%d",
+			what, got.Levels, got.CoarsestSize, want.Levels, want.CoarsestSize)
+	}
+	if len(got.LevelSizes) != len(want.LevelSizes) {
+		t.Fatalf("%s: level count %d vs %d", what, len(got.LevelSizes), len(want.LevelSizes))
+	}
+	for i := range want.LevelSizes {
+		if got.LevelSizes[i] != want.LevelSizes[i] {
+			t.Fatalf("%s: level %d size %d vs %d", what, i, got.LevelSizes[i], want.LevelSizes[i])
+		}
+	}
+	if got.CoarseIters != want.CoarseIters || got.Iters != want.Iters ||
+		got.Converged != want.Converged || got.RefineMoves != want.RefineMoves {
+		t.Fatalf("%s: accounting diverged: coarse %d/%d iters %d/%d conv %v/%v moves %d/%d",
+			what, got.CoarseIters, want.CoarseIters, got.Iters, want.Iters,
+			got.Converged, want.Converged, got.RefineMoves, want.RefineMoves)
+	}
+	if got.Discrete != want.Discrete {
+		t.Fatalf("%s: discrete cost diverged:\n got  %+v\n want %+v", what, got.Discrete, want.Discrete)
+	}
+	for i := range want.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("%s: label[%d] = %d, want %d", what, i, got.Labels[i], want.Labels[i])
+		}
+	}
+}
+
+// TestVCycleWorkersDeterminismSweep is the PR-6 acceptance sweep, the
+// V-cycle mirror of partition.TestSolveWorkersDeterminismSweep: Workers =
+// 1, 2, and NumCPU produce bitwise identical Results on every Table I
+// circuit, and a repeated run with the same seed reproduces the first.
+// The slow tier extends the sweep to a 100k-gate synthetic.
+func TestVCycleWorkersDeterminismSweep(t *testing.T) {
+	counts := []int{1, 2, runtime.NumCPU()}
+	circuits := append([]string(nil), tableICircuits...)
+	if !testing.Short() {
+		circuits = append(circuits, "par100000")
+	}
+	for _, circuit := range circuits {
+		p := benchProblem(t, circuit, 5)
+		var want *Result
+		for _, workers := range counts {
+			got, err := Partition(p, Options{Solver: partition.Options{
+				Seed: 1, MaxIters: 300, Workers: workers,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			requireIdenticalVResults(t, fmt.Sprintf("%s workers %d", circuit, workers), want, got)
+		}
+		// Same seed, same worker count, fresh run: the cycle is a pure
+		// function of (problem, options).
+		again, err := Partition(p, Options{Solver: partition.Options{
+			Seed: 1, MaxIters: 300, Workers: counts[len(counts)-1],
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalVResults(t, circuit+" repeat", want, again)
+	}
+}
+
+// TestHierarchyDeterministic pins the satellite fix for the shared-RNG
+// matching order: two hierarchy builds with equal options must produce
+// identical chains — per-level vertex counts, projection maps, edges, and
+// weights. (The historical implementation threaded one *rand.Rand through
+// all contractions, so a level's permutation depended on hierarchy shape.)
+func TestHierarchyDeterministic(t *testing.T) {
+	p := benchProblem(t, "C1908", 5)
+	opts := Options{}.Normalize(p.K)
+	build := func() *hierarchy {
+		h, err := buildHierarchy(p, opts, opts.Solver.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := build(), build()
+	if len(a.levels) != len(b.levels) {
+		t.Fatalf("depth %d vs %d", len(a.levels), len(b.levels))
+	}
+	for li := range a.levels {
+		la, lb := a.levels[li], b.levels[li]
+		if len(la.bias) != len(lb.bias) || len(la.edges) != len(lb.edges) {
+			t.Fatalf("level %d shape: %d/%d vertices, %d/%d edges",
+				li, len(la.bias), len(lb.bias), len(la.edges), len(lb.edges))
+		}
+		for v := range la.fineToCoarse {
+			if la.fineToCoarse[v] != lb.fineToCoarse[v] {
+				t.Fatalf("level %d projection map diverges at vertex %d", li, v)
+			}
+		}
+		for i := range la.edges {
+			if la.edges[i] != lb.edges[i] || la.weight[i] != lb.weight[i] {
+				t.Fatalf("level %d edge %d diverges", li, i)
+			}
+		}
+		for v := range la.bias {
+			if la.bias[v] != lb.bias[v] || la.area[v] != lb.area[v] {
+				t.Fatalf("level %d vertex %d bias/area diverges", li, v)
+			}
+		}
+	}
+}
+
+// TestLevelSeedIsPerLevel: the derived seeds must differ across levels and
+// across solver seeds — a collision would make two contractions share a
+// matching permutation by accident.
+func TestLevelSeedIsPerLevel(t *testing.T) {
+	seen := map[int64]string{}
+	for _, seed := range []int64{1, 2, 42} {
+		for level := 0; level < 32; level++ {
+			s := levelSeed(seed, level)
+			key := fmt.Sprintf("seed %d level %d", seed, level)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("levelSeed collision: %s and %s both map to %d", key, prev, s)
+			}
+			seen[s] = key
+		}
+	}
+}

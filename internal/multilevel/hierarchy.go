@@ -1,0 +1,276 @@
+package multilevel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpp/internal/partition"
+)
+
+// level is one coarsened instance plus the projection map from the finer
+// level: levels[i] holds the data of level i+1 and the fineToCoarse map
+// indexed by level-i vertices.
+type level struct {
+	bias, area   []float64
+	edges        [][2]int
+	weight       []float64
+	fineToCoarse []int // indexed by finer-level vertex
+}
+
+// hierarchy is the full coarsening chain: probs[0] is the original problem
+// and probs[i+1] the weighted instance levels[i] produced.
+type hierarchy struct {
+	levels []level
+	probs  []*partition.Problem
+}
+
+// levelSeed derives one contraction's matching-order seed from the solver
+// seed and the level index with a splitmix64-style finalizer. Each level's
+// matching is therefore a pure function of (Solver.Seed, level) — the same
+// deterministic RNG discipline as the solver's initialization, where the
+// seed alone pins the entire stream. (The historical implementation
+// threaded one shared *rand.Rand through every contraction, so a level's
+// permutation depended on how many draws earlier levels consumed — an
+// accident of hierarchy shape rather than a declared function of the
+// options.)
+func levelSeed(seed int64, level int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(level+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// buildHierarchy coarsens the problem down to Options.CoarsestSize
+// vertices (or until MaxLevels / no contraction), materializing every
+// coarse level as a weighted partition.Problem. Deterministic: the chain
+// depends only on the problem and (seed, CoarsestSize, MaxLevels).
+func buildHierarchy(p *partition.Problem, opts Options, seed int64) (*hierarchy, error) {
+	h := &hierarchy{probs: []*partition.Problem{p}}
+	curBias, curArea := p.Bias, p.Area
+	curEdges := make([][2]int, len(p.Edges))
+	curWeight := make([]float64, len(p.Edges))
+	for i, e := range p.Edges {
+		curEdges[i] = [2]int{int(e[0]), int(e[1])}
+		curWeight[i] = 1
+	}
+	if p.EdgeWeight != nil {
+		copy(curWeight, p.EdgeWeight)
+	}
+	for len(curBias) > opts.CoarsestSize && len(h.levels) < opts.MaxLevels-1 {
+		lv, ok := coarsen(curBias, curArea, curEdges, curWeight, levelSeed(seed, len(h.levels)))
+		if !ok {
+			break // no contraction possible (edgeless residue)
+		}
+		prob, err := buildProblem(fmt.Sprintf("%s@L%d", p.Name, len(h.levels)+1), p.K, lv.bias, lv.area, lv.edges, lv.weight)
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, lv)
+		h.probs = append(h.probs, prob)
+		curBias, curArea, curEdges, curWeight = lv.bias, lv.area, lv.edges, lv.weight
+	}
+	return h, nil
+}
+
+// coarsen performs one heavy-edge-matching contraction. Returns ok=false
+// when no edge allows any contraction. The adjacency is CSR (two counted
+// passes, no per-vertex append slices) and the edge collapse sorts packed
+// (a,b) keys instead of accumulating into a map, so a contraction is
+// O(E log E) with flat allocations — the difference between a hierarchy
+// build in milliseconds and one in seconds at a million gates.
+func coarsen(bias, area []float64, edges [][2]int, weight []float64, seed int64) (level, bool) {
+	n := len(bias)
+	// CSR adjacency, neighbor entries in edge order per vertex (parallel
+	// edges stay separate entries, matching by single-edge weight).
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		if e[0] != e[1] {
+			deg[e[0]+1]++
+			deg[e[1]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	adjV := make([]int32, deg[n])
+	adjW := make([]float64, deg[n])
+	cursor := make([]int32, n)
+	copy(cursor, deg[:n])
+	for i, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		a, b := e[0], e[1]
+		adjV[cursor[a]], adjW[cursor[a]] = int32(b), weight[i]
+		cursor[a]++
+		adjV[cursor[b]], adjW[cursor[b]] = int32(a), weight[i]
+		cursor[b]++
+	}
+
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rand.New(rand.NewSource(seed)).Perm(n)
+	matched := 0
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestW := int32(-1), 0.0
+		for idx := deg[v]; idx < deg[v+1]; idx++ {
+			u := adjV[idx]
+			if int(u) != v && match[u] < 0 && adjW[idx] > bestW {
+				best, bestW = u, adjW[idx]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = int32(v)
+			matched++
+		}
+	}
+	if matched == 0 {
+		return level{}, false
+	}
+
+	// Assign coarse IDs in vertex order (deterministic).
+	lv := level{fineToCoarse: make([]int, n)}
+	coarseID := make([]int32, n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if coarseID[v] >= 0 {
+			continue
+		}
+		coarseID[v] = next
+		if m := match[v]; m >= 0 {
+			coarseID[m] = next
+		}
+		next++
+	}
+	lv.bias = make([]float64, next)
+	lv.area = make([]float64, next)
+	for v := 0; v < n; v++ {
+		cv := coarseID[v]
+		lv.fineToCoarse[v] = int(cv)
+		lv.bias[cv] += bias[v]
+		lv.area[cv] += area[v]
+	}
+
+	// Collapse edges: pack each surviving coarse pair into one sortable
+	// key, radix-sort, and merge equal-key runs into a single weighted
+	// edge. The output is ordered by (a, b) by construction.
+	keys := make([]uint64, 0, len(edges))
+	ws := make([]float64, 0, len(edges))
+	for i, e := range edges {
+		a, b := coarseID[e[0]], coarseID[e[1]]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		keys = append(keys, uint64(uint32(a))<<32|uint64(uint32(b)))
+		ws = append(ws, weight[i])
+	}
+	radixSortEdges(keys, ws)
+	lv.edges = make([][2]int, 0, len(keys))
+	lv.weight = make([]float64, 0, len(keys))
+	for i := 0; i < len(keys); {
+		j := i + 1
+		w := ws[i]
+		for j < len(keys) && keys[j] == keys[i] {
+			w += ws[j]
+			j++
+		}
+		lv.edges = append(lv.edges, [2]int{int(keys[i] >> 32), int(uint32(keys[i]))})
+		lv.weight = append(lv.weight, w)
+		i = j
+	}
+	return lv, true
+}
+
+// radixSortEdges sorts the packed coarse-pair keys ascending, carrying the
+// weights in lockstep: LSD counting passes over the significant bytes,
+// O(E) per contraction. The comparison sort it replaced (reflection-based
+// sort.Slice swaps) dominated million-gate hierarchy builds. Stable, so
+// equal keys keep their input order and the weight summation order — and
+// with it the merged float weights — is a pure function of the input.
+func radixSortEdges(keys []uint64, ws []float64) {
+	n := len(keys)
+	if n < 64 {
+		for i := 1; i < n; i++ {
+			k, w := keys[i], ws[i]
+			j := i - 1
+			for ; j >= 0 && keys[j] > k; j-- {
+				keys[j+1], ws[j+1] = keys[j], ws[j]
+			}
+			keys[j+1], ws[j+1] = k, w
+		}
+		return
+	}
+	var maxKey uint64
+	for _, k := range keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	tmpK := make([]uint64, n)
+	tmpW := make([]float64, n)
+	src, dst := keys, tmpK
+	srcW, dstW := ws, tmpW
+	var count [256]int
+	for shift := uint(0); maxKey>>shift > 0; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range src {
+			count[(k>>shift)&0xFF]++
+		}
+		sum := 0
+		for i, c := range count {
+			count[i] = sum
+			sum += c
+		}
+		for i, k := range src {
+			pos := count[(k>>shift)&0xFF]
+			count[(k>>shift)&0xFF]++
+			dst[pos], dstW[pos] = k, srcW[i]
+		}
+		src, dst = dst, src
+		srcW, dstW = dstW, srcW
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+		copy(ws, srcW)
+	}
+}
+
+// buildProblem materializes a weighted instance as a partition.Problem: an
+// edge of weight w contributes to the cost exactly like w parallel
+// connections (partition.NewWeightedProblem), without materializing the
+// replicas — at a million gates the coarsest level would otherwise retain
+// the full fine-level connection count.
+func buildProblem(name string, k int, bias, area []float64, edges [][2]int, weight []float64) (*partition.Problem, error) {
+	if k > len(bias) {
+		// Coarsening can undershoot K on tiny inputs; pad is not possible,
+		// so surface a clear error.
+		return nil, fmt.Errorf("multilevel: level %q has %d vertices for K=%d", name, len(bias), k)
+	}
+	return partition.NewWeightedProblem(name, k, bias, area, edges, weight)
+}
+
+// projectW spreads the coarse relaxed matrix onto the finer level: every
+// fine vertex inherits its supervertex's row. Serial and index-ordered —
+// trivially deterministic.
+func projectW(coarseW partition.W, fineToCoarse []int, k int) partition.W {
+	fine := make(partition.W, len(fineToCoarse)*k)
+	for v, cv := range fineToCoarse {
+		copy(fine[v*k:(v+1)*k], coarseW[cv*k:(cv+1)*k])
+	}
+	return fine
+}

@@ -1,0 +1,21 @@
+package multilevel
+
+import "gpp/internal/obs"
+
+// Multilevel metrics, registered on the process-wide registry (served by
+// the CLIs' -metrics-addr). All updates happen once per V-cycle — never
+// inside the level loops — so instrumentation costs nothing on the hot
+// path.
+var (
+	mVCycles = obs.Default().Counter("gpp_multilevel_vcycles_total",
+		"completed multilevel V-cycles")
+	mCoarsenings = obs.Default().Counter("gpp_multilevel_coarsenings_total",
+		"heavy-edge-matching contractions across all V-cycles")
+	mVCycleIters = obs.Default().Counter("gpp_multilevel_iterations_total",
+		"inner gradient iterations (coarsest solve + per-level refines) across all V-cycles")
+	mVCycleRefineMoves = obs.Default().Counter("gpp_multilevel_refine_moves_total",
+		"gates moved by the finest-level discrete move pass")
+	mVCycleLevels = obs.Default().Histogram("gpp_multilevel_levels_per_vcycle",
+		[]float64{2, 3, 4, 6, 8, 12, 16, 24, 32},
+		"hierarchy depth distribution per V-cycle (including the original level)")
+)

@@ -1,51 +1,99 @@
-// Package multilevel implements a multilevel variant of the ground plane
-// partitioner, the natural "future work" extension of the paper: its
+// Package multilevel implements a multilevel V-cycle variant of the ground
+// plane partitioner, the natural "future work" extension of the paper: its
 // Section IV argues the problem cannot be fed to classic multilevel K-way
 // tools (Karypis/Kumar, the paper's ref [18]) because of the
-// distance-weighted connection cost — but the multilevel *schema*
-// (coarsen by heavy-edge matching, solve the coarsest instance, project
-// back and refine level by level) composes perfectly with the paper's own
-// cost function. The coarse solve uses the paper's gradient-descent
-// algorithm; every uncoarsening step runs the move-based refinement on the
-// paper's discrete objective, so the distance semantics are preserved at
-// every level.
+// distance-weighted connection cost — but the multilevel *schema* (coarsen
+// by heavy-edge matching, solve the coarsest instance, project back and
+// refine level by level) composes perfectly with the paper's own cost
+// function, because every level runs the paper's objective.
 //
-// On large instances this trades a slightly different quality profile for
-// a much smaller gradient-descent problem (the descent runs on hundreds of
-// supervertices instead of thousands of gates).
+// The V-cycle:
+//
+//  1. Coarsen. Heavy-edge matching contracts the instance level by level
+//     down to a few hundred supervertices. Collapsed parallel connections
+//     become edge weights (partition.NewWeightedProblem), so a level's
+//     edge count shrinks with its vertex count instead of retaining the
+//     full fine-level connection count.
+//  2. Solve. The coarsest instance runs the full Algorithm-1 gradient
+//     descent (the PR-4 fused kernels).
+//  3. Uncoarsen. At each finer level the relaxed matrix W is projected
+//     through the matching (every fine vertex inherits its supervertex's
+//     row) and polished by a short, band-limited gradient refine — a warm-
+//     started descent capped at Options.RefineIters iterations with the
+//     step re-calibrated at the projected point. At the finest level the
+//     greedy discrete move pass (partition.Refine) runs last.
+//
+// Both repo invariants hold through the cycle: results are bitwise
+// identical at every Options.Solver.Workers count (every stage is either
+// serial or built from the solver's fixed-shard kernels), and the whole
+// cycle checkpoints and resumes per level through the VSnapshot codec — a
+// level-indexed wrapper around the PR-5 solver snapshot.
 package multilevel
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
-	"sort"
 
 	"gpp/internal/partition"
 )
 
-// Options configures the multilevel flow.
+// Options configures the multilevel V-cycle.
 type Options struct {
 	// CoarsestSize stops coarsening when a level has at most this many
-	// supervertices (default max(60, 10·K)).
+	// supervertices (default max(200, 10·K)).
 	CoarsestSize int
-	// MaxLevels caps the hierarchy depth (default 20).
+	// MaxLevels caps the hierarchy depth including the original level
+	// (default 32 — enough to take a million-gate instance to a few
+	// hundred supervertices at typical contraction ratios).
 	MaxLevels int
-	// Solver configures the coarsest-level gradient descent (its Seed also
-	// seeds the matching order).
+	// Solver configures the coarsest-level gradient descent; the per-level
+	// refines inherit everything except MaxIters (RefineIters), Momentum
+	// (forced off — a projected W has no meaningful velocity) and the step
+	// (re-calibrated at each projection). Solver.Seed also seeds the
+	// matching order, through a per-level derived stream (see levelSeed).
+	// Solver.Refine is ignored (the V-cycle owns refinement), and
+	// Solver.Checkpoint/Resume must be unset — checkpointing a V-cycle
+	// goes through the Checkpoint/Resume fields below.
 	Solver partition.Options
-	// RefinePasses bounds the per-level refinement sweeps (default 6).
+	// RefineIters caps the band-limited gradient refine at each
+	// uncoarsening step (default 30; the margin criterion can stop it
+	// earlier).
+	RefineIters int
+	// RefinePasses bounds the discrete move-pass sweeps at the finest
+	// level (default 6).
 	RefinePasses int
+
+	// Checkpoint, when non-nil, receives a VSnapshot at the start of every
+	// refine level and every CheckpointEvery iterations inside the level
+	// solves (deep copies — the hook may retain or serialize them). A
+	// V-cycle killed after a checkpoint and resumed from it finishes
+	// bitwise identical to the uninterrupted run at any Workers count.
+	// Like the solver's hook it is execution-only: it never changes the
+	// result and is excluded from the cache-key fingerprint.
+	Checkpoint func(*VSnapshot) error
+	// CheckpointEvery is the in-level snapshot cadence in iterations; 0
+	// with a non-nil Checkpoint hook uses the solver default (100).
+	CheckpointEvery int
+	// Resume, when non-nil, continues a checkpointed V-cycle: the
+	// hierarchy is rebuilt deterministically from the options, levels
+	// coarser than the snapshot's are skipped, and the snapshot's level
+	// continues mid-solve. The snapshot must match the problem shape and
+	// the V-cycle fingerprint (options plus hierarchy identity).
+	Resume *VSnapshot
 }
 
 func (o Options) withDefaults(k int) Options {
 	if o.CoarsestSize <= 0 {
-		o.CoarsestSize = 60
+		o.CoarsestSize = 200
 		if 10*k > o.CoarsestSize {
 			o.CoarsestSize = 10 * k
 		}
 	}
 	if o.MaxLevels <= 0 {
-		o.MaxLevels = 20
+		o.MaxLevels = 32
+	}
+	if o.RefineIters <= 0 {
+		o.RefineIters = 30
 	}
 	if o.RefinePasses <= 0 {
 		o.RefinePasses = 6
@@ -56,232 +104,75 @@ func (o Options) withDefaults(k int) Options {
 	return o
 }
 
-// level is one coarsened instance plus the projection map from the finer
-// level.
-type level struct {
-	bias, area   []float64
-	edges        [][2]int
-	weight       []int
-	fineToCoarse []int // indexed by finer-level vertex
+// Normalize returns the options with every default resolved for a K-plane
+// problem — the exact configuration PartitionCtx would run. Two spellings
+// of the same V-cycle normalize to identical values, which is what lets
+// the serve daemon's result cache treat them as one configuration.
+func (o Options) Normalize(k int) Options { return o.withDefaults(k) }
+
+func (o Options) validate() error {
+	if o.Solver.Checkpoint != nil || o.Solver.Resume != nil {
+		return fmt.Errorf("multilevel: set Checkpoint/Resume on multilevel.Options, not on the inner solver options")
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("multilevel: checkpoint interval %d must be ≥ 0 (0 = default)", o.CheckpointEvery)
+	}
+	return nil
 }
 
 // Result reports the multilevel outcome.
 type Result struct {
 	Labels []int
 	Levels int // hierarchy depth including the original level
-	// CoarsestSize is the vertex count the gradient descent actually ran
-	// on.
+	// CoarsestSize is the vertex count the full gradient descent actually
+	// ran on.
 	CoarsestSize int
-	// RefineMoves counts moves across all uncoarsening refinements.
+	// LevelSizes is the vertex count per level, finest (the original
+	// problem) first.
+	LevelSizes []int
+	// CoarseIters is the coarsest solve's gradient iteration count;
+	// Iters adds every level's band-limited refine iterations on top.
+	CoarseIters, Iters int
+	// Converged reports whether the coarsest solve stopped on the margin
+	// criterion (the refines are iteration-capped by design and do not
+	// affect this flag).
+	Converged bool
+	// RefineMoves counts gates moved by the discrete move pass at the
+	// finest level.
 	RefineMoves int
+	// Discrete is the cost of the final assignment.
+	Discrete partition.Breakdown
 }
 
-// Partition runs the multilevel flow on the problem.
+// Partition runs the multilevel V-cycle on the problem.
 func Partition(p *partition.Problem, opts Options) (*Result, error) {
+	return PartitionCtx(context.Background(), p, opts)
+}
+
+// PartitionCtx is Partition with cooperative cancellation: the context is
+// threaded into every level's descent, so a server deadline or client
+// cancel stops the cycle within one gradient iteration.
+func PartitionCtx(ctx context.Context, p *partition.Problem, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults(p.K)
-	rng := rand.New(rand.NewSource(opts.Solver.Seed))
-
-	// Build the hierarchy.
-	curBias := p.Bias
-	curArea := p.Area
-	curEdges := make([][2]int, len(p.Edges))
-	curWeight := make([]int, len(p.Edges))
-	for i, e := range p.Edges {
-		curEdges[i] = [2]int{int(e[0]), int(e[1])}
-		curWeight[i] = 1
-	}
-	var levels []level
-	for len(curBias) > opts.CoarsestSize && len(levels) < opts.MaxLevels-1 {
-		lv, ok := coarsen(curBias, curArea, curEdges, curWeight, rng)
-		if !ok {
-			break // no contraction possible (edgeless residue)
-		}
-		levels = append(levels, lv)
-		curBias, curArea, curEdges, curWeight = lv.bias, lv.area, lv.edges, lv.weight
-	}
-
-	// Solve the coarsest level with the paper's algorithm.
-	coarseProb, err := buildProblem(fmt.Sprintf("%s@L%d", p.Name, len(levels)), p.K, curBias, curArea, curEdges, curWeight)
+	sNorm, err := opts.Solver.NormalizeFor(p.K)
 	if err != nil {
 		return nil, err
 	}
-	res, err := coarseProb.Solve(opts.Solver)
+	// The V-cycle owns refinement and checkpointing; the inner solves get
+	// neither knob from the caller.
+	sNorm.Refine = false
+	sNorm.Checkpoint, sNorm.CheckpointEvery, sNorm.Resume = nil, 0, nil
+
+	h, err := buildHierarchy(p, opts, sNorm.Seed)
 	if err != nil {
 		return nil, err
 	}
-	labels := res.Labels
-
-	out := &Result{Levels: len(levels) + 1, CoarsestSize: len(curBias)}
-	// Uncoarsen: project and refine at every finer level.
-	coeffs := opts.Solver.Coeffs
-	if coeffs == (partition.Coeffs{}) {
-		coeffs = partition.DefaultCoeffs()
+	vfp, err := vFingerprint(p, opts, sNorm, h)
+	if err != nil {
+		return nil, err
 	}
-	for li := len(levels) - 1; li >= 0; li-- {
-		lv := levels[li]
-		fine := make([]int, len(lv.fineToCoarse))
-		for v, cv := range lv.fineToCoarse {
-			fine[v] = labels[cv]
-		}
-		labels = fine
-		// Rebuild the finer instance for refinement.
-		var fb, fa []float64
-		var fe [][2]int
-		var fw []int
-		if li == 0 {
-			fb, fa = p.Bias, p.Area
-			fe = make([][2]int, len(p.Edges))
-			fw = make([]int, len(p.Edges))
-			for i, e := range p.Edges {
-				fe[i] = [2]int{int(e[0]), int(e[1])}
-				fw[i] = 1
-			}
-		} else {
-			prev := levels[li-1]
-			fb, fa, fe, fw = prev.bias, prev.area, prev.edges, prev.weight
-		}
-		fineProb, err := buildProblem(fmt.Sprintf("%s@L%d", p.Name, li), p.K, fb, fa, fe, fw)
-		if err != nil {
-			return nil, err
-		}
-		out.RefineMoves += fineProb.Refine(labels, coeffs, opts.RefinePasses)
-	}
-	if len(levels) == 0 {
-		// Hierarchy was trivial — labels are already at the original level;
-		// still run one refinement for parity with the non-trivial path.
-		out.RefineMoves += p.Refine(labels, coeffs, opts.RefinePasses)
-	}
-	out.Labels = labels
-	return out, nil
-}
-
-// coarsen performs one heavy-edge-matching contraction. Returns ok=false
-// when no edge allows any contraction.
-func coarsen(bias, area []float64, edges [][2]int, weight []int, rng *rand.Rand) (level, bool) {
-	n := len(bias)
-	// Neighbor weights per vertex.
-	type nb struct {
-		v, w int
-	}
-	adj := make([][]nb, n)
-	for i, e := range edges {
-		if e[0] == e[1] {
-			continue
-		}
-		adj[e[0]] = append(adj[e[0]], nb{e[1], weight[i]})
-		adj[e[1]] = append(adj[e[1]], nb{e[0], weight[i]})
-	}
-	match := make([]int, n)
-	for i := range match {
-		match[i] = -1
-	}
-	order := rng.Perm(n)
-	matched := 0
-	for _, v := range order {
-		if match[v] >= 0 {
-			continue
-		}
-		best, bestW := -1, 0
-		for _, e := range adj[v] {
-			if match[e.v] < 0 && e.v != v && e.w > bestW {
-				best, bestW = e.v, e.w
-			}
-		}
-		if best >= 0 {
-			match[v] = best
-			match[best] = v
-			matched++
-		}
-	}
-	if matched == 0 {
-		return level{}, false
-	}
-	// Assign coarse IDs.
-	lv := level{fineToCoarse: make([]int, n)}
-	coarseID := make([]int, n)
-	for i := range coarseID {
-		coarseID[i] = -1
-	}
-	next := 0
-	for v := 0; v < n; v++ {
-		if coarseID[v] >= 0 {
-			continue
-		}
-		coarseID[v] = next
-		if m := match[v]; m >= 0 {
-			coarseID[m] = next
-		}
-		next++
-	}
-	lv.bias = make([]float64, next)
-	lv.area = make([]float64, next)
-	for v := 0; v < n; v++ {
-		cv := coarseID[v]
-		lv.fineToCoarse[v] = cv
-		lv.bias[cv] += bias[v]
-		lv.area[cv] += area[v]
-	}
-	// Collapse edges.
-	acc := make(map[[2]int]int)
-	for i, e := range edges {
-		a, b := coarseID[e[0]], coarseID[e[1]]
-		if a == b {
-			continue
-		}
-		if a > b {
-			a, b = b, a
-		}
-		acc[[2]int{a, b}] += weight[i]
-	}
-	lv.edges = make([][2]int, 0, len(acc))
-	lv.weight = make([]int, 0, len(acc))
-	for e, w := range acc {
-		lv.edges = append(lv.edges, e)
-		lv.weight = append(lv.weight, w)
-	}
-	// Map iteration order is random; sort for determinism.
-	sortEdges(lv.edges, lv.weight)
-	return lv, true
-}
-
-func sortEdges(edges [][2]int, weight []int) {
-	idx := make([]int, len(edges))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		ea, eb := edges[idx[a]], edges[idx[b]]
-		if ea[0] != eb[0] {
-			return ea[0] < eb[0]
-		}
-		return ea[1] < eb[1]
-	})
-	se := make([][2]int, len(edges))
-	sw := make([]int, len(weight))
-	for i, j := range idx {
-		se[i] = edges[j]
-		sw[i] = weight[j]
-	}
-	copy(edges, se)
-	copy(weight, sw)
-}
-
-// buildProblem materializes a (possibly weighted) instance as a
-// partition.Problem by edge replication: an edge of weight w contributes w
-// parallel connections, which the cost function counts separately —
-// exactly the collapsed fine-level connection count.
-func buildProblem(name string, k int, bias, area []float64, edges [][2]int, weight []int) (*partition.Problem, error) {
-	if k > len(bias) {
-		// Coarsening can undershoot K on tiny inputs; pad is not possible,
-		// so surface a clear error.
-		return nil, fmt.Errorf("multilevel: level %q has %d vertices for K=%d", name, len(bias), k)
-	}
-	var rep [][2]int
-	for i, e := range edges {
-		w := weight[i]
-		for j := 0; j < w; j++ {
-			rep = append(rep, e)
-		}
-	}
-	return partition.NewProblem(name, k, bias, area, rep)
+	return runVCycle(ctx, p, opts, sNorm, h, vfp)
 }

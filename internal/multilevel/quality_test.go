@@ -1,0 +1,71 @@
+package multilevel
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"gpp/internal/partition"
+)
+
+// qualityBand is one circuit's allowed ratio range in
+// testdata/quality_bands.json.
+type qualityBand struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// TestVCycleQualityBands is the golden quality regression: on every Table I
+// circuit the V-cycle's discrete cost must stay within the recorded band of
+// the flat solver's cost (same seed, flat with its own discrete refine).
+// Both totals are negative — a ratio below 1 means the V-cycle captures
+// that fraction of the flat objective — so a drop below a band's min is a
+// quality regression in the cycle (coarsening, projection, or refine),
+// and a jump above max flags a cost-accounting bug dressed up as a win.
+func TestVCycleQualityBands(t *testing.T) {
+	raw, err := os.ReadFile("testdata/quality_bands.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatal(err)
+	}
+	delete(entries, "_comment")
+	bands := make(map[string]qualityBand, len(entries))
+	for name, msg := range entries {
+		var b qualityBand
+		if err := json.Unmarshal(msg, &b); err != nil {
+			t.Fatalf("band %s: %v", name, err)
+		}
+		bands[name] = b
+	}
+	if len(bands) != len(tableICircuits) {
+		t.Fatalf("quality_bands.json covers %d circuits, suite has %d", len(bands), len(tableICircuits))
+	}
+	coeffs := partition.DefaultCoeffs()
+	for _, name := range tableICircuits {
+		band, ok := bands[name]
+		if !ok {
+			t.Fatalf("no band recorded for %s", name)
+		}
+		p := benchProblem(t, name, 5)
+		ml, err := Partition(p, Options{Solver: partition.Options{Seed: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := p.Solve(partition.Options{Seed: 1, Refine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatCost := p.DiscreteCost(flat.Labels, coeffs).Total
+		if flatCost >= 0 {
+			t.Fatalf("%s: flat cost %g not negative; band semantics assume minimization below zero", name, flatCost)
+		}
+		ratio := ml.Discrete.Total / flatCost
+		if ratio < band.Min || ratio > band.Max {
+			t.Errorf("%s: V-cycle/flat cost ratio %.4f outside band [%.2f, %.2f] (ml %g, flat %g)",
+				name, ratio, band.Min, band.Max, ml.Discrete.Total, flatCost)
+		}
+	}
+}

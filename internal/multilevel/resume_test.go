@@ -1,0 +1,227 @@
+package multilevel
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gpp/internal/gen"
+	"gpp/internal/partition"
+)
+
+// captureVCycle runs one checkpointing V-cycle and returns every VSnapshot
+// the hook saw, serialized at hook time (the codec is part of what the
+// resume tests exercise).
+func captureVCycle(t *testing.T, p *partition.Problem, opts Options, every int) (*Result, [][]byte) {
+	t.Helper()
+	var snaps [][]byte
+	opts.CheckpointEvery = every
+	opts.Checkpoint = func(s *VSnapshot) error {
+		snaps = append(snaps, EncodeVSnapshot(s))
+		return nil
+	}
+	res, err := Partition(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, snaps
+}
+
+// TestVCycleKillResume is the PR-6 checkpoint contract: a V-cycle killed at
+// ANY snapshot boundary — mid-coarsest-solve, at a refine level's start, or
+// mid-refine — and resumed in a fresh call finishes bitwise identical to
+// the uninterrupted run, even when the resumed run uses a different worker
+// count. Every captured snapshot is treated as a kill point.
+func TestVCycleKillResume(t *testing.T) {
+	p := benchProblem(t, "C499", 5)
+	base := func(workers int) Options {
+		return Options{Solver: partition.Options{Seed: 1, MaxIters: 80, Workers: workers}}
+	}
+
+	want, err := Partition(p, base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint hook is execution-only: the checkpointing run must
+	// already match the plain one.
+	got, snaps := captureVCycle(t, p, base(1), 10)
+	requireIdenticalVResults(t, "checkpointing run", want, got)
+	if len(snaps) < want.Levels+2 {
+		t.Fatalf("only %d snapshots captured across %d levels — per-level checkpointing not engaged", len(snaps), want.Levels)
+	}
+
+	counts := []int{1, 2, runtime.NumCPU()}
+	seenLevels := map[int]bool{}
+	for i, raw := range snaps {
+		vs, err := DecodeVSnapshot(raw)
+		if err != nil {
+			t.Fatalf("snapshot %d does not decode: %v", i, err)
+		}
+		seenLevels[vs.Level] = true
+		ropts := base(counts[i%len(counts)])
+		ropts.Resume = vs
+		res, err := Partition(p, ropts)
+		if err != nil {
+			t.Fatalf("resume from snapshot %d (level %d, iter %d): %v", i, vs.Level, vs.Inner.Iter, err)
+		}
+		requireIdenticalVResults(t,
+			fmt.Sprintf("resume from snapshot %d (level %d, iter %d, workers %d)",
+				i, vs.Level, vs.Inner.Iter, ropts.Solver.Workers),
+			want, res)
+	}
+	// The kill points must cover more than one hierarchy level, or the test
+	// only exercised the coarsest solve.
+	if len(seenLevels) < 2 {
+		t.Fatalf("snapshots covered %d level(s); want kill points across levels", len(seenLevels))
+	}
+}
+
+// TestVCycleResumeRejectsDrift: a snapshot resumed under a different
+// configuration or problem must be rejected with a descriptive error, not
+// silently continued as a hybrid run.
+func TestVCycleResumeRejectsDrift(t *testing.T) {
+	p := benchProblem(t, "C432", 5)
+	opts := Options{Solver: partition.Options{Seed: 1, MaxIters: 40}}
+	_, snaps := captureVCycle(t, p, opts, 10)
+	vs, err := DecodeVSnapshot(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		p    *partition.Problem
+		opts Options
+		want string
+	}{
+		{"different seed", p,
+			Options{Solver: partition.Options{Seed: 2, MaxIters: 40}}, "fingerprint"},
+		{"different coarsest", p,
+			Options{CoarsestSize: 120, Solver: partition.Options{Seed: 1, MaxIters: 40}}, "fingerprint"},
+		{"different circuit", benchProblem(t, "C499", 5), opts, "problem"},
+	}
+	for _, tc := range cases {
+		o := tc.opts
+		o.Resume = vs
+		if _, err := Partition(tc.p, o); err == nil {
+			t.Errorf("%s: resume accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestVSnapshotRoundTrip pins the codec: encode → decode reproduces every
+// field, with the embedded solver snapshot compared through its own exact
+// binary form.
+func TestVSnapshotRoundTrip(t *testing.T) {
+	p := benchProblem(t, "C432", 5)
+	_, snaps := captureVCycle(t, p, Options{Solver: partition.Options{Seed: 7, MaxIters: 30}}, 10)
+	for i, raw := range snaps {
+		s, err := DecodeVSnapshot(raw)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		re := EncodeVSnapshot(s)
+		if !bytes.Equal(re, raw) {
+			t.Fatalf("snapshot %d: re-encoding is not byte-identical", i)
+		}
+		s2, err := DecodeVSnapshot(re)
+		if err != nil {
+			t.Fatalf("snapshot %d second decode: %v", i, err)
+		}
+		if s2.Name != s.Name || s2.G != s.G || s2.K != s.K || s2.EdgeCount != s.EdgeCount ||
+			s2.Fingerprint != s.Fingerprint || s2.Levels != s.Levels || s2.Level != s.Level ||
+			s2.CoarseIters != s.CoarseIters || s2.DoneIters != s.DoneIters || s2.Converged != s.Converged {
+			t.Fatalf("snapshot %d: fields drifted across roundtrip", i)
+		}
+		if !bytes.Equal(partition.EncodeSnapshot(s2.Inner), partition.EncodeSnapshot(s.Inner)) {
+			t.Fatalf("snapshot %d: inner snapshot drifted across roundtrip", i)
+		}
+	}
+}
+
+// TestVSnapshotDecodeRejectsDamage walks the classic corruption cases the
+// decoder must turn into errors.
+func TestVSnapshotDecodeRejectsDamage(t *testing.T) {
+	p := benchProblem(t, "C432", 5)
+	_, snaps := captureVCycle(t, p, Options{Solver: partition.Options{Seed: 1, MaxIters: 30}}, 10)
+	valid := snaps[0]
+
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty", nil},
+		{"short", valid[:4]},
+		{"bad magic", append([]byte("xxxxxxxx"), valid[8:]...)},
+		{"truncated payload", valid[:len(valid)-5]},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0)},
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x40
+	cases = append(cases, struct {
+		name string
+		raw  []byte
+	}{"bit flip", flipped})
+
+	for _, tc := range cases {
+		if _, err := DecodeVSnapshot(tc.raw); err == nil {
+			t.Errorf("%s: decoded successfully", tc.name)
+		}
+	}
+}
+
+// FuzzVCycleSnapshotDecode holds the decoder to its contract on arbitrary
+// bytes: never panic, and anything it accepts must re-encode into a form it
+// accepts again with identical fields.
+func FuzzVCycleSnapshotDecode(f *testing.F) {
+	c, err := gen.Benchmark("C432", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := partition.FromCircuit(c, 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid []byte
+	_, err = Partition(p, Options{
+		Solver:          partition.Options{Seed: 1, MaxIters: 15},
+		CheckpointEvery: 10,
+		Checkpoint: func(s *VSnapshot) error {
+			if valid == nil {
+				valid = EncodeVSnapshot(s)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(vsnapshotMagic))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 1
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := DecodeVSnapshot(raw)
+		if err != nil {
+			return
+		}
+		re := EncodeVSnapshot(s)
+		s2, err := DecodeVSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted snapshot rejected: %v", err)
+		}
+		if s2.G != s.G || s2.K != s.K || s2.Levels != s.Levels || s2.Level != s.Level ||
+			s2.Fingerprint != s.Fingerprint {
+			t.Fatal("accepted snapshot drifted across re-encode")
+		}
+	})
+}

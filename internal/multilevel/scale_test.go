@@ -1,0 +1,55 @@
+package multilevel
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"gpp/internal/partition"
+)
+
+// TestMillionGateVCycle is the slow-tier e2e for the PR-6 scale claim: the
+// million-gate synthetic partitions through the full V-cycle with a deep
+// hierarchy, valid labels, and a sane discrete solution. Wall time is
+// logged, not asserted — CI boxes vary too much for a hard timing gate;
+// the recorded trajectory lives in BENCH_PR6.json.
+func TestMillionGateVCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-gate e2e in -short mode")
+	}
+	p := benchProblem(t, "par1000000", 5)
+	start := time.Now()
+	res, err := Partition(p, Options{Solver: partition.Options{
+		Seed: 1, Workers: runtime.NumCPU(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("par1000000: %d levels %v, %d iters, %d refine moves, %v",
+		res.Levels, res.LevelSizes, res.Iters, res.RefineMoves, elapsed)
+
+	if len(res.Labels) != p.G {
+		t.Fatalf("%d labels for %d gates", len(res.Labels), p.G)
+	}
+	for i, lb := range res.Labels {
+		if lb < 0 || lb >= p.K {
+			t.Fatalf("label[%d] = %d", i, lb)
+		}
+	}
+	if res.Levels < 10 {
+		t.Errorf("hierarchy depth %d — coarsening stalled on a million gates", res.Levels)
+	}
+	if res.CoarsestSize > 2*200 {
+		t.Errorf("coarsest level has %d vertices, want ≲ a few hundred", res.CoarsestSize)
+	}
+	// The solution must be meaningfully better than random assignment.
+	rnd := make([]int, p.G)
+	for i := range rnd {
+		rnd[i] = i % p.K
+	}
+	coeffs := partition.DefaultCoeffs()
+	if rc := p.DiscreteCost(rnd, coeffs).Total; res.Discrete.Total >= rc {
+		t.Errorf("V-cycle cost %g not better than striped assignment %g", res.Discrete.Total, rc)
+	}
+}

@@ -143,6 +143,25 @@ func appendEvent(b []byte, e Event) []byte {
 		b = appendInt(b, "k", int64(e.K))
 		b = appendInt(b, "gates", int64(e.Gates))
 		b = appendInt(b, "edges", int64(e.Edges))
+	case KindVCycleStart:
+		b = appendInt(b, "seed", e.Seed)
+		b = appendInt(b, "k", int64(e.K))
+		b = appendInt(b, "gates", int64(e.Gates))
+		b = appendInt(b, "edges", int64(e.Edges))
+		b = appendInt(b, "levels", int64(e.Levels))
+	case KindCoarsen:
+		b = appendInt(b, "level", int64(e.Level))
+		b = appendInt(b, "gates", int64(e.Gates))
+		b = appendInt(b, "edges", int64(e.Edges))
+	case KindProject:
+		b = appendInt(b, "level", int64(e.Level))
+		b = appendInt(b, "gates", int64(e.Gates))
+	case KindVCycleDone:
+		b = appendInt(b, "levels", int64(e.Levels))
+		b = appendInt(b, "iters", int64(e.Iters))
+		b = appendBool(b, "converged", e.Converged)
+		b = appendInt(b, "refine_moves", int64(e.RefineMoves))
+		b = appendFloat(b, "f_discrete", e.FDiscrete)
 	case KindSimWave:
 		b = appendString(b, "circuit", e.Circuit)
 		b = appendInt(b, "pulses", int64(e.Pulses))

@@ -57,6 +57,20 @@ const (
 	KindWinner Kind = "winner"
 	// KindExperiment tags the start of one experiment-suite solve.
 	KindExperiment Kind = "experiment"
+	// KindVCycleStart opens one multilevel V-cycle: problem shape plus the
+	// hierarchy depth the coarsener produced. Like KindSolveStart it never
+	// records the worker count — V-cycle traces are byte-identical across
+	// Workers settings.
+	KindVCycleStart Kind = "vcycle_start"
+	// KindCoarsen reports one heavy-edge-matching contraction: the level
+	// index it produced and that level's vertex/edge counts.
+	KindCoarsen Kind = "coarsen"
+	// KindProject reports one uncoarsening step: W projected onto the
+	// finer level (by index) ahead of its band-limited gradient refine.
+	KindProject Kind = "project"
+	// KindVCycleDone closes a V-cycle: total inner iterations, convergence
+	// of the coarsest solve, refinement moves, final discrete cost.
+	KindVCycleDone Kind = "vcycle_done"
 	// KindSimWave / KindSimActivity are pulse-simulator events.
 	KindSimWave     Kind = "sim_wave"
 	KindSimActivity Kind = "sim_activity"
@@ -102,6 +116,11 @@ type Event struct {
 	Pulses   int     `json:"pulses,omitempty"`
 	Waves    int     `json:"waves,omitempty"`
 	Activity float64 `json:"activity,omitempty"`
+
+	// Multilevel V-cycle fields: Level is a 0-based hierarchy level (0 =
+	// the original problem), Levels the hierarchy depth including level 0.
+	Level  int `json:"level,omitempty"`
+	Levels int `json:"levels,omitempty"`
 }
 
 // Tracer receives structured solver events. Implementations must be safe

@@ -353,37 +353,71 @@ func (p *Problem) costF1(sc *scratch) float64 {
 // the neighbor-sum gather, so the gradient never recomputes l_i − l_j. The
 // cube values match the historical per-gate recomputation bitwise: d²·d
 // pairs the multiplications exactly as (d·d)·d did, and the paper-mode
-// |d|³ keeps its left-to-right association.
+// |d|³ keeps its left-to-right association. Weighted problems fold the
+// edge multiplicity into both the cost term and the cube, so the gather
+// (nsGatherShard) and the gradient row pass stay weight-agnostic; the
+// unweighted loops are untouched and stay bitwise identical to history.
 func (p *Problem) edgeIterShard(sc *scratch, s int) {
 	l := sc.l
 	ne := len(p.Edges)
 	lo, hi := pool.ShardRange(ne, edgeChunk, s)
 	var sum float64
+	ew := p.EdgeWeight
 	switch {
 	case !sc.hasNS:
-		for _, e := range p.Edges[lo:hi] {
-			d := l[e[0]] - l[e[1]]
-			d2 := d * d
-			sum += d2 * d2
+		if ew == nil {
+			for _, e := range p.Edges[lo:hi] {
+				d := l[e[0]] - l[e[1]]
+				d2 := d * d
+				sum += d2 * d2
+			}
+		} else {
+			for ei := lo; ei < hi; ei++ {
+				e := p.Edges[ei]
+				d := l[e[0]] - l[e[1]]
+				d2 := d * d
+				sum += ew[ei] * (d2 * d2)
+			}
 		}
 	case sc.mode == GradientExact:
 		cube := sc.cube
-		for ei := lo; ei < hi; ei++ {
-			e := p.Edges[ei]
-			d := l[e[0]] - l[e[1]]
-			d2 := d * d
-			sum += d2 * d2
-			cube[ei] = d2 * d
+		if ew == nil {
+			for ei := lo; ei < hi; ei++ {
+				e := p.Edges[ei]
+				d := l[e[0]] - l[e[1]]
+				d2 := d * d
+				sum += d2 * d2
+				cube[ei] = d2 * d
+			}
+		} else {
+			for ei := lo; ei < hi; ei++ {
+				e := p.Edges[ei]
+				d := l[e[0]] - l[e[1]]
+				d2 := d * d
+				sum += ew[ei] * (d2 * d2)
+				cube[ei] = ew[ei] * (d2 * d)
+			}
 		}
 	default: // GradientPaper: |l_i − l_j|³ (Eq. 10 as printed)
 		cube := sc.cube
-		for ei := lo; ei < hi; ei++ {
-			e := p.Edges[ei]
-			d := l[e[0]] - l[e[1]]
-			d2 := d * d
-			sum += d2 * d2
-			t := math.Abs(d)
-			cube[ei] = t * t * t
+		if ew == nil {
+			for ei := lo; ei < hi; ei++ {
+				e := p.Edges[ei]
+				d := l[e[0]] - l[e[1]]
+				d2 := d * d
+				sum += d2 * d2
+				t := math.Abs(d)
+				cube[ei] = t * t * t
+			}
+		} else {
+			for ei := lo; ei < hi; ei++ {
+				e := p.Edges[ei]
+				d := l[e[0]] - l[e[1]]
+				d2 := d * d
+				sum += ew[ei] * (d2 * d2)
+				t := math.Abs(d)
+				cube[ei] = ew[ei] * (t * t * t)
+			}
 		}
 	}
 	sc.partEdge[s] = sum
@@ -614,11 +648,13 @@ func (p *Problem) gradientShard(sc *scratch, s int) {
 // variant used when no fused edge pass has filled sc.cube.
 func (p *Problem) neighborSumsShard(sc *scratch, sh int) {
 	l, mode := sc.l, sc.mode
+	ew := p.EdgeWeight
 	lo, hi := pool.ShardRange(p.G, gateChunk, sh)
 	for i := lo; i < hi; i++ {
 		var sum float64
 		for idx := p.incStart[i]; idx < p.incStart[i+1]; idx++ {
-			e := p.Edges[p.incEdge[idx]]
+			ei := p.incEdge[idx]
+			e := p.Edges[ei]
 			d := l[e[0]] - l[e[1]]
 			var t float64
 			switch mode {
@@ -627,6 +663,12 @@ func (p *Problem) neighborSumsShard(sc *scratch, sh int) {
 			case GradientPaper:
 				t = math.Abs(d)
 				t = t * t * t
+			}
+			if ew != nil {
+				// Same product order as the fused cube (w · d³ commutes
+				// exactly), so standalone and gathered sums stay bitwise
+				// equal.
+				t = ew[ei] * t
 			}
 			if p.incSign[idx] < 0 {
 				// Incoming connection (Eq. 10 first line subtracts).
@@ -683,10 +725,18 @@ func (p *Problem) DiscreteCost(labels []int, c Coeffs) Breakdown {
 	var f1 float64
 	if len(p.Edges) > 0 {
 		var s float64
-		for _, e := range p.Edges {
-			d := float64(labels[e[0]] - labels[e[1]])
-			d2 := d * d
-			s += d2 * d2
+		if ew := p.EdgeWeight; ew != nil {
+			for i, e := range p.Edges {
+				d := float64(labels[e[0]] - labels[e[1]])
+				d2 := d * d
+				s += ew[i] * (d2 * d2)
+			}
+		} else {
+			for _, e := range p.Edges {
+				d := float64(labels[e[0]] - labels[e[1]])
+				d2 := d * d
+				s += d2 * d2
+			}
 		}
 		f1 = s / p.N1
 	}

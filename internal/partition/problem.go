@@ -19,6 +19,7 @@ package partition
 
 import (
 	"fmt"
+	"math"
 
 	"gpp/internal/netlist"
 )
@@ -37,6 +38,14 @@ type Problem struct {
 	// Edges are connection pairs (i1, i2). Direction is irrelevant to the
 	// cost; duplicates are allowed and each counts separately.
 	Edges [][2]int32
+
+	// EdgeWeight, when non-nil, holds one positive multiplicity per edge: an
+	// edge of weight w contributes exactly like w parallel unweighted
+	// connections to F1 and its gradient (the multilevel coarsener collapses
+	// fine edges this way instead of materializing the replicas). nil means
+	// every edge has weight 1, and the kernels take their historical
+	// unweighted paths, bitwise unchanged.
+	EdgeWeight []float64
 
 	// Normalization constants. When a quantity degenerates (no edges, zero
 	// total bias/area, K == 1) the corresponding constant is set to 1 and
@@ -64,6 +73,21 @@ type Problem struct {
 
 // NewProblem validates and precomputes a partitioning instance.
 func NewProblem(name string, k int, bias, area []float64, edges [][2]int) (*Problem, error) {
+	return newProblem(name, k, bias, area, edges, nil)
+}
+
+// NewWeightedProblem is NewProblem with per-edge multiplicities: weights[i]
+// is the number of fine-level connections edge i stands for (any positive
+// finite value is accepted — fractional weights are meaningful too). A nil
+// weights slice means all ones and is identical to NewProblem.
+func NewWeightedProblem(name string, k int, bias, area []float64, edges [][2]int, weights []float64) (*Problem, error) {
+	if weights != nil && len(weights) != len(edges) {
+		return nil, fmt.Errorf("partition: %d edges but %d weights", len(edges), len(weights))
+	}
+	return newProblem(name, k, bias, area, edges, weights)
+}
+
+func newProblem(name string, k int, bias, area []float64, edges [][2]int, weights []float64) (*Problem, error) {
 	g := len(bias)
 	if g == 0 {
 		return nil, fmt.Errorf("partition: empty circuit")
@@ -102,14 +126,32 @@ func NewProblem(name string, k int, bias, area []float64, edges [][2]int) (*Prob
 		}
 		p.Edges = append(p.Edges, [2]int32{int32(e[0]), int32(e[1])})
 	}
+	if weights != nil {
+		p.EdgeWeight = make([]float64, len(weights))
+		for i, w := range weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+				return nil, fmt.Errorf("partition: edge %d has non-positive weight %g", i, w)
+			}
+			p.EdgeWeight[i] = w
+		}
+	}
 
 	km1 := float64(k - 1)
 	p.MeanBias = p.TotalBias / float64(k)
 	p.MeanArea = p.TotalArea / float64(k)
-	if len(p.Edges) > 0 {
-		p.N1 = float64(len(p.Edges)) * km1 * km1 * km1 * km1
-	} else {
+	switch {
+	case len(p.Edges) == 0:
 		p.N1 = 1
+	case p.EdgeWeight == nil:
+		p.N1 = float64(len(p.Edges)) * km1 * km1 * km1 * km1
+	default:
+		// N1 normalizes by the represented connection count, so a weighted
+		// problem and its edge-replicated expansion share the same scale.
+		var totalW float64
+		for _, w := range p.EdgeWeight {
+			totalW += w
+		}
+		p.N1 = totalW * km1 * km1 * km1 * km1
 	}
 	if p.MeanBias > 0 {
 		p.N2 = km1 * p.MeanBias * p.MeanBias

@@ -28,11 +28,22 @@ func (p *Problem) refineTraced(labels []int, c Coeffs, maxPasses int, onPass fun
 		maxPasses = 8
 	}
 	// Incidence lists: for each gate, its neighbors (both directions,
-	// duplicates preserved — each connection counts separately in F1).
+	// duplicates preserved — each connection counts separately in F1). For
+	// weighted problems a parallel per-neighbor weight list carries each
+	// edge's multiplicity into the move delta.
 	adj := make([][]int32, p.G)
-	for _, e := range p.Edges {
+	var wadj [][]float64
+	if p.EdgeWeight != nil {
+		wadj = make([][]float64, p.G)
+	}
+	for i, e := range p.Edges {
 		adj[e[0]] = append(adj[e[0]], e[1])
 		adj[e[1]] = append(adj[e[1]], e[0])
+		if wadj != nil {
+			we := p.EdgeWeight[i]
+			wadj[e[0]] = append(wadj[e[0]], we)
+			wadj[e[1]] = append(wadj[e[1]], we)
+		}
 	}
 	bk, ak := p.PlaneTotals(labels)
 
@@ -56,9 +67,17 @@ func (p *Problem) refineTraced(labels []int, c Coeffs, maxPasses int, onPass fun
 					continue
 				}
 				var dWire float64
-				for _, j := range adj[i] {
-					lj := float64(labels[j])
-					dWire += pow4(float64(to)-lj) - pow4(float64(from)-lj)
+				if wadj == nil {
+					for _, j := range adj[i] {
+						lj := float64(labels[j])
+						dWire += pow4(float64(to)-lj) - pow4(float64(from)-lj)
+					}
+				} else {
+					wl := wadj[i]
+					for n, j := range adj[i] {
+						lj := float64(labels[j])
+						dWire += wl[n] * (pow4(float64(to)-lj) - pow4(float64(from)-lj))
+					}
 				}
 				d1 := c.C1 * dWire / p.N1
 

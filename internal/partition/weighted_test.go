@@ -1,0 +1,181 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// weightedPair builds the same instance twice: once as a weighted problem
+// (each distinct edge with an integer multiplicity) and once as its
+// unweighted expansion (each weight-w edge replicated w times, adjacent in
+// edge order). The two are the same mathematical objective, so costs and
+// gradients must agree to float tolerance.
+func weightedPair(t *testing.T, g, k int, seed int64) (weighted, replicated *Problem) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bias := make([]float64, g)
+	area := make([]float64, g)
+	for i := range bias {
+		bias[i] = 0.05 + rng.Float64()
+		area[i] = 0.001 + 0.01*rng.Float64()
+	}
+	var edges [][2]int
+	var weights []float64
+	var rep [][2]int
+	for i := 1; i < g; i++ {
+		j := rng.Intn(i)
+		w := 1 + rng.Intn(4)
+		edges = append(edges, [2]int{j, i})
+		weights = append(weights, float64(w))
+		for r := 0; r < w; r++ {
+			rep = append(rep, [2]int{j, i})
+		}
+	}
+	wp, err := NewWeightedProblem("weighted", k, bias, area, edges, weights)
+	if err != nil {
+		t.Fatalf("NewWeightedProblem: %v", err)
+	}
+	up, err := NewProblem("replicated", k, bias, area, rep)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	return wp, up
+}
+
+func randomW(p *Problem, seed int64) W {
+	rng := rand.New(rand.NewSource(seed))
+	w := p.NewW()
+	for i := 0; i < p.G; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		var sum float64
+		for k := range row {
+			row[k] = rng.Float64()
+			sum += row[k]
+		}
+		for k := range row {
+			row[k] /= sum
+		}
+	}
+	return w
+}
+
+func relClose(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return d/den <= tol
+}
+
+func TestWeightedProblemMatchesReplicatedCost(t *testing.T) {
+	wp, up := weightedPair(t, 200, 5, 7)
+	if !relClose(wp.N1, up.N1, 1e-12) {
+		t.Fatalf("N1 mismatch: weighted %g vs replicated %g", wp.N1, up.N1)
+	}
+	w := randomW(wp, 11)
+	c := DefaultCoeffs()
+	bw := wp.Cost(w, c)
+	br := up.Cost(w, c)
+	if !relClose(bw.Total, br.Total, 1e-12) || !relClose(bw.F1, br.F1, 1e-12) {
+		t.Fatalf("relaxed cost mismatch: weighted %+v vs replicated %+v", bw, br)
+	}
+	labels := wp.Assign(w)
+	dw := wp.DiscreteCost(labels, c)
+	dr := up.DiscreteCost(labels, c)
+	if !relClose(dw.Total, dr.Total, 1e-12) || !relClose(dw.F1, dr.F1, 1e-12) {
+		t.Fatalf("discrete cost mismatch: weighted %+v vs replicated %+v", dw, dr)
+	}
+}
+
+func TestWeightedProblemMatchesReplicatedGradient(t *testing.T) {
+	wp, up := weightedPair(t, 150, 4, 3)
+	w := randomW(wp, 5)
+	c := DefaultCoeffs()
+	for _, mode := range []GradientMode{GradientExact, GradientPaper} {
+		gw := make([]float64, wp.G*wp.K)
+		gr := make([]float64, up.G*up.K)
+		wp.Gradient(w, c, mode, gw)
+		up.Gradient(w, c, mode, gr)
+		for i := range gw {
+			if !relClose(gw[i], gr[i], 1e-9) {
+				t.Fatalf("mode %v gradient[%d] mismatch: weighted %g vs replicated %g", mode, i, gw[i], gr[i])
+			}
+		}
+	}
+}
+
+// TestWeightedSolveWorkersDeterminism pins the determinism invariant on the
+// weighted kernel paths: every Workers count produces bitwise identical
+// results, exactly as for unweighted problems.
+func TestWeightedSolveWorkersDeterminism(t *testing.T) {
+	wp, _ := weightedPair(t, 300, 5, 9)
+	opts := Options{Seed: 3, MaxIters: 120, Refine: true}
+	opts.Workers = 1
+	base, err := wp.Solve(opts)
+	if err != nil {
+		t.Fatalf("solve workers=1: %v", err)
+	}
+	for _, workers := range []int{2, 3, runtime.NumCPU()} {
+		opts.Workers = workers
+		res, err := wp.Solve(opts)
+		if err != nil {
+			t.Fatalf("solve workers=%d: %v", workers, err)
+		}
+		if res.Relaxed.Total != base.Relaxed.Total {
+			t.Fatalf("workers=%d relaxed cost %v differs from serial %v", workers, res.Relaxed.Total, base.Relaxed.Total)
+		}
+		for i := range base.W {
+			if res.W[i] != base.W[i] {
+				t.Fatalf("workers=%d W[%d] differs bitwise", workers, i)
+			}
+		}
+		for i := range base.Labels {
+			if res.Labels[i] != base.Labels[i] {
+				t.Fatalf("workers=%d label[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestWeightedRefineMatchesReplicated runs the greedy refinement on the
+// weighted instance and its expansion from the same start and expects the
+// same move sequence (the deltas agree to float tolerance and ties are
+// broken identically by the shared 1e-15 threshold margin).
+func TestWeightedRefineMatchesReplicated(t *testing.T) {
+	wp, up := weightedPair(t, 120, 4, 13)
+	w := randomW(wp, 2)
+	c := DefaultCoeffs()
+	lw := wp.Assign(w)
+	lr := up.Assign(w)
+	wp.Refine(lw, c, 8)
+	up.Refine(lr, c, 8)
+	dw := wp.DiscreteCost(lw, c).Total
+	dr := up.DiscreteCost(lr, c).Total
+	if !relClose(dw, dr, 1e-9) {
+		t.Fatalf("refined cost diverged: weighted %g vs replicated %g", dw, dr)
+	}
+}
+
+func TestNewWeightedProblemValidation(t *testing.T) {
+	bias := []float64{1, 1, 1}
+	area := []float64{1, 1, 1}
+	edges := [][2]int{{0, 1}, {1, 2}}
+	if _, err := NewWeightedProblem("bad-len", 2, bias, area, edges, []float64{1}); err == nil {
+		t.Fatal("want error for weight/edge length mismatch")
+	}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewWeightedProblem("bad-w", 2, bias, area, edges, []float64{1, w}); err == nil {
+			t.Fatalf("want error for weight %v", w)
+		}
+	}
+	p, err := NewWeightedProblem("nil-w", 2, bias, area, edges, nil)
+	if err != nil {
+		t.Fatalf("nil weights: %v", err)
+	}
+	if p.EdgeWeight != nil {
+		t.Fatal("nil weights must stay nil (unweighted fast paths)")
+	}
+}

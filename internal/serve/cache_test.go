@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gpp/internal/gen"
+	"gpp/internal/multilevel"
 	"gpp/internal/partition"
 )
 
@@ -102,12 +103,12 @@ func TestJobKeyContract(t *testing.T) {
 		}
 		return n
 	}
-	base, err := jobKey(c, norm(partition.Options{Workers: 1}), 4, 1, nil, false)
+	base, err := jobKey(c, norm(partition.Options{Workers: 1}), 4, 1, nil, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	parallel, err := jobKey(c, norm(partition.Options{Workers: 8}), 4, 1, nil, false)
+	parallel, err := jobKey(c, norm(partition.Options{Workers: 8}), 4, 1, nil, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,19 +117,23 @@ func TestJobKeyContract(t *testing.T) {
 	}
 
 	slack := 0.05
+	mlA := multilevel.Options{}.Normalize(4)
+	mlB := multilevel.Options{CoarsestSize: 500}.Normalize(4)
 	variants := map[string]string{}
-	add := func(name string, opts partition.Options, k, restarts int, balanced *float64, plan bool) {
-		key, err := jobKey(c, norm(opts), k, restarts, balanced, plan)
+	add := func(name string, opts partition.Options, k, restarts int, balanced *float64, ml *multilevel.Options, plan bool) {
+		key, err := jobKey(c, norm(opts), k, restarts, balanced, ml, plan)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		variants[name] = key
 	}
-	add("k5", partition.Options{Workers: 1}, 5, 1, nil, false)
-	add("seed", partition.Options{Workers: 1, Seed: 9}, 4, 1, nil, false)
-	add("restarts", partition.Options{Workers: 1}, 4, 8, nil, false)
-	add("balanced", partition.Options{Workers: 1}, 4, 1, &slack, false)
-	add("plan", partition.Options{Workers: 1}, 4, 1, nil, true)
+	add("k5", partition.Options{Workers: 1}, 5, 1, nil, nil, false)
+	add("seed", partition.Options{Workers: 1, Seed: 9}, 4, 1, nil, nil, false)
+	add("restarts", partition.Options{Workers: 1}, 4, 8, nil, nil, false)
+	add("balanced", partition.Options{Workers: 1}, 4, 1, &slack, nil, false)
+	add("multilevel", partition.Options{Workers: 1}, 4, 1, nil, &mlA, false)
+	add("multilevel-coarsest", partition.Options{Workers: 1}, 4, 1, nil, &mlB, false)
+	add("plan", partition.Options{Workers: 1}, 4, 1, nil, nil, true)
 	seen := map[string]string{base: "base"}
 	for name, key := range variants {
 		if prev, dup := seen[key]; dup {
@@ -141,7 +146,7 @@ func TestJobKeyContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	otherKey, err := jobKey(other, norm(partition.Options{Workers: 1}), 4, 1, nil, false)
+	otherKey, err := jobKey(other, norm(partition.Options{Workers: 1}), 4, 1, nil, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

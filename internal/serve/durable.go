@@ -48,15 +48,16 @@ const compactAfter = 1024
 // upload would otherwise bloat the journal, and the blob dedupes repeat
 // submissions of the same circuit for free).
 type journaledJob struct {
-	ID          string      `json:"id"`
-	CircuitBlob string      `json:"circuit_blob"`
-	CircuitName string      `json:"circuit_name"`
-	K           int         `json:"k"`
-	Restarts    int         `json:"restarts,omitempty"`
-	Balanced    *float64    `json:"balanced_slack,omitempty"`
-	Plan        bool        `json:"plan,omitempty"`
-	TimeoutMS   int64       `json:"timeout_ms,omitempty"`
-	Options     *JobOptions `json:"options,omitempty"`
+	ID          string         `json:"id"`
+	CircuitBlob string         `json:"circuit_blob"`
+	CircuitName string         `json:"circuit_name"`
+	K           int            `json:"k"`
+	Restarts    int            `json:"restarts,omitempty"`
+	Balanced    *float64       `json:"balanced_slack,omitempty"`
+	Multilevel  *MultilevelJob `json:"multilevel,omitempty"`
+	Plan        bool           `json:"plan,omitempty"`
+	TimeoutMS   int64          `json:"timeout_ms,omitempty"`
+	Options     *JobOptions    `json:"options,omitempty"`
 }
 
 // cacheBlob is the persisted form of one cache entry: the exact served
@@ -145,6 +146,7 @@ func (d *durable) acceptJob(j *job, req *JobRequest) error {
 		K:           j.k,
 		Restarts:    j.restarts,
 		Balanced:    j.balanced,
+		Multilevel:  req.Multilevel,
 		Plan:        j.plan,
 		TimeoutMS:   req.TimeoutMS,
 		Options:     req.Options,

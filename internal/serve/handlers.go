@@ -14,6 +14,7 @@ import (
 	"gpp/internal/assignio"
 	"gpp/internal/def"
 	"gpp/internal/gen"
+	"gpp/internal/multilevel"
 	"gpp/internal/netlist"
 	"gpp/internal/obs"
 	"gpp/internal/partition"
@@ -58,6 +59,11 @@ type JobRequest struct {
 	// bias slack instead of plain argmax.
 	BalancedSlack *float64 `json:"balanced_slack,omitempty"`
 
+	// Multilevel, when set, solves with the multilevel V-cycle instead of
+	// the flat descent — the scale path for ≳10⁵-gate circuits. Mutually
+	// exclusive with BalancedSlack and Restarts > 1.
+	Multilevel *MultilevelJob `json:"multilevel,omitempty"`
+
 	// Plan includes the current-recycling plan summary in the result.
 	Plan bool `json:"plan,omitempty"`
 
@@ -85,6 +91,27 @@ type JobOptions struct {
 	Refine        bool    `json:"refine,omitempty"`
 	RefinePasses  int     `json:"refine_passes,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
+}
+
+// MultilevelJob is the JSON mirror of the multilevel V-cycle knobs; zero
+// values mean the V-cycle defaults. The normalized values (not the raw
+// ones) enter the cache key, so two spellings of the same cycle share an
+// entry.
+type MultilevelJob struct {
+	Coarsest     int `json:"coarsest,omitempty"`
+	MaxLevels    int `json:"max_levels,omitempty"`
+	RefineIters  int `json:"refine_iters,omitempty"`
+	RefinePasses int `json:"refine_passes,omitempty"`
+}
+
+func (m *MultilevelJob) toOptions(k int) multilevel.Options {
+	o := multilevel.Options{
+		CoarsestSize: m.Coarsest,
+		MaxLevels:    m.MaxLevels,
+		RefineIters:  m.RefineIters,
+		RefinePasses: m.RefinePasses,
+	}
+	return o.Normalize(k)
 }
 
 func (o *JobOptions) toPartition() partition.Options {
@@ -234,6 +261,15 @@ func (s *Server) makeJob(c *netlist.Circuit, name string, req *JobRequest) (*job
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("balanced_slack and restarts > 1 are mutually exclusive")
 	}
+	var ml *multilevel.Options
+	if req.Multilevel != nil {
+		if req.BalancedSlack != nil || restarts > 1 {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("multilevel is mutually exclusive with balanced_slack and restarts > 1")
+		}
+		n := req.Multilevel.toOptions(req.K)
+		ml = &n
+	}
 	opts := req.Options.toPartition()
 	if opts.Workers == 0 {
 		// Inside the daemon, cross-job concurrency is the parallelism
@@ -244,7 +280,7 @@ func (s *Server) makeJob(c *netlist.Circuit, name string, req *JobRequest) (*job
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	key, err := jobKey(c, opts, req.K, restarts, req.BalancedSlack, req.Plan)
+	key, err := jobKey(c, opts, req.K, restarts, req.BalancedSlack, ml, req.Plan)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -265,6 +301,7 @@ func (s *Server) makeJob(c *netlist.Circuit, name string, req *JobRequest) (*job
 		k:           req.K,
 		restarts:    restarts,
 		balanced:    req.BalancedSlack,
+		ml:          ml,
 		opts:        opts,
 		plan:        req.Plan,
 		ctx:         ctx,

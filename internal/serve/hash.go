@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"gpp/internal/multilevel"
 	"gpp/internal/netlist"
 	"gpp/internal/partition"
 )
@@ -25,14 +26,16 @@ func CircuitHash(c *netlist.Circuit) string {
 // input, the normalized options fingerprint (which deliberately excludes
 // Workers/Tracer/TraceCost — see partition.Options.Fingerprint), the
 // plane count, the restart count, the balanced-rounding slack (absent
-// when plain argmax snapping is used), and the plan flag. The plan flag
-// must be part of the key because the cached body differs with it: a
-// plan=true result embeds the recycling-plan section, a plan=false
+// when plain argmax snapping is used), the normalized multilevel knobs
+// (absent for flat solves — a V-cycle's result differs from the flat
+// descent's on the same circuit and options), and the plan flag. The
+// plan flag must be part of the key because the cached body differs with
+// it: a plan=true result embeds the recycling-plan section, a plan=false
 // result omits it, and serving one for the other would silently drop or
 // invent that section. Any two requests with equal keys are guaranteed
 // the same result bytes; the determinism tests hold the serve stack to
 // that.
-func cacheKey(c *netlist.Circuit, optsFingerprint string, k, restarts int, balanced float64, hasBalanced, plan bool) string {
+func cacheKey(c *netlist.Circuit, optsFingerprint string, k, restarts int, balanced float64, hasBalanced bool, ml *multilevel.Options, plan bool) string {
 	h := sha256.New()
 	h.Write([]byte("gpp-serve-v1\n"))
 	h.Write(c.AppendCanonical(nil))
@@ -40,22 +43,26 @@ func cacheKey(c *netlist.Circuit, optsFingerprint string, k, restarts int, balan
 	if hasBalanced {
 		fmt.Fprintf(h, "|balanced=%s", strconv.FormatFloat(balanced, 'x', -1, 64))
 	}
+	if ml != nil {
+		fmt.Fprintf(h, "|ml=%d,%d,%d,%d", ml.CoarsestSize, ml.MaxLevels, ml.RefineIters, ml.RefinePasses)
+	}
 	if plan {
 		h.Write([]byte("|plan=true"))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// jobKey computes the cache key for a parsed job request. The options must
-// already be normalized for k so the fingerprint resolves the K-dependent
-// InitStep default.
-func jobKey(c *netlist.Circuit, opts partition.Options, k, restarts int, balanced *float64, plan bool) (string, error) {
+// jobKey computes the cache key for a parsed job request. The solver
+// options must already be normalized for k so the fingerprint resolves
+// the K-dependent InitStep default, and ml (when set) must already be
+// normalized so default spellings collapse to one key.
+func jobKey(c *netlist.Circuit, opts partition.Options, k, restarts int, balanced *float64, ml *multilevel.Options, plan bool) (string, error) {
 	fp, err := opts.Fingerprint()
 	if err != nil {
 		return "", err
 	}
 	if balanced != nil {
-		return cacheKey(c, fp, k, restarts, *balanced, true, plan), nil
+		return cacheKey(c, fp, k, restarts, *balanced, true, ml, plan), nil
 	}
-	return cacheKey(c, fp, k, restarts, 0, false, plan), nil
+	return cacheKey(c, fp, k, restarts, 0, false, ml, plan), nil
 }

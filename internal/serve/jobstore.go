@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gpp/internal/multilevel"
 	"gpp/internal/netlist"
 	"gpp/internal/obs"
 	"gpp/internal/partition"
@@ -51,7 +52,8 @@ type job struct {
 	key         string
 	k           int
 	restarts    int
-	balanced    *float64 // nil = argmax snapping
+	balanced    *float64            // nil = argmax snapping
+	ml          *multilevel.Options // nil = flat solve; normalized V-cycle knobs otherwise
 	opts        partition.Options
 	plan        bool
 

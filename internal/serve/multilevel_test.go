@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestMultilevelJobSolves: a multilevel job runs the V-cycle path, its key
+// differs from the flat solve of the same circuit/options, the envelope
+// carries the V-cycle shape, and a resubmission is a byte-identical cache
+// hit.
+func TestMultilevelJobSolves(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	flat := JobRequest{Circuit: "par2000", K: 4, Options: &JobOptions{MaxIters: 300}}
+	ml := JobRequest{Circuit: "par2000", K: 4, Options: &JobOptions{MaxIters: 300},
+		Multilevel: &MultilevelJob{}}
+
+	_, sbFlat, _ := postJob(t, base, flat)
+	waitTerminal(t, base, sbFlat.ID)
+
+	code, sbML, _ := postJob(t, base, ml)
+	if code != http.StatusAccepted {
+		t.Fatalf("multilevel submit = %d, want 202", code)
+	}
+	if sbML.Key == sbFlat.Key {
+		t.Fatal("multilevel request shares a cache key with the flat solve")
+	}
+	done := waitTerminal(t, base, sbML.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("multilevel job ended %s (%s), want done", done.Status, done.Error)
+	}
+
+	cold := getBody(t, base, "/v1/jobs/"+sbML.ID+"/result", http.StatusOK)
+	var env resultEnvelope
+	if err := json.Unmarshal(cold, &env); err != nil {
+		t.Fatalf("result is not a result envelope: %v", err)
+	}
+	if env.Levels < 2 || env.CoarsestSize <= 0 || env.CoarsestSize > 2000 {
+		t.Fatalf("implausible V-cycle envelope: levels=%d coarsest=%d", env.Levels, env.CoarsestSize)
+	}
+	if len(env.Labels) != done.Gates || env.Iters <= 0 {
+		t.Fatalf("implausible envelope: labels=%d iters=%d", len(env.Labels), env.Iters)
+	}
+
+	// A spelled-out default cycle collapses to the same key and hits the
+	// cache with the same bytes.
+	explicit := ml
+	explicit.Multilevel = &MultilevelJob{Coarsest: 200, MaxLevels: 32, RefineIters: 30, RefinePasses: 6}
+	code2, sbHit, _ := postJob(t, base, explicit)
+	if code2 != http.StatusOK || sbHit.Cache != "hit" {
+		t.Fatalf("explicit-defaults multilevel resubmit: code=%d cache=%q, want 200/hit", code2, sbHit.Cache)
+	}
+	hot := getBody(t, base, "/v1/jobs/"+sbHit.ID+"/result", http.StatusOK)
+	if !bytes.Equal(cold, hot) {
+		t.Fatal("multilevel cache hit is not byte-identical to the cold solve")
+	}
+}
+
+// TestMultilevelMutualExclusion: the V-cycle path rejects combinations
+// with the portfolio and balanced-rounding modes at submission time.
+func TestMultilevelMutualExclusion(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	slack := 0.05
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"balanced", JobRequest{Circuit: "KSA8", K: 4,
+			Multilevel: &MultilevelJob{}, BalancedSlack: &slack}},
+		{"restarts", JobRequest{Circuit: "KSA8", K: 4,
+			Multilevel: &MultilevelJob{}, Restarts: 3}},
+	}
+	for _, tc := range cases {
+		code, _, _ := postJob(t, base, tc.req)
+		if code != http.StatusBadRequest {
+			t.Errorf("multilevel+%s submit = %d, want 400", tc.name, code)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"gpp/internal/multilevel"
 	"gpp/internal/obs"
 	"gpp/internal/partition"
 	"gpp/internal/recycle"
@@ -94,7 +95,8 @@ func (s *Server) recoverJob(jj *journaledJob) {
 		var j *job
 		j, _, err = s.makeJob(c, jj.CircuitName, &JobRequest{
 			K: jj.K, Restarts: jj.Restarts, BalancedSlack: jj.Balanced,
-			Plan: jj.Plan, TimeoutMS: jj.TimeoutMS, Options: jj.Options,
+			Multilevel: jj.Multilevel,
+			Plan:       jj.Plan, TimeoutMS: jj.TimeoutMS, Options: jj.Options,
 		})
 		if err == nil {
 			j.id = jj.ID
@@ -324,8 +326,19 @@ func (s *Server) solve(j *job) (body []byte, labels []int, err error) {
 	})
 
 	var res *partition.Result
+	var mr *multilevel.Result
 	bestSeed := int64(0)
 	switch {
+	case j.ml != nil:
+		mlOpts := *j.ml
+		mlOpts.Solver = opts
+		mr, err = multilevel.PartitionCtx(j.ctx, p, mlOpts)
+		if err == nil {
+			res = &partition.Result{
+				Labels: mr.Labels, Iters: mr.Iters, Converged: mr.Converged,
+				Discrete: mr.Discrete, RefineMoves: mr.RefineMoves,
+			}
+		}
 	case j.balanced != nil:
 		res, err = p.SolveBalancedCtx(j.ctx, opts, *j.balanced)
 	case j.restarts > 1:
@@ -367,6 +380,10 @@ func (s *Server) solve(j *job) (body []byte, labels []int, err error) {
 		Labels:       res.Labels,
 		Metrics:      metricsJSON(m),
 	}
+	if mr != nil {
+		env.Levels = mr.Levels
+		env.CoarsestSize = mr.CoarsestSize
+	}
 	if j.plan {
 		pl, perr := recycle.BuildPlan(j.circuit, p, res.Labels, recycle.PlanOptions{Library: s.cfg.Library})
 		if perr != nil {
@@ -403,6 +420,8 @@ type resultEnvelope struct {
 	Converged    bool        `json:"converged"`
 	DiscreteCost float64     `json:"discrete_cost"`
 	RefineMoves  int         `json:"refine_moves,omitempty"`
+	Levels       int         `json:"levels,omitempty"`
+	CoarsestSize int         `json:"coarsest_size,omitempty"`
 	Labels       []int       `json:"labels"`
 	Metrics      metricsBody `json:"metrics"`
 	Plan         *planJSON   `json:"plan,omitempty"`
