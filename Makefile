@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-slow check fmt-check race bench bench-json bench-smoke obs-bench serve-smoke fuzz
+.PHONY: build test test-slow check fmt-check race bench bench-json bench-smoke obs-bench obs-smoke serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ check:
 	$(GO) test -short -race ./...
 	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchtime 1x ./internal/partition ./internal/obs
 	$(MAKE) bench-smoke
+	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
 
 bench:
@@ -50,10 +51,15 @@ PERF_OUT ?= BENCH_PR6.json
 bench-json:
 	$(GO) run ./cmd/gpp-bench -perf -perf-label $(PERF_LABEL) -perf-out $(PERF_OUT) -perf-append
 
-# Liveness check for the perf harness itself: one tiny circuit, one op per
-# cell, output discarded — seconds, not minutes, so it rides in `make check`.
+# Liveness check for the perf harness itself (one tiny circuit, one op per
+# cell, output discarded — seconds, not minutes, so it rides in `make
+# check`) plus the perf-trajectory regression gate: `gpp-inspect bench`
+# digests the committed BENCH_*.json series and fails when the newest one
+# regressed >10% over the recent baseline. Deterministic — it reads
+# committed measurements, it does not re-measure.
 bench-smoke:
 	$(GO) run ./cmd/gpp-bench -perf -perf-smoke -perf-out=- > /dev/null
+	$(GO) run ./cmd/gpp-inspect bench > /dev/null
 
 # Telemetry overhead benchmarks: SolveTraceOff vs SolveTraceNop bounds the
 # cost of the instrumentation hooks with tracing off (must stay <2% and
@@ -61,6 +67,13 @@ bench-smoke:
 # SolveTraceJSONL and JSONLEmit price the enabled path.
 obs-bench:
 	$(GO) test -run xxx -bench 'SolveTrace|JSONLEmit' -benchmem ./internal/partition ./internal/obs
+
+# End-to-end observability smoke (DESIGN.md §13): boots a real gpp-serve
+# with tracing and an SLO configured, runs one job, and asserts the span
+# profile, /v1/debug/ops (JSON and text waterfall), the SLO metrics and
+# /healthz are all well-formed.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmoke$$' -v ./cmd/gpp-serve
 
 # Daemon drain proof (DESIGN.md §9): one fresh run of the serve smoke —
 # 32 concurrent mixed cached/uncached submissions against a live daemon,

@@ -1,0 +1,212 @@
+// bench.go implements `gpp-inspect bench`: the perf-trajectory digest and
+// regression gate. It reads every BENCH_*.json file (the series gpp-bench
+// -perf appends, one labelled series per measured commit), merges them into
+// one per-benchmark trend table ordered by measurement date, and compares
+// the latest point against its baseline. Any benchmark whose ns/iter or
+// allocs/op grew by more than the threshold (default 10%) makes the command
+// exit non-zero — `make bench-smoke` runs it over the committed files, so a
+// PR that appends a regressed series fails CI deterministically.
+//
+// A regression means the latest point is worse than BOTH the previous
+// point and the median of the prior ≤3 points. Requiring both makes the
+// gate a "this series made it worse" detector that is robust from either
+// direction: one outlier-fast previous point does not gate every honest
+// successor forever (the median check forgives a reversion to the
+// historical band), and a regression an already-merged series shipped is
+// not re-charged to the next one (the previous-point check sees no new
+// growth). A genuine new slowdown exceeds both and still trips.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// benchFile mirrors the gpp-bench-perf/v1 schema (cmd/gpp-bench/perf.go).
+type benchFile struct {
+	Schema string        `json:"schema"`
+	Series []benchSeries `json:"series"`
+}
+
+type benchSeries struct {
+	Label      string       `json:"label"`
+	Date       string       `json:"date"` // RFC 3339; lexical order = time order
+	Smoke      bool         `json:"smoke,omitempty"`
+	Benchmarks []benchPoint `json:"benchmarks"`
+}
+
+type benchPoint struct {
+	Name        string  `json:"name"`
+	Circuit     string  `json:"circuit"`
+	K           int     `json:"k"`
+	Workers     int     `json:"workers"`
+	NsPerIter   float64 `json:"ns_per_iter"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchTrend is one benchmark's measurements across series, oldest first.
+type benchTrend struct {
+	name   string
+	points []trendPoint
+}
+
+type trendPoint struct {
+	label  string
+	ns     float64
+	allocs float64
+}
+
+// runBench implements `gpp-inspect bench [-threshold F] [files...]`.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("gpp-inspect bench", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.10,
+		"fail when the latest ns/iter or allocs/op exceeds both the previous point and the median of the prior ≤3 points by more than this fraction")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gpp-inspect bench [-threshold 0.10] [BENCH_*.json ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			fatal(err)
+		}
+		sort.Strings(files)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("bench: no BENCH_*.json files found (run gpp-bench -perf first)"))
+	}
+	trends, err := loadTrends(files)
+	if err != nil {
+		fatal(err)
+	}
+	regressions := writeTrends(os.Stdout, trends, *threshold)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "gpp-inspect: bench: %d regression(s) beyond %.0f%% over the recent baseline\n",
+			regressions, *threshold*100)
+		os.Exit(1)
+	}
+}
+
+// loadTrends merges the series of every file into per-benchmark trends,
+// series ordered by date. Smoke series are skipped: their one-op
+// measurements exist to prove the harness runs, not to be compared.
+func loadTrends(files []string) ([]benchTrend, error) {
+	var series []benchSeries
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var bf benchFile
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", path, err)
+		}
+		if bf.Schema != "gpp-bench-perf/v1" {
+			return nil, fmt.Errorf("bench: %s: unknown schema %q", path, bf.Schema)
+		}
+		for _, s := range bf.Series {
+			if !s.Smoke {
+				series = append(series, s)
+			}
+		}
+	}
+	sort.SliceStable(series, func(i, j int) bool { return series[i].Date < series[j].Date })
+	index := map[string]int{}
+	var trends []benchTrend
+	for _, s := range series {
+		for _, b := range s.Benchmarks {
+			i, ok := index[b.Name]
+			if !ok {
+				i = len(trends)
+				index[b.Name] = i
+				trends = append(trends, benchTrend{name: b.Name})
+			}
+			trends[i].points = append(trends[i].points, trendPoint{
+				label: s.Label, ns: b.NsPerIter, allocs: b.AllocsPerOp,
+			})
+		}
+	}
+	return trends, nil
+}
+
+// writeTrends prints the trend table and returns how many benchmarks
+// regressed beyond threshold between their latest two points.
+func writeTrends(w io.Writer, trends []benchTrend, threshold float64) int {
+	regressions := 0
+	for _, t := range trends {
+		fmt.Fprintf(w, "%s\n", t.name)
+		fmt.Fprintf(w, "  %-20s %12s %8s %12s %8s\n", "series", "ns/iter", "Δ", "allocs/op", "Δ")
+		for i, p := range t.points {
+			nsDelta, allocDelta := "—", "—"
+			if i > 0 {
+				nsDelta = pctDelta(t.points[i-1].ns, p.ns)
+				allocDelta = pctDelta(t.points[i-1].allocs, p.allocs)
+			}
+			fmt.Fprintf(w, "  %-20s %12.0f %8s %12.1f %8s\n", p.label, p.ns, nsDelta, p.allocs, allocDelta)
+		}
+		if n := len(t.points); n >= 2 {
+			last, prev := t.points[n-1], t.points[n-2]
+			prior := t.points[max(0, n-4) : n-1]
+			baseNs := medianOf(prior, func(p trendPoint) float64 { return p.ns })
+			baseAllocs := medianOf(prior, func(p trendPoint) float64 { return p.allocs })
+			bad := ""
+			if regressed(prev.ns, last.ns, threshold) && regressed(baseNs, last.ns, threshold) {
+				bad = fmt.Sprintf("ns/iter (%.0f vs %.0f prev, %.0f median)", last.ns, prev.ns, baseNs)
+			}
+			if regressed(prev.allocs, last.allocs, threshold) && regressed(baseAllocs, last.allocs, threshold) {
+				if bad != "" {
+					bad += ", "
+				}
+				bad += fmt.Sprintf("allocs/op (%.1f vs %.1f prev, %.1f median)", last.allocs, prev.allocs, baseAllocs)
+			}
+			if bad != "" {
+				regressions++
+				fmt.Fprintf(w, "  REGRESSION: %s up >%.0f%% at %s\n", bad, threshold*100, last.label)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return regressions
+}
+
+// regressed reports whether cur exceeds base by more than threshold.
+// A zero or negative baseline cannot regress (nothing to compare against —
+// first measurements of a new benchmark).
+func regressed(base, cur, threshold float64) bool {
+	return base > 0 && cur > base*(1+threshold)
+}
+
+// medianOf extracts a metric from each point and returns its median
+// (average of the middle pair for an even count; 0 for no points).
+func medianOf(pts []trendPoint, metric func(trendPoint) float64) float64 {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = metric(p)
+	}
+	sort.Float64s(vals)
+	switch n := len(vals); {
+	case n == 0:
+		return 0
+	case n%2 == 1:
+		return vals[n/2]
+	default:
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+}
+
+func pctDelta(prev, cur float64) string {
+	if prev <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur/prev-1)*100)
+}

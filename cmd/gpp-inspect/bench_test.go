@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// trendOf builds a single-benchmark trend from a ns/iter history (allocs
+// held constant).
+func trendOf(ns ...float64) []benchTrend {
+	t := benchTrend{name: "BenchmarkX"}
+	for i, v := range ns {
+		t.points = append(t.points, trendPoint{label: string(rune('a' + i)), ns: v, allocs: 10})
+	}
+	return []benchTrend{t}
+}
+
+func gateCount(t *testing.T, trends []benchTrend) int {
+	t.Helper()
+	var sb strings.Builder
+	return writeTrends(&sb, trends, 0.10)
+}
+
+func TestBenchGate(t *testing.T) {
+	cases := []struct {
+		name string
+		ns   []float64
+		want int
+	}{
+		// A new slowdown above both the previous point and the recent
+		// median trips the gate.
+		{"real regression", []float64{100, 102, 98, 130}, 1},
+		{"flat trend", []float64{100, 102, 98, 101}, 0},
+		{"improvement", []float64{100, 90, 80, 70}, 0},
+		// One outlier-fast previous point must not gate an honest
+		// successor that reverts to the historical band.
+		{"outlier-fast prev forgiven", []float64{100, 105, 60, 102}, 0},
+		// A regression an earlier series shipped is not re-charged to the
+		// next one that merely matches it.
+		{"inherited regression forgiven", []float64{100, 130, 131}, 0},
+		// But continuing to climb past the already-regressed level trips.
+		{"compounding regression", []float64{100, 130, 150}, 1},
+		{"single point", []float64{100}, 0},
+		{"two points regressed", []float64{100, 120}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := gateCount(t, trendOf(tc.ns...)); got != tc.want {
+				t.Errorf("history %v: %d regressions, want %d", tc.ns, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBenchGateAllocs(t *testing.T) {
+	trends := trendOf(100, 100, 100)
+	trends[0].points[2].allocs = 50 // 10 → 50 allocs at the latest point
+	if got := gateCount(t, trends); got != 1 {
+		t.Errorf("alloc growth not gated: %d regressions, want 1", got)
+	}
+}
+
+func TestLoadTrendsMergesAndOrders(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f benchFile) string {
+		t.Helper()
+		raw, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Two files, dates interleaved, one smoke series to ignore.
+	a := write("BENCH_A.json", benchFile{Schema: "gpp-bench-perf/v1", Series: []benchSeries{
+		{Label: "one", Date: "2026-01-01T00:00:00Z",
+			Benchmarks: []benchPoint{{Name: "B", NsPerIter: 100, AllocsPerOp: 5}}},
+		{Label: "three", Date: "2026-03-01T00:00:00Z",
+			Benchmarks: []benchPoint{{Name: "B", NsPerIter: 120, AllocsPerOp: 5}}},
+	}})
+	b := write("BENCH_B.json", benchFile{Schema: "gpp-bench-perf/v1", Series: []benchSeries{
+		{Label: "two", Date: "2026-02-01T00:00:00Z",
+			Benchmarks: []benchPoint{{Name: "B", NsPerIter: 110, AllocsPerOp: 5}}},
+		{Label: "smoke", Date: "2026-04-01T00:00:00Z", Smoke: true,
+			Benchmarks: []benchPoint{{Name: "B", NsPerIter: 9999, AllocsPerOp: 999}}},
+	}})
+	trends, err := loadTrends([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trends) != 1 || trends[0].name != "B" {
+		t.Fatalf("trends = %+v", trends)
+	}
+	var labels []string
+	for _, p := range trends[0].points {
+		labels = append(labels, p.label)
+	}
+	if strings.Join(labels, ",") != "one,two,three" {
+		t.Fatalf("series order = %v, want date order with smoke skipped", labels)
+	}
+}
+
+func TestLoadTrendsRejectsUnknownSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_X.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrends([]string{path}); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}

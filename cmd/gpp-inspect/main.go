@@ -5,7 +5,12 @@
 //
 // The `trace` subcommand digests a JSONL solver trace (written by the other
 // tools' -trace flag) into per-term convergence tables and, for portfolio
-// runs, a restart leaderboard.
+// runs, a restart leaderboard. The `spans` subcommand renders a trace's
+// span events as an indented waterfall (add -spans to the producing tool,
+// or fetch a gpp-serve job profile). The `bench` subcommand merges the
+// BENCH_*.json perf-trajectory files into one trend table and exits
+// non-zero when the latest series regresses more than 10% over the
+// previous one — the CI perf gate.
 //
 // Usage:
 //
@@ -13,6 +18,9 @@
 //	gpp-inspect -def design.def [-lef cells.lef]
 //	gpp-inspect trace run.jsonl
 //	gpp-inspect trace -rows 20 run.jsonl
+//	gpp-inspect spans run.jsonl
+//	gpp-inspect bench
+//	gpp-inspect bench -threshold 0.05 BENCH_PR6.json
 package main
 
 import (
@@ -32,9 +40,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "trace" {
-		runTrace(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			runTrace(os.Args[2:])
+			return
+		case "spans":
+			runSpans(os.Args[2:])
+			return
+		case "bench":
+			runBench(os.Args[2:])
+			return
+		}
 	}
 	defPath := flag.String("def", "", "input DEF netlist")
 	lefPath := flag.String("lef", "", "LEF cell library for -def")

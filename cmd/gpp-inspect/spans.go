@@ -1,0 +1,44 @@
+// spans.go implements `gpp-inspect spans`: the span-waterfall view over a
+// JSONL trace. Span events (written by the tools' -spans flags or captured
+// from a gpp-serve job profile) reconstruct into parent/child trees; timed
+// traces additionally render proportional duration bars, so one glance
+// shows where a job's wall time went.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpp/internal/obs"
+)
+
+// runSpans implements `gpp-inspect spans <trace.jsonl>`.
+func runSpans(args []string) {
+	fs := flag.NewFlagSet("gpp-inspect spans", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gpp-inspect spans <trace.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	roots := obs.BuildSpanTree(events)
+	if len(roots) == 0 {
+		fatal(fmt.Errorf("spans: no span events in %s (trace written without -spans?)", fs.Arg(0)))
+	}
+	obs.WriteWaterfall(os.Stdout, roots)
+}

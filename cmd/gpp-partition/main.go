@@ -90,7 +90,7 @@ func main() {
 	})
 	sess.Meta("seed", *seed)
 
-	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers, Tracer: sess.Tracer}
+	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers, Tracer: sess.Tracer, Span: sess.Span}
 	if *checkpoint != "" || *resume != "" {
 		// Snapshots capture exactly one descent (or one V-cycle), so the
 		// multi-solve modes cannot use them: a portfolio interleaves restarts

@@ -106,6 +106,13 @@ func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0", "-data-dir", dataDir,
 		"-workers", "1", "-queue", "8")
+	return cmd, bootDaemon(t, cmd)
+}
+
+// bootDaemon starts a prepared gpp-serve command, parses the bound address
+// off its stderr, and registers cleanup.
+func bootDaemon(t *testing.T, cmd *exec.Cmd) string {
+	t.Helper()
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -135,10 +142,10 @@ func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
 	}()
 	select {
 	case addr := <-addrCh:
-		return cmd, "http://" + addr
+		return "http://" + addr
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon never reported its listen address")
-		return nil, ""
+		return ""
 	}
 }
 

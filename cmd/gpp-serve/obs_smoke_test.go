@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsSmoke boots the real gpp-serve binary with tracing and an SLO
+// configured, runs one job through it, and asserts the observability
+// surface is well-formed end to end: the job's flight-recorder profile is
+// one connected span tree, /v1/debug/ops reports the solve in JSON and as
+// a text waterfall, and the SLO/latency metrics appear on /metrics. This
+// is the `make obs-smoke` gate.
+func TestObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	bin := filepath.Join(t.TempDir(), "gpp-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build gpp-serve: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-data-dir", t.TempDir(),
+		"-workers", "1", "-queue", "8", "-slo-solve-ms", "1h")
+	base := bootDaemon(t, cmd)
+
+	id := submit(t, base, `{"circuit":"KSA8","k":4,"options":{"seed":3,"max_iters":300}}`, http.StatusAccepted)
+	waitStatus(t, base, id, "done", 60*time.Second)
+
+	// Profile: one connected, timed span tree for the whole lifecycle.
+	var profile struct {
+		ID     string            `json:"id"`
+		Status string            `json:"status"`
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(get(t, base, "/v1/jobs/"+id+"/profile", http.StatusOK), &profile); err != nil {
+		t.Fatalf("profile is not JSON: %v", err)
+	}
+	if profile.ID != id || profile.Status != "done" || len(profile.Events) == 0 {
+		t.Fatalf("profile = id %q status %q with %d events", profile.ID, profile.Status, len(profile.Events))
+	}
+	spans := map[string]bool{}
+	rootSeen := false
+	for _, raw := range profile.Events {
+		var e struct {
+			Kind  string `json:"ev"`
+			Span  string `json:"span"`
+			PSID  int64  `json:"psid"`
+			DurUS int64  `json:"dur_us"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatalf("profile event %s: %v", raw, err)
+		}
+		if e.Kind != "span" {
+			continue
+		}
+		spans[e.Span] = true
+		if e.PSID == 0 {
+			if e.Span != "job" {
+				t.Errorf("root span is %q, want job", e.Span)
+			}
+			if e.DurUS <= 0 {
+				t.Errorf("root span duration %dµs, want > 0 (timed trace)", e.DurUS)
+			}
+			rootSeen = true
+		}
+	}
+	if !rootSeen {
+		t.Error("profile has no root span")
+	}
+	for _, want := range []string{"queue_wait", "cache_lookup", "wal_accept", "solve", "descent", "persist"} {
+		if !spans[want] {
+			t.Errorf("profile missing %q span (got %v)", want, spans)
+		}
+	}
+
+	textProfile := string(get(t, base, "/v1/jobs/"+id+"/profile?format=text", http.StatusOK))
+	if !strings.Contains(textProfile, "└─") || !strings.Contains(textProfile, "job [") {
+		t.Errorf("text profile is not a waterfall:\n%s", textProfile)
+	}
+
+	// Ops snapshot: JSON shape and text console.
+	var ops struct {
+		Workers int `json:"workers"`
+		Jobs    struct {
+			Submitted int64 `json:"submitted"`
+			Completed int64 `json:"completed"`
+		} `json:"jobs"`
+		Latency struct {
+			SolveP50S float64 `json:"solve_p50_s"`
+		} `json:"latency"`
+		SLO *struct {
+			Within   int64 `json:"within"`
+			Breached int64 `json:"breached"`
+		} `json:"slo"`
+		Recent []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(get(t, base, "/v1/debug/ops", http.StatusOK), &ops); err != nil {
+		t.Fatalf("ops is not JSON: %v", err)
+	}
+	if ops.Jobs.Submitted < 1 || ops.Jobs.Completed < 1 || ops.Latency.SolveP50S <= 0 {
+		t.Errorf("ops = %+v, want a recorded solve", ops)
+	}
+	if ops.SLO == nil || ops.SLO.Within < 1 || ops.SLO.Breached != 0 {
+		t.Errorf("ops slo = %+v, want the solve within a 1h target", ops.SLO)
+	}
+	if len(ops.Recent) == 0 || ops.Recent[0].ID != id {
+		t.Errorf("ops recent = %+v, want job %s first", ops.Recent, id)
+	}
+	opsText := string(get(t, base, "/v1/debug/ops?format=text", http.StatusOK))
+	for _, want := range []string{"gpp-serve ops", "slo:", "└─"} {
+		if !strings.Contains(opsText, want) {
+			t.Errorf("ops text missing %q:\n%s", want, opsText)
+		}
+	}
+
+	// Latency histogram quantiles and SLO counters are exported.
+	metrics := string(get(t, base, "/metrics", http.StatusOK))
+	for _, want := range []string{
+		"gpp_serve_job_seconds_p50",
+		"gpp_serve_queue_wait_seconds_p99",
+		"gpp_serve_slo_within_total 1",
+		"gpp_serve_slo_breached_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// Healthz carries the ops vitals.
+	var health struct {
+		Status  string   `json:"status"`
+		UptimeS *float64 `json:"uptime_s"`
+	}
+	if err := json.Unmarshal(get(t, base, "/healthz", http.StatusOK), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.UptimeS == nil {
+		t.Errorf("healthz = %+v", health)
+	}
+}

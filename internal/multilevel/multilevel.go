@@ -166,13 +166,23 @@ func PartitionCtx(ctx context.Context, p *partition.Problem, opts Options) (*Res
 	sNorm.Refine = false
 	sNorm.Checkpoint, sNorm.CheckpointEvery, sNorm.Resume = nil, 0, nil
 
+	// Span instrumentation: one "vcycle" span for the whole cycle, with a
+	// "coarsen" child covering the hierarchy build; runVCycle hangs the
+	// per-level spans under it and ends it. Nil-safe throughout — a nil
+	// sNorm.Span (the default) makes every span call free.
+	vspan := sNorm.Span.Child("vcycle")
+	coarsen := vspan.Child("coarsen")
 	h, err := buildHierarchy(p, opts, sNorm.Seed)
 	if err != nil {
 		return nil, err
 	}
+	coarsen.AttrInt("levels", int64(len(h.probs)))
+	coarsen.AttrInt("coarsest_gates", int64(h.probs[len(h.probs)-1].G))
+	coarsen.End()
 	vfp, err := vFingerprint(p, opts, sNorm, h)
 	if err != nil {
 		return nil, err
 	}
+	sNorm.Span = vspan
 	return runVCycle(ctx, p, opts, sNorm, h, vfp)
 }

@@ -1,0 +1,173 @@
+package multilevel
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gpp/internal/obs"
+	"gpp/internal/partition"
+)
+
+// spanTraceJSONL runs one V-cycle partition with an untimed span trace
+// attached and returns the emitted span JSONL plus the result.
+func spanTraceJSONL(t *testing.T, p *partition.Problem, workers int) ([]byte, *Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	root := obs.NewTrace(sink).Root("test")
+	res, err := Partition(p, Options{Solver: partition.Options{
+		Seed: 1, MaxIters: 80, Workers: workers, Span: root,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestVCycleSpanDeterminism: the untimed span tree of a V-cycle solve is
+// byte-identical at every worker count — span ids, nesting, and attribute
+// values (levels, per-level iters, refinement moves) all derive from the
+// deterministic solve, never from scheduling.
+func TestVCycleSpanDeterminism(t *testing.T) {
+	p := benchProblem(t, "par2000", 4)
+	var ref []byte
+	seen := map[int]bool{}
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		got, _ := spanTraceJSONL(t, p, workers)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !bytes.Equal(ref, got) {
+			t.Errorf("span JSONL differs between workers=1 and workers=%d:\n--- w1 ---\n%s--- w%d ---\n%s",
+				workers, ref, workers, got)
+		}
+	}
+	if len(ref) == 0 {
+		t.Fatal("no span events emitted")
+	}
+}
+
+// TestVCycleSpanTreeShape: the emitted spans reconstruct into one connected
+// tree — root → vcycle → {coarsen, one level per hierarchy level,
+// discrete_refine} — with per-level project/descent children.
+func TestVCycleSpanTreeShape(t *testing.T) {
+	p := benchProblem(t, "par2000", 4)
+	raw, res := spanTraceJSONL(t, p, 1)
+	events, err := obs.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := obs.BuildSpanTree(events)
+	if len(roots) != 1 || roots[0].Event.Span != "test" {
+		t.Fatalf("want one root span \"test\", got %d roots", len(roots))
+	}
+	counts := map[string]int{}
+	var walk func(n *obs.SpanNode)
+	walk = func(n *obs.SpanNode) {
+		counts[n.Event.Span]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(roots[0])
+	if counts["vcycle"] != 1 || counts["coarsen"] != 1 || counts["discrete_refine"] != 1 {
+		t.Errorf("span counts %v: want exactly one vcycle/coarsen/discrete_refine", counts)
+	}
+	if counts["level"] != res.Levels {
+		t.Errorf("%d level spans for a %d-level hierarchy", counts["level"], res.Levels)
+	}
+	if counts["descent"] != res.Levels {
+		t.Errorf("%d descent spans, want one per level (%d)", counts["descent"], res.Levels)
+	}
+	if counts["project"] != res.Levels-1 {
+		t.Errorf("%d project spans, want one per refinement level (%d)", counts["project"], res.Levels-1)
+	}
+	var vspan *obs.SpanNode
+	for _, c := range roots[0].Children {
+		if c.Event.Span == "vcycle" {
+			vspan = c
+		}
+	}
+	if vspan == nil {
+		t.Fatal("vcycle span is not a direct child of the root")
+	}
+	wantAttr := fmt.Sprintf("levels=%d iters=%d", res.Levels, res.Iters)
+	if vspan.Event.Attrs != wantAttr {
+		t.Errorf("vcycle attrs = %q, want %q", vspan.Event.Attrs, wantAttr)
+	}
+}
+
+// TestVCycleSpanParity: attaching a span trace does not change the solve.
+// The labels and iteration counts with tracing enabled match a bare run at
+// every worker count (the byte-identity half of the acceptance criteria;
+// the span JSONL determinism test covers the other half).
+func TestVCycleSpanParity(t *testing.T) {
+	p := benchProblem(t, "par2000", 4)
+	bare, err := Partition(p, Options{Solver: partition.Options{Seed: 1, MaxIters: 80, Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2} {
+		_, traced := spanTraceJSONL(t, p, workers)
+		if traced.Iters != bare.Iters || traced.Levels != bare.Levels {
+			t.Fatalf("workers=%d: traced solve diverged: iters %d vs %d, levels %d vs %d",
+				workers, traced.Iters, bare.Iters, traced.Levels, bare.Levels)
+		}
+		if !equalLabels(traced.Labels, bare.Labels) {
+			t.Fatalf("workers=%d: traced labels differ from bare labels", workers)
+		}
+	}
+}
+
+func equalLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVCycleSpanDisabledAllocFree: with no span attached (the default),
+// the exact call pattern the V-cycle instrumentation makes is free — no
+// allocations on the nil-receiver path.
+func TestVCycleSpanDisabledAllocFree(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		var root *obs.Span
+		vspan := root.Child("vcycle")
+		coarsen := vspan.Child("coarsen")
+		coarsen.AttrInt("levels", 3)
+		coarsen.AttrInt("coarsest_gates", 100)
+		coarsen.End()
+		for level := 2; level >= 0; level-- {
+			lspan := vspan.Child("level")
+			lspan.AttrInt("level", int64(level))
+			pspan := lspan.Child("project")
+			pspan.End()
+			lspan.AttrInt("iters", 30)
+			lspan.End()
+		}
+		rspan := vspan.Child("discrete_refine")
+		rspan.AttrInt("moves", 10)
+		rspan.End()
+		vspan.AttrInt("iters", 100)
+		vspan.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span path allocates %.1f per V-cycle", allocs)
+	}
+}

@@ -16,6 +16,11 @@ func runVCycle(ctx context.Context, p *partition.Problem, opts Options, sNorm pa
 	nLevels := len(h.probs)
 	coarse := nLevels - 1
 	tracer := sNorm.Tracer
+	// sNorm.Span is the "vcycle" span PartitionCtx opened (nil when
+	// tracing is off); this function owns ending it. Level solves get
+	// their own child spans below — never the vcycle span directly.
+	vspan := sNorm.Span
+	sNorm.Span = nil
 
 	resume := opts.Resume
 	if err := checkVResume(resume, p, vfp, h); err != nil {
@@ -78,10 +83,16 @@ func runVCycle(ctx context.Context, p *partition.Problem, opts Options, sNorm pa
 		if resume != nil {
 			copts.Resume = resume.Inner
 		}
+		lspan := vspan.Child("level")
+		lspan.AttrInt("level", int64(coarse))
+		lspan.AttrInt("gates", int64(h.probs[coarse].G))
+		copts.Span = lspan
 		res, err := h.probs[coarse].SolveCtx(ctx, copts)
 		if err != nil {
 			return nil, err
 		}
+		lspan.AttrInt("iters", int64(res.Iters))
+		lspan.End()
 		w, labels = res.W, res.Labels
 		coarseIters, coarseConverged = res.Iters, res.Converged
 		doneIters = coarseIters
@@ -97,6 +108,10 @@ func runVCycle(ctx context.Context, p *partition.Problem, opts Options, sNorm pa
 		ropts := sNorm
 		ropts.Momentum = 0
 		ropts.MaxIters = opts.RefineIters
+		lspan := vspan.Child("level")
+		lspan.AttrInt("level", int64(li))
+		lspan.AttrInt("gates", int64(prob.G))
+		ropts.Span = lspan
 		var inner *partition.Snapshot
 		if resume != nil && resume.Level == li && li != coarse {
 			// Mid-refine resume: the level's calibrated step is the
@@ -106,11 +121,13 @@ func runVCycle(ctx context.Context, p *partition.Problem, opts Options, sNorm pa
 			ropts.LearnRate = resume.Inner.Step
 			inner = resume.Inner
 		} else {
+			pspan := lspan.Child("project")
 			fineW := projectW(w, h.levels[li].fineToCoarse, p.K)
 			if tracer != nil {
 				tracer.Emit(obs.Event{Kind: obs.KindProject, Level: li, Gates: prob.G})
 			}
 			ropts.LearnRate = calibrateStep(prob, fineW, ropts)
+			pspan.End()
 			var err error
 			inner, err = warmSnapshot(prob, ropts, fineW)
 			if err != nil {
@@ -134,6 +151,8 @@ func runVCycle(ctx context.Context, p *partition.Problem, opts Options, sNorm pa
 		if err != nil {
 			return nil, err
 		}
+		lspan.AttrInt("iters", int64(res.Iters))
+		lspan.End()
 		w, labels = res.W, res.Labels
 		doneIters += res.Iters
 	}
@@ -141,7 +160,10 @@ func runVCycle(ctx context.Context, p *partition.Problem, opts Options, sNorm pa
 	_ = w
 
 	// Finest level: the paper's greedy discrete move pass.
+	rspan := vspan.Child("discrete_refine")
 	out.RefineMoves = p.Refine(labels, sNorm.Coeffs, opts.RefinePasses)
+	rspan.AttrInt("moves", int64(out.RefineMoves))
+	rspan.End()
 	out.Labels = labels
 	out.Discrete = p.DiscreteCost(labels, sNorm.Coeffs)
 	if tracer != nil {
@@ -152,6 +174,9 @@ func runVCycle(ctx context.Context, p *partition.Problem, opts Options, sNorm pa
 	if err := obs.SinkErr(tracer); err != nil {
 		return nil, fmt.Errorf("multilevel: trace sink: %w", err)
 	}
+	vspan.AttrInt("levels", int64(nLevels))
+	vspan.AttrInt("iters", int64(out.Iters))
+	vspan.End()
 
 	mVCycles.Inc()
 	mVCycleLevels.Observe(float64(nLevels))

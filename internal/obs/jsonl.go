@@ -169,6 +169,19 @@ func appendEvent(b []byte, e Event) []byte {
 		b = appendString(b, "circuit", e.Circuit)
 		b = appendInt(b, "waves", int64(e.Waves))
 		b = appendFloat(b, "activity", e.Activity)
+	case KindSpan:
+		b = appendString(b, "span", e.Span)
+		b = appendInt(b, "sid", e.SID)
+		b = appendInt(b, "psid", e.PSID)
+		// Timing fields only on timed traces: untimed span streams stay
+		// byte-identical across runs and worker counts.
+		if e.AtUS != 0 || e.DurUS != 0 {
+			b = appendInt(b, "at_us", e.AtUS)
+			b = appendInt(b, "dur_us", e.DurUS)
+		}
+		if e.Attrs != "" {
+			b = appendString(b, "attrs", e.Attrs)
+		}
 	default:
 		// Unknown kind: re-encode the whole struct (allocates; only hit by
 		// foreign event kinds, never by the solver's own).

@@ -74,6 +74,11 @@ const (
 	// KindSimWave / KindSimActivity are pulse-simulator events.
 	KindSimWave     Kind = "sim_wave"
 	KindSimActivity Kind = "sim_activity"
+	// KindSpan closes one hierarchical span (see span.go): name, ordinal
+	// span id, parent span id (0 = root), key=value attrs, and — on timed
+	// traces only — start offset and duration in microseconds. Untimed
+	// span streams are byte-identical for bit-identical runs.
+	KindSpan Kind = "span"
 )
 
 // Event is the flat superset of every trace payload. Producers fill only
@@ -121,6 +126,17 @@ type Event struct {
 	// the original problem), Levels the hierarchy depth including level 0.
 	Level  int `json:"level,omitempty"`
 	Levels int `json:"levels,omitempty"`
+
+	// Span fields (KindSpan): name, ordinal span id, parent span id (0 =
+	// root), space-separated key=value attrs, and on timed traces the
+	// start offset / duration in microseconds from the trace's monotonic
+	// anchor.
+	Span  string `json:"span,omitempty"`
+	SID   int64  `json:"sid,omitempty"`
+	PSID  int64  `json:"psid,omitempty"`
+	AtUS  int64  `json:"at_us,omitempty"`
+	DurUS int64  `json:"dur_us,omitempty"`
+	Attrs string `json:"attrs,omitempty"`
 }
 
 // Tracer receives structured solver events. Implementations must be safe

@@ -18,14 +18,21 @@ import (
 // before Parse, then call Start.
 type Flags struct {
 	Trace       string
+	Spans       bool
+	SpansTimed  bool
 	Manifest    string
 	MetricsAddr string
 }
 
-// Register adds -trace, -manifest, and -metrics-addr to fs.
+// Register adds -trace, -spans, -spans-timed, -manifest, and -metrics-addr
+// to fs.
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Trace, "trace", "",
 		"write a JSONL solver trace to this path (deterministic; inspect with `gpp-inspect trace`)")
+	fs.BoolVar(&f.Spans, "spans", false,
+		"add hierarchical span events to the -trace file (deterministic, untimed; view with `gpp-inspect spans`)")
+	fs.BoolVar(&f.SpansTimed, "spans-timed", false,
+		"like -spans but stamped with wall-clock offsets and durations (non-deterministic)")
 	fs.StringVar(&f.Manifest, "manifest", "",
 		"write a JSON run manifest (args, code version, timings) to this path on exit")
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
@@ -36,6 +43,11 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 type Session struct {
 	// Tracer is non-nil iff -trace was given; pass it to the solver options.
 	Tracer obs.Tracer
+
+	// Span is the run's root span, non-nil iff -spans or -spans-timed was
+	// given (it requires -trace). Pass it to the solver options; Close ends
+	// it, so sub-spans the run left open are simply never emitted.
+	Span *obs.Span
 
 	manifest  *obs.Manifest
 	manifestP string
@@ -51,6 +63,9 @@ type Session struct {
 // callers defer Close unconditionally.
 func (f Flags) Start(tool string) (*Session, error) {
 	s := &Session{}
+	if (f.Spans || f.SpansTimed) && f.Trace == "" {
+		return nil, fmt.Errorf("%s: -spans needs -trace (spans are events in the trace file)", tool)
+	}
 	if f.Trace != "" {
 		file, err := os.Create(f.Trace)
 		if err != nil {
@@ -59,6 +74,13 @@ func (f Flags) Start(tool string) (*Session, error) {
 		s.traceFile = file
 		s.sink = obs.NewJSONL(file)
 		s.Tracer = s.sink
+		if f.Spans || f.SpansTimed {
+			tr := obs.NewTrace(s.sink)
+			if f.SpansTimed {
+				tr.Timed()
+			}
+			s.Span = tr.Root(tool)
+		}
 	}
 	if f.MetricsAddr != "" {
 		srv, addr, err := obs.Serve(f.MetricsAddr, obs.Default())
@@ -107,6 +129,7 @@ func (s *Session) Close() error {
 			first = err
 		}
 	}
+	s.Span.End() // nil-safe; emits the root span before the sink closes
 	if s.sink != nil {
 		keep(s.sink.Close())
 	}

@@ -106,6 +106,76 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// NewHistogram returns a standalone histogram (not registered anywhere)
+// with the given sorted bucket upper bounds. The serve subsystem uses
+// these for per-server stats that must not leak across servers through
+// the process-wide registry.
+func NewHistogram(bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds not sorted")
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// LogBuckets returns logarithmically spaced bucket bounds from min to at
+// least max with perDecade buckets per factor of ten — the natural shape
+// for latency histograms, where p99 can sit orders of magnitude above
+// p50. Panics on nonsense arguments (instrument construction happens at
+// init; a bad spec is a programming error).
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if !(min > 0) || !(max > min) || perDecade < 1 {
+		panic("obs: invalid LogBuckets spec")
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	var bounds []float64
+	for v := min; ; v *= ratio {
+		bounds = append(bounds, v)
+		if v >= max || len(bounds) > 400 {
+			return bounds
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation inside the bucket holding the target rank —
+// standard Prometheus histogram_quantile semantics. Observations in the
+// +Inf bucket clamp to the last finite bound. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return bound
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (bound-lo)*frac
+		}
+		cum += c
+	}
+	// Target rank fell in the +Inf bucket: clamp to the last finite bound.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // validName enforces the Prometheus metric-name grammar
 // [a-zA-Z_:][a-zA-Z0-9_:]*; instruments are created at package init, so a
 // bad name is a programming error worth a panic.
@@ -276,6 +346,23 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			b = append(b, "_count "...)
 			b = strconv.AppendInt(b, h.Count(), 10)
 			b = append(b, '\n')
+			// Pre-computed quantile gauges: scrape-side
+			// histogram_quantile() needs a full PromQL engine; a service
+			// being eyeballed with curl does not.
+			for _, pq := range [...]struct {
+				suffix string
+				q      float64
+			}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+				b = append(b, "# TYPE "...)
+				b = append(b, n...)
+				b = append(b, pq.suffix...)
+				b = append(b, " gauge\n"...)
+				b = append(b, n...)
+				b = append(b, pq.suffix...)
+				b = append(b, ' ')
+				b = append(b, fv(h.Quantile(pq.q))...)
+				b = append(b, '\n')
+			}
 		}
 	}
 	_, err := w.Write(b)

@@ -120,6 +120,12 @@ func TestPromExpositionGolden(t *testing.T) {
 		`gpp_iters_bucket{le="+Inf"} 3`,
 		"gpp_iters_sum 555",
 		"gpp_iters_count 3",
+		"# TYPE gpp_iters_p50 gauge",
+		"gpp_iters_p50 55",
+		"# TYPE gpp_iters_p95 gauge",
+		"gpp_iters_p95 100",
+		"# TYPE gpp_iters_p99 gauge",
+		"gpp_iters_p99 100",
 		"# HELP gpp_solves_total completed solves",
 		"# TYPE gpp_solves_total counter",
 		"gpp_solves_total 3",

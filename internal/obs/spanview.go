@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Span-tree reconstruction and text rendering. Spans are emitted at End,
+// so a child's event precedes its parent's in the stream; BuildSpanTree
+// reassembles the hierarchy by span id and gpp-inspect / the serve ops
+// endpoint render it as an indented waterfall.
+
+// SpanNode is one reconstructed span with its children in start (span-id)
+// order.
+type SpanNode struct {
+	Event    Event
+	Children []*SpanNode
+}
+
+// BuildSpanTree extracts the KindSpan events from a trace and rebuilds
+// the span forest. Spans whose parent never ended (or whose parent id is
+// 0) become roots. Roots and children are ordered by span id, which is
+// start order.
+func BuildSpanTree(events []Event) []*SpanNode {
+	nodes := make(map[int64]*SpanNode)
+	var spans []*SpanNode
+	for _, e := range events {
+		if e.Kind != KindSpan || e.SID == 0 {
+			continue
+		}
+		n := &SpanNode{Event: e}
+		nodes[e.SID] = n
+		spans = append(spans, n)
+	}
+	var roots []*SpanNode
+	for _, n := range spans {
+		if p, ok := nodes[n.Event.PSID]; ok && n.Event.PSID != n.Event.SID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	order := func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Event.SID < ns[j].Event.SID })
+	}
+	order(roots)
+	for _, n := range spans {
+		order(n.Children)
+	}
+	return roots
+}
+
+// WriteWaterfall renders a span forest as indented text. Timed spans get
+// a duration column, a self-time percentage of their root, and a
+// proportional offset bar; untimed spans render structure and attributes
+// only.
+//
+//	solve                                  12.4ms  ██████████████████████
+//	├─ cache_lookup outcome=miss           0.1ms   ▏
+//	└─ vcycle levels=3                     11.9ms   █████████████████████
+func WriteWaterfall(w io.Writer, roots []*SpanNode) {
+	for _, root := range roots {
+		total := root.Event.DurUS
+		writeSpanNode(w, root, "", "", total, root.Event.AtUS)
+	}
+}
+
+const waterfallCols = 28
+
+func writeSpanNode(w io.Writer, n *SpanNode, prefix, childPrefix string, totalUS, baseUS int64) {
+	label := prefix + string(n.Event.Span)
+	if n.Event.Attrs != "" {
+		label += " [" + n.Event.Attrs + "]"
+	}
+	if totalUS > 0 {
+		bar := spanBar(n.Event.AtUS-baseUS, n.Event.DurUS, totalUS)
+		fmt.Fprintf(w, "%-52s %9s  %s\n", label, fmtUS(n.Event.DurUS), bar)
+	} else if n.Event.DurUS > 0 || n.Event.AtUS > 0 {
+		fmt.Fprintf(w, "%-52s %9s\n", label, fmtUS(n.Event.DurUS))
+	} else {
+		fmt.Fprintf(w, "%s\n", label)
+	}
+	for i, c := range n.Children {
+		connector, nextPrefix := "├─ ", "│  "
+		if i == len(n.Children)-1 {
+			connector, nextPrefix = "└─ ", "   "
+		}
+		writeSpanNode(w, c, childPrefix+connector, childPrefix+nextPrefix, totalUS, baseUS)
+	}
+}
+
+// spanBar renders a proportional [offset, offset+dur] bar over totalUS.
+func spanBar(offsetUS, durUS, totalUS int64) string {
+	if totalUS <= 0 {
+		return ""
+	}
+	start := int(float64(offsetUS) / float64(totalUS) * waterfallCols)
+	width := int(float64(durUS) / float64(totalUS) * waterfallCols)
+	if start < 0 {
+		start = 0
+	}
+	if start > waterfallCols {
+		start = waterfallCols
+	}
+	if width < 1 {
+		width = 1
+	}
+	if start+width > waterfallCols {
+		width = waterfallCols - start
+		if width < 1 {
+			width = 1
+			start = waterfallCols - 1
+		}
+	}
+	return strings.Repeat(" ", start) + strings.Repeat("█", width)
+}
+
+// fmtUS renders a microsecond duration at human scale.
+func fmtUS(us int64) string {
+	switch {
+	case us >= 10_000_000:
+		return fmt.Sprintf("%.1fs", float64(us)/1e6)
+	case us >= 10_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

@@ -100,6 +100,13 @@ type Options struct {
 	// dropping the trace.
 	Tracer obs.Tracer
 
+	// Span, when non-nil, is the parent span the solve hangs its spans
+	// under: a "descent" span covering initialization through the
+	// gradient loop, with one "checkpoint" child per snapshot fsync.
+	// Like Tracer it is execution-only — excluded from Fingerprint, nil
+	// by default, and the nil path costs nothing (nil-receiver no-ops).
+	Span *obs.Span
+
 	// Checkpoint, when non-nil, receives a Snapshot of the complete
 	// descent state every CheckpointEvery iterations (deep copies — the
 	// hook may retain or serialize them). A solve killed after a
@@ -270,6 +277,11 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 			GateShards: pool.Shards(p.G, gateChunk),
 			EdgeShards: pool.Shards(len(p.Edges), edgeChunk)})
 	}
+	// Span instrumentation: one "descent" span from initialization to the
+	// final relaxed cost. Checkpoint fsyncs get child spans below. All
+	// nil-safe — a nil opts.Span is the (free) default, and spans taken on
+	// an error path simply never emit.
+	descent := opts.Span.Child("descent")
 	grad := make([]float64, p.G*p.K)
 	var velocity []float64
 	if opts.Momentum > 0 {
@@ -474,8 +486,12 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 		// path allocates (deep copies); the no-checkpoint path stays
 		// allocation-free.
 		if opts.Checkpoint != nil && (iter+1)%opts.CheckpointEvery == 0 {
+			ck := descent.Child("checkpoint")
+			ck.AttrInt("iter", int64(iter+1))
 			snap := p.takeSnapshot(opts, ckptFP, iter+1, step, costNew, w, velocity, res.CostTrace)
-			if err := opts.Checkpoint(snap); err != nil {
+			err := opts.Checkpoint(snap)
+			ck.End()
+			if err != nil {
 				return nil, fmt.Errorf("partition: checkpoint at iteration %d: %w", iter+1, err)
 			}
 		}
@@ -488,6 +504,8 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 		relaxed = p.costWith(w, opts.Coeffs, sc)
 	}
 	res.Relaxed = relaxed
+	descent.AttrInt("iters", int64(res.Iters))
+	descent.End()
 	// Lines 27–30: snap to argmax.
 	res.Labels = p.Assign(w)
 	if tracer != nil {

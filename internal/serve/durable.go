@@ -173,11 +173,14 @@ func (d *durable) reacceptJob(id string, rec store.Record) {
 	d.mu.Unlock()
 }
 
-// finishJob marks a job terminal in the journal. Errors are reported but
-// not fatal: the worst case is a finished job being re-run after a crash,
-// and the solver's determinism makes that re-run byte-identical.
-func (d *durable) finishJob(id string, status Status) {
-	if _, err := d.jnl.Append(store.Record{Op: string(status), ID: id}); err != nil {
+// finishJob marks a job terminal in the journal, attaching the job's
+// flight-recorder profile (may be nil) as the record payload — recent
+// terminal records double as a post-mortem trail until the next
+// compaction. Errors are reported but not fatal: the worst case is a
+// finished job being re-run after a crash, and the solver's determinism
+// makes that re-run byte-identical.
+func (d *durable) finishJob(id string, status Status, profile []byte) {
+	if _, err := d.jnl.Append(store.Record{Op: string(status), ID: id, Data: profile}); err != nil {
 		fmt.Fprintf(os.Stderr, "gpp-serve: journal finish %s: %v\n", id, err)
 		return
 	}

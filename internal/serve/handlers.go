@@ -35,6 +35,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/assignment", s.handleAssignment)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/debug/ops", s.handleOps)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	debug := obs.NewMux(obs.Default())
 	s.mux.Handle("GET /metrics", debug)
@@ -155,18 +157,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	mSubmitted.Inc()
+	s.stats.submitted.Add(1)
 	// Cache check before queueing: a hit — in the LRU or persisted on
 	// disk from before a restart — completes synchronously and never
 	// occupies a queue slot or a worker.
-	if ent, ok := s.cacheGet(j.key); ok {
+	if ent, tier, ok := s.cacheGet(j.key); ok {
+		j.spanCacheLookup(tier)
 		mCacheHits.Inc()
 		mCompleted.Inc()
+		s.stats.cacheHits.Add(1)
+		s.stats.completed.Add(1)
 		j.cancel()
 		s.store.add(j)
 		j.finishOK(ent.body, ent.labels, true)
 		writeJSON(w, http.StatusOK, s.statusJSON(j))
 		return
 	}
+	j.spanCacheLookup("miss")
 	// Misses are counted at resolution time (runJob), not here: a job that
 	// misses now may still be answered from the cache after queueing behind
 	// an identical solve, and counting both ends would double-book it.
@@ -175,27 +182,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// reach a worker, or a fast solve could journal its terminal record
 	// first and the replay would resurrect a finished job.
 	if s.durable != nil {
-		if err := s.durable.acceptJob(j, &req); err != nil {
+		wal := j.span.Child("wal_accept")
+		err := s.durable.acceptJob(j, &req)
+		wal.End()
+		if err != nil {
 			j.cancel()
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 	}
 	s.store.add(j)
-	j.broker.publish(obs.Event{Kind: kindJobQueued})
+	j.publish(obs.Event{Kind: kindJobQueued})
+	j.beginQueueWait()
 	switch code := s.enqueue(j); code {
 	case http.StatusAccepted:
 		writeJSON(w, http.StatusAccepted, s.statusJSON(j))
 	case http.StatusServiceUnavailable:
 		s.store.remove(j.id)
 		j.cancel()
-		s.journalFinish(j.id, StatusCancelled)
+		s.journalFinish(j, StatusCancelled)
 		writeError(w, code, "daemon is draining")
 	default: // 429
 		mRejected.Inc()
 		s.store.remove(j.id)
 		j.cancel()
-		s.journalFinish(j.id, StatusCancelled)
+		s.journalFinish(j, StatusCancelled)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests,
 			"queue full (%d jobs waiting); retry later", s.cfg.QueueDepth)
@@ -312,6 +323,7 @@ func (s *Server) makeJob(c *netlist.Circuit, name string, req *JobRequest) (*job
 	j.status = StatusQueued
 	j.submitted = time.Now()
 	j.mu.Unlock()
+	s.initTracing(j)
 	return j, 0, nil
 }
 
@@ -511,6 +523,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		scratch = writeSSE(w, scratch, e)
 	}
 	flusher.Flush()
+	// Idle heartbeat: a comment line every SSEKeepalive keeps proxies and
+	// load balancers from reaping the connection during a long quiet solve
+	// (iter events are throttled, so minutes can pass between frames).
+	var keepalive <-chan time.Time
+	if s.cfg.SSEKeepalive > 0 {
+		t := time.NewTicker(s.cfg.SSEKeepalive)
+		defer t.Stop()
+		keepalive = t.C
+	}
 	for {
 		select {
 		case e, open := <-ch:
@@ -525,10 +546,55 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			scratch = writeSSE(w, scratch, e)
 			flusher.Flush()
+		case <-keepalive:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// handleProfile serves the job's flight-recorder contents: the recent
+// spans and events as JSON (the default), or the reconstructed span
+// waterfall as text with ?format=text.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	if j.rec == nil {
+		writeError(w, http.StatusNotFound, "flight recorder disabled (start the daemon without -flight-recorder=-1)")
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		j.profileWaterfall(w)
+		return
+	}
+	body := j.profileJSON()
+	if body == nil {
+		writeError(w, http.StatusInternalServerError, "profile encoding failed")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handleOps serves the daemon's ops snapshot — the one-stop console for
+// "what is this node doing": queue pressure, outcomes, cache hit rate,
+// latency quantiles, SLO burn, and recent jobs. JSON by default,
+// ?format=text for the human console with span waterfalls.
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.writeOpsText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opsSnapshot())
 }
 
 // writeSSE frames one event, reusing scratch for the JSONL encoding.
@@ -541,18 +607,22 @@ func writeSSE(w io.Writer, scratch []byte, e obs.Event) []byte {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status      string `json:"status"`
-		Jobs        int    `json:"jobs"`
-		QueueDepth  int    `json:"queue_depth"`
-		QueueCap    int    `json:"queue_cap"`
-		CacheSize   int    `json:"cache_entries"`
-		Workers     int    `json:"workers"`
-		DataDir     string `json:"data_dir,omitempty"`
-		JournalLive int    `json:"journal_live,omitempty"`
+		Status      string  `json:"status"`
+		UptimeS     float64 `json:"uptime_s"`
+		Jobs        int     `json:"jobs"`
+		Inflight    int64   `json:"inflight"`
+		QueueDepth  int     `json:"queue_depth"`
+		QueueCap    int     `json:"queue_cap"`
+		CacheSize   int     `json:"cache_entries"`
+		Workers     int     `json:"workers"`
+		DataDir     string  `json:"data_dir,omitempty"`
+		JournalLive int     `json:"journal_live,omitempty"`
 	}
 	h := health{
 		Status:     "ok",
+		UptimeS:    time.Since(s.stats.start).Seconds(),
 		Jobs:       s.store.len(),
+		Inflight:   s.stats.inflight.Load(),
 		QueueDepth: len(s.queue),
 		QueueCap:   s.cfg.QueueDepth,
 		CacheSize:  s.cache.len(),

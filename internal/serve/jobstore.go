@@ -61,6 +61,17 @@ type job struct {
 	cancel context.CancelFunc
 	broker *broker
 
+	// Per-job tracing (nil when Config.FlightRecorder < 0): the ring of
+	// recent events, the timed span trace feeding it, the root "job"
+	// span, and the in-flight queue_wait span. spanQueue and enqueued are
+	// written by the submitter before the queue send and read by the
+	// worker after the receive — the channel is the happens-before edge.
+	rec       *obs.FlightRecorder
+	trace     *obs.Trace
+	span      *obs.Span
+	spanQueue *obs.Span
+	enqueued  time.Time
+
 	mu        sync.Mutex
 	status    Status
 	cacheHit  bool
@@ -92,10 +103,11 @@ func (j *job) setRunning() {
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.mu.Unlock()
-	j.broker.publish(obs.Event{Kind: kindJobRunning})
+	j.publish(obs.Event{Kind: kindJobRunning})
 }
 
-// finishOK publishes the result and closes the progress stream.
+// finishOK publishes the result and closes the progress stream. The root
+// span ends first, so a finished job's profile always contains it.
 func (j *job) finishOK(body []byte, labels []int, fromCache bool) {
 	j.mu.Lock()
 	j.status = StatusDone
@@ -104,10 +116,11 @@ func (j *job) finishOK(body []byte, labels []int, fromCache bool) {
 	j.labels = labels
 	j.finished = time.Now()
 	j.mu.Unlock()
+	j.endRootSpan(StatusDone, fromCache)
 	if fromCache {
-		j.broker.publish(obs.Event{Kind: kindJobCacheHit})
+		j.publish(obs.Event{Kind: kindJobCacheHit})
 	}
-	j.broker.publish(obs.Event{Kind: kindJobDone})
+	j.publish(obs.Event{Kind: kindJobDone})
 	j.broker.close()
 }
 
@@ -118,11 +131,12 @@ func (j *job) finishErr(status Status, err error) {
 	j.err = err.Error()
 	j.finished = time.Now()
 	j.mu.Unlock()
+	j.endRootSpan(status, false)
 	kind := kindJobFailed
 	if status == StatusCancelled {
 		kind = kindJobCancelled
 	}
-	j.broker.publish(obs.Event{Kind: kind})
+	j.publish(obs.Event{Kind: kind})
 	j.broker.close()
 }
 

@@ -97,6 +97,23 @@ type Config struct {
 	// recovery) entries are garbage-collected oldest-first down to this
 	// budget. 0 means unbounded. Ignored without DataDir.
 	StoreMaxBytes int64
+
+	// FlightRecorder sizes each job's bounded event ring (spans, lifecycle
+	// and throttled solver events), served by GET /v1/jobs/{id}/profile
+	// and persisted with the terminal journal record. 0 means the default
+	// (obs.DefaultFlightRecorderCap); negative disables per-job tracing
+	// entirely (the span path then costs nothing).
+	FlightRecorder int
+
+	// SLOSolve, when positive, is the solve-latency objective: each cold
+	// solve (cache hits excluded) counts toward the within/breached burn
+	// counters on /metrics and /v1/debug/ops. 0 disables SLO accounting.
+	SLOSolve time.Duration
+
+	// SSEKeepalive is the idle heartbeat interval on /events streams — a
+	// comment line that keeps proxies from dropping long solves. 0 means
+	// the 15s default; negative disables keepalives.
+	SSEKeepalive time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +141,12 @@ func (c Config) withDefaults() Config {
 	if c.Library == nil {
 		c.Library = cellib.Default()
 	}
+	if c.FlightRecorder == 0 {
+		c.FlightRecorder = obs.DefaultFlightRecorderCap
+	}
+	if c.SSEKeepalive == 0 {
+		c.SSEKeepalive = 15 * time.Second
+	}
 	return c
 }
 
@@ -150,6 +173,13 @@ var (
 	mInflight = obs.Default().Gauge("gpp_serve_jobs_inflight",
 		"jobs currently solving")
 	mJobSeconds = obs.Default().Histogram("gpp_serve_job_seconds",
-		[]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120, 600},
+		obs.LogBuckets(0.001, 600, 3),
 		"wall time of completed solves (cache hits excluded)")
+	mQueueWait = obs.Default().Histogram("gpp_serve_queue_wait_seconds",
+		obs.LogBuckets(0.0001, 60, 3),
+		"time jobs spent queued before a worker picked them up")
+	mSLOWithin = obs.Default().Counter("gpp_serve_slo_within_total",
+		"cold solves that finished within the configured solve SLO")
+	mSLOBreached = obs.Default().Counter("gpp_serve_slo_breached_total",
+		"cold solves that exceeded the configured solve SLO")
 )

@@ -27,6 +27,7 @@ type Server struct {
 	cache   *lru
 	durable *durable // nil unless Config.DataDir is set
 	queue   chan *job
+	stats   *serverStats
 
 	// qmu guards the draining flag and queue sends against the close in
 	// Shutdown; a send never races the close because both hold qmu.
@@ -50,6 +51,7 @@ func New(cfg Config) (*Server, error) {
 		store: newJobStore(cfg.MaxJobs),
 		cache: newLRU(cfg.CacheEntries),
 		queue: make(chan *job, cfg.QueueDepth),
+		stats: newServerStats(),
 	}
 	var pending []*journaledJob
 	if cfg.DataDir != "" {
@@ -102,30 +104,33 @@ func (s *Server) recoverJob(jj *journaledJob) {
 			j.id = jj.ID
 			mSubmitted.Inc()
 			mJobsRecovered.Inc()
+			s.stats.submitted.Add(1)
 			s.store.add(j)
-			j.broker.publish(obs.Event{Kind: kindJobQueued})
+			j.publish(obs.Event{Kind: kindJobQueued})
+			j.beginQueueWait()
 			s.queue <- j
 			mQueueDepth.Set(float64(len(s.queue)))
 			return
 		}
 	}
 	fmt.Fprintf(os.Stderr, "gpp-serve: journaled job %s unrecoverable, dropping: %v\n", jj.ID, err)
-	s.durable.finishJob(jj.ID, StatusFailed)
+	s.durable.finishJob(jj.ID, StatusFailed, nil)
 }
 
 // cacheGet is the two-level cache lookup: the in-memory LRU first, then
-// (when durable) the blob store, promoting disk hits into the LRU.
-func (s *Server) cacheGet(key string) (*cacheEntry, bool) {
+// (when durable) the blob store, promoting disk hits into the LRU. tier
+// names where the hit landed ("memory" or "disk") for the lookup span.
+func (s *Server) cacheGet(key string) (ent *cacheEntry, tier string, ok bool) {
 	if ent, ok := s.cache.get(key); ok {
-		return ent, true
+		return ent, "memory", true
 	}
 	if s.durable != nil {
 		if ent, ok := s.durable.loadEntry(key); ok {
 			s.cache.put(ent)
-			return ent, true
+			return ent, "disk", true
 		}
 	}
-	return nil, false
+	return nil, "", false
 }
 
 // ServeHTTP dispatches to the daemon's mux.
@@ -249,80 +254,110 @@ func (s *Server) retryAfterSeconds() int {
 // runJob executes one queued job end to end.
 func (s *Server) runJob(j *job) {
 	defer j.cancel()
+	j.endQueueWait(s.stats)
 	// A second identical request may have been cached while this one
 	// waited in the queue; serve it from there instead of re-solving.
-	if ent, ok := s.cacheGet(j.key); ok {
+	if ent, tier, ok := s.cacheGet(j.key); ok {
+		j.spanCacheLookup(tier)
 		mCacheHits.Inc()
 		mCompleted.Inc()
+		s.stats.cacheHits.Add(1)
+		s.stats.completed.Add(1)
 		j.setRunning()
 		j.finishOK(ent.body, ent.labels, true)
-		s.journalFinish(j.id, StatusDone)
+		s.journalFinish(j, StatusDone)
 		return
 	}
+	j.spanCacheLookup("miss")
 	// This is the single miss-counting point: every submission resolves as
 	// exactly one hit (here or synchronously at submit) or one miss, so
 	// hits + misses never exceeds submissions.
 	mCacheMisses.Inc()
+	s.stats.cacheMiss.Add(1)
 	if err := j.ctx.Err(); err != nil {
 		s.finishWithError(j, err)
 		return
 	}
 	j.setRunning()
 	mInflight.Add(1)
+	s.stats.inflight.Add(1)
 	start := time.Now()
-	body, labels, err := s.solve(j)
+	solveSpan := j.span.Child("solve")
+	body, labels, err := s.solve(j, solveSpan)
+	solveSpan.End()
 	mInflight.Add(-1)
+	s.stats.inflight.Add(-1)
 	if err != nil {
 		s.finishWithError(j, err)
 		return
 	}
-	mJobSeconds.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	mJobSeconds.Observe(elapsed.Seconds())
+	s.stats.jobSeconds.Observe(elapsed.Seconds())
+	if s.cfg.SLOSolve > 0 {
+		if elapsed <= s.cfg.SLOSolve {
+			mSLOWithin.Inc()
+			s.stats.sloWithin.Add(1)
+		} else {
+			mSLOBreached.Inc()
+			s.stats.sloBreach.Add(1)
+		}
+	}
+	persist := j.span.Child("persist")
 	ent := &cacheEntry{key: j.key, body: body, labels: labels}
 	s.cache.put(ent)
 	if s.durable != nil {
 		s.durable.persistEntry(ent)
 	}
+	persist.End()
 	mCompleted.Inc()
+	s.stats.completed.Add(1)
 	j.finishOK(body, labels, false)
-	s.journalFinish(j.id, StatusDone)
+	s.journalFinish(j, StatusDone)
 }
 
 func (s *Server) finishWithError(j *job, err error) {
 	if errors.Is(err, context.Canceled) {
 		mCancelled.Inc()
+		s.stats.cancelled.Add(1)
 		j.finishErr(StatusCancelled, err)
-		s.journalFinish(j.id, StatusCancelled)
+		s.journalFinish(j, StatusCancelled)
 		return
 	}
 	mFailed.Inc()
+	s.stats.failed.Add(1)
 	j.finishErr(StatusFailed, err)
-	s.journalFinish(j.id, StatusFailed)
+	s.journalFinish(j, StatusFailed)
 }
 
-// journalFinish records a job's terminal state when running durable.
-func (s *Server) journalFinish(id string, st Status) {
+// journalFinish records a job's terminal state when running durable,
+// attaching the flight-recorder profile so crashed-and-replayed history
+// keeps a forensic trail of how each job actually ran.
+func (s *Server) journalFinish(j *job, st Status) {
 	if s.durable != nil {
-		s.durable.finishJob(id, st)
+		s.durable.finishJob(j.id, st, j.profileJSON())
 	}
 }
 
 // solve runs the job's configured solver flavor and marshals the result
 // envelope. The progress tracer forwards a throttled event stream into
-// the job's broker; the solver's determinism guarantees make the envelope
-// a pure function of the cache key.
-func (s *Server) solve(j *job) (body []byte, labels []int, err error) {
+// the job's broker and flight recorder; span is the job's "solve" span
+// the solver layers hang their descent/vcycle spans under. The solver's
+// determinism guarantees make the envelope a pure function of the cache
+// key — the tracer and span never influence the result.
+func (s *Server) solve(j *job, span *obs.Span) (body []byte, labels []int, err error) {
 	p, err := partition.FromCircuit(j.circuit, j.k)
 	if err != nil {
 		return nil, nil, err
 	}
 	opts := j.opts
+	opts.Span = span
 	every := s.cfg.ProgressEvery
-	br := j.broker
 	opts.Tracer = obs.TracerFunc(func(e obs.Event) {
 		if e.Kind == obs.KindIter && every > 1 && e.Iter%every != 0 {
 			return
 		}
-		br.publish(e)
+		j.publish(e)
 	})
 
 	var res *partition.Result
