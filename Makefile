@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-slow check fmt-check race bench bench-json bench-smoke obs-bench obs-smoke serve-smoke fuzz
+.PHONY: build test test-slow check fmt-check race bench bench-json bench-smoke obs-bench obs-smoke serve-smoke cluster-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,7 @@ check:
 	$(MAKE) bench-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) cluster-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -81,6 +82,16 @@ obs-smoke:
 # drained to a complete, byte-consistent response. Race detector on.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke$$' -v ./internal/serve
+
+# Three-node cluster proof (DESIGN.md §14): real gpp-serve subprocesses
+# with static membership — consistent-hash routing, cross-node cache
+# reads, a SIGKILL mid-queue with journal replay plus work stealing, and
+# a clean SIGTERM drain. Node logs land in CLUSTER_SMOKE_LOG_DIR (CI
+# uploads them on failure).
+CLUSTER_SMOKE_LOG_DIR ?=
+cluster-smoke:
+	CLUSTER_SMOKE_LOG_DIR=$(CLUSTER_SMOKE_LOG_DIR) \
+		$(GO) test -race -count=1 -run 'TestClusterSmoke$$' -v ./cmd/gpp-serve
 
 # Run the solver-options fuzzer for 30s (regular `make test` already runs
 # its seed corpus as a unit test).

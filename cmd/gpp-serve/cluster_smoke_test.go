@@ -1,0 +1,322 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"gpp/internal/cluster"
+)
+
+// TestClusterSmoke is the 3-node end-to-end proof for `make cluster-smoke`:
+// real gpp-serve subprocesses with static membership. It asserts
+//
+//   - routing: one request submitted through every node lands on a single
+//     consistent-hash owner and every answer is byte-identical;
+//   - cross-node cache: a mixed workload spread over the nodes is
+//     re-readable through any node;
+//   - crash recovery: a node SIGKILLed with journaled work mid-queue
+//     replays it on restart and the cluster (work stealing included)
+//     finishes every job exactly once under its original id;
+//   - drain: SIGTERM exits 0.
+//
+// Each node's stderr is written to $CLUSTER_SMOKE_LOG_DIR (or a temp dir)
+// so CI can attach the logs of a failed run.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	bin := filepath.Join(t.TempDir(), "gpp-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build gpp-serve: %v\n%s", err, out)
+	}
+	logDir := os.Getenv("CLUSTER_SMOKE_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	} else if err := os.MkdirAll(logDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("node logs in %s", logDir)
+
+	// Static membership needs every URL before any node boots: reserve
+	// three ports, then hand them out.
+	addrs := reservePorts(t, 3)
+	urls := make([]string, 3)
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	dataDirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	nodes := make([]*exec.Cmd, 3)
+	for i := range nodes {
+		nodes[i] = startClusterNode(t, bin, i, addrs, urls, dataDirs, logDir)
+	}
+	for _, u := range urls {
+		waitHealthy(t, u)
+	}
+
+	// Mixed workload spread over all three nodes: two K values, distinct
+	// seeds, submitted round-robin. Track where each job ended up (the
+	// routing header names the owner when the receiving node forwarded).
+	type smokeJob struct{ id, home, req string }
+	var jobs []smokeJob
+	for i := 0; i < 6; i++ {
+		req := fmt.Sprintf(`{"circuit":"KSA8","k":%d,"options":{"seed":%d,"max_iters":300}}`, 4+i%2, 100+i)
+		entry := urls[i%3]
+		id, routedTo, code := submitRouted(t, entry, req, "")
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("job %d submit = %d", i, code)
+		}
+		home := entry
+		if routedTo != "" {
+			home = routedTo
+		}
+		jobs = append(jobs, smokeJob{id: id, home: home, req: req})
+	}
+	for _, jb := range jobs {
+		waitStatus(t, jb.home, jb.id, "done", 60*time.Second)
+	}
+
+	// Routing + cross-node cache: resubmitting each request through every
+	// node must 200 with one consistent owner and identical bytes.
+	for _, jb := range jobs {
+		ref := get(t, jb.home, "/v1/jobs/"+jb.id+"/result", http.StatusOK)
+		for _, entry := range urls {
+			id, routedTo, code := submitRouted(t, entry, jb.req, "")
+			if code != http.StatusOK {
+				t.Fatalf("warm resubmit via %s = %d, want 200", entry, code)
+			}
+			owner := entry
+			if routedTo != "" {
+				owner = routedTo
+			}
+			if owner != jb.home {
+				t.Fatalf("request routed to %s, first submission went to %s", owner, jb.home)
+			}
+			got := get(t, owner, "/v1/jobs/"+id+"/result", http.StatusOK)
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("result via %s differs from owner copy", entry)
+			}
+		}
+	}
+
+	// Crash recovery: occupy node 2's worker with a never-converging solve
+	// and queue two fast jobs behind it, all pinned local (the forwarded
+	// marker bypasses ring routing), then SIGKILL it mid-queue. The journal
+	// has all three accepts; the restarted node replays them, its worker is
+	// busy with the slow replay again, and the idle peers steal the fast
+	// jobs and complete them under their original ids.
+	slow := `{"circuit":"KSA8","k":4,"options":{"seed":900,"max_iters":1000000,"margin":1e-300,"learn_rate":0.5}}`
+	slowID, _, _ := submitRouted(t, urls[2], slow, "pin")
+	waitStatus(t, urls[2], slowID, "running", 60*time.Second)
+	var fastIDs []string
+	for i := 0; i < 2; i++ {
+		req := fmt.Sprintf(`{"circuit":"KSA8","k":4,"options":{"seed":%d,"max_iters":300}}`, 910+i)
+		id, _, code := submitRouted(t, urls[2], req, "pin")
+		if code != http.StatusAccepted {
+			t.Fatalf("pinned job = %d, want 202 (must queue, not hit)", code)
+		}
+		fastIDs = append(fastIDs, id)
+	}
+	if err := nodes[2].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = nodes[2].Wait()
+
+	nodes[2] = startClusterNode(t, bin, 2, addrs, urls, dataDirs, logDir)
+	waitHealthy(t, urls[2])
+	for _, id := range fastIDs {
+		waitStatus(t, urls[2], id, "done", 120*time.Second)
+		if len(get(t, urls[2], "/v1/jobs/"+id+"/result", http.StatusOK)) == 0 {
+			t.Fatalf("replayed job %s has an empty result", id)
+		}
+	}
+	metrics := string(get(t, urls[2], "/metrics", http.StatusOK))
+	if !strings.Contains(metrics, "gpp_serve_jobs_recovered_total 3") {
+		t.Errorf("node 2 did not report 3 recovered jobs after SIGKILL restart")
+	}
+	// Free node 2's worker (the slow job replayed too) so drain is quick.
+	delReq, _ := http.NewRequest(http.MethodDelete, urls[2]+"/v1/jobs/"+slowID, nil)
+	if resp, err := http.DefaultClient.Do(delReq); err == nil {
+		resp.Body.Close()
+	}
+
+	// Clean drain: SIGTERM must exit 0 within the drain window.
+	for i, node := range nodes {
+		if err := node.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM node %d: %v", i, err)
+		}
+	}
+	for i, node := range nodes {
+		if err := node.Wait(); err != nil {
+			t.Errorf("node %d did not drain cleanly: %v", i, err)
+		}
+	}
+	if t.Failed() {
+		dumpLogs(t, logDir)
+	}
+}
+
+// reservePorts grabs n distinct loopback ports and releases them just
+// before the daemons bind (a small race, fine for a smoke test).
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+// startClusterNode boots cluster member i with tight smoke-test timings
+// and its stderr teed to <logDir>/node<i>.log.
+func startClusterNode(t *testing.T, bin string, i int, addrs, urls, dataDirs []string, logDir string) *exec.Cmd {
+	t.Helper()
+	var peers []string
+	for k, u := range urls {
+		if k != i {
+			peers = append(peers, u)
+		}
+	}
+	cmd := exec.Command(bin,
+		"-addr", addrs[i], "-advertise", urls[i],
+		"-peers", strings.Join(peers, ","),
+		"-data-dir", dataDirs[i],
+		"-workers", "1", "-queue", "16",
+		"-heartbeat", "50ms", "-steal-interval", "50ms",
+		"-steal-lease", "2s", "-peer-timeout", "2s",
+		"-peer-backoff-max", "200ms",
+		"-drain-timeout", "10s")
+	logPath := filepath.Join(logDir, fmt.Sprintf("node%d.log", i))
+	logFile, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	ready := make(chan struct{})
+	go func() {
+		defer logFile.Close()
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logFile, line)
+			if strings.Contains(line, "listening on http://") {
+				select {
+				case ready <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("node %d never reported its listen address (log: %s)", i, logPath)
+	}
+	return cmd
+}
+
+// waitHealthy blocks until the node answers /healthz AND its heartbeats
+// have seen every peer — submissions before that point legitimately
+// degrade to local handling, which is not what the routing assertions
+// want to exercise.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			var h struct {
+				Cluster struct {
+					Nodes      int `json:"nodes"`
+					PeersAlive int `json:"peers_alive"`
+				} `json:"cluster"`
+			}
+			ok := resp.StatusCode == http.StatusOK &&
+				json.NewDecoder(resp.Body).Decode(&h) == nil &&
+				h.Cluster.PeersAlive == h.Cluster.Nodes-1
+			resp.Body.Close()
+			if ok {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy with all peers alive", base)
+}
+
+// submitRouted posts a job document and returns (id, routed-to, code).
+// A non-empty pin sets the forwarded marker, keeping the job on the
+// receiving node regardless of ring ownership.
+func submitRouted(t *testing.T, base, body, pin string) (string, string, int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if pin != "" {
+		req.Header.Set(cluster.ForwardedHeader, pin)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var sb struct {
+		ID string `json:"id"`
+	}
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &sb); err != nil || sb.ID == "" {
+			t.Fatalf("bad submit response %q: %v", raw, err)
+		}
+	}
+	return sb.ID, resp.Header.Get(cluster.RoutedHeader), resp.StatusCode
+}
+
+func dumpLogs(t *testing.T, logDir string) {
+	t.Helper()
+	entries, err := os.ReadDir(logDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(logDir, e.Name()))
+		if err != nil {
+			continue
+		}
+		t.Logf("=== %s ===\n%s", e.Name(), raw)
+	}
+}

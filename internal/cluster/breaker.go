@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-peer circuit breaker: after Threshold consecutive
+// failures the breaker opens and calls fail fast for a cooldown that
+// doubles with each further failure (capped), so a dead peer costs one
+// timed-out request per cooldown instead of one per operation. Any
+// success snaps the breaker closed.
+//
+// The half-open probe is implicit: once the cooldown elapses, Allow
+// returns true again and the next real request is the probe — its
+// outcome either closes the breaker or doubles the cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures before opening
+	base      time.Duration // first cooldown
+	max       time.Duration // cooldown ceiling
+	fails     int
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, base, max time.Duration) *breaker {
+	return &breaker{threshold: threshold, base: base, max: max}
+}
+
+// allow reports whether a request may go out now: breaker closed, or the
+// cooldown of an open breaker has elapsed (the half-open probe).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.After(b.openUntil) || b.openUntil.IsZero()
+}
+
+// success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// failure records one failed request; it returns true when this failure
+// opened (or re-opened) the breaker, for metrics.
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails < b.threshold {
+		return false
+	}
+	cool := b.base << uint(min(b.fails-b.threshold, 16))
+	if cool > b.max || cool <= 0 {
+		cool = b.max
+	}
+	b.openUntil = now.Add(cool)
+	return b.fails == b.threshold
+}
+
+// open reports whether the breaker currently fails fast.
+func (b *breaker) open(now time.Time) bool {
+	return !b.allow(now)
+}

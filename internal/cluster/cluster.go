@@ -1,0 +1,566 @@
+// Package cluster is the stdlib-only clustering layer for gpp-serve: a
+// static-membership, shared-nothing cluster in which any node accepts any
+// request and the nodes cooperate through three mechanisms, all speaking
+// the daemon's existing HTTP/JSON wire format:
+//
+//   - Consistent-hash routing. Every job's cache key (the content address
+//     of its circuit + normalized options) hashes onto a ring of nodes;
+//     the node owning that arc is where the job runs and where its result
+//     lives. A submission landing anywhere else is transparently proxied
+//     to the owner, so clients need no routing logic and identical
+//     requests always converge on one solve.
+//
+//   - Peer cache read-through. Result-cache keys are deterministic and
+//     byte-identical at any worker count, so a cache hit anywhere is a
+//     hit everywhere: a node missing locally consults the key's owner and
+//     up to ReadReplicas ring successors before solving, and persists a
+//     fetched blob into its own store so the hit is durable locally.
+//
+//   - Work stealing. An idle node polls busy peers for queued jobs; the
+//     owner hands a job over through a WAL-journaled handoff record, the
+//     thief solves it and posts the result back, and a lease timer
+//     reclaims the job if the thief dies — exactly one completion is
+//     recorded under the original job id either way.
+//
+// Failure handling is defensive everywhere: every peer has a circuit
+// breaker with exponential-backoff cooldowns, peers are health-checked by
+// periodic heartbeats, and any peer operation that fails degrades to
+// single-node behavior (solve locally, skip the peer) rather than
+// surfacing an error to the client.
+//
+// This package owns membership, the ring, breakers, heartbeats, and the
+// client side of the node-to-node endpoints; the server side (the
+// /v1/cluster/* handlers, the steal/reclaim loops, the journal records)
+// lives in internal/serve, which composes a Cluster into the daemon.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gpp/internal/obs"
+)
+
+// ForwardedHeader marks a node-to-node proxied submission; a receiving
+// node never re-forwards a request carrying it, which is what keeps
+// routing loops impossible even with inconsistent peer configs.
+const ForwardedHeader = "X-Gpp-Forwarded"
+
+// RoutedHeader names the owner a submission was proxied to, set on the
+// response the originating node relays back to the client.
+const RoutedHeader = "X-Gpp-Routed-To"
+
+// Config is the static cluster membership plus the tuning knobs. The zero
+// value of every knob means its default; Self and Peers are required for
+// a cluster to exist at all (serve treats a nil/empty config as
+// single-node mode).
+type Config struct {
+	// Self is this node's advertised base URL (scheme://host:port) — the
+	// identity peers know it by. It must match the URL in the peers'
+	// configs byte-for-byte after normalization.
+	Self string
+
+	// Peers are the other nodes' base URLs. Self is filtered out if
+	// present, so every node can share one literal membership list.
+	Peers []string
+
+	// ReadReplicas is how many ring successors (beyond the owner) a cache
+	// read-through consults. Default 1.
+	ReadReplicas int
+
+	// HeartbeatEvery is the peer health-check period. Default 2s.
+	HeartbeatEvery time.Duration
+
+	// StealEvery is how often an idle node polls busy peers for queued
+	// jobs. Default 1s.
+	StealEvery time.Duration
+
+	// StealLease is how long a stolen job may stay out before its owner
+	// reclaims and re-enqueues it. Default 30s.
+	StealLease time.Duration
+
+	// PeerTimeout bounds every node-to-node request. Default 3s.
+	PeerTimeout time.Duration
+
+	// FailureThreshold is how many consecutive failures open a peer's
+	// circuit breaker. Default 3.
+	FailureThreshold int
+
+	// BackoffBase and BackoffMax bound the breaker cooldown: the first
+	// open lasts BackoffBase and doubles per further failure up to
+	// BackoffMax. Defaults 500ms and 30s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// VirtualNodes is the ring points per node. Default 64.
+	VirtualNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReadReplicas <= 0 {
+		c.ReadReplicas = 1
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 2 * time.Second
+	}
+	if c.StealEvery <= 0 {
+		c.StealEvery = time.Second
+	}
+	if c.StealLease <= 0 {
+		c.StealLease = 30 * time.Second
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 3 * time.Second
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 500 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 30 * time.Second
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	return c
+}
+
+// NormalizeURL canonicalizes a node URL: https?://host[:port], no path,
+// no trailing slash; a bare host:port gets http://.
+func NormalizeURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("cluster: empty node URL")
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("cluster: node URL %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: node URL %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: node URL %q: missing host", raw)
+	}
+	if u.Path != "" && u.Path != "/" {
+		return "", fmt.Errorf("cluster: node URL %q: must not have a path", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// peer is one remote node's live state: its breaker plus what the last
+// heartbeat reported. alive/queueDepth are refreshed by the heartbeat
+// loop and read by routing and steal targeting under c.mu.
+type peer struct {
+	url        string
+	brk        *breaker
+	alive      bool
+	draining   bool
+	queueDepth int
+	lastSeen   time.Time
+}
+
+// Cluster is one node's view of the membership: the ring, the peers'
+// breakers and health, and the client side of every node-to-node call.
+type Cluster struct {
+	cfg    Config
+	self   string
+	ring   *ring
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peer // url → state; never includes self
+
+	hbOnce   sync.Once
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New validates and normalizes the membership and builds the cluster.
+// Heartbeats do not start until Start.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	self, err := NormalizeURL(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: self: %w", err)
+	}
+	members := []string{self}
+	peers := make(map[string]*peer)
+	for _, p := range cfg.Peers {
+		u, err := NormalizeURL(p)
+		if err != nil {
+			return nil, err
+		}
+		if u == self {
+			continue
+		}
+		if _, dup := peers[u]; dup {
+			continue
+		}
+		peers[u] = &peer{
+			url: u,
+			brk: newBreaker(cfg.FailureThreshold, cfg.BackoffBase, cfg.BackoffMax),
+		}
+		members = append(members, u)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers besides self %s", self)
+	}
+	return &Cluster{
+		cfg:    cfg,
+		self:   self,
+		ring:   newRing(members, cfg.VirtualNodes),
+		client: &http.Client{Timeout: cfg.PeerTimeout},
+		peers:  peers,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Self returns this node's normalized advertised URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Config returns the normalized configuration (defaults filled).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Nodes returns the full membership (self included), ring input order.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.ring.nodes...) }
+
+// Owner returns the node owning key and whether that node is this one.
+func (c *Cluster) Owner(key string) (node string, self bool) {
+	node = c.ring.owner(key)
+	return node, node == c.self
+}
+
+// ReadPath returns the peers a cache read-through for key should consult,
+// in order: the key's owner first, then up to ReadReplicas ring
+// successors. Self is excluded (the caller already missed locally), as
+// are peers whose breaker is open.
+func (c *Cluster) ReadPath(key string) []string {
+	cand := c.ring.successors(key, 1+c.cfg.ReadReplicas)
+	now := time.Now()
+	out := cand[:0]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range cand {
+		if n == c.self {
+			continue
+		}
+		if p := c.peers[n]; p != nil && p.brk.allow(now) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Alive reports whether a node looks routable: self always is; a peer is
+// when its last heartbeat succeeded, it was not draining, and its breaker
+// is closed.
+func (c *Cluster) Alive(node string) bool {
+	if node == c.self {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[node]
+	return ok && p.alive && !p.draining && p.brk.allow(time.Now())
+}
+
+// StealTargets returns the alive peers ordered by reported queue depth,
+// deepest first — the nodes most worth stealing from. Peers with an empty
+// queue at last heartbeat are excluded.
+func (c *Cluster) StealTargets() []string {
+	c.mu.Lock()
+	type cand struct {
+		url   string
+		depth int
+	}
+	now := time.Now()
+	var cands []cand
+	for _, p := range c.peers {
+		if p.alive && !p.draining && p.queueDepth > 0 && p.brk.allow(now) {
+			cands = append(cands, cand{p.url, p.queueDepth})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].depth != cands[j].depth {
+			return cands[i].depth > cands[j].depth
+		}
+		return cands[i].url < cands[j].url
+	})
+	out := make([]string, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.url
+	}
+	return out
+}
+
+// PeersAlive counts peers whose last heartbeat succeeded.
+func (c *Cluster) PeersAlive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, p := range c.peers {
+		if p.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches the heartbeat loop (idempotent). The first sweep runs
+// immediately so a freshly booted node learns its peers without waiting a
+// full period.
+func (c *Cluster) Start() {
+	c.hbOnce.Do(func() {
+		go func() {
+			defer close(c.done)
+			c.sweep()
+			t := time.NewTicker(c.cfg.HeartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-t.C:
+					c.sweep()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the heartbeat loop. Idempotent; safe if Start never ran.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	select {
+	case <-c.done:
+	default:
+		c.hbOnce.Do(func() { close(c.done) }) // Start never ran; nothing to wait for
+		<-c.done
+	}
+}
+
+// pingBody mirrors the serve daemon's GET /v1/cluster/ping document.
+type pingBody struct {
+	Node       string `json:"node"`
+	Draining   bool   `json:"draining"`
+	QueueDepth int    `json:"queue_depth"`
+	Inflight   int64  `json:"inflight"`
+}
+
+// sweep heartbeats every peer once and refreshes the alive gauge.
+func (c *Cluster) sweep() {
+	for _, u := range c.peerURLs() {
+		c.heartbeat(u)
+	}
+	mPeersAlive.Set(float64(c.PeersAlive()))
+}
+
+func (c *Cluster) peerURLs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.peers))
+	for u := range c.peers {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Cluster) heartbeat(u string) {
+	mHeartbeats.Inc()
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PeerTimeout)
+	defer cancel()
+	var pb pingBody
+	err := c.getJSON(ctx, u, "/v1/cluster/ping", &pb)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.peers[u]
+	if p == nil {
+		return
+	}
+	if err != nil {
+		mHeartbeatFailures.Inc()
+		p.alive = false
+		p.queueDepth = 0
+		return
+	}
+	p.alive = true
+	p.draining = pb.Draining
+	p.queueDepth = pb.QueueDepth
+	p.lastSeen = time.Now()
+}
+
+// do runs one node-to-node request with breaker accounting: an open
+// breaker fails fast, a transport error counts against the breaker, any
+// HTTP response (status irrelevant — the peer is alive) counts as
+// success. The caller owns resp.Body.
+func (c *Cluster) do(req *http.Request, peerURL string) (*http.Response, error) {
+	now := time.Now()
+	c.mu.Lock()
+	p := c.peers[peerURL]
+	c.mu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("cluster: unknown peer %s", peerURL)
+	}
+	if !p.brk.allow(now) {
+		return nil, fmt.Errorf("cluster: peer %s breaker open", peerURL)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if p.brk.failure(time.Now()) {
+			mBreakerOpens.Inc()
+		}
+		c.mu.Lock()
+		p.alive = false
+		c.mu.Unlock()
+		return nil, err
+	}
+	p.brk.success()
+	return resp, nil
+}
+
+func (c *Cluster) getJSON(ctx context.Context, peerURL, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req, peerURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: GET %s%s: %s", peerURL, path, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
+}
+
+// blobMaxBytes bounds a fetched result blob; result documents are a few
+// hundred KB at million-gate scale (labels dominate), so 64 MiB is
+// generous headroom while still refusing a pathological peer.
+const blobMaxBytes = 64 << 20
+
+// FetchBlob is the peer read-through: it walks key's ReadPath and returns
+// the first peer's blob bytes (the serve cacheBlob document). ok is false
+// when no consulted peer had the key.
+func (c *Cluster) FetchBlob(ctx context.Context, key string) (data []byte, from string, ok bool) {
+	for _, peerURL := range c.ReadPath(key) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL+"/v1/cluster/blob/"+key, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.do(req, peerURL)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, blobMaxBytes))
+		resp.Body.Close()
+		if err != nil || len(raw) == 0 {
+			continue
+		}
+		mBlobFetchHits.Inc()
+		return raw, peerURL, true
+	}
+	mBlobFetchMisses.Inc()
+	return nil, "", false
+}
+
+// Steal asks one peer for a queued job. It returns the peer's handoff
+// grant document; ok is false when the peer had nothing to give (204) or
+// the request failed.
+func (c *Cluster) Steal(ctx context.Context, peerURL string) (grant []byte, ok bool) {
+	body, err := json.Marshal(map[string]string{"thief": c.self})
+	if err != nil {
+		return nil, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peerURL+"/v1/cluster/steal", bytes.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req, peerURL)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, blobMaxBytes))
+	if err != nil || len(raw) == 0 {
+		return nil, false
+	}
+	return raw, true
+}
+
+// Complete posts a stolen job's result back to its owner. A 2xx from the
+// owner — including "already finished, ignored" — is success.
+func (c *Cluster) Complete(ctx context.Context, ownerURL string, doc []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ownerURL+"/v1/cluster/complete", bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req, ownerURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("cluster: complete on %s: %s: %s", ownerURL, resp.Status, raw)
+	}
+	return nil
+}
+
+// Forward proxies a submission body to the owner node, marked with the
+// forwarded header so the owner handles it locally. The caller relays the
+// response (and owns its body).
+func (c *Cluster) Forward(ctx context.Context, ownerURL string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ownerURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, c.self)
+	return c.do(req, ownerURL)
+}
+
+// Cluster metrics, on the shared process registry like every other
+// subsystem so one /metrics scrape covers the node's whole stack.
+var (
+	mPeersAlive = obs.Default().Gauge("gpp_cluster_peers_alive",
+		"peers whose last heartbeat succeeded")
+	mHeartbeats = obs.Default().Counter("gpp_cluster_heartbeats_total",
+		"peer heartbeat probes sent")
+	mHeartbeatFailures = obs.Default().Counter("gpp_cluster_heartbeat_failures_total",
+		"peer heartbeat probes that failed")
+	mBreakerOpens = obs.Default().Counter("gpp_cluster_breaker_opens_total",
+		"peer circuit breakers tripped open")
+	mBlobFetchHits = obs.Default().Counter("gpp_cluster_blob_fetch_hits_total",
+		"peer read-throughs that found the blob on a peer")
+	mBlobFetchMisses = obs.Default().Counter("gpp_cluster_blob_fetch_misses_total",
+		"peer read-throughs that exhausted the read path empty-handed")
+)

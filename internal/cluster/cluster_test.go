@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- ring ---
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing(nodes, 64)
+	r2 := newRing(nodes, 64)
+	if len(r1.points) != 3*64 {
+		t.Fatalf("points = %d, want %d", len(r1.points), 3*64)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if o1, o2 := r1.owner(key), r2.owner(key); o1 != o2 {
+			t.Fatalf("owner(%q) nondeterministic: %q vs %q", key, o1, o2)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(nodes, 64)
+	counts := make(map[string]int)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, node := range nodes {
+		got := counts[node]
+		// Fair share is 1000; vnode smoothing should keep each node
+		// well inside a 2x band.
+		if got < n/6 || got > n/2 {
+			t.Errorf("node %s owns %d of %d keys, outside [%d,%d]", node, got, n, n/6, n/2)
+		}
+	}
+}
+
+func TestRingStabilityUnderNodeRemoval(t *testing.T) {
+	all := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rAll := newRing(all, 64)
+	rTwo := newRing(all[:2], 64)
+	moved := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := rAll.owner(key)
+		after := rTwo.owner(key)
+		if before != "http://c:1" && before != after {
+			moved++
+		}
+	}
+	// Removing c must not reshuffle keys between a and b.
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving nodes after removal", moved)
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(nodes, 32)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		succ := r.successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%q,3) = %v, want 3 distinct nodes", key, succ)
+		}
+		if succ[0] != r.owner(key) {
+			t.Fatalf("successors(%q)[0] = %q, owner = %q", key, succ[0], r.owner(key))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("successors(%q) repeats %q: %v", key, s, succ)
+			}
+			seen[s] = true
+		}
+	}
+	// Asking for more nodes than exist caps at membership size.
+	if got := r.successors("k", 10); len(got) != 3 {
+		t.Fatalf("successors capped = %v, want 3", got)
+	}
+}
+
+// --- breaker ---
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second, 30*time.Second)
+	if !b.allow(now) {
+		t.Fatal("new breaker should allow")
+	}
+	if b.failure(now) {
+		t.Fatal("1st failure should not open")
+	}
+	if b.failure(now) {
+		t.Fatal("2nd failure should not open")
+	}
+	if !b.failure(now) {
+		t.Fatal("3rd failure should open")
+	}
+	if b.allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker inside cooldown should fail fast")
+	}
+	// Cooldown elapsed: half-open probe allowed.
+	if !b.allow(now.Add(1100 * time.Millisecond)) {
+		t.Fatal("breaker should half-open after cooldown")
+	}
+	// Probe fails: cooldown doubles from the new failure time.
+	b.failure(now.Add(1100 * time.Millisecond))
+	if b.allow(now.Add(2 * time.Second)) {
+		t.Fatal("cooldown should have doubled to 2s")
+	}
+	// Probe succeeds: snaps closed.
+	b.success()
+	if !b.allow(now) {
+		t.Fatal("success should close the breaker")
+	}
+	if b.fails != 0 {
+		t.Fatalf("fails = %d after success, want 0", b.fails)
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(1, time.Second, 8*time.Second)
+	for i := 0; i < 40; i++ {
+		b.failure(now)
+	}
+	if !b.allow(now.Add(8*time.Second + time.Millisecond)) {
+		t.Fatal("cooldown should be capped at max")
+	}
+	if b.allow(now.Add(7 * time.Second)) {
+		t.Fatal("cooldown should be the full max")
+	}
+}
+
+// --- config / membership ---
+
+func TestNormalizeURL(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8080":        "http://127.0.0.1:8080",
+		"http://host:1/":        "http://host:1",
+		" https://host:2 ":      "https://host:2",
+		"http://HOST.example:3": "http://HOST.example:3",
+	}
+	for in, want := range cases {
+		got, err := NormalizeURL(in)
+		if err != nil {
+			t.Fatalf("NormalizeURL(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("NormalizeURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "ftp://host:1", "http://", "http://host:1/path"} {
+		if _, err := NormalizeURL(bad); err == nil {
+			t.Errorf("NormalizeURL(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNewFiltersSelfAndDups(t *testing.T) {
+	c, err := New(Config{
+		Self:  "127.0.0.1:9001",
+		Peers: []string{"http://127.0.0.1:9001", "127.0.0.1:9002", "http://127.0.0.1:9002/", "127.0.0.1:9003"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Self(); got != "http://127.0.0.1:9001" {
+		t.Fatalf("Self = %q", got)
+	}
+	if n := len(c.Nodes()); n != 3 {
+		t.Fatalf("membership = %v, want 3 nodes", c.Nodes())
+	}
+	if _, err := New(Config{Self: "h:1", Peers: []string{"h:1"}}); err == nil {
+		t.Fatal("self-only membership should be rejected")
+	}
+}
+
+func TestOwnerAgreesAcrossNodes(t *testing.T) {
+	members := []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"}
+	var views []*Cluster
+	for i, self := range members {
+		peers := append(append([]string{}, members[:i]...), members[i+1:]...)
+		c, err := New(Config{Self: self, Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		views = append(views, c)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("sha-%d", i)
+		owner0, _ := views[0].Owner(key)
+		for _, v := range views[1:] {
+			if o, _ := v.Owner(key); o != owner0 {
+				t.Fatalf("views disagree on owner(%q): %q vs %q", key, owner0, o)
+			}
+		}
+	}
+}
+
+// --- heartbeats, fetch, breaker integration over real HTTP ---
+
+func TestHeartbeatAndFetchBlob(t *testing.T) {
+	var pings atomic.Int64
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/cluster/ping":
+			pings.Add(1)
+			fmt.Fprintf(w, `{"node":"me","draining":false,"queue_depth":2,"inflight":0}`)
+		case r.URL.Path == "/v1/cluster/blob/havekey":
+			w.Write([]byte(`{"labels":[0,1],"body":{}}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer peerSrv.Close()
+
+	c, err := New(Config{
+		Self:           "127.0.0.1:59999",
+		Peers:          []string{peerSrv.URL},
+		HeartbeatEvery: 20 * time.Millisecond,
+		ReadReplicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Start()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for c.PeersAlive() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never became alive via heartbeat")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !c.Alive(peerSrv.URL) {
+		t.Fatal("Alive(peer) = false after successful heartbeat")
+	}
+	targets := c.StealTargets()
+	if len(targets) != 1 || targets[0] != peerSrv.URL {
+		t.Fatalf("StealTargets = %v, want [%s]", targets, peerSrv.URL)
+	}
+
+	ctx := context.Background()
+	if data, from, ok := c.FetchBlob(ctx, "havekey"); !ok || from != peerSrv.URL || len(data) == 0 {
+		t.Fatalf("FetchBlob(havekey) = %q from %q ok=%v", data, from, ok)
+	}
+	if _, _, ok := c.FetchBlob(ctx, "nokey"); ok {
+		t.Fatal("FetchBlob(nokey) should miss")
+	}
+	if pings.Load() == 0 {
+		t.Fatal("no pings recorded")
+	}
+}
+
+func TestBreakerTripsOnDeadPeerAndDegrades(t *testing.T) {
+	peerSrv := httptest.NewServer(http.NotFoundHandler())
+	dead := peerSrv.URL
+	peerSrv.Close() // connection refused from here on
+
+	c, err := New(Config{
+		Self:             "127.0.0.1:59998",
+		Peers:            []string{dead},
+		FailureThreshold: 2,
+		BackoffBase:      time.Hour, // stays open for the whole test
+		PeerTimeout:      200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, _, ok := c.FetchBlob(ctx, "k"); ok {
+			t.Fatal("fetch from dead peer should fail")
+		}
+	}
+	if c.Alive(dead) {
+		t.Fatal("dead peer should not be alive")
+	}
+	// Breaker now open: the read path is empty, so the fetch degrades to
+	// an instant miss instead of another timed-out dial.
+	if got := c.ReadPath("k"); len(got) != 0 {
+		t.Fatalf("ReadPath with open breaker = %v, want empty", got)
+	}
+	start := time.Now()
+	if _, _, ok := c.FetchBlob(ctx, "k"); ok {
+		t.Fatal("fetch should still miss")
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("breaker-open fetch took %v, want fail-fast", d)
+	}
+}
+
+func TestStealAndCompleteWire(t *testing.T) {
+	var gotThief atomic.Value
+	var completed atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/cluster/steal":
+			var req struct {
+				Thief string `json:"thief"`
+			}
+			if err := jsonDecode(r, &req); err != nil {
+				w.WriteHeader(400)
+				return
+			}
+			gotThief.Store(req.Thief)
+			if completed.Load() > 0 { // nothing left after first grant
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			w.Write([]byte(`{"id":"j1","remaining_ms":1000}`))
+		case "/v1/cluster/complete":
+			completed.Add(1)
+			w.WriteHeader(http.StatusOK)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer owner.Close()
+
+	c, err := New(Config{Self: "127.0.0.1:59997", Peers: []string{owner.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	grant, ok := c.Steal(ctx, owner.URL)
+	if !ok || len(grant) == 0 {
+		t.Fatalf("Steal = %q ok=%v", grant, ok)
+	}
+	if th, _ := gotThief.Load().(string); th != c.Self() {
+		t.Fatalf("owner saw thief %q, want %q", th, c.Self())
+	}
+	if err := c.Complete(ctx, owner.URL, []byte(`{"id":"j1"}`)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if _, ok := c.Steal(ctx, owner.URL); ok {
+		t.Fatal("204 steal should report no work")
+	}
+}
+
+func jsonDecode(r *http.Request, v any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Consistent-hash ring over the cluster membership. Every node is
+// projected onto the ring at VirtualNodes points (hash of "url#i"), and a
+// cache key's owner is the node at the first ring point clockwise of the
+// key's hash. Virtual nodes smooth the key distribution: with 64 vnodes
+// per node a 3-node ring assigns each node 33%±a few percent of the key
+// space, and removing a node moves only that node's arcs — the other
+// nodes' assignments are untouched, which is what makes the routing
+// stable under single-node failures.
+//
+// The ring is immutable after construction (membership is static
+// configuration), so lookups are lock-free binary searches.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // distinct members in input order
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// hashPoint maps an arbitrary string onto the ring's key space: the first
+// 8 bytes of its sha256, big-endian. sha256 rather than a fast
+// non-cryptographic hash because ring placement is configuration-time
+// work, and the same digest already names blobs everywhere else.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring over nodes (deduplicated, order preserved) with
+// vnodes virtual points each.
+func newRing(nodes []string, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &ring{}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	r.points = make([]ringPoint, 0, len(r.nodes)*vnodes)
+	for _, n := range r.nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashPoint(n + "#" + itoa(i)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node // total order: ties break by name
+	})
+	return r
+}
+
+// itoa avoids strconv for the two-digit vnode suffix hot path at build
+// time; plain and allocation-light.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// owner returns the node owning key: the first ring point at or clockwise
+// of the key's hash, wrapping at the top.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// successors returns up to n distinct nodes in ring order starting at
+// key's owner — the owner itself first, then the replica candidates a
+// read-through consults after it.
+func (r *ring) successors(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for off := 0; off < len(r.points) && len(out) < n; off++ {
+		p := r.points[(i+off)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

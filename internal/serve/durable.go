@@ -27,11 +27,19 @@ import (
 //     its job running again, not a 404 — and the journal compacts down
 //     to the still-live records.
 //
-// Journal record schema: op "accept" carries a journaledJob document; any
-// other op ("done", "failed", "cancelled") marks that id terminal.
+// Journal record schema: op "accept" carries a journaledJob document;
+// "done", "failed", and "cancelled" mark that id terminal; "handoff"
+// records a steal grant (informational — the accept stays live, so a
+// crash mid-steal replays the job). Unknown ops are ignored on replay.
 type durable struct {
 	st  *store.Store
 	jnl *store.Journal
+
+	// blobs is where circuits and cache entries live, behind the Backend
+	// seam: every durable read/write goes through it, so pointing it at a
+	// remote object store is a one-line change here. Only maintenance
+	// (boot GC) reaches for the concrete on-disk store.
+	blobs store.Backend
 
 	// mu guards live, the accept records not yet marked terminal — the
 	// compaction set.
@@ -78,12 +86,19 @@ func openDurable(cfg Config) (*durable, []*journaledJob, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	d := &durable{st: st, jnl: jnl, live: make(map[string]store.Record)}
+	d := &durable{st: st, jnl: jnl, blobs: st.Blobs, live: make(map[string]store.Record)}
 	for _, rec := range recs {
-		if rec.Op == "accept" {
+		switch rec.Op {
+		case "accept":
 			d.live[rec.ID] = rec
-		} else {
+		case string(StatusDone), string(StatusFailed), string(StatusCancelled):
 			delete(d.live, rec.ID)
+		default:
+			// "handoff" (and any future informational op) does NOT
+			// terminate the accept record: a node that crashed after
+			// granting a steal re-enqueues the job — the thief's result,
+			// if it ever arrives, dedupes against the re-run via
+			// claimFinish, so the job still finishes exactly once.
 		}
 	}
 	// Unfinished jobs, oldest first (map iteration is unordered; the
@@ -112,7 +127,7 @@ func openDurable(cfg Config) (*durable, []*journaledJob, error) {
 
 // loadCircuit fetches and decodes a journaled job's circuit blob.
 func (d *durable) loadCircuit(jj *journaledJob) (*netlist.Circuit, error) {
-	raw, err := d.st.Blobs.Get(jj.CircuitBlob)
+	raw, err := d.blobs.Get(jj.CircuitBlob)
 	if err != nil {
 		return nil, fmt.Errorf("job %s circuit blob: %w", jj.ID, err)
 	}
@@ -135,7 +150,7 @@ func (d *durable) acceptJob(j *job, req *JobRequest) error {
 	if err != nil {
 		return fmt.Errorf("serve: journal circuit: %w", err)
 	}
-	blobKey, err := d.st.Blobs.Put(circJSON)
+	blobKey, err := d.blobs.Put(circJSON)
 	if err != nil {
 		return fmt.Errorf("serve: journal circuit: %w", err)
 	}
@@ -162,6 +177,22 @@ func (d *durable) acceptJob(j *job, req *JobRequest) error {
 	d.mu.Lock()
 	d.live[j.id] = rec
 	d.mu.Unlock()
+	return nil
+}
+
+// handoffJob journals a steal handoff. The record is informational — the
+// accept record stays live, so a crash on either side replays the job —
+// but it must be durable before the grant leaves the process: it is the
+// forensic evidence of where the job went, and the fsync is the point of
+// no return after which the thief may be executing.
+func (d *durable) handoffJob(id, thief string) error {
+	data, err := json.Marshal(map[string]string{"thief": thief})
+	if err != nil {
+		return fmt.Errorf("serve: journal handoff: %w", err)
+	}
+	if _, err := d.jnl.Append(store.Record{Op: "handoff", ID: id, Data: data}); err != nil {
+		return fmt.Errorf("serve: journal handoff: %w", err)
+	}
 	return nil
 }
 
@@ -218,7 +249,7 @@ func (d *durable) compactLocked() error {
 func (d *durable) persistEntry(e *cacheEntry) {
 	data, err := json.Marshal(&cacheBlob{Labels: e.labels, Body: e.body})
 	if err == nil {
-		err = d.st.Blobs.PutKeyed(e.key, data)
+		err = d.blobs.PutKeyed(e.key, data)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpp-serve: persist cache entry: %v\n", err)
@@ -230,7 +261,7 @@ func (d *durable) persistEntry(e *cacheEntry) {
 // loadEntry reads a cache entry back from the blob store; ok is false on
 // any miss or damage (damaged blobs are quarantined by the store).
 func (d *durable) loadEntry(key string) (*cacheEntry, bool) {
-	raw, err := d.st.Blobs.Get(key)
+	raw, err := d.blobs.Get(key)
 	if err != nil {
 		return nil, false
 	}

@@ -38,6 +38,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /v1/debug/ops", s.handleOps)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Node-to-node endpoints; they answer 404 on a non-clustered daemon.
+	s.mux.HandleFunc("GET /v1/cluster/ping", s.handleClusterPing)
+	s.mux.HandleFunc("GET /v1/cluster/blob/{key}", s.handleClusterBlob)
+	s.mux.HandleFunc("POST /v1/cluster/steal", s.handleClusterSteal)
+	s.mux.HandleFunc("POST /v1/cluster/complete", s.handleClusterComplete)
 	debug := obs.NewMux(obs.Default())
 	s.mux.Handle("GET /metrics", debug)
 	s.mux.Handle("/debug/", debug)
@@ -144,15 +149,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
 		return
 	}
+	// The body is slurped (not stream-decoded) so a submission owned by
+	// another cluster node can be forwarded verbatim.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
 	var req JobRequest
-	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := json.Unmarshal(raw, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	j, status, err := s.buildJob(&req)
 	if err != nil {
 		writeError(w, status, "%v", err)
+		return
+	}
+	// Consistent-hash routing: if another node owns this job's cache key,
+	// proxy the submission there (response relayed as-is). Falls through
+	// to local handling whenever the owner can't take it.
+	if s.maybeForward(w, r, &req, j, raw) {
 		return
 	}
 
@@ -302,6 +319,11 @@ func (s *Server) makeJob(c *netlist.Circuit, name string, req *JobRequest) (*job
 	if timeout > s.cfg.MaxJobTimeout {
 		timeout = s.cfg.MaxJobTimeout
 	}
+	// Keep the request for steal grants, minus the circuit payload (it
+	// ships separately as canonical circuit JSON; a DEF upload would
+	// bloat every grant).
+	reqCopy := *req
+	reqCopy.Circuit, reqCopy.DEF, reqCopy.FromJob = "", "", ""
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	j := &job{
 		id:          newJobID(),
@@ -315,6 +337,7 @@ func (s *Server) makeJob(c *netlist.Circuit, name string, req *JobRequest) (*job
 		ml:          ml,
 		opts:        opts,
 		plan:        req.Plan,
+		req:         &reqCopy,
 		ctx:         ctx,
 		cancel:      cancel,
 		broker:      newBroker(),
@@ -407,7 +430,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
 			filter = st
 		default:
-			writeError(w, http.StatusBadRequest, "bad status %q", v)
+			writeError(w, http.StatusBadRequest,
+				"bad status %q; valid statuses: %s, %s, %s, %s, %s", v,
+				StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled)
 			return
 		}
 	}
@@ -606,17 +631,24 @@ func writeSSE(w io.Writer, scratch []byte, e obs.Event) []byte {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type healthCluster struct {
+		Self       string `json:"self"`
+		Nodes      int    `json:"nodes"`
+		PeersAlive int    `json:"peers_alive"`
+		Stolen     int    `json:"stolen_out"`
+	}
 	type health struct {
-		Status      string  `json:"status"`
-		UptimeS     float64 `json:"uptime_s"`
-		Jobs        int     `json:"jobs"`
-		Inflight    int64   `json:"inflight"`
-		QueueDepth  int     `json:"queue_depth"`
-		QueueCap    int     `json:"queue_cap"`
-		CacheSize   int     `json:"cache_entries"`
-		Workers     int     `json:"workers"`
-		DataDir     string  `json:"data_dir,omitempty"`
-		JournalLive int     `json:"journal_live,omitempty"`
+		Status      string         `json:"status"`
+		UptimeS     float64        `json:"uptime_s"`
+		Jobs        int            `json:"jobs"`
+		Inflight    int64          `json:"inflight"`
+		QueueDepth  int            `json:"queue_depth"`
+		QueueCap    int            `json:"queue_cap"`
+		CacheSize   int            `json:"cache_entries"`
+		Workers     int            `json:"workers"`
+		DataDir     string         `json:"data_dir,omitempty"`
+		JournalLive int            `json:"journal_live,omitempty"`
+		Cluster     *healthCluster `json:"cluster,omitempty"`
 	}
 	h := health{
 		Status:     "ok",
@@ -633,6 +665,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.durable.mu.Lock()
 		h.JournalLive = len(s.durable.live)
 		s.durable.mu.Unlock()
+	}
+	if s.cluster != nil {
+		s.stolenMu.Lock()
+		out := len(s.stolen)
+		s.stolenMu.Unlock()
+		h.Cluster = &healthCluster{
+			Self:       s.cluster.Self(),
+			Nodes:      len(s.cluster.Nodes()),
+			PeersAlive: s.cluster.PeersAlive(),
+			Stolen:     out,
+		}
 	}
 	code := http.StatusOK
 	if s.Draining() {

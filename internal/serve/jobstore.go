@@ -39,6 +39,8 @@ const (
 	kindJobDone      obs.Kind = "job_done"
 	kindJobFailed    obs.Kind = "job_failed"
 	kindJobCancelled obs.Kind = "job_cancelled"
+	kindJobStolen    obs.Kind = "job_stolen"    // handed to an idle peer
+	kindJobReclaimed obs.Kind = "job_reclaimed" // thief lease expired; re-enqueued
 )
 
 // job is one partition request moving through the daemon. The immutable
@@ -56,6 +58,11 @@ type job struct {
 	ml          *multilevel.Options // nil = flat solve; normalized V-cycle knobs otherwise
 	opts        partition.Options
 	plan        bool
+
+	// req is the originating request with the circuit payload cleared
+	// (the circuit travels separately) — what a steal grant ships so the
+	// thief rebuilds the identical job, cache key included.
+	req *JobRequest
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -81,6 +88,39 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// finishing is the finish claim: once a cluster exists, a job can
+	// have two would-be finishers (a thief's posted result and a local
+	// re-solve after lease reclaim), and claimFinish lets exactly one
+	// through. missCounted plays the same role for cache-miss accounting
+	// across a steal + reclaim re-run.
+	finishing   bool
+	missCounted bool
+}
+
+// claimFinish atomically claims the right to finish this job; exactly one
+// caller wins over the job's lifetime. Every terminal transition after
+// admission must go through it.
+func (j *job) claimFinish() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finishing || j.status.terminal() {
+		return false
+	}
+	j.finishing = true
+	return true
+}
+
+// countMiss claims the job's single cache-miss accounting slot; the first
+// caller gets true.
+func (j *job) countMiss() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.missCounted {
+		return false
+	}
+	j.missCounted = true
+	return true
 }
 
 func newJobID() string {

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"gpp/internal/cellib"
+	"gpp/internal/cluster"
 	"gpp/internal/obs"
 )
 
@@ -114,6 +115,14 @@ type Config struct {
 	// comment line that keeps proxies from dropping long solves. 0 means
 	// the 15s default; negative disables keepalives.
 	SSEKeepalive time.Duration
+
+	// Cluster, when set, makes this daemon a member of a static-membership
+	// cluster: submissions route to the node owning their cache key, local
+	// cache misses read through to peers before solving, and idle nodes
+	// steal queued jobs from busy ones. Nil (the default) is single-node
+	// mode; every cluster code path also degrades to single-node behavior
+	// when peers are unreachable. See internal/cluster.
+	Cluster *cluster.Config
 }
 
 func (c Config) withDefaults() Config {

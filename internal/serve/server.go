@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"gpp/internal/cluster"
 	"gpp/internal/multilevel"
 	"gpp/internal/obs"
 	"gpp/internal/partition"
@@ -37,6 +38,14 @@ type Server struct {
 	workers  sync.WaitGroup
 	baseCtx  context.Context
 	baseStop context.CancelFunc
+
+	// Cluster membership (nil in single-node mode) and the jobs currently
+	// out on loan to thieves, keyed by job id.
+	cluster  *cluster.Cluster
+	stolenMu sync.Mutex
+	stolen   map[string]*stolenJob
+	loopStop chan struct{}  // closed at drain; stops steal/reclaim loops
+	loops    sync.WaitGroup // steal + reclaim loop goroutines
 }
 
 // New builds a Server and starts its worker pool. With Config.DataDir
@@ -63,6 +72,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	s.routes()
+	// Cluster state must exist before the first worker runs: recovery can
+	// hand a replayed job to a worker immediately, and its peer-cache
+	// read-through reads s.cluster.
+	if err := s.startCluster(); err != nil {
+		return nil, err
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func() {
@@ -156,24 +171,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		if s.loopStop != nil {
+			close(s.loopStop)
+		}
 	}
 	s.qmu.Unlock()
 
+	// The loop join covers a stolen job this node is solving for a peer
+	// (stealLoop runs it synchronously), so drain extends to borrowed
+	// work; waitStolen below covers the mirror case of jobs on loan.
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
+		s.loops.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		s.closeDurable()
-		return nil
 	case <-ctx.Done():
 		s.baseStop() // cancel every job context; drains promptly
 		<-done
-		s.closeDurable()
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.waitStolen(ctx)
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+	s.closeDurable()
+	return err
 }
 
 // closeDurable releases the journal handle once, after the last worker
@@ -233,15 +259,25 @@ func (s *Server) enqueue(j *job) int {
 	}
 }
 
-// retryAfterSeconds estimates how long a rejected client should wait: one
-// queue slot's worth of the recent mean job time, floored at one second.
+// retryAfterSeconds estimates how long a rejected client should wait: the
+// time to drain this node's live backlog — queued plus in-flight jobs, so
+// the hint shrinks as the queue empties — at the recent mean job time,
+// bounded to [1, 60] seconds. Scaling with actual depth matters once
+// nodes are clustered: clients spraying a busy node back off in
+// proportion to its load instead of stampeding back in lockstep. Uses the
+// per-server stats, not the process-global histogram, which other servers
+// in the same process (tests run dozens) would pollute.
 func (s *Server) retryAfterSeconds() int {
-	n := mJobSeconds.Count()
+	backlog := len(s.queue) + int(s.stats.inflight.Load())
+	if backlog < 1 {
+		backlog = 1
+	}
+	n := s.stats.jobSeconds.Count()
 	if n == 0 {
 		return 1
 	}
-	mean := mJobSeconds.Sum() / float64(n)
-	wait := mean * float64(s.cfg.QueueDepth) / float64(s.cfg.Workers)
+	mean := s.stats.jobSeconds.Sum() / float64(n)
+	wait := mean * float64(backlog) / float64(s.cfg.Workers)
 	if wait < 1 {
 		return 1
 	}
@@ -251,14 +287,37 @@ func (s *Server) retryAfterSeconds() int {
 	return int(wait + 0.5)
 }
 
-// runJob executes one queued job end to end.
+// runJob executes one queued job end to end. Every terminal transition
+// goes through claimFinish (directly or via finishWithError): a job
+// reclaimed from a dead thief can race the thief's late complete, and
+// exactly one of the two may finish it.
 func (s *Server) runJob(j *job) {
 	defer j.cancel()
 	j.endQueueWait(s.stats)
 	// A second identical request may have been cached while this one
 	// waited in the queue; serve it from there instead of re-solving.
 	if ent, tier, ok := s.cacheGet(j.key); ok {
+		if !j.claimFinish() {
+			return
+		}
 		j.spanCacheLookup(tier)
+		mCacheHits.Inc()
+		mCompleted.Inc()
+		s.stats.cacheHits.Add(1)
+		s.stats.completed.Add(1)
+		j.setRunning()
+		j.finishOK(ent.body, ent.labels, true)
+		s.journalFinish(j, StatusDone)
+		return
+	}
+	// Third cache tier: a peer may have solved this key already. Runs
+	// before the miss is counted, so a peer hit keeps the invariant that
+	// every submission resolves as exactly one hit or one miss.
+	if ent, ok := s.peerFetch(j); ok {
+		if !j.claimFinish() {
+			return
+		}
+		j.spanCacheLookup("peer")
 		mCacheHits.Inc()
 		mCompleted.Inc()
 		s.stats.cacheHits.Add(1)
@@ -271,9 +330,12 @@ func (s *Server) runJob(j *job) {
 	j.spanCacheLookup("miss")
 	// This is the single miss-counting point: every submission resolves as
 	// exactly one hit (here or synchronously at submit) or one miss, so
-	// hits + misses never exceeds submissions.
-	mCacheMisses.Inc()
-	s.stats.cacheMiss.Add(1)
+	// hits + misses never exceeds submissions. countMiss dedupes the
+	// re-run of a job that already counted its miss when it was stolen.
+	if j.countMiss() {
+		mCacheMisses.Inc()
+		s.stats.cacheMiss.Add(1)
+	}
 	if err := j.ctx.Err(); err != nil {
 		s.finishWithError(j, err)
 		return
@@ -310,24 +372,37 @@ func (s *Server) runJob(j *job) {
 		s.durable.persistEntry(ent)
 	}
 	persist.End()
+	// The cache write above stands even if a thief's complete won the
+	// finish race while this re-solve ran — the bytes are identical.
+	if !j.claimFinish() {
+		return
+	}
 	mCompleted.Inc()
 	s.stats.completed.Add(1)
 	j.finishOK(body, labels, false)
 	s.journalFinish(j, StatusDone)
 }
 
-func (s *Server) finishWithError(j *job, err error) {
+// finishWithError resolves a job as cancelled or failed. It reports
+// whether this caller won the finish claim; a false return means someone
+// else (a thief's complete, a concurrent re-solve) already finished the
+// job and nothing was recorded.
+func (s *Server) finishWithError(j *job, err error) bool {
+	if !j.claimFinish() {
+		return false
+	}
 	if errors.Is(err, context.Canceled) {
 		mCancelled.Inc()
 		s.stats.cancelled.Add(1)
 		j.finishErr(StatusCancelled, err)
 		s.journalFinish(j, StatusCancelled)
-		return
+		return true
 	}
 	mFailed.Inc()
 	s.stats.failed.Add(1)
 	j.finishErr(StatusFailed, err)
 	s.journalFinish(j, StatusFailed)
+	return true
 }
 
 // journalFinish records a job's terminal state when running durable,

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Backend is the blob-storage contract behind the content-addressed
+// store: everything the serve layer needs from its result cache and
+// circuit storage, and nothing tied to the local filesystem. Blobs is the
+// on-disk implementation; MemBackend backs tests; the interface is the
+// seam for pointing the same call sites at an S3/MinIO-style HTTP object
+// store, whose operations map one-to-one (PutKeyed = PUT, Get = GET,
+// Has = HEAD, Delete = DELETE).
+//
+// Contract, shared by every implementation:
+//
+//   - Keys are 64-char lowercase sha256 hex (checkKey); anything else is
+//     an error.
+//   - Get on a missing key returns an error satisfying
+//     errors.Is(err, ErrNotFound).
+//   - PutKeyed overwrites: callers key on content identity (the hash of
+//     the value, or of the request that deterministically produces it),
+//     so any same-key race writes identical bytes.
+//   - All methods are safe for concurrent use.
+type Backend interface {
+	// Put stores data under its own sha256 and returns the hex key.
+	Put(data []byte) (string, error)
+	// PutKeyed stores data under a caller-derived sha256-hex key.
+	PutKeyed(key string, data []byte) error
+	// Get returns the blob's bytes, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Has reports whether the key exists (cheaper than Get on remote
+	// backends: HEAD, no body).
+	Has(key string) bool
+	// Delete removes the key; deleting a missing key is not an error.
+	Delete(key string) error
+}
+
+// The on-disk store is the reference Backend implementation.
+var _ Backend = (*Blobs)(nil)
+
+// MemBackend is an in-memory Backend: the test double, and the reference
+// for the semantics a remote implementation must reproduce. Zero value is
+// not usable; call NewMemBackend.
+type MemBackend struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory blob store.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{blobs: make(map[string][]byte)}
+}
+
+var _ Backend = (*MemBackend)(nil)
+
+// Put stores data under its own sha256 and returns the hex key.
+func (m *MemBackend) Put(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	key := hex.EncodeToString(sum[:])
+	return key, m.PutKeyed(key, data)
+}
+
+// PutKeyed stores a copy of data under key.
+func (m *MemBackend) PutKeyed(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	m.blobs[key] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Get returns a copy of the blob, or ErrNotFound.
+func (m *MemBackend) Get(key string) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	data, ok := m.blobs[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Has reports whether key exists.
+func (m *MemBackend) Has(key string) bool {
+	if checkKey(key) != nil {
+		return false
+	}
+	m.mu.Lock()
+	_, ok := m.blobs[key]
+	m.mu.Unlock()
+	return ok
+}
+
+// Delete removes key; missing keys are a no-op.
+func (m *MemBackend) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.blobs, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of stored blobs (test helper).
+func (m *MemBackend) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs)
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestBackendConformance runs the Backend contract against both
+// implementations, so a future remote backend has an executable spec to
+// pass: add it to the table.
+func TestBackendConformance(t *testing.T) {
+	backends := map[string]func(t *testing.T) Backend{
+		"blobs": func(t *testing.T) Backend {
+			b, err := OpenBlobs(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+		"mem": func(t *testing.T) Backend { return NewMemBackend() },
+	}
+	for name, open := range backends {
+		t.Run(name, func(t *testing.T) {
+			b := open(t)
+			data := []byte("backend conformance payload")
+
+			key, err := b.Put(data)
+			if err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if len(key) != 64 {
+				t.Fatalf("Put key = %q, want 64 hex chars", key)
+			}
+			if !b.Has(key) {
+				t.Fatal("Has after Put = false")
+			}
+			got, err := b.Get(key)
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("Get = %q, want %q", got, data)
+			}
+
+			// Get must not alias the stored bytes.
+			got[0] ^= 0xff
+			again, err := b.Get(key)
+			if err != nil || !bytes.Equal(again, data) {
+				t.Fatalf("Get after caller mutation = %q, %v; want original bytes", again, err)
+			}
+
+			// Caller-derived keys: overwrite wins, content independent.
+			derived := "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+			if err := b.PutKeyed(derived, []byte("v1")); err != nil {
+				t.Fatalf("PutKeyed: %v", err)
+			}
+			if err := b.PutKeyed(derived, []byte("v2")); err != nil {
+				t.Fatalf("PutKeyed overwrite: %v", err)
+			}
+			if got, _ := b.Get(derived); string(got) != "v2" {
+				t.Fatalf("Get after overwrite = %q, want v2", got)
+			}
+
+			// Misses and bad keys.
+			missing := "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+			if _, err := b.Get(missing); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get(missing) err = %v, want ErrNotFound", err)
+			}
+			if b.Has(missing) {
+				t.Fatal("Has(missing) = true")
+			}
+			if err := b.PutKeyed("short", data); err == nil {
+				t.Fatal("PutKeyed with malformed key should fail")
+			}
+			if _, err := b.Get("UPPERCASE"); err == nil {
+				t.Fatal("Get with malformed key should fail")
+			}
+
+			// Delete is idempotent.
+			if err := b.Delete(derived); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if b.Has(derived) {
+				t.Fatal("Has after Delete = true")
+			}
+			if err := b.Delete(derived); err != nil {
+				t.Fatalf("second Delete: %v", err)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package gpp
 
 import (
+	"gpp/internal/cluster"
 	"gpp/internal/serve"
 )
 
@@ -23,6 +24,10 @@ type (
 	// JobStatus is a job's lifecycle state (queued, running, done,
 	// failed, cancelled).
 	JobStatus = serve.Status
+	// ClusterConfig is the static membership config that, set on
+	// ServeConfig.Cluster, joins the daemon to a cluster: consistent-hash
+	// job routing, peer cache read-through, and work stealing.
+	ClusterConfig = cluster.Config
 )
 
 // NewServer builds a partition daemon and starts its worker pool; with
