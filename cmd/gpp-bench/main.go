@@ -46,6 +46,7 @@ func main() {
 	perfAppend := flag.Bool("perf-append", false, "append to / replace within an existing trajectory file instead of overwriting it")
 	perfSmoke := flag.Bool("perf-smoke", false, "one-op smoke run on a tiny circuit (keeps the harness wired into make check)")
 	perfTime := flag.Duration("perf-benchtime", time.Second, "minimum measurement time per benchmark cell")
+	flag.IntVar(&perfRepeat, "perf-repeat", 1, "independent measurement windows per cell; the median ns/op window is recorded (raise on noisy shared hosts)")
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()

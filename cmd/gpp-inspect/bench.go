@@ -1,11 +1,14 @@
 // bench.go implements `gpp-inspect bench`: the perf-trajectory digest and
-// regression gate. It reads every BENCH_*.json file (the series gpp-bench
-// -perf appends, one labelled series per measured commit), merges them into
-// one per-benchmark trend table ordered by measurement date, and compares
-// the latest point against its baseline. Any benchmark whose ns/iter or
-// allocs/op grew by more than the threshold (default 10%) makes the command
-// exit non-zero — `make bench-smoke` runs it over the committed files, so a
-// PR that appends a regressed series fails CI deterministically.
+// regression gate. It reads the merged BENCH.json ledger plus every
+// BENCH_*.json file (the series gpp-bench -perf appends, one labelled
+// series per measured commit), merges them into one per-benchmark trend
+// table ordered by measurement date — a series appearing in both the
+// ledger and a per-PR file counts once, keyed by (label, date) — and
+// compares the latest point against its baseline. Any benchmark whose
+// ns/iter or allocs/op grew by more than the threshold (default 10%) makes
+// the command exit non-zero — `make bench-smoke` runs it over the
+// committed files, so a PR that appends a regressed series fails CI
+// deterministically.
 //
 // A regression means the latest point is worse than BOTH the previous
 // point and the median of the prior ≤3 points. Requiring both makes the
@@ -81,9 +84,15 @@ func runBench(args []string) {
 			fatal(err)
 		}
 		sort.Strings(files)
+		// The append-only ledger, when present, is read first so its copy
+		// of each series wins the (label, date) dedupe; repos that carry
+		// only the ledger — or only per-PR files — both work.
+		if _, err := os.Stat("BENCH.json"); err == nil {
+			files = append([]string{"BENCH.json"}, files...)
+		}
 	}
 	if len(files) == 0 {
-		fatal(fmt.Errorf("bench: no BENCH_*.json files found (run gpp-bench -perf first)"))
+		fatal(fmt.Errorf("bench: no BENCH.json or BENCH_*.json files found (run gpp-bench -perf first)"))
 	}
 	trends, err := loadTrends(files)
 	if err != nil {
@@ -99,9 +108,13 @@ func runBench(args []string) {
 
 // loadTrends merges the series of every file into per-benchmark trends,
 // series ordered by date. Smoke series are skipped: their one-op
-// measurements exist to prove the harness runs, not to be compared.
+// measurements exist to prove the harness runs, not to be compared. A
+// series present in several files — the merged BENCH.json ledger also
+// keeps the per-PR BENCH_PRn.json it came from — is deduplicated by
+// (label, date), first file listed wins.
 func loadTrends(files []string) ([]benchTrend, error) {
 	var series []benchSeries
+	seen := map[[2]string]bool{}
 	for _, path := range files {
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -115,9 +128,12 @@ func loadTrends(files []string) ([]benchTrend, error) {
 			return nil, fmt.Errorf("bench: %s: unknown schema %q", path, bf.Schema)
 		}
 		for _, s := range bf.Series {
-			if !s.Smoke {
-				series = append(series, s)
+			key := [2]string{s.Label, s.Date}
+			if s.Smoke || seen[key] {
+				continue
 			}
+			seen[key] = true
+			series = append(series, s)
 		}
 	}
 	sort.SliceStable(series, func(i, j int) bool { return series[i].Date < series[j].Date })

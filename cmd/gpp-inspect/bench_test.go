@@ -106,6 +106,52 @@ func TestLoadTrendsMergesAndOrders(t *testing.T) {
 	}
 }
 
+// TestLoadTrendsDedupesLedgerOverlap: the merged BENCH.json ledger carries
+// the same series as the per-PR files it was built from; reading both must
+// count each (label, date) series once, with the first-listed file winning.
+func TestLoadTrendsDedupesLedgerOverlap(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f benchFile) string {
+		t.Helper()
+		raw, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	one := benchSeries{Label: "one", Date: "2026-01-01T00:00:00Z",
+		Benchmarks: []benchPoint{{Name: "B", NsPerIter: 100, AllocsPerOp: 5}}}
+	two := benchSeries{Label: "two", Date: "2026-02-01T00:00:00Z",
+		Benchmarks: []benchPoint{{Name: "B", NsPerIter: 110, AllocsPerOp: 5}}}
+	ledger := write("BENCH.json", benchFile{Schema: "gpp-bench-perf/v1",
+		Series: []benchSeries{one, two}})
+	perPR := write("BENCH_PR1.json", benchFile{Schema: "gpp-bench-perf/v1",
+		Series: []benchSeries{one}})
+	trends, err := loadTrends([]string{ledger, perPR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trends) != 1 || len(trends[0].points) != 2 {
+		t.Fatalf("expected 1 trend with 2 deduped points, got %+v", trends)
+	}
+	// Same label at a different date is a distinct measurement, not a dupe.
+	oneLater := one
+	oneLater.Date = "2026-03-01T00:00:00Z"
+	relabel := write("BENCH_PR2.json", benchFile{Schema: "gpp-bench-perf/v1",
+		Series: []benchSeries{oneLater}})
+	trends, err = loadTrends([]string{ledger, perPR, relabel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trends[0].points) != 3 {
+		t.Fatalf("same label at new date was deduped: %+v", trends[0].points)
+	}
+}
+
 func TestLoadTrendsRejectsUnknownSchema(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_X.json")

@@ -30,11 +30,28 @@ const (
 // point allocates only the buffers and kernel closures its passes actually
 // touch (newLabelsScratch / newPlaneScratch / newCostScratch /
 // newGradScratch below); newScratch is the full solver set.
+// Kernel pass identifiers for the single dispatch closure (scratch.run).
+// One closure switching on the pass replaces the seven per-pass closures the
+// scratch used to carry — same dispatch cost, six fewer setup allocations.
+const (
+	passLabels = iota
+	passPlane
+	passFusedGate
+	passEdgeIter
+	passNS
+	passNSGather
+	passGrad
+	passGradUpdate
+	passFusedGate32
+	passGradUpdate32
+)
+
 type scratch struct {
 	ex pool.Executor // dispatch target for every kernel in this scratch
 
 	l        []float64 // G continuous labels
 	ns       []float64 // G neighbor sums (F1 gradient)
+	rsum     []float64 // G row sums stored by the fused gate sweep (F4 reuse)
 	cube     []float64 // |E| per-edge (l_i−l_j)³ terms (fused F1 → gather)
 	partEdge []float64 // edge-shard partials (F1 cost)
 	partGate []float64 // gate-shard partials (F4 cost)
@@ -43,15 +60,33 @@ type scratch struct {
 	partNorm []float64 // gate-shard Σg² partials (traced solves only)
 	bk, ak   []float64 // K per-plane sums
 	bf, af   []float64 // K per-plane gradient factors (F2/F3)
+	f1k      []float64 // K precomputed scale1·(k+1) F1 row factors
+	gRow     []float64 // gateShards×K per-shard gradient row staging
 	clamp    []int     // gate-shard clamp counts (update step)
 
+	// Incremental descent state (see incremental.go). dirtyGate[s] is set
+	// by the fused gradient+update pass when any w entry of gate shard s
+	// changed; the skip masks, when non-nil, tell the cost-side passes
+	// which shards can keep their stored partials from the previous
+	// iteration. nil masks mean a full sweep.
+	dirtyGate []bool // per gate shard: last update changed some w entry
+	skipGate  []bool // fused gate sweep skip mask (nil = run all)
+	skipEdge  []bool // edge sweep skip mask
+	skipGath  []bool // neighbor-sum gather skip mask
+	maskGate  []bool // backing storage for skipGate
+	maskEdge  []bool // backing storage for skipEdge
+	maskGath  []bool // backing storage for skipGath
+	sinceSync int    // iterations since the last full sweep
+
 	// Bound kernel inputs, set by the *With entry points before each
-	// dispatch. The shard closures below read them through the scratch
-	// pointer so the closures can be built once, here, and reused for the
+	// dispatch. The shard kernels read them through the scratch pointer so
+	// the dispatch closure can be built once, here, and reused for the
 	// whole solve: a dispatched fn escapes, so a closure literal at the
 	// call site would heap-allocate on every kernel call — several
 	// allocations per descent iteration.
 	w        W            // assignment matrix the kernels read
+	w32      []float32    // float32-tier matrix, SoA: w32[k*G+i] (cost32.go)
+	vel32    []float32    // float32-tier momentum state, same layout
 	grad     []float64    // gradient output row block
 	c        Coeffs       // coefficients for the gradient pass
 	mode     GradientMode // gradient mode for F1/F4 terms
@@ -59,19 +94,62 @@ type scratch struct {
 	hasBA    bool         // F2/F3 gradient terms active (sc.bf/sc.af valid)
 	wantNorm bool         // gradient pass also fills sc.partNorm
 
-	labelsFn    func(int)
-	planeFn     func(int)
-	fusedGateFn func(int)
-	edgeIterFn  func(int)
-	nsFn        func(int)
-	nsGatherFn  func(int)
-	gradFn      func(int)
+	// Fused gradient+update inputs (descent loop only).
+	step       float64   // learning rate
+	mom        float64   // momentum coefficient (0 = plain steps)
+	velocity   []float64 // momentum state, nil when mom == 0
+	reduceDims bool      // K−1 free coordinates per row (Section IV-C)
+	renorm     bool      // re-project rows onto the simplex after the step
+
+	pass int       // which kernel the dispatch closure runs
+	kern func(int) // the one dispatch closure, built by the constructors
+}
+
+// run dispatches one shard kernel over the executor.
+func (sc *scratch) run(shards, pass int) {
+	sc.pass = pass
+	sc.ex.Run(shards, sc.kern)
+}
+
+func (p *Problem) dispatch(sc *scratch) func(int) {
+	return func(s int) {
+		switch sc.pass {
+		case passLabels:
+			p.labelsShard(sc, s)
+		case passPlane:
+			p.planeSumsShard(sc, s)
+		case passFusedGate:
+			if sc.skipGate == nil || !sc.skipGate[s] {
+				p.fusedGateShard(sc, s)
+			}
+		case passEdgeIter:
+			if sc.skipEdge == nil || !sc.skipEdge[s] {
+				p.edgeIterShard(sc, s)
+			}
+		case passNS:
+			p.neighborSumsShard(sc, s)
+		case passNSGather:
+			if sc.skipGath == nil || !sc.skipGath[s] {
+				p.nsGatherShard(sc, s)
+			}
+		case passGrad:
+			p.gradientShard(sc, s)
+		case passGradUpdate:
+			p.gradUpdateShard(sc, s)
+		case passFusedGate32:
+			if sc.skipGate == nil || !sc.skipGate[s] {
+				p.fusedGate32Shard(sc, s)
+			}
+		case passGradUpdate32:
+			p.gradUpdate32Shard(sc, s)
+		}
+	}
 }
 
 // newLabelsScratch carries exactly what the labels pass touches.
 func (p *Problem) newLabelsScratch(ex pool.Executor) *scratch {
 	sc := &scratch{ex: ex, l: make([]float64, p.G)}
-	sc.labelsFn = func(s int) { p.labelsShard(sc, s) }
+	sc.kern = p.dispatch(sc)
 	return sc
 }
 
@@ -85,12 +163,16 @@ func (p *Problem) newPlaneScratch(ex pool.Executor) *scratch {
 		bk:    make([]float64, p.K),
 		ak:    make([]float64, p.K),
 	}
-	sc.planeFn = func(s int) { p.planeSumsShard(sc, s) }
+	sc.kern = p.dispatch(sc)
 	return sc
 }
 
 // newCostScratch carries the buffers of one cost evaluation (fused gate
-// pass + F1 edge pass) — no gradient, neighbor-sum, or update state.
+// pass + F1 edge pass) — no gradient, neighbor-sum, or update state. No
+// rsum buffer on purpose: that keeps the one-shot entry points on the
+// historical row-major gate sweep; the column-blocked form (which needs
+// the stored row sums) only wins when the descent loop reuses the block
+// across an iteration's passes.
 func (p *Problem) newCostScratch(ex pool.Executor) *scratch {
 	gs := pool.Shards(p.G, gateChunk)
 	es := pool.Shards(len(p.Edges), edgeChunk)
@@ -104,8 +186,7 @@ func (p *Problem) newCostScratch(ex pool.Executor) *scratch {
 		bk:       make([]float64, p.K),
 		ak:       make([]float64, p.K),
 	}
-	sc.fusedGateFn = func(s int) { p.fusedGateShard(sc, s) }
-	sc.edgeIterFn = func(s int) { p.edgeIterShard(sc, s) }
+	sc.kern = p.dispatch(sc)
 	return sc
 }
 
@@ -124,42 +205,57 @@ func (p *Problem) newGradScratch(ex pool.Executor) *scratch {
 		bf:    make([]float64, p.K),
 		af:    make([]float64, p.K),
 	}
-	sc.labelsFn = func(s int) { p.labelsShard(sc, s) }
-	sc.planeFn = func(s int) { p.planeSumsShard(sc, s) }
-	sc.nsFn = func(s int) { p.neighborSumsShard(sc, s) }
-	sc.gradFn = func(s int) { p.gradientShard(sc, s) }
+	sc.kern = p.dispatch(sc)
 	return sc
 }
 
 // newScratch is the full solver scratch: everything the fused iteration
-// evaluation (iterWith), the calibration gradient, the final cost, and the
-// update step need.
+// evaluation (evalIter), the calibration gradient, the fused
+// gradient+update pass, and the final cost need. All float64 buffers come
+// out of one backing slab and the bool masks out of another — the whole
+// solver working set is a handful of setup allocations, and the descent
+// loop itself allocates nothing.
 func (p *Problem) newScratch(ex pool.Executor) *scratch {
 	gs := pool.Shards(p.G, gateChunk)
 	es := pool.Shards(len(p.Edges), edgeChunk)
+	K := p.K
+	slab := make([]float64, 3*p.G+len(p.Edges)+es+2*gs+3*gs*K+5*K)
+	cut := func(n int) []float64 {
+		b := slab[:n:n]
+		slab = slab[n:]
+		return b
+	}
+	bools := make([]bool, 3*gs+es)
+	cutB := func(n int) []bool {
+		b := bools[:n:n]
+		bools = bools[n:]
+		return b
+	}
 	sc := &scratch{
 		ex:       ex,
-		l:        make([]float64, p.G),
-		ns:       make([]float64, p.G),
-		cube:     make([]float64, len(p.Edges)),
-		partEdge: make([]float64, es),
-		partGate: make([]float64, gs),
-		partB:    make([]float64, gs*p.K),
-		partA:    make([]float64, gs*p.K),
-		partNorm: make([]float64, gs),
-		bk:       make([]float64, p.K),
-		ak:       make([]float64, p.K),
-		bf:       make([]float64, p.K),
-		af:       make([]float64, p.K),
+		l:        cut(p.G),
+		ns:       cut(p.G),
+		rsum:     cut(p.G),
+		cube:     cut(len(p.Edges)),
+		partEdge: cut(es),
+		partGate: cut(gs),
+		partNorm: cut(gs),
+		partB:    cut(gs * K),
+		partA:    cut(gs * K),
+		gRow:     cut(gs * K),
+		bk:       cut(K),
+		ak:       cut(K),
+		bf:       cut(K),
+		af:       cut(K),
+		f1k:      cut(K),
 		clamp:    make([]int, gs),
+
+		dirtyGate: cutB(gs),
+		maskGate:  cutB(gs),
+		maskGath:  cutB(gs),
+		maskEdge:  cutB(es),
 	}
-	sc.labelsFn = func(s int) { p.labelsShard(sc, s) }
-	sc.planeFn = func(s int) { p.planeSumsShard(sc, s) }
-	sc.fusedGateFn = func(s int) { p.fusedGateShard(sc, s) }
-	sc.edgeIterFn = func(s int) { p.edgeIterShard(sc, s) }
-	sc.nsFn = func(s int) { p.neighborSumsShard(sc, s) }
-	sc.nsGatherFn = func(s int) { p.nsGatherShard(sc, s) }
-	sc.gradFn = func(s int) { p.gradientShard(sc, s) }
+	sc.kern = p.dispatch(sc)
 	return sc
 }
 
@@ -185,7 +281,7 @@ func (p *Problem) Labels(w W) []float64 {
 // labelsInto fills sc.l with the continuous labels of w.
 func (p *Problem) labelsInto(w W, sc *scratch) {
 	sc.w = w
-	sc.ex.Run(pool.Shards(p.G, gateChunk), sc.labelsFn)
+	sc.run(pool.Shards(p.G, gateChunk), passLabels)
 }
 
 func (p *Problem) labelsShard(sc *scratch, s int) {
@@ -217,7 +313,7 @@ func (p *Problem) planeSums(w W, workers int) (bk, ak []float64) {
 func (p *Problem) planeSumsInto(w W, sc *scratch) {
 	shards := pool.Shards(p.G, gateChunk)
 	sc.w = w
-	sc.ex.Run(shards, sc.planeFn)
+	sc.run(shards, passPlane)
 	for k := 0; k < p.K; k++ {
 		sc.bk[k], sc.ak[k] = 0, 0
 	}
@@ -266,7 +362,8 @@ func (p *Problem) CostParallel(w W, c Coeffs, workers int) Breakdown {
 func (p *Problem) costWith(w W, c Coeffs, sc *scratch) Breakdown {
 	sc.w = w
 	sc.hasNS = false // cost only: the edge pass skips the cube fill
-	sc.ex.Run(pool.Shards(p.G, gateChunk), sc.fusedGateFn)
+	sc.skipGate, sc.skipEdge, sc.skipGath = nil, nil, nil
+	sc.run(pool.Shards(p.G, gateChunk), passFusedGate)
 	f4 := p.mergeGatePartials(sc)
 	f2, f3 := p.varianceF2F3(sc.bk, sc.ak)
 	f1 := p.costF1(sc)
@@ -281,6 +378,10 @@ func (p *Problem) costWith(w W, c Coeffs, sc *scratch) Breakdown {
 // the three separate sweeps it replaces — it just reads w once instead of
 // three times.
 func (p *Problem) fusedGateShard(sc *scratch, s int) {
+	if sc.rsum != nil {
+		p.fusedGateShardBlocked(sc, s)
+		return
+	}
 	w := sc.w
 	lo, hi := pool.ShardRange(p.G, gateChunk, s)
 	pb := sc.partB[s*p.K : (s+1)*p.K]
@@ -303,6 +404,62 @@ func (p *Problem) fusedGateShard(sc *scratch, s int) {
 		sc.l[i] = lsum
 		mean := rowSum * invK
 		t1 := rowSum - 1 // K·w̄_i − 1
+		var varSum float64
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		f4 += t1*t1 - invK*varSum
+	}
+	sc.partGate[s] = f4
+}
+
+// fusedGateShardBlocked is the cache-blocked column-major form of the fused
+// gate sweep, used whenever the scratch carries a row-sum buffer (the
+// solver path): instead of walking each row once with four interleaved
+// accumulators — whose serial FP add chains bound the sweep by add latency,
+// not throughput — it sweeps the shard's w block one plane column at a
+// time, accumulating the per-plane sums in registers and the labels/row
+// sums elementwise, then finishes the F4 variance per row. Every
+// accumulator still adds the exact same values in the exact same order
+// (l[i] and rsum[i] over k ascending, pb[k]/pa[k] over i ascending, varSum
+// and f4 as before), so the blocked form is bitwise identical to the
+// row-major one; the shard block (gateChunk rows) stays resident in L1
+// across the K column passes.
+func (p *Problem) fusedGateShardBlocked(sc *scratch, s int) {
+	w := sc.w
+	K := p.K
+	lo, hi := pool.ShardRange(p.G, gateChunk, s)
+	pb := sc.partB[s*K : (s+1)*K]
+	pa := sc.partA[s*K : (s+1)*K]
+	l := sc.l[lo:hi]
+	rsum := sc.rsum[lo:hi]
+	bias := p.Bias[lo:hi]
+	area := p.Area[lo:hi]
+	clear(l)
+	clear(rsum)
+	for k := 0; k < K; k++ {
+		kf := float64(k + 1)
+		var pbk, pak float64
+		col := w[lo*K+k:]
+		idx := 0
+		for i := range l {
+			v := col[idx]
+			idx += K
+			l[i] += kf * v
+			rsum[i] += v
+			pbk += bias[i] * v
+			pak += area[i] * v
+		}
+		pb[k], pa[k] = pbk, pak
+	}
+	invK := 1.0 / float64(K)
+	var f4 float64
+	for i := range l {
+		rowSum := rsum[i]
+		mean := rowSum * invK
+		t1 := rowSum - 1 // K·w̄_i − 1
+		row := w[(lo+i)*K : (lo+i+1)*K]
 		var varSum float64
 		for _, v := range row {
 			d := v - mean
@@ -340,7 +497,7 @@ func (p *Problem) costF1(sc *scratch) float64 {
 	if ne == 0 {
 		return 0
 	}
-	sc.ex.Run(pool.Shards(ne, edgeChunk), sc.edgeIterFn)
+	sc.run(pool.Shards(ne, edgeChunk), passEdgeIter)
 	var total float64
 	for _, v := range sc.partEdge {
 		total += v
@@ -512,7 +669,7 @@ func (p *Problem) gradientWith(w W, c Coeffs, mode GradientMode, grad []float64,
 	if sc.hasNS {
 		p.labelsInto(w, sc)
 		sc.mode = mode
-		sc.ex.Run(pool.Shards(p.G, gateChunk), sc.nsFn)
+		sc.run(pool.Shards(p.G, gateChunk), passNS)
 	}
 	sc.hasBA = c.C2 != 0 || c.C3 != 0 // per-plane F2/F3 factors
 	if sc.hasBA {
@@ -520,40 +677,287 @@ func (p *Problem) gradientWith(w W, c Coeffs, mode GradientMode, grad []float64,
 		p.planeFactors(c, sc)
 	}
 	sc.w, sc.grad, sc.c, sc.mode = w, grad, c, mode
-	sc.ex.Run(pool.Shards(p.G, gateChunk), sc.gradFn)
+	sc.run(pool.Shards(p.G, gateChunk), passGrad)
 }
 
-// iterWith is the fused per-iteration evaluation the descent loop runs: one
-// set of global reductions feeds both the cost Breakdown and the gradient.
-// Compared to the historical costWith + gradientWith pair it computes the
-// labels and per-plane sums once instead of twice, folds the F4 cost
-// partials into the same gate sweep, and shares the per-edge cubed label
-// differences between the F1 cost and the neighbor-sum gather. Every
+// evalIter is the cost side of one descent iteration: one fused gate sweep
+// (labels + plane sums + F4 partials + stored row sums), one edge sweep (F1
+// cost + per-edge cubes), the neighbor-sum gather, and the F2/F3 row
+// factors — everything the fused gradient+update pass (gradUpdate) needs,
+// plus the cost Breakdown the stopping test reads. Splitting the evaluation
+// here lets the solver check the margin before any gradient work: on the
+// converged iteration the historical kernel computed a gradient and threw
+// it away, so skipping it is bitwise invisible.
+//
+// When the incremental skip masks are armed (see incremental.go), shards
+// whose inputs provably did not change since the previous iteration keep
+// their stored labels, cubes, neighbor sums, and partial sums; the
+// shard-order merges below read the same bytes a full sweep would have
+// written, so the result stays bitwise identical to a full sweep. Every
 // individual accumulator keeps its historical association, so the fused
-// evaluation is bitwise identical to the two-pass one at every worker
-// count (see DESIGN.md §10).
-func (p *Problem) iterWith(w W, c Coeffs, mode GradientMode, grad []float64, sc *scratch) Breakdown {
+// evaluation is also bitwise identical to the historical two-pass
+// cost+gradient form at every worker count (see DESIGN.md §10, §15).
+func (p *Problem) evalIter(w W, c Coeffs, mode GradientMode, sc *scratch) Breakdown {
 	sc.w, sc.mode = w, mode
 	sc.hasNS = c.C1 != 0 && len(p.Edges) > 0
 	gateShards := pool.Shards(p.G, gateChunk)
 
 	// Cost-side reductions (also the gradient's shared global quantities).
-	sc.ex.Run(gateShards, sc.fusedGateFn)
+	sc.run(gateShards, passFusedGate)
 	f4 := p.mergeGatePartials(sc)
 	f2, f3 := p.varianceF2F3(sc.bk, sc.ak)
 	f1 := p.costF1(sc) // fills sc.cube for the gather below (hasNS)
 
 	// Gradient-side finishing passes on the shared reductions.
 	if sc.hasNS {
-		sc.ex.Run(gateShards, sc.nsGatherFn)
+		sc.run(gateShards, passNSGather)
 	}
 	sc.hasBA = c.C2 != 0 || c.C3 != 0
 	if sc.hasBA {
 		p.planeFactors(c, sc)
 	}
-	sc.grad, sc.c = grad, c
-	sc.ex.Run(gateShards, sc.gradFn)
+	sc.c = c
 	return c.combine(f1, f2, f3, f4)
+}
+
+// gradUpdate runs the fused gradient+update pass over every gate shard:
+// each row's gradient is computed from the reductions evalIter left in the
+// scratch and applied (momentum, step, clamp, optional renormalize /
+// dimension reduction) immediately, without materializing a G×K gradient
+// array. Row i's gradient depends only on its own w row plus the global
+// ns/bf/af/rsum quantities — never on another row's updated values — so the
+// per-row interleave is element-for-element identical to the historical
+// separate gradient pass + update pass. The pass also records per-shard
+// clamp counts, Σg² partials (traced solves), and the dirty flags the
+// incremental tier reads.
+func (p *Problem) gradUpdate(sc *scratch) {
+	sc.run(pool.Shards(p.G, gateChunk), passGradUpdate)
+}
+
+func (p *Problem) gradUpdateShard(sc *scratch, s int) {
+	w, c, mode := sc.w, sc.c, sc.mode
+	K := p.K
+	var ns []float64
+	if sc.hasNS {
+		ns = sc.ns
+	}
+	var bf, af []float64
+	if sc.hasBA {
+		bf, af = sc.bf, sc.af
+	}
+	invK := 1.0 / float64(K)
+	scale4 := 2 * c.C4 / p.N4
+	kf := float64(K)
+	f1k, rsum := sc.f1k, sc.rsum
+	step := sc.step
+	lo, hi := pool.ShardRange(p.G, gateChunk, s)
+	clamped := 0
+	changed := false
+
+	// Fast path: the default configuration (all four terms active, exact
+	// gradients, plain clamped steps, untraced). One loop computes each
+	// gradient entry with the historical association — (f1k[k]·ns_i) +
+	// (b·bf[k] + a·af[k]) + scale4·(…) associates exactly like the
+	// historical g = f1; g += f23; g += f4 sequence — and applies the step
+	// in place, so the w row is read and written once with no gradient
+	// array traffic at all.
+	if ns != nil && bf != nil && c.C4 != 0 && mode == GradientExact &&
+		sc.velocity == nil && !sc.reduceDims && !sc.renorm && !sc.wantNorm {
+		// Reslice the K-wide factor vectors to their exact length so the
+		// compiler can prove k < K == len and drop the bounds checks from
+		// the inner loop.
+		f1k, bf, af := f1k[:K:K], bf[:K:K], af[:K:K]
+		// The clamp counter is only ever read under a tracer, and the fast
+		// path requires !wantNorm (no tracer), so it skips the counting.
+		for i := lo; i < hi; i++ {
+			base := i * K
+			row := w[base : base+K : base+K]
+			b, a := p.Bias[i], p.Area[i]
+			nsi := ns[i]
+			rowSum := rsum[i]
+			mean := rowSum * invK
+			t1 := rowSum - 1
+			if nsi != 0 {
+				for k := 0; k < K; k++ {
+					gk := f1k[k]*nsi + (b*bf[k] + a*af[k]) + scale4*(t1-(row[k]-mean)*invK)
+					v := row[k] - step*gk
+					if v < 0 {
+						v = 0
+					} else if v > 1 {
+						v = 1
+					}
+					if v != row[k] {
+						changed = true
+					}
+					row[k] = v
+				}
+			} else {
+				for k := 0; k < K; k++ {
+					gk := 0.0
+					gk += b*bf[k] + a*af[k]
+					gk += scale4 * (t1 - (row[k]-mean)*invK)
+					v := row[k] - step*gk
+					if v < 0 {
+						v = 0
+					} else if v > 1 {
+						v = 1
+					}
+					if v != row[k] {
+						changed = true
+					}
+					row[k] = v
+				}
+			}
+		}
+		sc.clamp[s] = 0
+		sc.dirtyGate[s] = changed
+		return
+	}
+
+	// General path: stage the gradient row in the shard's gRow slot with
+	// exactly the historical term order (F1, then F2+F3, then F4, then the
+	// Σg² partial, then momentum), then apply the historical update row
+	// logic. Everything is per-row local, so the staging buffer is K wide.
+	g := sc.gRow[s*K : (s+1)*K]
+	vel := sc.velocity
+	mom := sc.mom
+	var normSum float64
+	last := K - 1
+	for i := lo; i < hi; i++ {
+		base := i * K
+		row := w[base : base+K : base+K]
+		if ns != nil && ns[i] != 0 {
+			nsi := ns[i]
+			for k := 0; k < K; k++ {
+				g[k] = f1k[k] * nsi
+			}
+		} else {
+			for k := 0; k < K; k++ {
+				g[k] = 0
+			}
+		}
+		if bf != nil {
+			b, a := p.Bias[i], p.Area[i]
+			for k := 0; k < K; k++ {
+				g[k] += b*bf[k] + a*af[k]
+			}
+		}
+		if c.C4 != 0 {
+			rowSum := rsum[i]
+			mean := rowSum * invK
+			switch mode {
+			case GradientExact:
+				t1 := rowSum - 1
+				for k := 0; k < K; k++ {
+					g[k] += scale4 * (t1 - (row[k]-mean)*invK)
+				}
+			case GradientPaper:
+				for k := 0; k < K; k++ {
+					g[k] += scale4 * ((kf+invK)*(mean-row[k]) + kf - 1)
+				}
+			}
+		}
+		if sc.wantNorm {
+			for k := 0; k < K; k++ {
+				normSum += g[k] * g[k]
+			}
+		}
+		if vel != nil {
+			for k := 0; k < K; k++ {
+				vel[base+k] = mom*vel[base+k] + g[k]
+				g[k] = vel[base+k]
+			}
+		}
+		if sc.reduceDims {
+			// K−1 free coordinates per row; the last is derived.
+			gLast := g[last]
+			var sum float64
+			for k := 0; k < last; k++ {
+				ov := row[k]
+				v := ov - step*(g[k]-gLast)
+				if v < 0 {
+					v = 0
+					clamped++
+				} else if v > 1 {
+					v = 1
+					clamped++
+				}
+				if v != ov {
+					changed = true
+				}
+				row[k] = v
+				sum += v
+			}
+			if sum > 1 {
+				inv := 1 / sum
+				for k := 0; k < last; k++ {
+					nv := row[k] * inv
+					if nv != row[k] {
+						changed = true
+					}
+					row[k] = nv
+				}
+				sum = 1
+			}
+			nv := 1 - sum
+			if nv != row[last] {
+				changed = true
+			}
+			row[last] = nv
+		} else {
+			for k := 0; k < K; k++ {
+				ov := row[k]
+				v := ov - step*g[k]
+				if v < 0 {
+					v = 0
+					clamped++
+				} else if v > 1 {
+					v = 1
+					clamped++
+				}
+				if v != ov {
+					changed = true
+				}
+				row[k] = v
+			}
+		}
+		if sc.renorm {
+			var sum float64
+			for _, v := range row {
+				sum += v
+			}
+			if sum > 0 {
+				for k := range row {
+					nv := row[k] / sum
+					if nv != row[k] {
+						changed = true
+					}
+					row[k] = nv
+				}
+			}
+		}
+	}
+	sc.clamp[s] = clamped
+	sc.dirtyGate[s] = changed
+	if sc.wantNorm {
+		sc.partNorm[s] = normSum
+	}
+}
+
+// setDescentState binds the loop-constant inputs of the fused
+// gradient+update pass, including the precomputed F1 row factors
+// scale1·(k+1) — exactly the products the historical per-entry expression
+// scale1·float64(k+1)·ns_i formed first, so reusing them is bitwise
+// neutral.
+func (sc *scratch) setDescentState(p *Problem, c Coeffs, mode GradientMode,
+	step, mom float64, velocity []float64, reduceDims, renorm bool) {
+	scale1 := 4 * c.C1 / p.N1
+	for k := 0; k < p.K; k++ {
+		sc.f1k[k] = scale1 * float64(k+1)
+	}
+	sc.c, sc.mode = c, mode
+	sc.step, sc.mom, sc.velocity = step, mom, velocity
+	sc.reduceDims, sc.renorm = reduceDims, renorm
 }
 
 // planeFactors turns the per-plane sums sc.bk/sc.ak into the F2/F3 gradient
@@ -682,19 +1086,25 @@ func (p *Problem) neighborSumsShard(sc *scratch, sh int) {
 
 // nsGatherShard is neighborSumsShard against the per-edge cubes the fused
 // F1 pass already computed: a pure gather (load, sign, add) with no
-// floating-point recomputation, in the same per-gate edge order.
+// floating-point recomputation, in the same per-gate edge order. The
+// orientation sign is applied by multiplying with ±1.0 (incSignF) — exact
+// in IEEE 754, so bitwise identical to the historical branch-and-negate,
+// without the data-dependent branch the predictor cannot learn.
 func (p *Problem) nsGatherShard(sc *scratch, sh int) {
 	cube := sc.cube
+	incEdge, signf := p.incEdge, p.incSignF
 	lo, hi := pool.ShardRange(p.G, gateChunk, sh)
 	for i := lo; i < hi; i++ {
+		// Slice this gate's incidence run once so the range loop and the
+		// equal-length reslice prove the edge/sign accesses in bounds; only
+		// the data-dependent cube gather keeps its check.
+		start, end := p.incStart[i], p.incStart[i+1]
+		ie := incEdge[start:end]
+		sf := signf[start:end]
+		sf = sf[:len(ie)]
 		var sum float64
-		for idx := p.incStart[i]; idx < p.incStart[i+1]; idx++ {
-			t := cube[p.incEdge[idx]]
-			if p.incSign[idx] < 0 {
-				// Incoming connection (Eq. 10 first line subtracts).
-				t = -t
-			}
-			sum += t
+		for j, e := range ie {
+			sum += cube[e] * sf[j]
 		}
 		sc.ns[i] = sum
 	}

@@ -1,0 +1,204 @@
+package partition
+
+import "gpp/internal/pool"
+
+// Float32 compute tier (Options.Precision = Precision32; DESIGN.md §15).
+//
+// The tier stores only the assignment matrix (and the momentum velocity)
+// in float32 — everything derived from it (labels, row sums, per-plane
+// sums, edge cubes, cost partials, gradients) is computed and accumulated
+// in float64, exactly like the default tier. W uses a structure-of-arrays
+// layout, column-major: w32[k*G+i] is w_{i,k}. The gate sweep then walks
+// one contiguous plane column at a time over each gate shard's 256-row
+// block, so the block (K columns × 256 float32s) stays resident in L1
+// across all K passes, and the per-row F4 finish re-reads it from there.
+//
+// Precision policy: each kernel widens a stored w entry to float64 once,
+// does all arithmetic in float64, and the update narrows the new value to
+// float32 once per entry per iteration. That single rounding point is why
+// the tier's results differ from the float64 kernel (and why Precision is
+// folded into Fingerprint), while the float64 accumulators keep the
+// reductions well-conditioned. Determinism is inherited from the same
+// shard decomposition and shard-order merges as the default tier: every
+// Workers count produces bitwise identical float32 results.
+//
+// The incremental planner (incremental.go) works unchanged on this tier —
+// gradUpdate32Shard maintains the same per-shard dirty flags, and a
+// skipped shard's stored float64 partials are reused identically.
+
+// fusedGate32Shard is the float32/SoA analogue of fusedGateShardBlocked:
+// labels, row sums, per-plane bias/area partials, and the F4 partial of
+// one gate shard, all accumulated in float64.
+func (p *Problem) fusedGate32Shard(sc *scratch, s int) {
+	w32 := sc.w32
+	G, K := p.G, p.K
+	lo, hi := pool.ShardRange(G, gateChunk, s)
+	pb := sc.partB[s*K : (s+1)*K]
+	pa := sc.partA[s*K : (s+1)*K]
+	l := sc.l[lo:hi]
+	rsum := sc.rsum[lo:hi]
+	bias := p.Bias[lo:hi]
+	area := p.Area[lo:hi]
+	for i := range l {
+		l[i], rsum[i] = 0, 0
+	}
+	for k := 0; k < K; k++ {
+		kf := float64(k + 1)
+		var pbk, pak float64
+		col := w32[k*G+lo : k*G+hi]
+		for i, v32 := range col {
+			v := float64(v32)
+			l[i] += kf * v
+			rsum[i] += v
+			pbk += bias[i] * v
+			pak += area[i] * v
+		}
+		pb[k], pa[k] = pbk, pak
+	}
+	invK := 1.0 / float64(K)
+	var f4 float64
+	for i := range l {
+		rowSum := rsum[i]
+		mean := rowSum * invK
+		t1 := rowSum - 1 // K·w̄_i − 1
+		var varSum float64
+		for k := 0; k < K; k++ {
+			d := float64(w32[k*G+lo+i]) - mean
+			varSum += d * d
+		}
+		f4 += t1*t1 - invK*varSum
+	}
+	sc.partGate[s] = f4
+}
+
+// gradUpdate32Shard fuses the exact-gradient computation with the clamped
+// (optionally momentum) update over one gate shard, column-major: the
+// gradient of w_{i,k} needs only the global reductions (ns, bf/af, rsum)
+// plus the entry itself, so the column order is free. Gradients are
+// float64; the entry is narrowed to float32 exactly once on store.
+func (p *Problem) gradUpdate32Shard(sc *scratch, s int) {
+	w32 := sc.w32
+	G, K := p.G, p.K
+	c := sc.c
+	var ns []float64
+	if sc.hasNS {
+		ns = sc.ns
+	}
+	var bf, af []float64
+	if sc.hasBA {
+		bf, af = sc.bf, sc.af
+	}
+	invK := 1.0 / float64(K)
+	scale4 := 2 * c.C4 / p.N4
+	hasF4 := c.C4 != 0
+	f1k, rsum := sc.f1k, sc.rsum
+	step := sc.step
+	mom := sc.mom
+	wantNorm := sc.wantNorm
+	lo, hi := pool.ShardRange(G, gateChunk, s)
+	bias := p.Bias[lo:hi]
+	area := p.Area[lo:hi]
+	clamped := 0
+	changed := false
+	var normSum float64
+	for k := 0; k < K; k++ {
+		col := w32[k*G+lo : k*G+hi]
+		var vcol []float32
+		if sc.vel32 != nil {
+			vcol = sc.vel32[k*G+lo : k*G+hi]
+		}
+		f1kk := f1k[k]
+		var bfk, afk float64
+		if bf != nil {
+			bfk, afk = bf[k], af[k]
+		}
+		for i := range col {
+			old := col[i]
+			v := float64(old)
+			var g float64
+			if ns != nil {
+				g = f1kk * ns[lo+i]
+			}
+			if bf != nil {
+				g += bias[i]*bfk + area[i]*afk
+			}
+			if hasF4 {
+				rowSum := rsum[lo+i]
+				g += scale4 * (rowSum - 1 - (v-rowSum*invK)*invK)
+			}
+			if wantNorm {
+				normSum += g * g
+			}
+			if vcol != nil {
+				nv := mom*float64(vcol[i]) + g
+				vcol[i] = float32(nv)
+				g = nv
+			}
+			nw := v - step*g
+			if nw < 0 {
+				nw = 0
+				clamped++
+			} else if nw > 1 {
+				nw = 1
+				clamped++
+			}
+			n32 := float32(nw)
+			if n32 != old {
+				changed = true
+			}
+			col[i] = n32
+		}
+	}
+	sc.clamp[s] = clamped
+	sc.dirtyGate[s] = changed
+	if wantNorm {
+		sc.partNorm[s] = normSum
+	}
+}
+
+// evalIter32 is evalIter for the float32 tier: same cost-side reductions
+// and gradient-side finishing passes, with the gate sweep reading the SoA
+// float32 matrix. Everything downstream of the gate sweep (edge cubes,
+// variance, plane factors, gather) is the shared float64 code — it reads
+// sc.l and the partials, never W.
+func (p *Problem) evalIter32(c Coeffs, mode GradientMode, sc *scratch) Breakdown {
+	sc.c, sc.mode = c, mode
+	sc.hasNS = c.C1 != 0 && len(p.Edges) > 0
+	gateShards := pool.Shards(p.G, gateChunk)
+	sc.run(gateShards, passFusedGate32)
+	f4 := p.mergeGatePartials(sc)
+	f2, f3 := p.varianceF2F3(sc.bk, sc.ak)
+	f1 := p.costF1(sc)
+	if sc.hasNS {
+		sc.run(gateShards, passNSGather)
+	}
+	sc.hasBA = c.C2 != 0 || c.C3 != 0
+	if sc.hasBA {
+		p.planeFactors(c, sc)
+	}
+	return c.combine(f1, f2, f3, f4)
+}
+
+// gradUpdate32 runs the fused float32 gradient+update pass.
+func (p *Problem) gradUpdate32(sc *scratch) {
+	sc.run(pool.Shards(p.G, gateChunk), passGradUpdate32)
+}
+
+// w32FromRowMajor rounds a row-major float64 matrix into the SoA float32
+// layout; w32ToRowMajor widens it back (exact — float32→float64 never
+// rounds, so a snapshot taken through it restores bit-for-bit).
+func w32FromRowMajor(w32 []float32, w []float64, G, K int) {
+	for i := 0; i < G; i++ {
+		for k := 0; k < K; k++ {
+			w32[k*G+i] = float32(w[i*K+k])
+		}
+	}
+}
+
+func w32ToRowMajor(w []float64, w32 []float32, G, K int) {
+	for i := 0; i < G; i++ {
+		for k := 0; k < K; k++ {
+			w[i*K+k] = float64(w32[k*G+i])
+		}
+	}
+}

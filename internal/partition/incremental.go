@@ -1,0 +1,129 @@
+package partition
+
+import "gpp/internal/pool"
+
+// Incremental descent tier (DESIGN.md §15).
+//
+// The fused gradient+update pass records, per gate shard, whether the
+// update actually changed any w entry (exact float compare — a clamped
+// entry that stays pinned at a bound counts as unchanged). When a gate
+// shard is clean, every cost-side quantity derived from its rows is still
+// sitting in the scratch from the previous iteration: its labels l[i], its
+// stored row sums, its per-plane partials partB/partA, and its F4 partial
+// partGate[s]. The same argument cascades outward: an edge shard whose
+// endpoints all live in clean gate shards has unchanged labels on both
+// ends, so its F1 partial and per-edge cubes are still valid; a gate shard
+// whose incident edges all live in unchanged edge shards has valid
+// neighbor sums.
+//
+// Skipping therefore re-USES stored bytes rather than re-DERIVING them, and
+// the shard-order merges read exactly what a full sweep would have written:
+// the incremental path is bitwise identical to the full-sweep path by
+// construction, not within a tolerance. This is also why the tracking is at
+// shard granularity — per-row delta maintenance of the shared sums would
+// reassociate the floating-point reductions and break the bitwise contract.
+//
+// Two safety valves keep the bookkeeping honest and the overhead bounded
+// (both are belt-and-suspenders: parity holds with or without them, which
+// the incremental fuzz target exercises):
+//
+//   - a full sweep is forced every incrResyncEvery iterations, and
+//   - when more than incrDirtyMax of the gate shards are dirty the planner
+//     does not bother building masks and full-sweeps instead (descent from
+//     a random initialization keeps nearly every shard dirty, so this is
+//     the common case until large regions of w freeze at the clamp bounds).
+const (
+	incrResyncEvery = 64
+	incrDirtyMax    = 0.5
+)
+
+// shardAdjacency lazily builds the two shard-level adjacency lists the
+// planner consults: which gate shards own the endpoints of each edge shard,
+// and which edge shards are incident to each gate shard. Built once per
+// Problem, only when a solve actually reaches a mask-building iteration.
+func (p *Problem) shardAdjacency() ([][]int32, [][]int32) {
+	p.adjOnce.Do(func() {
+		gs := pool.Shards(p.G, gateChunk)
+		es := pool.Shards(len(p.Edges), edgeChunk)
+		edgeGate := make([][]int32, es)
+		gateEdge := make([][]int32, gs)
+		// Stamp arrays dedupe without per-shard sets: stamp[x] == current
+		// shard id means x is already recorded for it.
+		gStamp := make([]int32, gs)
+		eStamp := make([]int32, gs)
+		for i := range gStamp {
+			gStamp[i], eStamp[i] = -1, -1
+		}
+		for e := 0; e < es; e++ {
+			lo, hi := pool.ShardRange(len(p.Edges), edgeChunk, e)
+			for _, ed := range p.Edges[lo:hi] {
+				for _, gate := range ed {
+					gsh := int32(gate) / gateChunk
+					if gStamp[gsh] != int32(e) {
+						gStamp[gsh] = int32(e)
+						edgeGate[e] = append(edgeGate[e], gsh)
+					}
+					if eStamp[gsh] != int32(e) {
+						eStamp[gsh] = int32(e)
+						gateEdge[gsh] = append(gateEdge[gsh], int32(e))
+					}
+				}
+			}
+		}
+		p.adjEdgeGate, p.adjGateEdge = edgeGate, gateEdge
+	})
+	return p.adjEdgeGate, p.adjGateEdge
+}
+
+// planIncremental decides, before each evalIter, whether the cost-side
+// passes may skip clean shards and arms the skip masks accordingly.
+// haveState is false on the first evaluation of a solve (and after a
+// resume), when the scratch holds no previous iteration to reuse; enabled
+// is false when the solve opted out (Options.NoIncremental).
+func (p *Problem) planIncremental(sc *scratch, enabled, haveState bool) {
+	gs := pool.Shards(p.G, gateChunk)
+	full := func() {
+		sc.skipGate, sc.skipEdge, sc.skipGath = nil, nil, nil
+		sc.sinceSync = 0
+	}
+	if !enabled || !haveState || sc.sinceSync+1 >= incrResyncEvery {
+		full()
+		return
+	}
+	dirty := 0
+	for _, d := range sc.dirtyGate {
+		if d {
+			dirty++
+		}
+	}
+	if float64(dirty) > incrDirtyMax*float64(gs) {
+		full()
+		return
+	}
+	edgeGate, gateEdge := p.shardAdjacency()
+	for s := 0; s < gs; s++ {
+		sc.maskGate[s] = !sc.dirtyGate[s]
+	}
+	for e := range sc.maskEdge {
+		skip := true
+		for _, gsh := range edgeGate[e] {
+			if sc.dirtyGate[gsh] {
+				skip = false
+				break
+			}
+		}
+		sc.maskEdge[e] = skip
+	}
+	for s := 0; s < gs; s++ {
+		skip := true
+		for _, esh := range gateEdge[s] {
+			if !sc.maskEdge[esh] {
+				skip = false
+				break
+			}
+		}
+		sc.maskGath[s] = skip
+	}
+	sc.skipGate, sc.skipEdge, sc.skipGath = sc.maskGate, sc.maskEdge, sc.maskGath
+	sc.sinceSync++
+}

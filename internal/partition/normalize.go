@@ -82,6 +82,15 @@ func (o Options) Fingerprint() (string, error) {
 	t(n.ReduceDims)
 	t(n.Refine)
 	i(int64(n.RefinePasses))
+	// The precision tier changes the trajectory, so it must fold into the
+	// identity — but only when non-default: appending unconditionally
+	// would rewrite every existing float64 fingerprint (and orphan every
+	// stored checkpoint and cache entry) for a field those solves never
+	// used.
+	if n.Precision != Precision64 {
+		b = append(b, "|precision="...)
+		b = strconv.AppendInt(b, int64(n.Precision), 10)
+	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
 }

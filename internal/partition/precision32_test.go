@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gpp/internal/gen"
+)
+
+func benchProblem(t *testing.T, circuit string, k int) *Problem {
+	t.Helper()
+	c, err := gen.Benchmark(circuit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromCircuit(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPrecision32Deterministic holds the float32 tier to the same
+// reproducibility contract as the default tier: bitwise identical results
+// at every worker count, with and without the incremental planner.
+func TestPrecision32Deterministic(t *testing.T) {
+	for _, circuit := range []string{"KSA16", "C499"} {
+		p := benchProblem(t, circuit, 5)
+		var first string
+		for _, workers := range []int{1, 2, runtime.NumCPU()} {
+			for _, noIncr := range []bool{false, true} {
+				res, err := p.Solve(Options{Precision: Precision32, MaxIters: 120,
+					Workers: workers, NoIncremental: noIncr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				hash := goldenHash(res)
+				if first == "" {
+					first = hash
+				} else if hash != first {
+					t.Fatalf("%s: workers=%d noIncr=%v hash %s differs from %s",
+						circuit, workers, noIncr, hash, first)
+				}
+			}
+		}
+	}
+}
+
+// TestPrecision32BoundedDivergence bounds how far the float32 tier drifts
+// from the float64 kernel. At the shared (rounded) starting point the cost
+// must agree to float32 rounding; over a full bounded descent the final
+// relaxed and discrete costs must stay within a small relative band — the
+// tiers follow genuinely different trajectories after enough iterations,
+// but they descend the same landscape to the same quality.
+func TestPrecision32BoundedDivergence(t *testing.T) {
+	for _, circuit := range []string{"KSA16", "C499", "KSA32"} {
+		p := benchProblem(t, circuit, 5)
+		opts := Options{MaxIters: 120, TraceCost: true}
+		r64, err := p.Solve(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Precision = Precision32
+		r32, err := p.Solve(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relDiff := func(a, b float64) float64 {
+			d := math.Abs(a - b)
+			if m := math.Abs(b); m > 1e-12 {
+				d /= m
+			}
+			return d
+		}
+		// Iteration 0 evaluates the same random initialization, differing
+		// only by one float32 rounding per entry (~1e-7 relative).
+		if d := relDiff(r32.CostTrace[0], r64.CostTrace[0]); d > 1e-5 {
+			t.Errorf("%s: initial cost diverges by %.3g (f32 %g vs f64 %g)",
+				circuit, d, r32.CostTrace[0], r64.CostTrace[0])
+		}
+		if d := relDiff(r32.Relaxed.Total, r64.Relaxed.Total); d > 0.05 {
+			t.Errorf("%s: final relaxed cost diverges by %.3g (f32 %g vs f64 %g)",
+				circuit, d, r32.Relaxed.Total, r64.Relaxed.Total)
+		}
+		if d := relDiff(r32.Discrete.Total, r64.Discrete.Total); d > 0.15 {
+			t.Errorf("%s: discrete cost diverges by %.3g (f32 %g vs f64 %g)",
+				circuit, d, r32.Discrete.Total, r64.Discrete.Total)
+		}
+		t.Logf("%s: init Δ=%.3g relaxed Δ=%.3g (f32 %.6g vs %.6g) discrete Δ=%.3g",
+			circuit,
+			relDiff(r32.CostTrace[0], r64.CostTrace[0]),
+			relDiff(r32.Relaxed.Total, r64.Relaxed.Total),
+			r32.Relaxed.Total, r64.Relaxed.Total,
+			relDiff(r32.Discrete.Total, r64.Discrete.Total))
+		// The tier must still produce a valid relaxed matrix.
+		for _, v := range r32.W {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s: float32 tier left W entry %g outside [0,1]", circuit, v)
+			}
+		}
+	}
+}
+
+// TestPrecision32Fingerprint pins the cache-key semantics: the float32
+// tier hashes to a distinct fingerprint, while spelling out the default
+// precision changes nothing (existing float64 fingerprints — and with
+// them stored checkpoints and cache entries — stay valid).
+func TestPrecision32Fingerprint(t *testing.T) {
+	base := Options{Seed: 3, MaxIters: 200}
+	fp64, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base
+	explicit.Precision = Precision64
+	fp64e, err := explicit.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp64 != fp64e {
+		t.Errorf("explicit Precision64 changed the fingerprint: %s vs %s", fp64e, fp64)
+	}
+	f32 := base
+	f32.Precision = Precision32
+	fp32, err := f32.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp32 == fp64 {
+		t.Errorf("float32 tier shares the float64 fingerprint %s", fp64)
+	}
+}
+
+func TestPrecision32Validation(t *testing.T) {
+	p := benchProblem(t, "KSA16", 5)
+	bad := []Options{
+		{Precision: Precision32, Gradient: GradientPaper},
+		{Precision: Precision32, ReduceDims: true},
+		{Precision: Precision32, Renormalize: true},
+		{Precision: Precision(7)},
+	}
+	for i, opts := range bad {
+		if _, err := p.Solve(opts); err == nil {
+			t.Errorf("case %d: invalid float32-tier options accepted", i)
+		}
+	}
+	if got := Precision32.String(); got != "float32" {
+		t.Errorf("Precision32.String() = %q", got)
+	}
+	if got := Precision64.String(); got != "float64" {
+		t.Errorf("Precision64.String() = %q", got)
+	}
+}
+
+// TestPrecision32Resume runs the standard kill-and-resume harness on the
+// float32 tier: snapshots round-trip through the codec and resumed solves
+// finish bitwise identical at several worker counts.
+func TestPrecision32Resume(t *testing.T) {
+	checkpointAndResume(t, Options{Seed: 5, MaxIters: 120, Margin: 1e-9,
+		TraceCost: true, Precision: Precision32}, 25)
+}
+
+func TestPrecision32ResumeMomentum(t *testing.T) {
+	checkpointAndResume(t, Options{Seed: 9, MaxIters: 150, Margin: 1e-9,
+		Momentum: 0.8, TraceCost: true, Precision: Precision32}, 40)
+}
+
+// TestPrecision32ResumeRejectsCrossTier: a float64 snapshot must not
+// continue a float32 solve (or vice versa) — the fingerprints differ.
+func TestPrecision32ResumeRejectsCrossTier(t *testing.T) {
+	p := benchProblem(t, "KSA16", 5)
+	var snaps []*Snapshot
+	_, err := p.Solve(Options{Seed: 5, MaxIters: 60, Margin: 1e-12,
+		CheckpointEvery: 20,
+		Checkpoint:      func(s *Snapshot) error { snaps = append(snaps, s); return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots")
+	}
+	_, err = p.Solve(Options{Seed: 5, MaxIters: 60, Margin: 1e-12,
+		Precision: Precision32, Resume: snaps[0]})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("float64 snapshot resumed under the float32 tier (err=%v)", err)
+	}
+}

@@ -20,6 +20,7 @@ package partition
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gpp/internal/netlist"
 )
@@ -66,9 +67,22 @@ type Problem struct {
 	// first endpoint. The gather lets gradient workers accumulate each
 	// gate's neighbor sum privately (no scatter write conflicts) while
 	// preserving the serial edge-order summation exactly.
-	incStart []int32 // length G+1
-	incEdge  []int32 // length 2·|Edges|
-	incSign  []int8  // length 2·|Edges|
+	incStart []int32   // length G+1
+	incEdge  []int32   // length 2·|Edges|
+	incSign  []int8    // length 2·|Edges|
+	incSignF []float64 // incSign as ±1.0: the gather multiplies instead of
+	// branching on the (unpredictable) sign — t·(−1) is exactly −t and
+	// t·(+1) is exactly t in IEEE 754, so the branchless form is bitwise
+	// identical to the historical negate-and-add.
+
+	// Shard-adjacency lists for the incremental descent tier, built lazily
+	// on first use (see incremental.go): adjEdgeGate[es] lists the gate
+	// shards owning either endpoint of an edge in edge shard es, and
+	// adjGateEdge[gs] lists the edge shards incident to any gate of gate
+	// shard gs. Memoization only — the Problem stays logically immutable.
+	adjOnce     sync.Once
+	adjEdgeGate [][]int32
+	adjGateEdge [][]int32
 }
 
 // NewProblem validates and precomputes a partitioning instance.
@@ -182,15 +196,18 @@ func (p *Problem) buildIncidence() {
 	}
 	p.incEdge = make([]int32, 2*len(p.Edges))
 	p.incSign = make([]int8, 2*len(p.Edges))
+	p.incSignF = make([]float64, 2*len(p.Edges))
 	cursor := make([]int32, p.G)
 	copy(cursor, p.incStart[:p.G])
 	for idx, e := range p.Edges {
 		u, v := e[0], e[1]
 		p.incEdge[cursor[u]] = int32(idx)
 		p.incSign[cursor[u]] = 1
+		p.incSignF[cursor[u]] = 1
 		cursor[u]++
 		p.incEdge[cursor[v]] = int32(idx)
 		p.incSign[cursor[v]] = -1
+		p.incSignF[cursor[v]] = -1
 		cursor[v]++
 	}
 }

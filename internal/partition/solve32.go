@@ -1,0 +1,169 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"gpp/internal/obs"
+	"gpp/internal/pool"
+)
+
+// solve32 is the float32-tier descent loop (Options.Precision =
+// Precision32; see cost32.go for the kernels and the precision policy).
+// It mirrors SolveCtx iteration for iteration — same initialization, step
+// calibration, stopping criterion, trace/checkpoint cadence — with the
+// matrix held in the SoA float32 layout and every reduction in float64.
+// Initialization, calibration and snapshots run through an exact row-major
+// float64 mirror: float32→float64 widening never rounds, so checkpoints of
+// a float32 solve restore bit for bit, and resumed runs finish bitwise
+// identical to uninterrupted ones at any Workers count.
+//
+// opts arrives validated and defaulted; ckptFP is the (precision-folded)
+// options fingerprint when checkpointing or resuming, "" otherwise.
+func (p *Problem) solve32(ctx context.Context, opts Options, workers int, ckptFP string) (*Result, error) {
+	tracer := opts.Tracer
+	var grp *pool.Group
+	if workers > 1 {
+		grp = pool.NewGroup(workers)
+	}
+	defer grp.Close()
+	sc := p.newScratch(grp)
+	sc.w32 = make([]float32, p.G*p.K)
+	sc.wantNorm = tracer != nil
+	if tracer != nil {
+		tracer.Emit(obs.Event{Kind: obs.KindSolveStart, Seed: opts.Seed,
+			K: p.K, Gates: p.G, Edges: len(p.Edges)})
+		tracer.Emit(obs.Event{Kind: obs.KindPool,
+			GateShards: pool.Shards(p.G, gateChunk),
+			EdgeShards: pool.Shards(len(p.Edges), edgeChunk)})
+	}
+	descent := opts.Span.Child("descent")
+	if opts.Momentum > 0 {
+		sc.vel32 = make([]float32, p.G*p.K)
+	}
+	// Row-major float64 mirror: filled by the initialization, reused as
+	// the exact conversion buffer for snapshots, and handed to the result.
+	w := p.NewW()
+	var velSnap []float64
+	var step float64
+	startIter := 0
+	costOld := math.Inf(1)
+	if snap := opts.Resume; snap != nil {
+		// The snapshot's float64 entries are exact widenings of the
+		// checkpointed float32 state (enforced below when taking them), so
+		// rounding them back loses nothing and the trajectory continues
+		// exactly.
+		w32FromRowMajor(sc.w32, snap.W, p.G, p.K)
+		if sc.vel32 != nil {
+			w32FromRowMajor(sc.vel32, snap.Velocity, p.G, p.K)
+		}
+		step = snap.Step
+		costOld = snap.CostOld
+		startIter = snap.Iter
+	} else {
+		p.randomInitW(w, opts.Seed)
+		w32FromRowMajor(sc.w32, w, p.G, p.K)
+		step = opts.LearnRate
+		if step <= 0 {
+			// Auto-calibrate against the float64 gradient at the exact
+			// rounded starting point, so the step reflects the matrix the
+			// float32 loop actually descends from.
+			w32ToRowMajor(w, sc.w32, p.G, p.K)
+			grad := make([]float64, p.G*p.K)
+			p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, sc)
+			maxAbs := 0.0
+			for _, g := range grad {
+				if a := math.Abs(g); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs == 0 {
+				step = 1
+			} else {
+				step = opts.InitStep / maxAbs
+			}
+		}
+	}
+	sc.setDescentState(p, opts.Coeffs, opts.Gradient, step, opts.Momentum,
+		nil, false, false)
+
+	res := &Result{StepSize: step, Iters: startIter}
+	if opts.TraceCost && opts.Resume != nil {
+		res.CostTrace = append(res.CostTrace, opts.Resume.CostTrace...)
+	}
+	var relaxed Breakdown
+	for iter := startIter; iter < opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			if serr := obs.SinkErr(tracer); serr != nil {
+				return nil, fmt.Errorf("partition: trace sink: %w", serr)
+			}
+			return nil, fmt.Errorf("partition: solve cancelled after %d iterations: %w", iter, err)
+		}
+		p.planIncremental(sc, !opts.NoIncremental, iter > startIter)
+		bd := p.evalIter32(opts.Coeffs, opts.Gradient, sc)
+		costNew := bd.Total
+		if opts.TraceCost {
+			res.CostTrace = append(res.CostTrace, costNew)
+		}
+		if !math.IsInf(costOld, 1) {
+			denom := math.Abs(costOld)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			if math.Abs(costNew-costOld)/denom <= opts.Margin {
+				res.Converged = true
+				res.Iters = iter
+				relaxed = bd
+				break
+			}
+		}
+		costOld = costNew
+
+		p.gradUpdate32(sc)
+		res.Iters = iter + 1
+		if tracer != nil {
+			var sum float64
+			for _, v := range sc.partNorm {
+				sum += v
+			}
+			clamped := 0
+			for _, c := range sc.clamp {
+				clamped += c
+			}
+			tracer.Emit(obs.Event{Kind: obs.KindIter, Iter: iter,
+				F: bd.Total, F1: bd.F1, F2: bd.F2, F3: bd.F3, F4: bd.F4,
+				GradN: math.Sqrt(sum), Step: step, Clamped: clamped})
+		}
+		if opts.Checkpoint != nil && (iter+1)%opts.CheckpointEvery == 0 {
+			ck := descent.Child("checkpoint")
+			ck.AttrInt("iter", int64(iter+1))
+			// Widen the float32 state exactly into the float64 snapshot
+			// shape; takeSnapshot deep-copies, so the mirrors are reusable.
+			w32ToRowMajor(w, sc.w32, p.G, p.K)
+			var vel []float64
+			if sc.vel32 != nil {
+				if velSnap == nil {
+					velSnap = make([]float64, p.G*p.K)
+				}
+				w32ToRowMajor(velSnap, sc.vel32, p.G, p.K)
+				vel = velSnap
+			}
+			snap := p.takeSnapshot(opts, ckptFP, iter+1, step, costNew, w, vel, res.CostTrace)
+			err := opts.Checkpoint(snap)
+			ck.End()
+			if err != nil {
+				return nil, fmt.Errorf("partition: checkpoint at iteration %d: %w", iter+1, err)
+			}
+		}
+	}
+
+	w32ToRowMajor(w, sc.w32, p.G, p.K)
+	res.W = w
+	if !res.Converged {
+		// Cap-terminated: one more full evaluation at the final state.
+		sc.skipGate, sc.skipEdge, sc.skipGath = nil, nil, nil
+		relaxed = p.evalIter32(opts.Coeffs, opts.Gradient, sc)
+	}
+	return p.finalizeSolve(res, relaxed, opts, tracer, descent)
+}

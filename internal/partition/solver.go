@@ -10,6 +10,30 @@ import (
 	"gpp/internal/pool"
 )
 
+// Precision selects the arithmetic tier of the descent kernels (see
+// Options.Precision).
+type Precision int
+
+const (
+	// Precision64 is the default full-float64 kernel.
+	Precision64 Precision = iota
+	// Precision32 stores W (and the momentum velocity) as float32 in a
+	// structure-of-arrays layout while accumulating every reduction in
+	// float64.
+	Precision32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case Precision64:
+		return "float64"
+	case Precision32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
 // Options configures the gradient-descent solver (Algorithm 1).
 type Options struct {
 	// Coeffs are the c1..c4 constants of Eq. 8. Zero value means
@@ -78,6 +102,32 @@ type Options struct {
 	// identical results — Workers is purely a speed knob. Negative values
 	// are a validation error.
 	Workers int
+
+	// Precision selects the arithmetic tier the descent kernels run in.
+	// The default, Precision64, is the full float64 kernel whose results
+	// are pinned by the golden parity tests. Precision32 is an opt-in
+	// speed/memory tier: the assignment matrix (and momentum velocity) are
+	// stored as float32 in a cache-blocked structure-of-arrays layout and
+	// every reduction still accumulates in float64, so results stay
+	// deterministic and bitwise reproducible at every Workers count — but
+	// they are NOT bitwise equal to the float64 tier (each w entry is
+	// rounded to float32 once per update). Because the trajectories
+	// genuinely differ, Precision is folded into Fingerprint, giving
+	// float32 results distinct checkpoint identities and cache keys. The
+	// float32 tier supports the default exact-gradient clamped update
+	// (momentum included); the ablation paths (GradientPaper, ReduceDims,
+	// Renormalize) are float64-only and rejected by validation.
+	Precision Precision
+
+	// NoIncremental disables the incremental cost-evaluation tier: the
+	// descent then full-sweeps every shard on every iteration instead of
+	// reusing the stored partials of shards the previous update provably
+	// did not touch (see DESIGN.md §15). The incremental path is bitwise
+	// identical to the full-sweep path by construction — this knob exists
+	// for verification (the parity fuzz drives it) and benchmarking, and
+	// like Workers it is execution-only: excluded from Fingerprint, never
+	// changes a result.
+	NoIncremental bool
 
 	// Refine, if true, runs the greedy move-based refinement pass on the
 	// discrete assignment after descent (see Refine). Off by default: the
@@ -158,6 +208,12 @@ func (o Options) validate() error {
 		return fmt.Errorf("partition: refine passes %d must be ≥ 0 (0 = default)", o.RefinePasses)
 	case o.CheckpointEvery < 0:
 		return fmt.Errorf("partition: checkpoint interval %d must be ≥ 0 (0 = default)", o.CheckpointEvery)
+	case o.Precision != Precision64 && o.Precision != Precision32:
+		return fmt.Errorf("partition: unknown precision %d (want Precision64 or Precision32)", o.Precision)
+	case o.Precision == Precision32 && o.Gradient != GradientExact:
+		return fmt.Errorf("partition: the float32 tier supports exact gradients only")
+	case o.Precision == Precision32 && (o.ReduceDims || o.Renormalize):
+		return fmt.Errorf("partition: ReduceDims/Renormalize are float64-only (the float32 tier runs the default clamped update)")
 	}
 	return nil
 }
@@ -256,13 +312,20 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 	if err := p.checkResume(opts.Resume, opts); err != nil {
 		return nil, err
 	}
+	if opts.Precision == Precision32 {
+		return p.solve32(ctx, opts, workers, ckptFP)
+	}
 	tracer := opts.Tracer
 	// One persistent worker group per solve: the descent loop dispatches
-	// ~5 shard kernels per iteration, and reusing parked workers turns each
+	// ~4 shard kernels per iteration, and reusing parked workers turns each
 	// dispatch from workers goroutine spawns + joins into one channel send
 	// per worker. Close tears the goroutines down synchronously on every
-	// return path, so solves never leak workers.
-	grp := pool.NewGroup(workers)
+	// return path, so solves never leak workers. A serial solve runs on
+	// the nil group (inline shard loop, nothing to allocate or close).
+	var grp *pool.Group
+	if workers > 1 {
+		grp = pool.NewGroup(workers)
+	}
 	defer grp.Close()
 	sc := p.newScratch(grp)
 	sc.wantNorm = tracer != nil
@@ -282,7 +345,6 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 	// nil-safe — a nil opts.Span is the (free) default, and spans taken on
 	// an error path simply never emit.
 	descent := opts.Span.Child("descent")
-	grad := make([]float64, p.G*p.K)
 	var velocity []float64
 	if opts.Momentum > 0 {
 		velocity = make([]float64, p.G*p.K)
@@ -304,31 +366,14 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 		costOld = snap.CostOld
 		startIter = snap.Iter
 	} else {
-		// Lines 3–11: random init, rows normalized to sum 1.
-		rng := rand.New(rand.NewSource(opts.Seed))
-		for i := 0; i < p.G; i++ {
-			row := w[i*p.K : (i+1)*p.K]
-			var sum float64
-			for k := range row {
-				v := rng.Float64()
-				row[k] = v
-				sum += v
-			}
-			if sum == 0 {
-				// Vanishingly unlikely; fall back to uniform.
-				for k := range row {
-					row[k] = 1 / float64(p.K)
-				}
-				continue
-			}
-			for k := range row {
-				row[k] /= sum
-			}
-		}
+		p.randomInitW(w, opts.Seed)
 
 		step = opts.LearnRate
 		if step <= 0 {
 			// Auto-calibrate: first step moves the largest entry by InitStep.
+			// The full gradient array exists only here — the descent loop's
+			// fused gradient+update pass never materializes one.
+			grad := make([]float64, p.G*p.K)
 			p.gradientWith(w, opts.Coeffs, opts.Gradient, grad, sc)
 			maxAbs := 0.0
 			for _, g := range grad {
@@ -344,78 +389,12 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 		}
 	}
 
-	// Lines 17–24 worker body: gradient step with clamping. The update is
-	// elementwise per gate row (no cross-row reductions), so the shards
-	// are trivially deterministic for any worker count. The closure is
-	// built once, outside the loop — a dispatched fn escapes, so a
-	// literal inside the loop would heap-allocate every iteration.
-	update := func(s int) {
-		lo, hi := pool.ShardRange(p.G, gateChunk, s)
-		jLo, jHi := lo*p.K, hi*p.K
-		clamped := 0
-		if velocity != nil {
-			for j := jLo; j < jHi; j++ {
-				velocity[j] = opts.Momentum*velocity[j] + grad[j]
-				grad[j] = velocity[j]
-			}
-		}
-		if opts.ReduceDims {
-			// K−1 free coordinates per row; the last is derived.
-			last := p.K - 1
-			for i := lo; i < hi; i++ {
-				base := i * p.K
-				gLast := grad[base+last]
-				var sum float64
-				for k := 0; k < last; k++ {
-					v := w[base+k] - step*(grad[base+k]-gLast)
-					if v < 0 {
-						v = 0
-						clamped++
-					} else if v > 1 {
-						v = 1
-						clamped++
-					}
-					w[base+k] = v
-					sum += v
-				}
-				if sum > 1 {
-					inv := 1 / sum
-					for k := 0; k < last; k++ {
-						w[base+k] *= inv
-					}
-					sum = 1
-				}
-				w[base+last] = 1 - sum
-			}
-		} else {
-			for j := jLo; j < jHi; j++ {
-				v := w[j] - step*grad[j]
-				if v < 0 {
-					v = 0
-					clamped++
-				} else if v > 1 {
-					v = 1
-					clamped++
-				}
-				w[j] = v
-			}
-		}
-		sc.clamp[s] = clamped
-		if opts.Renormalize {
-			for i := lo; i < hi; i++ {
-				row := w[i*p.K : (i+1)*p.K]
-				var sum float64
-				for _, v := range row {
-					sum += v
-				}
-				if sum > 0 {
-					for k := range row {
-						row[k] /= sum
-					}
-				}
-			}
-		}
-	}
+	// Lines 17–24 run as the fused gradient+update pass (gradUpdateShard):
+	// per-row gradient computation with the step, clamp, momentum and the
+	// optional renormalize/dimension-reduction applied in place. Bind the
+	// loop-constant inputs once.
+	sc.setDescentState(p, opts.Coeffs, opts.Gradient, step, opts.Momentum,
+		velocity, opts.ReduceDims, opts.Renormalize)
 
 	res := &Result{StepSize: step, Iters: startIter}
 	if opts.TraceCost && opts.Resume != nil {
@@ -432,15 +411,22 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("partition: solve cancelled after %d iterations: %w", iter, err)
 		}
 		// Lines 13 and 17–19, fused: one set of global reductions (labels,
-		// per-plane sums, per-edge cubes) yields both cost_new and ∇F at
-		// the current w (see DESIGN.md §10).
-		bd := p.iterWith(w, opts.Coeffs, opts.Gradient, grad, sc)
+		// per-plane sums, per-edge cubes) yields cost_new and everything
+		// the gradient pass below needs (see DESIGN.md §10). The planner
+		// arms the incremental skip masks when the previous update left
+		// shards provably untouched (DESIGN.md §15); the first iteration
+		// of a (possibly resumed) loop always full-sweeps.
+		p.planIncremental(sc, !opts.NoIncremental, iter > startIter)
+		bd := p.evalIter(w, opts.Coeffs, opts.Gradient, sc)
 		costNew := bd.Total
 		if opts.TraceCost {
 			res.CostTrace = append(res.CostTrace, costNew)
 		}
-		// Line 14: relative stopping criterion. Guard the division for
-		// costs near zero (F4 makes the total signed).
+		// Line 14: relative stopping criterion, checked before any
+		// gradient work — on the converged iteration the historical kernel
+		// computed ∇F and discarded it unused, so breaking first is
+		// bitwise invisible. Guard the division for costs near zero (F4
+		// makes the total signed).
 		if !math.IsInf(costOld, 1) {
 			denom := math.Abs(costOld)
 			if denom < 1e-12 {
@@ -457,28 +443,26 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 		}
 		costOld = costNew
 
-		var gradNorm float64
+		// Lines 17–24: the fused gradient+update pass (momentum, step,
+		// clamp, optional renormalize/dimension reduction), which also
+		// leaves the per-shard Σg² partials, clamp counts, and the dirty
+		// flags the next iteration's planner reads.
+		p.gradUpdate(sc)
+		res.Iters = iter + 1
 		if tracer != nil {
-			// Per-shard Σg² partials merged in shard-index order: the
-			// gradient pass already visited every entry, and the fixed
+			// Per-shard partials merged in shard-index order: the fixed
 			// merge order diffs clean across Workers settings.
 			var sum float64
 			for _, v := range sc.partNorm {
 				sum += v
 			}
-			gradNorm = math.Sqrt(sum)
-		}
-		// Lines 20–24: apply the step.
-		grp.Run(pool.Shards(p.G, gateChunk), update)
-		res.Iters = iter + 1
-		if tracer != nil {
 			clamped := 0
 			for _, c := range sc.clamp {
 				clamped += c
 			}
 			tracer.Emit(obs.Event{Kind: obs.KindIter, Iter: iter,
 				F: bd.Total, F1: bd.F1, F2: bd.F2, F3: bd.F3, F4: bd.F4,
-				GradN: gradNorm, Step: step, Clamped: clamped})
+				GradN: math.Sqrt(sum), Step: step, Clamped: clamped})
 		}
 		// The update completed, so w/velocity now sit on the iteration
 		// boundary iter+1 with costNew as the next stopping reference —
@@ -503,11 +487,45 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Result, error) {
 		// so the final relaxed cost needs one more pass.
 		relaxed = p.costWith(w, opts.Coeffs, sc)
 	}
+	return p.finalizeSolve(res, relaxed, opts, tracer, descent)
+}
+
+// randomInitW is lines 3–11 of Algorithm 1: random init, rows normalized
+// to sum 1. The seed fully determines the matrix.
+func (p *Problem) randomInitW(w W, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < p.G; i++ {
+		row := w[i*p.K : (i+1)*p.K]
+		var sum float64
+		for k := range row {
+			v := rng.Float64()
+			row[k] = v
+			sum += v
+		}
+		if sum == 0 {
+			// Vanishingly unlikely; fall back to uniform.
+			for k := range row {
+				row[k] = 1 / float64(p.K)
+			}
+			continue
+		}
+		for k := range row {
+			row[k] /= sum
+		}
+	}
+}
+
+// finalizeSolve is the precision-independent tail of a solve: snap to the
+// discrete assignment, optionally refine, fill the discrete cost, emit the
+// trailing telemetry, and bump the metrics. res.W, res.Iters, res.Converged
+// and the trace must already be final.
+func (p *Problem) finalizeSolve(res *Result, relaxed Breakdown, opts Options,
+	tracer obs.Tracer, descent *obs.Span) (*Result, error) {
 	res.Relaxed = relaxed
 	descent.AttrInt("iters", int64(res.Iters))
 	descent.End()
 	// Lines 27–30: snap to argmax.
-	res.Labels = p.Assign(w)
+	res.Labels = p.Assign(res.W)
 	if tracer != nil {
 		// Discrete cost at the snap point, before any refinement; computed
 		// only when traced (the refined cost below is what Result reports).

@@ -241,3 +241,37 @@ func TestSolveIterationPathAllocFree(t *testing.T) {
 		})
 	}
 }
+
+// TestSolveSetupAllocBudget pins the per-solve setup allocation count at
+// Workers = 1 (PR 7 measured 31; the fused-kernel rewrite brought it to
+// 12: result + W + labels + scratch struct/slab/bool-slab/clamp/dispatch
+// closure + a handful in metrics/assign). The budget is a ceiling, not an
+// exact match, so incidental library changes don't flake it — but a
+// regression back toward the old per-pass-closure count fails loudly.
+func TestSolveSetupAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	p := traceProblem(t, "KSA4", 5)
+	budgets := []struct {
+		name string
+		opts Options
+		max  float64
+	}{
+		{"workers=1", Options{Seed: 1, MaxIters: 50, Margin: 1e-300, Workers: 1}, 14},
+		{"workers=1/float32", Options{Seed: 1, MaxIters: 50, Margin: 1e-300, Workers: 1, Precision: Precision32}, 16},
+	}
+	for _, b := range budgets {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			got := testing.AllocsPerRun(10, func() {
+				if _, err := p.Solve(b.opts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > b.max {
+				t.Errorf("solve performed %.1f allocations, budget is %.0f", got, b.max)
+			}
+		})
+	}
+}

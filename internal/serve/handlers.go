@@ -98,6 +98,14 @@ type JobOptions struct {
 	Refine        bool    `json:"refine,omitempty"`
 	RefinePasses  int     `json:"refine_passes,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
+
+	// Precision selects the kernel arithmetic tier: "" or "float64" is the
+	// default kernel, "float32" the opt-in reduced-precision tier. The
+	// tiers produce different (individually deterministic) results, and
+	// the solver folds the tier into its fingerprint, so float32 jobs get
+	// distinct cache keys automatically. Unknown values are rejected by
+	// the solver's validation.
+	Precision string `json:"precision,omitempty"`
 }
 
 // MultilevelJob is the JSON mirror of the multilevel V-cycle knobs; zero
@@ -140,6 +148,16 @@ func (o *JobOptions) toPartition() partition.Options {
 	}
 	if o.PaperGradient {
 		p.Gradient = partition.GradientPaper
+	}
+	switch o.Precision {
+	case "float32":
+		p.Precision = partition.Precision32
+	case "", "float64":
+		// Default tier.
+	default:
+		// Map unknown strings onto an invalid Precision so the solver's
+		// validation reports them instead of silently running float64.
+		p.Precision = partition.Precision(-1)
 	}
 	return p
 }

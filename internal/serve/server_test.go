@@ -652,3 +652,39 @@ func TestDrainingRejectsSubmissions(t *testing.T) {
 		t.Fatalf("second shutdown: %v", err)
 	}
 }
+
+// TestPrecisionJobTier covers the precision knob end to end: a float32 job
+// solves, its cache key differs from the same job at the default tier
+// (distinct trajectories must never share a cache entry), spelling the
+// default as "float64" shares the default key, and an unknown tier is a
+// 400 from validation rather than a silent float64 run.
+func TestPrecisionJobTier(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	req := func(prec string) JobRequest {
+		return JobRequest{Circuit: "KSA8", K: 3, Options: &JobOptions{
+			MaxIters: 200, Precision: prec,
+		}}
+	}
+	_, def, _ := postJob(t, base, req(""))
+	waitTerminal(t, base, def.ID)
+	_, f32, _ := postJob(t, base, req("float32"))
+	if f32.Key == def.Key {
+		t.Fatalf("float32 job shares the float64 cache key %s", def.Key)
+	}
+	done := waitTerminal(t, base, f32.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("float32 job ended %s (%s), want done", done.Status, done.Error)
+	}
+	code, f64sp, _ := postJob(t, base, req("float64"))
+	if f64sp.Key != def.Key {
+		t.Fatalf("explicit float64 spelling got its own key:\n %s\n %s", f64sp.Key, def.Key)
+	}
+	if code != http.StatusOK || f64sp.Cache != "hit" {
+		t.Fatalf("explicit float64 spelling: code=%d cache=%q, want 200/hit", code, f64sp.Cache)
+	}
+	code, _, raw := postJob(t, base, req("float16"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown precision accepted: code=%d body=%s", code, raw)
+	}
+}
