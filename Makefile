@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-slow check fmt-check race bench bench-json bench-smoke obs-bench obs-smoke serve-smoke cluster-smoke fuzz
+.PHONY: build test test-slow check fmt-check race bench bench-json bench-smoke obs-bench obs-smoke serve-smoke cluster-smoke sweep-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,7 @@ check:
 	$(MAKE) bench-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) sweep-smoke
 	$(MAKE) cluster-smoke
 
 bench:
@@ -48,7 +49,7 @@ bench:
 # history accumulates, e.g.:
 #   make bench-json PERF_LABEL=pr5-ckpt PERF_OUT=BENCH_PR5.json
 PERF_LABEL ?= head
-PERF_OUT ?= BENCH_PR9.json
+PERF_OUT ?= BENCH_PR10.json
 # Measurement robustness on shared hosts: each cell is measured in
 # PERF_REPEAT independent windows of PERF_BENCHTIME each and the median
 # window is recorded, so a multi-second hypervisor stall blanketing one
@@ -90,6 +91,14 @@ obs-smoke:
 # drained to a complete, byte-consistent response. Race detector on.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke$$' -v ./internal/serve
+
+# Batch-sweep proof (DESIGN.md §16): a three-regime portfolio submitted as
+# one POST /v1/sweeps against a live server — ranked results, per-cell
+# cost breakdowns, individually cache-hittable cells — plus a gpp-sweep
+# CLI liveness run through the in-process facade. Race detector on.
+sweep-smoke:
+	$(GO) test -race -count=1 -run 'TestSweepThreeRegimes$$' -v ./internal/serve
+	$(GO) run ./cmd/gpp-sweep -circuit KSA4 -ks 3,4 > /dev/null
 
 # Three-node cluster proof (DESIGN.md §14): real gpp-serve subprocesses
 # with static membership — consistent-hash routing, cross-node cache

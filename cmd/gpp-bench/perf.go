@@ -29,6 +29,7 @@ import (
 	"gpp/internal/multilevel"
 	"gpp/internal/partition"
 	"gpp/internal/store"
+	"gpp/internal/terms"
 )
 
 // perfSchema versions the file layout so future PRs can evolve it without
@@ -348,6 +349,66 @@ func runPerf(out, label string, appendSeries, smoke bool, budget time.Duration) 
 		b := perfBench{
 			Name:    fmt.Sprintf("BenchmarkSolverF32%sK%dW1", fc.circuit, fc.k),
 			Circuit: fc.circuit, K: fc.k, Workers: 1,
+			Ops: ops, NsPerOp: ns, ItersPerOp: iters,
+			NsPerIter:   ns / float64(iters),
+			AllocsPerOp: allocs, BytesPerOp: bytes,
+		}
+		series.Benchmarks = append(series.Benchmarks, b)
+		fmt.Fprintf(os.Stderr, "perf: %-34s %12.0f ns/op %10.0f ns/iter %8.1f allocs/op\n",
+			b.Name, b.NsPerOp, b.NsPerIter, b.AllocsPerOp)
+	}
+
+	// Registry-kernel cells: the same fixed-iteration KSA32 solve on a
+	// problem built through the cost-term registry. The Default cell spells
+	// f1..f4 explicitly — it must compile to the historical kernel path, so
+	// any gap against BenchmarkSolverCkptKSA32Off is pure registry build
+	// overhead (amortized once per solve, never per iteration). The Plane
+	// cell activates current_limit with a deliberately binding limit, so
+	// its ns/iter prices the per-iteration plane-term finalize/gradient
+	// hooks — the dispatch overhead the 10% bench gate now watches.
+	regCells := []struct {
+		name  string
+		specs []partition.TermSpec
+	}{
+		{"Default", []partition.TermSpec{
+			{Name: "f1", Weight: 1}, {Name: "f2", Weight: 1},
+			{Name: "f3", Weight: 1}, {Name: "f4", Weight: 1},
+		}},
+		{"Plane", []partition.TermSpec{{Name: "current_limit", Weight: 1, Param: 10}}},
+	}
+	regWork := struct {
+		circuit string
+		k       int
+		iters   int
+	}{"KSA32", 5, 200}
+	if smoke {
+		regWork.circuit, regWork.iters = "KSA4", 2
+	}
+	for _, rc := range regCells {
+		c, err := gen.Benchmark(regWork.circuit, nil)
+		if err != nil {
+			return err
+		}
+		opts := partition.Options{
+			Seed: 1, MaxIters: regWork.iters, Margin: 1e-300, Workers: 1,
+			Terms: rc.specs,
+		}
+		p, opts, err := terms.BuildProblem(c, regWork.k, opts, nil)
+		if err != nil {
+			return err
+		}
+		iters := 0
+		op := func() {
+			res, err := p.Solve(opts)
+			if err != nil {
+				panic(err)
+			}
+			iters = res.Iters
+		}
+		ops, ns, allocs, bytes := measureOp(op, budget, maxOps)
+		b := perfBench{
+			Name:    fmt.Sprintf("BenchmarkSolverRegistry%s%sW1", rc.name, regWork.circuit),
+			Circuit: regWork.circuit, K: regWork.k, Workers: 1,
 			Ops: ops, NsPerOp: ns, ItersPerOp: iters,
 			NsPerIter:   ns / float64(iters),
 			AllocsPerOp: allocs, BytesPerOp: bytes,

@@ -10,7 +10,9 @@
 // or fetch a gpp-serve job profile). The `bench` subcommand merges the
 // BENCH_*.json perf-trajectory files into one trend table and exits
 // non-zero when the latest series regresses more than 10% over the
-// previous one — the CI perf gate.
+// previous one — the CI perf gate. The `sweep` subcommand renders a saved
+// sweep document (gpp-sweep -json, or a GET /v1/sweeps/{id} body) as the
+// ranked scenario table.
 //
 // Usage:
 //
@@ -21,6 +23,7 @@
 //	gpp-inspect spans run.jsonl
 //	gpp-inspect bench
 //	gpp-inspect bench -threshold 0.05 BENCH_PR6.json
+//	gpp-inspect sweep sweep.json
 package main
 
 import (
@@ -50,6 +53,9 @@ func main() {
 			return
 		case "bench":
 			runBench(os.Args[2:])
+			return
+		case "sweep":
+			runSweep(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpp/internal/sweep"
+)
+
+// runSweep renders a saved sweep document (gpp-sweep -json, or a GET
+// /v1/sweeps/{id} body piped to a file) as the ranked scenario table.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("gpp-inspect sweep", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gpp-inspect sweep sweep.json   (\"-\" = stdin)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var doc sweep.Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fatal(fmt.Errorf("sweep %s: %v", path, err))
+	}
+	sweep.RenderTable(os.Stdout, &doc)
+}

@@ -20,6 +20,8 @@
 //	gpp-partition -circuit par1000000 -k 5 -multilevel      # million-gate V-cycle in seconds
 //	gpp-partition -circuit par100000 -k 5 -multilevel -coarsest 500 -checkpoint run.vsnap
 //	gpp-partition -circuit C3540 -k 8 -metrics-addr :8080   # /metrics, /debug/vars, /debug/pprof
+//	gpp-partition -circuit KSA32 -k 5 -terms xesfq          # regime term from the registry
+//	gpp-partition -circuit KSA32 -k 5 -terms current_limit:2:50 -term-weights f2=0.5
 package main
 
 import (
@@ -27,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"gpp/internal/assignio"
 	"gpp/internal/cellib"
@@ -42,6 +46,7 @@ import (
 	"gpp/internal/recycle"
 	"gpp/internal/store"
 	"gpp/internal/svg"
+	"gpp/internal/terms"
 	"gpp/internal/timing"
 	"gpp/internal/verif"
 )
@@ -68,12 +73,22 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "write a solver snapshot to this path during the solve (atomic replace; restart with -resume)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "iterations between -checkpoint snapshots (0 = solver default, 100)")
 	resume := flag.String("resume", "", "resume the solve from a -checkpoint snapshot; the result is bitwise identical to an uninterrupted run")
+	termList := flag.String("terms", "", "comma-separated cost terms name[:weight[:param]] from the registry (e.g. xesfq,current_limit:2:50)")
+	termWeights := flag.String("term-weights", "", "comma-separated name=weight overrides for registered terms (e.g. f2=0.5,timing_critical=2)")
+	listTerms := flag.Bool("list-terms", false, "print the registered term names and exit")
 	plan := flag.Bool("plan", true, "print the current-recycling plan summary")
 	showTiming := flag.Bool("timing", false, "print the frequency-penalty analysis")
 	verify := flag.Bool("verify", true, "independently verify the result before reporting")
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *listTerms {
+		for _, name := range terms.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	sess, err := obsFlags.Start("gpp-partition")
 	if err != nil {
@@ -91,6 +106,10 @@ func main() {
 	sess.Meta("seed", *seed)
 
 	opts := partition.Options{Seed: *seed, Refine: *refine, Workers: *workers, Tracer: sess.Tracer, Span: sess.Span}
+	opts.Terms, err = parseTermSpecs(*termList, *termWeights)
+	if err != nil {
+		fatal(err)
+	}
 	if *checkpoint != "" || *resume != "" {
 		// Snapshots capture exactly one descent (or one V-cycle), so the
 		// multi-solve modes cannot use them: a portfolio interleaves restarts
@@ -144,7 +163,12 @@ func main() {
 	sess.Meta("restarts", *restarts)
 	sess.Meta("workers", *workers)
 
-	p, err := partition.FromCircuit(c, *k)
+	// The term registry builds the problem: with no -terms/-term-weights this
+	// is exactly the historical FromCircuit path; named regime terms reshape
+	// the compiled problem (and fold f1..f4 weights into the coefficients)
+	// before any solve mode runs.
+	var p *partition.Problem
+	p, opts, err = terms.BuildProblem(c, *k, opts, lib)
 	if err != nil {
 		fatal(err)
 	}
@@ -214,6 +238,16 @@ func main() {
 		fatal(err)
 	}
 
+	// The independent verifiers recount bias/area/distances/chains from the
+	// raw circuit, which is exactly what regime terms change (xesfq zeroes
+	// CSPLIT bias and drops its edges, timing_critical reweights edges).
+	// Solved-vs-reported cross-checks would flag the reshaping itself, so
+	// they are skipped for reshaped problems.
+	reshaped := len(opts.Terms) > 0
+	if *verify && reshaped {
+		fmt.Fprintln(os.Stderr, "gpp-partition: -verify skipped: regime terms reshape the problem away from the raw circuit")
+		*verify = false
+	}
 	if *verify {
 		issues := verif.Partition(c, *k, res.Labels, *limit)
 		issues = append(issues, verif.Metrics(c, res.Labels, m)...)
@@ -237,7 +271,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if issues := verif.Plan(c, res.Labels, pl); len(issues) > 0 {
+		if issues := verif.Plan(c, res.Labels, pl); len(issues) > 0 && !reshaped {
 			for _, is := range issues {
 				fmt.Fprintln(os.Stderr, "VERIFY:", is)
 			}
@@ -349,6 +383,56 @@ func loadCircuit(defPath, lefPath, circuit string) (*netlist.Circuit, *cellib.Li
 	default:
 		return nil, nil, fmt.Errorf("need -def or -circuit (see -h)")
 	}
+}
+
+// parseTermSpecs turns the -terms list (name[:weight[:param]]) and the
+// -term-weights list (name=weight) into term specs. Name validation is the
+// solver's job — partition.Options rejects unknown names with the
+// registered list — so this only parses the shapes.
+func parseTermSpecs(termList, termWeights string) ([]partition.TermSpec, error) {
+	var out []partition.TermSpec
+	for _, part := range strings.Split(termList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("-terms %q: want name[:weight[:param]]", part)
+		}
+		ts := partition.TermSpec{Name: strings.TrimSpace(fields[0])}
+		if len(fields) > 1 {
+			w, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-terms %q: bad weight: %v", part, err)
+			}
+			ts.Weight = w
+		}
+		if len(fields) > 2 {
+			p, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-terms %q: bad param: %v", part, err)
+			}
+			ts.Param = p
+		}
+		out = append(out, ts)
+	}
+	for _, part := range strings.Split(termWeights, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-term-weights %q: want name=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-term-weights %q: bad weight: %v", part, err)
+		}
+		out = append(out, partition.TermSpec{Name: strings.TrimSpace(name), Weight: w})
+	}
+	return out, nil
 }
 
 func writeTo(path string, write func(*os.File) error) error {

@@ -37,6 +37,7 @@ import (
 	"gpp/internal/netlist"
 	"gpp/internal/partition"
 	"gpp/internal/recycle"
+	"gpp/internal/terms"
 )
 
 // Re-exported core types. The aliases keep one canonical definition while
@@ -91,7 +92,11 @@ func Partition(c *Circuit, k int, opts Options) (*Result, error) {
 // the descent within one iteration. This is the path the serve daemon
 // uses to enforce per-job deadlines.
 func PartitionCtx(ctx context.Context, c *Circuit, k int, opts Options) (*Result, error) {
-	p, err := partition.FromCircuit(c, k)
+	// The term registry builds the problem: with Options.Terms empty this
+	// is exactly the historical FromCircuit path; named regime terms
+	// (xesfq, current_limit, timing_critical, or user-registered ones)
+	// reshape the compiled problem first.
+	p, opts, err := terms.BuildProblem(c, k, opts, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -66,6 +66,12 @@ func buildHierarchy(p *partition.Problem, opts Options, seed int64) (*hierarchy,
 		if err != nil {
 			return nil, err
 		}
+		// Coarse instances inherit the fine problem's compiled plane terms:
+		// contraction sums vertex biases, so per-plane bias sums — all these
+		// terms read — are preserved level by level. (Bias scaling and edge
+		// drops/weights were compiled into p before coarsening, so those
+		// regime effects propagate structurally.)
+		prob.PlaneTerms = p.PlaneTerms
 		h.levels = append(h.levels, lv)
 		h.probs = append(h.probs, prob)
 		curBias, curArea, curEdges, curWeight = lv.bias, lv.area, lv.edges, lv.weight

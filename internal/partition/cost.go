@@ -367,7 +367,7 @@ func (p *Problem) costWith(w W, c Coeffs, sc *scratch) Breakdown {
 	f4 := p.mergeGatePartials(sc)
 	f2, f3 := p.varianceF2F3(sc.bk, sc.ak)
 	f1 := p.costF1(sc)
-	return c.combine(f1, f2, f3, f4)
+	return p.finishBreakdown(c, f1, f2, f3, f4, sc.bk)
 }
 
 // fusedGateShard is the single gate sweep shared by every cost/iteration
@@ -671,7 +671,7 @@ func (p *Problem) gradientWith(w W, c Coeffs, mode GradientMode, grad []float64,
 		sc.mode = mode
 		sc.run(pool.Shards(p.G, gateChunk), passNS)
 	}
-	sc.hasBA = c.C2 != 0 || c.C3 != 0 // per-plane F2/F3 factors
+	sc.hasBA = c.C2 != 0 || c.C3 != 0 || len(p.PlaneTerms) > 0 // per-plane F2/F3 + plane-term factors
 	if sc.hasBA {
 		p.planeSumsInto(w, sc)
 		p.planeFactors(c, sc)
@@ -712,12 +712,12 @@ func (p *Problem) evalIter(w W, c Coeffs, mode GradientMode, sc *scratch) Breakd
 	if sc.hasNS {
 		sc.run(gateShards, passNSGather)
 	}
-	sc.hasBA = c.C2 != 0 || c.C3 != 0
+	sc.hasBA = c.C2 != 0 || c.C3 != 0 || len(p.PlaneTerms) > 0
 	if sc.hasBA {
 		p.planeFactors(c, sc)
 	}
 	sc.c = c
-	return c.combine(f1, f2, f3, f4)
+	return p.finishBreakdown(c, f1, f2, f3, f4, sc.bk)
 }
 
 // gradUpdate runs the fused gradient+update pass over every gate shard:
@@ -976,6 +976,12 @@ func (p *Problem) planeFactors(c Coeffs, sc *scratch) {
 		bf[k] = 2 * c.C2 * (bk[k] - bMean) / (float64(p.K) * p.N2)
 		af[k] = 2 * c.C3 * (ak[k] - aMean) / (float64(p.K) * p.N3)
 	}
+	// Plane-term gradients add into the bias factors (the row pass
+	// multiplies bf[k] by b_i, exactly the chain rule these terms need).
+	// Guarded: even an exact +0.0 could flip a −0.0 factor bit.
+	if len(p.PlaneTerms) > 0 {
+		p.planeTermFactors(bf, bk)
+	}
 }
 
 func (p *Problem) gradientShard(sc *scratch, s int) {
@@ -1167,7 +1173,7 @@ func (p *Problem) DiscreteCost(labels []int, c Coeffs) Breakdown {
 	f3 := aVar / (float64(p.K) * p.N3)
 	kf := float64(p.K)
 	f4 := -float64(p.G) * (kf - 1) / (kf * kf) / p.N4
-	return c.combine(f1, f2, f3, f4)
+	return p.finishBreakdown(c, f1, f2, f3, f4, bk)
 }
 
 // PlaneTotals returns the per-plane bias (mA) and area (mm²) sums for a

@@ -172,11 +172,11 @@ func (p *Problem) evalIter32(c Coeffs, mode GradientMode, sc *scratch) Breakdown
 	if sc.hasNS {
 		sc.run(gateShards, passNSGather)
 	}
-	sc.hasBA = c.C2 != 0 || c.C3 != 0
+	sc.hasBA = c.C2 != 0 || c.C3 != 0 || len(p.PlaneTerms) > 0
 	if sc.hasBA {
 		p.planeFactors(c, sc)
 	}
-	return c.combine(f1, f2, f3, f4)
+	return p.finishBreakdown(c, f1, f2, f3, f4, sc.bk)
 }
 
 // gradUpdate32 runs the fused float32 gradient+update pass.

@@ -91,6 +91,20 @@ func (o Options) Fingerprint() (string, error) {
 		b = append(b, "|precision="...)
 		b = strconv.AppendInt(b, int64(n.Precision), 10)
 	}
+	// Regime terms surviving normalization (f1–f4 fold into the Coeffs
+	// fields above) change the compiled problem, so they are part of the
+	// identity. Conditional for the same reason as Precision: the empty
+	// list must keep every pre-terms fingerprint, checkpoint, and cache
+	// entry valid. Normalization sorts the list, so spelling order cannot
+	// split the cache.
+	for _, t := range n.Terms {
+		b = append(b, "|term="...)
+		b = append(b, t.Name...)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, t.Weight, 'x', -1, 64)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, t.Param, 'x', -1, 64)
+	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
 }

@@ -61,6 +61,13 @@ type Problem struct {
 	// row sums are unconstrained and are recomputed in the cost.
 	MeanBias, MeanArea float64
 
+	// PlaneTerms are compiled per-plane penalty terms (see terms.go)
+	// evaluated over the per-plane bias/area sums in every cost and
+	// gradient pass. Term compilers (internal/terms) attach them after
+	// construction; empty means the historical four-term objective,
+	// bitwise unchanged.
+	PlaneTerms []PlaneTerm
+
 	// Incidence CSR for the F1 gradient gather: for gate i, incEdge
 	// [incStart[i]:incStart[i+1]] lists its incident edge indices in
 	// increasing edge order, and incSign is +1 where the gate is the edge's
@@ -244,9 +251,13 @@ func DefaultCoeffs() Coeffs {
 }
 
 // Breakdown is the value of the cost and its four components, all
-// normalized per Eqs. 4–6 and 9.
+// normalized per Eqs. 4–6 and 9. Extra is the summed contribution of the
+// problem's compiled plane terms (terms.go); it is zero — and Total is the
+// historical four-term combination, bit for bit — when no plane terms are
+// attached.
 type Breakdown struct {
 	F1, F2, F3, F4 float64
+	Extra          float64
 	Total          float64
 }
 

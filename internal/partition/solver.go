@@ -69,6 +69,19 @@ type Options struct {
 	// fixed seed. Default 1.
 	Seed int64
 
+	// Terms selects registered cost terms beyond the implicit default set
+	// (see terms.go and DESIGN.md §16). The paper terms "f1".."f4" scale
+	// the corresponding coefficient and normalize away (an empty list and
+	// a pure f-term list both canonicalize onto plain Coeffs — the
+	// historical kernel path, bit for bit). Regime terms (registered by
+	// internal/terms: "xesfq", "current_limit", "timing_critical") stay in
+	// the normalized list, fold into Fingerprint, and take effect when the
+	// Problem is compiled through terms.BuildProblem — the facade and the
+	// serve daemon do this; Problem.Solve alone only carries them in the
+	// solve identity. Unknown or duplicate names and non-finite or
+	// negative weights/params are validation errors.
+	Terms []TermSpec
+
 	// Gradient selects exact (default) or paper-literal gradients.
 	Gradient GradientMode
 
@@ -215,7 +228,7 @@ func (o Options) validate() error {
 	case o.Precision == Precision32 && (o.ReduceDims || o.Renormalize):
 		return fmt.Errorf("partition: ReduceDims/Renormalize are float64-only (the float32 tier runs the default clamped update)")
 	}
-	return nil
+	return validateTermSpecs(o.Terms)
 }
 
 func (o Options) withDefaults() Options {
@@ -238,6 +251,9 @@ func (o Options) withDefaults() Options {
 	if o.Checkpoint != nil && o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 100
 	}
+	// Canonical term form: f1–f4 specs fold into the (now defaulted)
+	// coefficients, regime terms get their defaults and a stable order.
+	o.Coeffs, o.Terms = foldTerms(o.Coeffs, o.Terms)
 	return o
 }
 

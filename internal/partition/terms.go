@@ -1,0 +1,244 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Cost-term registry plumbing (DESIGN.md §16). The solver's objective is a
+// linear combination of registered *terms*. The four paper terms F1–F4 are
+// built in; extension packages (internal/terms) register regime terms —
+// xeSFQ, ERSFQ current limits, timing criticality — under additional names.
+//
+// partition itself stores only the *names* plus a canonicalization hook per
+// term: enough to validate Options.Terms, normalize it, and fold it into
+// the options fingerprint. What a regime term *does* to a problem instance
+// (bias rescaling, edge dropping/weighting, per-plane penalty tables) is
+// compiled by the registering package before the Problem is built — the
+// hot loop only ever sees precomputed tables (Problem.PlaneTerms,
+// Problem.EdgeWeight, rescaled Bias), never an interface call.
+
+// TermSpec selects one cost term by name with an optional weight and a
+// term-specific parameter. Zero Weight means the term's default weight
+// (1); zero Param means the term's default parameter (e.g. 100 mA for the
+// current-limit term). Negative, NaN, or Inf values are validation errors.
+type TermSpec struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight,omitempty"`
+	Param  float64 `json:"param,omitempty"`
+}
+
+// termCanon validates and fills the defaults of one spec. Registered per
+// term name; must be a pure function (it runs inside Normalize and its
+// output feeds the options fingerprint).
+type termCanon func(TermSpec) (TermSpec, error)
+
+var termReg = struct {
+	sync.RWMutex
+	canon map[string]termCanon
+}{canon: map[string]termCanon{}}
+
+// RegisterTermName registers a cost-term name with its canonicalization
+// hook so Options.Terms referencing it validates. Registering packages
+// (internal/terms) call this from init; re-registering a name replaces its
+// hook. A nil canon gets the default hook (weight 0 → 1, param must be
+// ≥ 0).
+func RegisterTermName(name string, canon termCanon) {
+	if name == "" || strings.ContainsAny(name, "|:,") {
+		panic(fmt.Sprintf("partition: invalid term name %q", name))
+	}
+	if canon == nil {
+		canon = defaultTermCanon
+	}
+	termReg.Lock()
+	termReg.canon[name] = canon
+	termReg.Unlock()
+}
+
+// RegisteredTermNames returns every registered term name, sorted — the
+// vocabulary validation errors cite.
+func RegisteredTermNames() []string {
+	termReg.RLock()
+	names := make([]string, 0, len(termReg.canon))
+	for n := range termReg.canon {
+		names = append(names, n)
+	}
+	termReg.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+func lookupTermCanon(name string) (termCanon, bool) {
+	termReg.RLock()
+	c, ok := termReg.canon[name]
+	termReg.RUnlock()
+	return c, ok
+}
+
+// defaultTermCanon fills the shared defaults: weight 0 means 1.
+func defaultTermCanon(t TermSpec) (TermSpec, error) {
+	if t.Weight == 0 {
+		t.Weight = 1
+	}
+	return t, nil
+}
+
+// The four paper terms are registered here so a bare partition import
+// validates them; their canonical weights fold into Coeffs in withDefaults
+// (foldTerms below), which is what keeps the default term set on the
+// historical kernel path bit for bit.
+func init() {
+	for _, name := range []string{"f1", "f2", "f3", "f4"} {
+		RegisterTermName(name, nil)
+	}
+}
+
+// validateTermSpecs rejects unknown and duplicate names and non-finite or
+// negative weights/params, citing the registered vocabulary — the options
+// analogue of the serve layer's `?status=` 400 message.
+func validateTermSpecs(specs []TermSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	seen := make(map[string]bool, len(specs))
+	for _, t := range specs {
+		canon, ok := lookupTermCanon(t.Name)
+		if !ok {
+			return fmt.Errorf("partition: unknown term %q; registered terms: %s",
+				t.Name, strings.Join(RegisteredTermNames(), ", "))
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("partition: duplicate term %q (each term may appear once)", t.Name)
+		}
+		seen[t.Name] = true
+		if !finite(t.Weight) || t.Weight < 0 {
+			return fmt.Errorf("partition: term %q weight %g must be a finite value ≥ 0 (0 = default)", t.Name, t.Weight)
+		}
+		if !finite(t.Param) || t.Param < 0 {
+			return fmt.Errorf("partition: term %q param %g must be a finite value ≥ 0 (0 = default)", t.Name, t.Param)
+		}
+		if _, err := canon(t); err != nil {
+			return fmt.Errorf("partition: term %q: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// foldTerms canonicalizes a validated term list against the given (already
+// defaulted) coefficients: the paper terms f1–f4 fold multiplicatively
+// into Coeffs and disappear from the list, the remaining regime terms get
+// their defaults filled and sort by name. The result is the canonical form
+// Normalize and Fingerprint see — a term set spelled only with f1–f4
+// weights normalizes to scaled Coeffs plus an empty Terms list, which is
+// byte-identical (and fingerprint-identical) to spelling the Coeffs
+// directly. Idempotent: folding a folded result changes nothing.
+func foldTerms(c Coeffs, specs []TermSpec) (Coeffs, []TermSpec) {
+	if len(specs) == 0 {
+		return c, nil
+	}
+	rest := make([]TermSpec, 0, len(specs))
+	for _, t := range specs {
+		canon, ok := lookupTermCanon(t.Name)
+		if ok {
+			if ct, err := canon(t); err == nil {
+				t = ct
+			}
+		}
+		switch t.Name {
+		case "f1":
+			c.C1 *= t.Weight
+		case "f2":
+			c.C2 *= t.Weight
+		case "f3":
+			c.C3 *= t.Weight
+		case "f4":
+			c.C4 *= t.Weight
+		default:
+			rest = append(rest, t)
+		}
+	}
+	if len(rest) == 0 {
+		return c, nil
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })
+	return c, rest
+}
+
+// PlaneTermKind dispatches a compiled per-plane penalty statically — the
+// finalize pass switches on the kind, so adding regime terms never puts an
+// interface call in the descent loop.
+type PlaneTermKind int
+
+const (
+	// PlaneCurrentLimit penalizes planes whose bias sum exceeds Limit mA:
+	// Weight · Σ_k max(0, B_k − Limit)² / (K·Limit²). The quadratic hinge
+	// is zero (cost and gradient) while every plane fits, so a feasible
+	// descent is untouched by the term.
+	PlaneCurrentLimit PlaneTermKind = iota
+)
+
+// PlaneTerm is one compiled per-plane penalty evaluated over the per-plane
+// bias/area sums the fused gate sweep already produces — regime terms that
+// reduce to "a function of B_k / A_k" cost one O(K) finalize loop, not a
+// kernel change.
+type PlaneTerm struct {
+	Kind   PlaneTermKind
+	Weight float64
+	Limit  float64 // mA for PlaneCurrentLimit
+}
+
+// planeTermCost evaluates the compiled per-plane penalties at the current
+// per-plane bias sums. Called only when len(p.PlaneTerms) > 0, so the
+// default term set never touches (or perturbs) the historical totals.
+func (p *Problem) planeTermCost(bk []float64) float64 {
+	var extra float64
+	for _, t := range p.PlaneTerms {
+		switch t.Kind {
+		case PlaneCurrentLimit:
+			norm := float64(p.K) * t.Limit * t.Limit
+			var s float64
+			for _, b := range bk {
+				if over := b - t.Limit; over > 0 {
+					s += over * over
+				}
+			}
+			extra += t.Weight * s / norm
+		}
+	}
+	return extra
+}
+
+// planeTermFactors adds the per-plane penalty gradients into the F2-style
+// bias row factors: d(extra)/dw_{i,k} = b_i · 2·Weight·max(0,B_k−L)/(K·L²),
+// and the row pass already multiplies bf[k] by b_i — so plane terms ride
+// the existing fused gradient+update fast path unchanged.
+func (p *Problem) planeTermFactors(bf, bk []float64) {
+	for _, t := range p.PlaneTerms {
+		switch t.Kind {
+		case PlaneCurrentLimit:
+			scale := 2 * t.Weight / (float64(p.K) * t.Limit * t.Limit)
+			for k, b := range bk {
+				if over := b - t.Limit; over > 0 {
+					bf[k] += scale * over
+				}
+			}
+		}
+	}
+}
+
+// finishBreakdown combines the four paper terms and, when the problem
+// carries compiled plane terms, folds their penalty into Extra/Total. The
+// guard keeps the no-term path bitwise identical: even adding an exact 0.0
+// could flip a −0.0 total.
+func (p *Problem) finishBreakdown(c Coeffs, f1, f2, f3, f4 float64, bk []float64) Breakdown {
+	bd := c.combine(f1, f2, f3, f4)
+	if len(p.PlaneTerms) > 0 {
+		bd.Extra = p.planeTermCost(bk)
+		bd.Total += bd.Extra
+	}
+	return bd
+}

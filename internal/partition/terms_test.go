@@ -1,0 +1,119 @@
+package partition
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func termsProblem(t *testing.T) *Problem {
+	t.Helper()
+	bias := []float64{1, 2, 3, 4, 5, 6}
+	area := []float64{0.01, 0.01, 0.01, 0.01, 0.01, 0.01}
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}
+	p, err := NewProblem("terms-test", 3, bias, area, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestTermValidationUnknownName (satellite): an unknown term name is
+// rejected with a message listing the registered vocabulary — the options
+// analogue of the serve layer's `?status=` 400 message.
+func TestTermValidationUnknownName(t *testing.T) {
+	p := termsProblem(t)
+	_, err := p.Solve(Options{MaxIters: 4, Terms: []TermSpec{{Name: "warp_drive"}}})
+	if err == nil {
+		t.Fatal("unknown term accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"warp_drive", "registered terms", "f1", "f4"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestTermValidationRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []TermSpec
+		want  string
+	}{
+		{"duplicate", []TermSpec{{Name: "f1"}, {Name: "f1", Weight: 2}}, "duplicate term"},
+		{"nan weight", []TermSpec{{Name: "f2", Weight: math.NaN()}}, "weight"},
+		{"inf weight", []TermSpec{{Name: "f2", Weight: math.Inf(1)}}, "weight"},
+		{"negative weight", []TermSpec{{Name: "f3", Weight: -1}}, "weight"},
+		{"nan param", []TermSpec{{Name: "f2", Param: math.NaN()}}, "param"},
+		{"negative param", []TermSpec{{Name: "f2", Param: -5}}, "param"},
+	}
+	p := termsProblem(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := p.Solve(Options{MaxIters: 4, Terms: tc.specs})
+			if err == nil {
+				t.Fatalf("specs %+v accepted", tc.specs)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTermFoldEquivalence: spelling the paper coefficients as f1–f4 term
+// specs normalizes to scaled Coeffs plus an empty term list — the same
+// fingerprint (and so the same cache key and checkpoint identity) as
+// spelling Coeffs directly.
+func TestTermFoldEquivalence(t *testing.T) {
+	viaTerms := Options{Terms: []TermSpec{{Name: "f2", Weight: 0.5}, {Name: "f4", Weight: 2}}}
+	direct := Options{Coeffs: Coeffs{C1: 1.0, C2: 0.25, C3: 0.5, C4: 2.0}}
+	fp1, err := viaTerms.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := direct.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("f-term spelling fingerprint %s != direct coeffs fingerprint %s", fp1, fp2)
+	}
+	n, err := viaTerms.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Terms) != 0 {
+		t.Fatalf("f-terms survived normalization: %+v", n.Terms)
+	}
+	// The default set (all weights 1, or 0 = default) is the identity: it
+	// folds to the default coefficients and the legacy fingerprint.
+	defaults := Options{Terms: []TermSpec{{Name: "f1"}, {Name: "f2"}, {Name: "f3"}, {Name: "f4"}}}
+	fpDef, err := defaults.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpLegacy, err := Options{}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpDef != fpLegacy {
+		t.Fatalf("default term set fingerprint %s != legacy fingerprint %s", fpDef, fpLegacy)
+	}
+}
+
+// TestRegisterTermNameRejectsDelimiters: term names flow into the
+// fingerprint byte string, so the delimiter characters are forbidden.
+func TestRegisterTermNameRejectsDelimiters(t *testing.T) {
+	for _, name := range []string{"", "a|b", "a:b", "a,b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterTermName(%q) did not panic", name)
+				}
+			}()
+			RegisterTermName(name, nil)
+		}()
+	}
+}

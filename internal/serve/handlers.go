@@ -36,6 +36,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/assignment", s.handleAssignment)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.mux.HandleFunc("GET /v1/debug/ops", s.handleOps)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	// Node-to-node endpoints; they answer 404 on a non-clustered daemon.
@@ -106,6 +110,14 @@ type JobOptions struct {
 	// distinct cache keys automatically. Unknown values are rejected by
 	// the solver's validation.
 	Precision string `json:"precision,omitempty"`
+
+	// Terms selects named cost terms from the registry (internal/terms),
+	// e.g. [{"name":"xesfq"},{"name":"current_limit","weight":2,"param":80}].
+	// f1–f4 specs scale the paper coefficients; regime terms reshape the
+	// compiled problem. Unknown names are rejected with the registered
+	// list, and the surviving set folds into the options fingerprint — and
+	// with it the cache key — so scenarios never collide.
+	Terms []partition.TermSpec `json:"terms,omitempty"`
 }
 
 // MultilevelJob is the JSON mirror of the multilevel V-cycle knobs; zero
@@ -145,6 +157,7 @@ func (o *JobOptions) toPartition() partition.Options {
 		Refine:       o.Refine,
 		RefinePasses: o.RefinePasses,
 		Workers:      o.Workers,
+		Terms:        o.Terms,
 	}
 	if o.PaperGradient {
 		p.Gradient = partition.GradientPaper

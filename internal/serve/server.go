@@ -16,6 +16,7 @@ import (
 	"gpp/internal/obs"
 	"gpp/internal/partition"
 	"gpp/internal/recycle"
+	"gpp/internal/terms"
 )
 
 // Server is the partition daemon: an http.Handler plus the worker pool
@@ -29,6 +30,11 @@ type Server struct {
 	durable *durable // nil unless Config.DataDir is set
 	queue   chan *job
 	stats   *serverStats
+
+	// sweeps is the batch-sweep registry; sweepWG tracks the feeder and
+	// finalizer goroutines so Shutdown drains them with the workers.
+	sweeps  *sweepStore
+	sweepWG sync.WaitGroup
 
 	// qmu guards the draining flag and queue sends against the close in
 	// Shutdown; a send never races the close because both hold qmu.
@@ -56,11 +62,12 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		store: newJobStore(cfg.MaxJobs),
-		cache: newLRU(cfg.CacheEntries),
-		queue: make(chan *job, cfg.QueueDepth),
-		stats: newServerStats(),
+		cfg:    cfg,
+		store:  newJobStore(cfg.MaxJobs),
+		cache:  newLRU(cfg.CacheEntries),
+		queue:  make(chan *job, cfg.QueueDepth),
+		stats:  newServerStats(),
+		sweeps: newSweepStore(),
 	}
 	var pending []*journaledJob
 	if cfg.DataDir != "" {
@@ -184,6 +191,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		s.workers.Wait()
 		s.loops.Wait()
+		// Sweep feeders stop at the next enqueue (503 while draining) and
+		// finalizers return once their last cell is terminal, which the
+		// worker drain above guarantees.
+		s.sweepWG.Wait()
 		close(done)
 	}()
 	var err error
@@ -421,11 +432,14 @@ func (s *Server) journalFinish(j *job, st Status) {
 // determinism guarantees make the envelope a pure function of the cache
 // key — the tracer and span never influence the result.
 func (s *Server) solve(j *job, span *obs.Span) (body []byte, labels []int, err error) {
-	p, err := partition.FromCircuit(j.circuit, j.k)
+	// The term registry builds the problem: with an empty term set this is
+	// exactly partition.FromCircuit (the historical kernel path, bit for
+	// bit); regime terms rescale biases, drop/reweight edges, and attach
+	// the compiled plane-term tables before the solver ever runs.
+	p, opts, err := terms.BuildProblem(j.circuit, j.k, j.opts, s.cfg.Library)
 	if err != nil {
 		return nil, nil, err
 	}
-	opts := j.opts
 	opts.Span = span
 	every := s.cfg.ProgressEvery
 	opts.Tracer = obs.TracerFunc(func(e obs.Event) {
@@ -489,6 +503,11 @@ func (s *Server) solve(j *job, span *obs.Span) (body []byte, labels []int, err e
 		RefineMoves:  res.RefineMoves,
 		Labels:       res.Labels,
 		Metrics:      metricsJSON(m),
+		Cost: &costJSON{
+			F1: res.Discrete.F1, F2: res.Discrete.F2,
+			F3: res.Discrete.F3, F4: res.Discrete.F4,
+			Extra: res.Discrete.Extra, Total: res.Discrete.Total,
+		},
 	}
 	if mr != nil {
 		env.Levels = mr.Levels
@@ -534,7 +553,20 @@ type resultEnvelope struct {
 	CoarsestSize int         `json:"coarsest_size,omitempty"`
 	Labels       []int       `json:"labels"`
 	Metrics      metricsBody `json:"metrics"`
+	Cost         *costJSON   `json:"cost_breakdown,omitempty"`
 	Plan         *planJSON   `json:"plan,omitempty"`
+}
+
+// costJSON is the discrete cost decomposed per objective term — what a
+// sweep's ranked cells report as their per-cell breakdown. Extra is the
+// summed plane-term (regime) contribution, zero on the default term set.
+type costJSON struct {
+	F1    float64 `json:"f1"`
+	F2    float64 `json:"f2"`
+	F3    float64 `json:"f3"`
+	F4    float64 `json:"f4"`
+	Extra float64 `json:"extra,omitempty"`
+	Total float64 `json:"total"`
 }
 
 // metricsBody mirrors recycle.Metrics with wire-friendly names plus the

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gpp/internal/partition"
+	"gpp/internal/sweep"
+)
+
+func postSweep(t *testing.T, base string, req SweepRequest) (int, sweepStatusBody, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb sweepStatusBody
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &sb); err != nil {
+			t.Fatalf("bad sweep response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, sb, raw
+}
+
+func waitSweepTerminal(t *testing.T, base, id string) sweepStatusBody {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb sweepStatusBody
+		err = json.NewDecoder(resp.Body).Decode(&sb)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.Status.terminal() {
+			return sb
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never reached a terminal state", id)
+	return sweepStatusBody{}
+}
+
+// TestSweepThreeRegimes is the acceptance-criteria flow: one POST
+// /v1/sweeps with a three-regime portfolio returns a ranked result set
+// whose cells are individually addressable jobs and individually
+// cache-hittable.
+func TestSweepThreeRegimes(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+	code, sb, raw := postSweep(t, base, SweepRequest{
+		Circuit: "KSA8",
+		Spec: sweep.Spec{
+			Ks: []int{4},
+			Regimes: []sweep.Regime{
+				{Name: "paper"},
+				{Name: "xesfq", Terms: []partition.TermSpec{{Name: "xesfq"}}},
+				{Name: "ersfq", Terms: []partition.TermSpec{{Name: "current_limit", Weight: 2, Param: 50}}},
+			},
+		},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d: %s", code, raw)
+	}
+	if len(sb.Cells) != 3 {
+		t.Fatalf("expanded %d cells, want 3", len(sb.Cells))
+	}
+	done := waitSweepTerminal(t, base, sb.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("sweep status = %s, want done", done.Status)
+	}
+	if done.Done != 3 || done.Failed != 0 || done.Pending != 0 {
+		t.Fatalf("cell counts done=%d failed=%d pending=%d, want 3/0/0", done.Done, done.Failed, done.Pending)
+	}
+	if len(done.Ranking) != 3 {
+		t.Fatalf("ranking = %v, want all 3 cells", done.Ranking)
+	}
+	if len(done.Pareto) == 0 {
+		t.Fatalf("pareto front empty")
+	}
+	// Ranking is best-first under discrete cost.
+	costOf := make(map[int]float64, 3)
+	for _, c := range done.Cells {
+		if c.Cost == nil || c.BMaxMA == nil {
+			t.Fatalf("cell %d missing ranking metrics: %+v", c.Index, c)
+		}
+		costOf[c.Index] = *c.Cost
+	}
+	for i := 1; i < len(done.Ranking); i++ {
+		if costOf[done.Ranking[i-1]] > costOf[done.Ranking[i]] {
+			t.Fatalf("ranking not ascending by cost: %v (%v)", done.Ranking, costOf)
+		}
+	}
+	// Every cell is an ordinary job: its document is served by the jobs
+	// API and its result carries the per-cell cost breakdown.
+	for _, c := range done.Cells {
+		js := getStatus(t, base, c.JobID)
+		if js.Status != StatusDone {
+			t.Fatalf("cell %d job %s status = %s", c.Index, c.JobID, js.Status)
+		}
+		if !strings.Contains(string(js.Result), `"cost_breakdown"`) {
+			t.Fatalf("cell %d result has no cost breakdown: %s", c.Index, js.Result)
+		}
+	}
+	// Cells are individually cache-hittable: resubmitting one cell's
+	// scenario as a plain job answers synchronously from the cache.
+	var xesfqCell *sweepCellBody
+	for i := range done.Cells {
+		if done.Cells[i].Regime == "xesfq" {
+			xesfqCell = &done.Cells[i]
+		}
+	}
+	code, js, _ := postJob(t, base, JobRequest{
+		Circuit: "KSA8", K: 4,
+		Options: &JobOptions{Terms: xesfqCell.Terms},
+	})
+	if code != http.StatusOK || js.Cache != "hit" {
+		t.Fatalf("cell resubmission code=%d cache=%q, want 200/hit", code, js.Cache)
+	}
+	// The SSE stream replays per-cell progress and closes with the ranked
+	// status frame.
+	events := string(getBody(t, base, "/v1/sweeps/"+sb.ID+"/events", http.StatusOK))
+	if !strings.Contains(events, string(kindSweepCellDone)) {
+		t.Errorf("sweep events missing %s frames: %s", kindSweepCellDone, events[:min(len(events), 400)])
+	}
+	if !strings.Contains(events, "event: status") || !strings.Contains(events, `"ranking"`) {
+		t.Errorf("sweep events missing terminal ranked status frame")
+	}
+}
+
+// TestSweepUnknownTermRejected (satellite): a sweep naming an unregistered
+// term must 400 at submit with the registered terms listed — mirroring the
+// jobs API's ?status= 400 pattern.
+func TestSweepUnknownTermRejected(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	code, _, raw := postSweep(t, base, SweepRequest{
+		Circuit: "KSA4",
+		Spec: sweep.Spec{
+			Ks:      []int{3},
+			Regimes: []sweep.Regime{{Name: "bad", Terms: []partition.TermSpec{{Name: "warp_drive"}}}},
+		},
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown term sweep = %d, want 400: %s", code, raw)
+	}
+	body := string(raw)
+	for _, name := range []string{"warp_drive", "registered terms", "xesfq", "current_limit", "timing_critical", "f1"} {
+		if !strings.Contains(body, name) {
+			t.Errorf("400 body does not mention %q: %s", name, body)
+		}
+	}
+}
+
+// TestJobUnknownTermRejected: the single-job endpoint gets the same
+// validation through Options.Terms.
+func TestJobUnknownTermRejected(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	body, err := json.Marshal(JobRequest{
+		Circuit: "KSA4", K: 3,
+		Options: &JobOptions{Terms: []partition.TermSpec{{Name: "bogus"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown term job = %d, want 400: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "registered terms") {
+		t.Errorf("400 body does not list registered terms: %s", raw)
+	}
+}
+
+// TestSweepFailedCellExcluded (satellite): a cell killed by its injected
+// per-regime deadline is marked failed with its error and excluded from
+// the ranking and the Pareto front — it never poisons the batch.
+func TestSweepFailedCellExcluded(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	code, sb, raw := postSweep(t, base, SweepRequest{
+		// KSA32 is big enough that no solve finishes inside 1 ms, so the
+		// injected deadline always fires.
+		Circuit: "KSA32",
+		Spec: sweep.Spec{
+			Ks: []int{3},
+			Regimes: []sweep.Regime{
+				{Name: "healthy"},
+				// Distinct term set (distinct cache key) so the doomed cell
+				// cannot be rescued by a cache hit on the healthy cell, and a
+				// 1 ms deadline no real solve can meet.
+				{Name: "doomed", Terms: []partition.TermSpec{{Name: "current_limit"}}, TimeoutMS: 1},
+			},
+		},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d: %s", code, raw)
+	}
+	done := waitSweepTerminal(t, base, sb.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("sweep status = %s, want done (failed cells must not fail the sweep)", done.Status)
+	}
+	if done.Done != 1 || done.Failed != 1 {
+		t.Fatalf("cell counts done=%d failed=%d, want 1/1", done.Done, done.Failed)
+	}
+	var healthy, doomed *sweepCellBody
+	for i := range done.Cells {
+		switch done.Cells[i].Regime {
+		case "healthy":
+			healthy = &done.Cells[i]
+		case "doomed":
+			doomed = &done.Cells[i]
+		}
+	}
+	if doomed.Status != StatusFailed && doomed.Status != StatusCancelled {
+		t.Fatalf("doomed cell status = %s, want failed/cancelled", doomed.Status)
+	}
+	if doomed.Error == "" {
+		t.Errorf("doomed cell reports no error")
+	}
+	if doomed.Cost != nil {
+		t.Errorf("doomed cell has a ranking cost")
+	}
+	want := []int{healthy.Index}
+	if len(done.Ranking) != 1 || done.Ranking[0] != want[0] {
+		t.Errorf("ranking = %v, want %v (doomed cell excluded)", done.Ranking, want)
+	}
+	for _, idx := range done.Pareto {
+		if idx == doomed.Index {
+			t.Errorf("pareto front contains the failed cell: %v", done.Pareto)
+		}
+	}
+}
+
+// TestSweepCancel: DELETE cancels the remaining cells and the sweep
+// settles as cancelled with the already-finished cells intact.
+func TestSweepCancel(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	code, sb, raw := postSweep(t, base, SweepRequest{
+		Circuit: "KSA8",
+		Spec:    sweep.Spec{KRange: &sweep.KRange{From: 2, To: 9}},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d: %s", code, raw)
+	}
+	delReq, err := http.NewRequest(http.MethodDelete, base+"/v1/sweeps/"+sb.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep cancel = %d, want 202", resp.StatusCode)
+	}
+	done := waitSweepTerminal(t, base, sb.ID)
+	if done.Status != StatusCancelled {
+		t.Fatalf("cancelled sweep status = %s, want cancelled", done.Status)
+	}
+	if done.Pending != 0 {
+		t.Fatalf("cancelled sweep still has %d pending cells", done.Pending)
+	}
+}

@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpp/internal/partition"
+)
+
+// Doc is the serialized sweep-result document: the shape the serve daemon's
+// POST /v1/sweeps and GET /v1/sweeps/{id} endpoints answer with, and the
+// shape `gpp-sweep -json` writes for in-process runs. The two producers
+// keep their own struct definitions (the daemon's carries typed statuses);
+// the JSON field names here are the contract, and `gpp-inspect sweep`
+// renders any document matching them.
+type Doc struct {
+	ID        string    `json:"id"`
+	Status    string    `json:"status"`
+	Circuit   string    `json:"circuit"`
+	RankBy    string    `json:"rank_by"`
+	Cells     []CellDoc `json:"cells"`
+	Done      int       `json:"done"`
+	Failed    int       `json:"failed"`
+	Pending   int       `json:"pending"`
+	Ranking   []int     `json:"ranking,omitempty"`
+	Pareto    []int     `json:"pareto,omitempty"`
+	Submitted string    `json:"submitted_at,omitempty"`
+	Finished  string    `json:"finished_at,omitempty"`
+}
+
+// CellDoc is one scenario of a Doc. Cost and BMaxMA are pointers so a
+// missing metric (failed or still-running cell) is distinguishable from a
+// genuine zero.
+type CellDoc struct {
+	Index   int                  `json:"index"`
+	JobID   string               `json:"job_id,omitempty"`
+	Key     string               `json:"key,omitempty"`
+	K       int                  `json:"k"`
+	Regime  string               `json:"regime,omitempty"`
+	Weights *WeightPoint         `json:"weights,omitempty"`
+	Terms   []partition.TermSpec `json:"terms,omitempty"`
+	Status  string               `json:"status"`
+	Cache   string               `json:"cache,omitempty"`
+	Cost    *float64             `json:"cost,omitempty"`
+	BMaxMA  *float64             `json:"b_max_ma,omitempty"`
+	Error   string               `json:"error,omitempty"`
+}
+
+// FormatTerms renders a term-spec list the way the gpp-partition -terms
+// flag spells it: name[:weight[:param]], comma-joined, "-" when empty.
+func FormatTerms(specs []partition.TermSpec) string {
+	if len(specs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(specs))
+	for i, ts := range specs {
+		s := ts.Name
+		if ts.Weight != 0 || ts.Param != 0 {
+			s += ":" + strconv.FormatFloat(ts.Weight, 'g', -1, 64)
+		}
+		if ts.Param != 0 {
+			s += ":" + strconv.FormatFloat(ts.Param, 'g', -1, 64)
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}
+
+// RenderTable writes the ranked sweep table: one header line, the ranked
+// cells best-first, then the unranked (failed or unfinished) cells, then
+// the Pareto front. This is the view `gpp-sweep` prints after a run and
+// `gpp-inspect sweep` reproduces from a saved document.
+func RenderTable(w io.Writer, d *Doc) {
+	rankBy := d.RankBy
+	if rankBy == "" {
+		rankBy = RankByCost
+	}
+	fmt.Fprintf(w, "sweep %s: circuit %s, %d cells (%d done, %d failed, %d pending), status %s, ranked by %s\n",
+		d.ID, d.Circuit, len(d.Cells), d.Done, d.Failed, d.Pending, d.Status, rankBy)
+	byIndex := make(map[int]*CellDoc, len(d.Cells))
+	for i := range d.Cells {
+		byIndex[d.Cells[i].Index] = &d.Cells[i]
+	}
+	fmt.Fprintf(w, "  %4s %4s %3s %-14s %-28s %12s %10s %-5s %s\n",
+		"rank", "cell", "k", "regime", "terms", "cost", "B_max mA", "cache", "status")
+	row := func(rank string, c *CellDoc) {
+		cost, bmax := "-", "-"
+		if c.Cost != nil {
+			cost = strconv.FormatFloat(*c.Cost, 'f', 6, 64)
+		}
+		if c.BMaxMA != nil {
+			bmax = strconv.FormatFloat(*c.BMaxMA, 'f', 2, 64)
+		}
+		cache := c.Cache
+		if cache == "" {
+			cache = "-"
+		}
+		status := c.Status
+		if c.Error != "" {
+			status += ": " + c.Error
+		}
+		regime := c.Regime
+		if regime == "" {
+			regime = "-"
+		}
+		fmt.Fprintf(w, "  %4s %4d %3d %-14s %-28s %12s %10s %-5s %s\n",
+			rank, c.Index, c.K, regime, FormatTerms(c.Terms), cost, bmax, cache, status)
+	}
+	ranked := make(map[int]bool, len(d.Ranking))
+	for pos, idx := range d.Ranking {
+		ranked[idx] = true
+		if c := byIndex[idx]; c != nil {
+			row(strconv.Itoa(pos+1), c)
+		}
+	}
+	for i := range d.Cells {
+		if c := &d.Cells[i]; !ranked[c.Index] {
+			row("-", c)
+		}
+	}
+	if len(d.Pareto) > 0 {
+		fmt.Fprintf(w, "  pareto front (cost vs B_max): cells %v\n", d.Pareto)
+	}
+}

@@ -1,0 +1,321 @@
+// Package sweep expands a declarative multi-scenario specification — K
+// ranges, c-weight grids, and a regime portfolio of cost-term sets — into
+// the flat cell matrix a batch sweep runs, and ranks the finished cells.
+//
+// The package is deliberately inert: it knows nothing about HTTP, queues,
+// or solvers. Expand produces cells whose identity is (K, merged term
+// specs); the serve layer turns each cell into an ordinary content-
+// addressed job (so cells are cache-hittable and cluster-stealable for
+// free), and Rank/ParetoFront summarize whatever outcomes came back.
+// Failed cells never poison a batch: ranking and the Pareto front skip
+// them, and the caller reports them with their errors instead.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpp/internal/partition"
+)
+
+// MaxCellsDefault bounds an expansion when the spec does not set its own
+// cap; a sweep is one API call, not a denial-of-service vector.
+const MaxCellsDefault = 256
+
+// RankBy values accepted by Spec.RankBy.
+const (
+	RankByCost = "cost"  // discrete total cost, ascending (the default)
+	RankByBMax = "b_max" // worst per-plane bias current, ascending
+)
+
+// Spec is the declarative sweep request: the cross product of the K axis,
+// the c-weight grid, and the regime portfolio. Empty axes collapse to a
+// single default point, so any subset of the three may be swept.
+type Spec struct {
+	// Ks lists explicit plane counts; KRange appends an inclusive
+	// arithmetic range. At least one K must result (from either axis or
+	// the caller's default).
+	Ks     []int   `json:"ks,omitempty"`
+	KRange *KRange `json:"k_range,omitempty"`
+
+	// Weights is the c-weight grid: each point scales the paper's four
+	// objective coefficients via the f1–f4 terms (zero fields keep the
+	// default weight 1). Pairing points with RankBy over two metrics is
+	// how a Pareto front over the cost trade-off is swept.
+	Weights []WeightPoint `json:"weights,omitempty"`
+
+	// Regimes is the portfolio of named term sets to run every (K, weight)
+	// point under. An empty list means one unnamed default regime.
+	Regimes []Regime `json:"regimes,omitempty"`
+
+	// RankBy selects the ranking metric: "cost" (default) or "b_max".
+	RankBy string `json:"rank_by,omitempty"`
+
+	// MaxCells caps the expansion (default MaxCellsDefault). A spec that
+	// expands past the cap is rejected, never silently truncated.
+	MaxCells int `json:"max_cells,omitempty"`
+}
+
+// KRange is an inclusive arithmetic K progression: From, From+Step, …, To.
+type KRange struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Step int `json:"step,omitempty"` // default 1
+}
+
+// WeightPoint scales the four paper coefficients; a zero field means "keep
+// the default weight 1" (matching the f-terms' canonical convention).
+type WeightPoint struct {
+	F1 float64 `json:"f1,omitempty"`
+	F2 float64 `json:"f2,omitempty"`
+	F3 float64 `json:"f3,omitempty"`
+	F4 float64 `json:"f4,omitempty"`
+}
+
+// zero reports whether the point is all-default.
+func (w WeightPoint) zero() bool { return w.F1 == 0 && w.F2 == 0 && w.F3 == 0 && w.F4 == 0 }
+
+// terms renders the point as f-term specs (only non-default fields emit).
+func (w WeightPoint) terms() []partition.TermSpec {
+	var out []partition.TermSpec
+	for _, t := range []struct {
+		name string
+		w    float64
+	}{{"f1", w.F1}, {"f2", w.F2}, {"f3", w.F3}, {"f4", w.F4}} {
+		if t.w != 0 {
+			out = append(out, partition.TermSpec{Name: t.name, Weight: t.w})
+		}
+	}
+	return out
+}
+
+// Regime is one named term set of the portfolio. TimeoutMS, when set,
+// overrides the sweep's per-cell deadline for this regime's cells (heavier
+// regimes can buy more budget; the satellite deadline test injects a tiny
+// one here).
+type Regime struct {
+	Name      string               `json:"name"`
+	Terms     []partition.TermSpec `json:"terms,omitempty"`
+	TimeoutMS int64                `json:"timeout_ms,omitempty"`
+}
+
+// Cell is one expanded scenario: a concrete K plus the merged term specs
+// (regime terms with the weight point's f-terms folded in). Index is the
+// cell's stable position in the matrix — the handle every ranked summary
+// refers back to.
+type Cell struct {
+	Index     int                  `json:"index"`
+	K         int                  `json:"k"`
+	Regime    string               `json:"regime,omitempty"`
+	Weights   *WeightPoint         `json:"weights,omitempty"`
+	Terms     []partition.TermSpec `json:"terms,omitempty"`
+	TimeoutMS int64                `json:"timeout_ms,omitempty"`
+}
+
+// Expand validates the spec and produces the cell matrix in deterministic
+// order: K outermost, weight points next, regimes innermost. defaultK is
+// used when the spec declares no K axis (0 means the axis is required).
+func Expand(s Spec, defaultK int) ([]Cell, error) {
+	ks, err := expandKs(s, defaultK)
+	if err != nil {
+		return nil, err
+	}
+	switch s.RankBy {
+	case "", RankByCost, RankByBMax:
+	default:
+		return nil, fmt.Errorf("sweep: bad rank_by %q; valid: %s, %s", s.RankBy, RankByCost, RankByBMax)
+	}
+	maxCells := s.MaxCells
+	if maxCells <= 0 {
+		maxCells = MaxCellsDefault
+	}
+	weights := s.Weights
+	if len(weights) == 0 {
+		weights = []WeightPoint{{}}
+	}
+	for _, w := range weights {
+		for _, v := range []float64{w.F1, w.F2, w.F3, w.F4} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("sweep: weight point values must be finite and non-negative, got %v", v)
+			}
+		}
+	}
+	regimes := s.Regimes
+	if len(regimes) == 0 {
+		regimes = []Regime{{}}
+	}
+	seen := make(map[string]bool, len(regimes))
+	for i, r := range regimes {
+		if r.Name == "" && len(regimes) > 1 {
+			return nil, fmt.Errorf("sweep: regime %d needs a name (portfolios are reported by regime)", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("sweep: duplicate regime name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.TimeoutMS < 0 {
+			return nil, fmt.Errorf("sweep: regime %q timeout_ms must be ≥ 0", r.Name)
+		}
+	}
+	total := len(ks) * len(weights) * len(regimes)
+	if total > maxCells {
+		return nil, fmt.Errorf("sweep: spec expands to %d cells, cap is %d (raise max_cells deliberately)", total, maxCells)
+	}
+	cells := make([]Cell, 0, total)
+	for _, k := range ks {
+		for wi := range weights {
+			for _, r := range regimes {
+				terms, err := mergeTerms(r.Terms, weights[wi])
+				if err != nil {
+					return nil, fmt.Errorf("sweep: regime %q: %w", r.Name, err)
+				}
+				cell := Cell{
+					Index:     len(cells),
+					K:         k,
+					Regime:    r.Name,
+					Terms:     terms,
+					TimeoutMS: r.TimeoutMS,
+				}
+				if !weights[wi].zero() {
+					w := weights[wi]
+					cell.Weights = &w
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+func expandKs(s Spec, defaultK int) ([]int, error) {
+	ks := append([]int(nil), s.Ks...)
+	if r := s.KRange; r != nil {
+		step := r.Step
+		if step == 0 {
+			step = 1
+		}
+		if step < 0 {
+			return nil, fmt.Errorf("sweep: k_range step must be ≥ 1, got %d", step)
+		}
+		if r.To < r.From {
+			return nil, fmt.Errorf("sweep: k_range to (%d) < from (%d)", r.To, r.From)
+		}
+		for k := r.From; k <= r.To; k += step {
+			ks = append(ks, k)
+		}
+	}
+	if len(ks) == 0 {
+		if defaultK < 1 {
+			return nil, fmt.Errorf("sweep: spec declares no K axis (set ks, k_range, or a top-level k)")
+		}
+		ks = []int{defaultK}
+	}
+	seen := make(map[int]bool, len(ks))
+	out := ks[:0]
+	for _, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("sweep: k must be ≥ 1, got %d", k)
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// mergeTerms combines a regime's term set with a weight point. A weight
+// point's f-term multiplies the weight of a matching regime f-term (the
+// f-terms fold multiplicatively into the coefficients anyway, so a regime
+// that pins f2=2 under a grid point f2=0.5 runs at net weight 1); any
+// other term passes through untouched.
+func mergeTerms(regime []partition.TermSpec, w WeightPoint) ([]partition.TermSpec, error) {
+	out := append([]partition.TermSpec(nil), regime...)
+	for _, ft := range w.terms() {
+		merged := false
+		for i := range out {
+			if out[i].Name == ft.Name {
+				base := out[i].Weight
+				if base == 0 {
+					base = 1
+				}
+				out[i].Weight = base * ft.Weight
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, ft)
+		}
+	}
+	return out, nil
+}
+
+// Outcome is one finished cell's ranking inputs. Failed cells carry
+// Failed=true and are excluded from every summary.
+type Outcome struct {
+	Index  int     `json:"index"`
+	Failed bool    `json:"failed,omitempty"`
+	Cost   float64 `json:"cost"`
+	BMax   float64 `json:"b_max"`
+}
+
+// Rank returns the cell indices of the non-failed outcomes, best first
+// under the given metric ("" means RankByCost). Ties break by cell index,
+// so the ranking is deterministic.
+func Rank(outs []Outcome, rankBy string) []int {
+	metric := func(o Outcome) float64 { return o.Cost }
+	if rankBy == RankByBMax {
+		metric = func(o Outcome) float64 { return o.BMax }
+	}
+	live := make([]Outcome, 0, len(outs))
+	for _, o := range outs {
+		if !o.Failed {
+			live = append(live, o)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		mi, mj := metric(live[i]), metric(live[j])
+		if mi != mj {
+			return mi < mj
+		}
+		return live[i].Index < live[j].Index
+	})
+	idx := make([]int, len(live))
+	for i, o := range live {
+		idx[i] = o.Index
+	}
+	return idx
+}
+
+// ParetoFront returns the indices of the non-failed outcomes that are not
+// dominated in (Cost, BMax) — both minimized — ordered by ascending Cost
+// (ties by index). A point dominates another when it is no worse on both
+// metrics and strictly better on at least one.
+func ParetoFront(outs []Outcome) []int {
+	live := make([]Outcome, 0, len(outs))
+	for _, o := range outs {
+		if !o.Failed {
+			live = append(live, o)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		if live[i].Cost != live[j].Cost {
+			return live[i].Cost < live[j].Cost
+		}
+		if live[i].BMax != live[j].BMax {
+			return live[i].BMax < live[j].BMax
+		}
+		return live[i].Index < live[j].Index
+	})
+	var front []int
+	bestBMax := math.Inf(1)
+	for _, o := range live {
+		if o.BMax < bestBMax {
+			front = append(front, o.Index)
+			bestBMax = o.BMax
+		}
+	}
+	return front
+}

@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"gpp/internal/partition"
+)
+
+func TestExpandCrossProduct(t *testing.T) {
+	spec := Spec{
+		Ks:     []int{3},
+		KRange: &KRange{From: 4, To: 6, Step: 2},
+		Weights: []WeightPoint{
+			{},
+			{F2: 2},
+		},
+		Regimes: []Regime{
+			{Name: "base"},
+			{Name: "xesfq", Terms: []partition.TermSpec{{Name: "xesfq"}}},
+		},
+	}
+	cells, err := Expand(spec, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	// 3 Ks × 2 weight points × 2 regimes.
+	if len(cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	wantKs := []int{3, 3, 3, 3, 4, 4, 4, 4, 6, 6, 6, 6}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has Index %d", i, c.Index)
+		}
+		if c.K != wantKs[i] {
+			t.Errorf("cell %d K = %d, want %d", i, c.K, wantKs[i])
+		}
+	}
+	// Second weight point carries an f2 term; the xesfq regime keeps its
+	// own term alongside it.
+	c := cells[3] // K=3, weights {F2:2}, regime xesfq
+	want := []partition.TermSpec{{Name: "xesfq"}, {Name: "f2", Weight: 2}}
+	if !reflect.DeepEqual(c.Terms, want) {
+		t.Errorf("cell 3 terms = %+v, want %+v", c.Terms, want)
+	}
+	if c.Regime != "xesfq" || c.Weights == nil || c.Weights.F2 != 2 {
+		t.Errorf("cell 3 metadata wrong: %+v", c)
+	}
+}
+
+func TestExpandDefaults(t *testing.T) {
+	cells, err := Expand(Spec{}, 5)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(cells) != 1 || cells[0].K != 5 || len(cells[0].Terms) != 0 {
+		t.Fatalf("default expansion = %+v, want one bare K=5 cell", cells)
+	}
+}
+
+func TestExpandMergesWeightIntoRegimeFTerm(t *testing.T) {
+	spec := Spec{
+		Ks:      []int{2},
+		Weights: []WeightPoint{{F2: 0.5}},
+		Regimes: []Regime{{Name: "r", Terms: []partition.TermSpec{{Name: "f2", Weight: 4}}}},
+	}
+	cells, err := Expand(spec, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(cells) != 1 || len(cells[0].Terms) != 1 || cells[0].Terms[0].Weight != 2 {
+		t.Fatalf("merge = %+v, want one f2 term with weight 2", cells[0].Terms)
+	}
+}
+
+func TestExpandRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		defK int
+	}{
+		{"no k axis", Spec{}, 0},
+		{"k below 1", Spec{Ks: []int{0}}, 0},
+		{"bad range", Spec{KRange: &KRange{From: 5, To: 3}}, 0},
+		{"negative step", Spec{KRange: &KRange{From: 1, To: 3, Step: -1}}, 0},
+		{"bad rank_by", Spec{Ks: []int{2}, RankBy: "speed"}, 0},
+		{"negative weight", Spec{Ks: []int{2}, Weights: []WeightPoint{{F1: -1}}}, 0},
+		{"unnamed portfolio", Spec{Ks: []int{2}, Regimes: []Regime{{}, {Name: "b"}}}, 0},
+		{"dup regime", Spec{Ks: []int{2}, Regimes: []Regime{{Name: "a"}, {Name: "a"}}}, 0},
+		{"negative timeout", Spec{Ks: []int{2}, Regimes: []Regime{{Name: "a", TimeoutMS: -1}}}, 0},
+		{"over cap", Spec{KRange: &KRange{From: 1, To: 500}}, 0},
+	}
+	for _, tc := range cases {
+		if _, err := Expand(tc.spec, tc.defK); err == nil {
+			t.Errorf("%s: expansion accepted, want error", tc.name)
+		}
+	}
+}
+
+func TestExpandDedupesKs(t *testing.T) {
+	cells, err := Expand(Spec{Ks: []int{4, 4}, KRange: &KRange{From: 4, To: 5}}, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(cells) != 2 || cells[0].K != 4 || cells[1].K != 5 {
+		t.Fatalf("dedupe = %+v, want Ks 4,5", cells)
+	}
+}
+
+func TestRankExcludesFailedCells(t *testing.T) {
+	outs := []Outcome{
+		{Index: 0, Cost: 3, BMax: 10},
+		{Index: 1, Failed: true, Cost: 0, BMax: 0}, // would win both metrics
+		{Index: 2, Cost: 1, BMax: 30},
+		{Index: 3, Cost: 2, BMax: 20},
+	}
+	if got := Rank(outs, ""); !reflect.DeepEqual(got, []int{2, 3, 0}) {
+		t.Errorf("Rank(cost) = %v, want [2 3 0]", got)
+	}
+	if got := Rank(outs, RankByBMax); !reflect.DeepEqual(got, []int{0, 3, 2}) {
+		t.Errorf("Rank(b_max) = %v, want [0 3 2]", got)
+	}
+}
+
+func TestRankTiesBreakByIndex(t *testing.T) {
+	outs := []Outcome{
+		{Index: 0, Cost: 1, BMax: 1},
+		{Index: 1, Cost: 1, BMax: 1},
+	}
+	if got := Rank(outs, ""); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Rank = %v, want [0 1]", got)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	outs := []Outcome{
+		{Index: 0, Cost: 1, BMax: 30},
+		{Index: 1, Cost: 2, BMax: 20},              // on the front
+		{Index: 2, Cost: 3, BMax: 25},              // dominated by 1
+		{Index: 3, Cost: 4, BMax: 10},              // on the front
+		{Index: 4, Failed: true, Cost: 0, BMax: 0}, // failed: excluded
+	}
+	if got := ParetoFront(outs); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Errorf("ParetoFront = %v, want [0 1 3]", got)
+	}
+}

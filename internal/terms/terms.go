@@ -1,0 +1,329 @@
+// Package terms is the pluggable cost-term registry (DESIGN.md §16): it
+// turns the named term specs in partition.Options.Terms into the concrete
+// kernel tables the fused descent sweep consumes. A Term never executes in
+// the hot loop — Compile runs once per solve and emits precomputed
+// per-gate bias scales, per-edge drop/weight tables, and per-plane penalty
+// entries (partition.PlaneTerm, dispatched by kind switch), so the
+// registry costs the kernels nothing when idle and one table lookup when
+// active.
+//
+// Built-in terms:
+//
+//   - "f1".."f4" — the paper's four objective terms. Their weights fold
+//     into partition.Coeffs during options normalization (partition owns
+//     that path); the Term implementations here exist so the registry is
+//     complete and compile to no-ops.
+//   - "xesfq" — clockless xeSFQ regime (Volk et al.): clock-splitter cells
+//     carry no bias (zero static power, no clock tree) and their
+//     connections vanish from the wire-crossing objective.
+//   - "current_limit" — ERSFQ supply-pad limit (the paper's Table III
+//     constraint as a soft term): planes whose bias sum exceeds Param mA
+//     (default 100) are penalized quadratically.
+//   - "timing_critical" — clock-follow-data regime (Aviles et al.): F1
+//     edge crossings are weighted by 1 + Weight·criticality, with
+//     criticality the zero-slack score from internal/timing.
+package terms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gpp/internal/cellib"
+	"gpp/internal/netlist"
+	"gpp/internal/partition"
+	"gpp/internal/timing"
+)
+
+// Compiled is a term's contribution to one problem instance, as pure data
+// the problem builder merges: every field is optional (nil = identity).
+type Compiled struct {
+	// BiasScale multiplies gate i's bias current (0 erases it).
+	BiasScale []float64
+	// DropEdge removes connection e from the problem entirely (its weight
+	// leaves the F1 normalizer too).
+	DropEdge []bool
+	// EdgeWeightMul multiplies connection e's F1 weight.
+	EdgeWeightMul []float64
+	// Plane appends per-plane penalty terms evaluated by the kernels.
+	Plane []partition.PlaneTerm
+}
+
+// Term is one registered cost term. Implementations must be stateless:
+// Compile runs once per solve, may depend only on its arguments, and all
+// hot-loop state lives in the Compiled tables.
+type Term interface {
+	// Name is the registry key referenced by partition.TermSpec.Name.
+	Name() string
+	// Canon validates the spec and fills term-specific defaults; it feeds
+	// the options fingerprint, so it must be pure and idempotent.
+	Canon(spec partition.TermSpec) (partition.TermSpec, error)
+	// Compile translates the canonical spec into kernel tables for one
+	// circuit instance.
+	Compile(spec partition.TermSpec, c *netlist.Circuit, k int, lib *cellib.Library) (Compiled, error)
+}
+
+var reg = struct {
+	sync.RWMutex
+	terms map[string]Term
+}{terms: map[string]Term{}}
+
+// Register adds a term to the registry (replacing any previous holder of
+// the name) and registers its name with the partition options validator.
+func Register(t Term) {
+	partition.RegisterTermName(t.Name(), t.Canon)
+	reg.Lock()
+	reg.terms[t.Name()] = t
+	reg.Unlock()
+}
+
+// Lookup returns the registered term for a name.
+func Lookup(name string) (Term, bool) {
+	reg.RLock()
+	t, ok := reg.terms[name]
+	reg.RUnlock()
+	return t, ok
+}
+
+// Names returns every registered term name, sorted.
+func Names() []string {
+	reg.RLock()
+	names := make([]string, 0, len(reg.terms))
+	for n := range reg.terms {
+		names = append(names, n)
+	}
+	reg.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// BuildProblem compiles the normalized options' term set against a circuit
+// and returns the Problem the solver should run plus the normalized
+// options. With an empty (or pure f1–f4) term set it returns exactly
+// partition.FromCircuit's problem — the historical kernel path, bit for
+// bit. With regime terms it rescales biases, drops/reweights edges, and
+// attaches the compiled plane-term table. lib nil means cellib.Default().
+func BuildProblem(c *netlist.Circuit, k int, opts partition.Options, lib *cellib.Library) (*partition.Problem, partition.Options, error) {
+	n, err := opts.NormalizeFor(k)
+	if err != nil {
+		return nil, partition.Options{}, err
+	}
+	if len(n.Terms) == 0 {
+		p, err := partition.FromCircuit(c, k)
+		if err != nil {
+			return nil, partition.Options{}, err
+		}
+		return p, n, nil
+	}
+	if lib == nil {
+		lib = cellib.Default()
+	}
+	if err := c.Validate(); err != nil {
+		return nil, partition.Options{}, err
+	}
+
+	// Merge every term's tables. Scales and weight multipliers compose
+	// multiplicatively, drops by OR, plane terms by append — term order
+	// cannot matter, and normalization already sorted the specs.
+	g, ne := c.NumGates(), c.NumEdges()
+	biasScale := make([]float64, g)
+	for i := range biasScale {
+		biasScale[i] = 1
+	}
+	weightMul := make([]float64, ne)
+	for i := range weightMul {
+		weightMul[i] = 1
+	}
+	drop := make([]bool, ne)
+	var plane []partition.PlaneTerm
+	weighted := false
+	dropped := false
+	for _, spec := range n.Terms {
+		t, ok := Lookup(spec.Name)
+		if !ok {
+			return nil, partition.Options{}, fmt.Errorf(
+				"terms: %q validated but is not registered for compilation (import the package that provides it)", spec.Name)
+		}
+		comp, err := t.Compile(spec, c, k, lib)
+		if err != nil {
+			return nil, partition.Options{}, fmt.Errorf("terms: compile %q: %w", spec.Name, err)
+		}
+		if comp.BiasScale != nil {
+			for i, s := range comp.BiasScale {
+				biasScale[i] *= s
+			}
+		}
+		if comp.EdgeWeightMul != nil {
+			for i, m := range comp.EdgeWeightMul {
+				if m != 1 {
+					weighted = true
+				}
+				weightMul[i] *= m
+			}
+		}
+		if comp.DropEdge != nil {
+			for i, d := range comp.DropEdge {
+				if d {
+					drop[i] = true
+					dropped = true
+				}
+			}
+		}
+		plane = append(plane, comp.Plane...)
+	}
+
+	bias := make([]float64, g)
+	area := make([]float64, g)
+	for i, gate := range c.Gates {
+		bias[i] = gate.Bias * biasScale[i]
+		area[i] = gate.Area
+	}
+	edges := make([][2]int, 0, ne)
+	var weights []float64
+	if weighted {
+		weights = make([]float64, 0, ne)
+	}
+	for i, e := range c.Edges {
+		if drop[i] {
+			continue
+		}
+		edges = append(edges, [2]int{int(e.From), int(e.To)})
+		if weighted {
+			weights = append(weights, weightMul[i])
+		}
+	}
+	var p *partition.Problem
+	if dropped || weighted {
+		p, err = partition.NewWeightedProblem(c.Name, k, bias, area, edges, weights)
+	} else {
+		p, err = partition.NewProblem(c.Name, k, bias, area, edges)
+	}
+	if err != nil {
+		return nil, partition.Options{}, err
+	}
+	p.PlaneTerms = plane
+	return p, n, nil
+}
+
+func init() {
+	// The paper terms: registry completeness only — their weights already
+	// folded into Coeffs during normalization, so compilation is identity.
+	for _, name := range []string{"f1", "f2", "f3", "f4"} {
+		Register(paperTerm(name))
+	}
+	Register(xesfqTerm{})
+	Register(currentLimitTerm{})
+	Register(timingCriticalTerm{})
+}
+
+// paperTerm is one of f1..f4: canonical weight defaulting, no-op compile.
+type paperTerm string
+
+func (t paperTerm) Name() string { return string(t) }
+
+func (t paperTerm) Canon(spec partition.TermSpec) (partition.TermSpec, error) {
+	if spec.Weight == 0 {
+		spec.Weight = 1
+	}
+	return spec, nil
+}
+
+func (t paperTerm) Compile(partition.TermSpec, *netlist.Circuit, int, *cellib.Library) (Compiled, error) {
+	return Compiled{}, nil
+}
+
+// xesfqTerm models the clockless xeSFQ regime: no clock-splitter tree
+// exists, so CSPLIT cells contribute no bias current (zero static power)
+// and their connections leave the wire-crossing objective entirely (a
+// weight-0 edge is invalid, so they are dropped, shrinking the F1
+// normalizer with them). Weight/Param are accepted for uniformity but
+// unused — the term is structural, not weighted.
+type xesfqTerm struct{}
+
+func (xesfqTerm) Name() string { return "xesfq" }
+
+func (xesfqTerm) Canon(spec partition.TermSpec) (partition.TermSpec, error) {
+	if spec.Weight == 0 {
+		spec.Weight = 1
+	}
+	return spec, nil
+}
+
+func (xesfqTerm) Compile(spec partition.TermSpec, c *netlist.Circuit, k int, lib *cellib.Library) (Compiled, error) {
+	isClk := make([]bool, c.NumGates())
+	scale := make([]float64, c.NumGates())
+	any := false
+	for i, g := range c.Gates {
+		scale[i] = 1
+		if cell, ok := lib.ByName(g.Cell); ok && cell.Kind == cellib.KindClkSplit {
+			isClk[i] = true
+			scale[i] = 0
+			any = true
+		}
+	}
+	if !any {
+		return Compiled{}, nil
+	}
+	drop := make([]bool, c.NumEdges())
+	for ei, e := range c.Edges {
+		if isClk[e.From] || isClk[e.To] {
+			drop[ei] = true
+		}
+	}
+	return Compiled{BiasScale: scale, DropEdge: drop}, nil
+}
+
+// currentLimitTerm generalizes examples/current_limit into a first-class
+// soft constraint: Weight · Σ_k max(0, B_k − Param)² / (K·Param²), Param
+// in mA (default 100, the paper's pad limit). Feasible descents pay
+// nothing; infeasible planes feel a restoring gradient proportional to
+// their overflow.
+type currentLimitTerm struct{}
+
+func (currentLimitTerm) Name() string { return "current_limit" }
+
+func (currentLimitTerm) Canon(spec partition.TermSpec) (partition.TermSpec, error) {
+	if spec.Weight == 0 {
+		spec.Weight = 1
+	}
+	if spec.Param == 0 {
+		spec.Param = 100
+	}
+	return spec, nil
+}
+
+func (currentLimitTerm) Compile(spec partition.TermSpec, c *netlist.Circuit, k int, lib *cellib.Library) (Compiled, error) {
+	return Compiled{Plane: []partition.PlaneTerm{{
+		Kind:   partition.PlaneCurrentLimit,
+		Weight: spec.Weight,
+		Limit:  spec.Param,
+	}}}, nil
+}
+
+// timingCriticalTerm weights F1 edge crossings by timing slack: an edge
+// whose stage path runs at the critical delay gets weight 1 + Weight,
+// a fully slack edge keeps weight 1. Cutting slack paths stays cheap;
+// cutting zero-slack paths — where coupler delay directly stretches the
+// clock period — costs up to (1 + Weight)× the normal crossing penalty.
+type timingCriticalTerm struct{}
+
+func (timingCriticalTerm) Name() string { return "timing_critical" }
+
+func (timingCriticalTerm) Canon(spec partition.TermSpec) (partition.TermSpec, error) {
+	if spec.Weight == 0 {
+		spec.Weight = 1
+	}
+	return spec, nil
+}
+
+func (timingCriticalTerm) Compile(spec partition.TermSpec, c *netlist.Circuit, k int, lib *cellib.Library) (Compiled, error) {
+	crit, err := timing.EdgeCriticality(c, timing.Options{Library: lib})
+	if err != nil {
+		return Compiled{}, err
+	}
+	mul := make([]float64, len(crit))
+	for i, v := range crit {
+		mul[i] = 1 + spec.Weight*v
+	}
+	return Compiled{EdgeWeightMul: mul}, nil
+}

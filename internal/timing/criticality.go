@@ -1,0 +1,112 @@
+package timing
+
+import (
+	"fmt"
+
+	"gpp/internal/netlist"
+)
+
+// EdgeCriticality scores every connection by how close its pipeline stage
+// path runs to the critical stage: crit[e] ∈ [0, 1], where 1 means the
+// longest stage path through edge e equals the circuit's critical stage
+// delay and values near 0 mean the edge sits on fast stages with plenty of
+// slack. The timing-criticality cost term uses these scores to weight F1
+// edge crossings — a plane boundary on a zero-slack path costs coupler
+// delay the clock period cannot absorb, while a boundary on a slack path
+// is timing-free (clock-follow-data delay balancing, Aviles et al.).
+//
+// The score combines a forward pass (reach: longest stage-local delay from
+// the stage-opening clocked output to each gate's output — the same
+// recurrence Analyze uses, unpartitioned) with a backward pass (cont:
+// longest stage-local delay from a gate's output to the stage-closing
+// clocked output). For edge (u, v) the longest stage path through the edge
+// is reach(u) + cont(v), and crit = that / CriticalStagePS.
+func EdgeCriticality(c *netlist.Circuit, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	delay := make([]float64, c.NumGates())
+	clocked := make([]bool, c.NumGates())
+	for i, g := range c.Gates {
+		cell, ok := opts.Library.ByName(g.Cell)
+		if !ok {
+			return nil, fmt.Errorf("timing: gate %s uses cell %q absent from library %q",
+				g.Name, g.Cell, opts.Library.Name())
+		}
+		delay[i] = cell.DelayPS
+		clocked[i] = cell.Clocked
+	}
+
+	// Forward: stage-local arrival at each gate's output, plus the critical
+	// stage delay (the normalizer).
+	inEdges := c.InEdges()
+	reach := make([]float64, c.NumGates())
+	critical := 0.0
+	for _, gid := range order {
+		i := int(gid)
+		var maxIn float64
+		for _, ei := range inEdges[i] {
+			if v := reach[c.Edges[ei].From]; v > maxIn {
+				maxIn = v
+			}
+		}
+		if clocked[i] {
+			if stage := maxIn + delay[i]; stage > critical {
+				critical = stage
+			}
+			reach[i] = delay[i] // a clocked output starts a new stage
+		} else {
+			reach[i] = maxIn + delay[i]
+		}
+	}
+
+	// Backward: cont[i] is the longest stage-local delay from gate i's
+	// *input* boundary to the stage-closing clocked output — delay[i] for a
+	// clocked gate (it closes the stage), delay[i] plus the longest
+	// continuation otherwise.
+	outEdges := c.OutEdges()
+	cont := make([]float64, c.NumGates())
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		i := int(order[idx])
+		if clocked[i] {
+			cont[i] = delay[i]
+			continue
+		}
+		var maxOut float64
+		for _, ei := range outEdges[i] {
+			if v := cont[c.Edges[ei].To]; v > maxOut {
+				maxOut = v
+			}
+		}
+		cont[i] = delay[i] + maxOut
+	}
+
+	if critical == 0 {
+		// Purely unclocked circuit: every path is one stage; normalize by
+		// the longest reach instead so scores stay in [0, 1].
+		for _, r := range reach {
+			if r > critical {
+				critical = r
+			}
+		}
+		if critical == 0 {
+			critical = 1
+		}
+	}
+	crit := make([]float64, c.NumEdges())
+	for ei, e := range c.Edges {
+		v := (reach[e.From] + cont[e.To]) / critical
+		if v > 1 {
+			v = 1
+		} else if v < 0 {
+			v = 0
+		}
+		crit[ei] = v
+	}
+	return crit, nil
+}
